@@ -1,0 +1,214 @@
+// fastiov_sim — the command-line front end to the simulator.
+//
+// Runs one concurrent-startup (or churn) experiment under any baseline and
+// reports either a human-readable summary or machine-readable JSON; can
+// also export the per-container timeline as a Chrome trace
+// (chrome://tracing / https://ui.perfetto.dev).
+//
+// Examples:
+//   fastiov_sim --stack=fastiov --concurrency=200
+//   fastiov_sim --stack=vanilla --app=image --arrival=poisson --rate=40
+//   fastiov_sim --stack=fastiov --waves=3 --json
+//   fastiov_sim --stack=vanilla --trace=/tmp/startup.trace.json
+#include <fstream>
+#include <iostream>
+
+#include "src/cli/flags.h"
+#include "src/experiments/churn_experiment.h"
+#include "src/experiments/startup_experiment.h"
+#include "src/stats/table.h"
+#include "src/stats/json_writer.h"
+#include "src/stats/trace_export.h"
+
+using namespace fastiov;
+
+namespace {
+
+void WriteSummaryJson(const ExperimentResult& r, std::ostream& os) {
+  JsonWriter json(os);
+  json.BeginObject();
+  json.KV("stack", r.config.name);
+  json.KV("concurrency", static_cast<int64_t>(r.options.concurrency));
+  json.KV("seed", r.options.seed);
+  json.KV("arrival", ArrivalPatternName(r.options.arrival));
+  json.Key("startup_seconds");
+  json.BeginObject()
+      .KV("mean", r.startup.Mean())
+      .KV("p50", r.startup.Percentile(50))
+      .KV("p90", r.startup.Percentile(90))
+      .KV("p99", r.startup.Percentile(99))
+      .KV("min", r.startup.Min())
+      .KV("max", r.startup.Max())
+      .EndObject();
+  if (!r.task_completion.Empty()) {
+    json.Key("task_completion_seconds");
+    json.BeginObject()
+        .KV("mean", r.task_completion.Mean())
+        .KV("p99", r.task_completion.Percentile(99))
+        .EndObject();
+  }
+  json.KV("vf_related_mean_seconds", r.vf_related.Mean());
+  json.Key("step_share_of_average");
+  json.BeginObject();
+  for (const std::string& step : r.timeline.StepNames()) {
+    json.KV(step, r.timeline.StepShareOfAverage(step));
+  }
+  json.EndObject();
+  json.Key("counters");
+  json.BeginObject()
+      .KV("residue_reads", r.residue_reads)
+      .KV("corruptions", r.corruptions)
+      .KV("devset_lock_contention", r.devset_lock_contention)
+      .KV("pages_zeroed", r.pages_zeroed)
+      .KV("fault_zeroed_pages", r.fault_zeroed_pages)
+      .KV("background_zeroed_pages", r.background_zeroed_pages)
+      .EndObject();
+  json.EndObject();
+  os << '\n';
+}
+
+void WriteSummaryText(const ExperimentResult& r) {
+  std::printf("stack %s, %d containers (%s arrivals), seed %lu\n\n", r.config.name.c_str(),
+              r.options.concurrency, ArrivalPatternName(r.options.arrival),
+              static_cast<unsigned long>(r.options.seed));
+  TextTable table({"metric", "value"});
+  table.AddRow({"startup mean", FormatSeconds(r.startup.Mean()) + " s"});
+  table.AddRow({"startup p99", FormatSeconds(r.startup.Percentile(99)) + " s"});
+  table.AddRow({"startup min/max", FormatSeconds(r.startup.Min()) + " / " +
+                                       FormatSeconds(r.startup.Max()) + " s"});
+  table.AddRow({"VF-related mean", FormatSeconds(r.vf_related.Mean()) + " s"});
+  if (!r.task_completion.Empty()) {
+    table.AddRow({"task completion mean", FormatSeconds(r.task_completion.Mean()) + " s"});
+    table.AddRow(
+        {"task completion p99", FormatSeconds(r.task_completion.Percentile(99)) + " s"});
+  }
+  table.AddRow({"residue reads", std::to_string(r.residue_reads)});
+  table.AddRow({"corruptions", std::to_string(r.corruptions)});
+  table.AddRow({"devset lock waits", std::to_string(r.devset_lock_contention)});
+  table.AddRow({"pages zeroed", std::to_string(r.pages_zeroed)});
+  table.Print(std::cout);
+  std::printf("\nstep shares of average startup:\n");
+  for (const std::string& step : r.timeline.StepNames()) {
+    std::printf("  %-12s %s\n", step.c_str(),
+                FormatPercent(r.timeline.StepShareOfAverage(step)).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("stack", "fastiov",
+                  "baseline: vanilla|fastiov|fastiov-{L,A,S,D}|fastiov-vdpa|nonet|ipvtap|"
+                  "unfixed|pre<pct>");
+  flags.AddInt("concurrency", 200, "containers started concurrently");
+  flags.AddInt("memory-mb", 512, "guest memory per container (MiB)");
+  flags.AddDouble("vcpus", 0.5, "vCPU allocation per container");
+  flags.AddString("app", "none", "serverless task: none|image|compression|scientific|inference");
+  flags.AddInt("seed", 42, "simulation seed (runs are deterministic per seed)");
+  flags.AddString("arrival", "burst", "arrival process: burst|uniform|poisson");
+  flags.AddDouble("rate", 50.0, "arrival rate (containers/s) for uniform/poisson");
+  flags.AddInt("waves", 1, "churn mode: start/run/terminate this many waves");
+  flags.AddBool("json", false, "emit machine-readable JSON instead of tables");
+  flags.AddString("trace", "", "write a Chrome trace of the timeline to this file");
+
+  std::string error;
+  if (!flags.Parse(argc, argv, &error)) {
+    std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+                 flags.HelpText(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::fputs(flags.HelpText(argv[0]).c_str(), stdout);
+    return 0;
+  }
+
+  auto stack = StackConfig::FromName(flags.GetString("stack"));
+  if (!stack.has_value()) {
+    std::fprintf(stderr, "error: unknown stack '%s'\n", flags.GetString("stack").c_str());
+    return 2;
+  }
+  stack->guest_memory_bytes = static_cast<uint64_t>(flags.GetInt("memory-mb")) * kMiB;
+  stack->vcpus = flags.GetDouble("vcpus");
+
+  std::optional<ServerlessApp> app;
+  if (flags.GetString("app") != "none") {
+    app = ServerlessApp::FromName(flags.GetString("app"));
+    if (!app.has_value()) {
+      std::fprintf(stderr, "error: unknown app '%s'\n", flags.GetString("app").c_str());
+      return 2;
+    }
+  }
+
+  if (flags.GetInt("waves") > 1) {
+    ChurnOptions options;
+    options.waves = static_cast<int>(flags.GetInt("waves"));
+    options.concurrency_per_wave = static_cast<int>(flags.GetInt("concurrency"));
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    options.app = app;
+    const ChurnResult r = RunChurnExperiment(*stack, options);
+    if (flags.GetBool("json")) {
+      JsonWriter json(std::cout);
+      json.BeginObject();
+      json.KV("stack", r.config.name);
+      json.KV("waves", static_cast<int64_t>(options.waves));
+      json.Key("wave_startup_mean_seconds");
+      json.BeginArray();
+      for (const Summary& w : r.wave_startup) {
+        json.Value(w.Mean());
+      }
+      json.EndArray();
+      json.KV("frames_reused", r.frames_reused);
+      json.KV("residue_reads", r.residue_reads);
+      json.KV("corruptions", r.corruptions);
+      json.EndObject();
+      std::cout << '\n';
+    } else {
+      std::printf("churn: %d waves x %d containers, stack %s\n", options.waves,
+                  options.concurrency_per_wave, r.config.name.c_str());
+      for (size_t w = 0; w < r.wave_startup.size(); ++w) {
+        std::printf("  wave %zu: avg %.2fs p99 %.2fs\n", w + 1, r.wave_startup[w].Mean(),
+                    r.wave_startup[w].Percentile(99));
+      }
+      std::printf("  frames reused %lu, residue reads %lu, corruptions %lu\n",
+                  static_cast<unsigned long>(r.frames_reused),
+                  static_cast<unsigned long>(r.residue_reads),
+                  static_cast<unsigned long>(r.corruptions));
+    }
+    return 0;
+  }
+
+  ExperimentOptions options;
+  options.concurrency = static_cast<int>(flags.GetInt("concurrency"));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  options.app = app;
+  const std::string arrival = flags.GetString("arrival");
+  if (arrival == "uniform") {
+    options.arrival = ArrivalPattern::kUniform;
+  } else if (arrival == "poisson") {
+    options.arrival = ArrivalPattern::kPoisson;
+  } else if (arrival != "burst") {
+    std::fprintf(stderr, "error: unknown arrival pattern '%s'\n", arrival.c_str());
+    return 2;
+  }
+  options.arrival_rate_per_s = flags.GetDouble("rate");
+
+  const ExperimentResult r = RunStartupExperiment(*stack, options);
+  if (flags.GetBool("json")) {
+    WriteSummaryJson(r, std::cout);
+  } else {
+    WriteSummaryText(r);
+  }
+  if (!flags.GetString("trace").empty()) {
+    std::ofstream trace(flags.GetString("trace"));
+    if (!trace) {
+      std::fprintf(stderr, "error: cannot open trace file '%s'\n",
+                   flags.GetString("trace").c_str());
+      return 1;
+    }
+    ExportChromeTrace(r.timeline, trace);
+    std::fprintf(stderr, "trace written to %s (open in chrome://tracing)\n",
+                 flags.GetString("trace").c_str());
+  }
+  return 0;
+}

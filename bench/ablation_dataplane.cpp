@@ -1,0 +1,95 @@
+// Ablation: data-plane quality of the network options — the paper's
+// premise (§1/§2.1) that SR-IOV passthrough achieves near-bare-metal
+// throughput while software CNIs pay emulation overhead. Measures aggregate
+// and per-container download throughput plus IOTLB behaviour on the VF
+// path.
+#include "bench/bench_common.h"
+#include "src/container/runtime.h"
+
+using namespace fastiov;
+
+namespace {
+
+struct PlaneResult {
+  double per_container_mbps;
+  double download_window_s;
+  uint64_t iotlb_hits;
+  uint64_t iotlb_misses;
+  uint64_t interrupts;
+};
+
+PlaneResult Measure(const StackConfig& config, int containers, uint64_t bytes_each) {
+  Simulation sim(5);
+  Host host(sim, HostSpec{}, CostModel{}, config);
+  ContainerRuntime runtime(host);
+  ServerlessApp app{"download", bytes_each, 0.01, 16 * kMiB};
+  auto root = [](Simulation* s, Host* h, ContainerRuntime* rt, const ServerlessApp* a,
+                 int n) -> Task {
+    co_await h->PrepareSharedImage();
+    if (h->config().cni == CniKind::kVanillaFixed || h->config().cni == CniKind::kFastIov) {
+      h->PreBindVfsToVfio();
+    }
+    if (h->config().decoupled_zeroing) {
+      h->fastiovd().StartBackgroundZeroer();
+    }
+    std::vector<Process> ps;
+    for (int i = 0; i < n; ++i) {
+      ps.push_back(s->Spawn(rt->StartContainer(a)));
+    }
+    co_await WaitAll(std::move(ps));
+    h->fastiovd().StopBackgroundZeroer();
+  };
+  sim.Spawn(root(&sim, &host, &runtime, &app, containers));
+  sim.Run();
+
+  // Download window: last task-done minus first readiness.
+  const Summary ready = host.timeline().StartupSummary();
+  const Summary done = host.timeline().TaskCompletionSummary();
+  const double window = done.Max() - ready.Min();
+  PlaneResult result{};
+  result.download_window_s = window;
+  result.per_container_mbps =
+      static_cast<double>(bytes_each) * 8.0 / (done.Mean() - ready.Mean()) / 1e6;
+  for (const auto& inst : runtime.instances()) {
+    if (inst->vfio_container) {
+      result.iotlb_hits += inst->vfio_container->domain()->iotlb().hits();
+      result.iotlb_misses += inst->vfio_container->domain()->iotlb().misses();
+    }
+    if (inst->vm) {
+      result.interrupts += inst->vm->interrupts_received();
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation — data-plane comparison (the paper's premise)",
+              "20 containers each downloading 256 MiB after startup. SR-IOV\n"
+              "passthrough shares the 25 GbE wire; IPvtap pays software\n"
+              "emulation (~9 Gbps aggregate).");
+
+  const uint64_t bytes = 256 * kMiB;
+  const PlaneResult sriov = Measure(StackConfig::FastIov(), 20, bytes);
+  const PlaneResult vdpa = Measure(StackConfig::FastIovVdpa(), 20, bytes);
+  const PlaneResult ipvtap = Measure(StackConfig::Ipvtap(), 20, bytes);
+
+  TextTable table({"stack", "per-container Mbps", "IOTLB hits/misses", "interrupts"});
+  auto row = [&](const char* name, const PlaneResult& r) {
+    char tlb[48];
+    std::snprintf(tlb, sizeof(tlb), "%lu/%lu", static_cast<unsigned long>(r.iotlb_hits),
+                  static_cast<unsigned long>(r.iotlb_misses));
+    table.AddRow({name, FormatDouble(r.per_container_mbps, 0), tlb,
+                  std::to_string(r.interrupts)});
+  };
+  row("FastIOV (passthrough)", sriov);
+  row("FastIOV-vDPA", vdpa);
+  row("IPvtap (software)", ipvtap);
+  table.Print(std::cout);
+
+  std::printf("\nPassthrough and vDPA share the hardware data plane (same wire-rate\n"
+              "fair share); the software CNI is capped by its emulated path. Ring\n"
+              "locality keeps the IOTLB hot after the first descriptor batch.\n");
+  return 0;
+}

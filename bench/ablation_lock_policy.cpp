@@ -1,0 +1,90 @@
+// Ablation (google-benchmark): devset lock policies under concurrent VF
+// opens. Wall time measures the simulator itself; the interesting output is
+// the simulated cost, reported as counters:
+//   sim_total_s    simulated time for all opens to complete
+//   sim_avg_open_s simulated average per-open latency
+//   contention     lock acquisitions that had to wait
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/nic/sriov_nic.h"
+#include "src/vfio/vfio.h"
+
+namespace fastiov {
+namespace {
+
+void RunOpens(benchmark::State& state, bool hierarchical) {
+  const int num_vfs = static_cast<int>(state.range(0));
+  const int concurrency = static_cast<int>(state.range(1));
+  double sim_total = 0.0;
+  double open_latency_sum = 0.0;
+  uint64_t contention = 0;
+  for (auto _ : state) {
+    Simulation sim(7);
+    HostSpec spec;
+    CostModel cost;
+    cost.jitter_sigma = 0.0;
+    CpuPool cpu(sim, spec.physical_cores);
+    PciBus bus(0x3b);
+    std::vector<std::unique_ptr<VirtualFunction>> vfs;
+    for (int i = 0; i < num_vfs; ++i) {
+      vfs.push_back(std::make_unique<VirtualFunction>(
+          PciAddress{0, 0x3b, static_cast<uint8_t>(2 + i / 8), static_cast<uint8_t>(i % 8)},
+          i));
+      bus.AddDevice(vfs.back().get());
+    }
+    std::unique_ptr<DevsetLockPolicy> policy;
+    if (hierarchical) {
+      policy = std::make_unique<HierarchicalLockPolicy>(sim);
+    } else {
+      policy = std::make_unique<GlobalMutexPolicy>(sim);
+    }
+    DevSet devset(sim, cpu, cost, &bus, std::move(policy), /*scan_on_open=*/!hierarchical);
+    for (auto& vf : vfs) {
+      devset.AddDevice(vf.get());
+    }
+    std::vector<double> latencies(concurrency);
+    for (int i = 0; i < concurrency; ++i) {
+      auto opener = [](Simulation* s, DevSet* ds, VfioDevice* dev, double* out) -> Task {
+        const SimTime begin = s->Now();
+        co_await ds->OpenDevice(dev);
+        *out = (s->Now() - begin).ToSecondsF();
+      };
+      sim.Spawn(opener(&sim, &devset, devset.device(i % num_vfs), &latencies[i]));
+    }
+    sim.Run();
+    sim_total += sim.Now().ToSecondsF();
+    for (double l : latencies) {
+      open_latency_sum += l;
+    }
+    contention += devset.lock_policy().contention_count();
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["sim_total_s"] = sim_total / iters;
+  state.counters["sim_avg_open_s"] =
+      open_latency_sum / (iters * static_cast<double>(concurrency));
+  state.counters["contention"] = static_cast<double>(contention) / iters;
+}
+
+void BM_GlobalMutexOpens(benchmark::State& state) { RunOpens(state, false); }
+void BM_HierarchicalOpens(benchmark::State& state) { RunOpens(state, true); }
+
+// Sweep devset size (bus population) and open concurrency.
+BENCHMARK(BM_GlobalMutexOpens)
+    ->ArgNames({"vfs", "conc"})
+    ->Args({64, 64})
+    ->Args({256, 64})
+    ->Args({256, 200})
+    ->Args({1024, 200});
+BENCHMARK(BM_HierarchicalOpens)
+    ->ArgNames({"vfs", "conc"})
+    ->Args({64, 64})
+    ->Args({256, 64})
+    ->Args({256, 200})
+    ->Args({1024, 200});
+
+}  // namespace
+}  // namespace fastiov
+
+BENCHMARK_MAIN();

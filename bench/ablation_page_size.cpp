@@ -1,0 +1,71 @@
+// Ablation: P2 of Fig. 6 — fragmented small pages vs hugepages in the
+// DMA-map path. The paper observes that 4 KiB pages make page *retrieval*
+// a bottleneck (more, smaller batches as free memory fragments) and that
+// enabling 2 MiB hugepages — standard production practice — mitigates it,
+// which is why FastIOV does not target P2.
+//
+// Uses a reduced host (8 GiB) so 4 KiB frames stay cheap to model; the
+// relative costs are what matters.
+#include "bench/bench_common.h"
+#include "src/vfio/vfio.h"
+
+using namespace fastiov;
+
+namespace {
+
+struct MapCost {
+  double seconds;
+  uint64_t batches;
+};
+
+MapCost MeasureMap(uint64_t page_size, double fragmentation, uint64_t map_bytes) {
+  Simulation sim(3);
+  HostSpec spec;
+  spec.memory_bytes = 8 * kGiB;
+  CostModel cost;
+  cost.jitter_sigma = 0.0;
+  CpuPool cpu(sim, spec.physical_cores);
+  PhysicalMemory pmem(sim, spec, cost, page_size, fragmentation);
+  pmem.set_cpu(&cpu);
+  Iommu iommu;
+  VfioContainer container(sim, cpu, cost, pmem, iommu);
+  DmaMapOptions options;
+  options.pid = 1;
+  options.zeroing = ZeroingMode::kNone;  // isolate retrieval + pin + map
+  auto mapper = [](VfioContainer* c, DmaMapOptions o, uint64_t bytes) -> Task {
+    co_await c->MapDma(0, bytes, o, nullptr);
+  };
+  sim.Spawn(mapper(&container, options, map_bytes));
+  sim.Run();
+  return MapCost{sim.Now().ToSecondsF(), pmem.total_batches_retrieved()};
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation — page size & fragmentation in DMA mapping (Fig. 6, P2)",
+              "Retrieval/pin/map cost (zeroing excluded) of a 512 MiB guest\n"
+              "RAM mapping. 4 KiB pages need 131072 operations vs 256 with\n"
+              "hugepages, and fragmentation multiplies the retrieval batches.");
+
+  TextTable table({"page size", "fragmentation", "map time", "retrieval batches"});
+  const uint64_t map_bytes = 512 * kMiB;
+  for (double frag : {0.0, 0.5, 0.9, 1.0}) {
+    const MapCost cost = MeasureMap(kSmallPageSize, frag, map_bytes);
+    char frag_label[16];
+    std::snprintf(frag_label, sizeof(frag_label), "%.0f%%", frag * 100.0);
+    table.AddRow({"4 KiB", frag_label, FormatSeconds(cost.seconds) + " s",
+                  std::to_string(cost.batches)});
+  }
+  for (double frag : {0.0, 0.9}) {
+    const MapCost cost = MeasureMap(kHugePageSize, frag, map_bytes);
+    char frag_label[16];
+    std::snprintf(frag_label, sizeof(frag_label), "%.0f%%", frag * 100.0);
+    table.AddRow({"2 MiB", frag_label, FormatSeconds(cost.seconds) + " s",
+                  std::to_string(cost.batches)});
+  }
+  table.Print(std::cout);
+  std::printf("\nHugepages cut the page count 512x, which is why the paper treats\n"
+              "P2 as solved by configuration and focuses on P3 (zeroing).\n");
+  return 0;
+}

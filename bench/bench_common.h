@@ -1,0 +1,64 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (§6): it runs the corresponding experiments on the simulated
+// testbed and prints the same rows/series the paper reports, plus the
+// paper's numbers for side-by-side comparison where available.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/experiments/startup_experiment.h"
+#include "src/stats/table.h"
+
+namespace fastiov {
+
+inline ExperimentOptions DefaultOptions(int concurrency = 200, uint64_t seed = 42) {
+  ExperimentOptions o;
+  o.concurrency = concurrency;
+  o.seed = seed;
+  return o;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+// The baselines of §6.1, in the order of Fig. 11.
+inline std::vector<StackConfig> Fig11Baselines() {
+  return {
+      StackConfig::NoNetwork(),
+      StackConfig::Vanilla(),
+      StackConfig::FastIov(),
+      StackConfig::FastIovWithout('L'),
+      StackConfig::FastIovWithout('A'),
+      StackConfig::FastIovWithout('S'),
+      StackConfig::FastIovWithout('D'),
+      StackConfig::PreZero(0.1),
+      StackConfig::PreZero(0.5),
+      StackConfig::PreZero(1.0),
+  };
+}
+
+// Renders an inline text bar, e.g. "######----" for 0.6 of width 10.
+inline std::string Bar(double fraction, int width = 40) {
+  if (fraction < 0.0) {
+    fraction = 0.0;
+  }
+  if (fraction > 1.0) {
+    fraction = 1.0;
+  }
+  const int filled = static_cast<int>(fraction * width + 0.5);
+  return std::string(filled, '#') + std::string(width - filled, ' ');
+}
+
+}  // namespace fastiov
+
+#endif  // BENCH_BENCH_COMMON_H_

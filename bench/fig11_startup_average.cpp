@@ -1,0 +1,56 @@
+// Figure 11: average startup time at concurrency 200 for every baseline,
+// split into VF-related time and everything else.
+#include "bench/bench_common.h"
+#include "src/experiments/repeated.h"
+
+using namespace fastiov;
+
+int main() {
+  PrintHeader("Figure 11 — Average startup time (concurrency 200)",
+              "Bars split into VF-related (steps 1,3,4,5) and others.");
+
+  const ExperimentOptions options = DefaultOptions();
+  constexpr int kRepeats = 3;  // seeds 42..44; spread reported as +/- stddev
+  double vanilla_mean = 0.0;
+  double vanilla_vf = 0.0;
+
+  TextTable table({"stack", "avg (s) +/- sd", "VF-related (s)", "others (s)",
+                   "reduction vs vanilla", "bar"});
+  std::vector<RepeatedResult> results;
+  for (const StackConfig& config : Fig11Baselines()) {
+    results.push_back(RunRepeated(config, options, kRepeats));
+  }
+  double max_mean = 0.0;
+  for (const auto& r : results) {
+    max_mean = std::max(max_mean, r.startup_mean.mean);
+    if (r.config.name == "Vanilla") {
+      vanilla_mean = r.startup_mean.mean;
+      vanilla_vf = r.vf_related_mean.mean;
+    }
+  }
+  for (const auto& r : results) {
+    const double mean = r.startup_mean.mean;
+    const double vf = r.vf_related_mean.mean;
+    const std::string reduction =
+        (r.config.name == "Vanilla" || r.config.name == "No-Net")
+            ? "-"
+            : FormatPercent(1.0 - mean / vanilla_mean);
+    table.AddRow({r.config.name,
+                  FormatSeconds(mean) + " +/- " + FormatSeconds(r.startup_mean.stddev),
+                  FormatSeconds(vf), FormatSeconds(mean - vf), reduction,
+                  Bar(mean / max_mean, 30)});
+  }
+  table.Print(std::cout);
+
+  const double fastiov_mean = results[2].startup_mean.mean;
+  const double fastiov_vf = results[2].vf_related_mean.mean;
+  std::printf("\nheadline numbers:\n");
+  std::printf("  end-to-end reduction:  %s   (paper: 65.7%%)\n",
+              FormatPercent(1.0 - fastiov_mean / vanilla_mean).c_str());
+  std::printf("  VF-related reduction:  %s   (paper: 96.1%%)\n",
+              FormatPercent(1.0 - fastiov_vf / vanilla_vf).c_str());
+  std::printf("  FastIOV above No-Net:  %s   (paper: 39.1%%)\n",
+              FormatPercent(fastiov_mean / results[0].startup_mean.mean - 1.0).c_str());
+  std::printf("  paper variant reductions: -L 21.8%%  -A 40.3%%  -S 58.2%%  -D 43.7%%\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 13a: impact of concurrency (10..200), 512 MiB per container.
+#include "bench/bench_common.h"
+
+using namespace fastiov;
+
+int main() {
+  PrintHeader("Figure 13a — Impacting factor: concurrency",
+              "Startup-time distribution with concurrency 10..200, 512 MiB each.\n"
+              "Paper: reductions range 46.7%..65.6%, growing with concurrency.");
+
+  TextTable table({"concurrency", "vanilla avg", "vanilla p99", "fastiov avg", "fastiov p99",
+                   "reduction"});
+  for (int n : {10, 50, 100, 150, 200}) {
+    const ExperimentOptions options = DefaultOptions(n);
+    const ExperimentResult vanilla = RunStartupExperiment(StackConfig::Vanilla(), options);
+    const ExperimentResult fast = RunStartupExperiment(StackConfig::FastIov(), options);
+    table.AddRow({std::to_string(n), FormatSeconds(vanilla.startup.Mean()),
+                  FormatSeconds(vanilla.startup.Percentile(99)),
+                  FormatSeconds(fast.startup.Mean()),
+                  FormatSeconds(fast.startup.Percentile(99)),
+                  FormatPercent(1.0 - fast.startup.Mean() / vanilla.startup.Mean())});
+  }
+  table.Print(std::cout);
+  std::printf("\nThe reduction grows with concurrency because the devset-lock\n"
+              "contention grows with the number of concurrently opened VFs (§6.3).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 13b: impact of per-container resource allocation — 50 concurrent
+// containers with memory growing from 512 MiB to 2 GiB.
+#include "bench/bench_common.h"
+
+using namespace fastiov;
+
+int main() {
+  PrintHeader("Figure 13b — Impacting factor: resource allocation",
+              "50 concurrent containers, per-container memory 512 MiB..2 GiB.\n"
+              "Paper: +60.5% vanilla vs +21.5% FastIOV going to 2 GiB.");
+
+  double vanilla_512 = 0.0;
+  double fast_512 = 0.0;
+  TextTable table({"memory", "vanilla avg", "growth", "fastiov avg", "growth", "reduction"});
+  for (uint64_t mem : {512 * kMiB, 1 * kGiB, 3 * kGiB / 2, 2 * kGiB}) {
+    StackConfig vanilla_cfg = StackConfig::Vanilla();
+    vanilla_cfg.guest_memory_bytes = mem;
+    StackConfig fast_cfg = StackConfig::FastIov();
+    fast_cfg.guest_memory_bytes = mem;
+    const ExperimentOptions options = DefaultOptions(50);
+    const ExperimentResult vanilla = RunStartupExperiment(vanilla_cfg, options);
+    const ExperimentResult fast = RunStartupExperiment(fast_cfg, options);
+    if (mem == 512 * kMiB) {
+      vanilla_512 = vanilla.startup.Mean();
+      fast_512 = fast.startup.Mean();
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f GiB", static_cast<double>(mem) / kGiB);
+    table.AddRow({label, FormatSeconds(vanilla.startup.Mean()),
+                  FormatPercent(vanilla.startup.Mean() / vanilla_512 - 1.0),
+                  FormatSeconds(fast.startup.Mean()),
+                  FormatPercent(fast.startup.Mean() / fast_512 - 1.0),
+                  FormatPercent(1.0 - fast.startup.Mean() / vanilla.startup.Mean())});
+  }
+  table.Print(std::cout);
+  std::printf("\nVanilla grows with memory because eager zeroing scales with the\n"
+              "allocation; FastIOV's startup is nearly memory-insensitive (§6.3).\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 13c: fully loaded server — all server resources divided evenly
+// among the concurrent containers (fewer containers => more memory/vCPU
+// each).
+#include "bench/bench_common.h"
+
+using namespace fastiov;
+
+namespace {
+
+// Divides usable host memory across N containers, leaving room for each
+// container's private image copy (the vanilla stack maps one per VM) and
+// rounding down to hugepage granularity.
+uint64_t MemoryPerContainer(const HostSpec& spec, int n) {
+  const auto usable = static_cast<uint64_t>(static_cast<double>(spec.memory_bytes) * 0.92);
+  uint64_t per = usable / static_cast<uint64_t>(n) - CostModel{}.image_bytes;
+  per -= per % kHugePageSize;
+  return per;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 13c — Impacting factor: fully loaded server",
+              "All resources divided among N containers (256 GiB / 112 lcores).\n"
+              "Paper: reductions from 65.7% @200 up to 79.5% @10.");
+
+  HostSpec spec;
+  TextTable table({"concurrency", "mem each", "vcpu each", "vanilla avg", "fastiov avg",
+                   "reduction"});
+  for (int n : {10, 25, 50, 100, 200}) {
+    const uint64_t mem = MemoryPerContainer(spec, n);
+    const double vcpus = static_cast<double>(spec.logical_cores) / n;
+    StackConfig vanilla_cfg = StackConfig::Vanilla();
+    vanilla_cfg.guest_memory_bytes = mem;
+    vanilla_cfg.vcpus = vcpus;
+    StackConfig fast_cfg = StackConfig::FastIov();
+    fast_cfg.guest_memory_bytes = mem;
+    fast_cfg.vcpus = vcpus;
+    const ExperimentOptions options = DefaultOptions(n);
+    const ExperimentResult vanilla = RunStartupExperiment(vanilla_cfg, options);
+    const ExperimentResult fast = RunStartupExperiment(fast_cfg, options);
+    char mem_label[32];
+    std::snprintf(mem_label, sizeof(mem_label), "%.1f GiB",
+                  static_cast<double>(mem) / kGiB);
+    char vcpu_label[32];
+    std::snprintf(vcpu_label, sizeof(vcpu_label), "%.1f", vcpus);
+    table.AddRow({std::to_string(n), mem_label, vcpu_label,
+                  FormatSeconds(vanilla.startup.Mean()), FormatSeconds(fast.startup.Mean()),
+                  FormatPercent(1.0 - fast.startup.Mean() / vanilla.startup.Mean())});
+  }
+  table.Print(std::cout);
+  std::printf("\nAt low concurrency each container gets a huge allocation, so the\n"
+              "zeroing volume — and FastIOV's win — stays large even though the\n"
+              "lock contention shrinks (§6.3).\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 16: serverless performance under varying concurrency (a-d),
+// varying per-container resources (e-h), and a fully loaded server (i-l).
+// Prints the average task-completion time and the reduction ratio (R-ratio)
+// FastIOV achieves over vanilla — one section per row of panels.
+#include "bench/bench_common.h"
+
+using namespace fastiov;
+
+namespace {
+
+struct Point {
+  double vanilla;
+  double fastiov;
+};
+
+Point RunPair(const StackConfig& vanilla_cfg, const StackConfig& fast_cfg,
+              const ServerlessApp& app, int concurrency) {
+  ExperimentOptions options = DefaultOptions(concurrency);
+  options.app = app;
+  const ExperimentResult v = RunStartupExperiment(vanilla_cfg, options);
+  const ExperimentResult f = RunStartupExperiment(fast_cfg, options);
+  return Point{v.task_completion.Mean(), f.task_completion.Mean()};
+}
+
+std::string Cell(const Point& p) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f/%.1f (%.0f%%)", p.vanilla, p.fastiov,
+                100.0 * (1.0 - p.fastiov / p.vanilla));
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 16 — Serverless performance: impacting factors",
+              "Cells: vanilla_avg/fastiov_avg (R-ratio). Paper shapes: (a-d)\n"
+              "gain grows with concurrency; (e-h) FastIOV reaps larger\n"
+              "allocations; (i-l) large gains across a fully loaded server.");
+
+  const auto apps = ServerlessApp::All();
+
+  // --- (a-d): varying concurrency, 512 MiB / 0.5 vCPU each.
+  std::printf("(a-d) varying concurrency:\n");
+  {
+    TextTable table({"app", "n=10", "n=50", "n=100", "n=200"});
+    for (const ServerlessApp& app : apps) {
+      std::vector<std::string> row{app.name};
+      for (int n : {10, 50, 100, 200}) {
+        row.push_back(Cell(RunPair(StackConfig::Vanilla(), StackConfig::FastIov(), app, n)));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+
+  // --- (e-h): varying per-container allocation at concurrency 50; vCPU
+  // scales with memory (0.5 vCPU per 512 MiB).
+  std::printf("\n(e-h) varying resource allocation (concurrency 50):\n");
+  {
+    TextTable table({"app", "512MiB/0.5c", "1GiB/1c", "2GiB/2c"});
+    for (const ServerlessApp& app : apps) {
+      std::vector<std::string> row{app.name};
+      for (uint64_t mem : {512 * kMiB, 1 * kGiB, 2 * kGiB}) {
+        StackConfig vanilla_cfg = StackConfig::Vanilla();
+        StackConfig fast_cfg = StackConfig::FastIov();
+        vanilla_cfg.guest_memory_bytes = fast_cfg.guest_memory_bytes = mem;
+        vanilla_cfg.vcpus = fast_cfg.vcpus = 0.5 * static_cast<double>(mem) / (512 * kMiB);
+        row.push_back(Cell(RunPair(vanilla_cfg, fast_cfg, app, 50)));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+
+  // --- (i-l): fully loaded server.
+  std::printf("\n(i-l) fully loaded server (resources divided evenly):\n");
+  {
+    HostSpec spec;
+    TextTable table({"app", "n=10", "n=50", "n=200"});
+    for (const ServerlessApp& app : apps) {
+      std::vector<std::string> row{app.name};
+      for (int n : {10, 50, 200}) {
+        uint64_t mem =
+            static_cast<uint64_t>(static_cast<double>(spec.memory_bytes) * 0.92) / n -
+            CostModel{}.image_bytes;
+        mem -= mem % kHugePageSize;
+        StackConfig vanilla_cfg = StackConfig::Vanilla();
+        StackConfig fast_cfg = StackConfig::FastIov();
+        vanilla_cfg.guest_memory_bytes = fast_cfg.guest_memory_bytes = mem;
+        vanilla_cfg.vcpus = fast_cfg.vcpus = static_cast<double>(spec.logical_cores) / n;
+        row.push_back(Cell(RunPair(vanilla_cfg, fast_cfg, app, n)));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+
+  std::printf("\nWith larger allocations FastIOV's completion time stays flat or\n"
+              "drops (faster execution), while vanilla pays more zeroing (§6.6).\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// §5: the SR-IOV CNI implementation flaw — binding each VF to the host
+// network driver at container start and rebinding it to VFIO at attach —
+// versus the fixed CNI that pre-binds VFIO once at host boot.
+#include "bench/bench_common.h"
+
+using namespace fastiov;
+
+int main() {
+  PrintHeader("Section 5 — The bind/rebind implementation flaw",
+              "Original SR-IOV CNI vs the fixed (pre-bound, dummy-netdev) CNI.\n"
+              "Paper: the fix takes 200-container startup from several minutes\n"
+              "down to 16.2 s.");
+
+  TextTable table({"concurrency", "unfixed avg (s)", "unfixed makespan (s)", "fixed avg (s)",
+                   "speedup"});
+  for (int n : {25, 50, 100, 200}) {
+    const ExperimentOptions options = DefaultOptions(n);
+    const ExperimentResult unfixed =
+        RunStartupExperiment(StackConfig::VanillaUnfixed(), options);
+    const ExperimentResult fixed = RunStartupExperiment(StackConfig::Vanilla(), options);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.1fx",
+                  unfixed.startup.Mean() / fixed.startup.Mean());
+    table.AddRow({std::to_string(n), FormatSeconds(unfixed.startup.Mean()),
+                  FormatSeconds(unfixed.startup.Max()), FormatSeconds(fixed.startup.Mean()),
+                  speedup});
+  }
+  table.Print(std::cout);
+  std::printf("\nEvery bind/rebind performs a serialized driver probe + device reset,\n"
+              "so the unfixed CNI's makespan at 200 approaches the paper's\n"
+              "\"several minutes\" while the fixed CNI stays in seconds.\n");
+  return 0;
+}

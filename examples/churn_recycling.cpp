@@ -1,0 +1,54 @@
+// Churn & recycling: the serverless steady state — waves of containers
+// start, run, and terminate on one host; VFs and physical frames are
+// recycled between tenants. Shows per-wave startup times, how many frames
+// crossed tenants, and proves isolation held (or didn't, for the insecure
+// ablation).
+//
+//   ./build/examples/churn_recycling [waves] [per-wave]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/experiments/churn_experiment.h"
+
+using namespace fastiov;
+
+namespace {
+
+void Report(const char* label, const ChurnResult& r) {
+  std::printf("%s\n", label);
+  for (size_t w = 0; w < r.wave_startup.size(); ++w) {
+    std::printf("  wave %zu: avg %6.2fs  p99 %6.2fs\n", w + 1, r.wave_startup[w].Mean(),
+                r.wave_startup[w].Percentile(99));
+  }
+  std::printf("  frames recycled across tenants: %lu\n",
+              static_cast<unsigned long>(r.frames_reused));
+  std::printf("  residue reads: %lu   corruptions: %lu   -> %s\n\n",
+              static_cast<unsigned long>(r.residue_reads),
+              static_cast<unsigned long>(r.corruptions),
+              (r.residue_reads == 0 && r.corruptions == 0) ? "tenants isolated"
+                                                           : "TENANT DATA LEAKED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ChurnOptions options;
+  options.waves = argc > 1 ? std::atoi(argv[1]) : 4;
+  options.concurrency_per_wave = argc > 2 ? std::atoi(argv[2]) : 50;
+  options.app = ServerlessApp::Image();
+
+  std::printf("%d waves of %d containers (Image task), VFs and memory recycled\n\n",
+              options.waves, options.concurrency_per_wave);
+
+  Report("Vanilla (eager zeroing):", RunChurnExperiment(StackConfig::Vanilla(), options));
+  Report("FastIOV (decoupled lazy zeroing):",
+         RunChurnExperiment(StackConfig::FastIov(), options));
+
+  StackConfig insecure = StackConfig::FastIov();
+  insecure.decoupled_zeroing = false;
+  insecure.insecure_no_zeroing = true;
+  insecure.name = "No-zeroing (insecure ablation)";
+  Report("No zeroing at all (what the zeroing cost buys):",
+         RunChurnExperiment(insecure, options));
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "src/cli/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace fastiov {
+namespace {
+
+bool LooksLikeFlag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+void FlagParser::AddString(const std::string& name, std::string default_value,
+                           std::string help) {
+  flags_[name] = Flag{Type::kString, default_value, std::move(default_value),
+                      std::move(help)};
+}
+
+void FlagParser::AddInt(const std::string& name, int64_t default_value, std::string help) {
+  const std::string v = std::to_string(default_value);
+  flags_[name] = Flag{Type::kInt, v, v, std::move(help)};
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value, std::string help) {
+  std::ostringstream os;
+  os << default_value;
+  flags_[name] = Flag{Type::kDouble, os.str(), os.str(), std::move(help)};
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value, std::string help) {
+  const std::string v = default_value ? "true" : "false";
+  flags_[name] = Flag{Type::kBool, v, v, std::move(help)};
+}
+
+bool FlagParser::SetValue(const std::string& name, const std::string& value,
+                          std::string* error) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    *error = "unknown flag --" + name;
+    return false;
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kInt: {
+      char* end = nullptr;
+      std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        *error = "flag --" + name + " expects an integer, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        *error = "flag --" + name + " expects a number, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Type::kBool: {
+      if (value != "true" && value != "false" && value != "1" && value != "0") {
+        *error = "flag --" + name + " expects true/false, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Type::kString:
+      break;
+  }
+  flag.value = value;
+  return true;
+}
+
+bool FlagParser::Parse(int argc, const char* const* argv, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (!LooksLikeFlag(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    std::string name;
+    std::string value;
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        value = "true";  // bare boolean flag
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        *error = "flag --" + name + " is missing a value";
+        return false;
+      }
+    }
+    if (!SetValue(name, value, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  return flags_.at(name).value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return std::strtoll(flags_.at(name).value.c_str(), nullptr, 10);
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return std::strtod(flags_.at(name).value.c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  const std::string& v = flags_.at(name).value;
+  return v == "true" || v == "1";
+}
+
+std::string FlagParser::HelpText(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n      " << flag.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fastiov

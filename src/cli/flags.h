@@ -1,0 +1,55 @@
+// A small command-line flag parser for the simulator binaries.
+//
+// Supports --name=value and --name value, typed access with defaults,
+// --help text generation, and unknown-flag diagnostics. Deliberately tiny —
+// no external dependency.
+#ifndef SRC_CLI_FLAGS_H_
+#define SRC_CLI_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fastiov {
+
+class FlagParser {
+ public:
+  void AddString(const std::string& name, std::string default_value, std::string help);
+  void AddInt(const std::string& name, int64_t default_value, std::string help);
+  void AddDouble(const std::string& name, double default_value, std::string help);
+  void AddBool(const std::string& name, bool default_value, std::string help);
+
+  // Returns false (with *error set) on unknown flags, malformed values, or
+  // a missing value. `--help` sets help_requested() and returns true.
+  bool Parse(int argc, const char* const* argv, std::string* error);
+
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  bool help_requested() const { return help_requested_; }
+  // Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string HelpText(const std::string& program) const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string value;  // canonical textual form
+    std::string default_value;
+    std::string help;
+  };
+  bool SetValue(const std::string& name, const std::string& value, std::string* error);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_CLI_FLAGS_H_

@@ -1,0 +1,163 @@
+// Calibrated cost model for the simulated testbed.
+//
+// The paper's testbed (§3.1): dual-socket Intel Xeon Gold 6348 (2 x 28 cores,
+// hyper-threading on), 256 GB DDR4-3200, Intel E810 25 GbE NIC with 256 VFs,
+// CentOS 7 / Linux 6.4, Kata v3.2 + Kata-QEMU, 0.5 vCPU + 512 MB per
+// container, 2 MB hugepages.
+//
+// Every latency constant below is the *uncontended* cost of one operation;
+// contention (lock queueing, CPU-core waves, shared memory/NIC bandwidth) is
+// produced by the simulation, not baked into the constants. Values are
+// calibrated so the vanilla/200-container run reproduces the paper's shape:
+//   - vanilla average startup  ~16.2 s (§5), no-net average ~4 s (Fig. 1)
+//   - step shares of Tab. 1 (4-vfio-dev 48.1%, 1-dma-ram 13.0%, ...)
+//   - zeroing >93% of DMA-mapping time with hugepages (§3.2.3)
+//   - fastest no-net container at concurrency 10 ~460 ms (Fig. 1)
+#ifndef SRC_CONFIG_COST_MODEL_H_
+#define SRC_CONFIG_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/simcore/time.h"
+
+namespace fastiov {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+inline constexpr uint64_t kSmallPageSize = 4 * kKiB;
+inline constexpr uint64_t kHugePageSize = 2 * kMiB;
+
+// Hardware description of the simulated server.
+struct HostSpec {
+  int physical_cores = 56;          // 2 x 28
+  int logical_cores = 112;          // hyper-threading on
+  uint64_t memory_bytes = 256 * kGiB;
+  // Page-zeroing throughput of one uncontended thread (streaming stores to
+  // cold huge pages)...
+  double per_thread_zeroing_bps = 1.1 * static_cast<double>(kGiB);
+  // ...and the aggregate DRAM write bandwidth all concurrent zeroing
+  // threads share. ~11 threads saturate it; with 200 containers zeroing
+  // 512 MiB each this cap is what stretches DMA mapping (§3.2.3).
+  double zeroing_dram_bandwidth_bps = 34.0 * static_cast<double>(kGiB);
+  // 25 GbE NIC, usable bandwidth (bytes/s).
+  double nic_bandwidth_bps = 25e9 / 8.0 * 0.94;
+  int num_vfs = 256;  // E810 VF limit
+  // Dual-socket NUMA: memory is split across nodes; a container prefers its
+  // node's frames, spilling to the remote node when local memory runs out.
+  // Remote zeroing streams across the socket interconnect at a penalty.
+  int numa_nodes = 2;
+  double remote_zeroing_penalty = 1.45;
+  // Home-node policy: true spreads containers round-robin across sockets
+  // (kubelet's default); false packs them onto node 0 first (CPU-manager
+  // packing), which is what provokes cross-socket spillover under pressure.
+  bool numa_interleave_homes = true;
+};
+
+// Per-operation latencies. "cpu" costs occupy a core; "crit" costs are spent
+// inside the named lock's critical section (occupying a core as well).
+struct CostModel {
+  // --- cgroup initialization (0-cgroup) ---
+  SimTime cgroup_cpu = Milliseconds(80);          // hierarchy + controllers setup
+  SimTime cgroup_lock_crit = Microseconds(1600);   // kernel cgroup_mutex section
+
+  // --- network namespace + CNI plugin ---
+  SimTime nns_create_cpu = Milliseconds(8);
+  SimTime cni_vf_config_cpu = Milliseconds(6);     // PF driver: set VF params
+  SimTime pf_driver_lock_crit = Microseconds(800);
+  SimTime cni_dummy_netdev_cpu = Milliseconds(4);  // FastIOV/fixed CNI dummy interface
+  SimTime cni_nns_move_cpu = Milliseconds(2);
+  // Vanilla (unfixed) CNI only: bind VF to host netdev driver, then unbind
+  // and rebind to VFIO at attach time. Each (re)bind does a device reset and
+  // driver probe, serialized on the device lock (§5: "several minutes").
+  SimTime host_driver_bind_cpu = Milliseconds(60);
+  SimTime host_driver_bind_crit = Milliseconds(450);  // device_lock + probe + reset, serialized
+  SimTime vfio_rebind_cpu = Milliseconds(40);
+  SimTime vfio_rebind_crit = Milliseconds(300);
+
+  // --- virtioFS (2-virtiofs) ---
+  SimTime virtiofs_daemon_cpu = Milliseconds(600);  // virtiofsd start + shared dir setup
+  // vhost-user socket registration and shared-dir bookkeeping serialize on
+  // a host-wide lock, which is what stretches this step at concurrency 200.
+  SimTime virtiofs_lock_crit = Milliseconds(2);
+  SimTime virtiofs_mount_cpu = Milliseconds(60);
+
+  // --- hypervisor / microVM ---
+  SimTime qemu_start_cpu = Milliseconds(100);       // process + machine model build
+  SimTime hypervisor_prewrite_cpu = Milliseconds(60);   // load BIOS/kernel into RAM
+  SimTime guest_boot_cpu = Milliseconds(160);       // trimmed guest kernel boot
+  SimTime agent_final_setup_cpu = Milliseconds(200);  // kata-agent init, mounts, sandbox ready
+
+  // --- VFIO device registration (4-vfio-dev) ---
+  // Critical section of one VF open under the devset lock: PCI bus scan over
+  // all sibling devices plus open-count bookkeeping. The E810 exposes no
+  // slot-level reset (§3.2.2), so all 256 VFs share one devset.
+  SimTime vfio_pci_scan_per_device = Microseconds(365);
+  SimTime vfio_open_bookkeeping = Milliseconds(2);
+  SimTime vfio_device_fd_cpu = Milliseconds(3);     // fd setup, region info queries
+  SimTime vfio_attach_misc_cpu = Milliseconds(24);  // interrupts, PCIe emulation
+
+  // --- DMA memory mapping (1-dma-ram / 3-dma-image) ---
+  SimTime page_retrieve_batch = Microseconds(18);   // per contiguous batch
+  SimTime page_pin = Microseconds(9);               // per page
+  SimTime iommu_map_entry = Microseconds(6);        // per page-table entry
+  // Zeroing throughput is taken from HostSpec::zeroing_bandwidth_bps.
+
+  // --- VF driver initialization in the guest (5-vf-driver) ---
+  SimTime vf_pci_enumeration_cpu = Milliseconds(120);
+  SimTime vf_netdev_register_cpu = Milliseconds(80);
+  SimTime vf_configure_link_cpu = Milliseconds(160);
+  // Guest agent: MAC/IP assignment, then wait for the interface to become
+  // available; the availability wait is what §3.2.4 calls "a few hundred
+  // milliseconds up to seconds".
+  SimTime agent_ip_assign_cpu = Milliseconds(40);
+  SimTime agent_poll_interval = Milliseconds(100);
+  SimTime vf_link_settle = Milliseconds(420);       // firmware link negotiation
+  // Link bring-up goes through the PF firmware mailbox, one VF at a time;
+  // at high concurrency this queue is the §3.2.4 availability wait.
+  SimTime pf_mailbox_crit = Milliseconds(26);
+
+  // --- FastIOV-specific costs ---
+  SimTime fastiovd_table_insert = Microseconds(1);  // per page, two-tier hash table
+  SimTime ept_fault_base = Microseconds(2);         // KVM exit + EPT entry insert
+  SimTime fastiovd_lookup = Nanoseconds(300);       // hash-table probe per fault
+  SimTime background_zero_period = Milliseconds(50);
+  uint64_t background_zero_batch_pages = 32;        // hugepages per scan round
+
+  // --- software CNI (IPvtap, Fig. 14) ---
+  SimTime ipvtap_create_cpu = Milliseconds(22);     // device create + config
+  SimTime ipvtap_rtnl_crit = Milliseconds(62);      // kernel rtnl-style global lock
+  SimTime ipvtap_cgroup_extra_crit = Milliseconds(20);  // extra cgroup contention [42]
+  double ipvtap_bandwidth_bps = 9e9 / 8.0;          // emulated data plane, ~9 Gbps
+
+  // Completion interrupts are relayed through the hypervisor (§2.2):
+  // VM exit + injection + guest wakeup.
+  SimTime interrupt_relay = Microseconds(7);
+
+  // --- vDPA (§7 extension) ---
+  // vDPA keeps the SR-IOV hardware data plane but exposes the device to the
+  // guest through the standard virtio driver; the vendor-specific guest
+  // driver (and its firmware-mailbox link dance) disappears.
+  SimTime vdpa_dev_add_cpu = Milliseconds(14);     // host: vdpa dev add + bind
+  SimTime vdpa_bus_crit = Milliseconds(3);         // vdpa bus lock
+  SimTime virtio_net_probe_cpu = Milliseconds(35); // guest virtio-net probe
+  SimTime virtio_feature_negotiation = Milliseconds(22);
+  SimTime virtio_link_settle = Milliseconds(60);   // link via config space
+
+  // --- teardown ---
+  SimTime container_teardown_cpu = Milliseconds(55);  // cgroup/NNS removal, QEMU exit
+
+  // --- misc ---
+  double jitter_sigma = 0.10;      // lognormal sigma applied to step costs
+  SimTime crictl_dispatch_gap = Microseconds(350);  // stagger between concurrent invokes
+
+  // Guest image layout (§4.3.2): 256 MB microVM image; BIOS+kernel read-only
+  // regions are ~9.4% of a 512 MB microVM => ~48 MB, instant-zeroed.
+  uint64_t image_bytes = 256 * kMiB;
+  uint64_t readonly_region_bytes = 48 * kMiB;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_CONFIG_COST_MODEL_H_

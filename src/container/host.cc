@@ -1,0 +1,64 @@
+#include "src/container/host.h"
+
+namespace fastiov {
+namespace {
+
+std::unique_ptr<DevsetLockPolicy> MakeLockPolicy(Simulation& sim, const StackConfig& config) {
+  if (config.lock_decomposition) {
+    return std::make_unique<HierarchicalLockPolicy>(sim);
+  }
+  return std::make_unique<GlobalMutexPolicy>(sim);
+}
+
+}  // namespace
+
+Host::Host(Simulation& sim, const HostSpec& spec, const CostModel& cost,
+           const StackConfig& config)
+    : sim_(&sim),
+      spec_(spec),
+      cost_(cost),
+      config_(config),
+      cpu_(sim, spec.physical_cores),
+      guest_cpu_(sim, static_cast<double>(spec.logical_cores)),
+      pmem_(sim, spec, cost, config.hugepages ? kHugePageSize : kSmallPageSize),
+      virtiofs_bw_(sim, 6.0 * static_cast<double>(kGiB)),
+      ipvtap_bw_(sim, cost.ipvtap_bandwidth_bps),
+      nic_bus_(0x3b),
+      nic_(sim, cpu_, cost, spec, nic_bus_),
+      vdpa_bus_(sim, cpu_, cost),
+      fastiovd_(sim, cpu_, pmem_, cost),
+      cgroup_lock_(sim),
+      virtiofs_lock_(sim),
+      rtnl_lock_(sim),
+      device_bind_lock_(sim) {
+  pmem_.set_cpu(&cpu_);
+  nic_.CreateVfs(spec.num_vfs);
+  // The E810 has no slot-level reset, so every VF shares one devset
+  // (§3.2.2). Vanilla scans the bus under the lock on every open; the
+  // hierarchical policy only does per-device bookkeeping.
+  devset_ = std::make_unique<DevSet>(sim, cpu_, cost, &nic_bus_, MakeLockPolicy(sim, config),
+                                     /*scan_on_open=*/!config.lock_decomposition);
+  if (config.prezero_fraction > 0.0) {
+    pmem_.PreZeroFreePages(config.prezero_fraction);
+  }
+}
+
+void Host::PreBindVfsToVfio() {
+  for (size_t i = 0; i < nic_.num_vfs(); ++i) {
+    devset_->AddDevice(nic_.vf(static_cast<int>(i)));
+  }
+}
+
+Task Host::PrepareSharedImage() {
+  if (!shared_image_frames_.empty()) {
+    co_return;
+  }
+  const uint64_t pages = cost_.image_bytes / pmem_.page_size();
+  co_await pmem_.RetrievePages(/*owner=*/0, pages, &shared_image_frames_);
+  co_await pmem_.ZeroPages(shared_image_frames_);
+  for (PageId id : shared_image_frames_) {
+    pmem_.frame(id).content = PageContent::kData;  // page cache holds the image
+  }
+}
+
+}  // namespace fastiov

@@ -1,0 +1,95 @@
+// The simulated server: all shared hardware and kernel state one experiment
+// run needs — CPU pools, physical memory, IOMMU, PCI bus, SR-IOV NIC, the
+// VFIO devset (with the lock policy chosen by the stack config), fastiovd,
+// host-wide kernel locks, and the timeline recorder.
+#ifndef SRC_CONTAINER_HOST_H_
+#define SRC_CONTAINER_HOST_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/config/cost_model.h"
+#include "src/container/stack_config.h"
+#include "src/core/fastiovd.h"
+#include "src/iommu/iommu.h"
+#include "src/mem/physical_memory.h"
+#include "src/nic/sriov_nic.h"
+#include "src/nic/vdpa.h"
+#include "src/pci/pci.h"
+#include "src/simcore/resources.h"
+#include "src/simcore/simulation.h"
+#include "src/simcore/sync.h"
+#include "src/stats/timeline.h"
+#include "src/vfio/vfio.h"
+
+namespace fastiov {
+
+class Host {
+ public:
+  Host(Simulation& sim, const HostSpec& spec, const CostModel& cost,
+       const StackConfig& config);
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  Simulation& sim() { return *sim_; }
+  const HostSpec& spec() const { return spec_; }
+  const CostModel& cost() const { return cost_; }
+  const StackConfig& config() const { return config_; }
+
+  CpuPool& cpu() { return cpu_; }
+  BandwidthResource& guest_cpu() { return guest_cpu_; }
+  BandwidthResource& virtiofs_bandwidth() { return virtiofs_bw_; }
+  BandwidthResource& ipvtap_bandwidth() { return ipvtap_bw_; }
+  PhysicalMemory& pmem() { return pmem_; }
+  Iommu& iommu() { return iommu_; }
+  PciBus& nic_bus() { return nic_bus_; }
+  SriovNic& nic() { return nic_; }
+  DevSet& devset() { return *devset_; }
+  VdpaBus& vdpa_bus() { return vdpa_bus_; }
+  Fastiovd& fastiovd() { return fastiovd_; }
+  TimelineRecorder& timeline() { return timeline_; }
+
+  SimMutex& cgroup_lock() { return cgroup_lock_; }
+  SimMutex& virtiofs_lock() { return virtiofs_lock_; }
+  SimMutex& rtnl_lock() { return rtnl_lock_; }
+  SimMutex& device_bind_lock() { return device_bind_lock_; }
+
+  // Pre-binds every VF to VFIO (the §5 fix; done once after host boot).
+  // VanillaUnfixed skips this and binds per container start.
+  void PreBindVfsToVfio();
+
+  // Allocates the shared page-cache copy of the microVM image used when
+  // image mapping is skipped (one copy per host, all VMs alias it).
+  Task PrepareSharedImage();
+  const std::vector<PageId>& shared_image_frames() const { return shared_image_frames_; }
+
+ private:
+  Simulation* sim_;
+  HostSpec spec_;
+  CostModel cost_;
+  StackConfig config_;
+
+  CpuPool cpu_;                  // physical cores, host-side work
+  BandwidthResource guest_cpu_;  // logical-core capacity for guest compute
+  PhysicalMemory pmem_;
+  BandwidthResource virtiofs_bw_;
+  BandwidthResource ipvtap_bw_;
+  Iommu iommu_;
+  PciBus nic_bus_;
+  SriovNic nic_;
+  std::unique_ptr<DevSet> devset_;
+  VdpaBus vdpa_bus_;
+  Fastiovd fastiovd_;
+  TimelineRecorder timeline_;
+
+  SimMutex cgroup_lock_;
+  SimMutex virtiofs_lock_;
+  SimMutex rtnl_lock_;
+  SimMutex device_bind_lock_;
+
+  std::vector<PageId> shared_image_frames_;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_CONTAINER_HOST_H_

@@ -1,0 +1,464 @@
+#include "src/container/runtime.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fastiov {
+
+GuestLayout GuestLayout::For(uint64_t ram_bytes, uint64_t image_bytes,
+                             uint64_t readonly_bytes, uint64_t page_size) {
+  assert(ram_bytes >= 256 * kMiB && "microVM needs at least 256 MiB of RAM");
+  GuestLayout l;
+  l.ram_bytes = ram_bytes;
+  l.readonly_bytes = readonly_bytes;
+  l.virtiofs_vring_gpa = 64 * kMiB - page_size;
+  l.virtiofs_buffer_gpa = 64 * kMiB;
+  l.virtiofs_buffer_bytes = 4 * kMiB;
+  l.boot_ws_gpa = 72 * kMiB;
+  l.boot_ws_bytes = 56 * kMiB;
+  l.app_ws_gpa = 136 * kMiB;
+  l.nic_ring_bytes = 4 * kMiB;
+  l.nic_ring_gpa = ram_bytes - l.nic_ring_bytes;
+  l.image_gpa = ram_bytes;  // image region sits directly above RAM
+  (void)image_bytes;
+  return l;
+}
+
+ContainerRuntime::ContainerRuntime(Host& host) : host_(&host) {}
+
+Task ContainerRuntime::SetupCgroup(ContainerInstance& inst) {
+  auto& h = *host_;
+  const SimTime begin = h.sim().Now();
+  // Heavier kernel-side contention for the software CNI ([42], Fig. 14):
+  // its pause-container and veth bookkeeping lengthen the cgroup sections.
+  SimTime crit = h.cost().cgroup_lock_crit;
+  if (h.config().cni == CniKind::kIpvtap) {
+    crit += h.cost().ipvtap_cgroup_extra_crit;
+  }
+  co_await h.cgroup_lock().Lock();
+  co_await h.cpu().Compute(h.sim().rng().Jitter(crit, h.cost().jitter_sigma));
+  h.cgroup_lock().Unlock();
+  co_await h.cpu().Compute(h.sim().rng().Jitter(h.cost().cgroup_cpu, h.cost().jitter_sigma));
+  h.timeline().RecordSpan(inst.timeline_id, kStepCgroup, begin, h.sim().Now());
+}
+
+Task ContainerRuntime::SetupNamespaceAndCni(ContainerInstance& inst) {
+  auto& h = *host_;
+  auto& rng = h.sim().rng();
+  co_await h.cpu().Compute(rng.Jitter(h.cost().nns_create_cpu, h.cost().jitter_sigma));
+
+  switch (h.config().cni) {
+    case CniKind::kNoNetwork:
+      break;
+    case CniKind::kVanillaUnfixed: {
+      inst.vf = h.nic().AllocateFreeVf();
+      if (inst.vf == nullptr) {
+        throw std::runtime_error("no free VF");
+      }
+      co_await h.nic().ConfigureVf(inst.vf);
+      // The §5 implementation flaw: bind the VF to the host network driver
+      // (device_lock + driver probe, serialized host-wide), create the real
+      // netdev, move it into the container NNS.
+      co_await h.device_bind_lock().Lock();
+      co_await h.cpu().Compute(
+          rng.Jitter(h.cost().host_driver_bind_crit, h.cost().jitter_sigma));
+      h.device_bind_lock().Unlock();
+      co_await h.cpu().Compute(rng.Jitter(h.cost().host_driver_bind_cpu, h.cost().jitter_sigma));
+      inst.vf->BindDriver(BoundDriver::kHostNetdev);
+      co_await h.cpu().Compute(h.cost().cni_nns_move_cpu);
+      break;
+    }
+    case CniKind::kVanillaFixed:
+    case CniKind::kFastIov: {
+      inst.vf = h.nic().AllocateFreeVf();
+      if (inst.vf == nullptr) {
+        throw std::runtime_error("no free VF");
+      }
+      co_await h.nic().ConfigureVf(inst.vf);
+      // Dummy Linux interface stands in for the VF netdev (§5), so the VF
+      // stays bound to VFIO.
+      co_await h.cpu().Compute(rng.Jitter(h.cost().cni_dummy_netdev_cpu, h.cost().jitter_sigma));
+      co_await h.cpu().Compute(h.cost().cni_nns_move_cpu);
+      break;
+    }
+    case CniKind::kIpvtap: {
+      // Software CNI: create + configure the virtual device under the
+      // kernel's global network lock (Fig. 14's `addCNI`).
+      const SimTime begin = h.sim().Now();
+      co_await h.rtnl_lock().Lock();
+      co_await h.cpu().Compute(rng.Jitter(h.cost().ipvtap_rtnl_crit, h.cost().jitter_sigma));
+      h.rtnl_lock().Unlock();
+      co_await h.cpu().Compute(rng.Jitter(h.cost().ipvtap_create_cpu, h.cost().jitter_sigma));
+      co_await h.cpu().Compute(h.cost().cni_nns_move_cpu);
+      h.timeline().RecordSpan(inst.timeline_id, kStepAddCni, begin, h.sim().Now());
+      break;
+    }
+  }
+}
+
+Task ContainerRuntime::SetupVirtioFsDaemon(ContainerInstance& inst) {
+  auto& h = *host_;
+  const SimTime begin = h.sim().Now();
+  // vhost-user socket registration serializes host-wide.
+  co_await h.virtiofs_lock().Lock();
+  co_await h.cpu().Compute(h.sim().rng().Jitter(h.cost().virtiofs_lock_crit, h.cost().jitter_sigma));
+  h.virtiofs_lock().Unlock();
+  co_await h.cpu().Compute(
+      h.sim().rng().Jitter(h.cost().virtiofs_daemon_cpu, h.cost().jitter_sigma));
+  h.timeline().RecordSpan(inst.timeline_id, kStepVirtioFs, begin, h.sim().Now());
+}
+
+Task ContainerRuntime::CreateMicroVm(ContainerInstance& inst) {
+  auto& h = *host_;
+  co_await h.cpu().Compute(h.sim().rng().Jitter(h.cost().qemu_start_cpu, h.cost().jitter_sigma));
+  inst.vm = std::make_unique<MicroVm>(h.sim(), h.cpu(), h.pmem(), h.cost(), inst.pid);
+  inst.vm->AddRegion("ram", RegionType::kRam, 0, inst.layout.ram_bytes);
+  inst.vm->AddRegion("image", RegionType::kImage, inst.layout.image_gpa, h.cost().image_bytes);
+}
+
+DmaMapOptions ContainerRuntime::MakeDmaOptions(ContainerInstance& inst) const {
+  auto& h = *host_;
+  DmaMapOptions options;
+  options.pid = inst.pid;
+  if (h.config().insecure_no_zeroing) {
+    options.zeroing = ZeroingMode::kNone;
+  } else if (h.config().decoupled_zeroing) {
+    options.zeroing = ZeroingMode::kDecoupled;
+    options.lazy_registry = &h.fastiovd();
+  } else if (h.config().prezero_fraction > 0.0) {
+    options.zeroing = ZeroingMode::kPreZeroed;
+  } else {
+    options.zeroing = ZeroingMode::kEager;
+  }
+  return options;
+}
+
+Task ContainerRuntime::MapGuestRam(ContainerInstance& inst) {
+  auto& h = *host_;
+  inst.vfio_container = std::make_unique<VfioContainer>(h.sim(), h.cpu(), h.cost(), h.pmem(),
+                                                        h.iommu());
+  if (h.config().decoupled_zeroing && h.config().instant_zero_list) {
+    // Hypervisor-prewritten regions (BIOS + kernel) must be zeroed at map
+    // time (§4.3.2, exception 1).
+    h.fastiovd().RegisterInstantZeroRange(inst.pid, 0, inst.layout.readonly_bytes);
+  }
+  GuestMemoryRegion* ram = inst.vm->FindRegion("ram");
+  const SimTime begin = h.sim().Now();
+  std::vector<PageId> frames;
+  co_await inst.vfio_container->MapDma(0, inst.layout.ram_bytes, MakeDmaOptions(inst),
+                                       &frames);
+  ram->frames = std::move(frames);
+  ram->dma_mapped = true;
+  h.timeline().RecordSpan(inst.timeline_id, kStepDmaRam, begin, h.sim().Now());
+}
+
+Task ContainerRuntime::MapGuestImage(ContainerInstance& inst) {
+  auto& h = *host_;
+  GuestMemoryRegion* image = inst.vm->FindRegion("image");
+  if (h.config().skip_image_mapping) {
+    // FastIOV §4.3.1: the hypervisor is told about the image region and
+    // falls back to its non-DMA logic — here, the host-shared page-cache
+    // copy backs the region, with no per-VM mapping work at all.
+    image->frames.assign(h.shared_image_frames().begin(), h.shared_image_frames().end());
+    image->shared_backing = true;
+    co_return;
+  }
+  const SimTime begin = h.sim().Now();
+  if (h.config().decoupled_zeroing && h.config().instant_zero_list) {
+    // The image is hypervisor-written before launch, so with decoupled
+    // zeroing it must be on the instant list (or be skipped entirely).
+    h.fastiovd().RegisterInstantZeroRange(inst.pid, inst.layout.image_gpa,
+                                          h.cost().image_bytes);
+  }
+  std::vector<PageId> frames;
+  co_await inst.vfio_container->MapDma(inst.layout.image_gpa, h.cost().image_bytes,
+                                       MakeDmaOptions(inst), &frames);
+  image->frames = std::move(frames);
+  image->dma_mapped = true;
+  h.timeline().RecordSpan(inst.timeline_id, kStepDmaImage, begin, h.sim().Now());
+}
+
+Task ContainerRuntime::RegisterVfioDevice(ContainerInstance& inst) {
+  auto& h = *host_;
+  auto& rng = h.sim().rng();
+
+  if (h.config().use_vdpa) {
+    // §7: the VF is registered with the vDPA framework instead of being
+    // opened through VFIO — no devset lock is involved at all.
+    const SimTime begin = h.sim().Now();
+    co_await h.vdpa_bus().AddDevice(inst.vf);
+    h.timeline().RecordSpan(inst.timeline_id, kStepVfioDev, begin, h.sim().Now());
+    inst.vfio_container->domain()->AttachDevice(inst.vf->id());
+    inst.vf->set_assigned_pid(inst.pid);
+    co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_attach_misc_cpu, h.cost().jitter_sigma));
+    co_return;
+  }
+
+  if (h.config().cni == CniKind::kVanillaUnfixed) {
+    // Unbind from the host driver and rebind to VFIO — the costly rebinding
+    // stage the fixed CNI eliminates (§5).
+    co_await h.device_bind_lock().Lock();
+    co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_rebind_crit, h.cost().jitter_sigma));
+    h.device_bind_lock().Unlock();
+    co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_rebind_cpu, h.cost().jitter_sigma));
+    inst.vfio_dev = h.devset().AddDevice(inst.vf);
+  } else {
+    // Pre-bound at host boot (§5 fix): devset index == VF index.
+    inst.vfio_dev = h.devset().device(inst.vf->vf_index());
+  }
+
+  // VFIO device registration: Fig. 5's dominant 4-vfio-dev step.
+  {
+    const SimTime begin = h.sim().Now();
+    co_await h.devset().OpenDevice(inst.vfio_dev);
+    h.timeline().RecordSpan(inst.timeline_id, kStepVfioDev, begin, h.sim().Now());
+  }
+  inst.vfio_container->domain()->AttachDevice(inst.vf->id());
+  inst.vf->set_assigned_pid(inst.pid);
+
+  // Interrupt routing, PCIe emulation, etc.
+  co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_attach_misc_cpu, h.cost().jitter_sigma));
+}
+
+Task ContainerRuntime::LoadGuestImageAndKernel(ContainerInstance& inst) {
+  auto& h = *host_;
+  GuestMemoryRegion* ram = inst.vm->FindRegion("ram");
+  const uint64_t page_size = h.pmem().page_size();
+  const uint64_t ro_pages = inst.layout.readonly_bytes / page_size;
+
+  // For a VM without DMA-mapped RAM the kernel pages are allocated on the
+  // hypervisor's host page faults (allocate + host zeroing).
+  std::vector<uint64_t> missing;
+  for (uint64_t i = 0; i < ro_pages; ++i) {
+    if (ram->frames.at(i) == kInvalidPage) {
+      missing.push_back(i);
+    }
+  }
+  if (!missing.empty()) {
+    std::vector<PageId> fresh;
+    co_await h.pmem().RetrievePages(inst.pid, missing.size(), &fresh);
+    co_await h.pmem().ZeroPages(fresh);
+    for (size_t i = 0; i < missing.size(); ++i) {
+      ram->frames.at(missing[i]) = fresh[i];
+    }
+  }
+  co_await h.cpu().Compute(
+      h.sim().rng().Jitter(h.cost().hypervisor_prewrite_cpu, h.cost().jitter_sigma));
+  // Hypervisor data writes bypass the EPT (§4.3.2, exception 1).
+  inst.vm->HostWritePages(*ram, 0, ro_pages);
+
+  GuestMemoryRegion* image = inst.vm->FindRegion("image");
+  if (image->dma_mapped) {
+    // Image content is copied into the VM's private, already-mapped frames.
+    inst.vm->HostWritePages(*image, 0, image->frames.size());
+  }
+  // Shared-backed image frames already hold the page-cache content.
+}
+
+Task ContainerRuntime::BootGuest(ContainerInstance& inst) {
+  auto& h = *host_;
+  co_await h.cpu().Compute(h.sim().rng().Jitter(h.cost().guest_boot_cpu, h.cost().jitter_sigma));
+  // Execute kernel/BIOS code: first guest accesses EPT-fault these pages.
+  co_await inst.vm->TouchRange(0, inst.layout.readonly_bytes, /*write=*/false);
+  // A correctly configured stack never zeroes hypervisor-prewritten pages;
+  // if it did (instant-zero list disabled), the kernel is gone and the VM
+  // would crash — we count instead of aborting so tests can assert on it.
+  GuestMemoryRegion* ram = inst.vm->FindRegion("ram");
+  const uint64_t ro_pages = inst.layout.readonly_bytes / h.pmem().page_size();
+  for (uint64_t i = 0; i < ro_pages; ++i) {
+    if (h.pmem().frame(ram->frames.at(i)).content != PageContent::kData) {
+      ++inst.kernel_corruptions;
+    }
+  }
+  // Boot-time dirty working set.
+  co_await inst.vm->TouchRange(inst.layout.boot_ws_gpa, inst.layout.boot_ws_bytes,
+                               /*write=*/true);
+}
+
+Task ContainerRuntime::NetworkInit(ContainerInstance& inst, bool off_critical_path) {
+  auto& h = *host_;
+  if (h.config().use_vdpa) {
+    const SimTime begin = h.sim().Now();
+    co_await inst.vnet_driver->Initialize();
+    h.timeline().RecordSpan(inst.timeline_id, kStepVfDriver, begin, h.sim().Now(),
+                            off_critical_path);
+    co_await inst.vnet_driver->AssignAddresses();
+    co_return;
+  }
+  {
+    const SimTime begin = h.sim().Now();
+    co_await inst.driver->Initialize(h.config().driver_zeroes_dma_buffers);
+    h.timeline().RecordSpan(inst.timeline_id, kStepVfDriver, begin, h.sim().Now(),
+                            off_critical_path);
+  }
+  // Link negotiation proceeds in the background even in the serial flow.
+  h.sim().Spawn(inst.driver->BringUpLink(), "link-up");
+  co_await inst.driver->AssignAddresses();
+}
+
+Task ContainerRuntime::FinalSetup(ContainerInstance& inst) {
+  auto& h = *host_;
+  inst.virtiofs = std::make_unique<VirtioFs>(h.sim(), h.cpu(), h.cost(), *inst.vm,
+                                             h.virtiofs_bandwidth(),
+                                             inst.layout.virtiofs_buffer_gpa,
+                                             inst.layout.virtiofs_buffer_bytes);
+  co_await h.cpu().Compute(
+      h.sim().rng().Jitter(h.cost().virtiofs_mount_cpu, h.cost().jitter_sigma));
+  // The agent pulls container metadata/rootfs bits over virtioFS — the
+  // para-virtualized transfer whose buffers FastIOV proactively faults.
+  co_await inst.virtiofs->GuestReadFile(16 * kMiB, h.config().proactive_virtio_faults);
+  co_await h.cpu().Compute(
+      h.sim().rng().Jitter(h.cost().agent_final_setup_cpu, h.cost().jitter_sigma));
+}
+
+Task ContainerRuntime::RunApp(ContainerInstance& inst, const ServerlessApp& app) {
+  auto& h = *host_;
+  // The task body begins by fetching its input; the agent has ensured the
+  // interface is available by now (async flow waits here if it is not).
+  if (h.config().UsesSriov() && h.config().use_vdpa) {
+    if (!inst.vnet_driver->interface_up()) {
+      co_await inst.vnet_driver->up_event().Wait();
+    }
+    co_await inst.vnet_driver->Receive(app.input_bytes);
+  } else if (h.config().UsesSriov()) {
+    if (!inst.driver->interface_up()) {
+      co_await inst.driver->up_event().Wait();
+    }
+    co_await inst.driver->Receive(app.input_bytes);
+  } else if (h.config().cni == CniKind::kIpvtap) {
+    // Emulated data plane: wire time plus a host-side copy into guest
+    // memory via the para-virtual path.
+    co_await h.ipvtap_bandwidth().Transfer(static_cast<double>(app.input_bytes));
+    co_await inst.vm->TouchRange(inst.layout.nic_ring_gpa,
+                                 std::min<uint64_t>(app.input_bytes, inst.layout.nic_ring_bytes),
+                                 /*write=*/true);
+  }
+  // Dirty the task's working set, then compute under the vCPU cap and the
+  // host's logical-core capacity.
+  co_await inst.vm->TouchRange(inst.layout.app_ws_gpa, app.working_set_bytes, /*write=*/true);
+  co_await h.guest_cpu().Transfer(app.compute_cpu_seconds, h.config().vcpus);
+}
+
+Task ContainerRuntime::StartContainer(const ServerlessApp* app) {
+  auto& h = *host_;
+  auto inst_owner = std::make_unique<ContainerInstance>();
+  ContainerInstance& inst = *inst_owner;
+  inst.cid = static_cast<int>(instances_.size());
+  inst.pid = next_pid_++;
+  inst.timeline_id = h.timeline().RegisterContainer(h.sim().Now());
+  inst.layout = GuestLayout::For(h.config().guest_memory_bytes, h.cost().image_bytes,
+                                 h.cost().readonly_region_bytes, h.pmem().page_size());
+  instances_.push_back(std::move(inst_owner));
+
+  co_await SetupCgroup(inst);
+  co_await SetupNamespaceAndCni(inst);
+  // Kata starts virtiofsd before launching the hypervisor.
+  co_await SetupVirtioFsDaemon(inst);
+  co_await CreateMicroVm(inst);
+
+  // QEMU machine init: guest RAM and the image region are DMA-mapped,
+  // then the VFIO device itself is registered (Fig. 4 / Fig. 5).
+  if (h.config().UsesSriov()) {
+    if (h.config().decoupled_zeroing) {
+      inst.vm->SetFaultHook(&h.fastiovd());
+    }
+    co_await MapGuestRam(inst);
+    co_await MapGuestImage(inst);
+    co_await RegisterVfioDevice(inst);
+  } else {
+    // No passthrough I/O: the image is shared page cache here too.
+    GuestMemoryRegion* image = inst.vm->FindRegion("image");
+    image->frames.assign(h.shared_image_frames().begin(), h.shared_image_frames().end());
+    image->shared_backing = true;
+  }
+
+  co_await LoadGuestImageAndKernel(inst);
+  co_await BootGuest(inst);
+
+  if (h.config().UsesSriov()) {
+    if (h.config().use_vdpa) {
+      inst.vnet_driver = std::make_unique<VirtioNetDriver>(
+          h.sim(), h.cpu(), h.cost(), *inst.vm, *inst.vf, h.nic(),
+          *inst.vfio_container->domain(), inst.layout.nic_ring_gpa,
+          inst.layout.nic_ring_bytes);
+    } else {
+      inst.driver = std::make_unique<VfDriver>(h.sim(), h.cpu(), h.cost(), *inst.vm, *inst.vf,
+                                               h.nic(), *inst.vfio_container->domain(),
+                                               inst.layout.nic_ring_gpa,
+                                               inst.layout.nic_ring_bytes);
+    }
+    if (h.config().async_vf_init) {
+      // §4.2.2: overlap network initialization with the remaining setups.
+      inst.async_net = h.sim().Spawn(NetworkInit(inst, /*off_critical_path=*/true),
+                                     "async-net");
+    } else {
+      co_await NetworkInit(inst, /*off_critical_path=*/false);
+    }
+  }
+
+  co_await FinalSetup(inst);
+  inst.ready = true;
+  h.timeline().MarkReady(inst.timeline_id, h.sim().Now());
+
+  if (app != nullptr) {
+    co_await RunApp(inst, *app);
+    h.timeline().MarkTaskDone(inst.timeline_id, h.sim().Now());
+  }
+}
+
+Task ContainerRuntime::StopContainer(ContainerInstance& inst) {
+  auto& h = *host_;
+  assert(inst.ready && !inst.terminated);
+  // An asynchronously initializing network must finish before the VF can be
+  // detached safely.
+  co_await inst.async_net.Join();
+  co_await h.cpu().Compute(
+      h.sim().rng().Jitter(h.cost().container_teardown_cpu, h.cost().jitter_sigma));
+  if (inst.vfio_dev != nullptr) {
+    co_await h.devset().CloseDevice(inst.vfio_dev);
+    inst.vfio_dev = nullptr;
+  }
+  if (inst.vfio_container) {
+    inst.vfio_container->UnmapAll();
+  }
+  h.fastiovd().ForgetVm(inst.pid);
+  if (inst.vm) {
+    inst.vm->ReleaseMemory();
+  }
+  if (inst.vf != nullptr) {
+    h.nic().ReleaseVf(inst.vf);
+    inst.vf = nullptr;
+  }
+  inst.vfio_container.reset();
+  inst.ready = false;
+  inst.terminated = true;
+}
+
+uint64_t ContainerRuntime::TotalResidueReads() const {
+  uint64_t total = 0;
+  for (const auto& inst : instances_) {
+    if (inst->vm) {
+      total += inst->vm->residue_reads();
+    }
+  }
+  return total;
+}
+
+uint64_t ContainerRuntime::TotalCorruptions() const {
+  uint64_t total = 0;
+  for (const auto& inst : instances_) {
+    total += inst->kernel_corruptions;
+    if (inst->virtiofs) {
+      total += inst->virtiofs->corrupted_reads();
+    }
+    if (inst->driver) {
+      total += inst->driver->corrupted_reads();
+    }
+    if (inst->vnet_driver) {
+      total += inst->vnet_driver->corrupted_reads();
+    }
+  }
+  return total;
+}
+
+}  // namespace fastiov

@@ -1,0 +1,113 @@
+// The secure-container runtime pipeline (Kata-like), end to end per Fig. 4:
+// cgroup -> NNS + CNI -> virtioFS -> hypervisor start -> VF attach (VFIO
+// registration + DMA memory mapping) -> guest boot -> VF driver init +
+// agent -> final setups -> ready [-> serverless task].
+//
+// Every baseline of §6.1 is a StackConfig: the pipeline consults it to pick
+// the CNI flavor, the devset lock policy (via Host), the zeroing mode, the
+// image-mapping skip, and sync-vs-async network initialization.
+#ifndef SRC_CONTAINER_RUNTIME_H_
+#define SRC_CONTAINER_RUNTIME_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/container/host.h"
+#include "src/container/stack_config.h"
+#include "src/kvm/microvm.h"
+#include "src/nic/vdpa.h"
+#include "src/nic/vf_driver.h"
+#include "src/vfio/vfio.h"
+#include "src/virtio/virtio.h"
+#include "src/workload/serverless.h"
+
+namespace fastiov {
+
+// Guest physical layout (offsets within the RAM region).
+struct GuestLayout {
+  uint64_t ram_bytes = 0;
+  uint64_t readonly_bytes = 0;     // BIOS + kernel at [0, readonly)
+  uint64_t virtiofs_vring_gpa = 0;  // one page
+  uint64_t virtiofs_buffer_gpa = 0;
+  uint64_t virtiofs_buffer_bytes = 0;
+  uint64_t boot_ws_gpa = 0;  // memory the guest dirties while booting
+  uint64_t boot_ws_bytes = 0;
+  uint64_t app_ws_gpa = 0;   // memory the application dirties
+  uint64_t nic_ring_gpa = 0;
+  uint64_t nic_ring_bytes = 0;
+  uint64_t image_gpa = 0;    // image region base (above RAM)
+
+  static GuestLayout For(uint64_t ram_bytes, uint64_t image_bytes, uint64_t readonly_bytes,
+                         uint64_t page_size);
+};
+
+struct ContainerInstance {
+  int cid = -1;
+  int pid = -1;
+  int timeline_id = -1;
+  GuestLayout layout;
+  std::unique_ptr<MicroVm> vm;
+  std::unique_ptr<VfioContainer> vfio_container;
+  VirtualFunction* vf = nullptr;
+  VfioDevice* vfio_dev = nullptr;
+  std::unique_ptr<VfDriver> driver;            // vendor passthrough driver
+  std::unique_ptr<VirtioNetDriver> vnet_driver;  // vDPA mode (§7)
+  std::unique_ptr<VirtioFs> virtiofs;
+  Process async_net;  // FastIOV's asynchronously executed network init
+  bool ready = false;
+  bool terminated = false;
+  uint64_t kernel_corruptions = 0;  // kernel/BIOS data destroyed by zeroing
+};
+
+class ContainerRuntime {
+ public:
+  explicit ContainerRuntime(Host& host);
+
+  // Starts one container: returns when the container reports ready and, if
+  // `app` is given, after the task completes (task-completion experiments).
+  Task StartContainer(const ServerlessApp* app);
+
+  // Terminates a running container: detaches and recycles the VF, unmaps
+  // and unpins DMA memory, drops fastiovd state, and frees guest frames —
+  // WITHOUT scrubbing them (freed memory keeps its residue; the next
+  // owner's zeroing policy is what protects the next tenant).
+  Task StopContainer(ContainerInstance& inst);
+
+  const std::vector<std::unique_ptr<ContainerInstance>>& instances() const {
+    return instances_;
+  }
+
+  // Aggregated correctness counters across all instances.
+  uint64_t TotalResidueReads() const;
+  uint64_t TotalCorruptions() const;
+
+ private:
+  Task SetupCgroup(ContainerInstance& inst);
+  Task SetupNamespaceAndCni(ContainerInstance& inst);
+  Task SetupVirtioFsDaemon(ContainerInstance& inst);
+  Task CreateMicroVm(ContainerInstance& inst);
+  // Builds the DmaMapOptions for this container's zeroing mode.
+  DmaMapOptions MakeDmaOptions(ContainerInstance& inst) const;
+  // QEMU memory setup: VFIO container + DMA mapping of guest RAM
+  // (1-dma-ram; happens at microVM init, before device registration).
+  Task MapGuestRam(ContainerInstance& inst);
+  // DMA mapping of the image region (3-dma-image), or the skip path.
+  Task MapGuestImage(ContainerInstance& inst);
+  // VFIO device registration (4-vfio-dev) + remaining attach work.
+  Task RegisterVfioDevice(ContainerInstance& inst);
+  Task LoadGuestImageAndKernel(ContainerInstance& inst);
+  Task BootGuest(ContainerInstance& inst);
+  // Driver init + link bring-up + agent addressing; records the
+  // 5-vf-driver span (flagged off-critical-path when async).
+  Task NetworkInit(ContainerInstance& inst, bool off_critical_path);
+  Task FinalSetup(ContainerInstance& inst);
+  Task RunApp(ContainerInstance& inst, const ServerlessApp& app);
+
+  Host* host_;
+  std::vector<std::unique_ptr<ContainerInstance>> instances_;
+  int next_pid_ = 1000;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_CONTAINER_RUNTIME_H_

@@ -1,0 +1,142 @@
+#include "src/container/stack_config.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <cstdio>
+
+namespace fastiov {
+
+const char* CniKindName(CniKind kind) {
+  switch (kind) {
+    case CniKind::kNoNetwork:
+      return "no-network";
+    case CniKind::kVanillaUnfixed:
+      return "sriov-cni-unfixed";
+    case CniKind::kVanillaFixed:
+      return "sriov-cni";
+    case CniKind::kFastIov:
+      return "fastiov-cni";
+    case CniKind::kIpvtap:
+      return "ipvtap";
+  }
+  return "?";
+}
+
+StackConfig StackConfig::NoNetwork() {
+  StackConfig c;
+  c.name = "No-Net";
+  c.cni = CniKind::kNoNetwork;
+  return c;
+}
+
+StackConfig StackConfig::VanillaUnfixed() {
+  StackConfig c;
+  c.name = "Vanilla-unfixed";
+  c.cni = CniKind::kVanillaUnfixed;
+  return c;
+}
+
+StackConfig StackConfig::Vanilla() {
+  StackConfig c;
+  c.name = "Vanilla";
+  c.cni = CniKind::kVanillaFixed;
+  return c;
+}
+
+StackConfig StackConfig::FastIov() {
+  StackConfig c;
+  c.name = "FastIOV";
+  c.cni = CniKind::kFastIov;
+  c.lock_decomposition = true;
+  c.async_vf_init = true;
+  c.skip_image_mapping = true;
+  c.decoupled_zeroing = true;
+  return c;
+}
+
+StackConfig StackConfig::FastIovWithout(char removed) {
+  StackConfig c = FastIov();
+  switch (removed) {
+    case 'L':
+      c.name = "FastIOV-L";
+      c.lock_decomposition = false;
+      break;
+    case 'A':
+      c.name = "FastIOV-A";
+      c.async_vf_init = false;
+      break;
+    case 'S':
+      c.name = "FastIOV-S";
+      c.skip_image_mapping = false;
+      break;
+    case 'D':
+      c.name = "FastIOV-D";
+      c.decoupled_zeroing = false;
+      break;
+    default:
+      assert(false && "removed must be one of L/A/S/D");
+  }
+  return c;
+}
+
+StackConfig StackConfig::FastIovVdpa() {
+  StackConfig c = FastIov();
+  c.name = "FastIOV-vDPA";
+  c.use_vdpa = true;
+  return c;
+}
+
+StackConfig StackConfig::PreZero(double fraction) {
+  StackConfig c = Vanilla();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Pre%d", static_cast<int>(fraction * 100.0 + 0.5));
+  c.name = buf;
+  c.prezero_fraction = fraction;
+  return c;
+}
+
+StackConfig StackConfig::Ipvtap() {
+  StackConfig c;
+  c.name = "IPvtap";
+  c.cni = CniKind::kIpvtap;
+  return c;
+}
+
+std::optional<StackConfig> StackConfig::FromName(const std::string& name) {
+  std::string lower;
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "vanilla") {
+    return Vanilla();
+  }
+  if (lower == "fastiov") {
+    return FastIov();
+  }
+  if (lower == "fastiov-l" || lower == "fastiov-a" || lower == "fastiov-s" ||
+      lower == "fastiov-d") {
+    return FastIovWithout(static_cast<char>(std::toupper(lower.back())));
+  }
+  if (lower == "fastiov-vdpa" || lower == "vdpa") {
+    return FastIovVdpa();
+  }
+  if (lower == "nonet" || lower == "no-net" || lower == "none") {
+    return NoNetwork();
+  }
+  if (lower == "ipvtap") {
+    return Ipvtap();
+  }
+  if (lower == "unfixed" || lower == "vanilla-unfixed") {
+    return VanillaUnfixed();
+  }
+  if (lower.rfind("pre", 0) == 0 && lower.size() > 3) {
+    const double pct = std::strtod(lower.c_str() + 3, nullptr);
+    if (pct > 0.0 && pct <= 100.0) {
+      return PreZero(pct / 100.0);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fastiov

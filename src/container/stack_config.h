@@ -1,0 +1,79 @@
+// Configuration of the container network stack under test: which CNI, which
+// FastIOV optimizations, which baseline knobs (§6.1).
+#ifndef SRC_CONTAINER_STACK_CONFIG_H_
+#define SRC_CONTAINER_STACK_CONFIG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/config/cost_model.h"
+
+namespace fastiov {
+
+enum class CniKind {
+  kNoNetwork,       // "No network" lower bound
+  kVanillaUnfixed,  // original SR-IOV CNI with the §5 bind/rebind flaw
+  kVanillaFixed,    // SR-IOV CNI with pre-bound VFIO ("Vanilla" everywhere)
+  kFastIov,         // the FastIOV CNI plugin
+  kIpvtap,          // basic software CNI (Fig. 14)
+};
+
+const char* CniKindName(CniKind kind);
+
+struct StackConfig {
+  std::string name = "vanilla";
+  CniKind cni = CniKind::kVanillaFixed;
+
+  // The four FastIOV optimizations (§4.1): Lock decomposition, Asynchronous
+  // VF-driver init, mapping Skipping, Decoupled zeroing.
+  bool lock_decomposition = false;
+  bool async_vf_init = false;
+  bool skip_image_mapping = false;
+  bool decoupled_zeroing = false;
+
+  // Memory pre-zeroing baseline (HawkEye-style): fraction of free memory
+  // pre-zeroed during idle time. Only meaningful with eager zeroing.
+  double prezero_fraction = 0.0;
+
+  // Correctness knobs (failure injection for the §4.3.2 exceptions).
+  bool insecure_no_zeroing = false;      // skip zeroing entirely (ablation)
+  bool instant_zero_list = true;         // exception 1: hypervisor pre-writes
+  bool proactive_virtio_faults = true;   // exception 2: virtio buffer fills
+  bool driver_zeroes_dma_buffers = true;  // exception 3: NIC DMA rings
+
+  // §7 extension: expose the VF to the guest through vDPA + the standard
+  // virtio-net driver instead of the vendor passthrough driver.
+  bool use_vdpa = false;
+
+  // Per-container resources.
+  uint64_t guest_memory_bytes = 512 * kMiB;
+  double vcpus = 0.5;
+  bool hugepages = true;
+
+  // --- factory functions for the paper's baselines ---
+  static StackConfig NoNetwork();
+  static StackConfig VanillaUnfixed();
+  static StackConfig Vanilla();
+  static StackConfig FastIov();
+  // FastIOV with one optimization removed: 'L', 'A', 'S' or 'D' (Fig. 11).
+  static StackConfig FastIovWithout(char removed);
+  // FastIOV over vDPA (§7): standard virtio guest driver, no vendor driver.
+  static StackConfig FastIovVdpa();
+  // Pre-zeroing baselines Pre10/Pre50/Pre100.
+  static StackConfig PreZero(double fraction);
+  static StackConfig Ipvtap();
+  // Resolves a baseline by name ("vanilla", "fastiov", "fastiov-L",
+  // "fastiov-vdpa", "nonet", "ipvtap", "unfixed", "pre50", ...);
+  // case-insensitive. nullopt for unknown names.
+  static std::optional<StackConfig> FromName(const std::string& name);
+
+  bool UsesSriov() const {
+    return cni == CniKind::kVanillaUnfixed || cni == CniKind::kVanillaFixed ||
+           cni == CniKind::kFastIov;
+  }
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_CONTAINER_STACK_CONFIG_H_

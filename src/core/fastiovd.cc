@@ -1,0 +1,170 @@
+#include "src/core/fastiovd.h"
+
+#include <cassert>
+
+namespace fastiov {
+
+Fastiovd::Fastiovd(Simulation& sim, CpuPool& cpu, PhysicalMemory& pmem, const CostModel& cost)
+    : sim_(&sim), cpu_(&cpu), pmem_(&pmem), cost_(cost) {}
+
+Fastiovd::~Fastiovd() = default;
+
+void Fastiovd::RegisterInstantZeroRange(int pid, uint64_t gpa_base, uint64_t size) {
+  instant_ranges_[pid].push_back(GpaRange{gpa_base, size});
+}
+
+bool Fastiovd::InInstantRange(int pid, uint64_t gpa) const {
+  auto it = instant_ranges_.find(pid);
+  if (it == instant_ranges_.end()) {
+    return false;
+  }
+  for (const GpaRange& r : it->second) {
+    if (gpa >= r.base && gpa < r.base + r.size) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Task Fastiovd::RegisterPages(int pid, std::span<const PageId> pages, uint64_t gpa_base) {
+  const uint64_t page_size = pmem_->page_size();
+  std::vector<PageId> instant;
+  uint64_t deferred = 0;
+  uint64_t gpa = gpa_base;
+  for (PageId id : pages) {
+    if (InInstantRange(pid, gpa)) {
+      instant.push_back(id);
+    } else {
+      table_[pid].insert(id);
+      frame_to_pid_[id] = pid;
+      pmem_->frame(id).in_lazy_table = true;
+      ++deferred;
+    }
+    gpa += page_size;
+  }
+  instant_zeroed_pages_ += instant.size();
+  // Hash-table inserts are cheap but not free.
+  co_await cpu_->Compute(cost_.fastiovd_table_insert * static_cast<double>(deferred));
+  co_await pmem_->ZeroPages(instant);
+}
+
+Task Fastiovd::OnEptFault(int pid, PageId page, bool* zeroed_here) {
+  co_await cpu_->Compute(cost_.fastiovd_lookup);
+  // If a background round has claimed this page, wait for its completion:
+  // KVM must not insert the EPT entry while the scrub is in flight, or the
+  // guest could read the not-yet-zeroed frame.
+  while (scrubbing_.contains(page)) {
+    std::shared_ptr<SimEvent> round = scrub_round_done_;
+    co_await round->Wait();
+  }
+  PageFrame& frame = pmem_->frame(page);
+  if (!frame.in_lazy_table) {
+    co_return;
+  }
+  // Remove from the table *before* the (time-consuming) zeroing so a
+  // concurrent scrubber round does not double-process it; the EPT entry is
+  // only inserted after we return, so the guest cannot slip past us.
+  frame.in_lazy_table = false;
+  auto it = table_.find(pid);
+  if (it != table_.end()) {
+    it->second.erase(page);
+  }
+  frame_to_pid_.erase(page);
+  co_await pmem_->ZeroPage(page);
+  ++fault_zeroed_pages_;
+  if (zeroed_here != nullptr) {
+    *zeroed_here = true;
+  }
+}
+
+void Fastiovd::StartBackgroundZeroer() {
+  if (background_running_) {
+    return;
+  }
+  background_running_ = true;
+  sim_->Spawn(BackgroundLoop(), "fastiovd-zeroer");
+}
+
+Task Fastiovd::BackgroundLoop() {
+  // Runs periodically while enabled; once stopped, drains the remaining
+  // table back-to-back (the kernel thread finishes its scrubbing) so no
+  // registered page is ever left as residue.
+  while (background_running_ || !table_.empty()) {
+    if (background_running_) {
+      co_await sim_->Delay(cost_.background_zero_period);
+    }
+    // Collect up to one batch of pending pages across all VMs.
+    std::vector<PageId> batch;
+    for (auto& [pid, pages] : table_) {
+      for (PageId id : pages) {
+        batch.push_back(id);
+        if (batch.size() >= cost_.background_zero_batch_pages) {
+          break;
+        }
+      }
+      if (batch.size() >= cost_.background_zero_batch_pages) {
+        break;
+      }
+    }
+    if (batch.empty()) {
+      continue;
+    }
+    // Claim the batch, then scrub. A fault racing with this round finds the
+    // page in `scrubbing_` and waits for the round-completion event.
+    std::vector<PageId> claimed;
+    for (PageId id : batch) {
+      PageFrame& frame = pmem_->frame(id);
+      if (!frame.in_lazy_table) {
+        continue;
+      }
+      frame.in_lazy_table = false;
+      auto pid_it = frame_to_pid_.find(id);
+      if (pid_it != frame_to_pid_.end()) {
+        auto table_it = table_.find(pid_it->second);
+        if (table_it != table_.end()) {
+          table_it->second.erase(id);
+          if (table_it->second.empty()) {
+            table_.erase(table_it);
+          }
+        }
+        frame_to_pid_.erase(pid_it);
+      }
+      claimed.push_back(id);
+    }
+    scrubbing_.insert(claimed.begin(), claimed.end());
+    scrub_round_done_ = std::make_shared<SimEvent>(*sim_);
+    co_await pmem_->ZeroPages(claimed);
+    for (PageId id : claimed) {
+      scrubbing_.erase(id);
+    }
+    scrub_round_done_->Set();
+    background_zeroed_pages_ += claimed.size();
+  }
+}
+
+void Fastiovd::ForgetVm(int pid) {
+  auto it = table_.find(pid);
+  if (it != table_.end()) {
+    for (PageId id : it->second) {
+      pmem_->frame(id).in_lazy_table = false;
+      frame_to_pid_.erase(id);
+    }
+    table_.erase(it);
+  }
+  instant_ranges_.erase(pid);
+}
+
+uint64_t Fastiovd::pending_pages(int pid) const {
+  auto it = table_.find(pid);
+  return it == table_.end() ? 0 : it->second.size();
+}
+
+uint64_t Fastiovd::total_pending_pages() const {
+  uint64_t total = 0;
+  for (const auto& [pid, pages] : table_) {
+    total += pages.size();
+  }
+  return total;
+}
+
+}  // namespace fastiov

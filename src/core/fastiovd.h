@@ -1,0 +1,98 @@
+// fastiovd — the portable kernel module at the heart of FastIOV (§5).
+//
+// Responsibilities (matching Fig. 10):
+//   * owns the two-tier hash table of pages whose zeroing was deferred
+//     (first tier keyed by microVM PID, second by HPA),
+//   * receives pages from the modified VFIO DMA-map path (LazyZeroRegistry),
+//     honoring the instant-zeroing list for hypervisor-prewritten regions,
+//   * hooks the KVM EPT-violation path (EptFaultHook) to zero a page right
+//     before its GPA->HPA entry is inserted,
+//   * runs a background thread that scrubs leftover table entries, moving
+//     zeroing work off the fault path.
+#ifndef SRC_CORE_FASTIOVD_H_
+#define SRC_CORE_FASTIOVD_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/simcore/sync.h"
+
+#include "src/config/cost_model.h"
+#include "src/kvm/microvm.h"
+#include "src/mem/physical_memory.h"
+#include "src/mem/zero_policy.h"
+#include "src/simcore/simulation.h"
+
+namespace fastiov {
+
+class Fastiovd : public LazyZeroRegistry, public EptFaultHook {
+ public:
+  Fastiovd(Simulation& sim, CpuPool& cpu, PhysicalMemory& pmem, const CostModel& cost);
+  ~Fastiovd() override;
+
+  // Registers a GPA range whose pages must be zeroed instantly at DMA-map
+  // time (BIOS/kernel regions the hypervisor writes before launch). Must be
+  // called before the VM's DMA memory mapping.
+  void RegisterInstantZeroRange(int pid, uint64_t gpa_base, uint64_t size);
+
+  // LazyZeroRegistry: called from the VFIO DMA-map path instead of eager
+  // zeroing. Pages inside an instant-zero range are scrubbed now; the rest
+  // enter the two-tier table.
+  Task RegisterPages(int pid, std::span<const PageId> pages, uint64_t gpa_base) override;
+
+  // EptFaultHook: zero-on-first-access.
+  Task OnEptFault(int pid, PageId page, bool* zeroed_here) override;
+
+  // Background scrubber (one host-wide kernel thread).
+  void StartBackgroundZeroer();
+  void StopBackgroundZeroer() { background_running_ = false; }
+
+  // Drops all state for a terminated microVM (pages it still had pending
+  // are zeroed synchronously by the caller or recycled as residue).
+  void ForgetVm(int pid);
+
+  // --- introspection ---
+  uint64_t pending_pages(int pid) const;
+  uint64_t total_pending_pages() const;
+  uint64_t fault_zeroed_pages() const { return fault_zeroed_pages_; }
+  uint64_t background_zeroed_pages() const { return background_zeroed_pages_; }
+  uint64_t instant_zeroed_pages() const { return instant_zeroed_pages_; }
+
+ private:
+  Task BackgroundLoop();
+  bool InInstantRange(int pid, uint64_t gpa) const;
+
+  Simulation* sim_;
+  CpuPool* cpu_;
+  PhysicalMemory* pmem_;
+  const CostModel cost_;
+
+  // Two-tier table: pid -> set of pending HPAs. Reverse index maps a frame
+  // back to its pid for the O(1) fault-path lookup.
+  std::unordered_map<int, std::unordered_set<PageId>> table_;
+  std::unordered_map<PageId, int> frame_to_pid_;
+
+  struct GpaRange {
+    uint64_t base;
+    uint64_t size;
+  };
+  std::unordered_map<int, std::vector<GpaRange>> instant_ranges_;
+
+  bool background_running_ = false;
+  // Pages a scrubber round has claimed but not finished zeroing. A fault on
+  // such a page waits for the round's completion event — the analogue of
+  // KVM waiting for fastiovd's completion notification (§5).
+  std::unordered_set<PageId> scrubbing_;
+  std::shared_ptr<SimEvent> scrub_round_done_;
+  uint64_t fault_zeroed_pages_ = 0;
+  uint64_t background_zeroed_pages_ = 0;
+  uint64_t instant_zeroed_pages_ = 0;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_CORE_FASTIOVD_H_

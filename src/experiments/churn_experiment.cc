@@ -1,0 +1,73 @@
+#include "src/experiments/churn_experiment.h"
+
+#include <unordered_set>
+
+#include "src/container/host.h"
+#include "src/container/runtime.h"
+#include "src/simcore/simulation.h"
+
+namespace fastiov {
+namespace {
+
+Task RunWaves(Simulation& sim, Host& host, ContainerRuntime& runtime,
+              const ChurnOptions& options, ChurnResult* result) {
+  co_await host.PrepareSharedImage();
+  if (host.config().cni == CniKind::kVanillaFixed || host.config().cni == CniKind::kFastIov) {
+    host.PreBindVfsToVfio();
+  }
+  if (host.config().decoupled_zeroing) {
+    host.fastiovd().StartBackgroundZeroer();
+  }
+  const ServerlessApp* app = options.app.has_value() ? &*options.app : nullptr;
+
+  size_t first_instance = 0;
+  for (int wave = 0; wave < options.waves; ++wave) {
+    std::vector<Process> starts;
+    for (int i = 0; i < options.concurrency_per_wave; ++i) {
+      starts.push_back(sim.Spawn(runtime.StartContainer(app)));
+      co_await sim.Delay(host.cost().crictl_dispatch_gap);
+    }
+    co_await WaitAll(std::move(starts));
+
+    // Collect the wave's startup times.
+    Summary wave_summary;
+    const auto& instances = runtime.instances();
+    for (size_t i = first_instance; i < instances.size(); ++i) {
+      wave_summary.AddTime(
+          host.timeline().Container(instances[i]->timeline_id).StartupTime());
+    }
+    result->wave_startup.push_back(wave_summary);
+
+    // Terminate the wave, returning every frame (dirty) to the allocator.
+    std::vector<Process> stops;
+    for (size_t i = first_instance; i < instances.size(); ++i) {
+      stops.push_back(sim.Spawn(runtime.StopContainer(*instances[i])));
+    }
+    co_await WaitAll(std::move(stops));
+    first_instance = instances.size();
+  }
+  host.fastiovd().StopBackgroundZeroer();
+}
+
+}  // namespace
+
+ChurnResult RunChurnExperiment(const StackConfig& config, const ChurnOptions& options) {
+  Simulation sim(options.seed);
+  Host host(sim, options.host, options.cost, config);
+  ContainerRuntime runtime(host);
+
+  ChurnResult result;
+  result.config = config;
+  sim.Spawn(RunWaves(sim, host, runtime, options, &result), "churn");
+  sim.Run();
+
+  result.all_startup = host.timeline().StartupSummary();
+  result.residue_reads = runtime.TotalResidueReads();
+  result.corruptions = runtime.TotalCorruptions();
+  result.pages_zeroed = host.pmem().total_pages_zeroed();
+
+  result.frames_reused = host.pmem().reused_allocations();
+  return result;
+}
+
+}  // namespace fastiov

@@ -1,0 +1,45 @@
+// Churn experiment: repeated waves of start -> run -> terminate on one
+// host, the serverless steady state. Exercises VF recycling, DMA
+// unmap/unpin, fastiovd state teardown, and — critically — physical-frame
+// reuse across tenants: wave k+1's containers are handed wave k's dirty
+// frames, and the zeroing policy is all that stands between tenants.
+#ifndef SRC_EXPERIMENTS_CHURN_EXPERIMENT_H_
+#define SRC_EXPERIMENTS_CHURN_EXPERIMENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/config/cost_model.h"
+#include "src/container/stack_config.h"
+#include "src/stats/summary.h"
+#include "src/workload/serverless.h"
+
+namespace fastiov {
+
+struct ChurnOptions {
+  int waves = 3;
+  int concurrency_per_wave = 50;
+  uint64_t seed = 42;
+  HostSpec host;
+  CostModel cost;
+  std::optional<ServerlessApp> app;
+};
+
+struct ChurnResult {
+  StackConfig config;
+  // Startup time of each wave's containers (warm waves reuse dirty frames).
+  std::vector<Summary> wave_startup;
+  Summary all_startup;
+  uint64_t residue_reads = 0;
+  uint64_t corruptions = 0;
+  uint64_t pages_zeroed = 0;
+  // Frames that were recycled at least once across waves.
+  uint64_t frames_reused = 0;
+};
+
+ChurnResult RunChurnExperiment(const StackConfig& config, const ChurnOptions& options);
+
+}  // namespace fastiov
+
+#endif  // SRC_EXPERIMENTS_CHURN_EXPERIMENT_H_

@@ -1,0 +1,50 @@
+#include "src/experiments/repeated.h"
+
+#include <cassert>
+
+namespace fastiov {
+namespace {
+
+RepeatedMetric Aggregate(const std::vector<double>& values) {
+  Summary s;
+  for (double v : values) {
+    s.Add(v);
+  }
+  return RepeatedMetric{s.Mean(), s.Stddev(), s.Min(), s.Max()};
+}
+
+}  // namespace
+
+RepeatedResult RunRepeated(const StackConfig& config, const ExperimentOptions& options,
+                           int repeats) {
+  assert(repeats > 0);
+  RepeatedResult result;
+  result.config = config;
+  result.repeats = repeats;
+
+  std::vector<double> startup_means;
+  std::vector<double> startup_p99s;
+  std::vector<double> task_means;
+  std::vector<double> vf_means;
+  for (int r = 0; r < repeats; ++r) {
+    ExperimentOptions run_options = options;
+    run_options.seed = options.seed + static_cast<uint64_t>(r);
+    result.runs.push_back(RunStartupExperiment(config, run_options));
+    const ExperimentResult& run = result.runs.back();
+    startup_means.push_back(run.startup.Mean());
+    startup_p99s.push_back(run.startup.Percentile(99));
+    if (!run.task_completion.Empty()) {
+      task_means.push_back(run.task_completion.Mean());
+    }
+    vf_means.push_back(run.vf_related.Mean());
+  }
+  result.startup_mean = Aggregate(startup_means);
+  result.startup_p99 = Aggregate(startup_p99s);
+  if (!task_means.empty()) {
+    result.task_mean = Aggregate(task_means);
+  }
+  result.vf_related_mean = Aggregate(vf_means);
+  return result;
+}
+
+}  // namespace fastiov

@@ -1,0 +1,36 @@
+// Multi-seed repetition: runs the same experiment across R seeds and
+// aggregates the headline metrics with spread, so reported numbers carry
+// run-to-run variance instead of a single draw.
+#ifndef SRC_EXPERIMENTS_REPEATED_H_
+#define SRC_EXPERIMENTS_REPEATED_H_
+
+#include <vector>
+
+#include "src/experiments/startup_experiment.h"
+
+namespace fastiov {
+
+struct RepeatedMetric {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct RepeatedResult {
+  StackConfig config;
+  int repeats = 0;
+  RepeatedMetric startup_mean;      // of per-run average startup
+  RepeatedMetric startup_p99;       // of per-run p99 startup
+  RepeatedMetric task_mean;         // of per-run average task completion
+  RepeatedMetric vf_related_mean;   // of per-run average VF-related time
+  std::vector<ExperimentResult> runs;
+};
+
+// Runs `repeats` experiments with seeds base_seed, base_seed+1, ...
+RepeatedResult RunRepeated(const StackConfig& config, const ExperimentOptions& options,
+                           int repeats);
+
+}  // namespace fastiov
+
+#endif  // SRC_EXPERIMENTS_REPEATED_H_

@@ -1,0 +1,77 @@
+#include "src/experiments/startup_experiment.h"
+
+#include <vector>
+
+#include "src/container/host.h"
+#include "src/container/runtime.h"
+#include "src/simcore/simulation.h"
+
+namespace fastiov {
+namespace {
+
+// Root orchestration: mirrors `crictl` concurrently invoking N containers
+// (§3.1), with the small dispatch stagger a real client exhibits.
+Task Orchestrate(Simulation& sim, Host& host, ContainerRuntime& runtime,
+                 const ExperimentOptions& options) {
+  co_await host.PrepareSharedImage();
+  if (host.config().cni == CniKind::kVanillaFixed || host.config().cni == CniKind::kFastIov) {
+    host.PreBindVfsToVfio();
+  }
+  if (host.config().decoupled_zeroing) {
+    host.fastiovd().StartBackgroundZeroer();
+  }
+  const ServerlessApp* app = options.app.has_value() ? &*options.app : nullptr;
+  const ArrivalSchedule schedule =
+      ArrivalSchedule::Generate(options.arrival, options.concurrency,
+                                options.arrival_rate_per_s, host.cost().crictl_dispatch_gap,
+                                sim.rng());
+  std::vector<Process> containers;
+  containers.reserve(options.concurrency);
+  for (int i = 0; i < options.concurrency; ++i) {
+    if (schedule.times[i] > sim.Now()) {
+      co_await sim.Delay(schedule.times[i] - sim.Now());
+    }
+    containers.push_back(sim.Spawn(runtime.StartContainer(app), "container"));
+  }
+  co_await WaitAll(std::move(containers));
+  host.fastiovd().StopBackgroundZeroer();
+}
+
+}  // namespace
+
+SimTime VfRelatedTime(const ContainerTimeline& lane) {
+  return lane.StepTime(kStepDmaRam) + lane.StepTime(kStepDmaImage) +
+         lane.StepTime(kStepVfioDev) + lane.StepTime(kStepVfDriver);
+}
+
+ExperimentResult RunStartupExperiment(const StackConfig& config,
+                                      const ExperimentOptions& options) {
+  Simulation sim(options.seed);
+  Host host(sim, options.host, options.cost, config);
+  ContainerRuntime runtime(host);
+
+  Process root = sim.Spawn(Orchestrate(sim, host, runtime, options), "orchestrator");
+  sim.Run();
+  (void)root;
+
+  ExperimentResult result;
+  result.config = config;
+  result.options = options;
+  result.timeline = host.timeline();
+  result.startup = host.timeline().StartupSummary();
+  result.task_completion = host.timeline().TaskCompletionSummary();
+  for (const auto& lane : host.timeline().containers()) {
+    result.vf_related.AddTime(VfRelatedTime(lane));
+  }
+  result.residue_reads = runtime.TotalResidueReads();
+  result.corruptions = runtime.TotalCorruptions();
+  result.devset_lock_contention = host.devset().lock_policy().contention_count();
+  result.pages_zeroed = host.pmem().total_pages_zeroed();
+  result.fault_zeroed_pages = host.fastiovd().fault_zeroed_pages();
+  result.background_zeroed_pages = host.fastiovd().background_zeroed_pages();
+  result.local_allocations = host.pmem().local_allocations();
+  result.remote_allocations = host.pmem().remote_allocations();
+  return result;
+}
+
+}  // namespace fastiov

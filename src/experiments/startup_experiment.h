@@ -1,0 +1,66 @@
+// Reusable experiment driver: concurrently start N secure containers on a
+// fresh simulated host under a given stack configuration, optionally run a
+// serverless task in each, and collect the measurements every figure/table
+// of §6 is built from.
+#ifndef SRC_EXPERIMENTS_STARTUP_EXPERIMENT_H_
+#define SRC_EXPERIMENTS_STARTUP_EXPERIMENT_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/config/cost_model.h"
+#include "src/container/stack_config.h"
+#include "src/stats/summary.h"
+#include "src/stats/timeline.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/serverless.h"
+
+namespace fastiov {
+
+struct ExperimentOptions {
+  int concurrency = 200;
+  uint64_t seed = 42;
+  HostSpec host;
+  CostModel cost;
+  // When set, every container runs this task and task-completion times are
+  // recorded (§6.6).
+  std::optional<ServerlessApp> app;
+  // Invocation arrival process. The paper's closed burst is the default;
+  // kUniform/kPoisson model open-loop serverless load at `arrival_rate`.
+  ArrivalPattern arrival = ArrivalPattern::kBurst;
+  double arrival_rate_per_s = 50.0;
+};
+
+struct ExperimentResult {
+  StackConfig config;
+  ExperimentOptions options;
+  TimelineRecorder timeline;
+
+  Summary startup;          // seconds, per container
+  Summary task_completion;  // seconds, per container (empty without an app)
+  Summary vf_related;       // per-container critical-path VF step time
+
+  uint64_t residue_reads = 0;   // guest observations of another tenant's data
+  uint64_t corruptions = 0;     // data destroyed by mistimed zeroing
+  uint64_t devset_lock_contention = 0;
+  uint64_t pages_zeroed = 0;
+  uint64_t fault_zeroed_pages = 0;
+  uint64_t background_zeroed_pages = 0;
+  uint64_t local_allocations = 0;
+  uint64_t remote_allocations = 0;  // NUMA spillover
+
+  double MeanStartupSeconds() const { return startup.Mean(); }
+  double P99StartupSeconds() const { return startup.Percentile(99.0); }
+};
+
+// VF-related critical-path time of one container (steps 1, 3, 4, 5).
+SimTime VfRelatedTime(const ContainerTimeline& lane);
+
+// Runs one experiment on a fresh host. Deterministic for a fixed
+// (config, options) pair.
+ExperimentResult RunStartupExperiment(const StackConfig& config,
+                                      const ExperimentOptions& options);
+
+}  // namespace fastiov
+
+#endif  // SRC_EXPERIMENTS_STARTUP_EXPERIMENT_H_

@@ -1,0 +1,113 @@
+#include "src/iommu/io_page_table.h"
+
+#include <cassert>
+
+#include "src/config/cost_model.h"
+
+namespace fastiov {
+
+IoPageTable::IoPageTable() : root_(std::make_unique<Node>()) {}
+IoPageTable::~IoPageTable() = default;
+
+// Level 0 is the root. A 4 KiB leaf lives at level 3; a 2 MiB leaf at
+// level 2.
+int IoPageTable::IndexAt(uint64_t iova, int level) {
+  const int shift = static_cast<int>(kLeafShift) + (kLevels - 1 - level) * kBitsPerLevel;
+  return static_cast<int>((iova >> shift) & ((1ull << kBitsPerLevel) - 1));
+}
+
+bool IoPageTable::Map(uint64_t iova, PageId frame, uint64_t page_size) {
+  assert(page_size == kSmallPageSize || page_size == kHugePageSize);
+  assert(iova % page_size == 0 && "IOVA must be aligned to the mapping size");
+  const int leaf_level = (page_size == kHugePageSize) ? kLevels - 2 : kLevels - 1;
+
+  Node* node = root_.get();
+  for (int level = 0; level < leaf_level; ++level) {
+    Entry& e = node->entries[IndexAt(iova, level)];
+    if (e.present && e.is_leaf) {
+      return false;  // a larger mapping already covers this range
+    }
+    if (!e.present) {
+      e.child = std::make_unique<Node>();
+      e.present = true;
+      e.is_leaf = false;
+      ++num_table_pages_;
+    }
+    node = e.child.get();
+  }
+  Entry& leaf = node->entries[IndexAt(iova, leaf_level)];
+  if (leaf.present) {
+    return false;
+  }
+  leaf.present = true;
+  leaf.is_leaf = true;
+  leaf.frame = frame;
+  ++num_mappings_;
+  return true;
+}
+
+bool IoPageTable::Unmap(uint64_t iova) {
+  // Walk down, remembering the path so empty intermediate nodes can be
+  // reclaimed on the way back up (real IOMMU drivers free page-table pages
+  // the same way when a domain unmaps its last entry in a subtree).
+  Node* path[kLevels] = {};
+  Entry* entries[kLevels] = {};
+  Node* node = root_.get();
+  int leaf_level = -1;
+  for (int level = 0; level < kLevels; ++level) {
+    Entry& e = node->entries[IndexAt(iova, level)];
+    if (!e.present) {
+      return false;
+    }
+    path[level] = node;
+    entries[level] = &e;
+    if (e.is_leaf) {
+      leaf_level = level;
+      break;
+    }
+    node = e.child.get();
+  }
+  if (leaf_level < 0) {
+    return false;
+  }
+  entries[leaf_level]->present = false;
+  entries[leaf_level]->frame = kInvalidPage;
+  --num_mappings_;
+  // Reclaim now-empty intermediate nodes bottom-up (never the root).
+  for (int level = leaf_level; level > 0; --level) {
+    Node* candidate = path[level];
+    bool empty = true;
+    for (const Entry& e : candidate->entries) {
+      if (e.present) {
+        empty = false;
+        break;
+      }
+    }
+    if (!empty) {
+      break;
+    }
+    Entry* parent_entry = entries[level - 1];
+    parent_entry->child.reset();
+    parent_entry->present = false;
+    --num_table_pages_;
+  }
+  return true;
+}
+
+std::optional<IoTranslation> IoPageTable::Translate(uint64_t iova) const {
+  const Node* node = root_.get();
+  for (int level = 0; level < kLevels; ++level) {
+    const Entry& e = node->entries[IndexAt(iova, level)];
+    if (!e.present) {
+      return std::nullopt;
+    }
+    if (e.is_leaf) {
+      const uint64_t size = (level == kLevels - 1) ? kSmallPageSize : kHugePageSize;
+      return IoTranslation{e.frame, size, iova % size};
+    }
+    node = e.child.get();
+  }
+  return std::nullopt;
+}
+
+}  // namespace fastiov

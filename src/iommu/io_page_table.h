@@ -1,0 +1,75 @@
+// Multi-level I/O page table (VT-d style).
+//
+// A 4-level radix table with 9 bits per level over 4 KiB leaves; 2 MiB
+// hugepage mappings terminate one level early, exactly like real second-
+// level translation. The table tracks how many intermediate table pages it
+// allocates, which feeds the per-entry mapping cost in the DMA-map path.
+#ifndef SRC_IOMMU_IO_PAGE_TABLE_H_
+#define SRC_IOMMU_IO_PAGE_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "src/mem/page.h"
+
+namespace fastiov {
+
+// Result of a translation.
+struct IoTranslation {
+  PageId page = kInvalidPage;
+  uint64_t page_size = 0;   // size of the mapping that matched
+  uint64_t offset = 0;      // offset of the IOVA within that mapping
+};
+
+class IoPageTable {
+ public:
+  static constexpr int kLevels = 4;
+  static constexpr int kBitsPerLevel = 9;
+  static constexpr uint64_t kLeafShift = 12;  // 4 KiB
+  static constexpr uint64_t kHugeShift = 21;  // 2 MiB
+
+  IoPageTable();
+  ~IoPageTable();
+  IoPageTable(const IoPageTable&) = delete;
+  IoPageTable& operator=(const IoPageTable&) = delete;
+
+  // Maps [iova, iova + page_size) -> frame. page_size must be 4 KiB or
+  // 2 MiB and iova must be aligned to it. Returns false if any part of the
+  // range is already mapped.
+  bool Map(uint64_t iova, PageId frame, uint64_t page_size);
+
+  // Removes the mapping that covers `iova`, reclaiming intermediate table
+  // pages that become empty. Returns false if unmapped.
+  bool Unmap(uint64_t iova);
+
+  // Walks the table.
+  std::optional<IoTranslation> Translate(uint64_t iova) const;
+
+  uint64_t num_mappings() const { return num_mappings_; }
+  uint64_t num_table_pages() const { return num_table_pages_; }
+
+ private:
+  struct Node;
+  struct Entry {
+    // Exactly one of child / frame is meaningful; `is_leaf` disambiguates.
+    std::unique_ptr<Node> child;
+    PageId frame = kInvalidPage;
+    bool present = false;
+    bool is_leaf = false;
+  };
+  struct Node {
+    std::array<Entry, 1ull << kBitsPerLevel> entries;
+  };
+
+  static int IndexAt(uint64_t iova, int level);
+
+  std::unique_ptr<Node> root_;
+  uint64_t num_mappings_ = 0;
+  uint64_t num_table_pages_ = 1;  // the root
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_IOMMU_IO_PAGE_TABLE_H_

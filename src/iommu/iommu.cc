@@ -1,0 +1,18 @@
+#include "src/iommu/iommu.h"
+
+namespace fastiov {
+
+IommuDomain* Iommu::CreateDomain() {
+  const int id = next_id_++;
+  auto [it, inserted] = domains_.emplace(id, std::make_unique<IommuDomain>(id));
+  return it->second.get();
+}
+
+void Iommu::DestroyDomain(int id) { domains_.erase(id); }
+
+IommuDomain* Iommu::domain(int id) {
+  auto it = domains_.find(id);
+  return it == domains_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace fastiov

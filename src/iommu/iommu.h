@@ -1,0 +1,83 @@
+// IOMMU unit with per-guest translation domains.
+//
+// Each microVM gets one IommuDomain; VFIO maps the guest's memory into it
+// (IOVA chosen identical to GPA, §2.2), and the NIC's DMA engine translates
+// through it on every transfer.
+#ifndef SRC_IOMMU_IOMMU_H_
+#define SRC_IOMMU_IOMMU_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/config/cost_model.h"
+#include "src/iommu/io_page_table.h"
+#include "src/iommu/iotlb.h"
+
+namespace fastiov {
+
+class IommuDomain {
+ public:
+  explicit IommuDomain(int id) : id_(id) {}
+
+  int id() const { return id_; }
+  IoPageTable& table() { return table_; }
+  const IoPageTable& table() const { return table_; }
+
+  bool Map(uint64_t iova, PageId frame, uint64_t page_size) {
+    return table_.Map(iova, frame, page_size);
+  }
+  bool Unmap(uint64_t iova) {
+    iotlb_.Invalidate(iova / kSmallPageSize);
+    return table_.Unmap(iova);
+  }
+  std::optional<IoTranslation> Translate(uint64_t iova) const {
+    return table_.Translate(iova);
+  }
+  // Device-side translation through the IOTLB: hits skip the page-table
+  // walk, misses walk and install the entry. Counters on the IoTlb.
+  std::optional<IoTranslation> TranslateCached(uint64_t iova) {
+    const uint64_t iova_page = iova / kSmallPageSize;
+    if (iotlb_.Lookup(iova_page)) {
+      return table_.Translate(iova);
+    }
+    auto result = table_.Translate(iova);
+    if (result.has_value()) {
+      iotlb_.Insert(iova_page);
+    }
+    return result;
+  }
+  IoTlb& iotlb() { return iotlb_; }
+
+  // Devices currently attached (by PCI device id).
+  void AttachDevice(int device_id) { devices_.push_back(device_id); }
+  void DetachDevice(int device_id) { std::erase(devices_, device_id); }
+  const std::vector<int>& devices() const { return devices_; }
+
+  uint64_t translation_faults() const { return translation_faults_; }
+  void CountTranslationFault() { ++translation_faults_; }
+
+ private:
+  int id_;
+  IoPageTable table_;
+  IoTlb iotlb_;
+  std::vector<int> devices_;
+  uint64_t translation_faults_ = 0;
+};
+
+class Iommu {
+ public:
+  IommuDomain* CreateDomain();
+  void DestroyDomain(int id);
+  IommuDomain* domain(int id);
+  size_t num_domains() const { return domains_.size(); }
+
+ private:
+  int next_id_ = 1;
+  std::map<int, std::unique_ptr<IommuDomain>> domains_;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_IOMMU_IOMMU_H_

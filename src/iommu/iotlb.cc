@@ -1,0 +1,43 @@
+#include "src/iommu/iotlb.h"
+
+namespace fastiov {
+
+bool IoTlb::Lookup(uint64_t iova_page) {
+  auto it = map_.find(iova_page);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void IoTlb::Insert(uint64_t iova_page) {
+  auto it = map_.find(iova_page);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(iova_page);
+  map_[iova_page] = lru_.begin();
+}
+
+void IoTlb::Invalidate(uint64_t iova_page) {
+  auto it = map_.find(iova_page);
+  if (it != map_.end()) {
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+}
+
+void IoTlb::Flush() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace fastiov

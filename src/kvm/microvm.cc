@@ -1,0 +1,138 @@
+#include "src/kvm/microvm.h"
+
+#include <cassert>
+
+namespace fastiov {
+
+std::optional<PageId> Ept::Lookup(uint64_t gpa_page) const {
+  auto it = entries_.find(gpa_page);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void Ept::Insert(uint64_t gpa_page, PageId frame) { entries_[gpa_page] = frame; }
+void Ept::Remove(uint64_t gpa_page) { entries_.erase(gpa_page); }
+
+MicroVm::MicroVm(Simulation& sim, CpuPool& cpu, PhysicalMemory& pmem, const CostModel& cost,
+                 int pid)
+    : sim_(&sim), cpu_(&cpu), pmem_(&pmem), cost_(cost), pid_(pid) {}
+
+GuestMemoryRegion& MicroVm::AddRegion(std::string name, RegionType type, uint64_t gpa_base,
+                                      uint64_t size) {
+  assert(size % pmem_->page_size() == 0);
+  assert(gpa_base % pmem_->page_size() == 0);
+  GuestMemoryRegion region;
+  region.name = std::move(name);
+  region.type = type;
+  region.gpa_base = gpa_base;
+  region.size = size;
+  region.frames.assign(size / pmem_->page_size(), kInvalidPage);
+  regions_.push_back(std::move(region));
+  return regions_.back();
+}
+
+GuestMemoryRegion* MicroVm::FindRegion(const std::string& name) {
+  for (auto& r : regions_) {
+    if (r.name == name) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+GuestMemoryRegion* MicroVm::RegionForGpa(uint64_t gpa) {
+  for (auto& r : regions_) {
+    if (r.Contains(gpa)) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+void MicroVm::HostWritePages(GuestMemoryRegion& region, uint64_t first_page,
+                             uint64_t num_pages) {
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    const PageId frame = region.frames.at(first_page + i);
+    assert(frame != kInvalidPage && "host write to unallocated guest page");
+    pmem_->frame(frame).content = PageContent::kData;
+  }
+}
+
+Task MicroVm::ResolveFrame(GuestMemoryRegion& region, uint64_t page_index, PageId* out) {
+  PageId frame = region.frames.at(page_index);
+  if (frame == kInvalidPage) {
+    // On-demand allocation (the no-SR-IOV path, §3.2.3): the host kernel
+    // allocates and zeroes the page at first touch.
+    assert(!region.dma_mapped && "DMA-mapped region must be fully populated");
+    std::vector<PageId> one;
+    co_await pmem_->RetrievePages(pid_, 1, &one);
+    co_await pmem_->ZeroPages(one);
+    frame = one.front();
+    region.frames.at(page_index) = frame;
+    ++pages_allocated_on_demand_;
+  }
+  *out = frame;
+}
+
+Task MicroVm::HandleEptFault(uint64_t gpa_page, PageId frame) {
+  ++ept_faults_;
+  co_await cpu_->Compute(cost_.ept_fault_base);
+  if (fault_hook_ != nullptr) {
+    bool zeroed_here = false;
+    co_await fault_hook_->OnEptFault(pid_, frame, &zeroed_here);
+  }
+  ept_.Insert(gpa_page, frame);
+}
+
+Task MicroVm::TouchRange(uint64_t gpa, uint64_t size, bool write) {
+  const uint64_t page_size = pmem_->page_size();
+  const uint64_t first = gpa / page_size;
+  const uint64_t last = (gpa + size - 1) / page_size;
+  for (uint64_t gpa_page = first; gpa_page <= last; ++gpa_page) {
+    const uint64_t addr = gpa_page * page_size;
+    GuestMemoryRegion* region = RegionForGpa(addr);
+    assert(region != nullptr && "guest access outside any memory region");
+    const uint64_t index = (addr - region->gpa_base) / page_size;
+
+    if (!ept_.Lookup(gpa_page).has_value()) {
+      PageId frame = kInvalidPage;
+      co_await ResolveFrame(*region, index, &frame);
+      co_await HandleEptFault(gpa_page, frame);
+    }
+    const PageId frame = region->frames.at(index);
+    PageFrame& pf = pmem_->frame(frame);
+    if (write) {
+      pf.content = PageContent::kData;
+    } else if (pf.content == PageContent::kResidue) {
+      // The guest just read another tenant's leftover data.
+      ++residue_reads_;
+    }
+  }
+}
+
+Task MicroVm::ProactiveFault(uint64_t gpa, uint64_t size) {
+  // "performing a data read to the first byte of each page of the buffer"
+  co_await TouchRange(gpa, size, /*write=*/false);
+}
+
+void MicroVm::ReleaseMemory() {
+  std::vector<PageId> owned;
+  for (auto& region : regions_) {
+    if (region.shared_backing) {
+      continue;
+    }
+    for (PageId& frame : region.frames) {
+      if (frame != kInvalidPage) {
+        if (pmem_->frame(frame).pin_count == 0) {
+          owned.push_back(frame);
+        }
+        frame = kInvalidPage;
+      }
+    }
+  }
+  pmem_->FreePages(owned);
+}
+
+}  // namespace fastiov

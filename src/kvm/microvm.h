@@ -1,0 +1,129 @@
+// KVM-side model: guest memory regions, the EPT, and the fault path that
+// FastIOV's lazy zeroing hooks into (§4.3.2, Fig. 9).
+//
+// Guest accesses go through TouchRange: an EPT miss triggers a fault, the
+// fault handler consults the (optional) EptFaultHook — fastiovd — which may
+// zero the page before the GPA->HPA entry is inserted. Page-content tags
+// make the correctness properties observable:
+//   - a guest read observing kResidue is a cross-tenant data leak,
+//   - zeroing a page that holds live data (hypervisor pre-writes, virtio
+//     buffer fills) is a corruption; both are counted, never hidden.
+#ifndef SRC_KVM_MICROVM_H_
+#define SRC_KVM_MICROVM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/config/cost_model.h"
+#include "src/mem/physical_memory.h"
+#include "src/simcore/resources.h"
+#include "src/simcore/simulation.h"
+
+namespace fastiov {
+
+enum class RegionType {
+  kRam,    // guest RAM (DMA-mapped when SR-IOV is enabled)
+  kImage,  // microVM system image (read-only; FastIOV skips its DMA map)
+};
+
+struct GuestMemoryRegion {
+  std::string name;
+  RegionType type = RegionType::kRam;
+  uint64_t gpa_base = 0;
+  uint64_t size = 0;
+  // Backing frames, page-granular; kInvalidPage until allocated. Shared
+  // regions (skip-mapping image) may alias frames owned by the host.
+  std::vector<PageId> frames;
+  bool dma_mapped = false;
+  bool shared_backing = false;  // frames not owned by this VM (page cache)
+
+  uint64_t num_pages(uint64_t page_size) const { return size / page_size; }
+  bool Contains(uint64_t gpa) const { return gpa >= gpa_base && gpa < gpa_base + size; }
+};
+
+// Extended page table: GPA page index -> frame.
+class Ept {
+ public:
+  std::optional<PageId> Lookup(uint64_t gpa_page) const;
+  void Insert(uint64_t gpa_page, PageId frame);
+  void Remove(uint64_t gpa_page);
+  uint64_t num_entries() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, PageId> entries_;
+};
+
+// Implemented by fastiovd: invoked inside the EPT-violation handler before
+// the new entry is inserted. Sets *zeroed_here if the hook scrubbed the page.
+class EptFaultHook {
+ public:
+  virtual ~EptFaultHook() = default;
+  virtual Task OnEptFault(int pid, PageId page, bool* zeroed_here) = 0;
+};
+
+class MicroVm {
+ public:
+  MicroVm(Simulation& sim, CpuPool& cpu, PhysicalMemory& pmem, const CostModel& cost, int pid);
+
+  int pid() const { return pid_; }
+  Ept& ept() { return ept_; }
+  PhysicalMemory& pmem() { return *pmem_; }
+
+  GuestMemoryRegion& AddRegion(std::string name, RegionType type, uint64_t gpa_base,
+                               uint64_t size);
+  GuestMemoryRegion* FindRegion(const std::string& name);
+  GuestMemoryRegion* RegionForGpa(uint64_t gpa);
+  const std::vector<GuestMemoryRegion>& regions() const { return regions_; }
+
+  void SetFaultHook(EptFaultHook* hook) { fault_hook_ = hook; }
+
+  // Hypervisor-side write (before the VM starts, or a virtio backend):
+  // bypasses the EPT. Pages must already be allocated. Marks content kData.
+  void HostWritePages(GuestMemoryRegion& region, uint64_t first_page, uint64_t num_pages);
+
+  // Guest access to [gpa, gpa+size): walks pages, faulting and (for writes)
+  // dirtying them. Reads count residue observations.
+  Task TouchRange(uint64_t gpa, uint64_t size, bool write);
+
+  // Proactive EPT faults (§4.3.2): read the first byte of each page of the
+  // buffer so the fault (and lazy zeroing) happens before a device/back-end
+  // writes into it.
+  Task ProactiveFault(uint64_t gpa, uint64_t size);
+
+  // Frees all VM-owned frames (container teardown).
+  void ReleaseMemory();
+
+  // --- statistics / correctness counters ---
+  uint64_t ept_faults() const { return ept_faults_; }
+  uint64_t residue_reads() const { return residue_reads_; }
+  uint64_t pages_allocated_on_demand() const { return pages_allocated_on_demand_; }
+  uint64_t interrupts_received() const { return interrupts_received_; }
+  void NotifyInterrupt() { ++interrupts_received_; }
+
+ private:
+  // Resolve (and on-demand allocate, for non-DMA-mapped regions) the frame
+  // backing a GPA page; returns kInvalidPage only on a bug.
+  Task ResolveFrame(GuestMemoryRegion& region, uint64_t page_index, PageId* out);
+  Task HandleEptFault(uint64_t gpa_page, PageId frame);
+
+  Simulation* sim_;
+  CpuPool* cpu_;
+  PhysicalMemory* pmem_;
+  const CostModel cost_;
+  int pid_;
+  std::vector<GuestMemoryRegion> regions_;
+  Ept ept_;
+  EptFaultHook* fault_hook_ = nullptr;
+
+  uint64_t ept_faults_ = 0;
+  uint64_t residue_reads_ = 0;
+  uint64_t pages_allocated_on_demand_ = 0;
+  uint64_t interrupts_received_ = 0;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_KVM_MICROVM_H_

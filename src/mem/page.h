@@ -1,0 +1,36 @@
+// Physical page-frame model.
+//
+// Frames carry a content tag instead of real bytes: the tag is what lets the
+// test suite prove the lazy-zeroing correctness properties of §4.3.2 (a
+// guest must never observe kResidue, and data written by the hypervisor or a
+// virtio backend must never be destroyed by a late zeroing).
+#ifndef SRC_MEM_PAGE_H_
+#define SRC_MEM_PAGE_H_
+
+#include <cstdint>
+
+namespace fastiov {
+
+// Index of a physical page frame within PhysicalMemory.
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPage = ~0ull;
+
+enum class PageContent : uint8_t {
+  kResidue,  // stale data from a previous owner — a leak if a guest reads it
+  kZeroed,   // scrubbed
+  kData,     // live data written by the current owner / hypervisor / device
+};
+
+const char* PageContentName(PageContent c);
+
+struct PageFrame {
+  PageContent content = PageContent::kResidue;
+  int32_t owner = -1;       // owning microVM pid, -1 while free
+  int32_t pin_count = 0;    // >0 prevents reclaim (DMA pinning)
+  bool in_lazy_table = false;  // registered with fastiovd for deferred zeroing
+  bool ever_owned = false;     // has belonged to some owner before (reuse tracking)
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_MEM_PAGE_H_

@@ -1,0 +1,215 @@
+#include "src/mem/physical_memory.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace fastiov {
+namespace {
+
+// Contiguous free runs rarely exceed this many pages on a loaded host.
+constexpr uint64_t kMaxBatchPages = 64;
+
+// Upper bound on materialized frames; keeps a 4 KiB-page configuration from
+// requesting hundreds of millions of frame structs. Small-page experiments
+// should use a reduced HostSpec::memory_bytes.
+constexpr uint64_t kMaxModeledPages = 32ull << 20;
+
+const char* kContentNames[] = {"residue", "zeroed", "data"};
+
+}  // namespace
+
+const char* PageContentName(PageContent c) {
+  return kContentNames[static_cast<size_t>(c)];
+}
+
+PhysicalMemory::PhysicalMemory(Simulation& sim, const HostSpec& host, const CostModel& cost,
+                               uint64_t page_size, double fragmentation)
+    : sim_(&sim),
+      cost_(cost),
+      page_size_(page_size),
+      total_pages_(host.memory_bytes / page_size),
+      fragmentation_(std::clamp(fragmentation, 0.0, 1.0)),
+      interleave_homes_(host.numa_interleave_homes),
+      per_thread_zeroing_bps_(host.per_thread_zeroing_bps),
+      remote_zeroing_penalty_(host.remote_zeroing_penalty),
+      zero_dram_(sim, host.zeroing_dram_bandwidth_bps) {
+  assert(page_size > 0);
+  assert(host.numa_nodes > 0);
+  assert(total_pages_ <= kMaxModeledPages &&
+         "too many frames to model; reduce HostSpec::memory_bytes for small pages");
+  frames_.resize(total_pages_);
+  const auto nodes = static_cast<uint64_t>(host.numa_nodes);
+  pages_per_node_ = (total_pages_ + nodes - 1) / nodes;
+  free_lists_.resize(nodes);
+  for (PageId i = 0; i < total_pages_; ++i) {
+    free_lists_[NodeOfFrame(i)].push_back(i);
+  }
+}
+
+void PhysicalMemory::PreZeroFreePages(double fraction) {
+  // The idle-time scrubber works through each node's pool proportionally.
+  for (auto& free_list : free_lists_) {
+    const auto target = static_cast<uint64_t>(
+        std::round(fraction * static_cast<double>(free_list.size())));
+    uint64_t done = 0;
+    for (PageId id : free_list) {
+      if (done >= target) {
+        break;
+      }
+      if (frames_[id].content == PageContent::kResidue) {
+        frames_[id].content = PageContent::kZeroed;
+        ++prezeroed_free_;
+      }
+      ++done;
+    }
+  }
+}
+
+uint64_t PhysicalMemory::NextBatchSize(uint64_t remaining) {
+  const double shrink = 1.0 - fragmentation_;
+  auto nominal = static_cast<uint64_t>(
+      std::max(1.0, std::round(static_cast<double>(kMaxBatchPages) * shrink)));
+  if (nominal > 1) {
+    // Mild variability in free-run lengths.
+    nominal = static_cast<uint64_t>(
+        sim_->rng().UniformInt(static_cast<int64_t>(std::max<uint64_t>(1, nominal / 2)),
+                               static_cast<int64_t>(nominal)));
+  }
+  return std::min(nominal, remaining);
+}
+
+PageId PhysicalMemory::TakeFromNode(int node, int owner) {
+  std::deque<PageId>& free_list = free_lists_[node];
+  const PageId id = free_list.front();
+  free_list.pop_front();
+  PageFrame& f = frames_[id];
+  assert(f.owner == -1);
+  if (f.ever_owned) {
+    ++reused_allocations_;
+  }
+  f.owner = owner;
+  f.ever_owned = true;
+  f.pin_count = 0;
+  f.in_lazy_table = false;
+  if (f.content == PageContent::kZeroed) {
+    assert(prezeroed_free_ > 0);
+    --prezeroed_free_;
+  }
+  return id;
+}
+
+Task PhysicalMemory::RetrievePages(int owner, uint64_t num_pages, std::vector<PageId>* out) {
+  assert(out != nullptr);
+  if (num_pages > free_pages()) {
+    throw std::runtime_error("PhysicalMemory: out of memory");
+  }
+  const int home = HomeNode(owner);
+  uint64_t batches = 0;
+  uint64_t remaining = num_pages;
+  while (remaining > 0) {
+    // Pick the node: home first, then spill to the fullest remote node.
+    int node = home;
+    if (free_lists_[node].empty()) {
+      uint64_t best = 0;
+      for (int n = 0; n < numa_nodes(); ++n) {
+        if (free_lists_[n].size() > best) {
+          best = free_lists_[n].size();
+          node = n;
+        }
+      }
+    }
+    const uint64_t batch =
+        std::min(NextBatchSize(remaining), static_cast<uint64_t>(free_lists_[node].size()));
+    for (uint64_t i = 0; i < batch; ++i) {
+      out->push_back(TakeFromNode(node, owner));
+    }
+    if (node == home) {
+      local_allocations_ += batch;
+    } else {
+      remote_allocations_ += batch;
+    }
+    remaining -= batch;
+    ++batches;
+  }
+  used_pages_ += num_pages;
+  batches_retrieved_ += batches;
+  co_await cpu_->Compute(cost_.page_retrieve_batch * static_cast<double>(batches));
+}
+
+void PhysicalMemory::FreePages(std::span<const PageId> pages) {
+  for (PageId id : pages) {
+    PageFrame& f = frames_[id];
+    assert(f.owner != -1 && "double free");
+    assert(f.pin_count == 0 && "freeing a pinned page");
+    // Whatever the owner wrote lingers: that is the security hazard eager /
+    // lazy zeroing must neutralize for the next owner.
+    if (f.content == PageContent::kData) {
+      f.content = PageContent::kResidue;
+    }
+    if (f.content == PageContent::kZeroed) {
+      ++prezeroed_free_;
+    }
+    f.owner = -1;
+    f.in_lazy_table = false;
+    // LIFO: freshly freed frames are reallocated first, like the kernel's
+    // per-CPU page caches — which is exactly what makes cross-tenant
+    // residue a real hazard under churn.
+    free_lists_[NodeOfFrame(id)].push_front(id);
+  }
+  used_pages_ -= pages.size();
+}
+
+Task PhysicalMemory::ZeroPages(std::span<const PageId> pages) {
+  if (pages.empty()) {
+    co_return;
+  }
+  // Zeroing is a memset loop: one thread streams at per_thread rate when
+  // DRAM is idle, but concurrent zeroers share the aggregate DRAM write
+  // bandwidth — a dozen threads saturate it, and 200 containers each
+  // zeroing 512 MiB crawl at the fair share (§3.2.3). The thread also burns
+  // CPU while it streams; that load runs concurrently with the transfer.
+  // Frames on a remote node stream across the socket interconnect at a
+  // penalty, so the effective per-thread rate is blended by locality.
+  const int home = HomeNode(frames_[pages.front()].owner);
+  uint64_t remote = 0;
+  for (PageId id : pages) {
+    if (NodeOfFrame(id) != home) {
+      ++remote;
+    }
+  }
+  const double remote_fraction =
+      static_cast<double>(remote) / static_cast<double>(pages.size());
+  const double slowdown = 1.0 + (remote_zeroing_penalty_ - 1.0) * remote_fraction;
+  const double rate = per_thread_zeroing_bps_ / slowdown;
+  const double bytes = static_cast<double>(pages.size() * page_size_);
+  Process cpu_load = sim_->Spawn(cpu_->Compute(Seconds(bytes / rate)));
+  co_await zero_dram_.Transfer(bytes, rate);
+  co_await cpu_load.Join();
+  for (PageId id : pages) {
+    frames_[id].content = PageContent::kZeroed;
+  }
+  pages_zeroed_ += pages.size();
+}
+
+Task PhysicalMemory::ZeroPage(PageId page) {
+  const PageId one[] = {page};
+  co_await ZeroPages(one);
+}
+
+Task PhysicalMemory::PinPages(std::span<const PageId> pages) {
+  for (PageId id : pages) {
+    ++frames_[id].pin_count;
+  }
+  co_await cpu_->Compute(cost_.page_pin * static_cast<double>(pages.size()));
+}
+
+void PhysicalMemory::UnpinPages(std::span<const PageId> pages) {
+  for (PageId id : pages) {
+    assert(frames_[id].pin_count > 0);
+    --frames_[id].pin_count;
+  }
+}
+
+}  // namespace fastiov

@@ -1,0 +1,130 @@
+// Host physical memory: NUMA-aware frame allocator, zeroing engine,
+// pre-zero pool.
+//
+// The allocator is frame-granular at the configured page size (4 KiB or
+// 2 MiB hugepages), split evenly across the host's NUMA nodes. Retrieval
+// cost models the batch structure of §3.2.3/P2: contiguous free runs are
+// collected per batch, and a fragmentation factor shortens the runs.
+// Allocations prefer the owner's home node and spill to remote nodes when
+// the local one is exhausted.
+//
+// Zeroing is the heart of the paper's bottleneck 2: ZeroPages charges a
+// shared DRAM-bandwidth resource (per-thread-capped), so 200 concurrent
+// 512 MiB zeroing jobs contend exactly like the testbed's memory system;
+// frames remote to the zeroing thread stream across the socket interconnect
+// at a penalty.
+#ifndef SRC_MEM_PHYSICAL_MEMORY_H_
+#define SRC_MEM_PHYSICAL_MEMORY_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "src/config/cost_model.h"
+#include "src/mem/page.h"
+#include "src/simcore/resources.h"
+#include "src/simcore/simulation.h"
+
+namespace fastiov {
+
+class PhysicalMemory {
+ public:
+  // `page_size` is the allocation granule (kSmallPageSize or kHugePageSize).
+  // `fragmentation` in [0,1]: 0 = fully contiguous free memory, 1 = every
+  // batch degenerates to a single page.
+  PhysicalMemory(Simulation& sim, const HostSpec& host, const CostModel& cost,
+                 uint64_t page_size, double fragmentation = 0.0);
+
+  uint64_t page_size() const { return page_size_; }
+  uint64_t total_pages() const { return total_pages_; }
+  uint64_t free_pages() const { return total_pages_ - used_pages_; }
+  uint64_t used_pages() const { return used_pages_; }
+  int numa_nodes() const { return static_cast<int>(free_lists_.size()); }
+
+  // NUMA node a frame belongs to (frames are striped in contiguous slabs).
+  int NodeOfFrame(PageId id) const { return static_cast<int>(id / pages_per_node_); }
+  // Node a container's allocations prefer: round-robin by pid when homes
+  // are interleaved, node 0 under a packing policy.
+  int HomeNode(int owner) const {
+    if (owner <= 0 || !interleave_homes_) {
+      return 0;
+    }
+    return owner % numa_nodes();
+  }
+  uint64_t free_pages_on_node(int node) const { return free_lists_[node].size(); }
+
+  // Marks `fraction` of currently free pages as pre-zeroed (the HawkEye-style
+  // baseline: zeroing performed during memory idle time, §6.1). Instant.
+  void PreZeroFreePages(double fraction);
+  uint64_t prezeroed_available() const { return prezeroed_free_; }
+
+  // Retrieves `num_pages` free frames for `owner`, charging the per-batch
+  // retrieval cost on the CPU pool. Appends PageIds to *out.
+  // Allocation drains the owner's home node first, then spills to the other
+  // nodes. Pre-zeroed frames arrive with content kZeroed; the rest as
+  // kResidue.
+  Task RetrievePages(int owner, uint64_t num_pages, std::vector<PageId>* out);
+
+  // Returns frames to their nodes' free pools (LIFO — freshly freed frames
+  // are reallocated first, like the kernel's per-CPU page caches). Whatever
+  // the previous owner left in them remains.
+  void FreePages(std::span<const PageId> pages);
+
+  // Zeroes the given frames, charging the shared zeroing bandwidth; frames
+  // remote to the (owner's) zeroing thread pay the interconnect penalty.
+  Task ZeroPages(std::span<const PageId> pages);
+  // Zeroes a single frame (EPT-fault path).
+  Task ZeroPage(PageId page);
+
+  // Pins frames for DMA, charging per-page pin cost on the CPU pool.
+  Task PinPages(std::span<const PageId> pages);
+  void UnpinPages(std::span<const PageId> pages);
+
+  PageFrame& frame(PageId id) { return frames_[id]; }
+  const PageFrame& frame(PageId id) const { return frames_[id]; }
+
+  CpuPool& cpu() { return *cpu_; }
+  void set_cpu(CpuPool* cpu) { cpu_ = cpu; }
+
+  // Statistics.
+  uint64_t total_pages_zeroed() const { return pages_zeroed_; }
+  uint64_t total_batches_retrieved() const { return batches_retrieved_; }
+  // Allocations that handed out a frame a previous owner had used.
+  uint64_t reused_allocations() const { return reused_allocations_; }
+  uint64_t local_allocations() const { return local_allocations_; }
+  uint64_t remote_allocations() const { return remote_allocations_; }
+
+ private:
+  // Number of pages the next retrieval batch can carry, given fragmentation.
+  uint64_t NextBatchSize(uint64_t remaining);
+  // Takes one page from the given node's pool (must be non-empty).
+  PageId TakeFromNode(int node, int owner);
+
+  Simulation* sim_;
+  const CostModel cost_;
+  uint64_t page_size_;
+  uint64_t total_pages_;
+  uint64_t pages_per_node_;
+  uint64_t used_pages_ = 0;
+  double fragmentation_;
+  bool interleave_homes_;
+  double per_thread_zeroing_bps_;
+  double remote_zeroing_penalty_;
+  BandwidthResource zero_dram_;
+  CpuPool* cpu_ = nullptr;  // set by the host harness
+
+  std::vector<PageFrame> frames_;
+  std::vector<std::deque<PageId>> free_lists_;  // one per NUMA node
+  uint64_t prezeroed_free_ = 0;
+
+  uint64_t pages_zeroed_ = 0;
+  uint64_t batches_retrieved_ = 0;
+  uint64_t reused_allocations_ = 0;
+  uint64_t local_allocations_ = 0;
+  uint64_t remote_allocations_ = 0;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_MEM_PHYSICAL_MEMORY_H_

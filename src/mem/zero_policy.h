@@ -1,0 +1,42 @@
+// Zeroing strategy used by the DMA-map path.
+#ifndef SRC_MEM_ZERO_POLICY_H_
+#define SRC_MEM_ZERO_POLICY_H_
+
+#include <span>
+
+#include "src/mem/page.h"
+#include "src/simcore/task.h"
+
+namespace fastiov {
+
+enum class ZeroingMode {
+  // Vanilla: every retrieved page is scrubbed before the DMA map returns.
+  kEager,
+  // HawkEye-style baseline: pages pre-zeroed during idle time skip the
+  // scrub; the rest are zeroed eagerly (the pre-zero pool lives in
+  // PhysicalMemory).
+  kPreZeroed,
+  // FastIOV §4.3.2: pages are registered with fastiovd and zeroed lazily at
+  // first access (EPT fault) or by the background scrubber.
+  kDecoupled,
+  // Ablation/failure-injection only: no zeroing at all. Fast and INSECURE —
+  // the next tenant reads the previous tenant's memory. Exists to make the
+  // cost of safety measurable and the hazard observable in tests.
+  kNone,
+};
+
+const char* ZeroingModeName(ZeroingMode m);
+
+// Implemented by fastiovd: receives pages whose zeroing was deferred.
+// `gpa_base` is the guest-physical address of pages[0] (IOVA == GPA, §2.2);
+// fastiovd uses it to honor the instant-zeroing list, which is registered
+// in GPA terms before the VM's memory is allocated.
+class LazyZeroRegistry {
+ public:
+  virtual ~LazyZeroRegistry() = default;
+  virtual Task RegisterPages(int pid, std::span<const PageId> pages, uint64_t gpa_base) = 0;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_MEM_ZERO_POLICY_H_

@@ -1,0 +1,80 @@
+#include "src/nic/sriov_nic.h"
+
+#include <cassert>
+
+namespace fastiov {
+
+VirtualFunction::VirtualFunction(PciAddress addr, int vf_index)
+    : PciDevice(addr, kIntelVendorId, kE810VfDeviceId, ResetScope::kBus,
+                "e810-vf" + std::to_string(vf_index)),
+      vf_index_(vf_index) {}
+
+SriovNic::SriovNic(Simulation& sim, CpuPool& cpu, const CostModel& cost, const HostSpec& host,
+                   PciBus& bus)
+    : sim_(&sim),
+      cpu_(&cpu),
+      cost_(cost),
+      bus_(&bus),
+      pf_lock_(sim),
+      mailbox_lock_(sim),
+      data_plane_(sim, host.nic_bandwidth_bps) {}
+
+void SriovNic::CreateVfs(int count) {
+  for (int i = 0; i < count; ++i) {
+    // VFs appear as functions behind the PF's bus: device = 2 + i/8,
+    // function = i%8, like real SR-IOV VF BDF assignment.
+    PciAddress addr{0, 0x3b, static_cast<uint8_t>(2 + i / 8), static_cast<uint8_t>(i % 8)};
+    auto vf = std::make_unique<VirtualFunction>(addr, i);
+    bus_->AddDevice(vf.get());
+    vfs_.push_back(std::move(vf));
+  }
+}
+
+VirtualFunction* SriovNic::AllocateFreeVf() {
+  for (auto& vf : vfs_) {
+    if (vf->assigned_pid() < 0 && !vf->configured()) {
+      vf->set_configured(true);
+      return vf.get();
+    }
+  }
+  return nullptr;
+}
+
+void SriovNic::ReleaseVf(VirtualFunction* vf) {
+  vf->set_configured(false);
+  vf->set_assigned_pid(-1);
+  vf->AssignAddresses({}, {});
+}
+
+Task SriovNic::ConfigureVf(VirtualFunction* vf) {
+  co_await pf_lock_.Lock();
+  co_await cpu_->Compute(sim_->rng().Jitter(cost_.pf_driver_lock_crit, cost_.jitter_sigma));
+  pf_lock_.Unlock();
+  co_await cpu_->Compute(sim_->rng().Jitter(cost_.cni_vf_config_cpu, cost_.jitter_sigma));
+  vf->set_configured(true);
+}
+
+Task SriovNic::DeliverInterrupt(MicroVm& vm) {
+  co_await cpu_->Compute(cost_.interrupt_relay);
+  vm.NotifyInterrupt();
+}
+
+uint64_t SriovNic::DmaWrite(IommuDomain& domain, MicroVm& vm, uint64_t iova, uint64_t bytes) {
+  const uint64_t page_size = vm.pmem().page_size();
+  uint64_t failures = 0;
+  const uint64_t first = iova / page_size;
+  const uint64_t last = (iova + bytes - 1) / page_size;
+  for (uint64_t page = first; page <= last; ++page) {
+    auto translation = domain.TranslateCached(page * page_size);
+    if (!translation.has_value()) {
+      domain.CountTranslationFault();
+      ++failures;
+      continue;
+    }
+    // Device store: bypasses the EPT entirely.
+    vm.pmem().frame(translation->page).content = PageContent::kData;
+  }
+  return failures;
+}
+
+}  // namespace fastiov

@@ -1,0 +1,97 @@
+// SR-IOV NIC model: physical function, virtual functions, DMA engine.
+//
+// The PF driver pre-creates VFs once at host boot (§2.3); the CNI plugin
+// configures per-VF parameters through the PF (serialized on the PF driver
+// lock); the DMA engine moves packet bytes into guest memory through the
+// IOMMU domain — writes that bypass the EPT, which is exactly the
+// third-exception scenario of §4.3.2.
+#ifndef SRC_NIC_SRIOV_NIC_H_
+#define SRC_NIC_SRIOV_NIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/config/cost_model.h"
+#include "src/iommu/iommu.h"
+#include "src/kvm/microvm.h"
+#include "src/pci/pci.h"
+#include "src/simcore/resources.h"
+#include "src/simcore/simulation.h"
+#include "src/simcore/sync.h"
+
+namespace fastiov {
+
+class VirtualFunction : public PciDevice {
+ public:
+  VirtualFunction(PciAddress addr, int vf_index);
+
+  int vf_index() const { return vf_index_; }
+
+  bool configured() const { return configured_; }
+  void set_configured(bool v) { configured_ = v; }
+
+  int assigned_pid() const { return assigned_pid_; }
+  void set_assigned_pid(int pid) { assigned_pid_ = pid; }
+
+  const std::string& mac() const { return mac_; }
+  const std::string& ip() const { return ip_; }
+  void AssignAddresses(std::string mac, std::string ip) {
+    mac_ = std::move(mac);
+    ip_ = std::move(ip);
+  }
+
+ private:
+  int vf_index_;
+  bool configured_ = false;
+  int assigned_pid_ = -1;
+  std::string mac_;
+  std::string ip_;
+};
+
+class SriovNic {
+ public:
+  SriovNic(Simulation& sim, CpuPool& cpu, const CostModel& cost, const HostSpec& host,
+           PciBus& bus);
+
+  // PF driver: one-time VF pre-creation at host boot (hardware
+  // configuration; deliberately uncharged, see §2.3).
+  void CreateVfs(int count);
+
+  VirtualFunction* AllocateFreeVf();
+  void ReleaseVf(VirtualFunction* vf);
+
+  // CNI path: set VF parameters (MAC filter, VLAN, rate) via the PF driver.
+  Task ConfigureVf(VirtualFunction* vf);
+
+  size_t num_vfs() const { return vfs_.size(); }
+  VirtualFunction* vf(int index) { return vfs_.at(index).get(); }
+  BandwidthResource& data_plane() { return data_plane_; }
+  PciBus& bus() { return *bus_; }
+  // Firmware mailbox: PF<->VF control messages are serialized here.
+  SimMutex& mailbox_lock() { return mailbox_lock_; }
+
+  // DMA write into guest memory: translates IOVA->HPA through the domain's
+  // IOTLB/page table and stores directly into the frames (no EPT
+  // involvement). Returns the number of pages whose translation failed
+  // (should be 0 when properly mapped).
+  uint64_t DmaWrite(IommuDomain& domain, MicroVm& vm, uint64_t iova, uint64_t bytes);
+
+  // Completion interrupt, relayed through the hypervisor (§2.2).
+  Task DeliverInterrupt(MicroVm& vm);
+
+ private:
+  Simulation* sim_;
+  CpuPool* cpu_;
+  const CostModel cost_;
+  PciBus* bus_;
+  SimMutex pf_lock_;
+  SimMutex mailbox_lock_;
+  BandwidthResource data_plane_;
+  std::vector<std::unique_ptr<VirtualFunction>> vfs_;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_NIC_SRIOV_NIC_H_

@@ -1,0 +1,90 @@
+#include "src/nic/vdpa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace fastiov {
+
+Task VdpaBus::AddDevice(VirtualFunction* vf) {
+  co_await lock_.Lock();
+  co_await cpu_->Compute(sim_->rng().Jitter(cost_.vdpa_bus_crit, cost_.jitter_sigma));
+  lock_.Unlock();
+  co_await cpu_->Compute(sim_->rng().Jitter(cost_.vdpa_dev_add_cpu, cost_.jitter_sigma));
+  vf->BindDriver(BoundDriver::kVfio);  // vhost-vdpa keeps the VF off host netdevs
+  ++devices_added_;
+}
+
+VirtioNetDriver::VirtioNetDriver(Simulation& sim, CpuPool& cpu, const CostModel& cost,
+                                 MicroVm& vm, VirtualFunction& vf, SriovNic& nic,
+                                 IommuDomain& domain, uint64_t ring_gpa, uint64_t ring_bytes)
+    : sim_(&sim),
+      cpu_(&cpu),
+      cost_(cost),
+      vm_(&vm),
+      vf_(&vf),
+      nic_(&nic),
+      domain_(&domain),
+      ring_gpa_(ring_gpa),
+      ring_bytes_(ring_bytes),
+      up_event_(sim) {}
+
+Task VirtioNetDriver::Initialize() {
+  auto& rng = sim_->rng();
+  // virtio PCI probe.
+  co_await cpu_->Compute(rng.Jitter(cost_.virtio_net_probe_cpu, cost_.jitter_sigma));
+  vf_->ConfigWrite16(kPciCommand, vf_->ConfigRead16(kPciCommand) | kPciCommandBusMaster);
+  // Feature negotiation with the vDPA backend.
+  co_await cpu_->Compute(rng.Jitter(cost_.virtio_feature_negotiation, cost_.jitter_sigma));
+  // Ring setup. The FastIOV frontend patch proactively faults every ring
+  // page before DRIVER_OK — this is what makes lazy zeroing safe even when
+  // the data-plane vendor silicon (not a modifiable driver) does the DMA.
+  co_await vm_->ProactiveFault(ring_gpa_, ring_bytes_);
+  // Link state is read from virtio config space — no firmware mailbox.
+  co_await sim_->Delay(rng.Jitter(cost_.virtio_link_settle, cost_.jitter_sigma));
+  initialized_ = true;
+}
+
+Task VirtioNetDriver::AssignAddresses() {
+  assert(initialized_);
+  co_await cpu_->Compute(sim_->rng().Jitter(cost_.agent_ip_assign_cpu, cost_.jitter_sigma));
+  char mac[32];
+  std::snprintf(mac, sizeof(mac), "02:0d:0a:00:%02x:%02x", (vf_->vf_index() >> 8) & 0xff,
+                vf_->vf_index() & 0xff);
+  char ip[32];
+  std::snprintf(ip, sizeof(ip), "10.1.%d.%d", vf_->vf_index() / 250 + 1,
+                vf_->vf_index() % 250 + 2);
+  vf_->AssignAddresses(mac, ip);
+  up_event_.Set();
+}
+
+Task VirtioNetDriver::Receive(uint64_t bytes) {
+  assert(up_event_.IsSet());
+  co_await nic_->data_plane().Transfer(static_cast<double>(bytes));
+  // The payload streams through the RX ring in ring-sized chunks, with a
+  // (coalesced) completion interrupt per chunk — which is what makes the
+  // IOTLB's ring locality visible.
+  uint64_t remaining = bytes;
+  uint64_t window = 0;
+  while (remaining > 0) {
+    window = std::min(remaining, ring_bytes_);
+    dma_translation_failures_ += nic_->DmaWrite(*domain_, *vm_, ring_gpa_, window);
+    co_await nic_->DeliverInterrupt(*vm_);
+    remaining -= window;
+  }
+  co_await vm_->TouchRange(ring_gpa_, window, /*write=*/false);
+  const uint64_t page_size = vm_->pmem().page_size();
+  GuestMemoryRegion* region = vm_->RegionForGpa(ring_gpa_);
+  assert(region != nullptr);
+  const uint64_t first = (ring_gpa_ - region->gpa_base) / page_size;
+  const uint64_t pages = (window + page_size - 1) / page_size;
+  for (uint64_t i = 0; i < pages; ++i) {
+    const PageId frame = region->frames.at(first + i);
+    if (frame == kInvalidPage ||
+        vm_->pmem().frame(frame).content != PageContent::kData) {
+      ++corrupted_reads_;
+    }
+  }
+}
+
+}  // namespace fastiov

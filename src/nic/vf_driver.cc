@@ -1,0 +1,104 @@
+#include "src/nic/vf_driver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace fastiov {
+
+VfDriver::VfDriver(Simulation& sim, CpuPool& cpu, const CostModel& cost, MicroVm& vm,
+                   VirtualFunction& vf, SriovNic& nic, IommuDomain& domain, uint64_t ring_gpa,
+                   uint64_t ring_bytes)
+    : sim_(&sim),
+      cpu_(&cpu),
+      cost_(cost),
+      vm_(&vm),
+      vf_(&vf),
+      nic_(&nic),
+      domain_(&domain),
+      ring_gpa_(ring_gpa),
+      ring_bytes_(ring_bytes),
+      link_settled_(sim),
+      up_event_(sim) {}
+
+Task VfDriver::Initialize(bool zero_rx_buffers) {
+  auto& rng = sim_->rng();
+  // PCI device enumeration inside the guest.
+  co_await cpu_->Compute(rng.Jitter(cost_.vf_pci_enumeration_cpu, cost_.jitter_sigma));
+  // Enable bus mastering so the VF may DMA.
+  vf_->ConfigWrite16(kPciCommand, vf_->ConfigRead16(kPciCommand) | kPciCommandBusMaster);
+  // Register the device as a Linux network interface.
+  co_await cpu_->Compute(rng.Jitter(cost_.vf_netdev_register_cpu, cost_.jitter_sigma));
+  // Allocate TX/RX rings. Standard drivers scrub freshly allocated DMA
+  // buffers, which EPT-faults (and lazily zeroes) the pages before the NIC
+  // can ever write into them.
+  if (zero_rx_buffers) {
+    co_await vm_->TouchRange(ring_gpa_, ring_bytes_, /*write=*/true);
+  }
+  // Configure device parameters.
+  co_await cpu_->Compute(rng.Jitter(cost_.vf_configure_link_cpu, cost_.jitter_sigma));
+  initialized_ = true;
+}
+
+Task VfDriver::BringUpLink() {
+  assert(initialized_);
+  // VF link requests funnel through the PF firmware mailbox one at a time.
+  co_await nic_->mailbox_lock().Lock();
+  co_await cpu_->Compute(sim_->rng().Jitter(cost_.pf_mailbox_crit, cost_.jitter_sigma));
+  nic_->mailbox_lock().Unlock();
+  co_await sim_->Delay(sim_->rng().Jitter(cost_.vf_link_settle, cost_.jitter_sigma));
+  link_settled_.Set();
+}
+
+Task VfDriver::AssignAddresses() {
+  assert(initialized_ && "agent configures the interface after the driver registers it");
+  co_await cpu_->Compute(sim_->rng().Jitter(cost_.agent_ip_assign_cpu, cost_.jitter_sigma));
+  char mac[32];
+  std::snprintf(mac, sizeof(mac), "02:00:00:00:%02x:%02x", (vf_->vf_index() >> 8) & 0xff,
+                vf_->vf_index() & 0xff);
+  char ip[32];
+  std::snprintf(ip, sizeof(ip), "10.0.%d.%d", vf_->vf_index() / 250 + 1,
+                vf_->vf_index() % 250 + 2);
+  vf_->AssignAddresses(mac, ip);
+  // Poll until the link is up (the agent's periodic status check).
+  while (!link_settled_.IsSet()) {
+    co_await sim_->Delay(cost_.agent_poll_interval);
+  }
+  up_event_.Set();
+}
+
+Task VfDriver::Receive(uint64_t bytes) {
+  assert(up_event_.IsSet() && "interface must be up before receiving");
+  // Wire time on the shared 25 GbE data plane.
+  co_await nic_->data_plane().Transfer(static_cast<double>(bytes));
+  // The DMA engine writes into the RX ring (bypassing the EPT)...
+  // The payload streams through the RX ring in ring-sized chunks, with a
+  // (coalesced) completion interrupt per chunk — which is what makes the
+  // IOTLB's ring locality visible.
+  uint64_t remaining = bytes;
+  uint64_t window = 0;
+  while (remaining > 0) {
+    window = std::min(remaining, ring_bytes_);
+    dma_translation_failures_ += nic_->DmaWrite(*domain_, *vm_, ring_gpa_, window);
+    co_await nic_->DeliverInterrupt(*vm_);
+    remaining -= window;
+  }
+  // ...and the guest consumes it.
+  co_await vm_->TouchRange(ring_gpa_, window, /*write=*/false);
+  const uint64_t page_size = vm_->pmem().page_size();
+  GuestMemoryRegion* region = vm_->RegionForGpa(ring_gpa_);
+  assert(region != nullptr);
+  const uint64_t first = (ring_gpa_ - region->gpa_base) / page_size;
+  const uint64_t pages = (window + page_size - 1) / page_size;
+  for (uint64_t i = 0; i < pages; ++i) {
+    const PageId frame = region->frames.at(first + i);
+    if (frame == kInvalidPage ||
+        vm_->pmem().frame(frame).content != PageContent::kData) {
+      // The payload the device wrote was destroyed (e.g. zeroed by a late
+      // EPT fault) — the corruption §4.3.2's third exception warns about.
+      ++corrupted_reads_;
+    }
+  }
+}
+
+}  // namespace fastiov

@@ -1,0 +1,73 @@
+#include "src/pci/pci.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+namespace fastiov {
+
+int PciDevice::next_id_ = 0;
+
+std::string PciAddress::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04x:%02x:%02x.%x", domain, bus, device, function);
+  return buf;
+}
+
+PciDevice::PciDevice(PciAddress addr, uint16_t vendor_id, uint16_t device_id,
+                     ResetScope reset_scope, std::string name)
+    : id_(next_id_++), addr_(addr), name_(std::move(name)), reset_scope_(reset_scope) {
+  ConfigWrite16(kPciVendorId, vendor_id);
+  ConfigWrite16(kPciDeviceId, device_id);
+}
+
+uint8_t PciDevice::ConfigRead8(uint16_t offset) const {
+  assert(offset < config_.size());
+  return config_[offset];
+}
+
+uint16_t PciDevice::ConfigRead16(uint16_t offset) const {
+  assert(offset + 1 < config_.size());
+  uint16_t v = 0;
+  std::memcpy(&v, &config_[offset], sizeof(v));
+  return v;
+}
+
+uint32_t PciDevice::ConfigRead32(uint16_t offset) const {
+  assert(offset + 3 < config_.size());
+  uint32_t v = 0;
+  std::memcpy(&v, &config_[offset], sizeof(v));
+  return v;
+}
+
+void PciDevice::ConfigWrite8(uint16_t offset, uint8_t value) {
+  assert(offset < config_.size());
+  config_[offset] = value;
+}
+
+void PciDevice::ConfigWrite16(uint16_t offset, uint16_t value) {
+  assert(offset + 1 < config_.size());
+  std::memcpy(&config_[offset], &value, sizeof(value));
+}
+
+void PciDevice::ConfigWrite32(uint16_t offset, uint32_t value) {
+  assert(offset + 3 < config_.size());
+  std::memcpy(&config_[offset], &value, sizeof(value));
+}
+
+void PciBus::AddDevice(PciDevice* dev) {
+  assert(dev != nullptr);
+  assert(Find(dev->address()) == nullptr && "duplicate BDF on bus");
+  devices_.push_back(dev);
+}
+
+void PciBus::RemoveDevice(PciDevice* dev) { std::erase(devices_, dev); }
+
+PciDevice* PciBus::Find(const PciAddress& addr) const {
+  auto it = std::find_if(devices_.begin(), devices_.end(),
+                         [&](PciDevice* d) { return d->address() == addr; });
+  return it == devices_.end() ? nullptr : *it;
+}
+
+}  // namespace fastiov

@@ -1,0 +1,104 @@
+// Minimal PCI model: addresses, config space, devices, buses.
+//
+// VFIO devset membership is defined by reset scope (§3.2.2): devices that
+// only support bus-level reset share a devset with every other device on
+// their bus, so the bus scan during VFIO open is proportional to the bus
+// population. This module provides that structure.
+#ifndef SRC_PCI_PCI_H_
+#define SRC_PCI_PCI_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastiov {
+
+struct PciAddress {
+  uint16_t domain = 0;
+  uint8_t bus = 0;
+  uint8_t device = 0;
+  uint8_t function = 0;
+
+  friend auto operator<=>(const PciAddress&, const PciAddress&) = default;
+  std::string ToString() const;  // "0000:3b:02.1"
+};
+
+// Standard configuration-space header offsets we model.
+inline constexpr uint16_t kPciVendorId = 0x00;
+inline constexpr uint16_t kPciDeviceId = 0x02;
+inline constexpr uint16_t kPciCommand = 0x04;
+inline constexpr uint16_t kPciStatus = 0x06;
+inline constexpr uint16_t kPciHeaderType = 0x0e;
+inline constexpr uint16_t kPciBar0 = 0x10;
+inline constexpr uint16_t kPciCommandBusMaster = 0x4;
+
+// Intel E810 identifiers (PF and iavf VF).
+inline constexpr uint16_t kIntelVendorId = 0x8086;
+inline constexpr uint16_t kE810PfDeviceId = 0x1593;
+inline constexpr uint16_t kE810VfDeviceId = 0x1889;
+
+enum class ResetScope {
+  kFunction,  // FLR: reset without touching siblings -> devset of its own
+  kSlot,      // slot-level reset
+  kBus,       // bus-level reset: shares a devset with all bus siblings
+};
+
+enum class BoundDriver { kNone, kHostNetdev, kVfio };
+
+class PciDevice {
+ public:
+  PciDevice(PciAddress addr, uint16_t vendor_id, uint16_t device_id, ResetScope reset_scope,
+            std::string name);
+  virtual ~PciDevice() = default;
+
+  int id() const { return id_; }
+  const PciAddress& address() const { return addr_; }
+  const std::string& name() const { return name_; }
+  ResetScope reset_scope() const { return reset_scope_; }
+
+  uint8_t ConfigRead8(uint16_t offset) const;
+  uint16_t ConfigRead16(uint16_t offset) const;
+  uint32_t ConfigRead32(uint16_t offset) const;
+  void ConfigWrite8(uint16_t offset, uint8_t value);
+  void ConfigWrite16(uint16_t offset, uint16_t value);
+  void ConfigWrite32(uint16_t offset, uint32_t value);
+
+  BoundDriver bound_driver() const { return bound_driver_; }
+  void BindDriver(BoundDriver d) { bound_driver_ = d; }
+
+  bool bus_master_enabled() const {
+    return (ConfigRead16(kPciCommand) & kPciCommandBusMaster) != 0;
+  }
+
+ private:
+  static int next_id_;
+  int id_;
+  PciAddress addr_;
+  std::string name_;
+  ResetScope reset_scope_;
+  BoundDriver bound_driver_ = BoundDriver::kNone;
+  std::array<uint8_t, 256> config_{};
+};
+
+class PciBus {
+ public:
+  explicit PciBus(uint8_t number) : number_(number) {}
+
+  uint8_t number() const { return number_; }
+  void AddDevice(PciDevice* dev);
+  void RemoveDevice(PciDevice* dev);
+  const std::vector<PciDevice*>& devices() const { return devices_; }
+  size_t num_devices() const { return devices_.size(); }
+
+  PciDevice* Find(const PciAddress& addr) const;
+
+ private:
+  uint8_t number_;
+  std::vector<PciDevice*> devices_;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_PCI_PCI_H_

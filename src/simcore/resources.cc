@@ -1,0 +1,119 @@
+#include "src/simcore/resources.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace fastiov {
+
+CpuPool::CpuPool(Simulation& sim, int num_cores)
+    : sim_(&sim), num_cores_(num_cores), ps_(sim, static_cast<double>(num_cores)) {
+  assert(num_cores > 0);
+}
+
+Task CpuPool::Compute(SimTime cost) {
+  if (cost <= SimTime::Zero()) {
+    co_return;
+  }
+  busy_core_time_ += cost;
+  co_await ps_.Transfer(cost.ToSecondsF(), /*max_rate=*/1.0);
+}
+
+BandwidthResource::BandwidthResource(Simulation& sim, double capacity_per_second)
+    : sim_(&sim), capacity_(capacity_per_second) {
+  assert(capacity_per_second > 0.0);
+}
+
+void BandwidthResource::Advance() {
+  const SimTime now = sim_->Now();
+  if (flows_.empty() || now <= last_update_) {
+    last_update_ = now;
+    return;
+  }
+  const double elapsed_s = (now - last_update_).ToSecondsF();
+  for (Flow* f : flows_) {
+    f->remaining = std::max(0.0, f->remaining - f->rate * elapsed_s);
+  }
+  last_update_ = now;
+}
+
+void BandwidthResource::AssignRates() {
+  // Water-filling: capped flows take min(cap, fair share); capacity they
+  // leave on the table is redistributed among the uncapped/larger flows.
+  std::vector<Flow*> pending(flows_.begin(), flows_.end());
+  double capacity_left = capacity_;
+  bool progressed = true;
+  while (!pending.empty() && progressed) {
+    progressed = false;
+    const double share = capacity_left / static_cast<double>(pending.size());
+    for (auto it = pending.begin(); it != pending.end();) {
+      Flow* f = *it;
+      if (f->max_rate <= share) {
+        f->rate = f->max_rate;
+        capacity_left -= f->max_rate;
+        it = pending.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (!pending.empty()) {
+    const double share = capacity_left / static_cast<double>(pending.size());
+    for (Flow* f : pending) {
+      f->rate = share;
+    }
+  }
+}
+
+void BandwidthResource::Reschedule() {
+  ++timer_generation_;
+  if (flows_.empty()) {
+    return;
+  }
+  AssignRates();
+  double min_eta_s = std::numeric_limits<double>::infinity();
+  for (Flow* f : flows_) {
+    if (f->rate > 0.0) {
+      min_eta_s = std::min(min_eta_s, f->remaining / f->rate);
+    }
+  }
+  assert(std::isfinite(min_eta_s));
+  const SimTime when = sim_->Now() + Seconds(min_eta_s) + Nanoseconds(1);
+  const uint64_t generation = timer_generation_;
+  sim_->ScheduleCallback(when, [this, generation] { OnTimer(generation); });
+}
+
+void BandwidthResource::OnTimer(uint64_t generation) {
+  if (generation != timer_generation_) {
+    return;  // superseded by a newer schedule
+  }
+  Advance();
+  constexpr double kEpsilon = 1e-3;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    Flow* f = *it;
+    if (f->remaining <= kEpsilon) {
+      it = flows_.erase(it);
+      f->done.Set();
+    } else {
+      ++it;
+    }
+  }
+  Reschedule();
+}
+
+Task BandwidthResource::Transfer(double amount, double max_rate) {
+  if (amount <= 0.0) {
+    co_return;
+  }
+  assert(max_rate > 0.0);
+  total_ += amount;
+  Flow flow{amount, max_rate, 0.0, SimEvent(*sim_)};
+  Advance();
+  flows_.push_back(&flow);
+  Reschedule();
+  co_await flow.done.Wait();
+}
+
+}  // namespace fastiov

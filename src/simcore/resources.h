@@ -1,0 +1,94 @@
+// Contended hardware resources.
+//
+// CpuPool models a fixed number of cores with FIFO admission: a burst of N
+// compute requests on C cores runs in waves, which is what produces the
+// contention-versus-concurrency scaling in all of the paper's sweeps.
+//
+// BandwidthResource models processor-sharing of an aggregate bandwidth
+// (host memory bandwidth for page zeroing, NIC bandwidth for downloads,
+// CPU capacity for guest compute). Each flow may carry a per-flow rate cap
+// (a single zeroing thread cannot exceed one core's memcpy speed; a guest
+// cannot exceed its vCPU allocation); rates are assigned by water-filling.
+#ifndef SRC_SIMCORE_RESOURCES_H_
+#define SRC_SIMCORE_RESOURCES_H_
+
+#include <cstdint>
+#include <limits>
+#include <list>
+
+#include "src/simcore/simulation.h"
+#include "src/simcore/sync.h"
+#include "src/simcore/task.h"
+#include "src/simcore/time.h"
+
+namespace fastiov {
+
+// Processor-sharing bandwidth resource with optional per-flow rate caps.
+class BandwidthResource {
+ public:
+  static constexpr double kUncapped = std::numeric_limits<double>::infinity();
+
+  // capacity_per_second > 0 (bytes/s, core-seconds/s, ...).
+  BandwidthResource(Simulation& sim, double capacity_per_second);
+  BandwidthResource(const BandwidthResource&) = delete;
+  BandwidthResource& operator=(const BandwidthResource&) = delete;
+
+  // Completes when `amount` has been transferred. The flow's instantaneous
+  // rate is min(max_rate, water-filling fair share).
+  Task Transfer(double amount, double max_rate = kUncapped);
+
+  double capacity_per_second() const { return capacity_; }
+  size_t active_flows() const { return flows_.size(); }
+  double total_transferred() const { return total_; }
+
+ private:
+  struct Flow {
+    double remaining;
+    double max_rate;
+    double rate = 0.0;  // assigned at the last reschedule
+    SimEvent done;
+  };
+
+  // Settle progress of all active flows up to Now() at their current rates.
+  void Advance();
+  // Water-fill rates, find the next completion, (re)arm the timer.
+  void Reschedule();
+  void AssignRates();
+  void OnTimer(uint64_t generation);
+
+  Simulation* sim_;
+  double capacity_;
+  double total_ = 0.0;
+  std::list<Flow*> flows_;
+  SimTime last_update_ = SimTime::Zero();
+  uint64_t timer_generation_ = 0;
+};
+
+// A pool of CPU cores modeled as processor sharing, like the kernel's CFS:
+// each runnable job progresses at min(1 core, cores / runnable). A burst of
+// N jobs on C cores stretches every job by ~N/C, which produces the
+// contention-versus-concurrency scaling of all the paper's sweeps without
+// the convoy effect a FIFO queue would impose on short operations.
+class CpuPool {
+ public:
+  CpuPool(Simulation& sim, int num_cores);
+
+  // Runs `cost` worth of single-threaded work (at most one core's rate).
+  Task Compute(SimTime cost);
+
+  int num_cores() const { return num_cores_; }
+  // Total core-time consumed so far; utilization = busy / (cores * elapsed).
+  SimTime busy_core_time() const { return busy_core_time_; }
+  size_t num_runnable() const { return ps_.active_flows(); }
+
+ private:
+  Simulation* sim_;
+  int num_cores_;
+  BandwidthResource ps_;  // capacity: num_cores core-seconds per second
+  SimTime busy_core_time_ = SimTime::Zero();
+};
+
+
+}  // namespace fastiov
+
+#endif  // SRC_SIMCORE_RESOURCES_H_

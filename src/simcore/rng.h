@@ -1,0 +1,56 @@
+// Deterministic random number generation for simulations.
+//
+// xoshiro256++ keeps runs reproducible across platforms (std::mt19937 would
+// too, but distributions in <random> are not portable across standard
+// libraries, so we implement the few we need).
+#ifndef SRC_SIMCORE_RNG_H_
+#define SRC_SIMCORE_RNG_H_
+
+#include <cstdint>
+
+#include "src/simcore/time.h"
+
+namespace fastiov {
+
+// xoshiro256++ by Blackman & Vigna (public domain reference implementation).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Standard normal via Box-Muller (uses a cached second value).
+  double Normal(double mean, double stddev);
+
+  // Lognormal parameterized by the mean and relative sigma of the
+  // *underlying normal* of log-space; convenient for latency jitter.
+  double LogNormal(double log_mean, double log_sigma);
+
+  // A duration jittered multiplicatively: base * LogNormal(0, sigma),
+  // clamped to [base/4, base*8] so pathological tails cannot dominate.
+  SimTime Jitter(SimTime base, double sigma);
+
+  // Derive an independent stream (for per-container jitter).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_SIMCORE_RNG_H_

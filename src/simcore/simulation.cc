@@ -1,0 +1,116 @@
+#include "src/simcore/simulation.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fastiov {
+namespace {
+
+// Self-destroying coroutine used as the root of a spawned process. Its frame
+// owns the user Task and the shared ProcessState.
+class RootCoro {
+ public:
+  struct promise_type {
+    RootCoro get_return_object() {
+      return RootCoro{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    // The body catches everything; reaching here with an exception is a bug.
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  std::coroutine_handle<> handle() const { return handle_; }
+
+ private:
+  explicit RootCoro(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+RootCoro RunRoot(Task task, std::shared_ptr<ProcessState> state) {
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    state->exception = std::current_exception();
+  }
+  state->done = true;
+  Simulation* sim = state->sim;
+  for (auto waiter : state->waiters) {
+    sim->ScheduleHandle(sim->Now(), waiter);
+  }
+  state->waiters.clear();
+}
+
+}  // namespace
+
+Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+
+void Simulation::ScheduleHandle(SimTime when, std::coroutine_handle<> h) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, next_seq_++, h});
+}
+
+void Simulation::ScheduleCallback(SimTime when, std::function<void()> cb) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+Process Simulation::Spawn(Task task, std::string name) {
+  auto state = std::make_shared<ProcessState>();
+  state->sim = this;
+  state->name = std::move(name);
+  RootCoro root = RunRoot(std::move(task), state);
+  ScheduleHandle(now_, root.handle());
+  faulted_.push_back(state);  // tracked for unjoined-exception reporting
+  return Process(state);
+}
+
+void Simulation::Dispatch(Event& ev) {
+  now_ = ev.when;
+  ++num_events_processed_;
+  if (std::holds_alternative<std::coroutine_handle<>>(ev.what)) {
+    std::get<std::coroutine_handle<>>(ev.what).resume();
+  } else {
+    std::get<std::function<void()>>(ev.what)();
+  }
+}
+
+void Simulation::MaybeRethrowUnjoined() {
+  for (auto& state : faulted_) {
+    if (state->done && state->exception && !state->exception_consumed) {
+      state->exception_consumed = true;
+      std::rethrow_exception(state->exception);
+    }
+  }
+}
+
+void Simulation::Run() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; copy the small event out.
+    Event ev = queue_.top();
+    queue_.pop();
+    Dispatch(ev);
+  }
+  MaybeRethrowUnjoined();
+}
+
+void Simulation::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().when <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    Dispatch(ev);
+  }
+  if (t > now_) {
+    now_ = t;
+  }
+  MaybeRethrowUnjoined();
+}
+
+Task WaitAll(std::vector<Process> processes) {
+  for (auto& p : processes) {
+    co_await p.Join();
+  }
+}
+
+}  // namespace fastiov

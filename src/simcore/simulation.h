@@ -1,0 +1,135 @@
+// The discrete-event simulation engine.
+//
+// Simulation owns a virtual clock and an event queue. Simulated activities
+// are coroutines (Task); they are either awaited inline by a parent or
+// spawned as concurrent processes with Spawn(). Events scheduled at the same
+// timestamp fire in scheduling order, so runs are fully deterministic.
+#ifndef SRC_SIMCORE_SIMULATION_H_
+#define SRC_SIMCORE_SIMULATION_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/simcore/rng.h"
+#include "src/simcore/task.h"
+#include "src/simcore/time.h"
+
+namespace fastiov {
+
+class Simulation;
+
+// Shared completion state of a spawned process.
+struct ProcessState {
+  Simulation* sim = nullptr;
+  std::string name;
+  bool done = false;
+  std::exception_ptr exception;
+  bool exception_consumed = false;
+  std::vector<std::coroutine_handle<>> waiters;
+};
+
+// A copyable handle to a spawned process; co_await process.Join() blocks the
+// awaiting coroutine until the process finishes (and rethrows its exception,
+// if any).
+class Process {
+ public:
+  Process() = default;
+  explicit Process(std::shared_ptr<ProcessState> state) : state_(std::move(state)) {}
+
+  bool Done() const { return !state_ || state_->done; }
+
+  struct JoinAwaiter {
+    ProcessState* state;
+    bool await_ready() const noexcept { return state == nullptr || state->done; }
+    void await_suspend(std::coroutine_handle<> h) { state->waiters.push_back(h); }
+    void await_resume() const {
+      if (state != nullptr && state->exception) {
+        state->exception_consumed = true;
+        std::rethrow_exception(state->exception);
+      }
+    }
+  };
+  JoinAwaiter Join() const { return JoinAwaiter{state_.get()}; }
+
+ private:
+  std::shared_ptr<ProcessState> state_;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 1);
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime Now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Low-level scheduling. `when` must be >= Now().
+  void ScheduleHandle(SimTime when, std::coroutine_handle<> h);
+  void ScheduleCallback(SimTime when, std::function<void()> cb);
+
+  // Starts a concurrent process; it first runs when the event loop reaches
+  // the current timestamp's queue position.
+  Process Spawn(Task task, std::string name = {});
+
+  // co_await sim.Delay(d): resume after d of simulated time.
+  struct DelayAwaiter {
+    Simulation* sim;
+    SimTime delay;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      sim->ScheduleHandle(sim->now_ + delay, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter Delay(SimTime d) { return DelayAwaiter{this, d}; }
+
+  // Runs until the event queue is empty. Rethrows the first exception from a
+  // spawned process that nobody joined.
+  void Run();
+
+  // Runs while events exist at times <= t, then sets the clock to t.
+  void RunUntil(SimTime t);
+
+  uint64_t num_events_processed() const { return num_events_processed_; }
+
+ private:
+  friend class Process;
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::variant<std::coroutine_handle<>, std::function<void()>> what;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void Dispatch(Event& ev);
+  void MaybeRethrowUnjoined();
+
+  SimTime now_ = SimTime::Zero();
+  uint64_t next_seq_ = 0;
+  uint64_t num_events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<std::shared_ptr<ProcessState>> faulted_;
+  Rng rng_;
+};
+
+// Awaits every process in the list (exceptions propagate from the first
+// failing one encountered in order).
+Task WaitAll(std::vector<Process> processes);
+
+}  // namespace fastiov
+
+#endif  // SRC_SIMCORE_SIMULATION_H_

@@ -1,0 +1,72 @@
+#include "src/simcore/sync.h"
+
+#include <utility>
+
+namespace fastiov {
+
+void SimEvent::Set() {
+  set_ = true;
+  std::vector<std::coroutine_handle<>> waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto h : waiters) {
+    sim_->ScheduleHandle(sim_->Now(), h);
+  }
+}
+
+void SimMutex::Unlock() {
+  if (waiters_.empty()) {
+    locked_ = false;
+    return;
+  }
+  // Direct handoff: the lock stays held on behalf of the next waiter.
+  std::coroutine_handle<> next = waiters_.front();
+  waiters_.pop_front();
+  sim_->ScheduleHandle(sim_->Now(), next);
+}
+
+void SimRwLock::UnlockRead() {
+  --active_readers_;
+  if (active_readers_ == 0) {
+    DrainQueue();
+  }
+}
+
+void SimRwLock::UnlockWrite() {
+  writer_active_ = false;
+  DrainQueue();
+}
+
+void SimRwLock::DrainQueue() {
+  while (!queue_.empty()) {
+    Waiter& front = queue_.front();
+    if (front.is_writer) {
+      if (writer_active_ || active_readers_ > 0) {
+        return;
+      }
+      writer_active_ = true;
+      sim_->ScheduleHandle(sim_->Now(), front.handle);
+      queue_.pop_front();
+      return;  // a writer excludes everyone behind it
+    }
+    if (writer_active_) {
+      return;
+    }
+    ++active_readers_;
+    sim_->ScheduleHandle(sim_->Now(), front.handle);
+    queue_.pop_front();
+    // Keep admitting consecutive readers.
+  }
+}
+
+void SimSemaphore::Release() {
+  if (waiters_.empty()) {
+    ++available_;
+    return;
+  }
+  // Handoff: the permit passes directly to the next waiter.
+  std::coroutine_handle<> next = waiters_.front();
+  waiters_.pop_front();
+  sim_->ScheduleHandle(sim_->Now(), next);
+}
+
+}  // namespace fastiov

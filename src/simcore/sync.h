@@ -1,0 +1,195 @@
+// Synchronization primitives for simulated processes.
+//
+// These mirror the kernel primitives the paper's bottleneck analysis talks
+// about: mutexes (the VFIO devset global lock), read/write locks (FastIOV's
+// hierarchical framework), semaphores (bounded resources), and events
+// (condition broadcast). All wakeups go through the simulation event queue,
+// preserving FIFO determinism.
+//
+// Accounting happens at *grant* time (inside await_ready for the fast path,
+// inside the release path for queued waiters), so lock state is always
+// consistent even while a woken waiter is still sitting in the event queue.
+#ifndef SRC_SIMCORE_SYNC_H_
+#define SRC_SIMCORE_SYNC_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/simcore/simulation.h"
+
+namespace fastiov {
+
+// One-shot (resettable) broadcast event.
+class SimEvent {
+ public:
+  explicit SimEvent(Simulation& sim) : sim_(&sim) {}
+
+  bool IsSet() const { return set_; }
+
+  // Wakes all current waiters at the current timestamp.
+  void Set();
+  void Reset() { set_ = false; }
+
+  struct Awaiter {
+    SimEvent* ev;
+    bool await_ready() const noexcept { return ev->set_; }
+    void await_suspend(std::coroutine_handle<> h) { ev->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter Wait() { return Awaiter{this}; }
+
+ private:
+  Simulation* sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// FIFO mutex. Ownership is handed directly to the next waiter on Unlock, so
+// there is no barging.
+class SimMutex {
+ public:
+  explicit SimMutex(Simulation& sim) : sim_(&sim) {}
+
+  bool IsLocked() const { return locked_; }
+  // Number of Lock() calls that had to wait; a direct contention metric.
+  uint64_t contention_count() const { return contention_count_; }
+
+  struct LockAwaiter {
+    SimMutex* m;
+    bool await_ready() noexcept {
+      if (!m->locked_) {
+        m->locked_ = true;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ++m->contention_count_;
+      m->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  LockAwaiter Lock() { return LockAwaiter{this}; }
+  void Unlock();
+
+ private:
+  Simulation* sim_;
+  bool locked_ = false;
+  uint64_t contention_count_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// RAII unlock helper; the lock must already be held by the current process:
+//   co_await mu.Lock();
+//   SimMutexGuard guard(mu);
+class SimMutexGuard {
+ public:
+  explicit SimMutexGuard(SimMutex& mu) : mu_(&mu) {}
+  SimMutexGuard(const SimMutexGuard&) = delete;
+  SimMutexGuard& operator=(const SimMutexGuard&) = delete;
+  ~SimMutexGuard() {
+    if (mu_ != nullptr) {
+      mu_->Unlock();
+    }
+  }
+  void Release() { mu_ = nullptr; }
+
+ private:
+  SimMutex* mu_;
+};
+
+// Strictly FIFO read/write lock: a reader behind a waiting writer waits, so
+// writers cannot starve. Consecutive readers at the queue head are admitted
+// together.
+class SimRwLock {
+ public:
+  explicit SimRwLock(Simulation& sim) : sim_(&sim) {}
+
+  int active_readers() const { return active_readers_; }
+  bool writer_active() const { return writer_active_; }
+  uint64_t contention_count() const { return contention_count_; }
+
+  struct ReadAwaiter {
+    SimRwLock* l;
+    bool await_ready() noexcept {
+      if (!l->writer_active_ && l->queue_.empty()) {
+        ++l->active_readers_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ++l->contention_count_;
+      l->queue_.push_back({h, /*is_writer=*/false});
+    }
+    void await_resume() const noexcept {}
+  };
+  ReadAwaiter LockRead() { return ReadAwaiter{this}; }
+  void UnlockRead();
+
+  struct WriteAwaiter {
+    SimRwLock* l;
+    bool await_ready() noexcept {
+      if (!l->writer_active_ && l->active_readers_ == 0 && l->queue_.empty()) {
+        l->writer_active_ = true;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ++l->contention_count_;
+      l->queue_.push_back({h, /*is_writer=*/true});
+    }
+    void await_resume() const noexcept {}
+  };
+  WriteAwaiter LockWrite() { return WriteAwaiter{this}; }
+  void UnlockWrite();
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    bool is_writer;
+  };
+  void DrainQueue();
+
+  Simulation* sim_;
+  int active_readers_ = 0;
+  bool writer_active_ = false;
+  uint64_t contention_count_ = 0;
+  std::deque<Waiter> queue_;
+};
+
+// FIFO counting semaphore.
+class SimSemaphore {
+ public:
+  SimSemaphore(Simulation& sim, int64_t count) : sim_(&sim), available_(count) {}
+
+  int64_t available() const { return available_; }
+  size_t num_waiters() const { return waiters_.size(); }
+
+  struct AcquireAwaiter {
+    SimSemaphore* s;
+    bool await_ready() noexcept {
+      if (s->available_ > 0) {
+        --s->available_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { s->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  AcquireAwaiter Acquire() { return AcquireAwaiter{this}; }
+  void Release();
+
+ private:
+  Simulation* sim_;
+  int64_t available_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_SIMCORE_SYNC_H_

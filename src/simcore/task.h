@@ -1,0 +1,100 @@
+// A lazily-started coroutine task for simulation processes.
+//
+// Task is the unit of composition for simulated activities: a coroutine
+// returning Task suspends on simulated time (Simulation::Delay), on
+// synchronization primitives (SimMutex, SimEvent, ...), or on child Tasks.
+// Awaiting a child Task runs it to completion within the parent's logical
+// thread; true parallelism is obtained with Simulation::Spawn.
+//
+// Exceptions thrown inside a Task propagate to the awaiter, like ordinary
+// function calls.
+#ifndef SRC_SIMCORE_TASK_H_
+#define SRC_SIMCORE_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace fastiov {
+
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    Task get_return_object() { return Task(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        // Symmetric transfer to whoever awaited us; the frame is destroyed
+        // later by the owning Task object.
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) {
+        handle_.destroy();
+      }
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (handle_) {
+      handle_.destroy();
+    }
+  }
+
+  bool Done() const { return !handle_ || handle_.done(); }
+
+  // Awaiting a Task starts it (tasks are lazy) and resumes the awaiter when
+  // the task completes. The temporary Task operand of a co_await expression
+  // lives in the awaiting coroutine's frame for the whole suspension, so the
+  // child frame stays valid.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() const {
+        if (h && h.promise().exception) {
+          std::rethrow_exception(h.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  // Release ownership of the coroutine frame (used by Simulation::Spawn,
+  // which wraps the task in a self-destroying root coroutine).
+  Handle Release() { return std::exchange(handle_, {}); }
+
+ private:
+  explicit Task(Handle h) : handle_(h) {}
+  Handle handle_;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_SIMCORE_TASK_H_

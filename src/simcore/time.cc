@@ -1,0 +1,23 @@
+#include "src/simcore/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fastiov {
+
+std::string SimTime::ToString() const {
+  char buf[64];
+  const double abs_ns = std::fabs(static_cast<double>(ns_));
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ToSecondsF());
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ToMillisF());
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ToMicrosF());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+}  // namespace fastiov

@@ -1,0 +1,68 @@
+// Simulated-time types for the discrete-event engine.
+//
+// All simulation timestamps and durations are integer nanoseconds. A strong
+// type keeps them from mixing with ordinary integers (page counts, byte
+// sizes) in the cost model.
+#ifndef SRC_SIMCORE_TIME_H_
+#define SRC_SIMCORE_TIME_H_
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace fastiov {
+
+// A duration (or absolute timestamp) in simulated nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(int64_t ns) : ns_(ns) {}
+
+  constexpr int64_t ns() const { return ns_; }
+  constexpr double ToSecondsF() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double ToMillisF() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double ToMicrosF() const { return static_cast<double>(ns_) * 1e-3; }
+
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(ns_ + o.ns_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(ns_ - o.ns_); }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(double f) const {
+    return SimTime(static_cast<int64_t>(static_cast<double>(ns_) * f));
+  }
+  constexpr SimTime operator/(double f) const {
+    return SimTime(static_cast<int64_t>(static_cast<double>(ns_) / f));
+  }
+  // Ratio of two durations.
+  constexpr double operator/(SimTime o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  // Human-readable rendering with an adaptive unit, e.g. "12.20s", "460ms".
+  std::string ToString() const;
+
+ private:
+  int64_t ns_ = 0;
+};
+
+constexpr SimTime Nanoseconds(int64_t v) { return SimTime(v); }
+constexpr SimTime Microseconds(int64_t v) { return SimTime(v * 1000); }
+constexpr SimTime Milliseconds(int64_t v) { return SimTime(v * 1000 * 1000); }
+constexpr SimTime Seconds(double v) {
+  return SimTime(static_cast<int64_t>(v * 1e9));
+}
+
+}  // namespace fastiov
+
+#endif  // SRC_SIMCORE_TIME_H_

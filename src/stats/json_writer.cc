@@ -1,0 +1,129 @@
+#include "src/stats/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fastiov {
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value completes a key:value pair, no comma
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().has_item) {
+      *os_ << ',';
+    }
+    stack_.back().has_item = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  *os_ << '{';
+  stack_.push_back({});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  stack_.pop_back();
+  *os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  *os_ << '[';
+  stack_.push_back({});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  stack_.pop_back();
+  *os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  MaybeComma();
+  *os_ << '"' << Escape(key) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view v) {
+  MaybeComma();
+  *os_ << '"' << Escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  MaybeComma();
+  if (std::isfinite(v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    *os_ << buf;
+  } else {
+    *os_ << "null";  // JSON has no Inf/NaN
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  MaybeComma();
+  *os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  MaybeComma();
+  *os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  MaybeComma();
+  *os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  MaybeComma();
+  *os_ << "null";
+  return *this;
+}
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace fastiov

@@ -1,0 +1,61 @@
+// Minimal streaming JSON writer (objects, arrays, scalars, escaping).
+// Used for the Chrome-trace export and the CLI's machine-readable output.
+#ifndef SRC_STATS_JSON_WRITER_H_
+#define SRC_STATS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fastiov {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Inside an object: writes the key; the next value call completes the pair.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(bool v);
+  JsonWriter& Null();
+
+  // Convenience: Key + Value.
+  template <typename T>
+  JsonWriter& KV(std::string_view key, T&& value) {
+    Key(key);
+    return Value(std::forward<T>(value));
+  }
+
+  // Escapes per RFC 8259.
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void MaybeComma();
+
+  std::ostream* os_;
+  // One entry per open container: whether a value has been emitted at this
+  // level (needs a comma) and whether the next token is an object value
+  // (suppresses the comma after a key).
+  struct Level {
+    bool has_item = false;
+  };
+  std::vector<Level> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_STATS_JSON_WRITER_H_

@@ -1,0 +1,116 @@
+#include "src/stats/summary.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fastiov {
+
+void Summary::Add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  sorted_valid_ = false;
+}
+
+double Summary::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+void Summary::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::Min() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double Summary::Max() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double Summary::Variance() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double v : samples_) {
+    acc += (v - mean) * (v - mean);
+  }
+  return acc / static_cast<double>(samples_.size());
+}
+
+double Summary::Stddev() const { return std::sqrt(Variance()); }
+
+double Summary::Percentile(double p) const {
+  EnsureSorted();
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  if (sorted_.size() == 1) {
+    return sorted_.front();
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void Summary::Merge(const Summary& other) {
+  for (double v : other.samples_) {
+    Add(v);
+  }
+}
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : lo_(lo), hi_(hi), bins_(num_bins, 0) {
+  assert(hi > lo && num_bins > 0);
+}
+
+void Histogram::Add(double v) {
+  const double span = hi_ - lo_;
+  double idx = (v - lo_) / span * static_cast<double>(bins_.size());
+  size_t bin = 0;
+  if (idx >= static_cast<double>(bins_.size())) {
+    bin = bins_.size() - 1;
+  } else if (idx > 0.0) {
+    bin = static_cast<size_t>(idx);
+  }
+  ++bins_[bin];
+  ++total_;
+}
+
+double Histogram::BinLow(size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(bins_.size());
+}
+
+std::vector<CdfPoint> ComputeCdf(const Summary& summary, size_t max_points) {
+  std::vector<CdfPoint> out;
+  const size_t n = summary.Count();
+  if (n == 0) {
+    return out;
+  }
+  std::vector<double> sorted = summary.samples();
+  std::sort(sorted.begin(), sorted.end());
+  const size_t step = std::max<size_t>(1, n / max_points);
+  for (size_t i = 0; i < n; i += step) {
+    out.push_back({sorted[i], static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  if (out.back().value != sorted.back() || out.back().fraction != 1.0) {
+    out.push_back({sorted.back(), 1.0});
+  }
+  return out;
+}
+
+}  // namespace fastiov

@@ -1,0 +1,76 @@
+// Sample summaries with exact percentiles.
+#ifndef SRC_STATS_SUMMARY_H_
+#define SRC_STATS_SUMMARY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/simcore/time.h"
+
+namespace fastiov {
+
+// Collects double samples; percentiles are exact (computed on a sorted copy,
+// cached until the next Add).
+class Summary {
+ public:
+  void Add(double v);
+  void AddTime(SimTime t) { Add(t.ToSecondsF()); }
+
+  size_t Count() const { return samples_.size(); }
+  bool Empty() const { return samples_.empty(); }
+  double Sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Variance() const;  // population variance
+  double Stddev() const;
+
+  // p in [0, 100]; linear interpolation between closest ranks.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+  double P99() const { return Percentile(99.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  // Merges another summary's samples into this one.
+  void Merge(const Summary& other);
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// A fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+// edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t num_bins);
+
+  void Add(double v);
+  size_t TotalCount() const { return total_; }
+  size_t BinCount(size_t i) const { return bins_[i]; }
+  size_t NumBins() const { return bins_.size(); }
+  double BinLow(size_t i) const;
+  double BinHigh(size_t i) const { return BinLow(i + 1); }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> bins_;
+  size_t total_ = 0;
+};
+
+// Points of an empirical CDF, for rendering distribution figures.
+struct CdfPoint {
+  double value;
+  double fraction;  // P(X <= value)
+};
+std::vector<CdfPoint> ComputeCdf(const Summary& summary, size_t max_points = 64);
+
+}  // namespace fastiov
+
+#endif  // SRC_STATS_SUMMARY_H_

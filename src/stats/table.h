@@ -1,0 +1,31 @@
+// Plain-text table rendering for the benchmark harnesses that regenerate the
+// paper's tables and figures.
+#ifndef SRC_STATS_TABLE_H_
+#define SRC_STATS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fastiov {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers shared by benches.
+std::string FormatSeconds(double seconds);     // "16.20"
+std::string FormatPercent(double fraction);    // 0.481 -> "48.1%"
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace fastiov
+
+#endif  // SRC_STATS_TABLE_H_

@@ -1,0 +1,109 @@
+#include "src/stats/timeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fastiov {
+
+SimTime ContainerTimeline::StepTime(const std::string& step) const {
+  SimTime total = SimTime::Zero();
+  for (const Span& s : spans) {
+    if (!s.off_critical_path && s.step == step) {
+      total += s.duration();
+    }
+  }
+  return total;
+}
+
+int TimelineRecorder::RegisterContainer(SimTime start_time) {
+  ContainerTimeline lane;
+  lane.id = static_cast<int>(lanes_.size());
+  lane.start = start_time;
+  lane.ready = start_time;
+  lanes_.push_back(std::move(lane));
+  return lanes_.back().id;
+}
+
+void TimelineRecorder::RecordSpan(int container_id, const std::string& step, SimTime begin,
+                                  SimTime end, bool off_critical_path) {
+  assert(container_id >= 0 && static_cast<size_t>(container_id) < lanes_.size());
+  if (std::find(step_order_.begin(), step_order_.end(), step) == step_order_.end()) {
+    step_order_.push_back(step);
+  }
+  lanes_[container_id].spans.push_back(Span{step, begin, end, off_critical_path});
+}
+
+void TimelineRecorder::MarkReady(int container_id, SimTime t) {
+  lanes_[container_id].ready = t;
+}
+
+void TimelineRecorder::MarkTaskDone(int container_id, SimTime t) {
+  lanes_[container_id].task_done = t;
+  lanes_[container_id].has_task_done = true;
+}
+
+Summary TimelineRecorder::StartupSummary() const {
+  Summary s;
+  for (const auto& lane : lanes_) {
+    s.AddTime(lane.StartupTime());
+  }
+  return s;
+}
+
+Summary TimelineRecorder::TaskCompletionSummary() const {
+  Summary s;
+  for (const auto& lane : lanes_) {
+    if (lane.has_task_done) {
+      s.AddTime(lane.task_done - lane.start);
+    }
+  }
+  return s;
+}
+
+Summary TimelineRecorder::StepSummary(const std::string& step) const {
+  Summary s;
+  for (const auto& lane : lanes_) {
+    s.AddTime(lane.StepTime(step));
+  }
+  return s;
+}
+
+double TimelineRecorder::StepShareOfAverage(const std::string& step) const {
+  const Summary startup = StartupSummary();
+  if (startup.Empty() || startup.Mean() <= 0.0) {
+    return 0.0;
+  }
+  return StepSummary(step).Mean() / startup.Mean();
+}
+
+double TimelineRecorder::StepShareOfP99(const std::string& step) const {
+  if (lanes_.empty()) {
+    return 0.0;
+  }
+  // Rank containers by startup time; average the step share over the slowest
+  // 1% (at least one container).
+  std::vector<const ContainerTimeline*> by_time;
+  by_time.reserve(lanes_.size());
+  for (const auto& lane : lanes_) {
+    by_time.push_back(&lane);
+  }
+  std::sort(by_time.begin(), by_time.end(), [](const auto* a, const auto* b) {
+    return a->StartupTime() < b->StartupTime();
+  });
+  const size_t tail = std::max<size_t>(1, by_time.size() / 100);
+  double share_sum = 0.0;
+  size_t counted = 0;
+  for (size_t i = by_time.size() - tail; i < by_time.size(); ++i) {
+    const ContainerTimeline* lane = by_time[i];
+    const double total = lane->StartupTime().ToSecondsF();
+    if (total > 0.0) {
+      share_sum += lane->StepTime(step).ToSecondsF() / total;
+      ++counted;
+    }
+  }
+  return counted > 0 ? share_sum / static_cast<double>(counted) : 0.0;
+}
+
+std::vector<std::string> TimelineRecorder::StepNames() const { return step_order_; }
+
+}  // namespace fastiov

@@ -1,0 +1,59 @@
+#include "src/stats/trace_export.h"
+
+#include "src/stats/json_writer.h"
+
+namespace fastiov {
+
+void ExportChromeTrace(const TimelineRecorder& recorder, std::ostream& os) {
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (const ContainerTimeline& lane : recorder.containers()) {
+    // Process metadata: name the row after the container.
+    json.BeginObject()
+        .KV("name", "process_name")
+        .KV("ph", "M")
+        .KV("pid", static_cast<int64_t>(lane.id))
+        .Key("args")
+        .BeginObject()
+        .KV("name", "container-" + std::to_string(lane.id))
+        .EndObject()
+        .EndObject();
+    // The whole startup as one umbrella event.
+    json.BeginObject()
+        .KV("name", "startup")
+        .KV("ph", "X")
+        .KV("pid", static_cast<int64_t>(lane.id))
+        .KV("tid", static_cast<int64_t>(0))
+        .KV("ts", lane.start.ToMicrosF())
+        .KV("dur", (lane.ready - lane.start).ToMicrosF())
+        .EndObject();
+    for (const Span& span : lane.spans) {
+      json.BeginObject()
+          .KV("name", span.step)
+          .KV("ph", "X")
+          .KV("pid", static_cast<int64_t>(lane.id))
+          .KV("tid", static_cast<int64_t>(span.off_critical_path ? 1 : 0))
+          .KV("ts", span.begin.ToMicrosF())
+          .KV("dur", span.duration().ToMicrosF())
+          .EndObject();
+    }
+    if (lane.has_task_done) {
+      json.BeginObject()
+          .KV("name", "task")
+          .KV("ph", "X")
+          .KV("pid", static_cast<int64_t>(lane.id))
+          .KV("tid", static_cast<int64_t>(0))
+          .KV("ts", lane.ready.ToMicrosF())
+          .KV("dur", (lane.task_done - lane.ready).ToMicrosF())
+          .EndObject();
+    }
+  }
+  json.EndArray();
+  json.KV("displayTimeUnit", "ms");
+  json.EndObject();
+  os << '\n';
+}
+
+}  // namespace fastiov

@@ -1,0 +1,21 @@
+// Chrome-trace (chrome://tracing / Perfetto) export of a startup timeline.
+//
+// Each container becomes a process row; each recorded step span becomes a
+// complete ("X") duration event, so the Fig. 5 timeline can be explored
+// interactively. Off-critical-path spans (FastIOV's async VF init) land on
+// a separate thread row within the container's process.
+#ifndef SRC_STATS_TRACE_EXPORT_H_
+#define SRC_STATS_TRACE_EXPORT_H_
+
+#include <ostream>
+
+#include "src/stats/timeline.h"
+
+namespace fastiov {
+
+// Writes the Chrome trace-event JSON ("traceEvents" array format).
+void ExportChromeTrace(const TimelineRecorder& recorder, std::ostream& os);
+
+}  // namespace fastiov
+
+#endif  // SRC_STATS_TRACE_EXPORT_H_

@@ -1,0 +1,47 @@
+#include "src/vfio/lock_policy.h"
+
+#include <cassert>
+
+namespace fastiov {
+
+Task GlobalMutexPolicy::AcquireDeviceOp(int /*index*/) { co_await mutex_.Lock(); }
+void GlobalMutexPolicy::ReleaseDeviceOp(int /*index*/) { mutex_.Unlock(); }
+Task GlobalMutexPolicy::AcquireGlobalOp() { co_await mutex_.Lock(); }
+void GlobalMutexPolicy::ReleaseGlobalOp() { mutex_.Unlock(); }
+
+void HierarchicalLockPolicy::AddChild(int index) {
+  if (static_cast<size_t>(index) >= children_.size()) {
+    children_.resize(index + 1);
+  }
+  if (!children_[index]) {
+    children_[index] = std::make_unique<SimMutex>(*sim_);
+  }
+}
+
+Task HierarchicalLockPolicy::AcquireDeviceOp(int index) {
+  assert(static_cast<size_t>(index) < children_.size() && children_[index]);
+  // ac-read then ac-mutex_i (§4.2.1). Lock order is uniform (parent before
+  // child), so the framework cannot deadlock.
+  co_await parent_.LockRead();
+  co_await children_[index]->Lock();
+}
+
+void HierarchicalLockPolicy::ReleaseDeviceOp(int index) {
+  children_[index]->Unlock();
+  parent_.UnlockRead();
+}
+
+Task HierarchicalLockPolicy::AcquireGlobalOp() { co_await parent_.LockWrite(); }
+void HierarchicalLockPolicy::ReleaseGlobalOp() { parent_.UnlockWrite(); }
+
+uint64_t HierarchicalLockPolicy::contention_count() const {
+  uint64_t total = parent_.contention_count();
+  for (const auto& child : children_) {
+    if (child) {
+      total += child->contention_count();
+    }
+  }
+  return total;
+}
+
+}  // namespace fastiov

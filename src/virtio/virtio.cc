@@ -1,0 +1,99 @@
+#include "src/virtio/virtio.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fastiov {
+
+VirtQueue::VirtQueue(MicroVm& vm, uint64_t ring_gpa) : vm_(&vm), ring_gpa_(ring_gpa) {}
+
+Task VirtQueue::GuestPost(uint64_t buffer_gpa, uint64_t length) {
+  // Writing the descriptor touches the vring page itself.
+  co_await vm_->TouchRange(ring_gpa_, 64, /*write=*/true);
+  ring_.push_back(Descriptor{buffer_gpa, length});
+}
+
+bool VirtQueue::HostPop(Descriptor* out) {
+  if (ring_.empty()) {
+    return false;
+  }
+  *out = ring_.front();
+  ring_.pop_front();
+  return true;
+}
+
+VirtioFs::VirtioFs(Simulation& sim, CpuPool& cpu, const CostModel& cost, MicroVm& vm,
+                   BandwidthResource& fs_bandwidth, uint64_t buffer_gpa, uint64_t buffer_bytes)
+    : sim_(&sim),
+      cpu_(&cpu),
+      cost_(cost),
+      vm_(&vm),
+      fs_bandwidth_(&fs_bandwidth),
+      buffer_gpa_(buffer_gpa),
+      buffer_bytes_(buffer_bytes),
+      vring_(vm, buffer_gpa - vm.pmem().page_size()) {}
+
+Task VirtioFs::HostWriteBuffer(uint64_t gpa, uint64_t bytes) {
+  GuestMemoryRegion* region = vm_->RegionForGpa(gpa);
+  assert(region != nullptr);
+  const uint64_t page_size = vm_->pmem().page_size();
+  const uint64_t first = (gpa - region->gpa_base) / page_size;
+  const uint64_t pages = (bytes + page_size - 1) / page_size;
+  // The backend writes through its HVA mapping; unallocated pages take a
+  // host page fault (allocate + host-kernel zeroing) first.
+  std::vector<uint64_t> missing;
+  for (uint64_t i = 0; i < pages; ++i) {
+    if (region->frames.at(first + i) == kInvalidPage) {
+      missing.push_back(first + i);
+    }
+  }
+  if (!missing.empty()) {
+    assert(!region->dma_mapped);
+    std::vector<PageId> fresh;
+    co_await vm_->pmem().RetrievePages(vm_->pid(), missing.size(), &fresh);
+    co_await vm_->pmem().ZeroPages(fresh);
+    for (size_t i = 0; i < missing.size(); ++i) {
+      region->frames.at(missing[i]) = fresh[i];
+    }
+  }
+  // Copy the file data (shared fs bandwidth).
+  co_await fs_bandwidth_->Transfer(static_cast<double>(bytes));
+  vm_->HostWritePages(*region, first, pages);
+}
+
+Task VirtioFs::GuestReadFile(uint64_t bytes, bool proactive_faults) {
+  const uint64_t page_size = vm_->pmem().page_size();
+  uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const uint64_t chunk = std::min(remaining, buffer_bytes_);
+    if (proactive_faults) {
+      // FastIOV frontend: fault the buffer in before handing it to the host
+      // so any pending lazy zeroing happens *now*, not after the backend
+      // fills it.
+      co_await vm_->ProactiveFault(buffer_gpa_, chunk);
+    }
+    co_await vring_.GuestPost(buffer_gpa_, chunk);
+    VirtQueue::Descriptor desc{};
+    const bool popped = vring_.HostPop(&desc);
+    assert(popped);
+    (void)popped;
+    co_await HostWriteBuffer(desc.buffer_gpa, desc.length);
+    // Guest consumes the data.
+    co_await vm_->TouchRange(buffer_gpa_, chunk, /*write=*/false);
+    GuestMemoryRegion* region = vm_->RegionForGpa(buffer_gpa_);
+    const uint64_t first = (buffer_gpa_ - region->gpa_base) / page_size;
+    const uint64_t pages = (chunk + page_size - 1) / page_size;
+    for (uint64_t i = 0; i < pages; ++i) {
+      const PageId frame = region->frames.at(first + i);
+      if (frame == kInvalidPage ||
+          vm_->pmem().frame(frame).content != PageContent::kData) {
+        // File data destroyed by a late lazy zeroing (§4.3.2, exception 2).
+        ++corrupted_reads_;
+      }
+    }
+    remaining -= chunk;
+  }
+  ++reads_completed_;
+}
+
+}  // namespace fastiov

@@ -1,0 +1,83 @@
+// virtio: vring and the virtioFS shared file system.
+//
+// This is the para-virtualization data path of §4.3.2's second exception:
+// the guest posts a buffer address into the vring, the host backend writes
+// file data into the shared buffer, and the guest reads it. If the buffer
+// pages sit in fastiovd's lazy-zero table when the guest finally touches
+// them, the fault handler would zero away the file data — so the FastIOV
+// frontend proactively EPT-faults the buffer before posting it. A knob
+// disables the proactive faults to demonstrate the corruption.
+#ifndef SRC_VIRTIO_VIRTIO_H_
+#define SRC_VIRTIO_VIRTIO_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/config/cost_model.h"
+#include "src/kvm/microvm.h"
+#include "src/simcore/resources.h"
+#include "src/simcore/simulation.h"
+
+namespace fastiov {
+
+// A descriptor ring living in guest memory.
+class VirtQueue {
+ public:
+  struct Descriptor {
+    uint64_t buffer_gpa;
+    uint64_t length;
+  };
+
+  // `ring_gpa`: guest address of the vring itself (one page).
+  VirtQueue(MicroVm& vm, uint64_t ring_gpa);
+
+  // Guest side: writes a descriptor into the ring (touches the vring page).
+  Task GuestPost(uint64_t buffer_gpa, uint64_t length);
+
+  // Host side: pops the next descriptor.
+  bool HostPop(Descriptor* out);
+
+  uint64_t ring_gpa() const { return ring_gpa_; }
+  size_t depth() const { return ring_.size(); }
+
+ private:
+  MicroVm* vm_;
+  uint64_t ring_gpa_;
+  std::deque<Descriptor> ring_;
+};
+
+class VirtioFs {
+ public:
+  // `buffer_gpa`/`buffer_bytes`: the shared data buffer window in guest RAM;
+  // the vring occupies the page right before it.
+  VirtioFs(Simulation& sim, CpuPool& cpu, const CostModel& cost, MicroVm& vm,
+           BandwidthResource& fs_bandwidth, uint64_t buffer_gpa, uint64_t buffer_bytes);
+
+  // Guest reads `bytes` from a host file through the shared buffer.
+  // `proactive_faults`: FastIOV's frontend change (read the first byte of
+  // every buffer page before posting).
+  Task GuestReadFile(uint64_t bytes, bool proactive_faults);
+
+  uint64_t corrupted_reads() const { return corrupted_reads_; }
+  uint64_t reads_completed() const { return reads_completed_; }
+
+ private:
+  // Host backend: ensure buffer pages exist, then write file data to them.
+  Task HostWriteBuffer(uint64_t gpa, uint64_t bytes);
+
+  Simulation* sim_;
+  CpuPool* cpu_;
+  const CostModel cost_;
+  MicroVm* vm_;
+  BandwidthResource* fs_bandwidth_;
+  uint64_t buffer_gpa_;
+  uint64_t buffer_bytes_;
+  VirtQueue vring_;
+
+  uint64_t corrupted_reads_ = 0;
+  uint64_t reads_completed_ = 0;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_VIRTIO_VIRTIO_H_

@@ -1,0 +1,45 @@
+#include "src/workload/arrivals.h"
+
+#include <cassert>
+
+namespace fastiov {
+
+const char* ArrivalPatternName(ArrivalPattern p) {
+  switch (p) {
+    case ArrivalPattern::kBurst:
+      return "burst";
+    case ArrivalPattern::kUniform:
+      return "uniform";
+    case ArrivalPattern::kPoisson:
+      return "poisson";
+  }
+  return "?";
+}
+
+ArrivalSchedule ArrivalSchedule::Generate(ArrivalPattern pattern, int count,
+                                          double rate_per_second, SimTime burst_gap,
+                                          Rng& rng) {
+  assert(count >= 0);
+  ArrivalSchedule schedule;
+  schedule.times.reserve(count);
+  SimTime t = SimTime::Zero();
+  for (int i = 0; i < count; ++i) {
+    schedule.times.push_back(t);
+    switch (pattern) {
+      case ArrivalPattern::kBurst:
+        t += burst_gap;
+        break;
+      case ArrivalPattern::kUniform:
+        assert(rate_per_second > 0.0);
+        t += Seconds(1.0 / rate_per_second);
+        break;
+      case ArrivalPattern::kPoisson:
+        assert(rate_per_second > 0.0);
+        t += Seconds(rng.Exponential(1.0 / rate_per_second));
+        break;
+    }
+  }
+  return schedule;
+}
+
+}  // namespace fastiov

@@ -1,0 +1,39 @@
+// Container-invocation arrival processes.
+//
+// The paper's measurements use a closed burst ("crictl concurrently creates
+// 200 microVMs", §3.1), motivated by production statistics showing >200
+// near-simultaneous invocations per server. Real serverless load is an
+// open-loop process; this module generates burst, uniform and Poisson
+// schedules so experiments can sweep both regimes.
+#ifndef SRC_WORKLOAD_ARRIVALS_H_
+#define SRC_WORKLOAD_ARRIVALS_H_
+
+#include <vector>
+
+#include "src/simcore/rng.h"
+#include "src/simcore/time.h"
+
+namespace fastiov {
+
+enum class ArrivalPattern {
+  kBurst,    // all at once, separated only by the dispatcher gap
+  kUniform,  // evenly spaced at the given rate
+  kPoisson,  // exponential inter-arrival times at the given rate
+};
+
+const char* ArrivalPatternName(ArrivalPattern p);
+
+struct ArrivalSchedule {
+  // Absolute invocation times, non-decreasing, starting at 0.
+  std::vector<SimTime> times;
+
+  SimTime MakeSpan() const { return times.empty() ? SimTime::Zero() : times.back(); }
+
+  // `rate_per_second` applies to kUniform/kPoisson; `burst_gap` to kBurst.
+  static ArrivalSchedule Generate(ArrivalPattern pattern, int count, double rate_per_second,
+                                  SimTime burst_gap, Rng& rng);
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_WORKLOAD_ARRIVALS_H_

@@ -1,0 +1,42 @@
+// Tinymembench-style in-guest memory benchmark (§6.5).
+//
+// Measures memcpy throughput (2048-byte blocks for a fixed duration) and
+// random-read latency inside a booted microVM. The interesting property is
+// the FastIOV overhead: the EPT-fault hook costs one hash probe per *first*
+// page access and nothing afterwards, so steady-state numbers degrade by
+// well under 1%.
+#ifndef SRC_WORKLOAD_MEMBENCH_H_
+#define SRC_WORKLOAD_MEMBENCH_H_
+
+#include <cstdint>
+
+#include "src/kvm/microvm.h"
+#include "src/simcore/resources.h"
+#include "src/simcore/simulation.h"
+
+namespace fastiov {
+
+struct MembenchResult {
+  double memcpy_throughput_bps = 0.0;
+  double random_read_latency_ns = 0.0;
+  uint64_t ept_faults_during_bench = 0;
+};
+
+struct MembenchOptions {
+  uint64_t window_gpa = 0;          // region the benchmark operates on
+  uint64_t window_bytes = 64 * kMiB;
+  double duration_seconds = 5.0;    // per memcpy round
+  int memcpy_rounds = 10;
+  uint64_t random_reads = 10'000'000;
+  double memcpy_rate_bps = 6.0 * static_cast<double>(kGiB);  // one core's rate
+  double dram_latency_ns = 90.0;
+};
+
+// Runs the benchmark in `vm`, charging simulated time for the copies, the
+// random reads, and any EPT faults (including the fastiovd hook, when set).
+Task RunMembench(Simulation& sim, CpuPool& cpu, MicroVm& vm, const MembenchOptions& options,
+                 MembenchResult* result);
+
+}  // namespace fastiov
+
+#endif  // SRC_WORKLOAD_MEMBENCH_H_

@@ -1,0 +1,51 @@
+#include "src/workload/serverless.h"
+
+#include <cctype>
+
+namespace fastiov {
+
+// Compute demands are calibrated to the paper's reduction ratios at
+// concurrency 200 (Fig. 15): FastIOV saves a fixed ~10.6 s of startup, so
+// the completion-time reduction shrinks as the task body grows — 53.5%
+// (Image) down to 12.1% (Inference).
+
+ServerlessApp ServerlessApp::Image() {
+  return ServerlessApp{"Image", 1 * kMiB + 200 * kKiB, 1.7, 48 * kMiB};
+}
+
+ServerlessApp ServerlessApp::Compression() {
+  return ServerlessApp{"Compression", static_cast<uint64_t>(9.7 * kMiB), 3.6, 64 * kMiB};
+}
+
+ServerlessApp ServerlessApp::Scientific() {
+  return ServerlessApp{"Scientific", 2 * kMiB, 9.6, 96 * kMiB};
+}
+
+ServerlessApp ServerlessApp::Inference() {
+  return ServerlessApp{"Inference", 52 * kMiB, 35.0, 160 * kMiB};
+}
+
+std::vector<ServerlessApp> ServerlessApp::All() {
+  return {Image(), Compression(), Scientific(), Inference()};
+}
+
+std::optional<ServerlessApp> ServerlessApp::FromName(const std::string& name) {
+  for (const ServerlessApp& app : All()) {
+    if (app.name.size() == name.size()) {
+      bool equal = true;
+      for (size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(app.name[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        return app;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fastiov

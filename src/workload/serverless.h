@@ -1,0 +1,39 @@
+// Serverless application models from the SeBS benchmark (§6.6).
+//
+// Each task downloads its input from the storage server through the
+// container's network interface, then computes. The compute demand is
+// expressed in CPU-seconds; the guest runs it at min(vCPU allocation,
+// fair share of the host's logical cores), which reproduces both the
+// 0.5-vCPU cap and the host-level contention at concurrency 200.
+#ifndef SRC_WORKLOAD_SERVERLESS_H_
+#define SRC_WORKLOAD_SERVERLESS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/config/cost_model.h"
+
+namespace fastiov {
+
+struct ServerlessApp {
+  std::string name;
+  uint64_t input_bytes;       // downloaded from the storage server
+  double compute_cpu_seconds;  // CPU demand of the task body
+  uint64_t working_set_bytes;  // guest memory the task touches
+
+  // The four SeBS tasks used in §6.6.
+  static ServerlessApp Image();        // thumbnail resize, 100x100
+  static ServerlessApp Compression();  // zip a 9.7 MB file
+  static ServerlessApp Scientific();   // BFS over a 100k-node graph
+  static ServerlessApp Inference();    // ResNet-50 ImageNet classification
+
+  static std::vector<ServerlessApp> All();
+  // Case-insensitive lookup by name; nullptr-like empty optional if unknown.
+  static std::optional<ServerlessApp> FromName(const std::string& name);
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_WORKLOAD_SERVERLESS_H_

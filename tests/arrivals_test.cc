@@ -1,0 +1,103 @@
+#include "src/workload/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include "src/experiments/startup_experiment.h"
+
+namespace fastiov {
+namespace {
+
+TEST(ArrivalScheduleTest, BurstUsesDispatchGap) {
+  Rng rng(1);
+  const auto s =
+      ArrivalSchedule::Generate(ArrivalPattern::kBurst, 5, 0.0, Milliseconds(1), rng);
+  ASSERT_EQ(s.times.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(s.times[i], Milliseconds(i));
+  }
+  EXPECT_EQ(s.MakeSpan(), Milliseconds(4));
+}
+
+TEST(ArrivalScheduleTest, UniformSpacing) {
+  Rng rng(1);
+  const auto s =
+      ArrivalSchedule::Generate(ArrivalPattern::kUniform, 4, 10.0, SimTime::Zero(), rng);
+  ASSERT_EQ(s.times.size(), 4u);
+  EXPECT_EQ(s.times[0], SimTime::Zero());
+  EXPECT_EQ(s.times[1], Milliseconds(100));
+  EXPECT_EQ(s.times[3], Milliseconds(300));
+}
+
+TEST(ArrivalScheduleTest, PoissonMeanInterArrival) {
+  Rng rng(7);
+  const auto s =
+      ArrivalSchedule::Generate(ArrivalPattern::kPoisson, 20000, 100.0, SimTime::Zero(), rng);
+  // Mean inter-arrival 10ms -> makespan ~ 200s.
+  EXPECT_NEAR(s.MakeSpan().ToSecondsF(), 200.0, 5.0);
+  for (size_t i = 1; i < s.times.size(); ++i) {
+    EXPECT_GE(s.times[i], s.times[i - 1]);
+  }
+}
+
+TEST(ArrivalScheduleTest, PoissonIsDeterministicPerRng) {
+  Rng a(7);
+  Rng b(7);
+  const auto s1 = ArrivalSchedule::Generate(ArrivalPattern::kPoisson, 50, 10.0, {}, a);
+  const auto s2 = ArrivalSchedule::Generate(ArrivalPattern::kPoisson, 50, 10.0, {}, b);
+  EXPECT_EQ(s1.times, s2.times);
+}
+
+TEST(ArrivalScheduleTest, EmptySchedule) {
+  Rng rng(1);
+  const auto s = ArrivalSchedule::Generate(ArrivalPattern::kBurst, 0, 0.0, {}, rng);
+  EXPECT_TRUE(s.times.empty());
+  EXPECT_EQ(s.MakeSpan(), SimTime::Zero());
+}
+
+TEST(ArrivalScheduleTest, PatternNames) {
+  EXPECT_STREQ(ArrivalPatternName(ArrivalPattern::kBurst), "burst");
+  EXPECT_STREQ(ArrivalPatternName(ArrivalPattern::kUniform), "uniform");
+  EXPECT_STREQ(ArrivalPatternName(ArrivalPattern::kPoisson), "poisson");
+}
+
+TEST(ArrivalExperimentTest, OpenLoopLowersContention) {
+  // Spreading 100 invocations at 20/s gives every container a quieter host
+  // than the closed burst.
+  ExperimentOptions burst;
+  burst.concurrency = 100;
+  ExperimentOptions open = burst;
+  open.arrival = ArrivalPattern::kPoisson;
+  open.arrival_rate_per_s = 20.0;
+  const double burst_mean =
+      RunStartupExperiment(StackConfig::Vanilla(), burst).startup.Mean();
+  const double open_mean = RunStartupExperiment(StackConfig::Vanilla(), open).startup.Mean();
+  EXPECT_LT(open_mean, burst_mean * 0.8);
+}
+
+TEST(ArrivalExperimentTest, FastIovStillWinsUnderOpenLoop) {
+  ExperimentOptions options;
+  options.concurrency = 100;
+  options.arrival = ArrivalPattern::kPoisson;
+  options.arrival_rate_per_s = 60.0;
+  const double vanilla =
+      RunStartupExperiment(StackConfig::Vanilla(), options).startup.Mean();
+  const double fast = RunStartupExperiment(StackConfig::FastIov(), options).startup.Mean();
+  EXPECT_LT(fast, vanilla);
+}
+
+TEST(ArrivalExperimentTest, HigherRateApproachesBurstBehaviour) {
+  ExperimentOptions slow;
+  slow.concurrency = 80;
+  slow.arrival = ArrivalPattern::kUniform;
+  slow.arrival_rate_per_s = 5.0;
+  ExperimentOptions fast_rate = slow;
+  fast_rate.arrival_rate_per_s = 500.0;
+  const double slow_mean =
+      RunStartupExperiment(StackConfig::Vanilla(), slow).startup.Mean();
+  const double fast_mean =
+      RunStartupExperiment(StackConfig::Vanilla(), fast_rate).startup.Mean();
+  EXPECT_GT(fast_mean, slow_mean);  // denser arrivals, more contention
+}
+
+}  // namespace
+}  // namespace fastiov

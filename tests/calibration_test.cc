@@ -1,0 +1,98 @@
+// Calibration regression guard: pins the headline reproduction numbers to
+// bands around the paper's results, so an accidental cost-model change that
+// breaks the shape fails CI instead of silently shipping.
+//
+// Bands are deliberately loose (the claim is shape, not microseconds); see
+// EXPERIMENTS.md for the exact measured values.
+#include <gtest/gtest.h>
+
+#include "src/experiments/repeated.h"
+
+namespace fastiov {
+namespace {
+
+struct Calibration {
+  ExperimentResult nonet;
+  ExperimentResult vanilla;
+  ExperimentResult fastiov;
+
+  static const Calibration& Get() {
+    static const Calibration c = [] {
+      ExperimentOptions o;
+      o.concurrency = 200;
+      Calibration result{RunStartupExperiment(StackConfig::NoNetwork(), o),
+                         RunStartupExperiment(StackConfig::Vanilla(), o),
+                         RunStartupExperiment(StackConfig::FastIov(), o)};
+      return result;
+    }();
+    return c;
+  }
+};
+
+TEST(CalibrationTest, VanillaAverageNearPaper) {
+  // Paper: 16.2 s at concurrency 200.
+  EXPECT_GT(Calibration::Get().vanilla.startup.Mean(), 13.0);
+  EXPECT_LT(Calibration::Get().vanilla.startup.Mean(), 20.0);
+}
+
+TEST(CalibrationTest, NoNetAverageNearPaper) {
+  // Paper: ~4.0 s.
+  EXPECT_GT(Calibration::Get().nonet.startup.Mean(), 3.0);
+  EXPECT_LT(Calibration::Get().nonet.startup.Mean(), 6.0);
+}
+
+TEST(CalibrationTest, EndToEndReductionNearPaper) {
+  // Paper: 65.7%.
+  const double reduction = 1.0 - Calibration::Get().fastiov.startup.Mean() /
+                                     Calibration::Get().vanilla.startup.Mean();
+  EXPECT_GT(reduction, 0.55);
+  EXPECT_LT(reduction, 0.75);
+}
+
+TEST(CalibrationTest, TailReductionNearPaper) {
+  // Paper: 75.4% at p99.
+  const double reduction = 1.0 - Calibration::Get().fastiov.startup.Percentile(99) /
+                                     Calibration::Get().vanilla.startup.Percentile(99);
+  EXPECT_GT(reduction, 0.65);
+  EXPECT_LT(reduction, 0.85);
+}
+
+TEST(CalibrationTest, VfRelatedReductionNearPaper) {
+  // Paper: 96.1%.
+  const double reduction = 1.0 - Calibration::Get().fastiov.vf_related.Mean() /
+                                     Calibration::Get().vanilla.vf_related.Mean();
+  EXPECT_GT(reduction, 0.90);
+}
+
+TEST(CalibrationTest, VfioDevDominatesVanilla) {
+  // Tab. 1: 4-vfio-dev is ~48% of the average, ~59% of the p99.
+  const auto& vanilla = Calibration::Get().vanilla;
+  const double avg_share = vanilla.timeline.StepShareOfAverage(kStepVfioDev);
+  EXPECT_GT(avg_share, 0.40);
+  EXPECT_LT(avg_share, 0.62);
+  EXPECT_GT(vanilla.timeline.StepShareOfP99(kStepVfioDev), avg_share);
+}
+
+TEST(CalibrationTest, VfRelatedShareNearPaper) {
+  // Tab. 1: VF-related steps are >70% of the average startup.
+  const auto& vanilla = Calibration::Get().vanilla;
+  double share = 0.0;
+  for (const char* step : {kStepDmaRam, kStepDmaImage, kStepVfioDev, kStepVfDriver}) {
+    share += vanilla.timeline.StepShareOfAverage(step);
+  }
+  EXPECT_GT(share, 0.65);
+  EXPECT_LT(share, 0.85);
+}
+
+TEST(CalibrationTest, StableAcrossSeeds) {
+  // Seeds must wiggle the result, not move it: 3 seeds of vanilla@100 stay
+  // within ~10% relative stddev.
+  ExperimentOptions o;
+  o.concurrency = 100;
+  const RepeatedResult r = RunRepeated(StackConfig::Vanilla(), o, 3);
+  EXPECT_LT(r.startup_mean.stddev, 0.10 * r.startup_mean.mean);
+  EXPECT_GT(r.startup_mean.min, 0.0);
+}
+
+}  // namespace
+}  // namespace fastiov

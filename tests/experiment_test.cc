@@ -1,0 +1,187 @@
+// Experiment-level properties: the paper's headline claims hold as
+// qualitative invariants of the simulation at reduced scale (the bench
+// binaries regenerate the full-scale numbers).
+#include "src/experiments/startup_experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace fastiov {
+namespace {
+
+ExperimentOptions SmallRun(int concurrency = 50, uint64_t seed = 42) {
+  ExperimentOptions o;
+  o.concurrency = concurrency;
+  o.seed = seed;
+  return o;
+}
+
+TEST(ExperimentTest, DeterministicForSameSeed) {
+  const ExperimentResult a = RunStartupExperiment(StackConfig::Vanilla(), SmallRun(30, 5));
+  const ExperimentResult b = RunStartupExperiment(StackConfig::Vanilla(), SmallRun(30, 5));
+  ASSERT_EQ(a.startup.Count(), b.startup.Count());
+  EXPECT_EQ(a.startup.samples(), b.startup.samples());
+  EXPECT_EQ(a.pages_zeroed, b.pages_zeroed);
+}
+
+TEST(ExperimentTest, DifferentSeedsDiffer) {
+  const ExperimentResult a = RunStartupExperiment(StackConfig::Vanilla(), SmallRun(30, 5));
+  const ExperimentResult b = RunStartupExperiment(StackConfig::Vanilla(), SmallRun(30, 6));
+  EXPECT_NE(a.startup.samples(), b.startup.samples());
+}
+
+TEST(ExperimentTest, FastIovBeatsVanillaOnAverageAndTail) {
+  const ExperimentResult vanilla = RunStartupExperiment(StackConfig::Vanilla(), SmallRun());
+  const ExperimentResult fast = RunStartupExperiment(StackConfig::FastIov(), SmallRun());
+  EXPECT_LT(fast.startup.Mean(), vanilla.startup.Mean());
+  EXPECT_LT(fast.startup.Percentile(99.0), vanilla.startup.Percentile(99.0));
+}
+
+TEST(ExperimentTest, NoNetIsTheFloor) {
+  const ExperimentResult nonet = RunStartupExperiment(StackConfig::NoNetwork(), SmallRun());
+  const ExperimentResult fast = RunStartupExperiment(StackConfig::FastIov(), SmallRun());
+  const ExperimentResult vanilla = RunStartupExperiment(StackConfig::Vanilla(), SmallRun());
+  EXPECT_LT(nonet.startup.Mean(), fast.startup.Mean());
+  EXPECT_LT(fast.startup.Mean(), vanilla.startup.Mean());
+}
+
+TEST(ExperimentTest, EveryVariantSitsBetweenFastIovAndVanilla) {
+  const ExperimentOptions o = SmallRun(100);
+  const double vanilla = RunStartupExperiment(StackConfig::Vanilla(), o).startup.Mean();
+  const double fast = RunStartupExperiment(StackConfig::FastIov(), o).startup.Mean();
+  for (char removed : {'L', 'A', 'S', 'D'}) {
+    const double v =
+        RunStartupExperiment(StackConfig::FastIovWithout(removed), o).startup.Mean();
+    EXPECT_GT(v, fast) << "removing " << removed << " must hurt";
+    EXPECT_LT(v, vanilla * 1.05) << "variant " << removed << " must not exceed vanilla";
+  }
+}
+
+TEST(ExperimentTest, VfRelatedTimeCollapsesUnderFastIov) {
+  const ExperimentOptions o = SmallRun(100);
+  const ExperimentResult vanilla = RunStartupExperiment(StackConfig::Vanilla(), o);
+  const ExperimentResult fast = RunStartupExperiment(StackConfig::FastIov(), o);
+  // Headline claim: ~96% reduction of VF-related time; require >= 85% at
+  // this reduced concurrency.
+  EXPECT_LT(fast.vf_related.Mean(), 0.15 * vanilla.vf_related.Mean());
+}
+
+TEST(ExperimentTest, PreZeroingHelpsProportionally) {
+  const ExperimentOptions o = SmallRun(100);
+  const double vanilla = RunStartupExperiment(StackConfig::Vanilla(), o).startup.Mean();
+  const double pre50 = RunStartupExperiment(StackConfig::PreZero(0.5), o).startup.Mean();
+  const double pre100 = RunStartupExperiment(StackConfig::PreZero(1.0), o).startup.Mean();
+  EXPECT_LT(pre100, vanilla);
+  EXPECT_LE(pre100, pre50 * 1.02);  // more pre-zeroing never hurts (2% noise)
+  // But pre-zeroing alone cannot reach FastIOV (§6.2, third conclusion).
+  const double fast = RunStartupExperiment(StackConfig::FastIov(), o).startup.Mean();
+  EXPECT_LT(fast, pre100);
+}
+
+TEST(ExperimentTest, LockContentionVanishesWithDecomposition) {
+  const ExperimentOptions o = SmallRun(100);
+  const ExperimentResult vanilla = RunStartupExperiment(StackConfig::Vanilla(), o);
+  const ExperimentResult fast = RunStartupExperiment(StackConfig::FastIov(), o);
+  EXPECT_GT(vanilla.devset_lock_contention, 50u);
+  EXPECT_LT(fast.devset_lock_contention, vanilla.devset_lock_contention / 10);
+}
+
+TEST(ExperimentTest, DecoupledZeroingMovesWorkOffTheMapPath) {
+  const ExperimentOptions o = SmallRun(50);
+  const ExperimentResult fast = RunStartupExperiment(StackConfig::FastIov(), o);
+  EXPECT_GT(fast.fault_zeroed_pages, 0u);
+  EXPECT_GT(fast.background_zeroed_pages, 0u);
+  const ExperimentResult vanilla = RunStartupExperiment(StackConfig::Vanilla(), o);
+  EXPECT_EQ(vanilla.fault_zeroed_pages, 0u);
+  EXPECT_EQ(vanilla.background_zeroed_pages, 0u);
+}
+
+// Security/correctness sweep: no configuration in the baseline matrix may
+// ever leak residue to a guest or destroy live data.
+class NoViolationsTest : public ::testing::TestWithParam<StackConfig> {};
+
+TEST_P(NoViolationsTest, ZeroResidueReadsAndCorruptions) {
+  const ExperimentResult r = RunStartupExperiment(GetParam(), SmallRun(40));
+  EXPECT_EQ(r.residue_reads, 0u);
+  EXPECT_EQ(r.corruptions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, NoViolationsTest,
+    ::testing::Values(StackConfig::NoNetwork(), StackConfig::Vanilla(),
+                      StackConfig::VanillaUnfixed(), StackConfig::FastIov(),
+                      StackConfig::FastIovWithout('L'), StackConfig::FastIovWithout('A'),
+                      StackConfig::FastIovWithout('S'), StackConfig::FastIovWithout('D'),
+                      StackConfig::PreZero(0.1), StackConfig::PreZero(0.5),
+                      StackConfig::PreZero(1.0), StackConfig::Ipvtap()),
+    [](const auto& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// Concurrency scaling (Fig. 13a shape): startup grows with concurrency and
+// FastIOV's advantage widens.
+class ConcurrencyScalingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConcurrencyScalingTest, FastIovWinsAtEveryConcurrency) {
+  const int n = GetParam();
+  const ExperimentResult vanilla =
+      RunStartupExperiment(StackConfig::Vanilla(), SmallRun(n));
+  const ExperimentResult fast = RunStartupExperiment(StackConfig::FastIov(), SmallRun(n));
+  EXPECT_LT(fast.startup.Mean(), vanilla.startup.Mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConcurrencyScalingTest, ::testing::Values(10, 50, 100, 200));
+
+TEST(ExperimentTest, VanillaStartupGrowsWithConcurrency) {
+  const double at10 = RunStartupExperiment(StackConfig::Vanilla(), SmallRun(10)).startup.Mean();
+  const double at100 =
+      RunStartupExperiment(StackConfig::Vanilla(), SmallRun(100)).startup.Mean();
+  const double at200 =
+      RunStartupExperiment(StackConfig::Vanilla(), SmallRun(200)).startup.Mean();
+  EXPECT_LT(at10, at100);
+  EXPECT_LT(at100, at200);
+  // The devset serialization makes growth super-linear in this range.
+  EXPECT_GT(at200 / at10, 3.0);
+}
+
+TEST(ExperimentTest, ReductionRatioGrowsWithConcurrency) {
+  // Fig. 13a: "The reduction is more obvious with a higher concurrency".
+  auto ratio = [](int n) {
+    const double v = RunStartupExperiment(StackConfig::Vanilla(), SmallRun(n)).startup.Mean();
+    const double f = RunStartupExperiment(StackConfig::FastIov(), SmallRun(n)).startup.Mean();
+    return 1.0 - f / v;
+  };
+  EXPECT_GT(ratio(200), ratio(20));
+}
+
+TEST(ExperimentTest, MemorySweepHurtsVanillaMore) {
+  // Fig. 13b: growing per-container memory inflates vanilla (eager zeroing)
+  // far more than FastIOV.
+  auto run = [](const StackConfig& base, uint64_t mem) {
+    StackConfig c = base;
+    c.guest_memory_bytes = mem;
+    return RunStartupExperiment(c, SmallRun(50)).startup.Mean();
+  };
+  const double vanilla_small = run(StackConfig::Vanilla(), 512 * kMiB);
+  const double vanilla_large = run(StackConfig::Vanilla(), 2 * kGiB);
+  const double fast_small = run(StackConfig::FastIov(), 512 * kMiB);
+  const double fast_large = run(StackConfig::FastIov(), 2 * kGiB);
+  const double vanilla_growth = vanilla_large / vanilla_small;
+  const double fast_growth = fast_large / fast_small;
+  EXPECT_GT(vanilla_growth, 1.15);
+  EXPECT_LT(fast_growth, vanilla_growth);
+}
+
+TEST(ExperimentTest, TimelineHasAllContainers) {
+  const ExperimentResult r = RunStartupExperiment(StackConfig::Vanilla(), SmallRun(25));
+  EXPECT_EQ(r.timeline.NumContainers(), 25u);
+  EXPECT_EQ(r.startup.Count(), 25u);
+}
+
+}  // namespace
+}  // namespace fastiov

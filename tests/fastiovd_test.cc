@@ -1,0 +1,195 @@
+// The fastiovd kernel module: two-tier lazy-zero table, instant-zeroing
+// list, EPT-fault zeroing, background scrubber, and the fault/scrub race.
+#include "src/core/fastiovd.h"
+
+#include <gtest/gtest.h>
+
+namespace fastiov {
+namespace {
+
+struct FastiovdFixture : public ::testing::Test {
+  Simulation sim{1};
+  HostSpec spec;
+  CostModel cost;
+  CpuPool cpu{sim, 56};
+  PhysicalMemory pmem;
+  Fastiovd fastiovd;
+
+  FastiovdFixture()
+      : pmem(sim, [&] {
+          spec.memory_bytes = 4 * kGiB;
+          return spec;
+        }(), cost, kHugePageSize),
+        fastiovd(sim, cpu, pmem, cost) {
+    pmem.set_cpu(&cpu);
+  }
+
+  void Run(Task t) {
+    sim.Spawn(std::move(t));
+    sim.Run();
+  }
+
+  std::vector<PageId> Retrieve(int pid, uint64_t n) {
+    std::vector<PageId> pages;
+    Run([&]() -> Task { co_await pmem.RetrievePages(pid, n, &pages); }());
+    return pages;
+  }
+};
+
+TEST_F(FastiovdFixture, RegisterDefersZeroing) {
+  auto pages = Retrieve(1, 8);
+  Run([&]() -> Task { co_await fastiovd.RegisterPages(1, pages, 0); }());
+  EXPECT_EQ(fastiovd.pending_pages(1), 8u);
+  EXPECT_EQ(pmem.total_pages_zeroed(), 0u);
+  for (PageId id : pages) {
+    EXPECT_TRUE(pmem.frame(id).in_lazy_table);
+    EXPECT_EQ(pmem.frame(id).content, PageContent::kResidue);
+  }
+}
+
+TEST_F(FastiovdFixture, InstantRangeZeroedAtRegistration) {
+  fastiovd.RegisterInstantZeroRange(1, 0, 8 * kMiB);  // first 4 pages
+  auto pages = Retrieve(1, 8);
+  Run([&]() -> Task { co_await fastiovd.RegisterPages(1, pages, 0); }());
+  EXPECT_EQ(fastiovd.instant_zeroed_pages(), 4u);
+  EXPECT_EQ(fastiovd.pending_pages(1), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(pmem.frame(pages[i]).content, PageContent::kZeroed);
+  }
+  for (size_t i = 4; i < 8; ++i) {
+    EXPECT_EQ(pmem.frame(pages[i]).content, PageContent::kResidue);
+  }
+}
+
+TEST_F(FastiovdFixture, InstantRangeRespectsGpaBase) {
+  fastiovd.RegisterInstantZeroRange(1, 1 * kGiB, 4 * kMiB);
+  auto pages = Retrieve(1, 4);
+  // Register pages whose GPA starts at 1 GiB: the first two fall in range.
+  Run([&]() -> Task { co_await fastiovd.RegisterPages(1, pages, 1 * kGiB); }());
+  EXPECT_EQ(fastiovd.instant_zeroed_pages(), 2u);
+  EXPECT_EQ(fastiovd.pending_pages(1), 2u);
+}
+
+TEST_F(FastiovdFixture, FaultZeroesAndRemoves) {
+  auto pages = Retrieve(1, 4);
+  Run([&]() -> Task { co_await fastiovd.RegisterPages(1, pages, 0); }());
+  bool zeroed_here = false;
+  Run([&]() -> Task { co_await fastiovd.OnEptFault(1, pages[0], &zeroed_here); }());
+  EXPECT_TRUE(zeroed_here);
+  EXPECT_EQ(pmem.frame(pages[0]).content, PageContent::kZeroed);
+  EXPECT_FALSE(pmem.frame(pages[0]).in_lazy_table);
+  EXPECT_EQ(fastiovd.pending_pages(1), 3u);
+  EXPECT_EQ(fastiovd.fault_zeroed_pages(), 1u);
+}
+
+TEST_F(FastiovdFixture, FaultOnUntrackedPageIsNoop) {
+  auto pages = Retrieve(1, 1);
+  bool zeroed_here = false;
+  Run([&]() -> Task { co_await fastiovd.OnEptFault(1, pages[0], &zeroed_here); }());
+  EXPECT_FALSE(zeroed_here);
+  EXPECT_EQ(pmem.frame(pages[0]).content, PageContent::kResidue);
+}
+
+TEST_F(FastiovdFixture, DoubleFaultZeroesOnce) {
+  auto pages = Retrieve(1, 1);
+  Run([&]() -> Task { co_await fastiovd.RegisterPages(1, pages, 0); }());
+  Run([&]() -> Task {
+    co_await fastiovd.OnEptFault(1, pages[0], nullptr);
+    co_await fastiovd.OnEptFault(1, pages[0], nullptr);
+  }());
+  EXPECT_EQ(fastiovd.fault_zeroed_pages(), 1u);
+}
+
+TEST_F(FastiovdFixture, BackgroundScrubberDrainsTable) {
+  auto pages = Retrieve(1, 64);
+  Run([&]() -> Task { co_await fastiovd.RegisterPages(1, pages, 0); }());
+  EXPECT_EQ(fastiovd.total_pending_pages(), 64u);
+  fastiovd.StartBackgroundZeroer();
+  // Let the scrubber run for a while, then stop it.
+  auto stopper = [&]() -> Task {
+    co_await sim.Delay(Seconds(30.0));
+    fastiovd.StopBackgroundZeroer();
+  };
+  sim.Spawn(stopper());
+  sim.Run();
+  EXPECT_EQ(fastiovd.total_pending_pages(), 0u);
+  EXPECT_EQ(fastiovd.background_zeroed_pages(), 64u);
+  for (PageId id : pages) {
+    EXPECT_EQ(pmem.frame(id).content, PageContent::kZeroed);
+  }
+}
+
+TEST_F(FastiovdFixture, ScrubberAndFaultsSplitTheWork) {
+  auto pages = Retrieve(1, 64);
+  Run([&]() -> Task { co_await fastiovd.RegisterPages(1, pages, 0); }());
+  fastiovd.StartBackgroundZeroer();
+  auto faulter = [&]() -> Task {
+    for (int i = 0; i < 64; i += 2) {
+      co_await sim.Delay(Milliseconds(3));
+      co_await fastiovd.OnEptFault(1, pages[i], nullptr);
+    }
+    co_await sim.Delay(Seconds(30.0));
+    fastiovd.StopBackgroundZeroer();
+  };
+  sim.Spawn(faulter());
+  sim.Run();
+  EXPECT_EQ(fastiovd.total_pending_pages(), 0u);
+  EXPECT_EQ(fastiovd.fault_zeroed_pages() + fastiovd.background_zeroed_pages(), 64u);
+  for (PageId id : pages) {
+    EXPECT_EQ(pmem.frame(id).content, PageContent::kZeroed);
+  }
+}
+
+TEST_F(FastiovdFixture, FaultDuringScrubRoundWaitsForCompletion) {
+  // A fault on a page the scrubber has claimed must observe the zeroed
+  // content, never the residue (the KVM-waits-for-notification path).
+  auto pages = Retrieve(1, 8);
+  Run([&]() -> Task { co_await fastiovd.RegisterPages(1, pages, 0); }());
+  fastiovd.StartBackgroundZeroer();
+  bool fault_done = false;
+  auto faulter = [&]() -> Task {
+    // Land the fault just after a scrub round begins (period is 50ms, the
+    // batch includes our page).
+    co_await sim.Delay(cost.background_zero_period + Microseconds(100));
+    co_await fastiovd.OnEptFault(1, pages[0], nullptr);
+    EXPECT_EQ(pmem.frame(pages[0]).content, PageContent::kZeroed);
+    fault_done = true;
+    co_await sim.Delay(Seconds(10.0));
+    fastiovd.StopBackgroundZeroer();
+  };
+  sim.Spawn(faulter());
+  sim.Run();
+  EXPECT_TRUE(fault_done);
+}
+
+TEST_F(FastiovdFixture, ForgetVmDropsState) {
+  auto pages = Retrieve(1, 8);
+  Run([&]() -> Task { co_await fastiovd.RegisterPages(1, pages, 0); }());
+  fastiovd.RegisterInstantZeroRange(1, 0, 4 * kMiB);
+  fastiovd.ForgetVm(1);
+  EXPECT_EQ(fastiovd.pending_pages(1), 0u);
+  for (PageId id : pages) {
+    EXPECT_FALSE(pmem.frame(id).in_lazy_table);
+  }
+  // A later fault on a forgotten page is a no-op.
+  bool zeroed_here = false;
+  Run([&]() -> Task { co_await fastiovd.OnEptFault(1, pages[0], &zeroed_here); }());
+  EXPECT_FALSE(zeroed_here);
+}
+
+TEST_F(FastiovdFixture, TwoTierTableSeparatesVms) {
+  auto a = Retrieve(1, 4);
+  auto b = Retrieve(2, 6);
+  Run([&]() -> Task {
+    co_await fastiovd.RegisterPages(1, a, 0);
+    co_await fastiovd.RegisterPages(2, b, 0);
+  }());
+  EXPECT_EQ(fastiovd.pending_pages(1), 4u);
+  EXPECT_EQ(fastiovd.pending_pages(2), 6u);
+  EXPECT_EQ(fastiovd.total_pending_pages(), 10u);
+  fastiovd.ForgetVm(1);
+  EXPECT_EQ(fastiovd.total_pending_pages(), 6u);
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -1,0 +1,129 @@
+#include "src/cli/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace fastiov {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser p;
+  p.AddString("stack", "fastiov", "baseline name");
+  p.AddInt("concurrency", 200, "containers");
+  p.AddDouble("rate", 50.0, "arrival rate");
+  p.AddBool("json", false, "machine output");
+  return p;
+}
+
+bool Parse(FlagParser& p, std::vector<const char*> args, std::string* error) {
+  args.insert(args.begin(), "prog");
+  return p.Parse(static_cast<int>(args.size()), args.data(), error);
+}
+
+TEST(FlagsTest, DefaultsWithoutArgs) {
+  FlagParser p = MakeParser();
+  std::string error;
+  ASSERT_TRUE(Parse(p, {}, &error));
+  EXPECT_EQ(p.GetString("stack"), "fastiov");
+  EXPECT_EQ(p.GetInt("concurrency"), 200);
+  EXPECT_DOUBLE_EQ(p.GetDouble("rate"), 50.0);
+  EXPECT_FALSE(p.GetBool("json"));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagParser p = MakeParser();
+  std::string error;
+  ASSERT_TRUE(Parse(p, {"--stack=vanilla", "--concurrency=50", "--rate=12.5"}, &error));
+  EXPECT_EQ(p.GetString("stack"), "vanilla");
+  EXPECT_EQ(p.GetInt("concurrency"), 50);
+  EXPECT_DOUBLE_EQ(p.GetDouble("rate"), 12.5);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagParser p = MakeParser();
+  std::string error;
+  ASSERT_TRUE(Parse(p, {"--stack", "ipvtap", "--concurrency", "10"}, &error));
+  EXPECT_EQ(p.GetString("stack"), "ipvtap");
+  EXPECT_EQ(p.GetInt("concurrency"), 10);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  FlagParser p = MakeParser();
+  std::string error;
+  ASSERT_TRUE(Parse(p, {"--json"}, &error));
+  EXPECT_TRUE(p.GetBool("json"));
+}
+
+TEST(FlagsTest, ExplicitBooleanValues) {
+  FlagParser p = MakeParser();
+  std::string error;
+  ASSERT_TRUE(Parse(p, {"--json=true"}, &error));
+  EXPECT_TRUE(p.GetBool("json"));
+  FlagParser q = MakeParser();
+  ASSERT_TRUE(Parse(q, {"--json=0"}, &error));
+  EXPECT_FALSE(q.GetBool("json"));
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagParser p = MakeParser();
+  std::string error;
+  EXPECT_FALSE(Parse(p, {"--bogus=1"}, &error));
+  EXPECT_NE(error.find("unknown flag"), std::string::npos);
+}
+
+TEST(FlagsTest, BadIntegerFails) {
+  FlagParser p = MakeParser();
+  std::string error;
+  EXPECT_FALSE(Parse(p, {"--concurrency=many"}, &error));
+  EXPECT_NE(error.find("expects an integer"), std::string::npos);
+}
+
+TEST(FlagsTest, BadDoubleFails) {
+  FlagParser p = MakeParser();
+  std::string error;
+  EXPECT_FALSE(Parse(p, {"--rate=fast"}, &error));
+  EXPECT_NE(error.find("expects a number"), std::string::npos);
+}
+
+TEST(FlagsTest, BadBoolFails) {
+  FlagParser p = MakeParser();
+  std::string error;
+  EXPECT_FALSE(Parse(p, {"--json=yes"}, &error));
+  EXPECT_NE(error.find("expects true/false"), std::string::npos);
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  FlagParser p = MakeParser();
+  std::string error;
+  EXPECT_FALSE(Parse(p, {"--stack"}, &error));
+  EXPECT_NE(error.find("missing a value"), std::string::npos);
+}
+
+TEST(FlagsTest, HelpRequested) {
+  FlagParser p = MakeParser();
+  std::string error;
+  ASSERT_TRUE(Parse(p, {"--help"}, &error));
+  EXPECT_TRUE(p.help_requested());
+  const std::string help = p.HelpText("prog");
+  EXPECT_NE(help.find("--stack"), std::string::npos);
+  EXPECT_NE(help.find("default: fastiov"), std::string::npos);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  FlagParser p = MakeParser();
+  std::string error;
+  ASSERT_TRUE(Parse(p, {"input.txt", "--json", "more"}, &error));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.txt");
+  EXPECT_EQ(p.positional()[1], "more");
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  FlagParser p = MakeParser();
+  std::string error;
+  ASSERT_TRUE(Parse(p, {"--concurrency=-5", "--rate=-1.5"}, &error));
+  EXPECT_EQ(p.GetInt("concurrency"), -5);
+  EXPECT_DOUBLE_EQ(p.GetDouble("rate"), -1.5);
+}
+
+}  // namespace
+}  // namespace fastiov

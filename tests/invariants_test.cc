@@ -1,0 +1,164 @@
+// System-wide invariants, checked after full experiment runs across the
+// baseline matrix. These hold regardless of configuration:
+//   I1  page conservation: used + free == total, always
+//   I2  pin balance: after teardown, no frame stays pinned
+//   I3  ownership: a frame is owned by at most one live VM
+//   I4  EPT consistency: every EPT entry maps to a frame the VM owns (or
+//       shares), and faults == entries for first-touch workloads
+//   I5  lazy-table hygiene: no frame is flagged in_lazy_table after the
+//       background scrubber stops and tables are drained
+//   I6  mapped-implies-populated: DMA-mapped regions have no holes
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "src/container/runtime.h"
+#include "src/experiments/startup_experiment.h"
+
+namespace fastiov {
+namespace {
+
+struct MatrixEnv {
+  Simulation sim;
+  Host host;
+  ContainerRuntime runtime;
+
+  explicit MatrixEnv(const StackConfig& config) : sim(13), host(sim, HostSpec{}, CostModel{}, config), runtime(host) {}
+
+  void Run(int containers, bool teardown) {
+    auto root = [](MatrixEnv* env, int n, bool stop) -> Task {
+      co_await env->host.PrepareSharedImage();
+      if (env->host.config().cni == CniKind::kVanillaFixed ||
+          env->host.config().cni == CniKind::kFastIov) {
+        env->host.PreBindVfsToVfio();
+      }
+      if (env->host.config().decoupled_zeroing) {
+        env->host.fastiovd().StartBackgroundZeroer();
+      }
+      std::vector<Process> ps;
+      for (int i = 0; i < n; ++i) {
+        ps.push_back(env->sim.Spawn(env->runtime.StartContainer(nullptr)));
+      }
+      co_await WaitAll(std::move(ps));
+      if (stop) {
+        std::vector<Process> stops;
+        for (const auto& inst : env->runtime.instances()) {
+          stops.push_back(env->sim.Spawn(env->runtime.StopContainer(*inst)));
+        }
+        co_await WaitAll(std::move(stops));
+      }
+      env->host.fastiovd().StopBackgroundZeroer();
+    };
+    sim.Spawn(root(this, containers, teardown));
+    sim.Run();
+  }
+};
+
+std::vector<StackConfig> Matrix() {
+  return {StackConfig::NoNetwork(),          StackConfig::Vanilla(),
+          StackConfig::FastIov(),            StackConfig::FastIovWithout('L'),
+          StackConfig::FastIovWithout('D'),  StackConfig::PreZero(0.5),
+          StackConfig::Ipvtap(),             StackConfig::FastIovVdpa()};
+}
+
+class InvariantsTest : public ::testing::TestWithParam<StackConfig> {};
+
+TEST_P(InvariantsTest, PageAccountingAndOwnershipWhileRunning) {
+  MatrixEnv env(GetParam());
+  env.Run(6, /*teardown=*/false);
+  PhysicalMemory& pmem = env.host.pmem();
+
+  // I1: conservation.
+  EXPECT_EQ(pmem.used_pages() + pmem.free_pages(), pmem.total_pages());
+
+  // I3: each owned frame belongs to exactly one live pid (or the host).
+  std::unordered_map<int32_t, uint64_t> frames_per_owner;
+  uint64_t owned = 0;
+  for (PageId id = 0; id < pmem.total_pages(); ++id) {
+    const PageFrame& f = pmem.frame(id);
+    if (f.owner != -1) {
+      ++owned;
+      ++frames_per_owner[f.owner];
+    }
+  }
+  EXPECT_EQ(owned, pmem.used_pages());
+  std::set<int> live_pids{0};  // 0 = host-owned (shared image)
+  for (const auto& inst : env.runtime.instances()) {
+    live_pids.insert(inst->pid);
+  }
+  for (const auto& [owner, count] : frames_per_owner) {
+    EXPECT_TRUE(live_pids.count(owner)) << "frame owned by unknown pid " << owner;
+  }
+
+  // I4: EPT entries point at frames of the owning VM (or shared backing).
+  for (const auto& inst : env.runtime.instances()) {
+    for (const GuestMemoryRegion& region : inst->vm->regions()) {
+      const uint64_t pages = region.size / pmem.page_size();
+      for (uint64_t i = 0; i < pages; ++i) {
+        const uint64_t gpa_page = region.gpa_base / pmem.page_size() + i;
+        const auto entry = inst->vm->ept().Lookup(gpa_page);
+        if (entry.has_value()) {
+          EXPECT_EQ(*entry, region.frames.at(i));
+          const int32_t owner = pmem.frame(*entry).owner;
+          EXPECT_TRUE(owner == inst->pid || (region.shared_backing && owner == 0))
+              << "EPT entry maps a frame the VM does not own";
+        }
+      }
+    }
+    // I6: DMA-mapped regions are fully populated.
+    for (const GuestMemoryRegion& region : inst->vm->regions()) {
+      if (region.dma_mapped) {
+        for (PageId frame : region.frames) {
+          EXPECT_NE(frame, kInvalidPage);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(InvariantsTest, CleanStateAfterTeardown) {
+  MatrixEnv env(GetParam());
+  env.Run(6, /*teardown=*/true);
+  PhysicalMemory& pmem = env.host.pmem();
+
+  // I1 again.
+  EXPECT_EQ(pmem.used_pages() + pmem.free_pages(), pmem.total_pages());
+  // Only the host's shared image stays resident.
+  EXPECT_EQ(pmem.used_pages(), env.host.shared_image_frames().size());
+
+  for (PageId id = 0; id < pmem.total_pages(); ++id) {
+    const PageFrame& f = pmem.frame(id);
+    // I2: nothing pinned.
+    EXPECT_EQ(f.pin_count, 0) << "leaked pin on frame " << id;
+    // I5: no stale lazy-table flags.
+    EXPECT_FALSE(f.in_lazy_table) << "stale lazy-table flag on frame " << id;
+    // I3: only the host may still own frames.
+    if (f.owner != -1) {
+      EXPECT_EQ(f.owner, 0);
+    }
+  }
+  EXPECT_EQ(env.host.fastiovd().total_pending_pages(), 0u);
+  EXPECT_EQ(env.host.devset().TotalOpenCount(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, InvariantsTest, ::testing::ValuesIn(Matrix()),
+                         [](const auto& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(InvariantsTest, FirstTouchFaultCountMatchesEptEntries) {
+  MatrixEnv env(StackConfig::FastIov());
+  env.Run(4, false);
+  for (const auto& inst : env.runtime.instances()) {
+    EXPECT_EQ(inst->vm->ept_faults(), inst->vm->ept().num_entries());
+  }
+}
+
+}  // namespace
+}  // namespace fastiov

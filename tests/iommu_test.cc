@@ -1,0 +1,182 @@
+#include "src/iommu/iommu.h"
+
+#include <gtest/gtest.h>
+
+#include "src/config/cost_model.h"
+
+namespace fastiov {
+namespace {
+
+TEST(IoPageTableTest, MapAndTranslateSmallPage) {
+  IoPageTable t;
+  ASSERT_TRUE(t.Map(0x1000, 42, kSmallPageSize));
+  const auto tr = t.Translate(0x1000);
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_EQ(tr->page, 42u);
+  EXPECT_EQ(tr->page_size, kSmallPageSize);
+  EXPECT_EQ(tr->offset, 0u);
+}
+
+TEST(IoPageTableTest, TranslateOffsetWithinPage) {
+  IoPageTable t;
+  ASSERT_TRUE(t.Map(0x2000, 7, kSmallPageSize));
+  const auto tr = t.Translate(0x2abc);
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_EQ(tr->page, 7u);
+  EXPECT_EQ(tr->offset, 0xabcu);
+}
+
+TEST(IoPageTableTest, HugePageMapping) {
+  IoPageTable t;
+  ASSERT_TRUE(t.Map(4 * kHugePageSize, 9, kHugePageSize));
+  const auto tr = t.Translate(4 * kHugePageSize + 0x12345);
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_EQ(tr->page, 9u);
+  EXPECT_EQ(tr->page_size, kHugePageSize);
+  EXPECT_EQ(tr->offset, 0x12345u);
+}
+
+TEST(IoPageTableTest, UnmappedTranslationFails) {
+  IoPageTable t;
+  EXPECT_FALSE(t.Translate(0x5000).has_value());
+  ASSERT_TRUE(t.Map(0x1000, 1, kSmallPageSize));
+  EXPECT_FALSE(t.Translate(0x2000).has_value());
+}
+
+TEST(IoPageTableTest, DoubleMapFails) {
+  IoPageTable t;
+  ASSERT_TRUE(t.Map(0x1000, 1, kSmallPageSize));
+  EXPECT_FALSE(t.Map(0x1000, 2, kSmallPageSize));
+  // Original mapping intact.
+  EXPECT_EQ(t.Translate(0x1000)->page, 1u);
+}
+
+TEST(IoPageTableTest, SmallMapUnderHugeMappingFails) {
+  IoPageTable t;
+  ASSERT_TRUE(t.Map(0, 1, kHugePageSize));
+  EXPECT_FALSE(t.Map(0x1000, 2, kSmallPageSize));
+}
+
+TEST(IoPageTableTest, UnmapRemovesOnlyTarget) {
+  IoPageTable t;
+  ASSERT_TRUE(t.Map(0x1000, 1, kSmallPageSize));
+  ASSERT_TRUE(t.Map(0x2000, 2, kSmallPageSize));
+  EXPECT_TRUE(t.Unmap(0x1000));
+  EXPECT_FALSE(t.Translate(0x1000).has_value());
+  EXPECT_TRUE(t.Translate(0x2000).has_value());
+  EXPECT_EQ(t.num_mappings(), 1u);
+}
+
+TEST(IoPageTableTest, UnmapMissingReturnsFalse) {
+  IoPageTable t;
+  EXPECT_FALSE(t.Unmap(0x1000));
+}
+
+TEST(IoPageTableTest, RemapAfterUnmap) {
+  IoPageTable t;
+  ASSERT_TRUE(t.Map(0x1000, 1, kSmallPageSize));
+  ASSERT_TRUE(t.Unmap(0x1000));
+  EXPECT_TRUE(t.Map(0x1000, 3, kSmallPageSize));
+  EXPECT_EQ(t.Translate(0x1000)->page, 3u);
+}
+
+TEST(IoPageTableTest, TablePageCountGrowsWithSpread) {
+  IoPageTable t;
+  EXPECT_EQ(t.num_table_pages(), 1u);  // root only
+  // One 4 KiB mapping needs 3 intermediate nodes below the root.
+  t.Map(0x1000, 1, kSmallPageSize);
+  EXPECT_EQ(t.num_table_pages(), 4u);
+  // A second mapping nearby reuses the whole path.
+  t.Map(0x2000, 2, kSmallPageSize);
+  EXPECT_EQ(t.num_table_pages(), 4u);
+  // A mapping in a distant 512 GiB region allocates a fresh path.
+  t.Map(1ull << 40, 3, kSmallPageSize);
+  EXPECT_EQ(t.num_table_pages(), 7u);
+}
+
+TEST(IoPageTableTest, UnmapReclaimsEmptyTableNodes) {
+  IoPageTable t;
+  t.Map(0x1000, 1, kSmallPageSize);
+  EXPECT_EQ(t.num_table_pages(), 4u);
+  t.Unmap(0x1000);
+  // All three intermediate nodes were empty and got reclaimed.
+  EXPECT_EQ(t.num_table_pages(), 1u);
+  // The table remains usable.
+  EXPECT_TRUE(t.Map(0x1000, 2, kSmallPageSize));
+  EXPECT_EQ(t.num_table_pages(), 4u);
+}
+
+TEST(IoPageTableTest, UnmapKeepsSharedNodes) {
+  IoPageTable t;
+  t.Map(0x1000, 1, kSmallPageSize);
+  t.Map(0x2000, 2, kSmallPageSize);  // shares the whole path
+  t.Unmap(0x1000);
+  // The sibling still needs the path.
+  EXPECT_EQ(t.num_table_pages(), 4u);
+  EXPECT_TRUE(t.Translate(0x2000).has_value());
+  t.Unmap(0x2000);
+  EXPECT_EQ(t.num_table_pages(), 1u);
+}
+
+TEST(IoPageTableTest, HugePageUsesShorterPath) {
+  IoPageTable t;
+  t.Map(0, 1, kHugePageSize);
+  // Root + 1 intermediate level (leaf lives at level 2).
+  EXPECT_EQ(t.num_table_pages(), 3u);
+}
+
+TEST(IoPageTableTest, ManyMappingsCount) {
+  IoPageTable t;
+  for (uint64_t i = 0; i < 256; ++i) {
+    ASSERT_TRUE(t.Map(i * kHugePageSize, i, kHugePageSize));
+  }
+  EXPECT_EQ(t.num_mappings(), 256u);
+  for (uint64_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(t.Translate(i * kHugePageSize)->page, i);
+  }
+}
+
+TEST(IommuTest, DomainsAreIsolated) {
+  Iommu iommu;
+  IommuDomain* a = iommu.CreateDomain();
+  IommuDomain* b = iommu.CreateDomain();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a->id(), b->id());
+  a->Map(0x1000, 1, kSmallPageSize);
+  EXPECT_TRUE(a->Translate(0x1000).has_value());
+  EXPECT_FALSE(b->Translate(0x1000).has_value());
+}
+
+TEST(IommuTest, DestroyDomainRemovesIt) {
+  Iommu iommu;
+  IommuDomain* a = iommu.CreateDomain();
+  const int id = a->id();
+  EXPECT_EQ(iommu.domain(id), a);
+  iommu.DestroyDomain(id);
+  EXPECT_EQ(iommu.domain(id), nullptr);
+  EXPECT_EQ(iommu.num_domains(), 0u);
+}
+
+TEST(IommuTest, DeviceAttachDetach) {
+  Iommu iommu;
+  IommuDomain* d = iommu.CreateDomain();
+  d->AttachDevice(5);
+  d->AttachDevice(9);
+  EXPECT_EQ(d->devices().size(), 2u);
+  d->DetachDevice(5);
+  ASSERT_EQ(d->devices().size(), 1u);
+  EXPECT_EQ(d->devices()[0], 9);
+}
+
+TEST(IommuTest, TranslationFaultCounter) {
+  Iommu iommu;
+  IommuDomain* d = iommu.CreateDomain();
+  EXPECT_EQ(d->translation_faults(), 0u);
+  d->CountTranslationFault();
+  d->CountTranslationFault();
+  EXPECT_EQ(d->translation_faults(), 2u);
+}
+
+}  // namespace
+}  // namespace fastiov

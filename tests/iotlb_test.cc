@@ -1,0 +1,115 @@
+// IOTLB: LRU behaviour, invalidation, and the cached-translation path the
+// DMA engine uses.
+#include "src/iommu/iotlb.h"
+
+#include <gtest/gtest.h>
+
+#include "src/iommu/iommu.h"
+
+namespace fastiov {
+namespace {
+
+TEST(IoTlbTest, MissThenHit) {
+  IoTlb tlb(4);
+  EXPECT_FALSE(tlb.Lookup(1));
+  tlb.Insert(1);
+  EXPECT_TRUE(tlb.Lookup(1));
+  EXPECT_EQ(tlb.misses(), 1u);
+  EXPECT_EQ(tlb.hits(), 1u);
+}
+
+TEST(IoTlbTest, LruEviction) {
+  IoTlb tlb(2);
+  tlb.Insert(1);
+  tlb.Insert(2);
+  tlb.Insert(3);  // evicts 1
+  EXPECT_FALSE(tlb.Lookup(1));
+  EXPECT_TRUE(tlb.Lookup(2));
+  EXPECT_TRUE(tlb.Lookup(3));
+  EXPECT_EQ(tlb.size(), 2u);
+}
+
+TEST(IoTlbTest, LookupRefreshesRecency) {
+  IoTlb tlb(2);
+  tlb.Insert(1);
+  tlb.Insert(2);
+  EXPECT_TRUE(tlb.Lookup(1));  // 1 becomes most recent
+  tlb.Insert(3);               // evicts 2, not 1
+  EXPECT_TRUE(tlb.Lookup(1));
+  EXPECT_FALSE(tlb.Lookup(2));
+}
+
+TEST(IoTlbTest, ReinsertIsIdempotent) {
+  IoTlb tlb(2);
+  tlb.Insert(1);
+  tlb.Insert(1);
+  EXPECT_EQ(tlb.size(), 1u);
+}
+
+TEST(IoTlbTest, InvalidateSingleAndFlush) {
+  IoTlb tlb(4);
+  tlb.Insert(1);
+  tlb.Insert(2);
+  tlb.Invalidate(1);
+  EXPECT_FALSE(tlb.Lookup(1));
+  EXPECT_TRUE(tlb.Lookup(2));
+  tlb.Flush();
+  EXPECT_EQ(tlb.size(), 0u);
+  EXPECT_FALSE(tlb.Lookup(2));
+}
+
+TEST(IoTlbTest, InvalidateMissingIsNoop) {
+  IoTlb tlb(4);
+  tlb.Invalidate(42);
+  EXPECT_EQ(tlb.size(), 0u);
+}
+
+TEST(IommuDomainTest, TranslateCachedInstallsAndHits) {
+  Iommu iommu;
+  IommuDomain* d = iommu.CreateDomain();
+  d->Map(0, 7, kHugePageSize);
+  // First device access: miss + walk + install.
+  auto t1 = d->TranslateCached(0x1000);
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_EQ(t1->page, 7u);
+  EXPECT_EQ(d->iotlb().misses(), 1u);
+  // Same IOVA page again: hit.
+  auto t2 = d->TranslateCached(0x1800);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(d->iotlb().hits(), 1u);
+}
+
+TEST(IommuDomainTest, RingBufferLocalityHitsDominate) {
+  Iommu iommu;
+  IommuDomain* d = iommu.CreateDomain();
+  for (uint64_t i = 0; i < 8; ++i) {
+    d->Map(i * kHugePageSize, i, kHugePageSize);
+  }
+  // A ring: the device cycles over the same two 4 KiB-granule pages.
+  for (int round = 0; round < 100; ++round) {
+    d->TranslateCached(0x0);
+    d->TranslateCached(0x1000);
+  }
+  EXPECT_EQ(d->iotlb().misses(), 2u);
+  EXPECT_EQ(d->iotlb().hits(), 198u);
+}
+
+TEST(IommuDomainTest, UnmapInvalidatesTlbEntry) {
+  Iommu iommu;
+  IommuDomain* d = iommu.CreateDomain();
+  d->Map(0, 7, kSmallPageSize);
+  EXPECT_TRUE(d->TranslateCached(0).has_value());
+  d->Unmap(0);
+  // Entry gone from both table and TLB; a stale hit must not resurrect it.
+  EXPECT_FALSE(d->TranslateCached(0).has_value());
+}
+
+TEST(IommuDomainTest, TranslateCachedMissOnUnmappedDoesNotPollute) {
+  Iommu iommu;
+  IommuDomain* d = iommu.CreateDomain();
+  EXPECT_FALSE(d->TranslateCached(0x5000).has_value());
+  EXPECT_EQ(d->iotlb().size(), 0u);
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -1,0 +1,111 @@
+#include "src/stats/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/stats/trace_export.h"
+
+namespace fastiov {
+namespace {
+
+std::string Write(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  body(json);
+  return os.str();
+}
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  EXPECT_EQ(Write([](JsonWriter& j) { j.BeginObject().EndObject(); }), "{}");
+  EXPECT_EQ(Write([](JsonWriter& j) { j.BeginArray().EndArray(); }), "[]");
+}
+
+TEST(JsonWriterTest, KeyValuePairsWithCommas) {
+  const std::string out = Write([](JsonWriter& j) {
+    j.BeginObject().KV("a", static_cast<int64_t>(1)).KV("b", "x").KV("c", true).EndObject();
+  });
+  EXPECT_EQ(out, "{\"a\":1,\"b\":\"x\",\"c\":true}");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  const std::string out = Write([](JsonWriter& j) {
+    j.BeginObject();
+    j.Key("list");
+    j.BeginArray().Value(static_cast<int64_t>(1)).Value(static_cast<int64_t>(2)).EndArray();
+    j.Key("obj");
+    j.BeginObject().KV("x", 3.5).EndObject();
+    j.EndObject();
+  });
+  EXPECT_EQ(out, "{\"list\":[1,2],\"obj\":{\"x\":3.5}}");
+}
+
+TEST(JsonWriterTest, ArrayOfObjects) {
+  const std::string out = Write([](JsonWriter& j) {
+    j.BeginArray();
+    j.BeginObject().KV("i", static_cast<int64_t>(0)).EndObject();
+    j.BeginObject().KV("i", static_cast<int64_t>(1)).EndObject();
+    j.EndArray();
+  });
+  EXPECT_EQ(out, "[{\"i\":0},{\"i\":1}]");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonWriter::Escape(std::string_view("\x01", 1)), "\\u0001");
+  const std::string out =
+      Write([](JsonWriter& j) { j.BeginObject().KV("k\n", "v\"").EndObject(); });
+  EXPECT_EQ(out, "{\"k\\n\":\"v\\\"\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  const std::string out = Write([](JsonWriter& j) {
+    j.BeginArray().Value(std::numeric_limits<double>::infinity()).Value(1.5).EndArray();
+  });
+  EXPECT_EQ(out, "[null,1.5]");
+}
+
+TEST(JsonWriterTest, ExplicitNull) {
+  EXPECT_EQ(Write([](JsonWriter& j) { j.BeginObject().Key("x").Null().EndObject(); }),
+            "{\"x\":null}");
+}
+
+TEST(TraceExportTest, EmitsEventsForSpansAndStartup) {
+  TimelineRecorder rec;
+  const int id = rec.RegisterContainer(Seconds(1.0));
+  rec.RecordSpan(id, kStepVfioDev, Seconds(1.5), Seconds(2.5));
+  rec.RecordSpan(id, kStepVfDriver, Seconds(2.5), Seconds(3.0), /*off_critical_path=*/true);
+  rec.MarkReady(id, Seconds(3.5));
+  rec.MarkTaskDone(id, Seconds(5.0));
+
+  std::ostringstream os;
+  ExportChromeTrace(rec, os);
+  const std::string out = os.str();
+
+  EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"startup\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"4-vfio-dev\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"task\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"container-0\""), std::string::npos);
+  // Off-critical-path spans go to tid 1.
+  EXPECT_NE(out.find("\"tid\":1"), std::string::npos);
+  // Durations are microseconds: the vfio span is 1s = 1e6 us.
+  EXPECT_NE(out.find("\"dur\":1000000"), std::string::npos);
+}
+
+TEST(TraceExportTest, BalancedJson) {
+  TimelineRecorder rec;
+  for (int i = 0; i < 3; ++i) {
+    const int id = rec.RegisterContainer(SimTime::Zero());
+    rec.RecordSpan(id, kStepCgroup, SimTime::Zero(), Milliseconds(10));
+    rec.MarkReady(id, Milliseconds(20));
+  }
+  std::ostringstream os;
+  ExportChromeTrace(rec, os);
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'), std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['), std::count(out.begin(), out.end(), ']'));
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -1,0 +1,184 @@
+// Guest memory regions, EPT faulting, on-demand allocation and the
+// residue-observation property.
+#include "src/kvm/microvm.h"
+
+#include <gtest/gtest.h>
+
+namespace fastiov {
+namespace {
+
+struct VmFixture : public ::testing::Test {
+  Simulation sim{1};
+  HostSpec spec;
+  CostModel cost;
+  CpuPool cpu{sim, 56};
+  PhysicalMemory pmem;
+  MicroVm vm;
+
+  VmFixture()
+      : pmem(sim, [&] {
+          spec.memory_bytes = 4 * kGiB;
+          return spec;
+        }(), cost, kHugePageSize),
+        vm(sim, cpu, pmem, cost, /*pid=*/1000) {
+    pmem.set_cpu(&cpu);
+  }
+
+  void Run(Task t) {
+    sim.Spawn(std::move(t));
+    sim.Run();
+  }
+
+  // Populates a region with freshly retrieved (residue) frames.
+  void Populate(GuestMemoryRegion& region) {
+    Run([&]() -> Task {
+      std::vector<PageId> frames;
+      co_await pmem.RetrievePages(vm.pid(), region.frames.size(), &frames);
+      region.frames = std::move(frames);
+      region.dma_mapped = true;
+    }());
+  }
+};
+
+TEST_F(VmFixture, RegionLookup) {
+  vm.AddRegion("ram", RegionType::kRam, 0, 512 * kMiB);
+  vm.AddRegion("image", RegionType::kImage, 512 * kMiB, 256 * kMiB);
+  EXPECT_NE(vm.FindRegion("ram"), nullptr);
+  EXPECT_EQ(vm.FindRegion("nope"), nullptr);
+  EXPECT_EQ(vm.RegionForGpa(100 * kMiB)->name, "ram");
+  EXPECT_EQ(vm.RegionForGpa(600 * kMiB)->name, "image");
+  EXPECT_EQ(vm.RegionForGpa(2 * kGiB), nullptr);
+  EXPECT_EQ(vm.FindRegion("ram")->frames.size(), 256u);
+}
+
+TEST_F(VmFixture, EptFaultOncePerPage) {
+  GuestMemoryRegion& ram = vm.AddRegion("ram", RegionType::kRam, 0, 64 * kMiB);
+  Populate(ram);
+  Run([&]() -> Task { co_await vm.TouchRange(0, 64 * kMiB, /*write=*/true); }());
+  EXPECT_EQ(vm.ept_faults(), 32u);
+  EXPECT_EQ(vm.ept().num_entries(), 32u);
+  // Second pass: no further faults.
+  Run([&]() -> Task { co_await vm.TouchRange(0, 64 * kMiB, /*write=*/false); }());
+  EXPECT_EQ(vm.ept_faults(), 32u);
+}
+
+TEST_F(VmFixture, SubPageTouchFaultsWholePage) {
+  GuestMemoryRegion& ram = vm.AddRegion("ram", RegionType::kRam, 0, 64 * kMiB);
+  Populate(ram);
+  Run([&]() -> Task { co_await vm.TouchRange(100, 8, /*write=*/false); }());
+  EXPECT_EQ(vm.ept_faults(), 1u);
+}
+
+TEST_F(VmFixture, OnDemandAllocationZeroesPages) {
+  // Without DMA mapping (no-network path), pages materialize at first touch
+  // pre-zeroed by the host kernel.
+  vm.AddRegion("ram", RegionType::kRam, 0, 64 * kMiB);
+  Run([&]() -> Task { co_await vm.TouchRange(0, 8 * kMiB, /*write=*/false); }());
+  EXPECT_EQ(vm.pages_allocated_on_demand(), 4u);
+  EXPECT_EQ(vm.residue_reads(), 0u);
+  // Untouched pages stay unallocated (region has 32 pages; 4 touched).
+  EXPECT_EQ(vm.FindRegion("ram")->frames.at(31), kInvalidPage);
+}
+
+TEST_F(VmFixture, ReadingUnzeroedDmaPageObservesResidue) {
+  // A DMA-mapped region whose zeroing never happened: the guest reads
+  // another tenant's residue. This is the leak eager/lazy zeroing prevents.
+  GuestMemoryRegion& ram = vm.AddRegion("ram", RegionType::kRam, 0, 16 * kMiB);
+  Populate(ram);
+  Run([&]() -> Task { co_await vm.TouchRange(0, 16 * kMiB, /*write=*/false); }());
+  EXPECT_EQ(vm.residue_reads(), 8u);
+}
+
+TEST_F(VmFixture, WritesDoNotCountResidue) {
+  GuestMemoryRegion& ram = vm.AddRegion("ram", RegionType::kRam, 0, 16 * kMiB);
+  Populate(ram);
+  Run([&]() -> Task { co_await vm.TouchRange(0, 16 * kMiB, /*write=*/true); }());
+  EXPECT_EQ(vm.residue_reads(), 0u);
+  EXPECT_EQ(pmem.frame(ram.frames[0]).content, PageContent::kData);
+}
+
+TEST_F(VmFixture, HostWriteBypassesEptAndSetsData) {
+  GuestMemoryRegion& ram = vm.AddRegion("ram", RegionType::kRam, 0, 16 * kMiB);
+  Populate(ram);
+  vm.HostWritePages(ram, 0, 4);
+  EXPECT_EQ(vm.ept_faults(), 0u);  // host writes do not touch the EPT
+  EXPECT_EQ(pmem.frame(ram.frames[0]).content, PageContent::kData);
+  // Guest later reads the hypervisor-written data: fault but no residue.
+  Run([&]() -> Task { co_await vm.TouchRange(0, 8 * kMiB, /*write=*/false); }());
+  EXPECT_EQ(vm.residue_reads(), 0u);
+  EXPECT_EQ(vm.ept_faults(), 4u);
+}
+
+class ZeroingHook : public EptFaultHook {
+ public:
+  explicit ZeroingHook(PhysicalMemory& pmem) : pmem_(&pmem) {}
+  Task OnEptFault(int /*pid*/, PageId page, bool* zeroed_here) override {
+    ++calls;
+    if (pmem_->frame(page).content == PageContent::kResidue) {
+      co_await pmem_->ZeroPage(page);
+      ++zeroed;
+      if (zeroed_here != nullptr) {
+        *zeroed_here = true;
+      }
+    }
+  }
+  PhysicalMemory* pmem_;
+  int calls = 0;
+  int zeroed = 0;
+};
+
+TEST_F(VmFixture, FaultHookInvokedBeforeAccess) {
+  GuestMemoryRegion& ram = vm.AddRegion("ram", RegionType::kRam, 0, 16 * kMiB);
+  Populate(ram);
+  ZeroingHook hook(pmem);
+  vm.SetFaultHook(&hook);
+  Run([&]() -> Task { co_await vm.TouchRange(0, 16 * kMiB, /*write=*/false); }());
+  EXPECT_EQ(hook.calls, 8);
+  EXPECT_EQ(hook.zeroed, 8);
+  // The hook scrubbed each page before the read: no residue observed.
+  EXPECT_EQ(vm.residue_reads(), 0u);
+}
+
+TEST_F(VmFixture, ProactiveFaultPopulatesEpt) {
+  GuestMemoryRegion& ram = vm.AddRegion("ram", RegionType::kRam, 0, 16 * kMiB);
+  Populate(ram);
+  ZeroingHook hook(pmem);
+  vm.SetFaultHook(&hook);
+  Run([&]() -> Task { co_await vm.ProactiveFault(4 * kMiB, 4 * kMiB); }());
+  EXPECT_EQ(vm.ept().num_entries(), 2u);
+  EXPECT_EQ(hook.zeroed, 2);
+}
+
+TEST_F(VmFixture, ReleaseMemoryFreesUnpinnedOwnedFrames) {
+  GuestMemoryRegion& ram = vm.AddRegion("ram", RegionType::kRam, 0, 16 * kMiB);
+  Populate(ram);
+  const uint64_t used_before = pmem.used_pages();
+  vm.ReleaseMemory();
+  EXPECT_EQ(pmem.used_pages(), used_before - 8);
+  EXPECT_EQ(ram.frames.at(0), kInvalidPage);
+}
+
+TEST_F(VmFixture, ReleaseMemorySkipsSharedBacking) {
+  GuestMemoryRegion& image = vm.AddRegion("image", RegionType::kImage, 0, 16 * kMiB);
+  std::vector<PageId> shared;
+  Run([&]() -> Task { co_await pmem.RetrievePages(0, 8, &shared); }());
+  image.frames = shared;
+  image.shared_backing = true;
+  const uint64_t used_before = pmem.used_pages();
+  vm.ReleaseMemory();
+  EXPECT_EQ(pmem.used_pages(), used_before);  // shared page cache untouched
+}
+
+TEST_F(VmFixture, EptFaultChargesTime) {
+  GuestMemoryRegion& ram = vm.AddRegion("ram", RegionType::kRam, 0, 64 * kMiB);
+  Populate(ram);
+  Run([&]() -> Task { co_await vm.TouchRange(0, 64 * kMiB, /*write=*/true); }());
+  const SimTime first_pass = sim.Now();
+  EXPECT_GT(first_pass, SimTime::Zero());
+  Run([&]() -> Task { co_await vm.TouchRange(0, 64 * kMiB, /*write=*/true); }());
+  // Second pass is free: all entries present.
+  EXPECT_EQ(sim.Now(), first_pass);
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -1,0 +1,205 @@
+#include "src/mem/physical_memory.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fastiov {
+namespace {
+
+struct MemFixture {
+  Simulation sim{1};
+  HostSpec spec;
+  CostModel cost;
+  CpuPool cpu{sim, 8};
+  PhysicalMemory pmem;
+
+  explicit MemFixture(uint64_t memory_bytes = 1 * kGiB, double fragmentation = 0.0)
+      : pmem(sim, [&] {
+          spec.memory_bytes = memory_bytes;
+          return spec;
+        }(), cost, kHugePageSize, fragmentation) {
+    pmem.set_cpu(&cpu);
+  }
+
+  // Runs a memory operation to completion and returns elapsed sim time.
+  template <typename F>
+  SimTime RunOp(F&& f) {
+    const SimTime before = sim.Now();
+    sim.Spawn(f());
+    sim.Run();
+    return sim.Now() - before;
+  }
+};
+
+TEST(PhysicalMemoryTest, PageAccounting) {
+  MemFixture f;
+  EXPECT_EQ(f.pmem.page_size(), kHugePageSize);
+  EXPECT_EQ(f.pmem.total_pages(), 512u);  // 1 GiB / 2 MiB
+  EXPECT_EQ(f.pmem.free_pages(), 512u);
+}
+
+TEST(PhysicalMemoryTest, RetrieveAssignsOwnerAndResidue) {
+  MemFixture f;
+  std::vector<PageId> pages;
+  f.RunOp([&]() -> Task { co_await f.pmem.RetrievePages(7, 10, &pages); });
+  ASSERT_EQ(pages.size(), 10u);
+  EXPECT_EQ(f.pmem.used_pages(), 10u);
+  for (PageId id : pages) {
+    EXPECT_EQ(f.pmem.frame(id).owner, 7);
+    EXPECT_EQ(f.pmem.frame(id).content, PageContent::kResidue);
+    EXPECT_EQ(f.pmem.frame(id).pin_count, 0);
+  }
+}
+
+TEST(PhysicalMemoryTest, OutOfMemoryThrows) {
+  MemFixture f;
+  std::vector<PageId> pages;
+  bool threw = false;
+  auto op = [&]() -> Task {
+    try {
+      co_await f.pmem.RetrievePages(1, 100000, &pages);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+  };
+  f.sim.Spawn(op());
+  f.sim.Run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(PhysicalMemoryTest, FreeReturnsPagesAndKeepsResidue) {
+  MemFixture f;
+  std::vector<PageId> pages;
+  f.RunOp([&]() -> Task {
+    co_await f.pmem.RetrievePages(1, 4, &pages);
+    co_await f.pmem.ZeroPages(pages);
+  });
+  // Owner writes data into two pages.
+  f.pmem.frame(pages[0]).content = PageContent::kData;
+  f.pmem.frame(pages[1]).content = PageContent::kData;
+  f.pmem.FreePages(pages);
+  EXPECT_EQ(f.pmem.used_pages(), 0u);
+  // Written pages become residue; untouched zeroed pages stay zeroed.
+  EXPECT_EQ(f.pmem.frame(pages[0]).content, PageContent::kResidue);
+  EXPECT_EQ(f.pmem.frame(pages[2]).content, PageContent::kZeroed);
+  EXPECT_EQ(f.pmem.frame(pages[0]).owner, -1);
+}
+
+TEST(PhysicalMemoryTest, ReusedFrameCarriesResidueToNextOwner) {
+  MemFixture f;
+  std::vector<PageId> first;
+  f.RunOp([&]() -> Task { co_await f.pmem.RetrievePages(1, 1, &first); });
+  f.pmem.frame(first[0]).content = PageContent::kData;  // tenant 1 secret
+  f.pmem.FreePages(first);
+
+  // Drain the free list until the same frame comes around again.
+  std::vector<PageId> next;
+  f.RunOp([&]() -> Task { co_await f.pmem.RetrievePages(2, 512, &next); });
+  bool found = false;
+  for (PageId id : next) {
+    if (id == first[0]) {
+      found = true;
+      EXPECT_EQ(f.pmem.frame(id).content, PageContent::kResidue);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PhysicalMemoryTest, ZeroPagesScrubsAndCounts) {
+  MemFixture f;
+  std::vector<PageId> pages;
+  f.RunOp([&]() -> Task {
+    co_await f.pmem.RetrievePages(1, 8, &pages);
+    co_await f.pmem.ZeroPages(pages);
+  });
+  for (PageId id : pages) {
+    EXPECT_EQ(f.pmem.frame(id).content, PageContent::kZeroed);
+  }
+  EXPECT_EQ(f.pmem.total_pages_zeroed(), 8u);
+}
+
+TEST(PhysicalMemoryTest, ZeroingTakesTimeProportionalToBytes) {
+  MemFixture f;
+  std::vector<PageId> small;
+  std::vector<PageId> large;
+  const SimTime t_small = f.RunOp([&]() -> Task {
+    co_await f.pmem.RetrievePages(1, 4, &small);
+    co_await f.pmem.ZeroPages(small);
+  });
+  const SimTime t_large = f.RunOp([&]() -> Task {
+    co_await f.pmem.RetrievePages(1, 64, &large);
+    co_await f.pmem.ZeroPages(large);
+  });
+  EXPECT_GT(t_large.ns(), t_small.ns());
+  // 16x the bytes -> roughly 16x the zeroing time (retrieval is minor).
+  EXPECT_NEAR(static_cast<double>(t_large.ns()) / static_cast<double>(t_small.ns()), 16.0,
+              4.0);
+}
+
+TEST(PhysicalMemoryTest, PreZeroPoolConsumedFirst) {
+  MemFixture f;
+  f.pmem.PreZeroFreePages(0.5);
+  EXPECT_EQ(f.pmem.prezeroed_available(), 256u);
+  std::vector<PageId> pages;
+  f.RunOp([&]() -> Task { co_await f.pmem.RetrievePages(1, 100, &pages); });
+  // All 100 came from the front of the free list, which was pre-zeroed.
+  for (PageId id : pages) {
+    EXPECT_EQ(f.pmem.frame(id).content, PageContent::kZeroed);
+  }
+  EXPECT_EQ(f.pmem.prezeroed_available(), 156u);
+}
+
+TEST(PhysicalMemoryTest, PreZeroFractionOne) {
+  MemFixture f;
+  f.pmem.PreZeroFreePages(1.0);
+  EXPECT_EQ(f.pmem.prezeroed_available(), f.pmem.total_pages());
+}
+
+TEST(PhysicalMemoryTest, PinUnpinTracksCounts) {
+  MemFixture f;
+  std::vector<PageId> pages;
+  f.RunOp([&]() -> Task {
+    co_await f.pmem.RetrievePages(1, 4, &pages);
+    co_await f.pmem.PinPages(pages);
+  });
+  for (PageId id : pages) {
+    EXPECT_EQ(f.pmem.frame(id).pin_count, 1);
+  }
+  f.pmem.UnpinPages(pages);
+  for (PageId id : pages) {
+    EXPECT_EQ(f.pmem.frame(id).pin_count, 0);
+  }
+}
+
+TEST(PhysicalMemoryTest, FragmentationIncreasesBatchCount) {
+  MemFixture contiguous(1 * kGiB, 0.0);
+  MemFixture fragmented(1 * kGiB, 0.9);
+  std::vector<PageId> a;
+  std::vector<PageId> b;
+  contiguous.RunOp([&]() -> Task { co_await contiguous.pmem.RetrievePages(1, 256, &a); });
+  fragmented.RunOp([&]() -> Task { co_await fragmented.pmem.RetrievePages(1, 256, &b); });
+  EXPECT_GT(fragmented.pmem.total_batches_retrieved(),
+            2 * contiguous.pmem.total_batches_retrieved());
+}
+
+TEST(PhysicalMemoryTest, FullFragmentationDegeneratesToSinglePages) {
+  MemFixture f(64 * kMiB, 1.0);
+  std::vector<PageId> pages;
+  f.RunOp([&]() -> Task { co_await f.pmem.RetrievePages(1, 16, &pages); });
+  EXPECT_EQ(f.pmem.total_batches_retrieved(), 16u);
+}
+
+TEST(PhysicalMemoryTest, SmallPageGeometry) {
+  Simulation sim;
+  HostSpec spec;
+  spec.memory_bytes = 64 * kMiB;
+  CostModel cost;
+  CpuPool cpu(sim, 4);
+  PhysicalMemory pmem(sim, spec, cost, kSmallPageSize);
+  pmem.set_cpu(&cpu);
+  EXPECT_EQ(pmem.total_pages(), 16384u);
+}
+
+}  // namespace
+}  // namespace fastiov

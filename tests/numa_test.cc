@@ -1,0 +1,141 @@
+// NUMA-aware allocation: home-node preference, spillover, remote-zeroing
+// penalty, and single-node equivalence.
+#include <gtest/gtest.h>
+
+#include "src/experiments/startup_experiment.h"
+#include "src/mem/physical_memory.h"
+
+namespace fastiov {
+namespace {
+
+struct NumaEnv {
+  Simulation sim{1};
+  HostSpec spec;
+  CostModel cost;
+  CpuPool cpu{sim, 8};
+  PhysicalMemory pmem;
+
+  explicit NumaEnv(int nodes, uint64_t memory = 1 * kGiB, double penalty = 1.45)
+      : pmem(sim, [&] {
+          spec.memory_bytes = memory;
+          spec.numa_nodes = nodes;
+          spec.remote_zeroing_penalty = penalty;
+          return spec;
+        }(), cost, kHugePageSize) {
+    pmem.set_cpu(&cpu);
+  }
+
+  std::vector<PageId> Retrieve(int owner, uint64_t n) {
+    std::vector<PageId> pages;
+    sim.Spawn([](NumaEnv* e, int o, uint64_t count, std::vector<PageId>* out) -> Task {
+      co_await e->pmem.RetrievePages(o, count, out);
+    }(this, owner, n, &pages));
+    sim.Run();
+    return pages;
+  }
+
+  SimTime Zero(const std::vector<PageId>& pages) {
+    const SimTime before = sim.Now();
+    sim.Spawn([](NumaEnv* e, const std::vector<PageId>* p) -> Task {
+      co_await e->pmem.ZeroPages(*p);
+    }(this, &pages));
+    sim.Run();
+    return sim.Now() - before;
+  }
+};
+
+TEST(NumaTest, FramesAreStripedAcrossNodes) {
+  NumaEnv env(2);
+  EXPECT_EQ(env.pmem.numa_nodes(), 2);
+  EXPECT_EQ(env.pmem.NodeOfFrame(0), 0);
+  EXPECT_EQ(env.pmem.NodeOfFrame(env.pmem.total_pages() - 1), 1);
+  EXPECT_EQ(env.pmem.free_pages_on_node(0) + env.pmem.free_pages_on_node(1),
+            env.pmem.total_pages());
+}
+
+TEST(NumaTest, HomeNodeRoundRobin) {
+  NumaEnv env(2);
+  EXPECT_EQ(env.pmem.HomeNode(1000), 0);
+  EXPECT_EQ(env.pmem.HomeNode(1001), 1);
+  EXPECT_EQ(env.pmem.HomeNode(0), 0);   // host allocations on node 0
+  EXPECT_EQ(env.pmem.HomeNode(-1), 0);
+}
+
+TEST(NumaTest, AllocationPrefersHomeNode) {
+  NumaEnv env(2);
+  const auto pages = env.Retrieve(/*owner=*/1001, 64);  // home node 1
+  for (PageId id : pages) {
+    EXPECT_EQ(env.pmem.NodeOfFrame(id), 1);
+  }
+  EXPECT_EQ(env.pmem.local_allocations(), 64u);
+  EXPECT_EQ(env.pmem.remote_allocations(), 0u);
+}
+
+TEST(NumaTest, SpillsToRemoteNodeWhenHomeExhausted) {
+  NumaEnv env(2, 256 * kMiB);  // 128 pages, 64 per node
+  const auto first = env.Retrieve(1000, 64);  // drains node 0
+  EXPECT_EQ(env.pmem.free_pages_on_node(0), 0u);
+  const auto second = env.Retrieve(1000, 32);  // must spill to node 1
+  for (PageId id : second) {
+    EXPECT_EQ(env.pmem.NodeOfFrame(id), 1);
+  }
+  EXPECT_GT(env.pmem.remote_allocations(), 0u);
+}
+
+TEST(NumaTest, RemoteZeroingIsSlower) {
+  NumaEnv env(2, 256 * kMiB, /*penalty=*/2.0);
+  env.cost.jitter_sigma = 0.0;
+  // Local pages for pid 1000 (node 0).
+  const auto local = env.Retrieve(1000, 32);
+  const SimTime local_time = env.Zero(local);
+  // Drain node 0, then allocate remote pages for another node-0 pid.
+  env.Retrieve(1000, 32);  // node 0 now empty (64 total)
+  const auto remote = env.Retrieve(1002, 32);  // home 0, gets node 1
+  for (PageId id : remote) {
+    EXPECT_EQ(env.pmem.NodeOfFrame(id), 1);
+  }
+  const SimTime remote_time = env.Zero(remote);
+  // Penalty 2.0 -> remote zeroing takes ~2x as long.
+  EXPECT_NEAR(remote_time.ToSecondsF() / local_time.ToSecondsF(), 2.0, 0.25);
+}
+
+TEST(NumaTest, SingleNodeHasNoRemoteAllocations) {
+  NumaEnv env(1);
+  env.Retrieve(1001, 128);
+  EXPECT_EQ(env.pmem.numa_nodes(), 1);
+  EXPECT_EQ(env.pmem.remote_allocations(), 0u);
+}
+
+TEST(NumaTest, FreeReturnsToOwningNode) {
+  NumaEnv env(2);
+  const auto pages = env.Retrieve(1001, 16);
+  const uint64_t node1_before = env.pmem.free_pages_on_node(1);
+  env.pmem.FreePages(pages);
+  EXPECT_EQ(env.pmem.free_pages_on_node(1), node1_before + 16);
+}
+
+TEST(NumaTest, FullLoadExperimentSpillsButStaysCorrect) {
+  // At 200 containers x (512 MiB + image) the per-node pools are unbalanced
+  // by the pid round-robin and the host's shared image; spillover must not
+  // break anything.
+  ExperimentOptions options;
+  options.concurrency = 100;
+  const ExperimentResult r = RunStartupExperiment(StackConfig::Vanilla(), options);
+  EXPECT_EQ(r.residue_reads, 0u);
+  EXPECT_EQ(r.corruptions, 0u);
+}
+
+TEST(NumaTest, SingleNodeHostMatchesBaselineShape) {
+  // Collapsing to one node must not change the qualitative result.
+  ExperimentOptions one;
+  one.concurrency = 60;
+  one.host.numa_nodes = 1;
+  ExperimentOptions two = one;
+  two.host.numa_nodes = 2;
+  const double v1 = RunStartupExperiment(StackConfig::Vanilla(), one).startup.Mean();
+  const double v2 = RunStartupExperiment(StackConfig::Vanilla(), two).startup.Mean();
+  EXPECT_NEAR(v1, v2, 0.35 * v1);
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -1,0 +1,82 @@
+#include "src/pci/pci.h"
+
+#include <gtest/gtest.h>
+
+namespace fastiov {
+namespace {
+
+TEST(PciAddressTest, ToStringFormat) {
+  PciAddress addr{0, 0x3b, 0x02, 0x1};
+  EXPECT_EQ(addr.ToString(), "0000:3b:02.1");
+  PciAddress addr2{0x10, 0xff, 0x1f, 0x7};
+  EXPECT_EQ(addr2.ToString(), "0010:ff:1f.7");
+}
+
+TEST(PciAddressTest, Ordering) {
+  PciAddress a{0, 1, 0, 0};
+  PciAddress b{0, 1, 0, 1};
+  PciAddress c{0, 2, 0, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (PciAddress{0, 1, 0, 0}));
+}
+
+TEST(PciDeviceTest, VendorDeviceIdsInConfigSpace) {
+  PciDevice dev({0, 1, 2, 3}, kIntelVendorId, kE810VfDeviceId, ResetScope::kBus, "vf0");
+  EXPECT_EQ(dev.ConfigRead16(kPciVendorId), kIntelVendorId);
+  EXPECT_EQ(dev.ConfigRead16(kPciDeviceId), kE810VfDeviceId);
+  EXPECT_EQ(dev.name(), "vf0");
+  EXPECT_EQ(dev.reset_scope(), ResetScope::kBus);
+}
+
+TEST(PciDeviceTest, ConfigReadWriteWidths) {
+  PciDevice dev({}, 0x1234, 0x5678, ResetScope::kFunction, "d");
+  dev.ConfigWrite32(kPciBar0, 0xdeadbeef);
+  EXPECT_EQ(dev.ConfigRead32(kPciBar0), 0xdeadbeefu);
+  EXPECT_EQ(dev.ConfigRead16(kPciBar0), 0xbeef);
+  EXPECT_EQ(dev.ConfigRead8(kPciBar0 + 3), 0xde);
+  dev.ConfigWrite8(kPciBar0, 0x01);
+  EXPECT_EQ(dev.ConfigRead32(kPciBar0), 0xdeadbe01u);
+}
+
+TEST(PciDeviceTest, BusMasterBit) {
+  PciDevice dev({}, 1, 2, ResetScope::kBus, "d");
+  EXPECT_FALSE(dev.bus_master_enabled());
+  dev.ConfigWrite16(kPciCommand, dev.ConfigRead16(kPciCommand) | kPciCommandBusMaster);
+  EXPECT_TRUE(dev.bus_master_enabled());
+}
+
+TEST(PciDeviceTest, UniqueIds) {
+  PciDevice a({}, 1, 1, ResetScope::kBus, "a");
+  PciDevice b({}, 1, 1, ResetScope::kBus, "b");
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(PciDeviceTest, DriverBinding) {
+  PciDevice dev({}, 1, 2, ResetScope::kBus, "d");
+  EXPECT_EQ(dev.bound_driver(), BoundDriver::kNone);
+  dev.BindDriver(BoundDriver::kVfio);
+  EXPECT_EQ(dev.bound_driver(), BoundDriver::kVfio);
+}
+
+TEST(PciBusTest, AddFindRemove) {
+  PciBus bus(0x3b);
+  PciDevice a({0, 0x3b, 1, 0}, 1, 1, ResetScope::kBus, "a");
+  PciDevice b({0, 0x3b, 1, 1}, 1, 1, ResetScope::kBus, "b");
+  bus.AddDevice(&a);
+  bus.AddDevice(&b);
+  EXPECT_EQ(bus.num_devices(), 2u);
+  EXPECT_EQ(bus.Find({0, 0x3b, 1, 1}), &b);
+  EXPECT_EQ(bus.Find({0, 0x3b, 9, 0}), nullptr);
+  bus.RemoveDevice(&a);
+  EXPECT_EQ(bus.num_devices(), 1u);
+  EXPECT_EQ(bus.Find({0, 0x3b, 1, 0}), nullptr);
+}
+
+TEST(PciBusTest, BusNumber) {
+  PciBus bus(7);
+  EXPECT_EQ(bus.number(), 7);
+}
+
+}  // namespace
+}  // namespace fastiov

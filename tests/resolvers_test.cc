@@ -1,0 +1,104 @@
+// Name resolution for the CLI (stacks, apps) and the multi-seed repetition
+// helper.
+#include <gtest/gtest.h>
+
+#include "src/container/stack_config.h"
+#include "src/experiments/repeated.h"
+#include "src/workload/serverless.h"
+
+namespace fastiov {
+namespace {
+
+TEST(StackFromNameTest, ResolvesEveryBaseline) {
+  EXPECT_EQ(StackConfig::FromName("vanilla")->name, "Vanilla");
+  EXPECT_EQ(StackConfig::FromName("fastiov")->name, "FastIOV");
+  EXPECT_EQ(StackConfig::FromName("nonet")->name, "No-Net");
+  EXPECT_EQ(StackConfig::FromName("no-net")->name, "No-Net");
+  EXPECT_EQ(StackConfig::FromName("ipvtap")->name, "IPvtap");
+  EXPECT_EQ(StackConfig::FromName("unfixed")->name, "Vanilla-unfixed");
+  EXPECT_EQ(StackConfig::FromName("fastiov-vdpa")->name, "FastIOV-vDPA");
+  EXPECT_EQ(StackConfig::FromName("vdpa")->name, "FastIOV-vDPA");
+}
+
+TEST(StackFromNameTest, ResolvesVariants) {
+  for (char removed : {'L', 'A', 'S', 'D'}) {
+    std::string name = "fastiov-";
+    name += static_cast<char>(tolower(removed));
+    const auto config = StackConfig::FromName(name);
+    ASSERT_TRUE(config.has_value()) << name;
+    EXPECT_EQ(config->name, std::string("FastIOV-") + removed);
+  }
+}
+
+TEST(StackFromNameTest, ResolvesPreZeroPercentages) {
+  const auto pre10 = StackConfig::FromName("pre10");
+  ASSERT_TRUE(pre10.has_value());
+  EXPECT_DOUBLE_EQ(pre10->prezero_fraction, 0.1);
+  const auto pre100 = StackConfig::FromName("PRE100");
+  ASSERT_TRUE(pre100.has_value());
+  EXPECT_DOUBLE_EQ(pre100->prezero_fraction, 1.0);
+}
+
+TEST(StackFromNameTest, CaseInsensitive) {
+  EXPECT_TRUE(StackConfig::FromName("FastIOV").has_value());
+  EXPECT_TRUE(StackConfig::FromName("VANILLA").has_value());
+}
+
+TEST(StackFromNameTest, RejectsUnknownAndMalformed) {
+  EXPECT_FALSE(StackConfig::FromName("bogus").has_value());
+  EXPECT_FALSE(StackConfig::FromName("").has_value());
+  EXPECT_FALSE(StackConfig::FromName("pre0").has_value());
+  EXPECT_FALSE(StackConfig::FromName("pre999").has_value());
+  EXPECT_FALSE(StackConfig::FromName("fastiov-x").has_value());
+}
+
+TEST(AppFromNameTest, ResolvesAllApps) {
+  for (const ServerlessApp& app : ServerlessApp::All()) {
+    const auto byname = ServerlessApp::FromName(app.name);
+    ASSERT_TRUE(byname.has_value());
+    EXPECT_EQ(byname->input_bytes, app.input_bytes);
+  }
+  EXPECT_TRUE(ServerlessApp::FromName("IMAGE").has_value());
+  EXPECT_TRUE(ServerlessApp::FromName("inference").has_value());
+  EXPECT_FALSE(ServerlessApp::FromName("hello").has_value());
+  EXPECT_FALSE(ServerlessApp::FromName("").has_value());
+}
+
+TEST(RepeatedTest, AggregatesAcrossSeeds) {
+  ExperimentOptions options;
+  options.concurrency = 20;
+  options.seed = 100;
+  const RepeatedResult r = RunRepeated(StackConfig::FastIov(), options, 4);
+  EXPECT_EQ(r.repeats, 4);
+  ASSERT_EQ(r.runs.size(), 4u);
+  // Seeds differ, so the runs differ...
+  EXPECT_NE(r.runs[0].startup.samples(), r.runs[1].startup.samples());
+  // ...but each mean is inside the aggregate envelope.
+  for (const ExperimentResult& run : r.runs) {
+    EXPECT_GE(run.startup.Mean(), r.startup_mean.min);
+    EXPECT_LE(run.startup.Mean(), r.startup_mean.max);
+  }
+  EXPECT_GT(r.startup_mean.mean, 0.0);
+  EXPECT_GE(r.startup_p99.mean, r.startup_mean.mean);
+}
+
+TEST(RepeatedTest, TaskMetricsOnlyWithApp) {
+  ExperimentOptions options;
+  options.concurrency = 10;
+  const RepeatedResult no_app = RunRepeated(StackConfig::FastIov(), options, 2);
+  EXPECT_DOUBLE_EQ(no_app.task_mean.mean, 0.0);
+  options.app = ServerlessApp::Image();
+  const RepeatedResult with_app = RunRepeated(StackConfig::FastIov(), options, 2);
+  EXPECT_GT(with_app.task_mean.mean, with_app.startup_mean.mean);
+}
+
+TEST(RepeatedTest, SingleRepeatHasZeroSpread) {
+  ExperimentOptions options;
+  options.concurrency = 10;
+  const RepeatedResult r = RunRepeated(StackConfig::Vanilla(), options, 1);
+  EXPECT_DOUBLE_EQ(r.startup_mean.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(r.startup_mean.min, r.startup_mean.max);
+}
+
+}  // namespace
+}  // namespace fastiov

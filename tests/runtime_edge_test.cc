@@ -1,0 +1,140 @@
+// Edge cases of the runtime pipeline not covered by the matrix tests:
+// guest layout geometry, large allocations, IPvtap with applications,
+// unfixed CNI with devset growth, vDPA churn.
+#include <gtest/gtest.h>
+
+#include "src/container/runtime.h"
+#include "src/experiments/churn_experiment.h"
+#include "src/experiments/startup_experiment.h"
+
+namespace fastiov {
+namespace {
+
+TEST(GuestLayoutTest, GeometryIsConsistent) {
+  const GuestLayout l = GuestLayout::For(512 * kMiB, 256 * kMiB, 48 * kMiB, kHugePageSize);
+  EXPECT_EQ(l.ram_bytes, 512 * kMiB);
+  EXPECT_EQ(l.readonly_bytes, 48 * kMiB);
+  // The NIC rings live at the top of RAM.
+  EXPECT_EQ(l.nic_ring_gpa + l.nic_ring_bytes, l.ram_bytes);
+  // The image region sits directly above RAM.
+  EXPECT_EQ(l.image_gpa, l.ram_bytes);
+  // virtioFS vring page directly precedes the buffer.
+  EXPECT_EQ(l.virtiofs_vring_gpa + kHugePageSize, l.virtiofs_buffer_gpa);
+  // All windows are disjoint and inside RAM.
+  EXPECT_LT(l.readonly_bytes, l.virtiofs_vring_gpa);
+  EXPECT_LT(l.virtiofs_buffer_gpa + l.virtiofs_buffer_bytes, l.boot_ws_gpa);
+  EXPECT_LT(l.boot_ws_gpa + l.boot_ws_bytes, l.app_ws_gpa);
+  EXPECT_LT(l.app_ws_gpa, l.nic_ring_gpa);
+}
+
+TEST(GuestLayoutTest, ScalesWithMemory) {
+  const GuestLayout small = GuestLayout::For(512 * kMiB, 256 * kMiB, 48 * kMiB, kHugePageSize);
+  const GuestLayout large = GuestLayout::For(4 * kGiB, 256 * kMiB, 48 * kMiB, kHugePageSize);
+  EXPECT_EQ(large.nic_ring_gpa + large.nic_ring_bytes, 4 * kGiB);
+  EXPECT_EQ(large.image_gpa, 4 * kGiB);
+  // Fixed windows do not move.
+  EXPECT_EQ(small.boot_ws_gpa, large.boot_ws_gpa);
+}
+
+TEST(RuntimeEdgeTest, LargeMemoryContainersComplete) {
+  StackConfig config = StackConfig::Vanilla();
+  config.guest_memory_bytes = 8 * kGiB;
+  ExperimentOptions options;
+  options.concurrency = 5;
+  const ExperimentResult r = RunStartupExperiment(config, options);
+  EXPECT_EQ(r.startup.Count(), 5u);
+  EXPECT_EQ(r.residue_reads, 0u);
+  // 5 x (8 GiB RAM + 256 MiB image) of eager zeroing.
+  EXPECT_EQ(r.pages_zeroed, 5u * (8 * kGiB + 256 * kMiB) / kHugePageSize + 128);
+}
+
+TEST(RuntimeEdgeTest, IpvtapRunsApplications) {
+  ExperimentOptions options;
+  options.concurrency = 15;
+  options.app = ServerlessApp::Compression();
+  const ExperimentResult r = RunStartupExperiment(StackConfig::Ipvtap(), options);
+  EXPECT_EQ(r.task_completion.Count(), 15u);
+  EXPECT_EQ(r.residue_reads, 0u);
+  EXPECT_EQ(r.corruptions, 0u);
+}
+
+TEST(RuntimeEdgeTest, UnfixedCniRunsAppsAndGrowsDevset) {
+  Simulation sim(3);
+  Host host(sim, HostSpec{}, CostModel{}, StackConfig::VanillaUnfixed());
+  ContainerRuntime runtime(host);
+  const ServerlessApp app = ServerlessApp::Image();
+  auto root = [](Simulation* s, Host* h, ContainerRuntime* rt,
+                 const ServerlessApp* a) -> Task {
+    co_await h->PrepareSharedImage();
+    std::vector<Process> ps;
+    for (int i = 0; i < 6; ++i) {
+      ps.push_back(s->Spawn(rt->StartContainer(a)));
+    }
+    co_await WaitAll(std::move(ps));
+  };
+  sim.Spawn(root(&sim, &host, &runtime, &app));
+  sim.Run();
+  // The unfixed CNI binds each VF into the devset at rebind time.
+  EXPECT_EQ(host.devset().num_devices(), 6u);
+  EXPECT_EQ(runtime.TotalCorruptions(), 0u);
+}
+
+TEST(RuntimeEdgeTest, VdpaChurnRecyclesCleanly) {
+  ChurnOptions options;
+  options.waves = 2;
+  options.concurrency_per_wave = 10;
+  const ChurnResult r = RunChurnExperiment(StackConfig::FastIovVdpa(), options);
+  EXPECT_GT(r.frames_reused, 0u);
+  EXPECT_EQ(r.residue_reads, 0u);
+  EXPECT_EQ(r.corruptions, 0u);
+}
+
+TEST(RuntimeEdgeTest, SingleContainerIsTheFloor) {
+  ExperimentOptions one;
+  one.concurrency = 1;
+  const double single = RunStartupExperiment(StackConfig::FastIov(), one).startup.Mean();
+  ExperimentOptions many;
+  many.concurrency = 100;
+  const double crowd = RunStartupExperiment(StackConfig::FastIov(), many).startup.Mean();
+  EXPECT_LT(single, crowd);
+  EXPECT_GT(single, 0.5);  // the pipeline has real uncontended work
+}
+
+TEST(RuntimeEdgeTest, ZeroConcurrencyIsANoop) {
+  ExperimentOptions options;
+  options.concurrency = 0;
+  const ExperimentResult r = RunStartupExperiment(StackConfig::FastIov(), options);
+  EXPECT_EQ(r.startup.Count(), 0u);
+  EXPECT_EQ(r.residue_reads, 0u);
+}
+
+TEST(RuntimeEdgeTest, InterruptsAreRelayedDuringDownloads) {
+  ExperimentOptions options;
+  options.concurrency = 5;
+  options.app = ServerlessApp::Inference();  // 52 MiB through 4 MiB rings
+  Simulation sim(3);
+  Host host(sim, HostSpec{}, CostModel{}, StackConfig::FastIov());
+  ContainerRuntime runtime(host);
+  const ServerlessApp app = *options.app;
+  auto root = [](Simulation* s, Host* h, ContainerRuntime* rt,
+                 const ServerlessApp* a) -> Task {
+    co_await h->PrepareSharedImage();
+    h->PreBindVfsToVfio();
+    h->fastiovd().StartBackgroundZeroer();
+    std::vector<Process> ps;
+    for (int i = 0; i < 5; ++i) {
+      ps.push_back(s->Spawn(rt->StartContainer(a)));
+    }
+    co_await WaitAll(std::move(ps));
+    h->fastiovd().StopBackgroundZeroer();
+  };
+  sim.Spawn(root(&sim, &host, &runtime, &app));
+  sim.Run();
+  for (const auto& inst : runtime.instances()) {
+    // 52 MiB / 4 MiB ring = 13 chunks -> 13 interrupts.
+    EXPECT_EQ(inst->vm->interrupts_received(), 13u);
+  }
+}
+
+}  // namespace
+}  // namespace fastiov

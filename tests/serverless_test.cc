@@ -1,0 +1,132 @@
+// Serverless task-completion properties (§6.6 / Figs. 15-16 shapes).
+#include "src/workload/serverless.h"
+
+#include <gtest/gtest.h>
+
+#include "src/container/runtime.h"
+#include "src/experiments/startup_experiment.h"
+
+namespace fastiov {
+namespace {
+
+ExperimentOptions AppRun(const ServerlessApp& app, int concurrency = 50, uint64_t seed = 42) {
+  ExperimentOptions o;
+  o.concurrency = concurrency;
+  o.seed = seed;
+  o.app = app;
+  return o;
+}
+
+TEST(ServerlessAppTest, PresetsAreOrderedByComputeDemand) {
+  const auto apps = ServerlessApp::All();
+  ASSERT_EQ(apps.size(), 4u);
+  EXPECT_EQ(apps[0].name, "Image");
+  EXPECT_EQ(apps[1].name, "Compression");
+  EXPECT_EQ(apps[2].name, "Scientific");
+  EXPECT_EQ(apps[3].name, "Inference");
+  for (size_t i = 1; i < apps.size(); ++i) {
+    EXPECT_GT(apps[i].compute_cpu_seconds, apps[i - 1].compute_cpu_seconds);
+  }
+  EXPECT_EQ(apps[1].input_bytes, static_cast<uint64_t>(9.7 * kMiB));  // the 9.7 MB zip input
+}
+
+TEST(ServerlessTest, CompletionIncludesStartupDownloadCompute) {
+  const ServerlessApp app = ServerlessApp::Compression();
+  const ExperimentResult r = RunStartupExperiment(StackConfig::FastIov(), AppRun(app, 20));
+  ASSERT_EQ(r.task_completion.Count(), 20u);
+  // Completion exceeds startup by at least the vCPU-capped compute time.
+  const double min_compute = app.compute_cpu_seconds / StackConfig::FastIov().vcpus;
+  EXPECT_GE(r.task_completion.Min(), r.startup.Min() + min_compute * 0.9);
+}
+
+TEST(ServerlessTest, FastIovReducesCompletionForEveryApp) {
+  for (const ServerlessApp& app : ServerlessApp::All()) {
+    const ExperimentResult vanilla =
+        RunStartupExperiment(StackConfig::Vanilla(), AppRun(app));
+    const ExperimentResult fast = RunStartupExperiment(StackConfig::FastIov(), AppRun(app));
+    EXPECT_LT(fast.task_completion.Mean(), vanilla.task_completion.Mean()) << app.name;
+    EXPECT_LT(fast.task_completion.Percentile(99.0),
+              vanilla.task_completion.Percentile(99.0))
+        << app.name;
+  }
+}
+
+TEST(ServerlessTest, ReductionRatioShrinksWithTaskLength) {
+  // Fig. 15: Image (short) benefits most, Inference (long) least, because
+  // the startup saving is a fixed amount of the total.
+  std::vector<double> ratios;
+  for (const ServerlessApp& app : ServerlessApp::All()) {
+    const double v =
+        RunStartupExperiment(StackConfig::Vanilla(), AppRun(app)).task_completion.Mean();
+    const double f =
+        RunStartupExperiment(StackConfig::FastIov(), AppRun(app)).task_completion.Mean();
+    ratios.push_back(1.0 - f / v);
+  }
+  for (size_t i = 1; i < ratios.size(); ++i) {
+    EXPECT_LT(ratios[i], ratios[i - 1]) << "apps must be ordered by decreasing benefit";
+  }
+  EXPECT_GT(ratios.front(), 0.15);  // Image: large benefit
+  EXPECT_LT(ratios.back(), 0.30);   // Inference: small benefit
+}
+
+TEST(ServerlessTest, DownloadsFlowThroughTheVfDataPlane) {
+  const ServerlessApp app = ServerlessApp::Inference();
+  Simulation sim(42);
+  Host host(sim, HostSpec{}, CostModel{}, StackConfig::FastIov());
+  ContainerRuntime runtime(host);
+  auto root = [](Simulation* s, Host* h, ContainerRuntime* rt,
+                 const ServerlessApp* a) -> Task {
+    co_await h->PrepareSharedImage();
+    h->PreBindVfsToVfio();
+    h->fastiovd().StartBackgroundZeroer();
+    std::vector<Process> ps;
+    for (int i = 0; i < 10; ++i) {
+      ps.push_back(s->Spawn(rt->StartContainer(a)));
+    }
+    co_await WaitAll(std::move(ps));
+    h->fastiovd().StopBackgroundZeroer();
+  };
+  sim.Spawn(root(&sim, &host, &runtime, &app));
+  sim.Run();
+  // 10 downloads of the model over the NIC.
+  EXPECT_DOUBLE_EQ(host.nic().data_plane().total_transferred(),
+                   10.0 * static_cast<double>(app.input_bytes));
+}
+
+TEST(ServerlessTest, MoreVcpusShortenExecution) {
+  // Fig. 16e-h: FastIOV lets apps reap the benefit of larger allocations.
+  const ServerlessApp app = ServerlessApp::Scientific();
+  auto run = [&](double vcpus, uint64_t mem) {
+    StackConfig c = StackConfig::FastIov();
+    c.vcpus = vcpus;
+    c.guest_memory_bytes = mem;
+    return RunStartupExperiment(c, AppRun(app, 30)).task_completion.Mean();
+  };
+  const double small = run(0.5, 512 * kMiB);
+  const double large = run(2.0, 2 * kGiB);
+  EXPECT_LT(large, small);
+}
+
+TEST(ServerlessTest, HigherConcurrencyWidensFastIovAdvantage) {
+  // Fig. 16a-d shape.
+  const ServerlessApp app = ServerlessApp::Image();
+  auto ratio = [&](int n) {
+    const double v =
+        RunStartupExperiment(StackConfig::Vanilla(), AppRun(app, n)).task_completion.Mean();
+    const double f =
+        RunStartupExperiment(StackConfig::FastIov(), AppRun(app, n)).task_completion.Mean();
+    return 1.0 - f / v;
+  };
+  EXPECT_GT(ratio(150), ratio(15));
+}
+
+TEST(ServerlessTest, NoViolationsDuringAppExecution) {
+  for (const ServerlessApp& app : ServerlessApp::All()) {
+    const ExperimentResult r = RunStartupExperiment(StackConfig::FastIov(), AppRun(app, 20));
+    EXPECT_EQ(r.residue_reads, 0u) << app.name;
+    EXPECT_EQ(r.corruptions, 0u) << app.name;
+  }
+}
+
+}  // namespace
+}  // namespace fastiov

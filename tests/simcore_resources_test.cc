@@ -1,0 +1,221 @@
+#include "src/simcore/resources.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fastiov {
+namespace {
+
+constexpr double kTolerance = 1e-3;  // seconds; bandwidth timers add ~1ns
+
+void ExpectNear(SimTime actual, double expected_seconds) {
+  EXPECT_NEAR(actual.ToSecondsF(), expected_seconds, kTolerance);
+}
+
+// --- CpuPool (processor sharing) ---
+
+Task ComputeAndLog(Simulation& sim, CpuPool& cpu, SimTime cost, std::vector<int64_t>* ends) {
+  co_await cpu.Compute(cost);
+  ends->push_back(sim.Now().ns());
+}
+
+TEST(CpuPoolTest, SingleJobRunsAtFullSpeed) {
+  Simulation sim;
+  CpuPool cpu(sim, 4);
+  std::vector<int64_t> ends;
+  sim.Spawn(ComputeAndLog(sim, cpu, Milliseconds(100), &ends));
+  sim.Run();
+  ExpectNear(sim.Now(), 0.1);
+}
+
+TEST(CpuPoolTest, JobsWithinCoreCountDoNotContend) {
+  Simulation sim;
+  CpuPool cpu(sim, 4);
+  std::vector<int64_t> ends;
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn(ComputeAndLog(sim, cpu, Milliseconds(100), &ends));
+  }
+  sim.Run();
+  ExpectNear(sim.Now(), 0.1);
+}
+
+TEST(CpuPoolTest, OversubscriptionStretchesProportionally) {
+  Simulation sim;
+  CpuPool cpu(sim, 2);
+  std::vector<int64_t> ends;
+  for (int i = 0; i < 8; ++i) {
+    sim.Spawn(ComputeAndLog(sim, cpu, Milliseconds(100), &ends));
+  }
+  sim.Run();
+  // 8 jobs x 100ms on 2 cores = 400ms of wall time under fair sharing.
+  ExpectNear(sim.Now(), 0.4);
+  // All jobs finish together (identical demands, equal shares).
+  for (int64_t e : ends) {
+    EXPECT_NEAR(static_cast<double>(e) * 1e-9, 0.4, kTolerance);
+  }
+}
+
+TEST(CpuPoolTest, ShortJobNotConvoyedBehindLongJob) {
+  Simulation sim;
+  CpuPool cpu(sim, 1);
+  std::vector<int64_t> ends;
+  sim.Spawn(ComputeAndLog(sim, cpu, Milliseconds(1000), &ends));
+  sim.Spawn(ComputeAndLog(sim, cpu, Milliseconds(10), &ends));
+  sim.Run();
+  // Under PS the 10ms job finishes at ~20ms (half rate), far before the
+  // 1s job; a FIFO queue would have held it for the full second.
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(ends[0]) * 1e-9, 0.02, kTolerance);
+  EXPECT_NEAR(static_cast<double>(ends[1]) * 1e-9, 1.01, kTolerance);
+}
+
+TEST(CpuPoolTest, BusyTimeAccountsDemand) {
+  Simulation sim;
+  CpuPool cpu(sim, 2);
+  std::vector<int64_t> ends;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn(ComputeAndLog(sim, cpu, Milliseconds(50), &ends));
+  }
+  sim.Run();
+  ExpectNear(cpu.busy_core_time(), 0.15);
+}
+
+TEST(CpuPoolTest, ZeroCostCompletesInstantly) {
+  Simulation sim;
+  CpuPool cpu(sim, 1);
+  std::vector<int64_t> ends;
+  sim.Spawn(ComputeAndLog(sim, cpu, SimTime::Zero(), &ends));
+  sim.Run();
+  EXPECT_EQ(sim.Now(), SimTime::Zero());
+}
+
+// --- BandwidthResource ---
+
+Task TransferAndLog(Simulation& sim, BandwidthResource& bw, double amount, double cap,
+                    std::vector<int64_t>* ends) {
+  co_await bw.Transfer(amount, cap);
+  ends->push_back(sim.Now().ns());
+}
+
+TEST(BandwidthTest, SingleFlowUsesFullCapacity) {
+  Simulation sim;
+  BandwidthResource bw(sim, 100.0);  // units per second
+  std::vector<int64_t> ends;
+  sim.Spawn(TransferAndLog(sim, bw, 50.0, BandwidthResource::kUncapped, &ends));
+  sim.Run();
+  ExpectNear(sim.Now(), 0.5);
+}
+
+TEST(BandwidthTest, TwoFlowsShareFairly) {
+  Simulation sim;
+  BandwidthResource bw(sim, 100.0);
+  std::vector<int64_t> ends;
+  sim.Spawn(TransferAndLog(sim, bw, 50.0, BandwidthResource::kUncapped, &ends));
+  sim.Spawn(TransferAndLog(sim, bw, 50.0, BandwidthResource::kUncapped, &ends));
+  sim.Run();
+  // Each gets 50 u/s -> both finish at 1s.
+  ExpectNear(sim.Now(), 1.0);
+}
+
+TEST(BandwidthTest, ShortFlowFinishesEarlyAndLongFlowSpeedsUp) {
+  Simulation sim;
+  BandwidthResource bw(sim, 100.0);
+  std::vector<int64_t> ends;
+  sim.Spawn(TransferAndLog(sim, bw, 10.0, BandwidthResource::kUncapped, &ends));
+  sim.Spawn(TransferAndLog(sim, bw, 100.0, BandwidthResource::kUncapped, &ends));
+  sim.Run();
+  ASSERT_EQ(ends.size(), 2u);
+  // Flow A: 10 units at 50/s -> 0.2s. Flow B: 10 units by 0.2s, then 90
+  // more at 100/s -> 1.1s.
+  EXPECT_NEAR(static_cast<double>(ends[0]) * 1e-9, 0.2, kTolerance);
+  EXPECT_NEAR(static_cast<double>(ends[1]) * 1e-9, 1.1, kTolerance);
+}
+
+TEST(BandwidthTest, PerFlowCapLimitsRate) {
+  Simulation sim;
+  BandwidthResource bw(sim, 100.0);
+  std::vector<int64_t> ends;
+  sim.Spawn(TransferAndLog(sim, bw, 10.0, 10.0, &ends));
+  sim.Run();
+  // Capped at 10/s despite 100/s being free.
+  ExpectNear(sim.Now(), 1.0);
+}
+
+TEST(BandwidthTest, WaterFillingRedistributesCapacity) {
+  Simulation sim;
+  BandwidthResource bw(sim, 100.0);
+  std::vector<int64_t> ends;
+  // One capped flow (10/s) plus one uncapped: the uncapped flow gets the
+  // remaining 90/s, not just the 50/s fair share.
+  sim.Spawn(TransferAndLog(sim, bw, 10.0, 10.0, &ends));
+  sim.Spawn(TransferAndLog(sim, bw, 90.0, BandwidthResource::kUncapped, &ends));
+  sim.Run();
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(ends[0]) * 1e-9, 1.0, kTolerance);
+  EXPECT_NEAR(static_cast<double>(ends[1]) * 1e-9, 1.0, kTolerance);
+}
+
+TEST(BandwidthTest, LateArrivalSlowsExistingFlow) {
+  Simulation sim;
+  BandwidthResource bw(sim, 100.0);
+  std::vector<int64_t> ends;
+  auto scenario = [](Simulation& s, BandwidthResource& b, std::vector<int64_t>* out) -> Task {
+    Process p1 = s.Spawn(TransferAndLog(s, b, 100.0, BandwidthResource::kUncapped, out));
+    co_await s.Delay(Milliseconds(500));
+    Process p2 = s.Spawn(TransferAndLog(s, b, 50.0, BandwidthResource::kUncapped, out));
+    co_await p1.Join();
+    co_await p2.Join();
+  };
+  sim.Spawn(scenario(sim, bw, &ends));
+  sim.Run();
+  ASSERT_EQ(ends.size(), 2u);
+  // Flow 1: 50 units by 0.5s, then shares 50/s until done at 1.5s.
+  // Flow 2: 50 units at 50/s -> also 1.5s.
+  EXPECT_NEAR(static_cast<double>(ends[0]) * 1e-9, 1.5, kTolerance);
+  EXPECT_NEAR(static_cast<double>(ends[1]) * 1e-9, 1.5, kTolerance);
+}
+
+TEST(BandwidthTest, TotalTransferredAccumulates) {
+  Simulation sim;
+  BandwidthResource bw(sim, 100.0);
+  std::vector<int64_t> ends;
+  sim.Spawn(TransferAndLog(sim, bw, 30.0, BandwidthResource::kUncapped, &ends));
+  sim.Spawn(TransferAndLog(sim, bw, 20.0, BandwidthResource::kUncapped, &ends));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(bw.total_transferred(), 50.0);
+  EXPECT_EQ(bw.active_flows(), 0u);
+}
+
+TEST(BandwidthTest, ZeroAmountCompletesInstantly) {
+  Simulation sim;
+  BandwidthResource bw(sim, 100.0);
+  std::vector<int64_t> ends;
+  sim.Spawn(TransferAndLog(sim, bw, 0.0, BandwidthResource::kUncapped, &ends));
+  sim.Run();
+  EXPECT_EQ(sim.Now(), SimTime::Zero());
+}
+
+// Property sweep: N identical flows on capacity C finish at N*amount/C.
+class BandwidthFairnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BandwidthFairnessTest, NFlowsFinishTogether) {
+  const int n = GetParam();
+  Simulation sim;
+  BandwidthResource bw(sim, 200.0);
+  std::vector<int64_t> ends;
+  for (int i = 0; i < n; ++i) {
+    sim.Spawn(TransferAndLog(sim, bw, 100.0, BandwidthResource::kUncapped, &ends));
+  }
+  sim.Run();
+  const double expected = static_cast<double>(n) * 100.0 / 200.0;
+  ExpectNear(sim.Now(), expected);
+  for (int64_t e : ends) {
+    EXPECT_NEAR(static_cast<double>(e) * 1e-9, expected, kTolerance);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BandwidthFairnessTest, ::testing::Values(1, 2, 3, 5, 8, 16, 64));
+
+}  // namespace
+}  // namespace fastiov

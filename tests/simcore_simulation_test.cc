@@ -1,0 +1,209 @@
+#include "src/simcore/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fastiov {
+namespace {
+
+Task Record(Simulation& sim, SimTime delay, std::vector<int>* log, int id) {
+  co_await sim.Delay(delay);
+  log->push_back(id);
+}
+
+TEST(SimulationTest, StartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.Now(), SimTime::Zero());
+}
+
+TEST(SimulationTest, DelayAdvancesClock) {
+  Simulation sim;
+  std::vector<int> log;
+  sim.Spawn(Record(sim, Milliseconds(5), &log, 1));
+  sim.Run();
+  EXPECT_EQ(sim.Now(), Milliseconds(5));
+  EXPECT_EQ(log, std::vector<int>({1}));
+}
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> log;
+  sim.Spawn(Record(sim, Milliseconds(30), &log, 3));
+  sim.Spawn(Record(sim, Milliseconds(10), &log, 1));
+  sim.Spawn(Record(sim, Milliseconds(20), &log, 2));
+  sim.Run();
+  EXPECT_EQ(log, std::vector<int>({1, 2, 3}));
+}
+
+TEST(SimulationTest, SameTimestampFifoOrder) {
+  Simulation sim;
+  std::vector<int> log;
+  for (int i = 0; i < 10; ++i) {
+    sim.Spawn(Record(sim, Milliseconds(5), &log, i));
+  }
+  sim.Run();
+  std::vector<int> expected;
+  for (int i = 0; i < 10; ++i) {
+    expected.push_back(i);
+  }
+  EXPECT_EQ(log, expected);
+}
+
+TEST(SimulationTest, ScheduleCallback) {
+  Simulation sim;
+  bool fired = false;
+  sim.ScheduleCallback(Milliseconds(7), [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), Milliseconds(7));
+}
+
+Task AwaitChild(Simulation& sim, std::vector<int>* log) {
+  co_await Record(sim, Milliseconds(3), log, 1);
+  log->push_back(2);
+}
+
+TEST(SimulationTest, AwaitingChildTaskRunsItToCompletion) {
+  Simulation sim;
+  std::vector<int> log;
+  sim.Spawn(AwaitChild(sim, &log));
+  sim.Run();
+  EXPECT_EQ(log, std::vector<int>({1, 2}));
+  EXPECT_EQ(sim.Now(), Milliseconds(3));
+}
+
+Task JoinBoth(Simulation& sim, std::vector<int>* log) {
+  Process p1 = sim.Spawn(Record(sim, Milliseconds(10), log, 1));
+  Process p2 = sim.Spawn(Record(sim, Milliseconds(5), log, 2));
+  co_await p1.Join();
+  co_await p2.Join();
+  log->push_back(3);
+}
+
+TEST(SimulationTest, SpawnRunsConcurrently) {
+  Simulation sim;
+  std::vector<int> log;
+  sim.Spawn(JoinBoth(sim, &log));
+  sim.Run();
+  // p2 (5ms) finishes before p1 (10ms); join order does not matter.
+  EXPECT_EQ(log, std::vector<int>({2, 1, 3}));
+  EXPECT_EQ(sim.Now(), Milliseconds(10));
+}
+
+TEST(SimulationTest, JoinAfterCompletionDoesNotBlock) {
+  Simulation sim;
+  std::vector<int> log;
+  auto outer = [](Simulation& s, std::vector<int>* l) -> Task {
+    Process p = s.Spawn(Record(s, Milliseconds(1), l, 1));
+    co_await s.Delay(Milliseconds(50));
+    co_await p.Join();  // long done
+    l->push_back(2);
+  };
+  sim.Spawn(outer(sim, &log));
+  sim.Run();
+  EXPECT_EQ(log, std::vector<int>({1, 2}));
+}
+
+Task Throws(Simulation& sim) {
+  co_await sim.Delay(Milliseconds(1));
+  throw std::runtime_error("boom");
+}
+
+TEST(SimulationTest, UnjoinedExceptionSurfacesFromRun) {
+  Simulation sim;
+  sim.Spawn(Throws(sim));
+  EXPECT_THROW(sim.Run(), std::runtime_error);
+}
+
+Task JoinsThrower(Simulation& sim, bool* caught) {
+  Process p = sim.Spawn(Throws(sim));
+  try {
+    co_await p.Join();
+  } catch (const std::runtime_error&) {
+    *caught = true;
+  }
+}
+
+TEST(SimulationTest, JoinPropagatesException) {
+  Simulation sim;
+  bool caught = false;
+  sim.Spawn(JoinsThrower(sim, &caught));
+  sim.Run();  // must NOT rethrow: the exception was consumed by Join
+  EXPECT_TRUE(caught);
+}
+
+Task ThrowsThroughChild(Simulation& sim, bool* caught) {
+  try {
+    co_await Throws(sim);
+  } catch (const std::runtime_error&) {
+    *caught = true;
+  }
+}
+
+TEST(SimulationTest, ChildTaskExceptionPropagatesToAwaiter) {
+  Simulation sim;
+  bool caught = false;
+  sim.Spawn(ThrowsThroughChild(sim, &caught));
+  sim.Run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(SimulationTest, WaitAllJoinsEverything) {
+  Simulation sim;
+  std::vector<int> log;
+  auto outer = [](Simulation& s, std::vector<int>* l) -> Task {
+    std::vector<Process> ps;
+    for (int i = 0; i < 5; ++i) {
+      ps.push_back(s.Spawn(Record(s, Milliseconds(i + 1), l, i)));
+    }
+    co_await WaitAll(std::move(ps));
+    l->push_back(99);
+  };
+  sim.Spawn(outer(sim, &log));
+  sim.Run();
+  EXPECT_EQ(log.back(), 99);
+  EXPECT_EQ(log.size(), 6u);
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  std::vector<int> log;
+  sim.Spawn(Record(sim, Milliseconds(10), &log, 1));
+  sim.Spawn(Record(sim, Milliseconds(30), &log, 2));
+  sim.RunUntil(Milliseconds(20));
+  EXPECT_EQ(log, std::vector<int>({1}));
+  EXPECT_EQ(sim.Now(), Milliseconds(20));
+  sim.Run();
+  EXPECT_EQ(log, std::vector<int>({1, 2}));
+}
+
+TEST(SimulationTest, EventCountIsDeterministic) {
+  auto run = [] {
+    Simulation sim(99);
+    std::vector<int> log;
+    for (int i = 0; i < 20; ++i) {
+      sim.Spawn(Record(sim, Milliseconds(sim.rng().UniformInt(1, 50)), &log, i));
+    }
+    sim.Run();
+    return std::make_pair(sim.num_events_processed(), log);
+  };
+  auto [n1, log1] = run();
+  auto [n2, log2] = run();
+  EXPECT_EQ(n1, n2);
+  EXPECT_EQ(log1, log2);
+}
+
+TEST(SimulationTest, ProcessDoneFlag) {
+  Simulation sim;
+  std::vector<int> log;
+  Process p = sim.Spawn(Record(sim, Milliseconds(1), &log, 1));
+  EXPECT_FALSE(p.Done());
+  sim.Run();
+  EXPECT_TRUE(p.Done());
+}
+
+}  // namespace
+}  // namespace fastiov

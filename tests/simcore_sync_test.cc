@@ -1,0 +1,274 @@
+#include "src/simcore/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fastiov {
+namespace {
+
+// --- SimEvent ---
+
+Task WaitAndLog(Simulation& sim, SimEvent& ev, std::vector<int>* log, int id) {
+  co_await ev.Wait();
+  log->push_back(id);
+  (void)sim;
+}
+
+TEST(SimEventTest, SetWakesAllWaiters) {
+  Simulation sim;
+  SimEvent ev(sim);
+  std::vector<int> log;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn(WaitAndLog(sim, ev, &log, i));
+  }
+  sim.ScheduleCallback(Milliseconds(5), [&] { ev.Set(); });
+  sim.Run();
+  EXPECT_EQ(log, std::vector<int>({0, 1, 2}));
+  EXPECT_EQ(sim.Now(), Milliseconds(5));
+}
+
+TEST(SimEventTest, WaitOnSetEventDoesNotSuspend) {
+  Simulation sim;
+  SimEvent ev(sim);
+  ev.Set();
+  std::vector<int> log;
+  auto t = [](Simulation& s, SimEvent& e, std::vector<int>* l) -> Task {
+    co_await e.Wait();
+    l->push_back(1);
+    EXPECT_EQ(s.Now(), SimTime::Zero());
+  };
+  sim.Spawn(t(sim, ev, &log));
+  sim.Run();
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(SimEventTest, ResetAllowsReuse) {
+  Simulation sim;
+  SimEvent ev(sim);
+  ev.Set();
+  EXPECT_TRUE(ev.IsSet());
+  ev.Reset();
+  EXPECT_FALSE(ev.IsSet());
+}
+
+// --- SimMutex ---
+
+Task LockHoldUnlock(Simulation& sim, SimMutex& mu, SimTime hold, std::vector<int>* log,
+                    int id) {
+  co_await mu.Lock();
+  log->push_back(id);
+  co_await sim.Delay(hold);
+  mu.Unlock();
+}
+
+TEST(SimMutexTest, SerializesCriticalSections) {
+  Simulation sim;
+  SimMutex mu(sim);
+  std::vector<int> log;
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn(LockHoldUnlock(sim, mu, Milliseconds(10), &log, i));
+  }
+  sim.Run();
+  EXPECT_EQ(log, std::vector<int>({0, 1, 2, 3}));
+  // 4 holders x 10ms, strictly serialized.
+  EXPECT_EQ(sim.Now(), Milliseconds(40));
+  EXPECT_FALSE(mu.IsLocked());
+}
+
+TEST(SimMutexTest, ContentionCountOnlyCountsWaiters) {
+  Simulation sim;
+  SimMutex mu(sim);
+  std::vector<int> log;
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn(LockHoldUnlock(sim, mu, Milliseconds(1), &log, i));
+  }
+  sim.Run();
+  EXPECT_EQ(mu.contention_count(), 3u);  // the first acquisition was free
+}
+
+TEST(SimMutexTest, UncontendedLockIsImmediate) {
+  Simulation sim;
+  SimMutex mu(sim);
+  auto t = [](Simulation& s, SimMutex& m) -> Task {
+    co_await m.Lock();
+    EXPECT_EQ(s.Now(), SimTime::Zero());
+    m.Unlock();
+  };
+  sim.Spawn(t(sim, mu));
+  sim.Run();
+  EXPECT_EQ(mu.contention_count(), 0u);
+}
+
+TEST(SimMutexTest, GuardUnlocksOnScopeExit) {
+  Simulation sim;
+  SimMutex mu(sim);
+  std::vector<int> log;
+  auto holder = [](Simulation& s, SimMutex& m, std::vector<int>* l) -> Task {
+    co_await m.Lock();
+    SimMutexGuard guard(m);
+    l->push_back(1);
+    co_await s.Delay(Milliseconds(5));
+  };
+  sim.Spawn(holder(sim, mu, &log));
+  sim.Spawn(LockHoldUnlock(sim, mu, Milliseconds(1), &log, 2));
+  sim.Run();
+  EXPECT_EQ(log, std::vector<int>({1, 2}));
+  EXPECT_FALSE(mu.IsLocked());
+}
+
+// --- SimRwLock ---
+
+Task Reader(Simulation& sim, SimRwLock& lock, SimTime hold, std::vector<std::pair<int, int64_t>>* log,
+            int id) {
+  co_await lock.LockRead();
+  log->push_back({id, sim.Now().ns()});
+  co_await sim.Delay(hold);
+  lock.UnlockRead();
+}
+
+Task Writer(Simulation& sim, SimRwLock& lock, SimTime hold, std::vector<std::pair<int, int64_t>>* log,
+            int id) {
+  co_await lock.LockWrite();
+  log->push_back({id, sim.Now().ns()});
+  co_await sim.Delay(hold);
+  lock.UnlockWrite();
+}
+
+TEST(SimRwLockTest, ReadersProceedInParallel) {
+  Simulation sim;
+  SimRwLock lock(sim);
+  std::vector<std::pair<int, int64_t>> log;
+  for (int i = 0; i < 5; ++i) {
+    sim.Spawn(Reader(sim, lock, Milliseconds(10), &log, i));
+  }
+  sim.Run();
+  // All readers entered at t=0; total time = one hold, not five.
+  EXPECT_EQ(sim.Now(), Milliseconds(10));
+  for (const auto& [id, t] : log) {
+    EXPECT_EQ(t, 0);
+  }
+}
+
+TEST(SimRwLockTest, WritersAreExclusive) {
+  Simulation sim;
+  SimRwLock lock(sim);
+  std::vector<std::pair<int, int64_t>> log;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn(Writer(sim, lock, Milliseconds(10), &log, i));
+  }
+  sim.Run();
+  EXPECT_EQ(sim.Now(), Milliseconds(30));
+  EXPECT_EQ(log[0].second, 0);
+  EXPECT_EQ(log[1].second, Milliseconds(10).ns());
+  EXPECT_EQ(log[2].second, Milliseconds(20).ns());
+}
+
+TEST(SimRwLockTest, WriterExcludesReaders) {
+  Simulation sim;
+  SimRwLock lock(sim);
+  std::vector<std::pair<int, int64_t>> log;
+  sim.Spawn(Writer(sim, lock, Milliseconds(10), &log, 100));
+  sim.Spawn(Reader(sim, lock, Milliseconds(5), &log, 1));
+  sim.Spawn(Reader(sim, lock, Milliseconds(5), &log, 2));
+  sim.Run();
+  // Readers start only after the writer releases, then run in parallel.
+  EXPECT_EQ(log[0].first, 100);
+  EXPECT_EQ(log[1].second, Milliseconds(10).ns());
+  EXPECT_EQ(log[2].second, Milliseconds(10).ns());
+  EXPECT_EQ(sim.Now(), Milliseconds(15));
+}
+
+TEST(SimRwLockTest, FifoPreventsWriterStarvation) {
+  Simulation sim;
+  SimRwLock lock(sim);
+  std::vector<std::pair<int, int64_t>> log;
+  auto scenario = [](Simulation& s, SimRwLock& l,
+                     std::vector<std::pair<int, int64_t>>* out) -> Task {
+    // Reader 1 holds; writer queues; reader 2 arrives later and must wait
+    // behind the writer (strict FIFO), not barge in with reader 1.
+    Process r1 = s.Spawn(Reader(s, l, Milliseconds(10), out, 1));
+    co_await s.Delay(Milliseconds(1));
+    Process w = s.Spawn(Writer(s, l, Milliseconds(10), out, 2));
+    co_await s.Delay(Milliseconds(1));
+    Process r2 = s.Spawn(Reader(s, l, Milliseconds(10), out, 3));
+    co_await r1.Join();
+    co_await w.Join();
+    co_await r2.Join();
+  };
+  sim.Spawn(scenario(sim, lock, &log));
+  sim.Run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].first, 1);
+  EXPECT_EQ(log[1].first, 2);  // writer before the late reader
+  EXPECT_EQ(log[1].second, Milliseconds(10).ns());
+  EXPECT_EQ(log[2].first, 3);
+  EXPECT_EQ(log[2].second, Milliseconds(20).ns());
+}
+
+TEST(SimRwLockTest, ConsecutiveQueuedReadersAdmittedTogether) {
+  Simulation sim;
+  SimRwLock lock(sim);
+  std::vector<std::pair<int, int64_t>> log;
+  auto scenario = [](Simulation& s, SimRwLock& l,
+                     std::vector<std::pair<int, int64_t>>* out) -> Task {
+    Process w = s.Spawn(Writer(s, l, Milliseconds(10), out, 1));
+    co_await s.Delay(Milliseconds(1));
+    Process r1 = s.Spawn(Reader(s, l, Milliseconds(10), out, 2));
+    Process r2 = s.Spawn(Reader(s, l, Milliseconds(10), out, 3));
+    co_await w.Join();
+    co_await r1.Join();
+    co_await r2.Join();
+  };
+  sim.Spawn(scenario(sim, lock, &log));
+  sim.Run();
+  // Both readers start together when the writer releases.
+  EXPECT_EQ(log[1].second, Milliseconds(10).ns());
+  EXPECT_EQ(log[2].second, Milliseconds(10).ns());
+  EXPECT_EQ(sim.Now(), Milliseconds(20));
+}
+
+// --- SimSemaphore ---
+
+Task AcquireHold(Simulation& sim, SimSemaphore& sem, SimTime hold, std::vector<int64_t>* starts) {
+  co_await sem.Acquire();
+  starts->push_back(sim.Now().ns());
+  co_await sim.Delay(hold);
+  sem.Release();
+}
+
+TEST(SimSemaphoreTest, AllowsCountConcurrentHolders) {
+  Simulation sim;
+  SimSemaphore sem(sim, 2);
+  std::vector<int64_t> starts;
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn(AcquireHold(sim, sem, Milliseconds(10), &starts));
+  }
+  sim.Run();
+  ASSERT_EQ(starts.size(), 4u);
+  EXPECT_EQ(starts[0], 0);
+  EXPECT_EQ(starts[1], 0);
+  EXPECT_EQ(starts[2], Milliseconds(10).ns());
+  EXPECT_EQ(starts[3], Milliseconds(10).ns());
+  EXPECT_EQ(sem.available(), 2);
+}
+
+TEST(SimSemaphoreTest, AvailableTracksHolders) {
+  Simulation sim;
+  SimSemaphore sem(sim, 3);
+  auto t = [](Simulation& /*sim*/, SimSemaphore& sm) -> Task {
+    co_await sm.Acquire();
+    EXPECT_EQ(sm.available(), 2);
+    co_await sm.Acquire();
+    EXPECT_EQ(sm.available(), 1);
+    sm.Release();
+    sm.Release();
+    EXPECT_EQ(sm.available(), 3);
+    co_return;
+  };
+  sim.Spawn(t(sim, sem));
+  sim.Run();
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -1,0 +1,61 @@
+#include "src/simcore/time.h"
+
+#include <gtest/gtest.h>
+
+namespace fastiov {
+namespace {
+
+TEST(SimTimeTest, ConstructorsAndAccessors) {
+  EXPECT_EQ(SimTime().ns(), 0);
+  EXPECT_EQ(Nanoseconds(42).ns(), 42);
+  EXPECT_EQ(Microseconds(3).ns(), 3000);
+  EXPECT_EQ(Milliseconds(2).ns(), 2'000'000);
+  EXPECT_EQ(Seconds(1.5).ns(), 1'500'000'000);
+}
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(Seconds(2.0).ToSecondsF(), 2.0);
+  EXPECT_DOUBLE_EQ(Milliseconds(1500).ToSecondsF(), 1.5);
+  EXPECT_DOUBLE_EQ(Milliseconds(2).ToMillisF(), 2.0);
+  EXPECT_DOUBLE_EQ(Microseconds(7).ToMicrosF(), 7.0);
+}
+
+TEST(SimTimeTest, Comparison) {
+  EXPECT_LT(Milliseconds(1), Milliseconds(2));
+  EXPECT_EQ(Milliseconds(1000), Seconds(1.0));
+  EXPECT_GE(Seconds(1.0), Milliseconds(999));
+  EXPECT_EQ(SimTime::Zero(), SimTime(0));
+  EXPECT_GT(SimTime::Max(), Seconds(1e9));
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  EXPECT_EQ(Milliseconds(1) + Milliseconds(2), Milliseconds(3));
+  EXPECT_EQ(Milliseconds(5) - Milliseconds(2), Milliseconds(3));
+  SimTime t = Milliseconds(1);
+  t += Milliseconds(1);
+  EXPECT_EQ(t, Milliseconds(2));
+  t -= Milliseconds(2);
+  EXPECT_EQ(t, SimTime::Zero());
+}
+
+TEST(SimTimeTest, ScalarMultiplyDivide) {
+  EXPECT_EQ(Milliseconds(10) * 2.5, Milliseconds(25));
+  EXPECT_EQ(Milliseconds(10) / 2.0, Milliseconds(5));
+  EXPECT_DOUBLE_EQ(Milliseconds(10) / Milliseconds(4), 2.5);
+}
+
+TEST(SimTimeTest, MultiplyByZeroAndNegative) {
+  EXPECT_EQ(Milliseconds(10) * 0.0, SimTime::Zero());
+  EXPECT_EQ(Milliseconds(10) * -1.0, Milliseconds(-10));
+  EXPECT_LT(Milliseconds(-10), SimTime::Zero());
+}
+
+TEST(SimTimeTest, ToStringPicksAdaptiveUnit) {
+  EXPECT_EQ(Seconds(12.2).ToString(), "12.20s");
+  EXPECT_EQ(Milliseconds(460).ToString(), "460.00ms");
+  EXPECT_EQ(Microseconds(12).ToString(), "12.00us");
+  EXPECT_EQ(Nanoseconds(999).ToString(), "999ns");
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -1,0 +1,84 @@
+#include "src/container/stack_config.h"
+
+#include <gtest/gtest.h>
+
+namespace fastiov {
+namespace {
+
+TEST(StackConfigTest, FastIovEnablesAllFourOptimizations) {
+  const StackConfig c = StackConfig::FastIov();
+  EXPECT_EQ(c.name, "FastIOV");
+  EXPECT_EQ(c.cni, CniKind::kFastIov);
+  EXPECT_TRUE(c.lock_decomposition);
+  EXPECT_TRUE(c.async_vf_init);
+  EXPECT_TRUE(c.skip_image_mapping);
+  EXPECT_TRUE(c.decoupled_zeroing);
+  EXPECT_TRUE(c.UsesSriov());
+}
+
+TEST(StackConfigTest, VanillaDisablesAllOptimizations) {
+  const StackConfig c = StackConfig::Vanilla();
+  EXPECT_FALSE(c.lock_decomposition);
+  EXPECT_FALSE(c.async_vf_init);
+  EXPECT_FALSE(c.skip_image_mapping);
+  EXPECT_FALSE(c.decoupled_zeroing);
+  EXPECT_DOUBLE_EQ(c.prezero_fraction, 0.0);
+  EXPECT_TRUE(c.UsesSriov());
+}
+
+TEST(StackConfigTest, VariantsRemoveExactlyOne) {
+  const StackConfig l = StackConfig::FastIovWithout('L');
+  EXPECT_EQ(l.name, "FastIOV-L");
+  EXPECT_FALSE(l.lock_decomposition);
+  EXPECT_TRUE(l.async_vf_init && l.skip_image_mapping && l.decoupled_zeroing);
+
+  const StackConfig a = StackConfig::FastIovWithout('A');
+  EXPECT_FALSE(a.async_vf_init);
+  EXPECT_TRUE(a.lock_decomposition && a.skip_image_mapping && a.decoupled_zeroing);
+
+  const StackConfig s = StackConfig::FastIovWithout('S');
+  EXPECT_FALSE(s.skip_image_mapping);
+  EXPECT_TRUE(s.lock_decomposition && s.async_vf_init && s.decoupled_zeroing);
+
+  const StackConfig d = StackConfig::FastIovWithout('D');
+  EXPECT_FALSE(d.decoupled_zeroing);
+  EXPECT_TRUE(d.lock_decomposition && d.async_vf_init && d.skip_image_mapping);
+}
+
+TEST(StackConfigTest, PreZeroNaming) {
+  EXPECT_EQ(StackConfig::PreZero(0.1).name, "Pre10");
+  EXPECT_EQ(StackConfig::PreZero(0.5).name, "Pre50");
+  EXPECT_EQ(StackConfig::PreZero(1.0).name, "Pre100");
+  EXPECT_DOUBLE_EQ(StackConfig::PreZero(0.5).prezero_fraction, 0.5);
+}
+
+TEST(StackConfigTest, NonSriovKinds) {
+  EXPECT_FALSE(StackConfig::NoNetwork().UsesSriov());
+  EXPECT_FALSE(StackConfig::Ipvtap().UsesSriov());
+  EXPECT_TRUE(StackConfig::VanillaUnfixed().UsesSriov());
+}
+
+TEST(StackConfigTest, CorrectnessKnobsDefaultSafe) {
+  const StackConfig c = StackConfig::FastIov();
+  EXPECT_TRUE(c.instant_zero_list);
+  EXPECT_TRUE(c.proactive_virtio_faults);
+  EXPECT_TRUE(c.driver_zeroes_dma_buffers);
+}
+
+TEST(StackConfigTest, KindNames) {
+  EXPECT_STREQ(CniKindName(CniKind::kNoNetwork), "no-network");
+  EXPECT_STREQ(CniKindName(CniKind::kVanillaFixed), "sriov-cni");
+  EXPECT_STREQ(CniKindName(CniKind::kVanillaUnfixed), "sriov-cni-unfixed");
+  EXPECT_STREQ(CniKindName(CniKind::kFastIov), "fastiov-cni");
+  EXPECT_STREQ(CniKindName(CniKind::kIpvtap), "ipvtap");
+}
+
+TEST(StackConfigTest, DefaultResources) {
+  const StackConfig c = StackConfig::Vanilla();
+  EXPECT_EQ(c.guest_memory_bytes, 512 * kMiB);
+  EXPECT_DOUBLE_EQ(c.vcpus, 0.5);
+  EXPECT_TRUE(c.hugepages);
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -1,0 +1,159 @@
+#include "src/stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "src/stats/table.h"
+
+#include <sstream>
+
+namespace fastiov {
+namespace {
+
+TEST(SummaryTest, EmptySummaryIsSafe) {
+  Summary s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 0.0);
+}
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.Count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Stddev(), 2.0);
+}
+
+TEST(SummaryTest, PercentileExactOnSortedRanks) {
+  Summary s;
+  for (int i = 1; i <= 101; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 51.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 101.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 100.0);
+}
+
+TEST(SummaryTest, PercentileInterpolates) {
+  Summary s;
+  s.Add(0.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 2.5);
+}
+
+TEST(SummaryTest, PercentileSingleSample) {
+  Summary s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 3.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 3.5);
+}
+
+TEST(SummaryTest, PercentileClampsOutOfRange) {
+  Summary s;
+  s.Add(1.0);
+  s.Add(2.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(-5), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(150), 2.0);
+}
+
+TEST(SummaryTest, AddAfterPercentileInvalidatesCache) {
+  Summary s;
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 1.0);
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 5.0);
+}
+
+TEST(SummaryTest, AddTimeConvertsToSeconds) {
+  Summary s;
+  s.AddTime(Milliseconds(1500));
+  EXPECT_DOUBLE_EQ(s.Mean(), 1.5);
+}
+
+TEST(SummaryTest, MergeCombinesSamples) {
+  Summary a;
+  a.Add(1.0);
+  a.Add(2.0);
+  Summary b;
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);   // bin 0
+  h.Add(3.0);   // bin 1
+  h.Add(9.99);  // bin 4
+  h.Add(-5.0);  // clamps to bin 0
+  h.Add(42.0);  // clamps to bin 4
+  EXPECT_EQ(h.TotalCount(), 5u);
+  EXPECT_EQ(h.BinCount(0), 2u);
+  EXPECT_EQ(h.BinCount(1), 1u);
+  EXPECT_EQ(h.BinCount(4), 2u);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BinHigh(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinLow(4), 8.0);
+}
+
+TEST(CdfTest, MonotoneAndEndsAtOne) {
+  Summary s;
+  for (int i = 0; i < 1000; ++i) {
+    s.Add(static_cast<double>(i % 37));
+  }
+  const auto cdf = ComputeCdf(s, 32);
+  ASSERT_FALSE(cdf.empty());
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 36.0);
+}
+
+TEST(CdfTest, EmptySummaryGivesEmptyCdf) {
+  Summary s;
+  EXPECT_TRUE(ComputeCdf(s).empty());
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "2.5"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"x"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("| x"), std::string::npos);
+}
+
+TEST(FormatTest, Formatters) {
+  EXPECT_EQ(FormatSeconds(16.204), "16.20");
+  EXPECT_EQ(FormatPercent(0.481), "48.1%");
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.142");
+}
+
+}  // namespace
+}  // namespace fastiov

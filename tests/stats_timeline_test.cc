@@ -1,0 +1,99 @@
+#include "src/stats/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace fastiov {
+namespace {
+
+TEST(TimelineTest, RegisterAssignsSequentialIds) {
+  TimelineRecorder rec;
+  EXPECT_EQ(rec.RegisterContainer(SimTime::Zero()), 0);
+  EXPECT_EQ(rec.RegisterContainer(Milliseconds(1)), 1);
+  EXPECT_EQ(rec.NumContainers(), 2u);
+}
+
+TEST(TimelineTest, StartupTimeIsReadyMinusStart) {
+  TimelineRecorder rec;
+  const int id = rec.RegisterContainer(Seconds(1.0));
+  rec.MarkReady(id, Seconds(3.5));
+  EXPECT_EQ(rec.Container(id).StartupTime(), Seconds(2.5));
+  Summary s = rec.StartupSummary();
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+}
+
+TEST(TimelineTest, StepTimeSumsSpans) {
+  TimelineRecorder rec;
+  const int id = rec.RegisterContainer(SimTime::Zero());
+  rec.RecordSpan(id, kStepDmaRam, Seconds(0.0), Seconds(1.0));
+  rec.RecordSpan(id, kStepDmaRam, Seconds(2.0), Seconds(2.5));
+  rec.RecordSpan(id, kStepVfioDev, Seconds(1.0), Seconds(2.0));
+  EXPECT_EQ(rec.Container(id).StepTime(kStepDmaRam), Seconds(1.5));
+  EXPECT_EQ(rec.Container(id).StepTime(kStepVfioDev), Seconds(1.0));
+  EXPECT_EQ(rec.Container(id).StepTime(kStepCgroup), SimTime::Zero());
+}
+
+TEST(TimelineTest, OffCriticalPathSpansExcluded) {
+  TimelineRecorder rec;
+  const int id = rec.RegisterContainer(SimTime::Zero());
+  rec.RecordSpan(id, kStepVfDriver, Seconds(0.0), Seconds(1.0), /*off_critical_path=*/true);
+  EXPECT_EQ(rec.Container(id).StepTime(kStepVfDriver), SimTime::Zero());
+  // The span is still stored for inspection.
+  EXPECT_EQ(rec.Container(id).spans.size(), 1u);
+}
+
+TEST(TimelineTest, StepShareOfAverage) {
+  TimelineRecorder rec;
+  for (int i = 0; i < 4; ++i) {
+    const int id = rec.RegisterContainer(SimTime::Zero());
+    rec.RecordSpan(id, kStepVfioDev, SimTime::Zero(), Seconds(2.0));
+    rec.MarkReady(id, Seconds(4.0));
+  }
+  EXPECT_NEAR(rec.StepShareOfAverage(kStepVfioDev), 0.5, 1e-12);
+}
+
+TEST(TimelineTest, StepShareOfP99UsesSlowestContainers) {
+  TimelineRecorder rec;
+  // 99 fast containers without the step, one slow container dominated by it.
+  for (int i = 0; i < 99; ++i) {
+    const int id = rec.RegisterContainer(SimTime::Zero());
+    rec.MarkReady(id, Seconds(1.0));
+  }
+  const int slow = rec.RegisterContainer(SimTime::Zero());
+  rec.RecordSpan(slow, kStepVfioDev, SimTime::Zero(), Seconds(8.0));
+  rec.MarkReady(slow, Seconds(10.0));
+  EXPECT_NEAR(rec.StepShareOfP99(kStepVfioDev), 0.8, 1e-12);
+  EXPECT_NEAR(rec.StepShareOfAverage(kStepVfioDev), (8.0 / 100.0) / (1.0 * 0.99 + 0.1), 1e-9);
+}
+
+TEST(TimelineTest, TaskCompletionOnlyForContainersWithTasks) {
+  TimelineRecorder rec;
+  const int a = rec.RegisterContainer(SimTime::Zero());
+  rec.MarkReady(a, Seconds(1.0));
+  rec.MarkTaskDone(a, Seconds(5.0));
+  const int b = rec.RegisterContainer(SimTime::Zero());
+  rec.MarkReady(b, Seconds(2.0));
+  Summary s = rec.TaskCompletionSummary();
+  EXPECT_EQ(s.Count(), 1u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+}
+
+TEST(TimelineTest, StepNamesInFirstSeenOrder) {
+  TimelineRecorder rec;
+  const int id = rec.RegisterContainer(SimTime::Zero());
+  rec.RecordSpan(id, kStepVirtioFs, SimTime::Zero(), Seconds(1.0));
+  rec.RecordSpan(id, kStepCgroup, SimTime::Zero(), Seconds(1.0));
+  rec.RecordSpan(id, kStepVirtioFs, Seconds(1.0), Seconds(2.0));
+  const auto names = rec.StepNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], kStepVirtioFs);
+  EXPECT_EQ(names[1], kStepCgroup);
+}
+
+TEST(TimelineTest, EmptyRecorderSharesAreZero) {
+  TimelineRecorder rec;
+  EXPECT_DOUBLE_EQ(rec.StepShareOfAverage(kStepCgroup), 0.0);
+  EXPECT_DOUBLE_EQ(rec.StepShareOfP99(kStepCgroup), 0.0);
+}
+
+}  // namespace
+}  // namespace fastiov

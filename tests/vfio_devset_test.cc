@@ -1,0 +1,177 @@
+#include "src/vfio/vfio.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/nic/sriov_nic.h"
+
+namespace fastiov {
+namespace {
+
+struct DevsetFixture {
+  Simulation sim{1};
+  HostSpec spec;
+  CostModel cost;
+  CpuPool cpu{sim, 56};
+  PciBus bus{0x3b};
+  std::vector<std::unique_ptr<VirtualFunction>> vfs;
+
+  DevsetFixture() {
+    for (int i = 0; i < 16; ++i) {
+      vfs.push_back(std::make_unique<VirtualFunction>(
+          PciAddress{0, 0x3b, static_cast<uint8_t>(2 + i / 8), static_cast<uint8_t>(i % 8)},
+          i));
+      bus.AddDevice(vfs.back().get());
+    }
+  }
+
+  std::unique_ptr<DevSet> MakeDevset(bool hierarchical) {
+    std::unique_ptr<DevsetLockPolicy> policy;
+    if (hierarchical) {
+      policy = std::make_unique<HierarchicalLockPolicy>(sim);
+    } else {
+      policy = std::make_unique<GlobalMutexPolicy>(sim);
+    }
+    auto devset = std::make_unique<DevSet>(sim, cpu, cost, &bus, std::move(policy),
+                                           /*scan_on_open=*/!hierarchical);
+    for (auto& vf : vfs) {
+      devset->AddDevice(vf.get());
+    }
+    return devset;
+  }
+};
+
+TEST(DevsetTest, AddDeviceBindsVfio) {
+  DevsetFixture f;
+  auto devset = f.MakeDevset(false);
+  EXPECT_EQ(devset->num_devices(), 16u);
+  EXPECT_EQ(f.vfs[0]->bound_driver(), BoundDriver::kVfio);
+  EXPECT_EQ(devset->device(3)->pci(), f.vfs[3].get());
+  EXPECT_EQ(devset->device(3)->index_in_devset(), 3);
+}
+
+TEST(DevsetTest, OpenIncrementsCounts) {
+  DevsetFixture f;
+  auto devset = f.MakeDevset(false);
+  auto op = [&]() -> Task {
+    co_await devset->OpenDevice(devset->device(0));
+    co_await devset->OpenDevice(devset->device(1));
+    co_await devset->OpenDevice(devset->device(1));
+  };
+  f.sim.Spawn(op());
+  f.sim.Run();
+  EXPECT_EQ(devset->device(0)->open_count(), 1);
+  EXPECT_EQ(devset->device(1)->open_count(), 2);
+  EXPECT_EQ(devset->TotalOpenCount(), 3);
+  EXPECT_EQ(devset->opens_performed(), 3u);
+}
+
+TEST(DevsetTest, CloseDecrementsCounts) {
+  DevsetFixture f;
+  auto devset = f.MakeDevset(false);
+  auto op = [&]() -> Task {
+    co_await devset->OpenDevice(devset->device(0));
+    co_await devset->CloseDevice(devset->device(0));
+  };
+  f.sim.Spawn(op());
+  f.sim.Run();
+  EXPECT_EQ(devset->TotalOpenCount(), 0);
+}
+
+TEST(DevsetTest, BusResetRefusedWhileAnyDeviceOpen) {
+  DevsetFixture f;
+  auto devset = f.MakeDevset(false);
+  bool reset_ok = true;
+  auto op = [&]() -> Task {
+    co_await devset->OpenDevice(devset->device(5));
+    co_await devset->TryBusReset(&reset_ok);
+  };
+  f.sim.Spawn(op());
+  f.sim.Run();
+  EXPECT_FALSE(reset_ok);
+}
+
+TEST(DevsetTest, BusResetSucceedsWhenAllClosed) {
+  DevsetFixture f;
+  auto devset = f.MakeDevset(false);
+  bool reset_ok = false;
+  auto op = [&]() -> Task {
+    co_await devset->OpenDevice(devset->device(5));
+    co_await devset->CloseDevice(devset->device(5));
+    co_await devset->TryBusReset(&reset_ok);
+  };
+  f.sim.Spawn(op());
+  f.sim.Run();
+  EXPECT_TRUE(reset_ok);
+}
+
+TEST(DevsetTest, VanillaConcurrentOpensSerialize) {
+  DevsetFixture f;
+  auto devset = f.MakeDevset(false);
+  for (int i = 0; i < 8; ++i) {
+    f.sim.Spawn(devset->OpenDevice(devset->device(i)));
+  }
+  f.sim.Run();
+  const SimTime serialized = f.sim.Now();
+
+  // Same workload under the hierarchical policy.
+  DevsetFixture g;
+  auto fast = g.MakeDevset(true);
+  for (int i = 0; i < 8; ++i) {
+    g.sim.Spawn(fast->OpenDevice(fast->device(i)));
+  }
+  g.sim.Run();
+  const SimTime parallel = g.sim.Now();
+
+  // Lock decomposition plus the removed scan must be several times faster.
+  EXPECT_GT(serialized.ToSecondsF(), 3.0 * parallel.ToSecondsF());
+  EXPECT_GT(devset->lock_policy().contention_count(), 0u);
+}
+
+TEST(DevsetTest, VanillaOpenCostScalesWithBusPopulation) {
+  // The scan-on-open walks every device on the bus, so a denser bus makes
+  // each open slower (§3.2.2).
+  auto run_with_devices = [](int n) {
+    Simulation sim(1);
+    HostSpec spec;
+    CostModel cost;
+    cost.jitter_sigma = 0.0;  // deterministic costs for exact comparison
+    CpuPool cpu(sim, 56);
+    PciBus bus(0);
+    std::vector<std::unique_ptr<VirtualFunction>> vfs;
+    for (int i = 0; i < n; ++i) {
+      vfs.push_back(std::make_unique<VirtualFunction>(
+          PciAddress{0, 0, static_cast<uint8_t>(i / 8), static_cast<uint8_t>(i % 8)}, i));
+      bus.AddDevice(vfs.back().get());
+    }
+    DevSet devset(sim, cpu, cost, &bus, std::make_unique<GlobalMutexPolicy>(sim), true);
+    for (auto& vf : vfs) {
+      devset.AddDevice(vf.get());
+    }
+    sim.Spawn(devset.OpenDevice(devset.device(0)));
+    sim.Run();
+    return sim.Now();
+  };
+  const SimTime sparse = run_with_devices(8);
+  const SimTime dense = run_with_devices(128);
+  EXPECT_GT(dense.ns(), sparse.ns());
+  // 120 extra devices at the per-device scan cost.
+  const SimTime expected_delta = CostModel{}.vfio_pci_scan_per_device * 120.0;
+  EXPECT_NEAR((dense - sparse).ToSecondsF(), expected_delta.ToSecondsF(), 1e-4);
+}
+
+TEST(DevsetTest, HierarchicalOpenSkipsScan) {
+  DevsetFixture f;
+  f.cost.jitter_sigma = 0.0;
+  auto devset = f.MakeDevset(true);
+  f.sim.Spawn(devset->OpenDevice(devset->device(0)));
+  f.sim.Run();
+  // Only bookkeeping + fd setup, far below one bus scan (16 x 310us = 5ms).
+  EXPECT_LT(f.sim.Now().ToSecondsF(),
+            (f.cost.vfio_open_bookkeeping + f.cost.vfio_device_fd_cpu).ToSecondsF() * 3.0);
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -1,0 +1,186 @@
+// Verifies the lock-relation matrix of Fig. 8a for both devset lock
+// policies: inter-child parallel (hierarchical only), intra-child,
+// intra-parent and parent-child mutually exclusive.
+#include "src/vfio/lock_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace fastiov {
+namespace {
+
+constexpr SimTime kHold = Milliseconds(10);
+
+Task DeviceOp(Simulation& sim, DevsetLockPolicy& policy, int child,
+              std::vector<int64_t>* starts) {
+  co_await policy.AcquireDeviceOp(child);
+  starts->push_back(sim.Now().ns());
+  co_await sim.Delay(kHold);
+  policy.ReleaseDeviceOp(child);
+}
+
+Task GlobalOp(Simulation& sim, DevsetLockPolicy& policy, std::vector<int64_t>* starts) {
+  co_await policy.AcquireGlobalOp();
+  starts->push_back(sim.Now().ns());
+  co_await sim.Delay(kHold);
+  policy.ReleaseGlobalOp();
+}
+
+enum class PolicyKind { kGlobalMutex, kHierarchical };
+
+std::unique_ptr<DevsetLockPolicy> MakePolicy(Simulation& sim, PolicyKind kind, int children) {
+  std::unique_ptr<DevsetLockPolicy> p;
+  if (kind == PolicyKind::kGlobalMutex) {
+    p = std::make_unique<GlobalMutexPolicy>(sim);
+  } else {
+    p = std::make_unique<HierarchicalLockPolicy>(sim);
+  }
+  for (int i = 0; i < children; ++i) {
+    p->AddChild(i);
+  }
+  return p;
+}
+
+class LockPolicyTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(LockPolicyTest, IntraChildOperationsSerialize) {
+  Simulation sim;
+  auto policy = MakePolicy(sim, GetParam(), 4);
+  std::vector<int64_t> starts;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn(DeviceOp(sim, *policy, /*child=*/0, &starts));
+  }
+  sim.Run();
+  EXPECT_EQ(sim.Now(), kHold * 3.0);
+  EXPECT_EQ(starts[1] - starts[0], kHold.ns());
+}
+
+TEST_P(LockPolicyTest, GlobalOperationsSerialize) {
+  Simulation sim;
+  auto policy = MakePolicy(sim, GetParam(), 4);
+  std::vector<int64_t> starts;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn(GlobalOp(sim, *policy, &starts));
+  }
+  sim.Run();
+  EXPECT_EQ(sim.Now(), kHold * 3.0);
+}
+
+TEST_P(LockPolicyTest, GlobalExcludesDeviceOp) {
+  Simulation sim;
+  auto policy = MakePolicy(sim, GetParam(), 4);
+  std::vector<int64_t> starts;
+  sim.Spawn(GlobalOp(sim, *policy, &starts));
+  sim.Spawn(DeviceOp(sim, *policy, 0, &starts));
+  sim.Run();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0], 0);
+  EXPECT_EQ(starts[1], kHold.ns());
+}
+
+TEST_P(LockPolicyTest, DeviceOpExcludesGlobal) {
+  Simulation sim;
+  auto policy = MakePolicy(sim, GetParam(), 4);
+  std::vector<int64_t> starts;
+  sim.Spawn(DeviceOp(sim, *policy, 2, &starts));
+  sim.Spawn(GlobalOp(sim, *policy, &starts));
+  sim.Run();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[1], kHold.ns());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, LockPolicyTest,
+                         ::testing::Values(PolicyKind::kGlobalMutex,
+                                           PolicyKind::kHierarchical),
+                         [](const auto& info) {
+                           return info.param == PolicyKind::kGlobalMutex ? "GlobalMutex"
+                                                                         : "Hierarchical";
+                         });
+
+// The distinguishing behaviour: inter-child parallelism.
+
+TEST(GlobalMutexPolicyTest, InterChildOperationsSerialize) {
+  Simulation sim;
+  auto policy = MakePolicy(sim, PolicyKind::kGlobalMutex, 8);
+  std::vector<int64_t> starts;
+  for (int i = 0; i < 8; ++i) {
+    sim.Spawn(DeviceOp(sim, *policy, i, &starts));
+  }
+  sim.Run();
+  // The vanilla global mutex serializes opens of *different* VFs (§3.2.2).
+  EXPECT_EQ(sim.Now(), kHold * 8.0);
+}
+
+TEST(HierarchicalPolicyTest, InterChildOperationsRunInParallel) {
+  Simulation sim;
+  auto policy = MakePolicy(sim, PolicyKind::kHierarchical, 8);
+  std::vector<int64_t> starts;
+  for (int i = 0; i < 8; ++i) {
+    sim.Spawn(DeviceOp(sim, *policy, i, &starts));
+  }
+  sim.Run();
+  // §4.2.1: ac-read + ac-mutex_i are independent across children.
+  EXPECT_EQ(sim.Now(), kHold);
+  for (int64_t t : starts) {
+    EXPECT_EQ(t, 0);
+  }
+}
+
+TEST(HierarchicalPolicyTest, GlobalWaitsForAllReaders) {
+  Simulation sim;
+  auto policy = MakePolicy(sim, PolicyKind::kHierarchical, 4);
+  std::vector<int64_t> starts;
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn(DeviceOp(sim, *policy, i, &starts));
+  }
+  sim.Spawn(GlobalOp(sim, *policy, &starts));
+  sim.Run();
+  ASSERT_EQ(starts.size(), 5u);
+  // Device ops all start at 0; the global op waits for every read lock.
+  EXPECT_EQ(starts[4], kHold.ns());
+  EXPECT_EQ(sim.Now(), kHold * 2.0);
+}
+
+TEST(HierarchicalPolicyTest, DeviceOpsQueuedBehindGlobalAreParallelAfterIt) {
+  Simulation sim;
+  auto policy = MakePolicy(sim, PolicyKind::kHierarchical, 4);
+  std::vector<int64_t> starts;
+  sim.Spawn(GlobalOp(sim, *policy, &starts));
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn(DeviceOp(sim, *policy, i, &starts));
+  }
+  sim.Run();
+  EXPECT_EQ(sim.Now(), kHold * 2.0);
+  for (size_t i = 1; i < starts.size(); ++i) {
+    EXPECT_EQ(starts[i], kHold.ns());
+  }
+}
+
+TEST(HierarchicalPolicyTest, ContentionCountAggregatesParentAndChildren) {
+  Simulation sim;
+  auto policy = MakePolicy(sim, PolicyKind::kHierarchical, 2);
+  std::vector<int64_t> starts;
+  sim.Spawn(DeviceOp(sim, *policy, 0, &starts));
+  sim.Spawn(DeviceOp(sim, *policy, 0, &starts));  // child-mutex contention
+  sim.Spawn(GlobalOp(sim, *policy, &starts));     // parent rwlock contention
+  sim.Run();
+  EXPECT_GE(policy->contention_count(), 2u);
+}
+
+TEST(HierarchicalPolicyTest, AddChildIsIdempotent) {
+  Simulation sim;
+  HierarchicalLockPolicy policy(sim);
+  policy.AddChild(3);
+  policy.AddChild(3);
+  policy.AddChild(1);
+  std::vector<int64_t> starts;
+  sim.Spawn(DeviceOp(sim, policy, 3, &starts));
+  sim.Spawn(DeviceOp(sim, policy, 1, &starts));
+  sim.Run();
+  EXPECT_EQ(sim.Now(), kHold);
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -1,0 +1,66 @@
+// Developer tool: prints the calibration targets from the paper next to the
+// simulator's current output, for tuning src/config/cost_model.h.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/experiments/startup_experiment.h"
+
+using namespace fastiov;
+
+namespace {
+
+void PrintShares(const ExperimentResult& r) {
+  for (const char* step : {kStepCgroup, kStepDmaRam, kStepVirtioFs, kStepDmaImage,
+                           kStepVfioDev, kStepVfDriver}) {
+    std::printf("  %-12s avg-share %5.1f%%   p99-share %5.1f%%   mean %6.2fs\n", step,
+                100.0 * r.timeline.StepShareOfAverage(step),
+                100.0 * r.timeline.StepShareOfP99(step), r.timeline.StepSummary(step).Mean());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentOptions options;
+  options.concurrency = argc > 1 ? std::atoi(argv[1]) : 200;
+
+  ExperimentResult nonet = RunStartupExperiment(StackConfig::NoNetwork(), options);
+  std::printf("No-Net   avg %.2fs (target ~4.0)  p99 %.2fs  min %.2fs\n", nonet.startup.Mean(),
+              nonet.startup.Percentile(99.0), nonet.startup.Min());
+
+  ExperimentResult vanilla = RunStartupExperiment(StackConfig::Vanilla(), options);
+  std::printf("Vanilla  avg %.2fs (target ~16.2) p99 %.2fs (target ~%.2f) min %.2fs (target ~3.8)\n",
+              vanilla.startup.Mean(), vanilla.startup.Percentile(99.0),
+              nonet.startup.Percentile(99.0) * 4.545, vanilla.startup.Min());
+  PrintShares(vanilla);
+  std::printf("  targets:     cgroup 2.9/2.3  dma-ram 13.0/11.1  virtiofs 13.3/13.6"
+              "  dma-image 5.6/4.3  vfio-dev 48.1/59.0  vf-driver 3.4/4.1\n");
+
+  ExperimentResult fast = RunStartupExperiment(StackConfig::FastIov(), options);
+  std::printf("FastIOV  avg %.2fs (target ~%.2f) p99 %.2fs (target ~%.2f)\n",
+              fast.startup.Mean(), vanilla.startup.Mean() * (1.0 - 0.657),
+              fast.startup.Percentile(99.0), vanilla.startup.Percentile(99.0) * (1.0 - 0.754));
+  std::printf("  VF-related: vanilla %.2fs -> fastiov %.2fs (target reduction 96.1%%, got %.1f%%)\n",
+              vanilla.vf_related.Mean(), fast.vf_related.Mean(),
+              100.0 * (1.0 - fast.vf_related.Mean() / vanilla.vf_related.Mean()));
+
+  for (char removed : {'L', 'A', 'S', 'D'}) {
+    ExperimentResult v = RunStartupExperiment(StackConfig::FastIovWithout(removed), options);
+    const double reduction = 1.0 - v.startup.Mean() / vanilla.startup.Mean();
+    std::printf("FastIOV-%c avg %.2fs  reduction vs vanilla %.1f%%\n", removed,
+                v.startup.Mean(), 100.0 * reduction);
+  }
+  std::printf("  targets:  -L 21.8%%  -A 40.3%%  -S 58.2%%  -D 43.7%%  (FastIOV 65.7%%)\n");
+
+  for (double f : {0.1, 0.5, 1.0}) {
+    ExperimentResult v = RunStartupExperiment(StackConfig::PreZero(f), options);
+    std::printf("Pre%-3d   avg %.2fs\n", static_cast<int>(f * 100), v.startup.Mean());
+  }
+  std::printf("  target:  FastIOV 56.4%% below Pre100 => Pre100 ~%.2f\n",
+              fast.startup.Mean() / (1.0 - 0.564));
+
+  ExperimentResult ipv = RunStartupExperiment(StackConfig::Ipvtap(), options);
+  std::printf("IPvtap   avg %.2fs (target ~%.2f: FastIOV 31.8%% lower)\n", ipv.startup.Mean(),
+              fast.startup.Mean() / (1.0 - 0.318));
+  return 0;
+}
