@@ -15,6 +15,7 @@
 
 #include "src/cli/flags.h"
 #include "src/experiments/churn_experiment.h"
+#include "src/experiments/result_json.h"
 #include "src/experiments/startup_experiment.h"
 #include "src/stats/table.h"
 #include "src/stats/json_writer.h"
@@ -23,49 +24,6 @@
 using namespace fastiov;
 
 namespace {
-
-void WriteSummaryJson(const ExperimentResult& r, std::ostream& os) {
-  JsonWriter json(os);
-  json.BeginObject();
-  json.KV("stack", r.config.name);
-  json.KV("concurrency", static_cast<int64_t>(r.options.concurrency));
-  json.KV("seed", r.options.seed);
-  json.KV("arrival", ArrivalPatternName(r.options.arrival));
-  json.Key("startup_seconds");
-  json.BeginObject()
-      .KV("mean", r.startup.Mean())
-      .KV("p50", r.startup.Percentile(50))
-      .KV("p90", r.startup.Percentile(90))
-      .KV("p99", r.startup.Percentile(99))
-      .KV("min", r.startup.Min())
-      .KV("max", r.startup.Max())
-      .EndObject();
-  if (!r.task_completion.Empty()) {
-    json.Key("task_completion_seconds");
-    json.BeginObject()
-        .KV("mean", r.task_completion.Mean())
-        .KV("p99", r.task_completion.Percentile(99))
-        .EndObject();
-  }
-  json.KV("vf_related_mean_seconds", r.vf_related.Mean());
-  json.Key("step_share_of_average");
-  json.BeginObject();
-  for (const std::string& step : r.timeline.StepNames()) {
-    json.KV(step, r.timeline.StepShareOfAverage(step));
-  }
-  json.EndObject();
-  json.Key("counters");
-  json.BeginObject()
-      .KV("residue_reads", r.residue_reads)
-      .KV("corruptions", r.corruptions)
-      .KV("devset_lock_contention", r.devset_lock_contention)
-      .KV("pages_zeroed", r.pages_zeroed)
-      .KV("fault_zeroed_pages", r.fault_zeroed_pages)
-      .KV("background_zeroed_pages", r.background_zeroed_pages)
-      .EndObject();
-  json.EndObject();
-  os << '\n';
-}
 
 void WriteSummaryText(const ExperimentResult& r) {
   std::printf("stack %s, %d containers (%s arrivals), seed %lu\n\n", r.config.name.c_str(),
@@ -195,7 +153,8 @@ int main(int argc, char** argv) {
 
   const ExperimentResult r = RunStartupExperiment(*stack, options);
   if (flags.GetBool("json")) {
-    WriteSummaryJson(r, std::cout);
+    WriteExperimentResultJson(r, std::cout);
+    std::cout << '\n';
   } else {
     WriteSummaryText(r);
   }

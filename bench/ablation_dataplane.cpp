@@ -64,16 +64,23 @@ PlaneResult Measure(const StackConfig& config, int containers, uint64_t bytes_ea
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Ablation — data-plane comparison (the paper's premise)",
               "20 containers each downloading 256 MiB after startup. SR-IOV\n"
               "passthrough shares the 25 GbE wire; IPvtap pays software\n"
-              "emulation (~9 Gbps aggregate).");
+              "emulation (~9 Gbps aggregate).",
+              env.jobs);
 
   const uint64_t bytes = 256 * kMiB;
-  const PlaneResult sriov = Measure(StackConfig::FastIov(), 20, bytes);
-  const PlaneResult vdpa = Measure(StackConfig::FastIovVdpa(), 20, bytes);
-  const PlaneResult ipvtap = Measure(StackConfig::Ipvtap(), 20, bytes);
+  const std::vector<StackConfig> stacks = {StackConfig::FastIov(), StackConfig::FastIovVdpa(),
+                                           StackConfig::Ipvtap()};
+  std::vector<PlaneResult> planes(stacks.size());
+  ParallelFor(stacks.size(), env.jobs,
+              [&](size_t i) { planes[i] = Measure(stacks[i], 20, bytes); });
+  const PlaneResult& sriov = planes[0];
+  const PlaneResult& vdpa = planes[1];
+  const PlaneResult& ipvtap = planes[2];
 
   TextTable table({"stack", "per-container Mbps", "IOTLB hits/misses", "interrupts"});
   auto row = [&](const char* name, const PlaneResult& r) {

@@ -7,14 +7,21 @@
 
 using namespace fastiov;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Ablation — NUMA: remote spillover under memory pressure",
               "120 containers x 1.5 GiB homed on socket 0 (packing policy)\n"
               "overflow the node and spill to the remote socket; remote\n"
               "zeroing pays the interconnect penalty. FastIOV dodges most of\n"
-              "it by not zeroing on the startup path at all.");
+              "it by not zeroing on the startup path at all.",
+              env.jobs);
 
-  TextTable table({"host", "stack", "avg (s)", "p99 (s)", "remote allocs"});
+  struct Row {
+    double penalty;
+    int nodes;
+  };
+  std::vector<Row> rows;
+  std::vector<SweepCell> cells;
   for (double penalty : {1.0, 1.45, 2.0}) {
     for (int nodes : {1, 2}) {
       if (nodes == 1 && penalty != 1.0) {
@@ -29,18 +36,26 @@ int main() {
         // A packing CPU-manager policy: all homes on socket 0, so half the
         // fleet spills to the remote socket under this memory pressure.
         options.host.numa_interleave_homes = false;
-        const ExperimentResult r = RunStartupExperiment(config, options);
-        char host_label[48];
-        if (nodes == 1) {
-          std::snprintf(host_label, sizeof(host_label), "1 node");
-        } else {
-          std::snprintf(host_label, sizeof(host_label), "2 nodes, penalty %.2fx", penalty);
-        }
-        table.AddRow({host_label, config.name, FormatSeconds(r.startup.Mean()),
-                      FormatSeconds(r.startup.Percentile(99)),
-                      std::to_string(r.remote_allocations)});
+        rows.push_back({penalty, nodes});
+        cells.push_back({config, options});
       }
     }
+  }
+  const std::vector<ExperimentResult> results = RunSweep(cells, env.jobs);
+
+  TextTable table({"host", "stack", "avg (s)", "p99 (s)", "remote allocs"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    char host_label[48];
+    if (rows[i].nodes == 1) {
+      std::snprintf(host_label, sizeof(host_label), "1 node");
+    } else {
+      std::snprintf(host_label, sizeof(host_label), "2 nodes, penalty %.2fx",
+                    rows[i].penalty);
+    }
+    table.AddRow({host_label, r.config.name, FormatSeconds(r.startup.Mean()),
+                  FormatSeconds(r.startup.Percentile(99)),
+                  std::to_string(r.remote_allocations)});
   }
   table.Print(std::cout);
   std::printf("\nFinding: spillover is common under a packing policy (about a third\n"

@@ -42,27 +42,36 @@ MapCost MeasureMap(uint64_t page_size, double fragmentation, uint64_t map_bytes)
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Ablation — page size & fragmentation in DMA mapping (Fig. 6, P2)",
               "Retrieval/pin/map cost (zeroing excluded) of a 512 MiB guest\n"
               "RAM mapping. 4 KiB pages need 131072 operations vs 256 with\n"
-              "hugepages, and fragmentation multiplies the retrieval batches.");
+              "hugepages, and fragmentation multiplies the retrieval batches.",
+              env.jobs);
+
+  struct Point {
+    uint64_t page_size;
+    double frag;
+    const char* label;
+  };
+  const std::vector<Point> points = {
+      {kSmallPageSize, 0.0, "4 KiB"}, {kSmallPageSize, 0.5, "4 KiB"},
+      {kSmallPageSize, 0.9, "4 KiB"}, {kSmallPageSize, 1.0, "4 KiB"},
+      {kHugePageSize, 0.0, "2 MiB"},  {kHugePageSize, 0.9, "2 MiB"},
+  };
+  const uint64_t map_bytes = 512 * kMiB;
+  std::vector<MapCost> costs(points.size());
+  ParallelFor(points.size(), env.jobs, [&](size_t i) {
+    costs[i] = MeasureMap(points[i].page_size, points[i].frag, map_bytes);
+  });
 
   TextTable table({"page size", "fragmentation", "map time", "retrieval batches"});
-  const uint64_t map_bytes = 512 * kMiB;
-  for (double frag : {0.0, 0.5, 0.9, 1.0}) {
-    const MapCost cost = MeasureMap(kSmallPageSize, frag, map_bytes);
+  for (size_t i = 0; i < points.size(); ++i) {
     char frag_label[16];
-    std::snprintf(frag_label, sizeof(frag_label), "%.0f%%", frag * 100.0);
-    table.AddRow({"4 KiB", frag_label, FormatSeconds(cost.seconds) + " s",
-                  std::to_string(cost.batches)});
-  }
-  for (double frag : {0.0, 0.9}) {
-    const MapCost cost = MeasureMap(kHugePageSize, frag, map_bytes);
-    char frag_label[16];
-    std::snprintf(frag_label, sizeof(frag_label), "%.0f%%", frag * 100.0);
-    table.AddRow({"2 MiB", frag_label, FormatSeconds(cost.seconds) + " s",
-                  std::to_string(cost.batches)});
+    std::snprintf(frag_label, sizeof(frag_label), "%.0f%%", points[i].frag * 100.0);
+    table.AddRow({points[i].label, frag_label, FormatSeconds(costs[i].seconds) + " s",
+                  std::to_string(costs[i].batches)});
   }
   table.Print(std::cout);
   std::printf("\nHugepages cut the page count 512x, which is why the paper treats\n"

@@ -8,11 +8,14 @@
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "src/cli/flags.h"
 #include "src/experiments/startup_experiment.h"
+#include "src/experiments/sweep.h"
 #include "src/stats/table.h"
 
 namespace fastiov {
@@ -24,9 +27,35 @@ inline ExperimentOptions DefaultOptions(int concurrency = 200, uint64_t seed = 4
   return o;
 }
 
-inline void PrintHeader(const std::string& title, const std::string& description) {
+// Flags shared by every bench binary.
+struct BenchEnv {
+  int jobs = 1;  // resolved worker count for the run matrix
+};
+
+// Parses the uniform bench flags (currently --jobs); exits on --help or a
+// bad flag, so every bench main stays a straight line.
+inline BenchEnv ParseBenchEnv(int argc, const char* const* argv) {
+  FlagParser flags;
+  AddJobsFlag(flags);
+  std::string error;
+  if (!flags.Parse(argc, argv, &error)) {
+    std::fprintf(stderr, "error: %s\n\n%s", error.c_str(), flags.HelpText(argv[0]).c_str());
+    std::exit(2);
+  }
+  if (flags.help_requested()) {
+    std::fputs(flags.HelpText(argv[0]).c_str(), stdout);
+    std::exit(0);
+  }
+  BenchEnv env;
+  env.jobs = ResolveJobs(GetJobsFlag(flags));
+  return env;
+}
+
+// Every header names the jobs count so recorded numbers stay attributable
+// to how the matrix was executed.
+inline void PrintHeader(const std::string& title, const std::string& description, int jobs) {
   std::printf("==============================================================\n");
-  std::printf("%s\n", title.c_str());
+  std::printf("%s   [jobs=%d]\n", title.c_str(), jobs);
   std::printf("%s\n", description.c_str());
   std::printf("==============================================================\n\n");
 }

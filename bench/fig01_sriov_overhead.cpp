@@ -5,18 +5,28 @@
 
 using namespace fastiov;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Figure 1 — Overhead of enabling SR-IOV on startup time",
               "Concurrently starting 10..200 secure containers, 512 MiB each.\n"
               "Paper anchors: overhead ~12.2 s at 200 (+305%); fastest no-net\n"
-              "container ~460 ms at concurrency 10.");
+              "container ~460 ms at concurrency 10.",
+              env.jobs);
+
+  const std::vector<int> levels = {10, 25, 50, 100, 150, 200};
+  std::vector<SweepCell> cells;
+  for (int n : levels) {
+    cells.push_back({StackConfig::NoNetwork(), DefaultOptions(n)});
+    cells.push_back({StackConfig::Vanilla(), DefaultOptions(n)});
+  }
+  const std::vector<ExperimentResult> results = RunSweep(cells, env.jobs);
 
   TextTable table({"concurrency", "no-net avg (s)", "sriov avg (s)", "overhead (s)",
                    "overhead (%)", "no-net min (s)"});
-  for (int n : {10, 25, 50, 100, 150, 200}) {
-    const ExperimentOptions options = DefaultOptions(n);
-    const ExperimentResult nonet = RunStartupExperiment(StackConfig::NoNetwork(), options);
-    const ExperimentResult sriov = RunStartupExperiment(StackConfig::Vanilla(), options);
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const int n = levels[i];
+    const ExperimentResult& nonet = results[2 * i];
+    const ExperimentResult& sriov = results[2 * i + 1];
     const double overhead = sriov.startup.Mean() - nonet.startup.Mean();
     table.AddRow({std::to_string(n), FormatSeconds(nonet.startup.Mean()),
                   FormatSeconds(sriov.startup.Mean()), FormatSeconds(overhead),

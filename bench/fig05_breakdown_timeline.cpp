@@ -16,11 +16,13 @@ constexpr char kStepGlyphs[] = {'c', 'r', 'v', 'i', 'D', 'n'};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Figure 5 — Breakdown of time-consuming steps",
               "200 SR-IOV enabled secure containers launched concurrently\n"
               "(vanilla stack, fixed CNI). Glyphs: c=0-cgroup r=1-dma-ram\n"
-              "v=2-virtiofs i=3-dma-image D=4-vfio-dev n=5-vf-driver.");
+              "v=2-virtiofs i=3-dma-image D=4-vfio-dev n=5-vf-driver.",
+              env.jobs);
 
   const ExperimentResult r = RunStartupExperiment(StackConfig::Vanilla(), DefaultOptions());
 

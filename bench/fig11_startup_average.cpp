@@ -5,9 +5,10 @@
 
 using namespace fastiov;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Figure 11 — Average startup time (concurrency 200)",
-              "Bars split into VF-related (steps 1,3,4,5) and others.");
+              "Bars split into VF-related (steps 1,3,4,5) and others.", env.jobs);
 
   const ExperimentOptions options = DefaultOptions();
   constexpr int kRepeats = 3;  // seeds 42..44; spread reported as +/- stddev
@@ -16,10 +17,11 @@ int main() {
 
   TextTable table({"stack", "avg (s) +/- sd", "VF-related (s)", "others (s)",
                    "reduction vs vanilla", "bar"});
-  std::vector<RepeatedResult> results;
-  for (const StackConfig& config : Fig11Baselines()) {
-    results.push_back(RunRepeated(config, options, kRepeats));
-  }
+  // The whole (config × seed) matrix runs as one sweep so every cell shares
+  // the worker pool; aggregation order is fixed by cell index, so the rows
+  // are identical at any --jobs value.
+  const std::vector<RepeatedResult> results =
+      RunRepeatedSweep(Fig11Baselines(), options, kRepeats, env.jobs);
   double max_mean = 0.0;
   for (const auto& r : results) {
     max_mean = std::max(max_mean, r.startup_mean.mean);

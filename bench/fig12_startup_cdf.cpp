@@ -4,18 +4,18 @@
 
 using namespace fastiov;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Figure 12 — Startup time distribution (concurrency 200)",
               "Empirical CDFs; the paper's headline is the 75.4% reduction of\n"
-              "the 99th percentile by FastIOV.");
+              "the 99th percentile by FastIOV.",
+              env.jobs);
 
   const ExperimentOptions options = DefaultOptions();
   const std::vector<StackConfig> configs = {StackConfig::NoNetwork(), StackConfig::Vanilla(),
                                             StackConfig::FastIov(), StackConfig::PreZero(1.0)};
-  std::vector<ExperimentResult> results;
-  for (const auto& c : configs) {
-    results.push_back(RunStartupExperiment(c, options));
-  }
+  const std::vector<ExperimentResult> results =
+      RunSweep(CrossProduct(configs, options, {options.seed}), env.jobs);
 
   TextTable table({"stack", "p50 (s)", "p90 (s)", "p99 (s)", "max (s)"});
   for (const auto& r : results) {

@@ -3,17 +3,27 @@
 
 using namespace fastiov;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Figure 13a — Impacting factor: concurrency",
               "Startup-time distribution with concurrency 10..200, 512 MiB each.\n"
-              "Paper: reductions range 46.7%..65.6%, growing with concurrency.");
+              "Paper: reductions range 46.7%..65.6%, growing with concurrency.",
+              env.jobs);
+
+  const std::vector<int> levels = {10, 50, 100, 150, 200};
+  std::vector<SweepCell> cells;
+  for (int n : levels) {
+    cells.push_back({StackConfig::Vanilla(), DefaultOptions(n)});
+    cells.push_back({StackConfig::FastIov(), DefaultOptions(n)});
+  }
+  const std::vector<ExperimentResult> results = RunSweep(cells, env.jobs);
 
   TextTable table({"concurrency", "vanilla avg", "vanilla p99", "fastiov avg", "fastiov p99",
                    "reduction"});
-  for (int n : {10, 50, 100, 150, 200}) {
-    const ExperimentOptions options = DefaultOptions(n);
-    const ExperimentResult vanilla = RunStartupExperiment(StackConfig::Vanilla(), options);
-    const ExperimentResult fast = RunStartupExperiment(StackConfig::FastIov(), options);
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const int n = levels[i];
+    const ExperimentResult& vanilla = results[2 * i];
+    const ExperimentResult& fast = results[2 * i + 1];
     table.AddRow({std::to_string(n), FormatSeconds(vanilla.startup.Mean()),
                   FormatSeconds(vanilla.startup.Percentile(99)),
                   FormatSeconds(fast.startup.Mean()),

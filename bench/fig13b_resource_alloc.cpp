@@ -4,22 +4,32 @@
 
 using namespace fastiov;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Figure 13b — Impacting factor: resource allocation",
               "50 concurrent containers, per-container memory 512 MiB..2 GiB.\n"
-              "Paper: +60.5% vanilla vs +21.5% FastIOV going to 2 GiB.");
+              "Paper: +60.5% vanilla vs +21.5% FastIOV going to 2 GiB.",
+              env.jobs);
 
-  double vanilla_512 = 0.0;
-  double fast_512 = 0.0;
-  TextTable table({"memory", "vanilla avg", "growth", "fastiov avg", "growth", "reduction"});
-  for (uint64_t mem : {512 * kMiB, 1 * kGiB, 3 * kGiB / 2, 2 * kGiB}) {
+  const std::vector<uint64_t> sizes = {512 * kMiB, 1 * kGiB, 3 * kGiB / 2, 2 * kGiB};
+  std::vector<SweepCell> cells;
+  for (uint64_t mem : sizes) {
     StackConfig vanilla_cfg = StackConfig::Vanilla();
     vanilla_cfg.guest_memory_bytes = mem;
     StackConfig fast_cfg = StackConfig::FastIov();
     fast_cfg.guest_memory_bytes = mem;
-    const ExperimentOptions options = DefaultOptions(50);
-    const ExperimentResult vanilla = RunStartupExperiment(vanilla_cfg, options);
-    const ExperimentResult fast = RunStartupExperiment(fast_cfg, options);
+    cells.push_back({vanilla_cfg, DefaultOptions(50)});
+    cells.push_back({fast_cfg, DefaultOptions(50)});
+  }
+  const std::vector<ExperimentResult> results = RunSweep(cells, env.jobs);
+
+  double vanilla_512 = 0.0;
+  double fast_512 = 0.0;
+  TextTable table({"memory", "vanilla avg", "growth", "fastiov avg", "growth", "reduction"});
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const uint64_t mem = sizes[i];
+    const ExperimentResult& vanilla = results[2 * i];
+    const ExperimentResult& fast = results[2 * i + 1];
     if (mem == 512 * kMiB) {
       vanilla_512 = vanilla.startup.Mean();
       fast_512 = fast.startup.Mean();

@@ -19,15 +19,17 @@ uint64_t MemoryPerContainer(const HostSpec& spec, int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Figure 13c — Impacting factor: fully loaded server",
               "All resources divided among N containers (256 GiB / 112 lcores).\n"
-              "Paper: reductions from 65.7% @200 up to 79.5% @10.");
+              "Paper: reductions from 65.7% @200 up to 79.5% @10.",
+              env.jobs);
 
   HostSpec spec;
-  TextTable table({"concurrency", "mem each", "vcpu each", "vanilla avg", "fastiov avg",
-                   "reduction"});
-  for (int n : {10, 25, 50, 100, 200}) {
+  const std::vector<int> levels = {10, 25, 50, 100, 200};
+  std::vector<SweepCell> cells;
+  for (int n : levels) {
     const uint64_t mem = MemoryPerContainer(spec, n);
     const double vcpus = static_cast<double>(spec.logical_cores) / n;
     StackConfig vanilla_cfg = StackConfig::Vanilla();
@@ -36,9 +38,19 @@ int main() {
     StackConfig fast_cfg = StackConfig::FastIov();
     fast_cfg.guest_memory_bytes = mem;
     fast_cfg.vcpus = vcpus;
-    const ExperimentOptions options = DefaultOptions(n);
-    const ExperimentResult vanilla = RunStartupExperiment(vanilla_cfg, options);
-    const ExperimentResult fast = RunStartupExperiment(fast_cfg, options);
+    cells.push_back({vanilla_cfg, DefaultOptions(n)});
+    cells.push_back({fast_cfg, DefaultOptions(n)});
+  }
+  const std::vector<ExperimentResult> results = RunSweep(cells, env.jobs);
+
+  TextTable table({"concurrency", "mem each", "vcpu each", "vanilla avg", "fastiov avg",
+                   "reduction"});
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const int n = levels[i];
+    const uint64_t mem = MemoryPerContainer(spec, n);
+    const double vcpus = static_cast<double>(spec.logical_cores) / n;
+    const ExperimentResult& vanilla = results[2 * i];
+    const ExperimentResult& fast = results[2 * i + 1];
     char mem_label[32];
     std::snprintf(mem_label, sizeof(mem_label), "%.1f GiB",
                   static_cast<double>(mem) / kGiB);

@@ -5,15 +5,21 @@
 
 using namespace fastiov;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Figure 14 — Comparison with the software CNI (IPvtap)",
               "200 concurrent containers. Paper: FastIOV achieves 41.3%/31.8%\n"
-              "lower total/average startup than IPvtap.");
+              "lower total/average startup than IPvtap.",
+              env.jobs);
 
   const ExperimentOptions options = DefaultOptions();
-  const ExperimentResult ipvtap = RunStartupExperiment(StackConfig::Ipvtap(), options);
-  const ExperimentResult fast = RunStartupExperiment(StackConfig::FastIov(), options);
-  const ExperimentResult vanilla = RunStartupExperiment(StackConfig::Vanilla(), options);
+  const std::vector<StackConfig> configs = {StackConfig::Ipvtap(), StackConfig::FastIov(),
+                                            StackConfig::Vanilla()};
+  const std::vector<ExperimentResult> results =
+      RunSweep(CrossProduct(configs, options, {options.seed}), env.jobs);
+  const ExperimentResult& ipvtap = results[0];
+  const ExperimentResult& fast = results[1];
+  const ExperimentResult& vanilla = results[2];
 
   TextTable table({"stack", "avg (s)", "p99 (s)", "total/makespan (s)"});
   for (const ExperimentResult* r : {&ipvtap, &fast, &vanilla}) {

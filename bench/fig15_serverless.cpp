@@ -4,21 +4,30 @@
 
 using namespace fastiov;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Figure 15 — Serverless application performance (concurrency 200)",
               "Task completion = startup + input download (via VF) + compute.\n"
               "Paper: 12.1%..53.5% average and 20.3%..53.7% p99 reductions,\n"
-              "largest for the shortest task (Image).");
+              "largest for the shortest task (Image).",
+              env.jobs);
+
+  const std::vector<ServerlessApp> apps = ServerlessApp::All();
+  std::vector<SweepCell> cells;
+  for (const ServerlessApp& app : apps) {
+    ExperimentOptions options = DefaultOptions();
+    options.app = app;
+    cells.push_back({StackConfig::Vanilla(), options});
+    cells.push_back({StackConfig::FastIov(), options});
+  }
+  const std::vector<ExperimentResult> results = RunSweep(cells, env.jobs);
 
   TextTable table({"app", "vanilla avg", "fastiov avg", "avg reduction", "vanilla p99",
                    "fastiov p99", "p99 reduction"});
-  for (const ServerlessApp& app : ServerlessApp::All()) {
-    ExperimentOptions options = DefaultOptions();
-    options.app = app;
-    const ExperimentResult vanilla = RunStartupExperiment(StackConfig::Vanilla(), options);
-    const ExperimentResult fast = RunStartupExperiment(StackConfig::FastIov(), options);
-    const Summary& v = vanilla.task_completion;
-    const Summary& f = fast.task_completion;
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const ServerlessApp& app = apps[i];
+    const Summary& v = results[2 * i].task_completion;
+    const Summary& f = results[2 * i + 1].task_completion;
     table.AddRow({app.name, FormatSeconds(v.Mean()), FormatSeconds(f.Mean()),
                   FormatPercent(1.0 - f.Mean() / v.Mean()),
                   FormatSeconds(v.Percentile(99)), FormatSeconds(f.Percentile(99)),

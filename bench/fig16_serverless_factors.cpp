@@ -31,11 +31,13 @@ std::string Cell(const Point& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Figure 16 — Serverless performance: impacting factors",
               "Cells: vanilla_avg/fastiov_avg (R-ratio). Paper shapes: (a-d)\n"
               "gain grows with concurrency; (e-h) FastIOV reaps larger\n"
-              "allocations; (i-l) large gains across a fully loaded server.");
+              "allocations; (i-l) large gains across a fully loaded server.",
+              env.jobs);
 
   const auto apps = ServerlessApp::All();
 

@@ -5,19 +5,28 @@
 
 using namespace fastiov;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Section 5 — The bind/rebind implementation flaw",
               "Original SR-IOV CNI vs the fixed (pre-bound, dummy-netdev) CNI.\n"
               "Paper: the fix takes 200-container startup from several minutes\n"
-              "down to 16.2 s.");
+              "down to 16.2 s.",
+              env.jobs);
+
+  const std::vector<int> levels = {25, 50, 100, 200};
+  std::vector<SweepCell> cells;
+  for (int n : levels) {
+    cells.push_back({StackConfig::VanillaUnfixed(), DefaultOptions(n)});
+    cells.push_back({StackConfig::Vanilla(), DefaultOptions(n)});
+  }
+  const std::vector<ExperimentResult> results = RunSweep(cells, env.jobs);
 
   TextTable table({"concurrency", "unfixed avg (s)", "unfixed makespan (s)", "fixed avg (s)",
                    "speedup"});
-  for (int n : {25, 50, 100, 200}) {
-    const ExperimentOptions options = DefaultOptions(n);
-    const ExperimentResult unfixed =
-        RunStartupExperiment(StackConfig::VanillaUnfixed(), options);
-    const ExperimentResult fixed = RunStartupExperiment(StackConfig::Vanilla(), options);
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const int n = levels[i];
+    const ExperimentResult& unfixed = results[2 * i];
+    const ExperimentResult& fixed = results[2 * i + 1];
     char speedup[32];
     std::snprintf(speedup, sizeof(speedup), "%.1fx",
                   unfixed.startup.Mean() / fixed.startup.Mean());

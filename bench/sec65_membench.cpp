@@ -49,11 +49,13 @@ MembenchResult RunStack(bool lazy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Section 6.5 — Impact on memory access performance",
               "Tinymembench inside the secure container: memcpy on 2048-byte\n"
               "blocks (10 x 5 s) and 10M random byte reads. Paper: degradation\n"
-              "within 1% because FastIOV only intercepts the first-touch fault.");
+              "within 1% because FastIOV only intercepts the first-touch fault.",
+              env.jobs);
 
   const MembenchResult vanilla = RunStack(/*lazy=*/false);
   const MembenchResult fast = RunStack(/*lazy=*/true);

@@ -6,21 +6,30 @@
 
 using namespace fastiov;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Section 7 — FastIOV over vDPA (extension)",
               "vDPA keeps the hardware data plane but the guest runs the stock\n"
               "virtio-net driver: no vendor driver, no firmware-mailbox link\n"
               "wait, and ring buffers are proactively faulted by the virtio\n"
-              "frontend — lazy zeroing becomes safe by construction.");
+              "frontend — lazy zeroing becomes safe by construction.",
+              env.jobs);
+
+  const std::vector<int> levels = {10, 50, 100, 200};
+  std::vector<SweepCell> cells;
+  for (int n : levels) {
+    cells.push_back({StackConfig::Vanilla(), DefaultOptions(n)});
+    cells.push_back({StackConfig::FastIov(), DefaultOptions(n)});
+    cells.push_back({StackConfig::FastIovVdpa(), DefaultOptions(n)});
+  }
+  const std::vector<ExperimentResult> results = RunSweep(cells, env.jobs);
 
   TextTable table({"concurrency", "vanilla", "fastiov", "fastiov-vdpa", "vdpa vs fastiov"});
-  for (int n : {10, 50, 100, 200}) {
-    const ExperimentOptions options = DefaultOptions(n);
-    const double vanilla =
-        RunStartupExperiment(StackConfig::Vanilla(), options).startup.Mean();
-    const double fast = RunStartupExperiment(StackConfig::FastIov(), options).startup.Mean();
-    const double vdpa =
-        RunStartupExperiment(StackConfig::FastIovVdpa(), options).startup.Mean();
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const int n = levels[i];
+    const double vanilla = results[3 * i].startup.Mean();
+    const double fast = results[3 * i + 1].startup.Mean();
+    const double vdpa = results[3 * i + 2].startup.Mean();
     char delta[32];
     std::snprintf(delta, sizeof(delta), "%+.1f%%", 100.0 * (vdpa / fast - 1.0));
     table.AddRow({std::to_string(n), FormatSeconds(vanilla), FormatSeconds(fast),

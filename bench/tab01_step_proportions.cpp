@@ -4,9 +4,10 @@
 
 using namespace fastiov;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
   PrintHeader("Table 1 — Time proportions of time-consuming steps",
-              "200 concurrent SR-IOV secure containers, vanilla stack.");
+              "200 concurrent SR-IOV secure containers, vanilla stack.", env.jobs);
 
   const ExperimentResult r = RunStartupExperiment(StackConfig::Vanilla(), DefaultOptions());
 

@@ -129,6 +129,16 @@ bool FlagParser::GetBool(const std::string& name) const {
   return v == "true" || v == "1";
 }
 
+void AddJobsFlag(FlagParser& parser) {
+  parser.AddInt("jobs", 0,
+                "worker threads for independent simulation runs "
+                "(0 = all hardware threads, 1 = sequential)");
+}
+
+int GetJobsFlag(const FlagParser& parser) {
+  return static_cast<int>(parser.GetInt("jobs"));
+}
+
 std::string FlagParser::HelpText(const std::string& program) const {
   std::ostringstream os;
   os << "usage: " << program << " [flags]\n\nflags:\n";

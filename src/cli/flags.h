@@ -50,6 +50,15 @@ class FlagParser {
   bool help_requested_ = false;
 };
 
+// Registers the standard --jobs flag shared by every sweep-capable binary
+// (benches, calibrate, simbench). 0 means "all hardware threads"; 1 is the
+// exact sequential code path.
+void AddJobsFlag(FlagParser& parser);
+
+// Reads back --jobs as registered by AddJobsFlag. Returns the raw value;
+// resolve <= 0 to a worker count with ResolveJobs (src/experiments/sweep.h).
+int GetJobsFlag(const FlagParser& parser);
+
 }  // namespace fastiov
 
 #endif  // SRC_CLI_FLAGS_H_

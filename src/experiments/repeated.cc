@@ -1,6 +1,11 @@
 #include "src/experiments/repeated.h"
 
 #include <cassert>
+#include <cstddef>
+#include <iterator>
+#include <utility>
+
+#include "src/experiments/sweep.h"
 
 namespace fastiov {
 namespace {
@@ -13,11 +18,10 @@ RepeatedMetric Aggregate(const std::vector<double>& values) {
   return RepeatedMetric{s.Mean(), s.Stddev(), s.Min(), s.Max()};
 }
 
-}  // namespace
-
-RepeatedResult RunRepeated(const StackConfig& config, const ExperimentOptions& options,
-                           int repeats) {
-  assert(repeats > 0);
+// Folds `repeats` consecutive runs into one aggregate. Consumes the runs
+// from `first` so the timelines can be moved (or dropped) instead of copied.
+RepeatedResult AggregateRuns(const StackConfig& config, const ExperimentOptions& options,
+                             std::vector<ExperimentResult>::iterator first, int repeats) {
   RepeatedResult result;
   result.config = config;
   result.repeats = repeats;
@@ -27,10 +31,7 @@ RepeatedResult RunRepeated(const StackConfig& config, const ExperimentOptions& o
   std::vector<double> task_means;
   std::vector<double> vf_means;
   for (int r = 0; r < repeats; ++r) {
-    ExperimentOptions run_options = options;
-    run_options.seed = options.seed + static_cast<uint64_t>(r);
-    result.runs.push_back(RunStartupExperiment(config, run_options));
-    const ExperimentResult& run = result.runs.back();
+    const ExperimentResult& run = *(first + r);
     startup_means.push_back(run.startup.Mean());
     startup_p99s.push_back(run.startup.Percentile(99));
     if (!run.task_completion.Empty()) {
@@ -44,7 +45,43 @@ RepeatedResult RunRepeated(const StackConfig& config, const ExperimentOptions& o
     result.task_mean = Aggregate(task_means);
   }
   result.vf_related_mean = Aggregate(vf_means);
+  if (options.keep_runs) {
+    result.runs.assign(std::make_move_iterator(first),
+                       std::make_move_iterator(first + repeats));
+  }
   return result;
+}
+
+std::vector<uint64_t> SeedRange(uint64_t base, int repeats) {
+  std::vector<uint64_t> seeds;
+  seeds.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    seeds.push_back(base + static_cast<uint64_t>(r));
+  }
+  return seeds;
+}
+
+}  // namespace
+
+RepeatedResult RunRepeated(const StackConfig& config, const ExperimentOptions& options,
+                           int repeats, int jobs) {
+  return std::move(
+      RunRepeatedSweep(std::vector<StackConfig>{config}, options, repeats, jobs).front());
+}
+
+std::vector<RepeatedResult> RunRepeatedSweep(const std::vector<StackConfig>& configs,
+                                             const ExperimentOptions& options, int repeats,
+                                             int jobs) {
+  assert(repeats > 0);
+  std::vector<ExperimentResult> runs =
+      RunSweep(CrossProduct(configs, options, SeedRange(options.seed, repeats)), jobs);
+  std::vector<RepeatedResult> results;
+  results.reserve(configs.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    results.push_back(AggregateRuns(
+        configs[c], options, runs.begin() + static_cast<ptrdiff_t>(c) * repeats, repeats));
+  }
+  return results;
 }
 
 }  // namespace fastiov

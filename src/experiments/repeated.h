@@ -24,12 +24,25 @@ struct RepeatedResult {
   RepeatedMetric startup_p99;       // of per-run p99 startup
   RepeatedMetric task_mean;         // of per-run average task completion
   RepeatedMetric vf_related_mean;   // of per-run average VF-related time
+  // Full per-run results, retained only when ExperimentOptions::keep_runs is
+  // set — each one holds the whole timeline, which adds up fast across a
+  // large multi-seed sweep.
   std::vector<ExperimentResult> runs;
 };
 
-// Runs `repeats` experiments with seeds base_seed, base_seed+1, ...
+// Runs `repeats` experiments with seeds base_seed, base_seed+1, ..., fanned
+// out over `jobs` worker threads (1 = sequential; <= 0 = all hardware
+// threads). The aggregate is identical for every jobs value.
 RepeatedResult RunRepeated(const StackConfig& config, const ExperimentOptions& options,
-                           int repeats);
+                           int repeats, int jobs = 1);
+
+// Same, for a whole list of configurations at once: the full
+// (config × seed) matrix is flattened into one sweep so all cells share the
+// worker pool, instead of parallelising only within one config's seeds.
+// Results are in `configs` order.
+std::vector<RepeatedResult> RunRepeatedSweep(const std::vector<StackConfig>& configs,
+                                             const ExperimentOptions& options, int repeats,
+                                             int jobs);
 
 }  // namespace fastiov
 

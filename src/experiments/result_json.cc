@@ -1,0 +1,98 @@
+#include "src/experiments/result_json.h"
+
+#include <sstream>
+
+#include "src/stats/json_writer.h"
+
+namespace fastiov {
+namespace {
+
+void WriteExperimentResultBody(const ExperimentResult& r, JsonWriter& json) {
+  json.BeginObject();
+  json.KV("stack", r.config.name);
+  json.KV("concurrency", static_cast<int64_t>(r.options.concurrency));
+  json.KV("seed", r.options.seed);
+  json.KV("arrival", ArrivalPatternName(r.options.arrival));
+  json.Key("startup_seconds");
+  json.BeginObject()
+      .KV("mean", r.startup.Mean())
+      .KV("p50", r.startup.Percentile(50))
+      .KV("p90", r.startup.Percentile(90))
+      .KV("p99", r.startup.Percentile(99))
+      .KV("min", r.startup.Min())
+      .KV("max", r.startup.Max())
+      .EndObject();
+  if (!r.task_completion.Empty()) {
+    json.Key("task_completion_seconds");
+    json.BeginObject()
+        .KV("mean", r.task_completion.Mean())
+        .KV("p99", r.task_completion.Percentile(99))
+        .EndObject();
+  }
+  json.KV("vf_related_mean_seconds", r.vf_related.Mean());
+  json.Key("step_share_of_average");
+  json.BeginObject();
+  for (const std::string& step : r.timeline.StepNames()) {
+    json.KV(step, r.timeline.StepShareOfAverage(step));
+  }
+  json.EndObject();
+  json.Key("counters");
+  json.BeginObject()
+      .KV("residue_reads", r.residue_reads)
+      .KV("corruptions", r.corruptions)
+      .KV("devset_lock_contention", r.devset_lock_contention)
+      .KV("pages_zeroed", r.pages_zeroed)
+      .KV("fault_zeroed_pages", r.fault_zeroed_pages)
+      .KV("background_zeroed_pages", r.background_zeroed_pages)
+      .EndObject();
+  json.EndObject();
+}
+
+void WriteMetric(JsonWriter& json, std::string_view name, const RepeatedMetric& m) {
+  json.Key(name);
+  json.BeginObject()
+      .KV("mean", m.mean)
+      .KV("stddev", m.stddev)
+      .KV("min", m.min)
+      .KV("max", m.max)
+      .EndObject();
+}
+
+}  // namespace
+
+void WriteExperimentResultJson(const ExperimentResult& r, std::ostream& os) {
+  JsonWriter json(os);
+  WriteExperimentResultBody(r, json);
+}
+
+void WriteRepeatedResultJson(const RepeatedResult& r, std::ostream& os) {
+  JsonWriter json(os);
+  json.BeginObject();
+  json.KV("stack", r.config.name);
+  json.KV("repeats", static_cast<int64_t>(r.repeats));
+  WriteMetric(json, "startup_mean_seconds", r.startup_mean);
+  WriteMetric(json, "startup_p99_seconds", r.startup_p99);
+  WriteMetric(json, "task_mean_seconds", r.task_mean);
+  WriteMetric(json, "vf_related_mean_seconds", r.vf_related_mean);
+  json.Key("runs");
+  json.BeginArray();
+  for (const ExperimentResult& run : r.runs) {
+    WriteExperimentResultBody(run, json);
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+std::string ExperimentResultJson(const ExperimentResult& r) {
+  std::ostringstream os;
+  WriteExperimentResultJson(r, os);
+  return os.str();
+}
+
+std::string RepeatedResultJson(const RepeatedResult& r) {
+  std::ostringstream os;
+  WriteRepeatedResultJson(r, os);
+  return os.str();
+}
+
+}  // namespace fastiov

@@ -1,0 +1,30 @@
+// Machine-readable serialization of experiment results.
+//
+// Shared by the CLI front end, the simbench perf harness, and the sweep
+// determinism tests: the parallel sweep engine promises byte-identical
+// output to the sequential path, and "byte-identical" is checked against
+// exactly these serializations.
+#ifndef SRC_EXPERIMENTS_RESULT_JSON_H_
+#define SRC_EXPERIMENTS_RESULT_JSON_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/experiments/repeated.h"
+#include "src/experiments/startup_experiment.h"
+
+namespace fastiov {
+
+// One experiment run: headline summaries, step shares, and counters.
+void WriteExperimentResultJson(const ExperimentResult& r, std::ostream& os);
+
+// A multi-seed aggregate: the four spread metrics plus every retained run.
+void WriteRepeatedResultJson(const RepeatedResult& r, std::ostream& os);
+
+// Convenience for comparisons in tests and simbench.
+std::string ExperimentResultJson(const ExperimentResult& r);
+std::string RepeatedResultJson(const RepeatedResult& r);
+
+}  // namespace fastiov
+
+#endif  // SRC_EXPERIMENTS_RESULT_JSON_H_

@@ -29,6 +29,11 @@ struct ExperimentOptions {
   // kUniform/kPoisson model open-loop serverless load at `arrival_rate`.
   ArrivalPattern arrival = ArrivalPattern::kBurst;
   double arrival_rate_per_s = 50.0;
+  // Retain the full per-run ExperimentResult (timeline included) in
+  // RepeatedResult::runs. Off by default: aggregates don't need the
+  // timelines, and keeping every one alive is what makes large multi-seed
+  // sweeps memory-hungry.
+  bool keep_runs = false;
 };
 
 struct ExperimentResult {

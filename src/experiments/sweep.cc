@@ -1,0 +1,138 @@
+#include "src/experiments/sweep.h"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace fastiov {
+namespace {
+
+// One worker's task queue. The owner pops from the front; thieves take from
+// the back, so an owner working through its own deal order collides with a
+// thief only on the last item.
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<size_t> items;
+
+  bool PopFront(size_t* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (items.empty()) {
+      return false;
+    }
+    *out = items.front();
+    items.pop_front();
+    return true;
+  }
+
+  bool StealBack(size_t* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (items.empty()) {
+      return false;
+    }
+    *out = items.back();
+    items.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+int DefaultJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ResolveJobs(int jobs) { return jobs <= 0 ? DefaultJobs() : jobs; }
+
+void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  jobs = ResolveJobs(jobs);
+  const size_t workers = std::min(n, static_cast<size_t>(jobs));
+  if (workers <= 1) {
+    // Sequential fast path: same code the pre-sweep binaries ran — no
+    // threads, exceptions propagate straight out of the loop.
+    for (size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  // All work is dealt up front (nothing spawns new tasks), so "every queue
+  // is empty" is a sound termination condition for the stealing loop.
+  std::vector<std::unique_ptr<WorkerQueue>> queues;
+  queues.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    queues.push_back(std::make_unique<WorkerQueue>());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    queues[i % workers]->items.push_back(i);
+  }
+
+  // Per-index slots keep error reporting deterministic: whatever the thread
+  // timing, the caller sees the exception of the lowest failing index.
+  std::vector<std::exception_ptr> errors(n);
+
+  auto worker_loop = [&](size_t self) {
+    size_t index = 0;
+    for (;;) {
+      bool found = queues[self]->PopFront(&index);
+      for (size_t off = 1; !found && off < workers; ++off) {
+        found = queues[(self + off) % workers]->StealBack(&index);
+      }
+      if (!found) {
+        return;
+      }
+      try {
+        body(index);
+      } catch (...) {
+        errors[index] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) {
+    threads.emplace_back(worker_loop, w);
+  }
+  worker_loop(0);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  for (const std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+std::vector<SweepCell> CrossProduct(const std::vector<StackConfig>& configs,
+                                    const ExperimentOptions& base,
+                                    const std::vector<uint64_t>& seeds) {
+  std::vector<SweepCell> cells;
+  cells.reserve(configs.size() * seeds.size());
+  for (const StackConfig& config : configs) {
+    for (uint64_t seed : seeds) {
+      SweepCell cell{config, base};
+      cell.options.seed = seed;
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+std::vector<ExperimentResult> RunSweep(const std::vector<SweepCell>& cells, int jobs) {
+  std::vector<ExperimentResult> results(cells.size());
+  ParallelFor(cells.size(), jobs, [&](size_t i) {
+    results[i] = RunStartupExperiment(cells[i].config, cells[i].options);
+  });
+  return results;
+}
+
+}  // namespace fastiov

@@ -1,0 +1,59 @@
+// Parallel experiment sweep engine.
+//
+// A sweep is an arbitrary matrix of independent simulation runs — typically
+// a (StackConfig × seed) cross product. Each cell constructs its own
+// Simulation, Host, and runtime, so cells share no mutable state and can
+// execute on any thread; results land in a pre-sized vector indexed by cell
+// position, which keeps aggregation order — and therefore every reported
+// number — byte-identical to the sequential path. The thread-safety
+// boundary of the whole codebase is this layer: simcore and everything
+// below it stay single-threaded per run.
+#ifndef SRC_EXPERIMENTS_SWEEP_H_
+#define SRC_EXPERIMENTS_SWEEP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/experiments/startup_experiment.h"
+
+namespace fastiov {
+
+// Worker-thread count used when the caller does not pick one: the hardware
+// concurrency, at least 1.
+int DefaultJobs();
+
+// Resolves a user-facing --jobs value: <= 0 means "use all hardware
+// threads"; anything else is taken literally.
+int ResolveJobs(int jobs);
+
+// Runs body(i) for every i in [0, n), fanned out across `jobs` worker
+// threads with work stealing: indices are dealt round-robin into per-worker
+// queues, and a worker whose queue drains steals from its siblings, so one
+// slow cell cannot idle the rest of the pool. jobs <= 1 executes inline on
+// the calling thread in index order — the exact sequential behaviour, with
+// no threads created. If bodies throw, the exception with the lowest task
+// index propagates to the caller after all workers drain (deterministic
+// regardless of thread timing). body must not touch shared mutable state.
+void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& body);
+
+// One cell of a sweep matrix.
+struct SweepCell {
+  StackConfig config;
+  ExperimentOptions options;
+};
+
+// Expands a (configs × seeds) cross product in row-major order — all seeds
+// of configs[0] first — matching how the bench binaries aggregate.
+std::vector<SweepCell> CrossProduct(const std::vector<StackConfig>& configs,
+                                    const ExperimentOptions& base,
+                                    const std::vector<uint64_t>& seeds);
+
+// Runs every cell (one isolated Simulation each) on `jobs` workers and
+// returns results in cell order.
+std::vector<ExperimentResult> RunSweep(const std::vector<SweepCell>& cells, int jobs);
+
+}  // namespace fastiov
+
+#endif  // SRC_EXPERIMENTS_SWEEP_H_

@@ -7,7 +7,7 @@
 
 namespace fastiov {
 
-int PciDevice::next_id_ = 0;
+std::atomic<int> PciDevice::next_id_{0};
 
 std::string PciAddress::ToString() const {
   char buf[16];

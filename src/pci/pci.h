@@ -8,6 +8,7 @@
 #define SRC_PCI_PCI_H_
 
 #include <array>
+#include <atomic>
 #include <compare>
 #include <cstdint>
 #include <string>
@@ -73,7 +74,11 @@ class PciDevice {
   }
 
  private:
-  static int next_id_;
+  // Process-wide id allocator. Atomic because concurrent sweep runs create
+  // devices from multiple threads; the id is only an identity key within a
+  // run (never part of any reported number), so allocation order across
+  // runs does not affect determinism of results.
+  static std::atomic<int> next_id_;
   int id_;
   PciAddress addr_;
   std::string name_;

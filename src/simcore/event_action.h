@@ -1,0 +1,155 @@
+// Small-buffer, move-only callable used as the event-queue payload.
+//
+// The dominant payload by far is a bare std::coroutine_handle<> (every
+// Delay resumption and every sync-primitive wakeup). It gets a dedicated
+// tag and is stored inline, so dispatching it is a direct resume with no
+// type-erasure indirection and no allocation. Arbitrary callbacks whose
+// closure fits the inline buffer are also stored inline; only oversized
+// closures fall back to the heap — the cost the previous
+// std::variant<coroutine_handle, std::function> payload paid for every
+// callback regardless of size.
+#ifndef SRC_SIMCORE_EVENT_ACTION_H_
+#define SRC_SIMCORE_EVENT_ACTION_H_
+
+#include <coroutine>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace fastiov {
+
+class EventAction {
+ public:
+  // Inline closure budget: enough for a this-pointer plus a few captured
+  // words, which covers every callback the simulator schedules today.
+  static constexpr size_t kInlineBytes = 48;
+
+  EventAction() noexcept = default;
+
+  // NOLINTNEXTLINE(google-explicit-constructor): handles convert implicitly
+  // so ScheduleHandle stays zero-ceremony at every call site.
+  EventAction(std::coroutine_handle<> h) noexcept : kind_(Kind::kHandle) {
+    ::new (static_cast<void*>(storage_)) std::coroutine_handle<>(h);
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventAction> &&
+                !std::is_convertible_v<F&&, std::coroutine_handle<>> &&
+                std::is_invocable_v<std::decay_t<F>&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  EventAction(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      kind_ = Kind::kInline;
+      ops_ = &InlineOps<Fn>::ops;
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    } else {
+      kind_ = Kind::kHeap;
+      ops_ = &HeapOps<Fn>::ops;
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+    }
+  }
+
+  EventAction(EventAction&& other) noexcept { MoveFrom(other); }
+
+  EventAction& operator=(EventAction&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  EventAction(const EventAction&) = delete;
+  EventAction& operator=(const EventAction&) = delete;
+
+  ~EventAction() { Destroy(); }
+
+  explicit operator bool() const noexcept { return kind_ != Kind::kEmpty; }
+
+  // Invokes the payload. Coroutine handles are resumed directly without
+  // going through the type-erased table.
+  void operator()() {
+    if (kind_ == Kind::kHandle) {
+      Handle().resume();
+    } else {
+      ops_->invoke(storage_);
+    }
+  }
+
+ private:
+  enum class Kind : unsigned char { kEmpty, kHandle, kInline, kHeap };
+
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct + destroy src
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* storage) { (*std::launder(static_cast<Fn*>(storage)))(); }
+    static void Relocate(void* dst, void* src) noexcept {
+      Fn* from = std::launder(static_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* storage) noexcept {
+      std::launder(static_cast<Fn*>(storage))->~Fn();
+    }
+    static constexpr Ops ops{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* Ptr(void* storage) { return *std::launder(static_cast<Fn**>(storage)); }
+    static void Invoke(void* storage) { (*Ptr(storage))(); }
+    static void Relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn*(Ptr(src));
+    }
+    static void Destroy(void* storage) noexcept { delete Ptr(storage); }
+    static constexpr Ops ops{&Invoke, &Relocate, &Destroy};
+  };
+
+  std::coroutine_handle<>& Handle() noexcept {
+    return *std::launder(reinterpret_cast<std::coroutine_handle<>*>(storage_));
+  }
+
+  void MoveFrom(EventAction& other) noexcept {
+    kind_ = other.kind_;
+    ops_ = other.ops_;
+    switch (kind_) {
+      case Kind::kEmpty:
+        break;
+      case Kind::kHandle:
+        ::new (static_cast<void*>(storage_))
+            std::coroutine_handle<>(other.Handle());
+        break;
+      case Kind::kInline:
+      case Kind::kHeap:
+        ops_->relocate(storage_, other.storage_);
+        break;
+    }
+    other.kind_ = Kind::kEmpty;
+    other.ops_ = nullptr;
+  }
+
+  void Destroy() noexcept {
+    if (kind_ == Kind::kInline || kind_ == Kind::kHeap) {
+      ops_->destroy(storage_);
+    }
+    kind_ = Kind::kEmpty;
+    ops_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+  Kind kind_ = Kind::kEmpty;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_SIMCORE_EVENT_ACTION_H_

@@ -1,7 +1,7 @@
 #include "src/simcore/simulation.h"
 
-#include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace fastiov {
 namespace {
@@ -46,14 +46,58 @@ RootCoro RunRoot(Task task, std::shared_ptr<ProcessState> state) {
 
 Simulation::Simulation(uint64_t seed) : rng_(seed) {}
 
-void Simulation::ScheduleHandle(SimTime when, std::coroutine_handle<> h) {
-  assert(when >= now_ && "cannot schedule into the past");
-  queue_.push(Event{when, next_seq_++, h});
+void Simulation::EventHeap::Push(Event ev) {
+  events_.push_back(std::move(ev));
+  // Sift the new leaf up to its place.
+  size_t i = events_.size() - 1;
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!Earlier(events_[i], events_[parent])) {
+      break;
+    }
+    std::swap(events_[i], events_[parent]);
+    i = parent;
+  }
 }
 
-void Simulation::ScheduleCallback(SimTime when, std::function<void()> cb) {
-  assert(when >= now_ && "cannot schedule into the past");
-  queue_.push(Event{when, next_seq_++, std::move(cb)});
+void Simulation::EventHeap::SiftDown(size_t i) {
+  const size_t n = events_.size();
+  for (;;) {
+    const size_t left = 2 * i + 1;
+    if (left >= n) {
+      break;
+    }
+    const size_t right = left + 1;
+    size_t smallest = left;
+    if (right < n && Earlier(events_[right], events_[left])) {
+      smallest = right;
+    }
+    if (!Earlier(events_[smallest], events_[i])) {
+      break;
+    }
+    std::swap(events_[i], events_[smallest]);
+    i = smallest;
+  }
+}
+
+Simulation::Event Simulation::EventHeap::PopTop() {
+  Event top = std::move(events_.front());
+  if (events_.size() > 1) {
+    events_.front() = std::move(events_.back());
+  }
+  events_.pop_back();
+  if (!events_.empty()) {
+    SiftDown(0);
+  }
+  return top;
+}
+
+void Simulation::ScheduleAction(SimTime when, EventAction action) {
+  if (when < now_) {
+    throw std::logic_error("Simulation: cannot schedule an event at " + when.ToString() +
+                           ", which is in the past (now is " + now_.ToString() + ")");
+  }
+  queue_.Push(Event{when, next_seq_++, std::move(action)});
 }
 
 Process Simulation::Spawn(Task task, std::string name) {
@@ -66,16 +110,6 @@ Process Simulation::Spawn(Task task, std::string name) {
   return Process(state);
 }
 
-void Simulation::Dispatch(Event& ev) {
-  now_ = ev.when;
-  ++num_events_processed_;
-  if (std::holds_alternative<std::coroutine_handle<>>(ev.what)) {
-    std::get<std::coroutine_handle<>>(ev.what).resume();
-  } else {
-    std::get<std::function<void()>>(ev.what)();
-  }
-}
-
 void Simulation::MaybeRethrowUnjoined() {
   for (auto& state : faulted_) {
     if (state->done && state->exception && !state->exception_consumed) {
@@ -86,20 +120,21 @@ void Simulation::MaybeRethrowUnjoined() {
 }
 
 void Simulation::Run() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; copy the small event out.
-    Event ev = queue_.top();
-    queue_.pop();
-    Dispatch(ev);
+  while (!queue_.Empty()) {
+    Event ev = queue_.PopTop();
+    now_ = ev.when;
+    ++num_events_processed_;
+    ev.action();
   }
   MaybeRethrowUnjoined();
 }
 
 void Simulation::RunUntil(SimTime t) {
-  while (!queue_.empty() && queue_.top().when <= t) {
-    Event ev = queue_.top();
-    queue_.pop();
-    Dispatch(ev);
+  while (!queue_.Empty() && queue_.Top().when <= t) {
+    Event ev = queue_.PopTop();
+    now_ = ev.when;
+    ++num_events_processed_;
+    ev.action();
   }
   if (t > now_) {
     now_ = t;

@@ -4,18 +4,23 @@
 // are coroutines (Task); they are either awaited inline by a parent or
 // spawned as concurrent processes with Spawn(). Events scheduled at the same
 // timestamp fire in scheduling order, so runs are fully deterministic.
+//
+// A Simulation is strictly single-threaded: it must be constructed, driven,
+// and destroyed on one thread. Concurrency across *runs* belongs to the
+// sweep layer (src/experiments/sweep.h), which gives every run its own
+// Simulation instance.
 #ifndef SRC_SIMCORE_SIMULATION_H_
 #define SRC_SIMCORE_SIMULATION_H_
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <string>
-#include <variant>
+#include <utility>
 #include <vector>
 
+#include "src/simcore/event_action.h"
 #include "src/simcore/rng.h"
 #include "src/simcore/task.h"
 #include "src/simcore/time.h"
@@ -70,9 +75,19 @@ class Simulation {
   SimTime Now() const { return now_; }
   Rng& rng() { return rng_; }
 
-  // Low-level scheduling. `when` must be >= Now().
-  void ScheduleHandle(SimTime when, std::coroutine_handle<> h);
-  void ScheduleCallback(SimTime when, std::function<void()> cb);
+  // Pre-sizes the event queue for a workload expected to keep up to `n`
+  // events outstanding at once, so the hot loop never reallocates.
+  void ReserveEvents(size_t n) { queue_.Reserve(n); }
+
+  // Low-level scheduling. `when` must be >= Now(); scheduling into the past
+  // throws std::logic_error.
+  void ScheduleHandle(SimTime when, std::coroutine_handle<> h) {
+    ScheduleAction(when, EventAction(h));
+  }
+  template <typename F>
+  void ScheduleCallback(SimTime when, F&& cb) {
+    ScheduleAction(when, EventAction(std::forward<F>(cb)));
+  }
 
   // Starts a concurrent process; it first runs when the event loop reaches
   // the current timestamp's queue position.
@@ -104,24 +119,40 @@ class Simulation {
   struct Event {
     SimTime when;
     uint64_t seq;
-    std::variant<std::coroutine_handle<>, std::function<void()>> what;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
-    }
+    EventAction action;
   };
 
-  void Dispatch(Event& ev);
+  // Hand-rolled binary min-heap on (when, seq). Unlike std::priority_queue,
+  // whose const top() forces copying every event out before pop, PopTop()
+  // moves the root out — the event payload is move-only and moving it is
+  // the whole point of the small-buffer EventAction.
+  class EventHeap {
+   public:
+    void Reserve(size_t n) { events_.reserve(n); }
+    bool Empty() const { return events_.empty(); }
+    const Event& Top() const { return events_.front(); }
+    void Push(Event ev);
+    Event PopTop();
+
+   private:
+    static bool Earlier(const Event& a, const Event& b) {
+      if (a.when != b.when) {
+        return a.when < b.when;
+      }
+      return a.seq < b.seq;
+    }
+    void SiftDown(size_t i);
+
+    std::vector<Event> events_;
+  };
+
+  void ScheduleAction(SimTime when, EventAction action);
   void MaybeRethrowUnjoined();
 
   SimTime now_ = SimTime::Zero();
   uint64_t next_seq_ = 0;
   uint64_t num_events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  EventHeap queue_;
   std::vector<std::shared_ptr<ProcessState>> faulted_;
   Rng rng_;
 };

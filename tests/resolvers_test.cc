@@ -68,6 +68,7 @@ TEST(RepeatedTest, AggregatesAcrossSeeds) {
   ExperimentOptions options;
   options.concurrency = 20;
   options.seed = 100;
+  options.keep_runs = true;  // this test inspects the per-run results
   const RepeatedResult r = RunRepeated(StackConfig::FastIov(), options, 4);
   EXPECT_EQ(r.repeats, 4);
   ASSERT_EQ(r.runs.size(), 4u);

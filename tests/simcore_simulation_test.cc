@@ -61,6 +61,28 @@ TEST(SimulationTest, ScheduleCallback) {
   EXPECT_EQ(sim.Now(), Milliseconds(7));
 }
 
+TEST(SimulationTest, SchedulingIntoThePastThrows) {
+  Simulation sim;
+  sim.ScheduleCallback(Milliseconds(10), [] {});
+  sim.Run();
+  ASSERT_EQ(sim.Now(), Milliseconds(10));
+  // Time only moves forward; an event before now would silently time-travel,
+  // so it must be rejected loudly instead.
+  EXPECT_THROW(sim.ScheduleCallback(Milliseconds(5), [] {}), std::logic_error);
+  try {
+    sim.ScheduleCallback(Milliseconds(5), [] {});
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("in the past"), std::string::npos) << what;
+  }
+  // Scheduling exactly at `now` stays legal (zero-delay events are common).
+  bool fired = false;
+  sim.ScheduleCallback(Milliseconds(10), [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
 Task AwaitChild(Simulation& sim, std::vector<int>* log) {
   co_await Record(sim, Milliseconds(3), log, 1);
   log->push_back(2);

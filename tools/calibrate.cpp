@@ -1,9 +1,15 @@
 // Developer tool: prints the calibration targets from the paper next to the
 // simulator's current output, for tuning src/config/cost_model.h.
+//
+// The full baseline matrix runs as one parallel sweep (--jobs); every
+// number printed is independent of the worker count.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "src/cli/flags.h"
 #include "src/experiments/startup_experiment.h"
+#include "src/experiments/sweep.h"
 
 using namespace fastiov;
 
@@ -21,14 +27,44 @@ void PrintShares(const ExperimentResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  ExperimentOptions options;
-  options.concurrency = argc > 1 ? std::atoi(argv[1]) : 200;
+  FlagParser flags;
+  AddJobsFlag(flags);
+  std::string error;
+  if (!flags.Parse(argc, argv, &error)) {
+    std::fprintf(stderr, "error: %s\n\n%s", error.c_str(), flags.HelpText(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::fputs(flags.HelpText(argv[0]).c_str(), stdout);
+    return 0;
+  }
+  const int jobs = ResolveJobs(GetJobsFlag(flags));
 
-  ExperimentResult nonet = RunStartupExperiment(StackConfig::NoNetwork(), options);
+  ExperimentOptions options;
+  if (!flags.positional().empty()) {
+    options.concurrency = std::atoi(flags.positional().front().c_str());
+  }
+  std::printf("calibrate: concurrency %d, jobs %d\n", options.concurrency, jobs);
+
+  // The whole baseline matrix as one sweep; indices follow this list.
+  const std::vector<StackConfig> configs = {
+      StackConfig::NoNetwork(),                                        // 0
+      StackConfig::Vanilla(),                                          // 1
+      StackConfig::FastIov(),                                          // 2
+      StackConfig::FastIovWithout('L'), StackConfig::FastIovWithout('A'),  // 3, 4
+      StackConfig::FastIovWithout('S'), StackConfig::FastIovWithout('D'),  // 5, 6
+      StackConfig::PreZero(0.1), StackConfig::PreZero(0.5),            // 7, 8
+      StackConfig::PreZero(1.0),                                       // 9
+      StackConfig::Ipvtap(),                                           // 10
+  };
+  const std::vector<ExperimentResult> results =
+      RunSweep(CrossProduct(configs, options, {options.seed}), jobs);
+
+  const ExperimentResult& nonet = results[0];
   std::printf("No-Net   avg %.2fs (target ~4.0)  p99 %.2fs  min %.2fs\n", nonet.startup.Mean(),
               nonet.startup.Percentile(99.0), nonet.startup.Min());
 
-  ExperimentResult vanilla = RunStartupExperiment(StackConfig::Vanilla(), options);
+  const ExperimentResult& vanilla = results[1];
   std::printf("Vanilla  avg %.2fs (target ~16.2) p99 %.2fs (target ~%.2f) min %.2fs (target ~3.8)\n",
               vanilla.startup.Mean(), vanilla.startup.Percentile(99.0),
               nonet.startup.Percentile(99.0) * 4.545, vanilla.startup.Min());
@@ -36,7 +72,7 @@ int main(int argc, char** argv) {
   std::printf("  targets:     cgroup 2.9/2.3  dma-ram 13.0/11.1  virtiofs 13.3/13.6"
               "  dma-image 5.6/4.3  vfio-dev 48.1/59.0  vf-driver 3.4/4.1\n");
 
-  ExperimentResult fast = RunStartupExperiment(StackConfig::FastIov(), options);
+  const ExperimentResult& fast = results[2];
   std::printf("FastIOV  avg %.2fs (target ~%.2f) p99 %.2fs (target ~%.2f)\n",
               fast.startup.Mean(), vanilla.startup.Mean() * (1.0 - 0.657),
               fast.startup.Percentile(99.0), vanilla.startup.Percentile(99.0) * (1.0 - 0.754));
@@ -44,22 +80,25 @@ int main(int argc, char** argv) {
               vanilla.vf_related.Mean(), fast.vf_related.Mean(),
               100.0 * (1.0 - fast.vf_related.Mean() / vanilla.vf_related.Mean()));
 
-  for (char removed : {'L', 'A', 'S', 'D'}) {
-    ExperimentResult v = RunStartupExperiment(StackConfig::FastIovWithout(removed), options);
+  const char removed_names[] = {'L', 'A', 'S', 'D'};
+  for (int i = 0; i < 4; ++i) {
+    const ExperimentResult& v = results[3 + i];
     const double reduction = 1.0 - v.startup.Mean() / vanilla.startup.Mean();
-    std::printf("FastIOV-%c avg %.2fs  reduction vs vanilla %.1f%%\n", removed,
+    std::printf("FastIOV-%c avg %.2fs  reduction vs vanilla %.1f%%\n", removed_names[i],
                 v.startup.Mean(), 100.0 * reduction);
   }
   std::printf("  targets:  -L 21.8%%  -A 40.3%%  -S 58.2%%  -D 43.7%%  (FastIOV 65.7%%)\n");
 
-  for (double f : {0.1, 0.5, 1.0}) {
-    ExperimentResult v = RunStartupExperiment(StackConfig::PreZero(f), options);
-    std::printf("Pre%-3d   avg %.2fs\n", static_cast<int>(f * 100), v.startup.Mean());
+  const double prezero_fractions[] = {0.1, 0.5, 1.0};
+  for (int i = 0; i < 3; ++i) {
+    const ExperimentResult& v = results[7 + i];
+    std::printf("Pre%-3d   avg %.2fs\n", static_cast<int>(prezero_fractions[i] * 100),
+                v.startup.Mean());
   }
   std::printf("  target:  FastIOV 56.4%% below Pre100 => Pre100 ~%.2f\n",
               fast.startup.Mean() / (1.0 - 0.564));
 
-  ExperimentResult ipv = RunStartupExperiment(StackConfig::Ipvtap(), options);
+  const ExperimentResult& ipv = results[10];
   std::printf("IPvtap   avg %.2fs (target ~%.2f: FastIOV 31.8%% lower)\n", ipv.startup.Mean(),
               fast.startup.Mean() / (1.0 - 0.318));
   return 0;

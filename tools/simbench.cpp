@@ -1,0 +1,203 @@
+// simbench — the simulator's own performance harness.
+//
+// Times the two things this codebase optimises for and records them in
+// BENCH_sim.json so the perf trajectory is visible across PRs:
+//
+//   1. the simcore event loop: events/second on a fixed coroutine workload
+//      (Delay ping-pong) and on a pure-callback workload;
+//   2. the sweep engine: wall-clock of a fig11-style multi-seed startup
+//      sweep at --jobs 1 vs --jobs N, plus the achieved speedup, with a
+//      byte-identity check between the two runs.
+//
+// `--quick` shrinks the workload for use as a ctest smoke test: it keeps
+// the harness itself from rotting without burning CI minutes.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/cli/flags.h"
+#include "src/experiments/repeated.h"
+#include "src/experiments/result_json.h"
+#include "src/experiments/sweep.h"
+#include "src/simcore/simulation.h"
+#include "src/stats/json_writer.h"
+
+using namespace fastiov;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Task PingPong(Simulation& sim, int hops) {
+  for (int i = 0; i < hops; ++i) {
+    co_await sim.Delay(Microseconds(1 + (i % 7)));
+  }
+}
+
+struct LoopResult {
+  uint64_t events = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+};
+
+// Coroutine-dominant workload: the shape of a real startup run, where
+// almost every event is a handle resume.
+LoopResult TimeHandleLoop(int processes, int hops) {
+  Simulation sim(7);
+  sim.ReserveEvents(static_cast<size_t>(processes) + 8);
+  for (int p = 0; p < processes; ++p) {
+    sim.Spawn(PingPong(sim, hops));
+  }
+  const auto start = Clock::now();
+  sim.Run();
+  LoopResult r;
+  r.seconds = SecondsSince(start);
+  r.events = sim.num_events_processed();
+  r.events_per_sec = static_cast<double>(r.events) / r.seconds;
+  return r;
+}
+
+// Callback workload: exercises the small-buffer path of EventAction.
+LoopResult TimeCallbackLoop(uint64_t count) {
+  Simulation sim(7);
+  sim.ReserveEvents(1024);
+  uint64_t fired = 0;
+  // A self-rescheduling chain of small closures, `width` of them in flight.
+  const uint64_t width = 512;
+  struct Chain {
+    Simulation* sim;
+    uint64_t* fired;
+    uint64_t remaining;
+    void operator()() {
+      ++*fired;
+      if (remaining > 0) {
+        sim->ScheduleCallback(sim->Now() + Microseconds(1),
+                              Chain{sim, fired, remaining - 1});
+      }
+    }
+  };
+  const uint64_t per_chain = count / width;
+  for (uint64_t c = 0; c < width; ++c) {
+    sim.ScheduleCallback(Microseconds(static_cast<int64_t>(c % 13)),
+                         Chain{&sim, &fired, per_chain - 1});
+  }
+  const auto start = Clock::now();
+  sim.Run();
+  LoopResult r;
+  r.seconds = SecondsSince(start);
+  r.events = sim.num_events_processed();
+  r.events_per_sec = static_cast<double>(r.events) / r.seconds;
+  return r;
+}
+
+std::string SweepDigest(const std::vector<RepeatedResult>& results) {
+  std::string digest;
+  for (const RepeatedResult& r : results) {
+    digest += RepeatedResultJson(r);
+    digest += '\n';
+  }
+  return digest;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  AddJobsFlag(flags);
+  flags.AddBool("quick", false, "small workload (the ctest smoke configuration)");
+  flags.AddString("out", "BENCH_sim.json", "where to write the JSON report");
+  std::string error;
+  if (!flags.Parse(argc, argv, &error)) {
+    std::fprintf(stderr, "error: %s\n\n%s", error.c_str(), flags.HelpText(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::fputs(flags.HelpText(argv[0]).c_str(), stdout);
+    return 0;
+  }
+  const bool quick = flags.GetBool("quick");
+  const int jobs = ResolveJobs(GetJobsFlag(flags));
+
+  std::printf("simbench: %s workload, parallel jobs %d (hardware threads %d)\n\n",
+              quick ? "quick" : "full", jobs, DefaultJobs());
+
+  // --- 1. event-loop microbenchmarks -------------------------------------
+  const int processes = quick ? 200 : 2000;
+  const int hops = quick ? 50 : 500;
+  const LoopResult handle_loop = TimeHandleLoop(processes, hops);
+  const LoopResult callback_loop = TimeCallbackLoop(quick ? 100000 : 2000000);
+  std::printf("event loop (coroutine resume): %9.0f events/s  (%lu events in %.3fs)\n",
+              handle_loop.events_per_sec, static_cast<unsigned long>(handle_loop.events),
+              handle_loop.seconds);
+  std::printf("event loop (small callback):   %9.0f events/s  (%lu events in %.3fs)\n",
+              callback_loop.events_per_sec, static_cast<unsigned long>(callback_loop.events),
+              callback_loop.seconds);
+
+  // --- 2. fig11-style multi-seed sweep, sequential vs parallel -----------
+  ExperimentOptions options;
+  options.concurrency = quick ? 20 : 200;
+  const int repeats = quick ? 2 : 5;
+  const std::vector<StackConfig> configs = {StackConfig::NoNetwork(), StackConfig::Vanilla(),
+                                            StackConfig::FastIov(), StackConfig::PreZero(1.0)};
+
+  auto start = Clock::now();
+  const std::vector<RepeatedResult> sequential =
+      RunRepeatedSweep(configs, options, repeats, /*jobs=*/1);
+  const double seq_seconds = SecondsSince(start);
+
+  start = Clock::now();
+  const std::vector<RepeatedResult> parallel =
+      RunRepeatedSweep(configs, options, repeats, jobs);
+  const double par_seconds = SecondsSince(start);
+
+  const bool identical = SweepDigest(sequential) == SweepDigest(parallel);
+  const double speedup = par_seconds > 0.0 ? seq_seconds / par_seconds : 0.0;
+  const size_t cells = configs.size() * static_cast<size_t>(repeats);
+  std::printf("\nsweep (%zu cells, concurrency %d):\n", cells, options.concurrency);
+  std::printf("  --jobs 1:  %.3fs\n", seq_seconds);
+  std::printf("  --jobs %d:  %.3fs   speedup %.2fx\n", jobs, par_seconds, speedup);
+  std::printf("  parallel output byte-identical to sequential: %s\n",
+              identical ? "yes" : "NO — BUG");
+
+  // --- report ------------------------------------------------------------
+  const std::string out_path = flags.GetString("out");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", out_path.c_str());
+    return 1;
+  }
+  JsonWriter json(out);
+  json.BeginObject();
+  json.KV("bench", "simbench");
+  json.KV("quick", quick);
+  json.KV("hardware_threads", static_cast<int64_t>(DefaultJobs()));
+  json.Key("event_loop");
+  json.BeginObject()
+      .KV("handle_events_per_sec", handle_loop.events_per_sec)
+      .KV("handle_events", handle_loop.events)
+      .KV("callback_events_per_sec", callback_loop.events_per_sec)
+      .KV("callback_events", callback_loop.events)
+      .EndObject();
+  json.Key("sweep");
+  json.BeginObject()
+      .KV("cells", static_cast<int64_t>(cells))
+      .KV("concurrency", static_cast<int64_t>(options.concurrency))
+      .KV("repeats", static_cast<int64_t>(repeats))
+      .KV("jobs", static_cast<int64_t>(jobs))
+      .KV("seconds_jobs1", seq_seconds)
+      .KV("seconds_jobsN", par_seconds)
+      .KV("speedup", speedup)
+      .KV("byte_identical", identical)
+      .EndObject();
+  json.EndObject();
+  out << '\n';
+  std::printf("\nreport written to %s\n", out_path.c_str());
+
+  return identical ? 0 : 1;
+}
