@@ -23,14 +23,14 @@ MembenchResult RunStack(bool lazy) {
 
   auto setup = [](Simulation* s, PhysicalMemory* pm, MicroVm* v, Fastiovd* fd,
                   GuestMemoryRegion* region, bool defer) -> Task {
-    std::vector<PageId> frames;
-    co_await pm->RetrievePages(v->pid(), region->frames.size(), &frames);
+    std::vector<PageRun> runs;
+    co_await pm->RetrievePages(v->pid(), region->frames.size(), &runs);
     if (defer) {
-      co_await fd->RegisterPages(v->pid(), frames, 0);
+      co_await fd->RegisterPages(v->pid(), std::span<const PageRun>(runs), 0);
     } else {
-      co_await pm->ZeroPages(frames);
+      co_await pm->ZeroPages(runs);
     }
-    region->frames = std::move(frames);
+    region->frames.AssignRuns(runs);
     region->dma_mapped = true;
     (void)s;
   };

@@ -144,10 +144,9 @@ Task ContainerRuntime::MapGuestRam(ContainerInstance& inst) {
   }
   GuestMemoryRegion* ram = inst.vm->FindRegion("ram");
   const SimTime begin = h.sim().Now();
-  std::vector<PageId> frames;
-  co_await inst.vfio_container->MapDma(0, inst.layout.ram_bytes, MakeDmaOptions(inst),
-                                       &frames);
-  ram->frames = std::move(frames);
+  std::vector<PageRun> runs;
+  co_await inst.vfio_container->MapDma(0, inst.layout.ram_bytes, MakeDmaOptions(inst), &runs);
+  ram->frames.AssignRuns(runs);
   ram->dma_mapped = true;
   h.timeline().RecordSpan(inst.timeline_id, kStepDmaRam, begin, h.sim().Now());
 }
@@ -159,7 +158,7 @@ Task ContainerRuntime::MapGuestImage(ContainerInstance& inst) {
     // FastIOV §4.3.1: the hypervisor is told about the image region and
     // falls back to its non-DMA logic — here, the host-shared page-cache
     // copy backs the region, with no per-VM mapping work at all.
-    image->frames.assign(h.shared_image_frames().begin(), h.shared_image_frames().end());
+    image->frames.AssignPages(h.shared_image_frames());
     image->shared_backing = true;
     co_return;
   }
@@ -170,10 +169,10 @@ Task ContainerRuntime::MapGuestImage(ContainerInstance& inst) {
     h.fastiovd().RegisterInstantZeroRange(inst.pid, inst.layout.image_gpa,
                                           h.cost().image_bytes);
   }
-  std::vector<PageId> frames;
+  std::vector<PageRun> runs;
   co_await inst.vfio_container->MapDma(inst.layout.image_gpa, h.cost().image_bytes,
-                                       MakeDmaOptions(inst), &frames);
-  image->frames = std::move(frames);
+                                       MakeDmaOptions(inst), &runs);
+  image->frames.AssignRuns(runs);
   image->dma_mapped = true;
   h.timeline().RecordSpan(inst.timeline_id, kStepDmaImage, begin, h.sim().Now());
 }
@@ -230,16 +229,19 @@ Task ContainerRuntime::LoadGuestImageAndKernel(ContainerInstance& inst) {
   // hypervisor's host page faults (allocate + host zeroing).
   std::vector<uint64_t> missing;
   for (uint64_t i = 0; i < ro_pages; ++i) {
-    if (ram->frames.at(i) == kInvalidPage) {
+    if (ram->frames.Get(i) == kInvalidPage) {
       missing.push_back(i);
     }
   }
   if (!missing.empty()) {
-    std::vector<PageId> fresh;
+    std::vector<PageRun> fresh;
     co_await h.pmem().RetrievePages(inst.pid, missing.size(), &fresh);
     co_await h.pmem().ZeroPages(fresh);
-    for (size_t i = 0; i < missing.size(); ++i) {
-      ram->frames.at(missing[i]) = fresh[i];
+    size_t mi = 0;
+    for (const PageRun& run : fresh) {
+      for (PageId frame = run.first; frame < run.first + run.count; ++frame) {
+        ram->frames.Set(missing[mi++], frame);
+      }
     }
   }
   co_await h.cpu().Compute(
@@ -266,7 +268,7 @@ Task ContainerRuntime::BootGuest(ContainerInstance& inst) {
   GuestMemoryRegion* ram = inst.vm->FindRegion("ram");
   const uint64_t ro_pages = inst.layout.readonly_bytes / h.pmem().page_size();
   for (uint64_t i = 0; i < ro_pages; ++i) {
-    if (h.pmem().frame(ram->frames.at(i)).content != PageContent::kData) {
+    if (h.pmem().frame(ram->frames.Get(i)).content != PageContent::kData) {
       ++inst.kernel_corruptions;
     }
   }
@@ -368,7 +370,7 @@ Task ContainerRuntime::StartContainer(const ServerlessApp* app) {
   } else {
     // No passthrough I/O: the image is shared page cache here too.
     GuestMemoryRegion* image = inst.vm->FindRegion("image");
-    image->frames.assign(h.shared_image_frames().begin(), h.shared_image_frames().end());
+    image->frames.AssignPages(h.shared_image_frames());
     image->shared_backing = true;
   }
 

@@ -26,26 +26,33 @@ bool Fastiovd::InInstantRange(int pid, uint64_t gpa) const {
   return false;
 }
 
-Task Fastiovd::RegisterPages(int pid, std::span<const PageId> pages, uint64_t gpa_base) {
+Task Fastiovd::RegisterPages(int pid, std::span<const PageRun> runs, uint64_t gpa_base) {
   const uint64_t page_size = pmem_->page_size();
-  std::vector<PageId> instant;
+  std::vector<PageRun> instant;
   uint64_t deferred = 0;
   uint64_t gpa = gpa_base;
-  for (PageId id : pages) {
-    if (InInstantRange(pid, gpa)) {
-      instant.push_back(id);
-    } else {
-      table_[pid].insert(id);
-      frame_to_pid_[id] = pid;
-      pmem_->frame(id).in_lazy_table = true;
-      ++deferred;
+  for (const PageRun& run : runs) {
+    for (PageId id = run.first; id < run.first + run.count; ++id) {
+      if (InInstantRange(pid, gpa)) {
+        AppendPageToRuns(&instant, id);
+      } else {
+        table_[pid].insert(id);
+        frame_to_pid_[id] = pid;
+        pmem_->frame(id).in_lazy_table = true;
+        ++deferred;
+      }
+      gpa += page_size;
     }
-    gpa += page_size;
   }
-  instant_zeroed_pages_ += instant.size();
+  instant_zeroed_pages_ += PageCountOfRuns(instant);
   // Hash-table inserts are cheap but not free.
   co_await cpu_->Compute(cost_.fastiovd_table_insert * static_cast<double>(deferred));
   co_await pmem_->ZeroPages(instant);
+}
+
+Task Fastiovd::RegisterPages(int pid, std::span<const PageId> pages, uint64_t gpa_base) {
+  const std::vector<PageRun> runs = RunsFromPages(pages);
+  co_await RegisterPages(pid, std::span<const PageRun>(runs), gpa_base);
 }
 
 Task Fastiovd::OnEptFault(int pid, PageId page, bool* zeroed_here) {

@@ -42,7 +42,9 @@ class Fastiovd : public LazyZeroRegistry, public EptFaultHook {
   // LazyZeroRegistry: called from the VFIO DMA-map path instead of eager
   // zeroing. Pages inside an instant-zero range are scrubbed now; the rest
   // enter the two-tier table.
-  Task RegisterPages(int pid, std::span<const PageId> pages, uint64_t gpa_base) override;
+  Task RegisterPages(int pid, std::span<const PageRun> runs, uint64_t gpa_base) override;
+  // Flat-list convenience (tests, non-contiguous callers): identical cost.
+  Task RegisterPages(int pid, std::span<const PageId> pages, uint64_t gpa_base);
 
   // EptFaultHook: zero-on-first-access.
   Task OnEptFault(int pid, PageId page, bool* zeroed_here) override;

@@ -1,10 +1,74 @@
 #include "src/iommu/io_page_table.h"
 
+#include <bit>
 #include <cassert>
 
 #include "src/config/cost_model.h"
 
 namespace fastiov {
+
+namespace {
+
+using Bitmap = std::array<uint64_t, (1ull << IoPageTable::kBitsPerLevel) / 64>;
+
+inline bool TestBit(const Bitmap& b, uint64_t i) { return (b[i >> 6] >> (i & 63)) & 1; }
+inline void SetBit(Bitmap& b, uint64_t i) { b[i >> 6] |= 1ull << (i & 63); }
+inline void ClearBit(Bitmap& b, uint64_t i) { b[i >> 6] &= ~(1ull << (i & 63)); }
+
+// Mask of the bits of word `w` that fall inside [begin, end).
+inline uint64_t RangeMask(uint64_t w, uint64_t begin, uint64_t end) {
+  uint64_t mask = ~0ull;
+  if (w == begin >> 6) {
+    mask &= ~0ull << (begin & 63);
+  }
+  if (w == (end - 1) >> 6) {
+    const uint64_t top = end & 63;
+    if (top != 0) {
+      mask &= ~(~0ull << top);
+    }
+  }
+  return mask;
+}
+
+inline void SetBitRange(Bitmap& b, uint64_t begin, uint64_t end) {
+  for (uint64_t w = begin >> 6; w <= (end - 1) >> 6; ++w) {
+    b[w] |= RangeMask(w, begin, end);
+  }
+}
+
+inline void ClearBitRange(Bitmap& b, uint64_t begin, uint64_t end) {
+  for (uint64_t w = begin >> 6; w <= (end - 1) >> 6; ++w) {
+    b[w] &= ~RangeMask(w, begin, end);
+  }
+}
+
+inline bool AnyInRange(const Bitmap& b, uint64_t begin, uint64_t end) {
+  for (uint64_t w = begin >> 6; w <= (end - 1) >> 6; ++w) {
+    if (b[w] & RangeMask(w, begin, end)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+inline uint64_t CountInRange(const Bitmap& b, uint64_t begin, uint64_t end) {
+  uint64_t count = 0;
+  for (uint64_t w = begin >> 6; w <= (end - 1) >> 6; ++w) {
+    count += static_cast<uint64_t>(std::popcount(b[w] & RangeMask(w, begin, end)));
+  }
+  return count;
+}
+
+inline bool AllClear(const Bitmap& b) {
+  for (uint64_t w : b) {
+    if (w != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 IoPageTable::IoPageTable() : root_(std::make_unique<Node>()) {}
 IoPageTable::~IoPageTable() = default;
@@ -13,36 +77,159 @@ IoPageTable::~IoPageTable() = default;
 // level 2.
 int IoPageTable::IndexAt(uint64_t iova, int level) {
   const int shift = static_cast<int>(kLeafShift) + (kLevels - 1 - level) * kBitsPerLevel;
-  return static_cast<int>((iova >> shift) & ((1ull << kBitsPerLevel) - 1));
+  return static_cast<int>((iova >> shift) & (kFanout - 1));
+}
+
+IoPageTable::Node* IoPageTable::EnsureChild(Node* node, uint64_t idx) {
+  if (node->children == nullptr) {
+    node->children = std::make_unique<NodeChildren>();
+  }
+  std::unique_ptr<Node>& slot = node->children->slot[idx];
+  slot = std::make_unique_for_overwrite<Node>();
+  SetBit(node->present, idx);
+  ++num_table_pages_;
+  return slot.get();
 }
 
 bool IoPageTable::Map(uint64_t iova, PageId frame, uint64_t page_size) {
   assert(page_size == kSmallPageSize || page_size == kHugePageSize);
   assert(iova % page_size == 0 && "IOVA must be aligned to the mapping size");
+  assert(frame <= UINT32_MAX && "frame number exceeds the packed-entry width");
   const int leaf_level = (page_size == kHugePageSize) ? kLevels - 2 : kLevels - 1;
 
   Node* node = root_.get();
   for (int level = 0; level < leaf_level; ++level) {
-    Entry& e = node->entries[IndexAt(iova, level)];
-    if (e.present && e.is_leaf) {
-      return false;  // a larger mapping already covers this range
+    const uint64_t idx = static_cast<uint64_t>(IndexAt(iova, level));
+    if (TestBit(node->present, idx)) {
+      if (TestBit(node->leaf, idx)) {
+        return false;  // a larger mapping already covers this range
+      }
+      node = node->children->slot[idx].get();
+    } else {
+      node = EnsureChild(node, idx);
     }
-    if (!e.present) {
-      e.child = std::make_unique<Node>();
-      e.present = true;
-      e.is_leaf = false;
-      ++num_table_pages_;
-    }
-    node = e.child.get();
   }
-  Entry& leaf = node->entries[IndexAt(iova, leaf_level)];
-  if (leaf.present) {
+  const uint64_t idx = static_cast<uint64_t>(IndexAt(iova, leaf_level));
+  if (TestBit(node->present, idx)) {
     return false;
   }
-  leaf.present = true;
-  leaf.is_leaf = true;
-  leaf.frame = frame;
+  SetBit(node->present, idx);
+  SetBit(node->leaf, idx);
+  node->frames[idx] = static_cast<uint32_t>(frame);
   ++num_mappings_;
+  return true;
+}
+
+bool IoPageTable::MapRange(uint64_t iova, PageRun run, uint64_t page_size) {
+  assert(page_size == kSmallPageSize || page_size == kHugePageSize);
+  assert(iova % page_size == 0 && "IOVA must be aligned to the mapping size");
+  assert(run.first + run.count <= UINT32_MAX + 1ull &&
+         "frame number exceeds the packed-entry width");
+  const int leaf_level = (page_size == kHugePageSize) ? kLevels - 2 : kLevels - 1;
+
+  uint64_t remaining = run.count;
+  PageId frame = run.first;
+  uint64_t cur = iova;
+  while (remaining > 0) {
+    // One descent serves every leaf sharing this leaf-level node.
+    Node* node = root_.get();
+    for (int level = 0; level < leaf_level; ++level) {
+      const uint64_t idx = static_cast<uint64_t>(IndexAt(cur, level));
+      if (TestBit(node->present, idx)) {
+        if (TestBit(node->leaf, idx)) {
+          return false;  // a larger mapping already covers this range
+        }
+        node = node->children->slot[idx].get();
+      } else {
+        node = EnsureChild(node, idx);
+      }
+    }
+    const uint64_t idx = static_cast<uint64_t>(IndexAt(cur, leaf_level));
+    const uint64_t span = std::min(remaining, kFanout - idx);
+    if (AnyInRange(node->present, idx, idx + span)) {
+      // Like per-page Map: entries before the conflict stay installed, the
+      // conflicting one fails the whole call.
+      for (uint64_t i = 0; !TestBit(node->present, idx + i); ++i) {
+        SetBit(node->present, idx + i);
+        SetBit(node->leaf, idx + i);
+        node->frames[idx + i] = static_cast<uint32_t>(frame + i);
+        ++num_mappings_;
+      }
+      return false;
+    }
+    // Conflict-free group: install word-wide.
+    SetBitRange(node->present, idx, idx + span);
+    SetBitRange(node->leaf, idx, idx + span);
+    for (uint64_t i = 0; i < span; ++i) {
+      node->frames[idx + i] = static_cast<uint32_t>(frame + i);
+    }
+    num_mappings_ += span;
+    remaining -= span;
+    frame += span;
+    cur += span * page_size;
+  }
+  return true;
+}
+
+bool IoPageTable::MapExtents(uint64_t iova, std::span<const PageRun> runs, uint64_t page_size) {
+  assert(page_size == kSmallPageSize || page_size == kHugePageSize);
+  assert(iova % page_size == 0 && "IOVA must be aligned to the mapping size");
+  const int leaf_level = (page_size == kHugePageSize) ? kLevels - 2 : kLevels - 1;
+  // IOVA bits above the leaf-level index identify the leaf node.
+  const int group_shift =
+      static_cast<int>(kLeafShift) + (kLevels - leaf_level) * kBitsPerLevel;
+
+  uint64_t cur = iova;
+  uint64_t cached_group = ~0ull;
+  Node* cached_node = nullptr;
+  for (const PageRun& run : runs) {
+    assert(run.first + run.count <= UINT32_MAX + 1ull &&
+           "frame number exceeds the packed-entry width");
+    uint64_t remaining = run.count;
+    PageId frame = run.first;
+    while (remaining > 0) {
+      Node* node;
+      const uint64_t group = cur >> group_shift;
+      if (group == cached_group) {
+        node = cached_node;
+      } else {
+        node = root_.get();
+        for (int level = 0; level < leaf_level; ++level) {
+          const uint64_t i = static_cast<uint64_t>(IndexAt(cur, level));
+          if (TestBit(node->present, i)) {
+            if (TestBit(node->leaf, i)) {
+              return false;  // a larger mapping already covers this range
+            }
+            node = node->children->slot[i].get();
+          } else {
+            node = EnsureChild(node, i);
+          }
+        }
+        cached_group = group;
+        cached_node = node;
+      }
+      const uint64_t idx = static_cast<uint64_t>(IndexAt(cur, leaf_level));
+      const uint64_t span = std::min(remaining, kFanout - idx);
+      if (AnyInRange(node->present, idx, idx + span)) {
+        for (uint64_t i = 0; !TestBit(node->present, idx + i); ++i) {
+          SetBit(node->present, idx + i);
+          SetBit(node->leaf, idx + i);
+          node->frames[idx + i] = static_cast<uint32_t>(frame + i);
+          ++num_mappings_;
+        }
+        return false;
+      }
+      SetBitRange(node->present, idx, idx + span);
+      SetBitRange(node->leaf, idx, idx + span);
+      for (uint64_t i = 0; i < span; ++i) {
+        node->frames[idx + i] = static_cast<uint32_t>(frame + i);
+      }
+      num_mappings_ += span;
+      remaining -= span;
+      frame += span;
+      cur += span * page_size;
+    }
+  }
   return true;
 }
 
@@ -51,61 +238,149 @@ bool IoPageTable::Unmap(uint64_t iova) {
   // reclaimed on the way back up (real IOMMU drivers free page-table pages
   // the same way when a domain unmaps its last entry in a subtree).
   Node* path[kLevels] = {};
-  Entry* entries[kLevels] = {};
+  uint64_t index[kLevels] = {};
   Node* node = root_.get();
   int leaf_level = -1;
   for (int level = 0; level < kLevels; ++level) {
-    Entry& e = node->entries[IndexAt(iova, level)];
-    if (!e.present) {
+    const uint64_t idx = static_cast<uint64_t>(IndexAt(iova, level));
+    if (!TestBit(node->present, idx)) {
       return false;
     }
     path[level] = node;
-    entries[level] = &e;
-    if (e.is_leaf) {
+    index[level] = idx;
+    if (TestBit(node->leaf, idx)) {
       leaf_level = level;
       break;
     }
-    node = e.child.get();
+    node = node->children->slot[idx].get();
   }
   if (leaf_level < 0) {
     return false;
   }
-  entries[leaf_level]->present = false;
-  entries[leaf_level]->frame = kInvalidPage;
+  ClearBit(path[leaf_level]->present, index[leaf_level]);
+  ClearBit(path[leaf_level]->leaf, index[leaf_level]);
   --num_mappings_;
   // Reclaim now-empty intermediate nodes bottom-up (never the root).
   for (int level = leaf_level; level > 0; --level) {
-    Node* candidate = path[level];
-    bool empty = true;
-    for (const Entry& e : candidate->entries) {
-      if (e.present) {
-        empty = false;
-        break;
-      }
-    }
-    if (!empty) {
+    if (!AllClear(path[level]->present)) {
       break;
     }
-    Entry* parent_entry = entries[level - 1];
-    parent_entry->child.reset();
-    parent_entry->present = false;
+    Node* parent = path[level - 1];
+    parent->children->slot[index[level - 1]].reset();
+    ClearBit(parent->present, index[level - 1]);
     --num_table_pages_;
   }
   return true;
 }
 
+uint64_t IoPageTable::UnmapRange(uint64_t iova, uint64_t num_pages, uint64_t page_size) {
+  assert(page_size == kSmallPageSize || page_size == kHugePageSize);
+  assert(iova % page_size == 0 && "IOVA must be aligned to the mapping size");
+  const int target_level = (page_size == kHugePageSize) ? kLevels - 2 : kLevels - 1;
+
+  uint64_t removed = 0;
+  uint64_t remaining = num_pages;
+  uint64_t cur = iova;
+  while (remaining > 0) {
+    const uint64_t idx = static_cast<uint64_t>(IndexAt(cur, target_level));
+    const uint64_t span = std::min(remaining, kFanout - idx);
+    // Descend once per group, remembering the chain for reclaim:
+    // chain[l] is the node at level l, link[l] the index in chain[l]
+    // leading to chain[l+1].
+    Node* chain[kLevels] = {root_.get()};
+    uint64_t link[kLevels] = {};
+    Node* node = root_.get();
+    int depth = 0;
+    bool missing = false;
+    bool covered_above = false;
+    for (int level = 0; level < target_level; ++level) {
+      const uint64_t i = static_cast<uint64_t>(IndexAt(cur, level));
+      if (!TestBit(node->present, i)) {
+        // All iovas in the group share this prefix: per-page Unmap would
+        // return false for each of them.
+        missing = true;
+        break;
+      }
+      if (TestBit(node->leaf, i)) {
+        covered_above = true;
+        break;
+      }
+      link[level] = i;
+      node = node->children->slot[i].get();
+      chain[level + 1] = node;
+      depth = level + 1;
+    }
+    if (missing) {
+      cur += span * page_size;
+      remaining -= span;
+      continue;
+    }
+    if (covered_above) {
+      // A larger mapping covers the whole group (its reach is exactly one
+      // leaf-level node): a per-page loop removes it at the first stride
+      // and finds the rest absent.
+      if (Unmap(cur)) {
+        ++removed;
+      }
+      cur += span * page_size;
+      remaining -= span;
+      continue;
+    }
+    // Mixed granularity (4 KiB subtrees under a 2 MiB stride) falls back to
+    // per-page semantics — Unmap descends into the subtree itself.
+    bool has_subtree = false;
+    for (uint64_t w = idx >> 6; w <= (idx + span - 1) >> 6; ++w) {
+      if (node->present[w] & ~node->leaf[w] & RangeMask(w, idx, idx + span)) {
+        has_subtree = true;
+        break;
+      }
+    }
+    if (has_subtree) {
+      for (uint64_t i = 0; i < span; ++i) {
+        if (Unmap(cur + i * page_size)) {
+          ++removed;
+        }
+      }
+      cur += span * page_size;
+      remaining -= span;
+      continue;
+    }
+    // Every present entry in the group is a leaf: clear them word-wide.
+    const uint64_t cleared = CountInRange(node->present, idx, idx + span);
+    ClearBitRange(node->present, idx, idx + span);
+    ClearBitRange(node->leaf, idx, idx + span);
+    num_mappings_ -= cleared;
+    removed += cleared;
+    // Reclaim empty nodes bottom-up, once for the whole group (never the
+    // root). Final state matches a per-page Unmap loop: emptiness is only
+    // reached at the same points, just checked once.
+    for (int level = depth; level > 0; --level) {
+      if (!AllClear(chain[level]->present)) {
+        break;
+      }
+      Node* parent = chain[level - 1];
+      parent->children->slot[link[level - 1]].reset();
+      ClearBit(parent->present, link[level - 1]);
+      --num_table_pages_;
+    }
+    cur += span * page_size;
+    remaining -= span;
+  }
+  return removed;
+}
+
 std::optional<IoTranslation> IoPageTable::Translate(uint64_t iova) const {
   const Node* node = root_.get();
   for (int level = 0; level < kLevels; ++level) {
-    const Entry& e = node->entries[IndexAt(iova, level)];
-    if (!e.present) {
+    const uint64_t idx = static_cast<uint64_t>(IndexAt(iova, level));
+    if (!TestBit(node->present, idx)) {
       return std::nullopt;
     }
-    if (e.is_leaf) {
+    if (TestBit(node->leaf, idx)) {
       const uint64_t size = (level == kLevels - 1) ? kSmallPageSize : kHugePageSize;
-      return IoTranslation{e.frame, size, iova % size};
+      return IoTranslation{static_cast<PageId>(node->frames[idx]), size, iova % size};
     }
-    node = e.child.get();
+    node = node->children->slot[idx].get();
   }
   return std::nullopt;
 }

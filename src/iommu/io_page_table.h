@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "src/mem/page.h"
+#include "src/mem/page_run.h"
 
 namespace fastiov {
 
@@ -40,9 +42,32 @@ class IoPageTable {
   // range is already mapped.
   bool Map(uint64_t iova, PageId frame, uint64_t page_size);
 
+  // Maps run.count contiguous frames as IOVA-consecutive page_size mappings
+  // starting at iova, installing all leaf entries that share a leaf-level
+  // node in one descent (intermediate nodes are allocated once per 2 MiB of
+  // IOVA for 4 KiB leaves, once per 1 GiB for huge leaves). Observationally
+  // equivalent to calling Map() per page — including the prefix that stays
+  // mapped when a conflict makes it return false.
+  bool MapRange(uint64_t iova, PageRun run, uint64_t page_size);
+
+  // Maps a whole extent list at consecutive IOVAs starting at iova — the
+  // shape VfioContainer::MapDma produces. Equivalent to MapRange per run at
+  // the accumulated IOVA offsets, but the leaf-level descent is cached
+  // across runs, so short extents that share a leaf node (common under
+  // fragmentation) do not re-walk the upper levels.
+  bool MapExtents(uint64_t iova, std::span<const PageRun> runs, uint64_t page_size);
+
   // Removes the mapping that covers `iova`, reclaiming intermediate table
   // pages that become empty. Returns false if unmapped.
   bool Unmap(uint64_t iova);
+
+  // Removes num_pages consecutive page_size mappings starting at iova,
+  // clearing all leaves that share a leaf-level node in one descent and
+  // reclaiming empty intermediate nodes once per node instead of once per
+  // page. Equivalent to calling Unmap() per iova stride; returns the number
+  // of mappings removed (absent entries are skipped, as per-page Unmap
+  // calls returning false would be).
+  uint64_t UnmapRange(uint64_t iova, uint64_t num_pages, uint64_t page_size);
 
   // Walks the table.
   std::optional<IoTranslation> Translate(uint64_t iova) const;
@@ -51,19 +76,30 @@ class IoPageTable {
   uint64_t num_table_pages() const { return num_table_pages_; }
 
  private:
+  static constexpr uint64_t kFanout = 1ull << kBitsPerLevel;
+
   struct Node;
-  struct Entry {
-    // Exactly one of child / frame is meaningful; `is_leaf` disambiguates.
-    std::unique_ptr<Node> child;
-    PageId frame = kInvalidPage;
-    bool present = false;
-    bool is_leaf = false;
+  struct NodeChildren {
+    std::array<std::unique_ptr<Node>, kFanout> slot;
   };
+  // Bitmap + SoA layout: an entry is one bit in `present` (plus one in
+  // `leaf` to disambiguate interior pointers from translations) and, for
+  // leaves, a packed 32-bit frame number. Child pointers live out of line
+  // and are only allocated once a node gains its first interior entry, so a
+  // leaf-level node costs 4 bytes of write traffic per installed entry and
+  // emptiness / conflict / subtree checks run word-wide over the bitmaps.
+  // Frame slots under cleared bits are never read, so `frames` stays
+  // deliberately uninitialized (the nodes are built with
+  // make_unique_for_overwrite).
   struct Node {
-    std::array<Entry, 1ull << kBitsPerLevel> entries;
+    std::array<uint64_t, kFanout / 64> present{};
+    std::array<uint64_t, kFanout / 64> leaf{};
+    std::array<uint32_t, kFanout> frames;    // valid only under present & leaf
+    std::unique_ptr<NodeChildren> children;  // allocated on first interior entry
   };
 
   static int IndexAt(uint64_t iova, int level);
+  Node* EnsureChild(Node* node, uint64_t idx);
 
   std::unique_ptr<Node> root_;
   uint64_t num_mappings_ = 0;

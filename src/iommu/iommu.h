@@ -28,9 +28,30 @@ class IommuDomain {
   bool Map(uint64_t iova, PageId frame, uint64_t page_size) {
     return table_.Map(iova, frame, page_size);
   }
+  bool MapRange(uint64_t iova, PageRun run, uint64_t page_size) {
+    return table_.MapRange(iova, run, page_size);
+  }
+  bool MapExtents(uint64_t iova, std::span<const PageRun> runs, uint64_t page_size) {
+    return table_.MapExtents(iova, runs, page_size);
+  }
   bool Unmap(uint64_t iova) {
-    iotlb_.Invalidate(iova / kSmallPageSize);
+    // Invalidate every small-page tag the mapping covers: TranslateCached
+    // keys the IOTLB at 4 KiB granularity, so a 2 MiB mapping can have up
+    // to 512 live tags — dropping only the base tag would leave the other
+    // 511 translating through a freed entry.
+    const auto t = table_.Translate(iova);
+    if (t.has_value()) {
+      iotlb_.InvalidateRange((iova - t->offset) / kSmallPageSize,
+                             t->page_size / kSmallPageSize);
+    } else {
+      iotlb_.Invalidate(iova / kSmallPageSize);
+    }
     return table_.Unmap(iova);
+  }
+  uint64_t UnmapRange(uint64_t iova, uint64_t num_pages, uint64_t page_size) {
+    iotlb_.InvalidateRange(iova / kSmallPageSize,
+                           num_pages * (page_size / kSmallPageSize));
+    return table_.UnmapRange(iova, num_pages, page_size);
   }
   std::optional<IoTranslation> Translate(uint64_t iova) const {
     return table_.Translate(iova);

@@ -35,6 +35,28 @@ void IoTlb::Invalidate(uint64_t iova_page) {
   }
 }
 
+void IoTlb::InvalidateRange(uint64_t first_iova_page, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  if (count >= map_.size()) {
+    // Range at least as large as the cache: one scan beats `count` probes
+    // (an unmap of a big DMA mapping covers millions of tags).
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (it->first >= first_iova_page && it->first - first_iova_page < count) {
+        lru_.erase(it->second);
+        it = map_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    Invalidate(first_iova_page + i);
+  }
+}
+
 void IoTlb::Flush() {
   lru_.clear();
   map_.clear();

@@ -26,6 +26,11 @@ class IoTlb {
 
   // Invalidates one entry (unmap) or everything (domain flush).
   void Invalidate(uint64_t iova_page);
+  // Invalidates every cached tag in [first_iova_page, first_iova_page +
+  // count): a 2 MiB unmap must drop all 512 small-page tags it spans, not
+  // just the base one. Large ranges scan the cache instead of probing per
+  // tag.
+  void InvalidateRange(uint64_t first_iova_page, uint64_t count);
   void Flush();
 
   size_t size() const { return map_.size(); }

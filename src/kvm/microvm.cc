@@ -28,7 +28,7 @@ GuestMemoryRegion& MicroVm::AddRegion(std::string name, RegionType type, uint64_
   region.type = type;
   region.gpa_base = gpa_base;
   region.size = size;
-  region.frames.assign(size / pmem_->page_size(), kInvalidPage);
+  region.frames.Reset(size / pmem_->page_size());
   regions_.push_back(std::move(region));
   return regions_.back();
 }
@@ -54,23 +54,23 @@ GuestMemoryRegion* MicroVm::RegionForGpa(uint64_t gpa) {
 void MicroVm::HostWritePages(GuestMemoryRegion& region, uint64_t first_page,
                              uint64_t num_pages) {
   for (uint64_t i = 0; i < num_pages; ++i) {
-    const PageId frame = region.frames.at(first_page + i);
+    const PageId frame = region.frames.Get(first_page + i);
     assert(frame != kInvalidPage && "host write to unallocated guest page");
     pmem_->frame(frame).content = PageContent::kData;
   }
 }
 
 Task MicroVm::ResolveFrame(GuestMemoryRegion& region, uint64_t page_index, PageId* out) {
-  PageId frame = region.frames.at(page_index);
+  PageId frame = region.frames.Get(page_index);
   if (frame == kInvalidPage) {
     // On-demand allocation (the no-SR-IOV path, §3.2.3): the host kernel
-    // allocates and zeroes the page at first touch.
+    // pulls a page from the per-owner refill cache — one batched retrieval
+    // amortized over kRefillCachePages faults, like the kernel's per-CPU
+    // page lists — and zeroes it at first touch.
     assert(!region.dma_mapped && "DMA-mapped region must be fully populated");
-    std::vector<PageId> one;
-    co_await pmem_->RetrievePages(pid_, 1, &one);
-    co_await pmem_->ZeroPages(one);
-    frame = one.front();
-    region.frames.at(page_index) = frame;
+    co_await pmem_->RetrieveSinglePage(pid_, &frame);
+    co_await pmem_->ZeroPage(frame);
+    region.frames.Set(page_index, frame);
     ++pages_allocated_on_demand_;
   }
   *out = frame;
@@ -101,7 +101,7 @@ Task MicroVm::TouchRange(uint64_t gpa, uint64_t size, bool write) {
       co_await ResolveFrame(*region, index, &frame);
       co_await HandleEptFault(gpa_page, frame);
     }
-    const PageId frame = region->frames.at(index);
+    const PageId frame = region->frames.Get(index);
     PageFrame& pf = pmem_->frame(frame);
     if (write) {
       pf.content = PageContent::kData;
@@ -118,21 +118,24 @@ Task MicroVm::ProactiveFault(uint64_t gpa, uint64_t size) {
 }
 
 void MicroVm::ReleaseMemory() {
-  std::vector<PageId> owned;
+  // Pages batched for future faults go back first.
+  pmem_->DrainRefillCache(pid_);
+  std::vector<PageRun> owned;
   for (auto& region : regions_) {
     if (region.shared_backing) {
+      region.frames.Clear();
       continue;
     }
-    for (PageId& frame : region.frames) {
-      if (frame != kInvalidPage) {
+    region.frames.ForEachRun([&](uint64_t /*slot*/, const PageRun& run) {
+      for (PageId frame = run.first; frame < run.first + run.count; ++frame) {
         if (pmem_->frame(frame).pin_count == 0) {
-          owned.push_back(frame);
+          AppendPageToRuns(&owned, frame);
         }
-        frame = kInvalidPage;
       }
-    }
+    });
+    region.frames.Clear();
   }
-  pmem_->FreePages(owned);
+  pmem_->FreePages(std::span<const PageRun>(owned));
 }
 
 }  // namespace fastiov

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "src/config/cost_model.h"
+#include "src/mem/frame_map.h"
+#include "src/mem/page_run.h"
 #include "src/mem/physical_memory.h"
 #include "src/simcore/resources.h"
 #include "src/simcore/simulation.h"
@@ -34,9 +36,10 @@ struct GuestMemoryRegion {
   RegionType type = RegionType::kRam;
   uint64_t gpa_base = 0;
   uint64_t size = 0;
-  // Backing frames, page-granular; kInvalidPage until allocated. Shared
-  // regions (skip-mapping image) may alias frames owned by the host.
-  std::vector<PageId> frames;
+  // Backing frames as contiguous extents (slot index -> frame run); holes
+  // read as kInvalidPage until allocated. Shared regions (skip-mapping
+  // image) may alias frames owned by the host.
+  FrameMap frames;
   bool dma_mapped = false;
   bool shared_backing = false;  // frames not owned by this VM (page cache)
 

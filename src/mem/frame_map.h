@@ -1,0 +1,161 @@
+// Run-compressed guest-frame table (memslot backing store).
+//
+// A GuestMemoryRegion used to hold one PageId per page — a 512 MiB guest is
+// 131072 vector slots written and read one by one. FrameMap stores the same
+// page_index -> frame relation as sorted runs: a DMA-mapped region is a
+// handful of entries, and the EPT-fault path's single-page touches insert
+// 1-page runs that coalesce with their neighbours lazily. Point lookups are
+// O(log runs); nothing flattens on the hot path.
+#ifndef SRC_MEM_FRAME_MAP_H_
+#define SRC_MEM_FRAME_MAP_H_
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "src/mem/page_run.h"
+
+namespace fastiov {
+
+class FrameMap {
+ public:
+  FrameMap() = default;
+
+  // Sets the region size in pages; all slots start unpopulated.
+  void Reset(uint64_t num_pages) {
+    num_pages_ = num_pages;
+    runs_.clear();
+    populated_ = 0;
+  }
+
+  // Total page slots (populated or not).
+  uint64_t size() const { return num_pages_; }
+  uint64_t populated() const { return populated_; }
+  bool fully_populated() const { return populated_ == num_pages_; }
+
+  // Frame backing slot `index`, or kInvalidPage when unpopulated.
+  PageId Get(uint64_t index) const {
+    assert(index < num_pages_);
+    auto it = runs_.upper_bound(index);
+    if (it == runs_.begin()) {
+      return kInvalidPage;
+    }
+    --it;
+    const uint64_t offset = index - it->first;
+    if (offset >= it->second.count) {
+      return kInvalidPage;
+    }
+    return it->second.first + offset;
+  }
+
+  // Populates one slot (must be empty), merging with adjacent runs when the
+  // frame is contiguous — the lazy split/merge of the EPT-fault path.
+  void Set(uint64_t index, PageId frame) {
+    assert(index < num_pages_);
+    assert(frame != kInvalidPage);
+    auto next = runs_.lower_bound(index);
+    if (next != runs_.begin()) {
+      auto prev = std::prev(next);
+      assert(index >= prev->first + prev->second.count && "slot already populated");
+      if (index == prev->first + prev->second.count &&
+          frame == prev->second.first + prev->second.count) {
+        ++prev->second.count;
+        ++populated_;
+        // The grown run may now touch its successor.
+        if (next != runs_.end() && next->first == index + 1 &&
+            next->second.first == frame + 1) {
+          prev->second.count += next->second.count;
+          runs_.erase(next);
+        }
+        return;
+      }
+    }
+    assert((next == runs_.end() || next->first > index) && "slot already populated");
+    if (next != runs_.end() && next->first == index + 1 && next->second.first == frame + 1) {
+      const PageRun merged{frame, next->second.count + 1};
+      runs_.erase(next);
+      runs_.emplace(index, merged);
+    } else {
+      runs_.emplace(index, PageRun{frame, 1});
+    }
+    ++populated_;
+  }
+
+  // Replaces the content with `runs` laid out from slot 0 (the DMA-map
+  // result: region pages 0..N-1 backed by the retrieved extents, in order).
+  void AssignRuns(std::span<const PageRun> runs) {
+    runs_.clear();
+    populated_ = 0;
+    uint64_t slot = 0;
+    for (const PageRun& r : runs) {
+      assert(r.count > 0);
+      if (!runs_.empty()) {
+        auto last = std::prev(runs_.end());
+        if (last->first + last->second.count == slot &&
+            last->second.first + last->second.count == r.first) {
+          last->second.count += r.count;
+          slot += r.count;
+          populated_ += r.count;
+          continue;
+        }
+      }
+      runs_.emplace(slot, r);
+      slot += r.count;
+      populated_ += r.count;
+    }
+    assert(slot <= num_pages_ && "more frames than region slots");
+  }
+
+  // Replaces the content with a flat page list laid out from slot 0
+  // (kInvalidPage entries stay unpopulated). Cold paths and tests.
+  void AssignPages(std::span<const PageId> pages) {
+    assert(pages.size() <= num_pages_);
+    runs_.clear();
+    populated_ = 0;
+    for (uint64_t i = 0; i < pages.size(); ++i) {
+      if (pages[i] != kInvalidPage) {
+        Set(i, pages[i]);
+      }
+    }
+  }
+
+  // Drops all frames; the region size is unchanged.
+  void Clear() {
+    runs_.clear();
+    populated_ = 0;
+  }
+
+  // Calls f(first_slot_index, run) for each populated run in slot order.
+  template <typename F>
+  void ForEachRun(F&& f) const {
+    for (const auto& [index, run] : runs_) {
+      f(index, run);
+    }
+  }
+
+  // One PageId per slot, kInvalidPage in holes. Tests and cold paths only.
+  std::vector<PageId> Flatten() const {
+    std::vector<PageId> pages(num_pages_, kInvalidPage);
+    for (const auto& [index, run] : runs_) {
+      for (uint64_t i = 0; i < run.count; ++i) {
+        pages[index + i] = run.first + i;
+      }
+    }
+    return pages;
+  }
+
+  size_t num_runs() const { return runs_.size(); }
+
+  bool operator==(const FrameMap&) const = default;
+
+ private:
+  uint64_t num_pages_ = 0;
+  uint64_t populated_ = 0;
+  std::map<uint64_t, PageRun> runs_;  // key: first slot index of the run
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_MEM_FRAME_MAP_H_

@@ -1,0 +1,85 @@
+// Extent representation for physical frames.
+//
+// The paper's P1-P3 sub-bottlenecks are all proportional to *page counts*,
+// so the simulator charges per-page costs analytically — which means nothing
+// on the hot path needs to materialize one element per page. A PageRun is a
+// maximal contiguous extent of frames; allocation, zeroing, pinning, IOMMU
+// mapping and memslot bookkeeping all operate on runs (the same batching
+// real VFIO type1 performs when it calls iommu_map once per pinned extent).
+//
+// Invariant (see docs/ARCHITECTURE.md): consumers must not flatten runs back
+// to per-page vectors on hot paths; FlattenRuns exists for tests and cold
+// setup code only.
+#ifndef SRC_MEM_PAGE_RUN_H_
+#define SRC_MEM_PAGE_RUN_H_
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/mem/page.h"
+
+namespace fastiov {
+
+// A contiguous extent of `count` frames starting at `first`.
+struct PageRun {
+  PageId first = kInvalidPage;
+  uint64_t count = 0;
+
+  PageId last() const { return first + count - 1; }
+  bool operator==(const PageRun&) const = default;
+};
+
+// Total page count across runs.
+inline uint64_t PageCountOfRuns(std::span<const PageRun> runs) {
+  uint64_t total = 0;
+  for (const PageRun& r : runs) {
+    total += r.count;
+  }
+  return total;
+}
+
+// Appends a run, merging with the tail when frame-contiguous.
+inline void AppendRunToRuns(std::vector<PageRun>* runs, PageRun run) {
+  assert(run.count > 0);
+  if (!runs->empty()) {
+    PageRun& back = runs->back();
+    if (run.first == back.first + back.count) {
+      back.count += run.count;
+      return;
+    }
+  }
+  runs->push_back(run);
+}
+
+// Appends a single page, extending the tail run when contiguous.
+inline void AppendPageToRuns(std::vector<PageRun>* runs, PageId page) {
+  AppendRunToRuns(runs, PageRun{page, 1});
+}
+
+// Coalesces an ordered page list into maximal runs. Order is preserved:
+// pages[i] lands at overall position i across the returned runs.
+inline std::vector<PageRun> RunsFromPages(std::span<const PageId> pages) {
+  std::vector<PageRun> runs;
+  for (PageId id : pages) {
+    AppendPageToRuns(&runs, id);
+  }
+  return runs;
+}
+
+// Expands runs to one PageId per page. Cold paths and tests only.
+inline std::vector<PageId> FlattenRuns(std::span<const PageRun> runs) {
+  std::vector<PageId> pages;
+  pages.reserve(PageCountOfRuns(runs));
+  for (const PageRun& r : runs) {
+    for (uint64_t i = 0; i < r.count; ++i) {
+      pages.push_back(r.first + i);
+    }
+  }
+  return pages;
+}
+
+}  // namespace fastiov
+
+#endif  // SRC_MEM_PAGE_RUN_H_

@@ -42,27 +42,40 @@ PhysicalMemory::PhysicalMemory(Simulation& sim, const HostSpec& host, const Cost
   frames_.resize(total_pages_);
   const auto nodes = static_cast<uint64_t>(host.numa_nodes);
   pages_per_node_ = (total_pages_ + nodes - 1) / nodes;
-  free_lists_.resize(nodes);
-  for (PageId i = 0; i < total_pages_; ++i) {
-    free_lists_[NodeOfFrame(i)].push_back(i);
+  free_runs_.resize(nodes);
+  free_count_.assign(nodes, 0);
+  // Boot state: each node's slab is one maximal extent.
+  for (uint64_t n = 0; n < nodes; ++n) {
+    const PageId begin = n * pages_per_node_;
+    const PageId end = std::min(total_pages_, (n + 1) * pages_per_node_);
+    if (begin < end) {
+      free_runs_[n].push_back(FreeRun{begin, end - begin, /*recycled=*/false});
+      free_count_[n] = end - begin;
+    }
   }
 }
 
 void PhysicalMemory::PreZeroFreePages(double fraction) {
-  // The idle-time scrubber works through each node's pool proportionally.
-  for (auto& free_list : free_lists_) {
+  // The idle-time scrubber works through each node's pool proportionally,
+  // front-to-back in free-store order.
+  for (size_t n = 0; n < free_runs_.size(); ++n) {
     const auto target = static_cast<uint64_t>(
-        std::round(fraction * static_cast<double>(free_list.size())));
+        std::round(fraction * static_cast<double>(free_count_[n])));
     uint64_t done = 0;
-    for (PageId id : free_list) {
+    for (const FreeRun& run : free_runs_[n]) {
+      for (PageId id = run.first; id < run.first + run.count; ++id) {
+        if (done >= target) {
+          break;
+        }
+        if (frames_[id].content == PageContent::kResidue) {
+          frames_[id].content = PageContent::kZeroed;
+          ++prezeroed_free_;
+        }
+        ++done;
+      }
       if (done >= target) {
         break;
       }
-      if (frames_[id].content == PageContent::kResidue) {
-        frames_[id].content = PageContent::kZeroed;
-        ++prezeroed_free_;
-      }
-      ++done;
     }
   }
 }
@@ -80,27 +93,38 @@ uint64_t PhysicalMemory::NextBatchSize(uint64_t remaining) {
   return std::min(nominal, remaining);
 }
 
-PageId PhysicalMemory::TakeFromNode(int node, int owner) {
-  std::deque<PageId>& free_list = free_lists_[node];
-  const PageId id = free_list.front();
-  free_list.pop_front();
-  PageFrame& f = frames_[id];
-  assert(f.owner == -1);
-  if (f.ever_owned) {
-    ++reused_allocations_;
+PageRun PhysicalMemory::TakeRunFromNode(int node, int owner, uint64_t max_pages) {
+  std::deque<FreeRun>& runs = free_runs_[node];
+  assert(!runs.empty() && max_pages > 0);
+  FreeRun& front = runs.front();
+  const uint64_t take = std::min(front.count, max_pages);
+  const PageRun out{front.first, take};
+  front.first += take;
+  front.count -= take;
+  const bool recycled = front.recycled;
+  if (front.count == 0) {
+    runs.pop_front();
   }
-  f.owner = owner;
-  f.ever_owned = true;
-  f.pin_count = 0;
-  f.in_lazy_table = false;
-  if (f.content == PageContent::kZeroed) {
-    assert(prezeroed_free_ > 0);
-    --prezeroed_free_;
+  free_count_[node] -= take;
+  if (recycled) {
+    reused_allocations_ += take;
   }
-  return id;
+  // FreePages left pin_count at 0 and in_lazy_table cleared, so the hot
+  // loop only writes ownership; content stays whatever the pre-zero
+  // scrubber or the previous owner left.
+  for (PageId id = out.first; id < out.first + out.count; ++id) {
+    PageFrame& f = frames_[id];
+    assert(f.owner == -1 && f.pin_count == 0 && !f.in_lazy_table);
+    f.owner = owner;
+    if (f.content == PageContent::kZeroed) {
+      assert(prezeroed_free_ > 0);
+      --prezeroed_free_;
+    }
+  }
+  return out;
 }
 
-Task PhysicalMemory::RetrievePages(int owner, uint64_t num_pages, std::vector<PageId>* out) {
+Task PhysicalMemory::RetrievePages(int owner, uint64_t num_pages, std::vector<PageRun>* out) {
   assert(out != nullptr);
   if (num_pages > free_pages()) {
     throw std::runtime_error("PhysicalMemory: out of memory");
@@ -111,19 +135,34 @@ Task PhysicalMemory::RetrievePages(int owner, uint64_t num_pages, std::vector<Pa
   while (remaining > 0) {
     // Pick the node: home first, then spill to the fullest remote node.
     int node = home;
-    if (free_lists_[node].empty()) {
+    if (free_count_[node] == 0) {
       uint64_t best = 0;
       for (int n = 0; n < numa_nodes(); ++n) {
-        if (free_lists_[n].size() > best) {
-          best = free_lists_[n].size();
+        if (free_count_[n] > best) {
+          best = free_count_[n];
           node = n;
         }
       }
     }
-    const uint64_t batch =
-        std::min(NextBatchSize(remaining), static_cast<uint64_t>(free_lists_[node].size()));
-    for (uint64_t i = 0; i < batch; ++i) {
-      out->push_back(TakeFromNode(node, owner));
+    const uint64_t batch = std::min(NextBatchSize(remaining), free_count_[node]);
+    // A batch may straddle free-store extents (fragmentation limits the
+    // extent lengths, not the batch accounting). Each batch models one free
+    // extent, so runs coalesce within a batch but never across batches —
+    // full fragmentation yields single-page runs — and never across a NUMA
+    // boundary, keeping per-run locality analytic.
+    const size_t batch_first_run = out->size();
+    uint64_t got = 0;
+    while (got < batch) {
+      const PageRun run = TakeRunFromNode(node, owner, batch - got);
+      got += run.count;
+      // Takes within one batch all come from the same node's pool, so
+      // adjacency alone makes merging safe.
+      if (out->size() > batch_first_run &&
+          out->back().first + out->back().count == run.first) {
+        out->back().count += run.count;
+      } else {
+        out->push_back(run);
+      }
     }
     if (node == home) {
       local_allocations_ += batch;
@@ -138,13 +177,144 @@ Task PhysicalMemory::RetrievePages(int owner, uint64_t num_pages, std::vector<Pa
   co_await cpu_->Compute(cost_.page_retrieve_batch * static_cast<double>(batches));
 }
 
+Task PhysicalMemory::RetrievePages(int owner, uint64_t num_pages, std::vector<PageId>* out) {
+  // Flat compatibility overload: one free-store operation and one frame-state
+  // update per page, the way the pre-extent allocator worked. Identical
+  // batch structure, RNG draws and simulated cost as the run overload — only
+  // the wall-clock bookkeeping is per-page.
+  assert(out != nullptr);
+  if (num_pages > free_pages()) {
+    throw std::runtime_error("PhysicalMemory: out of memory");
+  }
+  const int home = HomeNode(owner);
+  uint64_t batches = 0;
+  uint64_t remaining = num_pages;
+  while (remaining > 0) {
+    int node = home;
+    if (free_count_[node] == 0) {
+      uint64_t best = 0;
+      for (int n = 0; n < numa_nodes(); ++n) {
+        if (free_count_[n] > best) {
+          best = free_count_[n];
+          node = n;
+        }
+      }
+    }
+    const uint64_t batch = std::min(NextBatchSize(remaining), free_count_[node]);
+    for (uint64_t got = 0; got < batch; ++got) {
+      const PageRun one = TakeRunFromNode(node, owner, 1);
+      // The historical allocator refreshed this per-frame state on every
+      // allocation; the values are already what FreePages left, but the
+      // baseline's memory traffic is part of what it models.
+      PageFrame& f = frames_[one.first];
+      f.ever_owned = true;
+      f.pin_count = 0;
+      f.in_lazy_table = false;
+      out->push_back(one.first);
+    }
+    if (node == home) {
+      local_allocations_ += batch;
+    } else {
+      remote_allocations_ += batch;
+    }
+    remaining -= batch;
+    ++batches;
+  }
+  used_pages_ += num_pages;
+  batches_retrieved_ += batches;
+  co_await cpu_->Compute(cost_.page_retrieve_batch * static_cast<double>(batches));
+}
+
+Task PhysicalMemory::RetrieveSinglePage(int owner, PageId* out) {
+  assert(out != nullptr);
+  if (refill_cache_[owner].empty()) {
+    const uint64_t want = std::min<uint64_t>(kRefillCachePages, free_pages());
+    if (want == 0) {
+      throw std::runtime_error("PhysicalMemory: out of memory");
+    }
+    std::vector<PageRun> filled;
+    co_await RetrievePages(owner, want, &filled);
+    // Re-look-up after the await: another owner's refill may have rehashed
+    // the cache map while this coroutine was suspended. Append (rather than
+    // assign) so a concurrent same-owner refill cannot strand pages.
+    std::vector<PageRun>& cache = refill_cache_[owner];
+    for (const PageRun& run : filled) {
+      AppendRunToRuns(&cache, run);
+    }
+  }
+  std::vector<PageRun>& cache = refill_cache_[owner];
+  PageRun& front = cache.front();
+  *out = front.first;
+  ++front.first;
+  if (--front.count == 0) {
+    cache.erase(cache.begin());
+  }
+}
+
+void PhysicalMemory::DrainRefillCache(int owner) {
+  auto it = refill_cache_.find(owner);
+  if (it == refill_cache_.end()) {
+    return;
+  }
+  FreePages(std::span<const PageRun>(it->second));
+  refill_cache_.erase(it);
+}
+
+uint64_t PhysicalMemory::refill_cached_pages(int owner) const {
+  auto it = refill_cache_.find(owner);
+  return it == refill_cache_.end() ? 0 : PageCountOfRuns(it->second);
+}
+
+void PhysicalMemory::FreePages(std::span<const PageRun> runs) {
+  uint64_t total = 0;
+  for (const PageRun& whole : runs) {
+    assert(whole.count > 0);
+    // Split at node boundaries: the free store is per node, and run-based
+    // consumers (FrameMap coalescing) may have merged across a boundary.
+    PageRun rest = whole;
+    while (rest.count > 0) {
+      const int node = NodeOfFrame(rest.first);
+      const PageId node_end = static_cast<PageId>(node + 1) * pages_per_node_;
+      const PageRun run{rest.first, std::min<uint64_t>(rest.count, node_end - rest.first)};
+      for (PageId id = run.first; id < run.first + run.count; ++id) {
+        PageFrame& f = frames_[id];
+        assert(f.owner != -1 && "double free");
+        assert(f.pin_count == 0 && "freeing a pinned page");
+        // Whatever the owner wrote lingers: that is the security hazard
+        // eager / lazy zeroing must neutralize for the next owner.
+        if (f.content == PageContent::kData) {
+          f.content = PageContent::kResidue;
+        }
+        if (f.content == PageContent::kZeroed) {
+          ++prezeroed_free_;
+        }
+        f.owner = -1;
+        f.in_lazy_table = false;
+        f.ever_owned = true;
+      }
+      // LIFO at run granularity: freshly freed extents are reallocated
+      // first, like the kernel's per-CPU page caches — which is exactly
+      // what makes cross-tenant residue a real hazard under churn.
+      free_runs_[node].push_front(FreeRun{run.first, run.count, /*recycled=*/true});
+      free_count_[node] += run.count;
+      total += run.count;
+      rest.first += run.count;
+      rest.count -= run.count;
+    }
+  }
+  used_pages_ -= total;
+}
+
 void PhysicalMemory::FreePages(std::span<const PageId> pages) {
+  // Flat compatibility overload: one free-store push per page, like the
+  // pre-extent per-frame free list — the store ends up holding single-page
+  // extents, exactly as the historical allocator's free list did. Counters
+  // and subsequent retrieval costs are unchanged (batches only depend on
+  // free counts, not extent structure).
   for (PageId id : pages) {
     PageFrame& f = frames_[id];
     assert(f.owner != -1 && "double free");
     assert(f.pin_count == 0 && "freeing a pinned page");
-    // Whatever the owner wrote lingers: that is the security hazard eager /
-    // lazy zeroing must neutralize for the next owner.
     if (f.content == PageContent::kData) {
       f.content = PageContent::kResidue;
     }
@@ -153,18 +323,15 @@ void PhysicalMemory::FreePages(std::span<const PageId> pages) {
     }
     f.owner = -1;
     f.in_lazy_table = false;
-    // LIFO: freshly freed frames are reallocated first, like the kernel's
-    // per-CPU page caches — which is exactly what makes cross-tenant
-    // residue a real hazard under churn.
-    free_lists_[NodeOfFrame(id)].push_front(id);
+    f.ever_owned = true;
+    const int node = NodeOfFrame(id);
+    free_runs_[node].push_front(FreeRun{id, 1, /*recycled=*/true});
+    ++free_count_[node];
   }
   used_pages_ -= pages.size();
 }
 
-Task PhysicalMemory::ZeroPages(std::span<const PageId> pages) {
-  if (pages.empty()) {
-    co_return;
-  }
+Task PhysicalMemory::ChargeZeroing(uint64_t total, uint64_t remote) {
   // Zeroing is a memset loop: one thread streams at per_thread rate when
   // DRAM is idle, but concurrent zeroers share the aggregate DRAM write
   // bandwidth — a dozen threads saturate it, and 200 containers each
@@ -172,6 +339,53 @@ Task PhysicalMemory::ZeroPages(std::span<const PageId> pages) {
   // CPU while it streams; that load runs concurrently with the transfer.
   // Frames on a remote node stream across the socket interconnect at a
   // penalty, so the effective per-thread rate is blended by locality.
+  const double remote_fraction = static_cast<double>(remote) / static_cast<double>(total);
+  const double slowdown = 1.0 + (remote_zeroing_penalty_ - 1.0) * remote_fraction;
+  const double rate = per_thread_zeroing_bps_ / slowdown;
+  const double bytes = static_cast<double>(total * page_size_);
+  Process cpu_load = sim_->Spawn(cpu_->Compute(Seconds(bytes / rate)));
+  co_await zero_dram_.Transfer(bytes, rate);
+  co_await cpu_load.Join();
+  pages_zeroed_ += total;
+}
+
+Task PhysicalMemory::ZeroPages(std::span<const PageRun> runs) {
+  const uint64_t total = PageCountOfRuns(runs);
+  if (total == 0) {
+    co_return;
+  }
+  // Locality is analytic over runs: within one node the remote contribution
+  // is all-or-nothing, and a run that straddles a boundary (possible after
+  // caller-side coalescing) is split arithmetically — the remote count comes
+  // out exactly equal to the per-page accounting.
+  const int home = HomeNode(frames_[runs.front().first].owner);
+  uint64_t remote = 0;
+  for (const PageRun& whole : runs) {
+    assert(whole.count > 0);
+    PageRun rest = whole;
+    while (rest.count > 0) {
+      const int node = NodeOfFrame(rest.first);
+      const PageId node_end = static_cast<PageId>(node + 1) * pages_per_node_;
+      const uint64_t span = std::min<uint64_t>(rest.count, node_end - rest.first);
+      if (node != home) {
+        remote += span;
+      }
+      rest.first += span;
+      rest.count -= span;
+    }
+  }
+  co_await ChargeZeroing(total, remote);
+  for (const PageRun& run : runs) {
+    for (PageId id = run.first; id < run.first + run.count; ++id) {
+      frames_[id].content = PageContent::kZeroed;
+    }
+  }
+}
+
+Task PhysicalMemory::ZeroPages(std::span<const PageId> pages) {
+  if (pages.empty()) {
+    co_return;
+  }
   const int home = HomeNode(frames_[pages.front()].owner);
   uint64_t remote = 0;
   for (PageId id : pages) {
@@ -179,23 +393,26 @@ Task PhysicalMemory::ZeroPages(std::span<const PageId> pages) {
       ++remote;
     }
   }
-  const double remote_fraction =
-      static_cast<double>(remote) / static_cast<double>(pages.size());
-  const double slowdown = 1.0 + (remote_zeroing_penalty_ - 1.0) * remote_fraction;
-  const double rate = per_thread_zeroing_bps_ / slowdown;
-  const double bytes = static_cast<double>(pages.size() * page_size_);
-  Process cpu_load = sim_->Spawn(cpu_->Compute(Seconds(bytes / rate)));
-  co_await zero_dram_.Transfer(bytes, rate);
-  co_await cpu_load.Join();
+  co_await ChargeZeroing(pages.size(), remote);
   for (PageId id : pages) {
     frames_[id].content = PageContent::kZeroed;
   }
-  pages_zeroed_ += pages.size();
 }
 
 Task PhysicalMemory::ZeroPage(PageId page) {
   const PageId one[] = {page};
-  co_await ZeroPages(one);
+  co_await ZeroPages(std::span<const PageId>(one));
+}
+
+Task PhysicalMemory::PinPages(std::span<const PageRun> runs) {
+  uint64_t total = 0;
+  for (const PageRun& run : runs) {
+    for (PageId id = run.first; id < run.first + run.count; ++id) {
+      ++frames_[id].pin_count;
+    }
+    total += run.count;
+  }
+  co_await cpu_->Compute(cost_.page_pin * static_cast<double>(total));
 }
 
 Task PhysicalMemory::PinPages(std::span<const PageId> pages) {
@@ -203,6 +420,15 @@ Task PhysicalMemory::PinPages(std::span<const PageId> pages) {
     ++frames_[id].pin_count;
   }
   co_await cpu_->Compute(cost_.page_pin * static_cast<double>(pages.size()));
+}
+
+void PhysicalMemory::UnpinPages(std::span<const PageRun> runs) {
+  for (const PageRun& run : runs) {
+    for (PageId id = run.first; id < run.first + run.count; ++id) {
+      assert(frames_[id].pin_count > 0);
+      --frames_[id].pin_count;
+    }
+  }
 }
 
 void PhysicalMemory::UnpinPages(std::span<const PageId> pages) {

@@ -2,11 +2,17 @@
 // pre-zero pool.
 //
 // The allocator is frame-granular at the configured page size (4 KiB or
-// 2 MiB hugepages), split evenly across the host's NUMA nodes. Retrieval
-// cost models the batch structure of §3.2.3/P2: contiguous free runs are
-// collected per batch, and a fragmentation factor shortens the runs.
-// Allocations prefer the owner's home node and spill to remote nodes when
-// the local one is exhausted.
+// 2 MiB hugepages), split evenly across the host's NUMA nodes. The free
+// store is run-structured: each node holds a deque of contiguous extents
+// (PageRun), and retrieval hands out runs directly — the batch structure of
+// §3.2.3/P2 falls out of the extent lengths, with a fragmentation factor
+// shortening them. Allocations prefer the owner's home node and spill to
+// remote nodes when the local one is exhausted. Runs never span NUMA nodes.
+//
+// All per-page costs (retrieval batches, zeroing bytes, pin charges) are
+// computed analytically from run lengths; the span<const PageId> overloads
+// exist for arbitrary non-contiguous page sets (fastiovd's background
+// scrubber, tests) and charge identically.
 //
 // Zeroing is the heart of the paper's bottleneck 2: ZeroPages charges a
 // shared DRAM-bandwidth resource (per-thread-capped), so 200 concurrent
@@ -19,10 +25,12 @@
 #include <cstdint>
 #include <deque>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "src/config/cost_model.h"
 #include "src/mem/page.h"
+#include "src/mem/page_run.h"
 #include "src/simcore/resources.h"
 #include "src/simcore/simulation.h"
 
@@ -30,6 +38,11 @@ namespace fastiov {
 
 class PhysicalMemory {
  public:
+  // Single-page allocations (EPT-fault storms) refill a per-owner cache of
+  // this many pages at once — the kernel per-CPU page-cache analog — so
+  // fault paths pay the batched retrieval cost the model intends.
+  static constexpr uint64_t kRefillCachePages = 8;
+
   // `page_size` is the allocation granule (kSmallPageSize or kHugePageSize).
   // `fragmentation` in [0,1]: 0 = fully contiguous free memory, 1 = every
   // batch degenerates to a single page.
@@ -40,7 +53,7 @@ class PhysicalMemory {
   uint64_t total_pages() const { return total_pages_; }
   uint64_t free_pages() const { return total_pages_ - used_pages_; }
   uint64_t used_pages() const { return used_pages_; }
-  int numa_nodes() const { return static_cast<int>(free_lists_.size()); }
+  int numa_nodes() const { return static_cast<int>(free_runs_.size()); }
 
   // NUMA node a frame belongs to (frames are striped in contiguous slabs).
   int NodeOfFrame(PageId id) const { return static_cast<int>(id / pages_per_node_); }
@@ -52,7 +65,7 @@ class PhysicalMemory {
     }
     return owner % numa_nodes();
   }
-  uint64_t free_pages_on_node(int node) const { return free_lists_[node].size(); }
+  uint64_t free_pages_on_node(int node) const { return free_count_[node]; }
 
   // Marks `fraction` of currently free pages as pre-zeroed (the HawkEye-style
   // baseline: zeroing performed during memory idle time, §6.1). Instant.
@@ -60,25 +73,41 @@ class PhysicalMemory {
   uint64_t prezeroed_available() const { return prezeroed_free_; }
 
   // Retrieves `num_pages` free frames for `owner`, charging the per-batch
-  // retrieval cost on the CPU pool. Appends PageIds to *out.
+  // retrieval cost on the CPU pool. Appends contiguous runs to *out.
   // Allocation drains the owner's home node first, then spills to the other
-  // nodes. Pre-zeroed frames arrive with content kZeroed; the rest as
-  // kResidue.
+  // nodes; runs never span NUMA nodes. Pre-zeroed frames arrive with
+  // content kZeroed; the rest as kResidue.
+  Task RetrievePages(int owner, uint64_t num_pages, std::vector<PageRun>* out);
+  // Flat-list compatibility overload (cold paths and tests): identical cost,
+  // appends one PageId per page.
   Task RetrievePages(int owner, uint64_t num_pages, std::vector<PageId>* out);
 
-  // Returns frames to their nodes' free pools (LIFO — freshly freed frames
-  // are reallocated first, like the kernel's per-CPU page caches). Whatever
-  // the previous owner left in them remains.
+  // Single-page retrieval through the per-owner refill cache (EPT-fault
+  // path). Charges a batched retrieval only when the cache is empty.
+  Task RetrieveSinglePage(int owner, PageId* out);
+  // Returns an owner's unused cached pages to the free pool (VM teardown).
+  void DrainRefillCache(int owner);
+  uint64_t refill_cached_pages(int owner) const;
+
+  // Returns frames to their nodes' free pools (LIFO at run granularity —
+  // freshly freed extents are reallocated first, like the kernel's per-CPU
+  // page caches). Whatever the previous owner left in them remains. Runs
+  // spanning a node boundary are split internally.
+  void FreePages(std::span<const PageRun> runs);
   void FreePages(std::span<const PageId> pages);
 
   // Zeroes the given frames, charging the shared zeroing bandwidth; frames
   // remote to the (owner's) zeroing thread pay the interconnect penalty.
+  // The run and flat-list overloads charge identically.
+  Task ZeroPages(std::span<const PageRun> runs);
   Task ZeroPages(std::span<const PageId> pages);
   // Zeroes a single frame (EPT-fault path).
   Task ZeroPage(PageId page);
 
   // Pins frames for DMA, charging per-page pin cost on the CPU pool.
+  Task PinPages(std::span<const PageRun> runs);
   Task PinPages(std::span<const PageId> pages);
+  void UnpinPages(std::span<const PageRun> runs);
   void UnpinPages(std::span<const PageId> pages);
 
   PageFrame& frame(PageId id) { return frames_[id]; }
@@ -96,10 +125,24 @@ class PhysicalMemory {
   uint64_t remote_allocations() const { return remote_allocations_; }
 
  private:
+  // A free-store extent. `recycled` marks extents that came back through
+  // FreePages (every page in them has had an owner), so reuse accounting is
+  // a per-run add instead of a per-page ever_owned scan on the hot
+  // retrieval path.
+  struct FreeRun {
+    PageId first = 0;
+    uint64_t count = 0;
+    bool recycled = false;
+  };
+
   // Number of pages the next retrieval batch can carry, given fragmentation.
   uint64_t NextBatchSize(uint64_t remaining);
-  // Takes one page from the given node's pool (must be non-empty).
-  PageId TakeFromNode(int node, int owner);
+  // Takes up to `max_pages` from the front extent of the node's pool (must
+  // be non-empty) and marks them allocated to `owner`.
+  PageRun TakeRunFromNode(int node, int owner, uint64_t max_pages);
+  // Shared zeroing engine: charges DRAM bandwidth + CPU for `total` pages of
+  // which `remote` are off the zeroing thread's node.
+  Task ChargeZeroing(uint64_t total, uint64_t remote);
 
   Simulation* sim_;
   const CostModel cost_;
@@ -115,7 +158,9 @@ class PhysicalMemory {
   CpuPool* cpu_ = nullptr;  // set by the host harness
 
   std::vector<PageFrame> frames_;
-  std::vector<std::deque<PageId>> free_lists_;  // one per NUMA node
+  std::vector<std::deque<FreeRun>> free_runs_;  // one extent list per NUMA node
+  std::vector<uint64_t> free_count_;            // free pages per node
+  std::unordered_map<int, std::vector<PageRun>> refill_cache_;  // per owner
   uint64_t prezeroed_free_ = 0;
 
   uint64_t pages_zeroed_ = 0;

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "src/mem/page.h"
+#include "src/mem/page_run.h"
 #include "src/simcore/task.h"
 
 namespace fastiov {
@@ -27,14 +28,15 @@ enum class ZeroingMode {
 
 const char* ZeroingModeName(ZeroingMode m);
 
-// Implemented by fastiovd: receives pages whose zeroing was deferred.
-// `gpa_base` is the guest-physical address of pages[0] (IOVA == GPA, §2.2);
+// Implemented by fastiovd: receives extents whose zeroing was deferred.
+// `gpa_base` is the guest-physical address of the first page of runs[0]
+// (IOVA == GPA, §2.2; the runs back GPA-consecutive pages in order);
 // fastiovd uses it to honor the instant-zeroing list, which is registered
 // in GPA terms before the VM's memory is allocated.
 class LazyZeroRegistry {
  public:
   virtual ~LazyZeroRegistry() = default;
-  virtual Task RegisterPages(int pid, std::span<const PageId> pages, uint64_t gpa_base) = 0;
+  virtual Task RegisterPages(int pid, std::span<const PageRun> runs, uint64_t gpa_base) = 0;
 };
 
 }  // namespace fastiov

@@ -79,7 +79,7 @@ Task VirtioNetDriver::Receive(uint64_t bytes) {
   const uint64_t first = (ring_gpa_ - region->gpa_base) / page_size;
   const uint64_t pages = (window + page_size - 1) / page_size;
   for (uint64_t i = 0; i < pages; ++i) {
-    const PageId frame = region->frames.at(first + i);
+    const PageId frame = region->frames.Get(first + i);
     if (frame == kInvalidPage ||
         vm_->pmem().frame(frame).content != PageContent::kData) {
       ++corrupted_reads_;

@@ -1,9 +1,21 @@
 #include "src/vfio/vfio.h"
 
+#include <atomic>
 #include <cassert>
 #include <stdexcept>
 
 namespace fastiov {
+namespace {
+
+std::atomic<bool> g_legacy_per_page_dma{false};
+
+}  // namespace
+
+void SetLegacyPerPageDma(bool enabled) {
+  g_legacy_per_page_dma.store(enabled, std::memory_order_relaxed);
+}
+
+bool LegacyPerPageDma() { return g_legacy_per_page_dma.load(std::memory_order_relaxed); }
 
 const char* ZeroingModeName(ZeroingMode m) {
   switch (m) {
@@ -100,41 +112,69 @@ VfioContainer::~VfioContainer() {
 }
 
 Task VfioContainer::MapDma(uint64_t iova, uint64_t size, const DmaMapOptions& options,
-                           std::vector<PageId>* out_pages) {
+                           std::vector<PageRun>* out_runs) {
   const uint64_t page_size = pmem_->page_size();
   assert(size % page_size == 0 && iova % page_size == 0);
   const uint64_t num_pages = size / page_size;
+  const bool legacy = LegacyPerPageDma();
 
   DmaMapping mapping;
   mapping.iova_base = iova;
   mapping.size = size;
 
-  // 1. Page retrieving (batched).
-  co_await pmem_->RetrievePages(options.pid, num_pages, &mapping.pages);
+  // 1. Page retrieving (batched; the free store hands out extents — the
+  // legacy mode pulls pages one at a time like the pre-extent allocator).
+  std::vector<PageId> flat;
+  if (legacy) {
+    co_await pmem_->RetrievePages(options.pid, num_pages, &flat);
+  } else {
+    co_await pmem_->RetrievePages(options.pid, num_pages, &mapping.runs);
+  }
 
   // 2. Page zeroing, per policy (§3.2.3 P3: with hugepages this dominates
   // the whole DMA-map step).
   switch (options.zeroing) {
     case ZeroingMode::kEager: {
-      co_await pmem_->ZeroPages(mapping.pages);
+      if (legacy) {
+        co_await pmem_->ZeroPages(flat);
+      } else {
+        co_await pmem_->ZeroPages(mapping.runs);
+      }
       break;
     }
     case ZeroingMode::kPreZeroed: {
       // Pages that came from the pre-zero pool are already clean.
-      std::vector<PageId> dirty;
-      for (PageId id : mapping.pages) {
-        if (pmem_->frame(id).content != PageContent::kZeroed) {
-          dirty.push_back(id);
+      if (legacy) {
+        std::vector<PageId> dirty;
+        for (PageId id : flat) {
+          if (pmem_->frame(id).content != PageContent::kZeroed) {
+            dirty.push_back(id);
+          }
         }
+        co_await pmem_->ZeroPages(dirty);
+      } else {
+        std::vector<PageRun> dirty;
+        for (const PageRun& run : mapping.runs) {
+          for (PageId id = run.first; id < run.first + run.count; ++id) {
+            if (pmem_->frame(id).content != PageContent::kZeroed) {
+              AppendPageToRuns(&dirty, id);
+            }
+          }
+        }
+        co_await pmem_->ZeroPages(dirty);
       }
-      co_await pmem_->ZeroPages(dirty);
       break;
     }
     case ZeroingMode::kDecoupled: {
       if (options.lazy_registry == nullptr) {
         throw std::invalid_argument("decoupled zeroing requires a lazy-zero registry");
       }
-      co_await options.lazy_registry->RegisterPages(options.pid, mapping.pages, iova);
+      if (legacy) {
+        const std::vector<PageRun> runs = RunsFromPages(flat);
+        co_await options.lazy_registry->RegisterPages(options.pid, runs, iova);
+      } else {
+        co_await options.lazy_registry->RegisterPages(options.pid, mapping.runs, iova);
+      }
       break;
     }
     case ZeroingMode::kNone:
@@ -142,51 +182,88 @@ Task VfioContainer::MapDma(uint64_t iova, uint64_t size, const DmaMapOptions& op
   }
 
   // 3. Page pinning.
-  co_await pmem_->PinPages(mapping.pages);
+  if (legacy) {
+    co_await pmem_->PinPages(flat);
+  } else {
+    co_await pmem_->PinPages(mapping.runs);
+  }
 
-  // 4. IOMMU page-table updates.
-  uint64_t cur = iova;
-  for (PageId id : mapping.pages) {
-    const bool mapped = domain_->Map(cur, id, page_size);
+  // 4. IOMMU page-table updates: one range descent per extent (legacy mode
+  // walks once per page, like the pre-extent code).
+  if (legacy) {
+    uint64_t cur = iova;
+    for (PageId id : flat) {
+      const bool mapped = domain_->Map(cur, id, page_size);
+      assert(mapped && "IOVA range already mapped");
+      (void)mapped;
+      cur += page_size;
+    }
+  } else {
+    const bool mapped = domain_->MapExtents(iova, mapping.runs, page_size);
     assert(mapped && "IOVA range already mapped");
     (void)mapped;
-    cur += page_size;
   }
   co_await cpu_->Compute(cost_.iommu_map_entry * static_cast<double>(num_pages));
 
-  if (out_pages != nullptr) {
-    out_pages->insert(out_pages->end(), mapping.pages.begin(), mapping.pages.end());
+  if (legacy) {
+    if (out_runs != nullptr) {
+      for (const PageRun& run : RunsFromPages(flat)) {
+        AppendRunToRuns(out_runs, run);
+      }
+    }
+    mapping.legacy_pages = std::move(flat);
+  } else if (out_runs != nullptr) {
+    for (const PageRun& run : mapping.runs) {
+      AppendRunToRuns(out_runs, run);
+    }
   }
+  mappings_.push_back(std::move(mapping));
+}
+
+Task VfioContainer::MapDmaPrepinned(uint64_t iova, std::span<const PageRun> runs) {
+  const uint64_t page_size = pmem_->page_size();
+  DmaMapping mapping;
+  mapping.iova_base = iova;
+  mapping.size = PageCountOfRuns(runs) * page_size;
+  mapping.runs.assign(runs.begin(), runs.end());
+
+  co_await pmem_->PinPages(mapping.runs);
+  uint64_t cur = iova;
+  for (const PageRun& run : mapping.runs) {
+    const bool mapped = domain_->MapRange(cur, run, page_size);
+    assert(mapped && "IOVA range already mapped");
+    (void)mapped;
+    cur += run.count * page_size;
+  }
+  co_await cpu_->Compute(cost_.iommu_map_entry *
+                         static_cast<double>(mapping.num_pages(page_size)));
   mappings_.push_back(std::move(mapping));
 }
 
 Task VfioContainer::MapDmaPrepinned(uint64_t iova, std::span<const PageId> pages) {
-  const uint64_t page_size = pmem_->page_size();
-  DmaMapping mapping;
-  mapping.iova_base = iova;
-  mapping.size = pages.size() * page_size;
-  mapping.pages.assign(pages.begin(), pages.end());
-
-  co_await pmem_->PinPages(mapping.pages);
-  uint64_t cur = iova;
-  for (PageId id : mapping.pages) {
-    const bool mapped = domain_->Map(cur, id, page_size);
-    assert(mapped && "IOVA range already mapped");
-    (void)mapped;
-    cur += page_size;
-  }
-  co_await cpu_->Compute(cost_.iommu_map_entry * static_cast<double>(pages.size()));
-  mappings_.push_back(std::move(mapping));
+  const std::vector<PageRun> runs = RunsFromPages(pages);
+  co_await MapDmaPrepinned(iova, std::span<const PageRun>(runs));
 }
 
 void VfioContainer::UnmapAll() {
+  const uint64_t page_size = pmem_->page_size();
+  const bool legacy = LegacyPerPageDma();
   for (auto& m : mappings_) {
-    uint64_t cur = m.iova_base;
-    for (size_t i = 0; i < m.pages.size(); ++i) {
-      domain_->Unmap(cur);
-      cur += pmem_->page_size();
+    if (legacy && !m.legacy_pages.empty()) {
+      uint64_t cur = m.iova_base;
+      for (size_t i = 0; i < m.legacy_pages.size(); ++i) {
+        domain_->Unmap(cur);
+        cur += page_size;
+      }
+      pmem_->UnpinPages(std::span<const PageId>(m.legacy_pages));
+    } else {
+      uint64_t cur = m.iova_base;
+      for (const PageRun& run : m.runs) {
+        domain_->UnmapRange(cur, run.count, page_size);
+        cur += run.count * page_size;
+      }
+      pmem_->UnpinPages(m.runs);
     }
-    pmem_->UnpinPages(m.pages);
   }
   mappings_.clear();
 }

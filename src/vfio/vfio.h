@@ -86,12 +86,26 @@ class DevSet {
   uint64_t opens_performed_ = 0;
 };
 
-// One DMA mapping registered in a container.
+// One DMA mapping registered in a container. Backing frames are stored as
+// contiguous extents, in IOVA order. Under the legacy per-page mode the
+// frames live in `legacy_pages` instead (one entry per page, like the
+// pre-extent implementation) and `runs` stays empty.
 struct DmaMapping {
   uint64_t iova_base = 0;
   uint64_t size = 0;
-  std::vector<PageId> pages;
+  std::vector<PageRun> runs;
+  std::vector<PageId> legacy_pages;
+
+  uint64_t num_pages(uint64_t page_size) const { return size / page_size; }
 };
+
+// Benchmark/diagnostic switch: when enabled, the container DMA path runs the
+// pre-extent per-page operations (flat page vectors, one IoPageTable descent
+// per page) instead of run-granular ones. Simulated time is identical either
+// way — simbench asserts that byte-identity — but wall-clock is not; this is
+// the baseline the membench speedup is measured against. Process-global.
+void SetLegacyPerPageDma(bool enabled);
+bool LegacyPerPageDma();
 
 struct DmaMapOptions {
   ZeroingMode zeroing = ZeroingMode::kEager;
@@ -110,13 +124,15 @@ class VfioContainer {
   IommuDomain* domain() { return domain_; }
 
   // VFIO_IOMMU_MAP_DMA: allocates backing frames for [iova, iova+size),
-  // applies the zeroing policy, pins, and installs IOMMU entries.
-  // Appends the allocated frames to *out_pages.
+  // applies the zeroing policy, pins, and installs IOMMU entries — one
+  // IoPageTable range descent per extent, like type1's iommu_map batching.
+  // Appends the allocated extents to *out_runs.
   Task MapDma(uint64_t iova, uint64_t size, const DmaMapOptions& options,
-              std::vector<PageId>* out_pages);
+              std::vector<PageRun>* out_runs);
 
   // Maps pre-allocated frames (used when the region's memory already
   // exists, e.g. hypervisor-populated regions).
+  Task MapDmaPrepinned(uint64_t iova, std::span<const PageRun> runs);
   Task MapDmaPrepinned(uint64_t iova, std::span<const PageId> pages);
 
   // VFIO_IOMMU_UNMAP_DMA: removes entries, unpins and frees the frames.

@@ -43,17 +43,20 @@ Task VirtioFs::HostWriteBuffer(uint64_t gpa, uint64_t bytes) {
   // host page fault (allocate + host-kernel zeroing) first.
   std::vector<uint64_t> missing;
   for (uint64_t i = 0; i < pages; ++i) {
-    if (region->frames.at(first + i) == kInvalidPage) {
+    if (region->frames.Get(first + i) == kInvalidPage) {
       missing.push_back(first + i);
     }
   }
   if (!missing.empty()) {
     assert(!region->dma_mapped);
-    std::vector<PageId> fresh;
+    std::vector<PageRun> fresh;
     co_await vm_->pmem().RetrievePages(vm_->pid(), missing.size(), &fresh);
     co_await vm_->pmem().ZeroPages(fresh);
-    for (size_t i = 0; i < missing.size(); ++i) {
-      region->frames.at(missing[i]) = fresh[i];
+    size_t mi = 0;
+    for (const PageRun& run : fresh) {
+      for (PageId frame = run.first; frame < run.first + run.count; ++frame) {
+        region->frames.Set(missing[mi++], frame);
+      }
     }
   }
   // Copy the file data (shared fs bandwidth).
@@ -84,7 +87,7 @@ Task VirtioFs::GuestReadFile(uint64_t bytes, bool proactive_faults) {
     const uint64_t first = (buffer_gpa_ - region->gpa_base) / page_size;
     const uint64_t pages = (chunk + page_size - 1) / page_size;
     for (uint64_t i = 0; i < pages; ++i) {
-      const PageId frame = region->frames.at(first + i);
+      const PageId frame = region->frames.Get(first + i);
       if (frame == kInvalidPage ||
           vm_->pmem().frame(frame).content != PageContent::kData) {
         // File data destroyed by a late lazy zeroing (§4.3.2, exception 2).

@@ -98,7 +98,7 @@ TEST_P(InvariantsTest, PageAccountingAndOwnershipWhileRunning) {
         const uint64_t gpa_page = region.gpa_base / pmem.page_size() + i;
         const auto entry = inst->vm->ept().Lookup(gpa_page);
         if (entry.has_value()) {
-          EXPECT_EQ(*entry, region.frames.at(i));
+          EXPECT_EQ(*entry, region.frames.Get(i));
           const int32_t owner = pmem.frame(*entry).owner;
           EXPECT_TRUE(owner == inst->pid || (region.shared_backing && owner == 0))
               << "EPT entry maps a frame the VM does not own";
@@ -108,9 +108,7 @@ TEST_P(InvariantsTest, PageAccountingAndOwnershipWhileRunning) {
     // I6: DMA-mapped regions are fully populated.
     for (const GuestMemoryRegion& region : inst->vm->regions()) {
       if (region.dma_mapped) {
-        for (PageId frame : region.frames) {
-          EXPECT_NE(frame, kInvalidPage);
-        }
+        EXPECT_TRUE(region.frames.fully_populated());
       }
     }
   }

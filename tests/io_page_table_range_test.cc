@@ -1,0 +1,242 @@
+// MapRange/UnmapRange must be observationally equivalent to per-page
+// Map/Unmap: same Translate results, same num_table_pages, same overlap
+// rejection — only the number of radix descents (wall-clock) differs.
+#include "src/iommu/io_page_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/mem/page.h"
+
+namespace fastiov {
+namespace {
+
+constexpr uint64_t kSmall = 1ull << IoPageTable::kLeafShift;
+constexpr uint64_t kHuge = 1ull << IoPageTable::kHugeShift;
+
+// Applies the same mapping through both implementations and asserts they
+// are indistinguishable to Translate().
+void ExpectEquivalent(const IoPageTable& a, const IoPageTable& b, uint64_t iova_begin,
+                      uint64_t iova_end, uint64_t step) {
+  ASSERT_EQ(a.num_mappings(), b.num_mappings());
+  ASSERT_EQ(a.num_table_pages(), b.num_table_pages());
+  for (uint64_t iova = iova_begin; iova < iova_end; iova += step) {
+    const auto ta = a.Translate(iova);
+    const auto tb = b.Translate(iova);
+    ASSERT_EQ(ta.has_value(), tb.has_value()) << "iova " << iova;
+    if (ta.has_value()) {
+      EXPECT_EQ(ta->page, tb->page) << "iova " << iova;
+      EXPECT_EQ(ta->page_size, tb->page_size) << "iova " << iova;
+      EXPECT_EQ(ta->offset, tb->offset) << "iova " << iova;
+    }
+  }
+}
+
+TEST(IoPageTableRangeTest, MapRangeMatchesPerPageSmall) {
+  IoPageTable per_page;
+  IoPageTable ranged;
+  // 1200 small pages: crosses two leaf-node boundaries (512 entries each).
+  const PageRun run{500, 1200};
+  for (uint64_t i = 0; i < run.count; ++i) {
+    ASSERT_TRUE(per_page.Map(i * kSmall, run.first + i, kSmall));
+  }
+  ASSERT_TRUE(ranged.MapRange(0, run, kSmall));
+  ExpectEquivalent(per_page, ranged, 0, (run.count + 8) * kSmall, kSmall);
+}
+
+TEST(IoPageTableRangeTest, MapRangeMatchesPerPageHuge) {
+  IoPageTable per_page;
+  IoPageTable ranged;
+  // 700 huge pages: crosses a 1 GiB (level-2 node) boundary.
+  const PageRun run{64, 700};
+  for (uint64_t i = 0; i < run.count; ++i) {
+    ASSERT_TRUE(per_page.Map(i * kHuge, run.first + i, kHuge));
+  }
+  ASSERT_TRUE(ranged.MapRange(0, run, kHuge));
+  ExpectEquivalent(per_page, ranged, 0, (run.count + 8) * kHuge, kHuge);
+}
+
+TEST(IoPageTableRangeTest, MapRangeUnalignedStartAndConflictPrefix) {
+  IoPageTable per_page;
+  IoPageTable ranged;
+  // Pre-existing mapping at page index 5 causes both to fail mid-range,
+  // leaving the identical already-installed prefix behind.
+  ASSERT_TRUE(per_page.Map(5 * kSmall, 999, kSmall));
+  ASSERT_TRUE(ranged.Map(5 * kSmall, 999, kSmall));
+  bool per_page_ok = true;
+  for (uint64_t i = 0; i < 8 && per_page_ok; ++i) {
+    per_page_ok = per_page.Map((2 + i) * kSmall, 100 + i, kSmall);
+  }
+  const bool ranged_ok = ranged.MapRange(2 * kSmall, PageRun{100, 8}, kSmall);
+  EXPECT_FALSE(per_page_ok);
+  EXPECT_FALSE(ranged_ok);
+  ExpectEquivalent(per_page, ranged, 0, 16 * kSmall, kSmall);
+}
+
+TEST(IoPageTableRangeTest, MapExtentsMatchesPerPage) {
+  IoPageTable per_page;
+  IoPageTable extents;
+  // Discontiguous frames at consecutive IOVAs — MapDma's shape. Extent
+  // lengths chosen so several share one leaf node and one crosses a
+  // leaf-node boundary.
+  const std::vector<PageRun> runs = {{4000, 17}, {90, 3}, {2200, 640}, {7, 1}, {512, 40}};
+  uint64_t iova = 16 * kSmall;
+  for (const PageRun& run : runs) {
+    for (uint64_t i = 0; i < run.count; ++i) {
+      ASSERT_TRUE(per_page.Map(iova, run.first + i, kSmall));
+      iova += kSmall;
+    }
+  }
+  ASSERT_TRUE(extents.MapExtents(16 * kSmall, runs, kSmall));
+  ExpectEquivalent(per_page, extents, 0, iova + 8 * kSmall, kSmall);
+}
+
+TEST(IoPageTableRangeTest, MapExtentsConflictLeavesPerPagePrefix) {
+  IoPageTable per_page;
+  IoPageTable extents;
+  // Pre-existing mapping at page 25 conflicts midway through the second run.
+  ASSERT_TRUE(per_page.Map(25 * kSmall, 9999, kSmall));
+  ASSERT_TRUE(extents.Map(25 * kSmall, 9999, kSmall));
+  const std::vector<PageRun> runs = {{100, 20}, {300, 10}};
+  uint64_t iova = 0;
+  bool ok = true;
+  for (const PageRun& run : runs) {
+    for (uint64_t i = 0; ok && i < run.count; ++i) {
+      ok = per_page.Map(iova, run.first + i, kSmall);
+      if (ok) {
+        iova += kSmall;
+      }
+    }
+  }
+  ASSERT_FALSE(ok);
+  ASSERT_FALSE(extents.MapExtents(0, runs, kSmall));
+  ExpectEquivalent(per_page, extents, 0, 40 * kSmall, kSmall);
+}
+
+TEST(IoPageTableRangeTest, UnmapRangeMatchesPerPage) {
+  IoPageTable per_page;
+  IoPageTable ranged;
+  const PageRun run{0, 1024};
+  for (uint64_t i = 0; i < run.count; ++i) {
+    ASSERT_TRUE(per_page.Map(i * kSmall, run.first + i, kSmall));
+  }
+  ASSERT_TRUE(ranged.MapRange(0, run, kSmall));
+  // Unmap an interior span covering partial leaf nodes on both ends.
+  uint64_t removed_per_page = 0;
+  for (uint64_t i = 100; i < 900; ++i) {
+    removed_per_page += per_page.Unmap(i * kSmall) ? 1 : 0;
+  }
+  const uint64_t removed_ranged = ranged.UnmapRange(100 * kSmall, 800, kSmall);
+  EXPECT_EQ(removed_per_page, 800u);
+  EXPECT_EQ(removed_ranged, 800u);
+  ExpectEquivalent(per_page, ranged, 0, (run.count + 8) * kSmall, kSmall);
+}
+
+TEST(IoPageTableRangeTest, UnmapRangeSkipsHolesLikePerPage) {
+  IoPageTable per_page;
+  IoPageTable ranged;
+  for (uint64_t i = 0; i < 16; i += 2) {  // every other page mapped
+    ASSERT_TRUE(per_page.Map(i * kSmall, 100 + i, kSmall));
+    ASSERT_TRUE(ranged.Map(i * kSmall, 100 + i, kSmall));
+  }
+  uint64_t removed_per_page = 0;
+  for (uint64_t i = 0; i < 16; ++i) {
+    removed_per_page += per_page.Unmap(i * kSmall) ? 1 : 0;
+  }
+  const uint64_t removed_ranged = ranged.UnmapRange(0, 16, kSmall);
+  EXPECT_EQ(removed_ranged, removed_per_page);
+  ExpectEquivalent(per_page, ranged, 0, 20 * kSmall, kSmall);
+}
+
+TEST(IoPageTableRangeTest, UnmapRangeAtSmallGranuleRemovesCoveringHugePage) {
+  // A 4 KiB-granular unmap over a huge-page mapping removes the whole huge
+  // mapping, exactly as per-page Unmap(iova) would.
+  IoPageTable per_page;
+  IoPageTable ranged;
+  ASSERT_TRUE(per_page.Map(0, 7, kHuge));
+  ASSERT_TRUE(ranged.Map(0, 7, kHuge));
+  uint64_t removed_per_page = 0;
+  for (uint64_t i = 0; i < 4; ++i) {
+    removed_per_page += per_page.Unmap(i * kSmall) ? 1 : 0;
+  }
+  const uint64_t removed_ranged = ranged.UnmapRange(0, 4, kSmall);
+  EXPECT_EQ(removed_per_page, 1u);
+  EXPECT_EQ(removed_ranged, 1u);
+  ExpectEquivalent(per_page, ranged, 0, kHuge, kSmall);
+}
+
+TEST(IoPageTableRangeTest, TableFullyReclaimedAfterUnmapRange) {
+  IoPageTable table;
+  ASSERT_TRUE(table.MapRange(0, PageRun{0, 2048}, kSmall));
+  EXPECT_GT(table.num_table_pages(), 1u);
+  EXPECT_EQ(table.UnmapRange(0, 2048, kSmall), 2048u);
+  EXPECT_EQ(table.num_mappings(), 0u);
+  EXPECT_EQ(table.num_table_pages(), 1u);  // only the root remains
+}
+
+// Property-style check: a random interleaving of range maps and unmaps
+// stays equivalent to the per-page implementation at every step.
+void RandomChurn(uint64_t page_size, uint32_t seed) {
+  std::mt19937 rng(seed);
+  IoPageTable per_page;
+  IoPageTable ranged;
+  const uint64_t kSlots = 4096;
+  std::vector<bool> mapped(kSlots, false);
+  PageId next_frame = 1;
+  for (int op = 0; op < 200; ++op) {
+    const uint64_t begin = rng() % kSlots;
+    const uint64_t count = 1 + rng() % 600;
+    const uint64_t end = std::min(begin + count, kSlots);
+    if (rng() % 2 == 0) {
+      const PageRun run{next_frame, end - begin};
+      next_frame += run.count;
+      bool expect_ok = true;
+      for (uint64_t i = begin; i < end; ++i) {
+        if (mapped[i]) {
+          expect_ok = false;
+          break;
+        }
+        mapped[i] = true;
+      }
+      if (!expect_ok) {
+        // Roll the shadow state forward only over the installed prefix.
+        for (uint64_t i = begin; i < end; ++i) {
+          if (!per_page.Translate(i * page_size).has_value()) {
+            mapped[i] = false;
+          }
+        }
+      }
+      bool per_page_ok = true;
+      for (uint64_t i = begin; i < end && per_page_ok; ++i) {
+        per_page_ok = per_page.Map(i * page_size, run.first + (i - begin), page_size);
+      }
+      const bool ranged_ok = ranged.MapRange(begin * page_size, run, page_size);
+      ASSERT_EQ(per_page_ok, ranged_ok) << "op " << op;
+      // Re-sync shadow state from the table (conflict leaves a prefix).
+      for (uint64_t i = begin; i < end; ++i) {
+        mapped[i] = per_page.Translate(i * page_size).has_value();
+      }
+    } else {
+      uint64_t removed_per_page = 0;
+      for (uint64_t i = begin; i < end; ++i) {
+        removed_per_page += per_page.Unmap(i * page_size) ? 1 : 0;
+        mapped[i] = false;
+      }
+      const uint64_t removed_ranged = ranged.UnmapRange(begin * page_size, end - begin,
+                                                        page_size);
+      ASSERT_EQ(removed_per_page, removed_ranged) << "op " << op;
+    }
+    ASSERT_EQ(per_page.num_mappings(), ranged.num_mappings()) << "op " << op;
+    ASSERT_EQ(per_page.num_table_pages(), ranged.num_table_pages()) << "op " << op;
+  }
+  ExpectEquivalent(per_page, ranged, 0, kSlots * page_size, page_size);
+}
+
+TEST(IoPageTableRangeTest, RandomChurnSmallPages) { RandomChurn(kSmall, 1234); }
+TEST(IoPageTableRangeTest, RandomChurnHugePages) { RandomChurn(kHuge, 5678); }
+
+}  // namespace
+}  // namespace fastiov

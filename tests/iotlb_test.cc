@@ -64,6 +64,33 @@ TEST(IoTlbTest, InvalidateMissingIsNoop) {
   EXPECT_EQ(tlb.size(), 0u);
 }
 
+TEST(IoTlbTest, InvalidateRangeDropsOnlyInRangeTags) {
+  IoTlb tlb(8);
+  for (uint64_t tag = 0; tag < 8; ++tag) {
+    tlb.Insert(tag);
+  }
+  tlb.InvalidateRange(2, 4);  // tags 2..5
+  EXPECT_TRUE(tlb.Lookup(0));
+  EXPECT_TRUE(tlb.Lookup(1));
+  EXPECT_FALSE(tlb.Lookup(2));
+  EXPECT_FALSE(tlb.Lookup(5));
+  EXPECT_TRUE(tlb.Lookup(6));
+  EXPECT_TRUE(tlb.Lookup(7));
+}
+
+TEST(IoTlbTest, InvalidateRangeLargerThanTlbScansOnce) {
+  IoTlb tlb(4);
+  tlb.Insert(10);
+  tlb.Insert(11);
+  tlb.Insert((1 << 20) + 5000);
+  // Range far wider than the TLB capacity: exercises the scan path.
+  tlb.InvalidateRange(0, 1 << 20);
+  EXPECT_EQ(tlb.size(), 1u);
+  EXPECT_TRUE(tlb.Lookup((1 << 20) + 5000));
+  tlb.InvalidateRange(0, 0);  // empty range is a no-op
+  EXPECT_EQ(tlb.size(), 1u);
+}
+
 TEST(IommuDomainTest, TranslateCachedInstallsAndHits) {
   Iommu iommu;
   IommuDomain* d = iommu.CreateDomain();
@@ -102,6 +129,38 @@ TEST(IommuDomainTest, UnmapInvalidatesTlbEntry) {
   d->Unmap(0);
   // Entry gone from both table and TLB; a stale hit must not resurrect it.
   EXPECT_FALSE(d->TranslateCached(0).has_value());
+}
+
+TEST(IommuDomainTest, UnmapHugePageInvalidatesAllCachedGranules) {
+  // Regression: the IOTLB is tagged at 4 KiB granularity, so unmapping a
+  // 2 MiB page must invalidate every granule tag, not just the first one.
+  // The old code invalidated only iova/kSmallPageSize, leaving stale hits
+  // for the other 511 granules.
+  Iommu iommu;
+  IommuDomain* d = iommu.CreateDomain();
+  d->Map(0, 7, kHugePageSize);
+  // Populate several distinct granule tags inside the huge page.
+  EXPECT_TRUE(d->TranslateCached(0x0).has_value());
+  EXPECT_TRUE(d->TranslateCached(0x1000).has_value());
+  EXPECT_TRUE(d->TranslateCached(kHugePageSize - kSmallPageSize).has_value());
+  EXPECT_EQ(d->iotlb().size(), 3u);
+  d->Unmap(0);
+  EXPECT_FALSE(d->TranslateCached(0x0).has_value());
+  EXPECT_FALSE(d->TranslateCached(0x1000).has_value());
+  EXPECT_FALSE(d->TranslateCached(kHugePageSize - kSmallPageSize).has_value());
+}
+
+TEST(IommuDomainTest, UnmapRangeInvalidatesAllCachedGranules) {
+  Iommu iommu;
+  IommuDomain* d = iommu.CreateDomain();
+  ASSERT_TRUE(d->MapRange(0, PageRun{100, 4}, kSmallPageSize));
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(d->TranslateCached(i * kSmallPageSize).has_value());
+  }
+  EXPECT_EQ(d->UnmapRange(0, 4, kSmallPageSize), 4u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(d->TranslateCached(i * kSmallPageSize).has_value());
+  }
 }
 
 TEST(IommuDomainTest, TranslateCachedMissOnUnmappedDoesNotPollute) {

@@ -32,9 +32,9 @@ struct VmFixture : public ::testing::Test {
   // Populates a region with freshly retrieved (residue) frames.
   void Populate(GuestMemoryRegion& region) {
     Run([&]() -> Task {
-      std::vector<PageId> frames;
-      co_await pmem.RetrievePages(vm.pid(), region.frames.size(), &frames);
-      region.frames = std::move(frames);
+      std::vector<PageRun> runs;
+      co_await pmem.RetrievePages(vm.pid(), region.frames.size(), &runs);
+      region.frames.AssignRuns(runs);
       region.dma_mapped = true;
     }());
   }
@@ -77,7 +77,7 @@ TEST_F(VmFixture, OnDemandAllocationZeroesPages) {
   EXPECT_EQ(vm.pages_allocated_on_demand(), 4u);
   EXPECT_EQ(vm.residue_reads(), 0u);
   // Untouched pages stay unallocated (region has 32 pages; 4 touched).
-  EXPECT_EQ(vm.FindRegion("ram")->frames.at(31), kInvalidPage);
+  EXPECT_EQ(vm.FindRegion("ram")->frames.Get(31), kInvalidPage);
 }
 
 TEST_F(VmFixture, ReadingUnzeroedDmaPageObservesResidue) {
@@ -94,7 +94,7 @@ TEST_F(VmFixture, WritesDoNotCountResidue) {
   Populate(ram);
   Run([&]() -> Task { co_await vm.TouchRange(0, 16 * kMiB, /*write=*/true); }());
   EXPECT_EQ(vm.residue_reads(), 0u);
-  EXPECT_EQ(pmem.frame(ram.frames[0]).content, PageContent::kData);
+  EXPECT_EQ(pmem.frame(ram.frames.Get(0)).content, PageContent::kData);
 }
 
 TEST_F(VmFixture, HostWriteBypassesEptAndSetsData) {
@@ -102,7 +102,7 @@ TEST_F(VmFixture, HostWriteBypassesEptAndSetsData) {
   Populate(ram);
   vm.HostWritePages(ram, 0, 4);
   EXPECT_EQ(vm.ept_faults(), 0u);  // host writes do not touch the EPT
-  EXPECT_EQ(pmem.frame(ram.frames[0]).content, PageContent::kData);
+  EXPECT_EQ(pmem.frame(ram.frames.Get(0)).content, PageContent::kData);
   // Guest later reads the hypervisor-written data: fault but no residue.
   Run([&]() -> Task { co_await vm.TouchRange(0, 8 * kMiB, /*write=*/false); }());
   EXPECT_EQ(vm.residue_reads(), 0u);
@@ -155,14 +155,14 @@ TEST_F(VmFixture, ReleaseMemoryFreesUnpinnedOwnedFrames) {
   const uint64_t used_before = pmem.used_pages();
   vm.ReleaseMemory();
   EXPECT_EQ(pmem.used_pages(), used_before - 8);
-  EXPECT_EQ(ram.frames.at(0), kInvalidPage);
+  EXPECT_EQ(ram.frames.Get(0), kInvalidPage);
 }
 
 TEST_F(VmFixture, ReleaseMemorySkipsSharedBacking) {
   GuestMemoryRegion& image = vm.AddRegion("image", RegionType::kImage, 0, 16 * kMiB);
   std::vector<PageId> shared;
   Run([&]() -> Task { co_await pmem.RetrievePages(0, 8, &shared); }());
-  image.frames = shared;
+  image.frames.AssignPages(shared);
   image.shared_backing = true;
   const uint64_t used_before = pmem.used_pages();
   vm.ReleaseMemory();

@@ -190,6 +190,89 @@ TEST(PhysicalMemoryTest, FullFragmentationDegeneratesToSinglePages) {
   EXPECT_EQ(f.pmem.total_batches_retrieved(), 16u);
 }
 
+TEST(PhysicalMemoryTest, RetrievedRunsNeverSpanNumaNodes) {
+  // Default HostSpec has 2 NUMA nodes: 1 GiB -> 256 pages per node. Owner 1
+  // homes on node 1, drains it, and spills onto node 0; even where the two
+  // node slabs are adjacent in the frame space, no extent crosses over.
+  MemFixture f;
+  ASSERT_EQ(f.pmem.numa_nodes(), 2);
+  std::vector<PageRun> runs;
+  f.RunOp([&]() -> Task { co_await f.pmem.RetrievePages(1, 400, &runs); });
+  EXPECT_EQ(PageCountOfRuns(runs), 400u);
+  for (const PageRun& run : runs) {
+    EXPECT_EQ(f.pmem.NodeOfFrame(run.first), f.pmem.NodeOfFrame(run.last()))
+        << "run [" << run.first << ", +" << run.count << ") spans nodes";
+  }
+}
+
+TEST(PhysicalMemoryTest, FullFragmentationYieldsSinglePageRuns) {
+  // fragmentation=1.0 means every free extent is one page long: the run API
+  // must degenerate to per-page allocations, not hide the fragmentation by
+  // coalescing batches that happen to be adjacent.
+  MemFixture f(64 * kMiB, 1.0);
+  std::vector<PageRun> runs;
+  f.RunOp([&]() -> Task { co_await f.pmem.RetrievePages(1, 16, &runs); });
+  EXPECT_EQ(runs.size(), 16u);
+  for (const PageRun& run : runs) {
+    EXPECT_EQ(run.count, 1u);
+  }
+}
+
+TEST(PhysicalMemoryTest, FreeThenRetrieveReusesLifoAtRunGranularity) {
+  MemFixture f;
+  std::vector<PageRun> a;
+  std::vector<PageRun> b;
+  f.RunOp([&]() -> Task {
+    co_await f.pmem.RetrievePages(1, 16, &a);
+    co_await f.pmem.RetrievePages(2, 16, &b);
+  });
+  f.pmem.FreePages(std::span<const PageRun>(a));
+  // The freed extents sit at the front of the free store: the next
+  // allocation gets exactly those frames back, run for run.
+  std::vector<PageRun> again;
+  f.RunOp([&]() -> Task { co_await f.pmem.RetrievePages(3, 16, &again); });
+  EXPECT_EQ(FlattenRuns(again), FlattenRuns(a));
+  for (PageId id : FlattenRuns(again)) {
+    EXPECT_EQ(f.pmem.frame(id).owner, 3);
+  }
+}
+
+TEST(PhysicalMemoryTest, RefillCacheBatchesSinglePageRetrievals) {
+  MemFixture f;
+  PageId first = kInvalidPage;
+  f.RunOp([&]() -> Task { co_await f.pmem.RetrieveSinglePage(5, &first); });
+  ASSERT_NE(first, kInvalidPage);
+  // One batched retrieval filled the cache; the next 7 pulls are free.
+  EXPECT_EQ(f.pmem.refill_cached_pages(5), PhysicalMemory::kRefillCachePages - 1);
+  const uint64_t batches_after_first = f.pmem.total_batches_retrieved();
+  std::vector<PageId> rest;
+  f.RunOp([&]() -> Task {
+    for (int i = 0; i < 7; ++i) {
+      PageId id = kInvalidPage;
+      co_await f.pmem.RetrieveSinglePage(5, &id);
+      rest.push_back(id);
+    }
+  });
+  EXPECT_EQ(f.pmem.total_batches_retrieved(), batches_after_first);
+  EXPECT_EQ(f.pmem.refill_cached_pages(5), 0u);
+  // The 9th pull refills again.
+  f.RunOp([&]() -> Task { co_await f.pmem.RetrieveSinglePage(5, &first); });
+  EXPECT_GT(f.pmem.total_batches_retrieved(), batches_after_first);
+}
+
+TEST(PhysicalMemoryTest, DrainRefillCacheReturnsPages) {
+  MemFixture f;
+  PageId id = kInvalidPage;
+  f.RunOp([&]() -> Task { co_await f.pmem.RetrieveSinglePage(5, &id); });
+  EXPECT_EQ(f.pmem.used_pages(), PhysicalMemory::kRefillCachePages);
+  // The page handed out stays allocated; the cached remainder goes back.
+  const PageId handed_out[] = {id};
+  f.pmem.FreePages(std::span<const PageId>(handed_out));
+  f.pmem.DrainRefillCache(5);
+  EXPECT_EQ(f.pmem.used_pages(), 0u);
+  EXPECT_EQ(f.pmem.refill_cached_pages(5), 0u);
+}
+
 TEST(PhysicalMemoryTest, SmallPageGeometry) {
   Simulation sim;
   HostSpec spec;

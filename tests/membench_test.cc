@@ -28,14 +28,14 @@ struct BenchEnv {
     pmem.set_cpu(&cpu);
     GuestMemoryRegion& ram = vm.AddRegion("ram", RegionType::kRam, 0, 256 * kMiB);
     Task setup = [](BenchEnv* env, GuestMemoryRegion* region, bool defer) -> Task {
-      std::vector<PageId> frames;
-      co_await env->pmem.RetrievePages(env->vm.pid(), region->frames.size(), &frames);
+      std::vector<PageRun> runs;
+      co_await env->pmem.RetrievePages(env->vm.pid(), region->frames.size(), &runs);
       if (defer) {
-        co_await env->fastiovd.RegisterPages(env->vm.pid(), frames, 0);
+        co_await env->fastiovd.RegisterPages(env->vm.pid(), std::span<const PageRun>(runs), 0);
       } else {
-        co_await env->pmem.ZeroPages(frames);
+        co_await env->pmem.ZeroPages(runs);
       }
-      region->frames = std::move(frames);
+      region->frames.AssignRuns(runs);
       region->dma_mapped = true;
     }(this, &ram, lazy);
     sim.Spawn(std::move(setup));

@@ -49,20 +49,20 @@ struct NicEnv {
     IommuDomain* domain = iommu.CreateDomain();
     GuestMemoryRegion* ram = vm.FindRegion("ram");
     Run([&]() -> Task {
-      std::vector<PageId> frames;
-      co_await pmem.RetrievePages(vm.pid(), ram->frames.size(), &frames);
+      std::vector<PageRun> runs;
+      co_await pmem.RetrievePages(vm.pid(), ram->frames.size(), &runs);
       if (lazy) {
-        co_await fastiovd.RegisterPages(vm.pid(), frames, 0);
+        co_await fastiovd.RegisterPages(vm.pid(), std::span<const PageRun>(runs), 0);
         vm.SetFaultHook(&fastiovd);
       } else {
-        co_await pmem.ZeroPages(frames);
+        co_await pmem.ZeroPages(runs);
       }
-      ram->frames = frames;
+      ram->frames.AssignRuns(runs);
       ram->dma_mapped = true;
       uint64_t gpa = 0;
-      for (PageId id : frames) {
-        domain->Map(gpa, id, kHugePageSize);
-        gpa += kHugePageSize;
+      for (const PageRun& run : runs) {
+        domain->MapRange(gpa, run, kHugePageSize);
+        gpa += run.count * kHugePageSize;
       }
     }());
     return domain;
@@ -119,7 +119,7 @@ TEST(SriovNicTest, DmaWriteTranslatesAndTagsData) {
   EXPECT_EQ(failures, 0u);
   GuestMemoryRegion* ram = env.vm.FindRegion("ram");
   const uint64_t ring_first = NicEnv::kRingGpa / kHugePageSize;
-  EXPECT_EQ(env.pmem.frame(ram->frames[ring_first]).content, PageContent::kData);
+  EXPECT_EQ(env.pmem.frame(ram->frames.Get(ring_first)).content, PageContent::kData);
 }
 
 TEST(SriovNicTest, DmaWriteToUnmappedIovaFails) {

@@ -177,7 +177,8 @@ TEST(PipelineTest, DmaMappedRamIsFullyPopulatedAndPinned) {
     GuestMemoryRegion* ram = inst->vm->FindRegion("ram");
     ASSERT_NE(ram, nullptr);
     EXPECT_TRUE(ram->dma_mapped);
-    for (PageId id : ram->frames) {
+    EXPECT_TRUE(ram->frames.fully_populated());
+    for (PageId id : ram->frames.Flatten()) {
       ASSERT_NE(id, kInvalidPage);
       EXPECT_GE(env.host.pmem().frame(id).pin_count, 1);
     }
@@ -193,7 +194,7 @@ TEST(PipelineTest, SkipImageSharesPageCacheFrames) {
     GuestMemoryRegion* image = inst->vm->FindRegion("image");
     EXPECT_TRUE(image->shared_backing);
     EXPECT_FALSE(image->dma_mapped);
-    EXPECT_EQ(image->frames, shared);
+    EXPECT_EQ(image->frames.Flatten(), shared);
   }
 }
 
@@ -204,7 +205,7 @@ TEST(PipelineTest, VanillaImageIsPrivatelyMapped) {
   GuestMemoryRegion* b = env.runtime.instances()[1]->vm->FindRegion("image");
   EXPECT_TRUE(a->dma_mapped);
   EXPECT_FALSE(a->shared_backing);
-  EXPECT_NE(a->frames, b->frames);
+  EXPECT_NE(a->frames.Flatten(), b->frames.Flatten());
 }
 
 TEST(PipelineTest, DisablingInstantZeroListDestroysKernel) {

@@ -50,16 +50,16 @@ struct VdpaEnv {
     IommuDomain* domain = iommu.CreateDomain();
     GuestMemoryRegion* ram = vm.FindRegion("ram");
     Run([&]() -> Task {
-      std::vector<PageId> frames;
-      co_await pmem.RetrievePages(vm.pid(), ram->frames.size(), &frames);
-      co_await fastiovd.RegisterPages(vm.pid(), frames, 0);
+      std::vector<PageRun> runs;
+      co_await pmem.RetrievePages(vm.pid(), ram->frames.size(), &runs);
+      co_await fastiovd.RegisterPages(vm.pid(), std::span<const PageRun>(runs), 0);
       vm.SetFaultHook(&fastiovd);
-      ram->frames = frames;
+      ram->frames.AssignRuns(runs);
       ram->dma_mapped = true;
       uint64_t gpa = 0;
-      for (PageId id : frames) {
-        domain->Map(gpa, id, kHugePageSize);
-        gpa += kHugePageSize;
+      for (const PageRun& run : runs) {
+        domain->MapRange(gpa, run, kHugePageSize);
+        gpa += run.count * kHugePageSize;
       }
     }());
     return domain;

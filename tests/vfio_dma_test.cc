@@ -33,11 +33,13 @@ struct DmaEnv {
 
 class RecordingRegistry : public LazyZeroRegistry {
  public:
-  Task RegisterPages(int pid, std::span<const PageId> pages, uint64_t gpa_base) override {
+  Task RegisterPages(int pid, std::span<const PageRun> runs, uint64_t gpa_base) override {
     last_pid = pid;
     last_gpa_base = gpa_base;
-    for (PageId id : pages) {
-      registered.push_back(id);
+    for (const PageRun& run : runs) {
+      for (PageId id = run.first; id < run.first + run.count; ++id) {
+        registered.push_back(id);
+      }
     }
     co_return;
   }
@@ -60,9 +62,10 @@ TEST(DmaTest, EagerMapZeroesPinsAndMaps) {
   DmaMapOptions options;
   options.pid = 42;
   options.zeroing = ZeroingMode::kEager;
-  std::vector<PageId> pages;
-  Run([&]() -> Task { co_await container.MapDma(0, 64 * kMiB, options, &pages); }());
+  std::vector<PageRun> runs;
+  Run([&]() -> Task { co_await container.MapDma(0, 64 * kMiB, options, &runs); }());
 
+  const std::vector<PageId> pages = FlattenRuns(runs);
   ASSERT_EQ(pages.size(), 32u);
   for (size_t i = 0; i < pages.size(); ++i) {
     const PageFrame& frame = pmem.frame(pages[i]);
@@ -144,12 +147,12 @@ TEST(DmaTest, PreZeroedPartialPoolScrubsOnlyDirtyPages) {
   DmaMapOptions options;
   options.pid = 1;
   options.zeroing = ZeroingMode::kPreZeroed;
-  std::vector<PageId> pages;
+  std::vector<PageRun> runs;
   // Map more than the pre-zeroed pool (0.5 * 2048 pages = 1024).
-  Run([&]() -> Task { co_await container.MapDma(0, 3 * kGiB, options, &pages); }());
+  Run([&]() -> Task { co_await container.MapDma(0, 3 * kGiB, options, &runs); }());
   const uint64_t dirty = 1536u - 1024u;
   EXPECT_EQ(pmem.total_pages_zeroed(), dirty);
-  for (PageId id : pages) {
+  for (PageId id : FlattenRuns(runs)) {
     EXPECT_EQ(pmem.frame(id).content, PageContent::kZeroed);
   }
 }
@@ -170,10 +173,11 @@ TEST(DmaTest, DecoupledRegistersPagesWithGpaBase) {
   options.pid = 9;
   options.zeroing = ZeroingMode::kDecoupled;
   options.lazy_registry = &registry;
-  std::vector<PageId> pages;
+  std::vector<PageRun> runs;
   Run([&]() -> Task {
-    co_await container.MapDma(1 * kGiB, 32 * kMiB, options, &pages);
+    co_await container.MapDma(1 * kGiB, 32 * kMiB, options, &runs);
   }());
+  const std::vector<PageId> pages = FlattenRuns(runs);
   EXPECT_EQ(registry.last_pid, 9);
   EXPECT_EQ(registry.last_gpa_base, 1 * kGiB);
   EXPECT_EQ(registry.registered, pages);
@@ -244,12 +248,12 @@ TEST(DmaTest, UnmapAllUnpinsAndClearsTranslations) {
   VfioContainer container(sim, cpu, cost, pmem, iommu);
   DmaMapOptions options;
   options.pid = 1;
-  std::vector<PageId> pages;
-  Run([&]() -> Task { co_await container.MapDma(0, 16 * kMiB, options, &pages); }());
+  std::vector<PageRun> runs;
+  Run([&]() -> Task { co_await container.MapDma(0, 16 * kMiB, options, &runs); }());
   container.UnmapAll();
   EXPECT_TRUE(container.mappings().empty());
   EXPECT_FALSE(container.domain()->Translate(0).has_value());
-  for (PageId id : pages) {
+  for (PageId id : FlattenRuns(runs)) {
     EXPECT_EQ(pmem.frame(id).pin_count, 0);
   }
 }

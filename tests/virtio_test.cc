@@ -42,11 +42,11 @@ struct VirtioEnv {
   void PopulateLazy() {
     GuestMemoryRegion* ram = vm.FindRegion("ram");
     Run([&]() -> Task {
-      std::vector<PageId> frames;
-      co_await pmem.RetrievePages(vm.pid(), ram->frames.size(), &frames);
-      ram->frames = std::move(frames);
+      std::vector<PageRun> runs;
+      co_await pmem.RetrievePages(vm.pid(), ram->frames.size(), &runs);
+      ram->frames.AssignRuns(runs);
       ram->dma_mapped = true;
-      co_await fastiovd.RegisterPages(vm.pid(), ram->frames, 0);
+      co_await fastiovd.RegisterPages(vm.pid(), std::span<const PageRun>(runs), 0);
     }());
     vm.SetFaultHook(&fastiovd);
   }
@@ -55,10 +55,10 @@ struct VirtioEnv {
   void PopulateEager() {
     GuestMemoryRegion* ram = vm.FindRegion("ram");
     Run([&]() -> Task {
-      std::vector<PageId> frames;
-      co_await pmem.RetrievePages(vm.pid(), ram->frames.size(), &frames);
-      co_await pmem.ZeroPages(frames);
-      ram->frames = std::move(frames);
+      std::vector<PageRun> runs;
+      co_await pmem.RetrievePages(vm.pid(), ram->frames.size(), &runs);
+      co_await pmem.ZeroPages(runs);
+      ram->frames.AssignRuns(runs);
       ram->dma_mapped = true;
     }());
   }

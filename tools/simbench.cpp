@@ -7,13 +7,18 @@
 //      (Delay ping-pong) and on a pure-callback workload;
 //   2. the sweep engine: wall-clock of a fig11-style multi-seed startup
 //      sweep at --jobs 1 vs --jobs N, plus the achieved speedup, with a
-//      byte-identity check between the two runs.
+//      byte-identity check between the two runs;
+//   3. the extent-based memory path: DMA map/unmap/churn wall-clock with
+//      run-granular bookkeeping vs the legacy per-page mode, at 4 KiB and
+//      2 MiB pages and fragmentation 0.0/0.5, with a byte-identity check
+//      on the simulated-time results of the two modes.
 //
 // `--quick` shrinks the workload for use as a ctest smoke test: it keeps
 // the harness itself from rotting without burning CI minutes.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +28,7 @@
 #include "src/experiments/sweep.h"
 #include "src/simcore/simulation.h"
 #include "src/stats/json_writer.h"
+#include "src/vfio/vfio.h"
 
 using namespace fastiov;
 
@@ -96,6 +102,88 @@ LoopResult TimeCallbackLoop(uint64_t count) {
   return r;
 }
 
+// One membench cell: the full VFIO DMA-map pipeline (retrieve -> zero ->
+// pin -> IOMMU map) timed wall-clock, in extent mode or legacy per-page
+// mode. The digest captures everything simulated-time-visible; the two
+// modes must produce identical digests.
+struct MembenchCell {
+  uint64_t pages = 0;
+  double map_seconds = 0.0;
+  double unmap_seconds = 0.0;
+  double churn_seconds = 0.0;
+  std::string digest;
+};
+
+MembenchCell RunDmaBench(uint64_t page_size, double fragmentation, uint64_t map_bytes,
+                         int churn_iters, bool legacy) {
+  SetLegacyPerPageDma(legacy);
+  Simulation sim(7);
+  HostSpec spec;
+  spec.memory_bytes = 2 * map_bytes;
+  CostModel cost;
+  CpuPool cpu(sim, 56);
+  PhysicalMemory pmem(sim, spec, cost, page_size, fragmentation);
+  pmem.set_cpu(&cpu);
+  Iommu iommu;
+  MembenchCell cell;
+  cell.pages = map_bytes / page_size;
+  {
+    VfioContainer container(sim, cpu, cost, pmem, iommu);
+    DmaMapOptions options;
+    options.pid = 1;
+    options.zeroing = ZeroingMode::kEager;
+
+    // In legacy mode frames are freed through the flat per-page overload
+    // (one free-list push per page), matching the pre-extent teardown; the
+    // page list is copied out of the mapping record off the clock.
+    std::vector<PageRun> runs;
+    auto start = Clock::now();
+    sim.Spawn(container.MapDma(0, map_bytes, options, legacy ? nullptr : &runs));
+    sim.Run();
+    cell.map_seconds = SecondsSince(start);
+
+    std::vector<PageId> flat;
+    if (legacy) {
+      flat = container.mappings().front().legacy_pages;
+    }
+    start = Clock::now();
+    container.UnmapAll();
+    cell.unmap_seconds = SecondsSince(start);
+    if (legacy) {
+      pmem.FreePages(std::span<const PageId>(flat));
+    } else {
+      pmem.FreePages(std::span<const PageRun>(runs));
+    }
+
+    // Churn: repeated smaller map/unmap/free cycles over a free store that
+    // the LIFO reuse keeps reshaping.
+    start = Clock::now();
+    for (int i = 0; i < churn_iters; ++i) {
+      std::vector<PageRun> cycle;
+      sim.Spawn(container.MapDma(0, map_bytes / 4, options, legacy ? nullptr : &cycle));
+      sim.Run();
+      if (legacy) {
+        const std::vector<PageId> pages = container.mappings().front().legacy_pages;
+        container.UnmapAll();
+        pmem.FreePages(std::span<const PageId>(pages));
+      } else {
+        container.UnmapAll();
+        pmem.FreePages(std::span<const PageRun>(cycle));
+      }
+    }
+    cell.churn_seconds = SecondsSince(start);
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "t=%lld zeroed=%llu batches=%llu used=%llu",
+                static_cast<long long>(sim.Now().ns()),
+                static_cast<unsigned long long>(pmem.total_pages_zeroed()),
+                static_cast<unsigned long long>(pmem.total_batches_retrieved()),
+                static_cast<unsigned long long>(pmem.used_pages()));
+  cell.digest = buf;
+  SetLegacyPerPageDma(false);
+  return cell;
+}
+
 std::string SweepDigest(const std::vector<RepeatedResult>& results) {
   std::string digest;
   for (const RepeatedResult& r : results) {
@@ -165,6 +253,55 @@ int main(int argc, char** argv) {
   std::printf("  parallel output byte-identical to sequential: %s\n",
               identical ? "yes" : "NO — BUG");
 
+  // --- 3. extent-based memory path vs legacy per-page --------------------
+  struct MembenchRow {
+    uint64_t page_size;
+    double fragmentation;
+    MembenchCell runs;
+    MembenchCell legacy;
+  };
+  std::vector<MembenchRow> membench;
+  bool membench_identical = true;
+  const int churn_iters = quick ? 2 : 4;
+  // Best-of-N wall-clock per mode (standard microbench practice — the min is
+  // the least scheduler-noise-contaminated sample); the simulated-time digest
+  // must be identical on every repetition.
+  const int reps = quick ? 1 : 3;
+  std::printf("\nmembench (DMA map/unmap/churn, extent vs legacy per-page):\n");
+  for (const uint64_t page_size : {kSmallPageSize, kHugePageSize}) {
+    for (const double frag : {0.0, 0.5}) {
+      // Small pages dominate the entry count; huge pages get more bytes so
+      // the cell is not trivially short.
+      const uint64_t map_bytes = page_size == kSmallPageSize ? (quick ? 32 * kMiB : 512 * kMiB)
+                                                            : (quick ? 256 * kMiB : 2 * kGiB);
+      auto best_of = [&](bool legacy_mode) {
+        MembenchCell best = RunDmaBench(page_size, frag, map_bytes, churn_iters, legacy_mode);
+        for (int r = 1; r < reps; ++r) {
+          const MembenchCell c = RunDmaBench(page_size, frag, map_bytes, churn_iters, legacy_mode);
+          membench_identical = membench_identical && c.digest == best.digest;
+          best.map_seconds = std::min(best.map_seconds, c.map_seconds);
+          best.unmap_seconds = std::min(best.unmap_seconds, c.unmap_seconds);
+          best.churn_seconds = std::min(best.churn_seconds, c.churn_seconds);
+        }
+        return best;
+      };
+      MembenchRow row{page_size, frag, best_of(/*legacy=*/false), best_of(/*legacy=*/true)};
+      const bool identical_cell = row.runs.digest == row.legacy.digest;
+      membench_identical = membench_identical && identical_cell;
+      std::printf(
+          "  %4llu KiB pages, frag %.1f, %7llu pages: map %6.1fms vs %7.1fms (%5.1fx)  "
+          "unmap %5.1fms vs %6.1fms (%5.1fx)  churn %5.1fms vs %6.1fms (%5.1fx)  %s\n",
+          static_cast<unsigned long long>(page_size / 1024), frag,
+          static_cast<unsigned long long>(row.runs.pages), row.runs.map_seconds * 1e3,
+          row.legacy.map_seconds * 1e3, row.legacy.map_seconds / row.runs.map_seconds,
+          row.runs.unmap_seconds * 1e3, row.legacy.unmap_seconds * 1e3,
+          row.legacy.unmap_seconds / row.runs.unmap_seconds, row.runs.churn_seconds * 1e3,
+          row.legacy.churn_seconds * 1e3, row.legacy.churn_seconds / row.runs.churn_seconds,
+          identical_cell ? "identical" : "DIFFERS — BUG");
+      membench.push_back(std::move(row));
+    }
+  }
+
   // --- report ------------------------------------------------------------
   const std::string out_path = flags.GetString("out");
   std::ofstream out(out_path);
@@ -195,9 +332,29 @@ int main(int argc, char** argv) {
       .KV("speedup", speedup)
       .KV("byte_identical", identical)
       .EndObject();
+  json.Key("membench");
+  json.BeginArray();
+  for (const MembenchRow& row : membench) {
+    json.BeginObject()
+        .KV("page_size", row.page_size)
+        .KV("fragmentation", row.fragmentation)
+        .KV("pages", row.runs.pages)
+        .KV("map_seconds_runs", row.runs.map_seconds)
+        .KV("map_seconds_legacy", row.legacy.map_seconds)
+        .KV("map_speedup", row.legacy.map_seconds / row.runs.map_seconds)
+        .KV("unmap_seconds_runs", row.runs.unmap_seconds)
+        .KV("unmap_seconds_legacy", row.legacy.unmap_seconds)
+        .KV("unmap_speedup", row.legacy.unmap_seconds / row.runs.unmap_seconds)
+        .KV("churn_seconds_runs", row.runs.churn_seconds)
+        .KV("churn_seconds_legacy", row.legacy.churn_seconds)
+        .KV("churn_speedup", row.legacy.churn_seconds / row.runs.churn_seconds)
+        .KV("byte_identical", row.runs.digest == row.legacy.digest)
+        .EndObject();
+  }
+  json.EndArray();
   json.EndObject();
   out << '\n';
   std::printf("\nreport written to %s\n", out_path.c_str());
 
-  return identical ? 0 : 1;
+  return (identical && membench_identical) ? 0 : 1;
 }
