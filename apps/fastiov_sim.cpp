@@ -17,6 +17,8 @@
 #include "src/experiments/churn_experiment.h"
 #include "src/experiments/result_json.h"
 #include "src/experiments/startup_experiment.h"
+#include "src/fault/fault.h"
+#include "src/stats/fault_stats.h"
 #include "src/stats/table.h"
 #include "src/stats/json_writer.h"
 #include "src/stats/trace_export.h"
@@ -44,7 +46,14 @@ void WriteSummaryText(const ExperimentResult& r) {
   table.AddRow({"corruptions", std::to_string(r.corruptions)});
   table.AddRow({"devset lock waits", std::to_string(r.devset_lock_contention)});
   table.AddRow({"pages zeroed", std::to_string(r.pages_zeroed)});
+  if (r.fault_stats.has_value()) {
+    table.AddRow({"aborted containers", std::to_string(r.aborted_containers)});
+  }
   table.Print(std::cout);
+  if (r.fault_stats.has_value()) {
+    std::printf("\nfault injection:\n");
+    PrintFaultStatsTable(*r.fault_stats, std::cout);
+  }
   std::printf("\nstep shares of average startup:\n");
   for (const std::string& step : r.timeline.StepNames()) {
     std::printf("  %-12s %s\n", step.c_str(),
@@ -69,6 +78,11 @@ int main(int argc, char** argv) {
   flags.AddInt("waves", 1, "churn mode: start/run/terminate this many waves");
   flags.AddBool("json", false, "emit machine-readable JSON instead of tables");
   flags.AddString("trace", "", "write a Chrome trace of the timeline to this file");
+  flags.AddString("fault-plan", "",
+                  "fault schedule 'site:p=0.1,kind=transient;site2:nth=3,...' "
+                  "(sites: vfio-group vfio-dev dma-map dma-pin vf-bind vf-flr "
+                  "link-up vdpa-attach kvm-memslot cni virtiofs guest-boot)");
+  flags.AddInt("fault-seed", 1, "seed for the fault injector's private RNG");
 
   std::string error;
   if (!flags.Parse(argc, argv, &error)) {
@@ -150,6 +164,16 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.arrival_rate_per_s = flags.GetDouble("rate");
+  if (!flags.GetString("fault-plan").empty()) {
+    std::string plan_error;
+    auto plan = FaultPlan::Parse(flags.GetString("fault-plan"), &plan_error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "error: bad --fault-plan: %s\n", plan_error.c_str());
+      return 2;
+    }
+    plan->seed = static_cast<uint64_t>(flags.GetInt("fault-seed"));
+    options.fault_plan = std::move(plan);
+  }
 
   const ExperimentResult r = RunStartupExperiment(*stack, options);
   if (flags.GetBool("json")) {

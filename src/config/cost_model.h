@@ -145,8 +145,11 @@ struct CostModel {
   SimTime virtio_feature_negotiation = Milliseconds(22);
   SimTime virtio_link_settle = Milliseconds(60);   // link via config space
 
-  // --- teardown ---
+  // --- teardown / recovery ---
   SimTime container_teardown_cpu = Milliseconds(55);  // cgroup/NNS removal, QEMU exit
+  // VF function-level reset, issued before retrying a failed VF operation
+  // and when recycling a VF out of a partially built container.
+  SimTime vf_flr_cpu = Milliseconds(30);
 
   // --- misc ---
   double jitter_sigma = 0.10;      // lognormal sigma applied to step costs

@@ -1,9 +1,78 @@
 #include "src/container/runtime.h"
 
+#include <algorithm>
 #include <cassert>
+#include <exception>
 #include <stdexcept>
 
 namespace fastiov {
+namespace {
+
+// Sites whose retry should FLR the VF first: the failed operation may have
+// left per-VF hardware state behind (partial bind, stuck mailbox).
+bool IsVfSite(FaultSite site) {
+  return site == FaultSite::kVfBind || site == FaultSite::kVfioDeviceOpen ||
+         site == FaultSite::kVdpaAttach || site == FaultSite::kVfLinkUp;
+}
+
+// Runs one pipeline phase with the fault-recovery policy: transient faults
+// retry with exponential backoff (caps from StackConfig), VF-related
+// retries FLR the VF first, and a phase that overruns its deadline raises a
+// permanent kPhaseTimeout. `make` builds a fresh Task per attempt, so every
+// phase body must tolerate re-entry (guards on already-acquired resources).
+// With no injector and no deadline configured this is a plain pass-through:
+// no extra events, no RNG draws, no time charges.
+template <typename MakeTask>
+Task RunPhaseWithRecovery(Host& h, ContainerInstance& inst, MakeTask make) {
+  FaultInjector* injector = h.sim().fault_injector();
+  const StackConfig& cfg = h.config();
+  if (injector == nullptr && cfg.phase_timeout <= SimTime::Zero()) {
+    co_await make();
+    co_return;
+  }
+  const SimTime begin = h.sim().Now();
+  SimTime backoff = cfg.fault_backoff_initial;
+  int attempt = 0;
+  FaultSite last_site = FaultSite::kPhaseTimeout;
+  bool had_fault = false;
+  for (;;) {
+    bool retry = false;
+    try {
+      co_await make();
+    } catch (const FaultError& e) {
+      if (!e.transient() || attempt >= cfg.fault_retry_limit) {
+        throw;
+      }
+      last_site = e.site();
+      retry = true;
+    }
+    if (!retry) {
+      break;
+    }
+    had_fault = true;
+    ++attempt;
+    if (injector != nullptr) {
+      injector->NoteRetry(last_site);
+    }
+    if (IsVfSite(last_site) && inst.vf != nullptr) {
+      // A fault during the reset itself just folds into the next attempt.
+      try {
+        co_await h.nic().ResetVf(inst.vf);
+      } catch (const FaultError&) {
+      }
+    }
+    co_await h.sim().Delay(backoff);
+    backoff = std::min(backoff * cfg.fault_backoff_multiplier, cfg.fault_backoff_max);
+  }
+  if (had_fault && injector != nullptr) {
+    injector->NoteRecovered(last_site);
+  }
+  if (cfg.phase_timeout > SimTime::Zero() && h.sim().Now() - begin > cfg.phase_timeout) {
+    throw FaultError(FaultSite::kPhaseTimeout, /*transient=*/false);
+  }
+}
+
+}  // namespace
 
 GuestLayout GuestLayout::For(uint64_t ram_bytes, uint64_t image_bytes,
                              uint64_t readonly_bytes, uint64_t page_size) {
@@ -45,13 +114,19 @@ Task ContainerRuntime::SetupCgroup(ContainerInstance& inst) {
 Task ContainerRuntime::SetupNamespaceAndCni(ContainerInstance& inst) {
   auto& h = *host_;
   auto& rng = h.sim().rng();
+  if (FaultInjector* injector = h.sim().fault_injector()) {
+    co_await injector->MaybeInject(h.sim(), FaultSite::kCni);
+  }
   co_await h.cpu().Compute(rng.Jitter(h.cost().nns_create_cpu, h.cost().jitter_sigma));
 
   switch (h.config().cni) {
     case CniKind::kNoNetwork:
       break;
     case CniKind::kVanillaUnfixed: {
-      inst.vf = h.nic().AllocateFreeVf();
+      // A retry after a VF-side fault keeps the VF it already holds.
+      if (inst.vf == nullptr) {
+        inst.vf = h.nic().AllocateFreeVf();
+      }
       if (inst.vf == nullptr) {
         throw std::runtime_error("no free VF");
       }
@@ -70,7 +145,9 @@ Task ContainerRuntime::SetupNamespaceAndCni(ContainerInstance& inst) {
     }
     case CniKind::kVanillaFixed:
     case CniKind::kFastIov: {
-      inst.vf = h.nic().AllocateFreeVf();
+      if (inst.vf == nullptr) {
+        inst.vf = h.nic().AllocateFreeVf();
+      }
       if (inst.vf == nullptr) {
         throw std::runtime_error("no free VF");
       }
@@ -98,6 +175,9 @@ Task ContainerRuntime::SetupNamespaceAndCni(ContainerInstance& inst) {
 
 Task ContainerRuntime::SetupVirtioFsDaemon(ContainerInstance& inst) {
   auto& h = *host_;
+  if (FaultInjector* injector = h.sim().fault_injector()) {
+    co_await injector->MaybeInject(h.sim(), FaultSite::kVirtioFs);
+  }
   const SimTime begin = h.sim().Now();
   // vhost-user socket registration serializes host-wide.
   co_await h.virtiofs_lock().Lock();
@@ -111,9 +191,12 @@ Task ContainerRuntime::SetupVirtioFsDaemon(ContainerInstance& inst) {
 Task ContainerRuntime::CreateMicroVm(ContainerInstance& inst) {
   auto& h = *host_;
   co_await h.cpu().Compute(h.sim().rng().Jitter(h.cost().qemu_start_cpu, h.cost().jitter_sigma));
+  // A retry discards the previous hypervisor instance wholesale; no frames
+  // are allocated until the DMA-map phases, so nothing leaks here.
   inst.vm = std::make_unique<MicroVm>(h.sim(), h.cpu(), h.pmem(), h.cost(), inst.pid);
-  inst.vm->AddRegion("ram", RegionType::kRam, 0, inst.layout.ram_bytes);
-  inst.vm->AddRegion("image", RegionType::kImage, inst.layout.image_gpa, h.cost().image_bytes);
+  co_await inst.vm->RegisterRegion("ram", RegionType::kRam, 0, inst.layout.ram_bytes);
+  co_await inst.vm->RegisterRegion("image", RegionType::kImage, inst.layout.image_gpa,
+                                   h.cost().image_bytes);
 }
 
 DmaMapOptions ContainerRuntime::MakeDmaOptions(ContainerInstance& inst) const {
@@ -135,6 +218,13 @@ DmaMapOptions ContainerRuntime::MakeDmaOptions(ContainerInstance& inst) const {
 
 Task ContainerRuntime::MapGuestRam(ContainerInstance& inst) {
   auto& h = *host_;
+  if (FaultInjector* injector = h.sim().fault_injector()) {
+    // Opening the VFIO group/container fails before any state is created.
+    co_await injector->MaybeInject(h.sim(), FaultSite::kVfioGroupOpen);
+  }
+  // A retry rebuilds the container from scratch; a failed MapDma leaves no
+  // mappings behind (see VfioContainer::MapDma), so destroying the previous
+  // container here cannot strand pinned frames.
   inst.vfio_container = std::make_unique<VfioContainer>(h.sim(), h.cpu(), h.cost(), h.pmem(),
                                                         h.iommu());
   if (h.config().decoupled_zeroing && h.config().instant_zero_list) {
@@ -195,12 +285,15 @@ Task ContainerRuntime::RegisterVfioDevice(ContainerInstance& inst) {
 
   if (h.config().cni == CniKind::kVanillaUnfixed) {
     // Unbind from the host driver and rebind to VFIO — the costly rebinding
-    // stage the fixed CNI eliminates (§5).
-    co_await h.device_bind_lock().Lock();
-    co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_rebind_crit, h.cost().jitter_sigma));
-    h.device_bind_lock().Unlock();
-    co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_rebind_cpu, h.cost().jitter_sigma));
-    inst.vfio_dev = h.devset().AddDevice(inst.vf);
+    // stage the fixed CNI eliminates (§5). A retry after OpenDevice failed
+    // keeps the devset entry from the first attempt.
+    if (inst.vfio_dev == nullptr) {
+      co_await h.device_bind_lock().Lock();
+      co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_rebind_crit, h.cost().jitter_sigma));
+      h.device_bind_lock().Unlock();
+      co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_rebind_cpu, h.cost().jitter_sigma));
+      inst.vfio_dev = h.devset().AddDevice(inst.vf);
+    }
   } else {
     // Pre-bound at host boot (§5 fix): devset index == VF index.
     inst.vfio_dev = h.devset().device(inst.vf->vf_index());
@@ -210,6 +303,7 @@ Task ContainerRuntime::RegisterVfioDevice(ContainerInstance& inst) {
   {
     const SimTime begin = h.sim().Now();
     co_await h.devset().OpenDevice(inst.vfio_dev);
+    inst.vfio_dev_open = true;
     h.timeline().RecordSpan(inst.timeline_id, kStepVfioDev, begin, h.sim().Now());
   }
   inst.vfio_container->domain()->AttachDevice(inst.vf->id());
@@ -259,6 +353,12 @@ Task ContainerRuntime::LoadGuestImageAndKernel(ContainerInstance& inst) {
 
 Task ContainerRuntime::BootGuest(ContainerInstance& inst) {
   auto& h = *host_;
+  if (FaultInjector* injector = h.sim().fault_injector()) {
+    co_await injector->MaybeInject(h.sim(), FaultSite::kGuestBoot);
+  }
+  // Recounted in full per boot attempt, so a retried boot cannot
+  // double-count the same corrupted pages.
+  inst.kernel_corruptions = 0;
   co_await h.cpu().Compute(h.sim().rng().Jitter(h.cost().guest_boot_cpu, h.cost().jitter_sigma));
   // Execute kernel/BIOS code: first guest accesses EPT-fault these pages.
   co_await inst.vm->TouchRange(0, inst.layout.readonly_bytes, /*write=*/false);
@@ -294,8 +394,75 @@ Task ContainerRuntime::NetworkInit(ContainerInstance& inst, bool off_critical_pa
                             off_critical_path);
   }
   // Link negotiation proceeds in the background even in the serial flow.
-  h.sim().Spawn(inst.driver->BringUpLink(), "link-up");
+  // The process handle is kept so teardown can join it (a detached link-up
+  // process would otherwise race container teardown and touch freed state).
+  inst.link_up = h.sim().Spawn(SupervisedLinkUp(inst), "link-up");
   co_await inst.driver->AssignAddresses();
+}
+
+Task ContainerRuntime::SupervisedLinkUp(ContainerInstance& inst) {
+  auto& h = *host_;
+  FaultInjector* injector = h.sim().fault_injector();
+  const StackConfig& cfg = h.config();
+  SimTime backoff = cfg.fault_backoff_initial;
+  int attempt = 0;
+  bool had_fault = false;
+  for (;;) {
+    bool retry = false;
+    bool give_up = false;
+    try {
+      co_await inst.driver->BringUpLink();
+    } catch (const FaultError& e) {
+      if (e.transient() && attempt < cfg.fault_retry_limit) {
+        retry = true;
+      } else {
+        give_up = true;
+      }
+    }
+    if (give_up) {
+      // Out of options: fail the link permanently so the agent's poll loop
+      // and any interface waiters terminate instead of spinning forever.
+      inst.driver->MarkLinkFailed();
+      co_return;
+    }
+    if (!retry) {
+      break;
+    }
+    had_fault = true;
+    ++attempt;
+    if (injector != nullptr) {
+      injector->NoteRetry(FaultSite::kVfLinkUp);
+    }
+    co_await h.sim().Delay(backoff);
+    backoff = std::min(backoff * cfg.fault_backoff_multiplier, cfg.fault_backoff_max);
+  }
+  if (had_fault && injector != nullptr) {
+    injector->NoteRecovered(FaultSite::kVfLinkUp);
+  }
+}
+
+Task ContainerRuntime::AsyncNetworkInit(ContainerInstance& inst) {
+  auto& h = *host_;
+  bool failed = false;
+  try {
+    co_await NetworkInit(inst, /*off_critical_path=*/true);
+  } catch (const FaultError&) {
+    failed = true;
+  }
+  if (!failed) {
+    co_return;
+  }
+  inst.net_failed = true;
+  if (inst.ready && !inst.terminated) {
+    // The container already reported ready; a permanent network failure
+    // surfaces as an in-place abort.
+    if (FaultInjector* injector = h.sim().fault_injector()) {
+      injector->NoteAborted(FaultSite::kVfLinkUp);
+    }
+    co_await AbortContainer(inst, /*from_async=*/true);
+  }
+  // Before ready, StartPipeline's tail check converts net_failed into a
+  // pipeline failure and the main path unwinds.
 }
 
 Task ContainerRuntime::FinalSetup(ContainerInstance& inst) {
@@ -315,6 +482,9 @@ Task ContainerRuntime::FinalSetup(ContainerInstance& inst) {
 
 Task ContainerRuntime::RunApp(ContainerInstance& inst, const ServerlessApp& app) {
   auto& h = *host_;
+  if (inst.terminated) {
+    co_return;
+  }
   // The task body begins by fetching its input; the agent has ensured the
   // interface is available by now (async flow waits here if it is not).
   if (h.config().UsesSriov() && h.config().use_vdpa) {
@@ -326,6 +496,11 @@ Task ContainerRuntime::RunApp(ContainerInstance& inst, const ServerlessApp& app)
     if (!inst.driver->interface_up()) {
       co_await inst.driver->up_event().Wait();
     }
+    if (inst.terminated || inst.driver->link_failed()) {
+      // The link failed permanently (the container is aborting or already
+      // aborted): the task cannot fetch its input.
+      co_return;
+    }
     co_await inst.driver->Receive(app.input_bytes);
   } else if (h.config().cni == CniKind::kIpvtap) {
     // Emulated data plane: wire time plus a host-side copy into guest
@@ -335,28 +510,23 @@ Task ContainerRuntime::RunApp(ContainerInstance& inst, const ServerlessApp& app)
                                  std::min<uint64_t>(app.input_bytes, inst.layout.nic_ring_bytes),
                                  /*write=*/true);
   }
+  if (inst.terminated) {
+    // Aborted while the input was in flight; the VM's memory is gone.
+    co_return;
+  }
   // Dirty the task's working set, then compute under the vCPU cap and the
   // host's logical-core capacity.
   co_await inst.vm->TouchRange(inst.layout.app_ws_gpa, app.working_set_bytes, /*write=*/true);
   co_await h.guest_cpu().Transfer(app.compute_cpu_seconds, h.config().vcpus);
 }
 
-Task ContainerRuntime::StartContainer(const ServerlessApp* app) {
+Task ContainerRuntime::StartPipeline(ContainerInstance& inst) {
   auto& h = *host_;
-  auto inst_owner = std::make_unique<ContainerInstance>();
-  ContainerInstance& inst = *inst_owner;
-  inst.cid = static_cast<int>(instances_.size());
-  inst.pid = next_pid_++;
-  inst.timeline_id = h.timeline().RegisterContainer(h.sim().Now());
-  inst.layout = GuestLayout::For(h.config().guest_memory_bytes, h.cost().image_bytes,
-                                 h.cost().readonly_region_bytes, h.pmem().page_size());
-  instances_.push_back(std::move(inst_owner));
-
   co_await SetupCgroup(inst);
-  co_await SetupNamespaceAndCni(inst);
+  co_await RunPhaseWithRecovery(h, inst, [&] { return SetupNamespaceAndCni(inst); });
   // Kata starts virtiofsd before launching the hypervisor.
-  co_await SetupVirtioFsDaemon(inst);
-  co_await CreateMicroVm(inst);
+  co_await RunPhaseWithRecovery(h, inst, [&] { return SetupVirtioFsDaemon(inst); });
+  co_await RunPhaseWithRecovery(h, inst, [&] { return CreateMicroVm(inst); });
 
   // QEMU machine init: guest RAM and the image region are DMA-mapped,
   // then the VFIO device itself is registered (Fig. 4 / Fig. 5).
@@ -364,9 +534,9 @@ Task ContainerRuntime::StartContainer(const ServerlessApp* app) {
     if (h.config().decoupled_zeroing) {
       inst.vm->SetFaultHook(&h.fastiovd());
     }
-    co_await MapGuestRam(inst);
-    co_await MapGuestImage(inst);
-    co_await RegisterVfioDevice(inst);
+    co_await RunPhaseWithRecovery(h, inst, [&] { return MapGuestRam(inst); });
+    co_await RunPhaseWithRecovery(h, inst, [&] { return MapGuestImage(inst); });
+    co_await RunPhaseWithRecovery(h, inst, [&] { return RegisterVfioDevice(inst); });
   } else {
     // No passthrough I/O: the image is shared page cache here too.
     GuestMemoryRegion* image = inst.vm->FindRegion("image");
@@ -375,7 +545,7 @@ Task ContainerRuntime::StartContainer(const ServerlessApp* app) {
   }
 
   co_await LoadGuestImageAndKernel(inst);
-  co_await BootGuest(inst);
+  co_await RunPhaseWithRecovery(h, inst, [&] { return BootGuest(inst); });
 
   if (h.config().UsesSriov()) {
     if (h.config().use_vdpa) {
@@ -391,33 +561,81 @@ Task ContainerRuntime::StartContainer(const ServerlessApp* app) {
     }
     if (h.config().async_vf_init) {
       // §4.2.2: overlap network initialization with the remaining setups.
-      inst.async_net = h.sim().Spawn(NetworkInit(inst, /*off_critical_path=*/true),
-                                     "async-net");
+      // Link-up faults retry inside SupervisedLinkUp; NetworkInit itself is
+      // not re-runnable (it spawns the link process), so it is not wrapped.
+      inst.async_net = h.sim().Spawn(AsyncNetworkInit(inst), "async-net");
     } else {
       co_await NetworkInit(inst, /*off_critical_path=*/false);
     }
   }
 
   co_await FinalSetup(inst);
+  if (inst.net_failed) {
+    // The asynchronous network init failed permanently before the container
+    // reported ready: the start as a whole fails.
+    throw FaultError(FaultSite::kVfLinkUp, /*transient=*/false);
+  }
+}
+
+Task ContainerRuntime::StartContainer(const ServerlessApp* app) {
+  auto& h = *host_;
+  auto inst_owner = std::make_unique<ContainerInstance>();
+  ContainerInstance& inst = *inst_owner;
+  inst.cid = static_cast<int>(instances_.size());
+  inst.pid = next_pid_++;
+  inst.timeline_id = h.timeline().RegisterContainer(h.sim().Now());
+  inst.layout = GuestLayout::For(h.config().guest_memory_bytes, h.cost().image_bytes,
+                                 h.cost().readonly_region_bytes, h.pmem().page_size());
+  instances_.push_back(std::move(inst_owner));
+
+  bool failed = false;
+  FaultSite fail_site = FaultSite::kPhaseTimeout;
+  try {
+    co_await StartPipeline(inst);
+  } catch (const FaultError& e) {
+    failed = true;
+    fail_site = e.site();
+  }
+  if (failed) {
+    if (FaultInjector* injector = h.sim().fault_injector()) {
+      injector->NoteAborted(fail_site);
+    }
+    co_await AbortContainer(inst);
+    co_return;
+  }
+
   inst.ready = true;
   h.timeline().MarkReady(inst.timeline_id, h.sim().Now());
 
   if (app != nullptr) {
     co_await RunApp(inst, *app);
-    h.timeline().MarkTaskDone(inst.timeline_id, h.sim().Now());
+    if (!inst.terminated) {
+      h.timeline().MarkTaskDone(inst.timeline_id, h.sim().Now());
+    }
   }
 }
 
 Task ContainerRuntime::StopContainer(ContainerInstance& inst) {
   auto& h = *host_;
-  assert(inst.ready && !inst.terminated);
+  if (inst.terminated) {
+    co_return;
+  }
   // An asynchronously initializing network must finish before the VF can be
-  // detached safely.
+  // detached safely, and the supervised link-up process must not outlive the
+  // driver/VF state it references.
   co_await inst.async_net.Join();
+  co_await inst.link_up.Join();
+  if (inst.terminated) {
+    // The async initializer aborted the container while we waited.
+    co_return;
+  }
   co_await h.cpu().Compute(
       h.sim().rng().Jitter(h.cost().container_teardown_cpu, h.cost().jitter_sigma));
   if (inst.vfio_dev != nullptr) {
-    co_await h.devset().CloseDevice(inst.vfio_dev);
+    if (inst.vfio_dev_open) {
+      co_await h.devset().CloseDevice(inst.vfio_dev);
+      inst.vfio_dev_open = false;
+    }
     inst.vfio_dev = nullptr;
   }
   if (inst.vfio_container) {
@@ -434,6 +652,54 @@ Task ContainerRuntime::StopContainer(ContainerInstance& inst) {
   inst.vfio_container.reset();
   inst.ready = false;
   inst.terminated = true;
+}
+
+Task ContainerRuntime::AbortContainer(ContainerInstance& inst, bool from_async) {
+  auto& h = *host_;
+  if (inst.terminated) {
+    co_return;
+  }
+  inst.terminated = true;
+  inst.aborted = true;
+  inst.ready = false;
+  // A still-running async initializer must finish before its VF and driver
+  // state can be torn down — unless we ARE that process (self-join hangs).
+  if (!from_async) {
+    co_await inst.async_net.Join();
+  }
+  co_await inst.link_up.Join();
+  // Teardown CPU charge without jitter: the abort path only runs under fault
+  // injection and must not consume draws from the main RNG stream.
+  co_await h.cpu().Compute(h.cost().container_teardown_cpu);
+  // Unwind exactly what was set up. Each member is only non-null/true if the
+  // corresponding setup step completed, so the order below is the reverse of
+  // the pipeline with every step conditional.
+  if (inst.vfio_dev != nullptr && inst.vfio_dev_open) {
+    co_await h.devset().CloseDevice(inst.vfio_dev);
+  }
+  inst.vfio_dev = nullptr;
+  inst.vfio_dev_open = false;
+  if (inst.vfio_container) {
+    inst.vfio_container->UnmapAll();
+  }
+  h.fastiovd().ForgetVm(inst.pid);
+  if (inst.vm) {
+    inst.vm->ReleaseMemory();
+  } else {
+    // No VM yet: frames may still sit in this pid's refill cache.
+    h.pmem().DrainRefillCache(inst.pid);
+  }
+  if (inst.vf != nullptr) {
+    // FLR the VF before recycling it; a fault during the reset itself must
+    // not leak the VF.
+    try {
+      co_await h.nic().ResetVf(inst.vf);
+    } catch (const FaultError&) {
+    }
+    h.nic().ReleaseVf(inst.vf);
+    inst.vf = nullptr;
+  }
+  inst.vfio_container.reset();
 }
 
 uint64_t ContainerRuntime::TotalResidueReads() const {

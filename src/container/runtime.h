@@ -14,6 +14,7 @@
 
 #include "src/container/host.h"
 #include "src/container/stack_config.h"
+#include "src/fault/fault.h"
 #include "src/kvm/microvm.h"
 #include "src/nic/vdpa.h"
 #include "src/nic/vf_driver.h"
@@ -54,8 +55,12 @@ struct ContainerInstance {
   std::unique_ptr<VirtioNetDriver> vnet_driver;  // vDPA mode (§7)
   std::unique_ptr<VirtioFs> virtiofs;
   Process async_net;  // FastIOV's asynchronously executed network init
+  Process link_up;    // supervised firmware link negotiation
   bool ready = false;
   bool terminated = false;
+  bool aborted = false;        // start failed; resources were unwound
+  bool vfio_dev_open = false;  // OpenDevice succeeded (CloseDevice owed)
+  bool net_failed = false;     // async network init failed permanently
   uint64_t kernel_corruptions = 0;  // kernel/BIOS data destroyed by zeroing
 };
 
@@ -65,6 +70,12 @@ class ContainerRuntime {
 
   // Starts one container: returns when the container reports ready and, if
   // `app` is given, after the task completes (task-completion experiments).
+  //
+  // Under fault injection, transient faults are retried per-phase with
+  // exponential backoff (StackConfig caps); a permanent fault or exhausted
+  // retries unwind the partial setup via AbortContainer and return normally
+  // with inst.aborted set — a failed start never leaks and never tears down
+  // its siblings.
   Task StartContainer(const ServerlessApp* app);
 
   // Terminates a running container: detaches and recycles the VF, unmaps
@@ -72,6 +83,13 @@ class ContainerRuntime {
   // WITHOUT scrubbing them (freed memory keeps its residue; the next
   // owner's zeroing policy is what protects the next tenant).
   Task StopContainer(ContainerInstance& inst);
+
+  // Unwinds a partially started container: exactly what was set up so far
+  // is undone — DMA unmapped/unpinned, the VF FLR'd and recycled, frames
+  // freed, fastiovd registrations dropped. Safe at any pipeline phase and
+  // idempotent (re-entry is a no-op). `from_async` is set when the caller
+  // IS the async network-init process (skips self-join).
+  Task AbortContainer(ContainerInstance& inst, bool from_async = false);
 
   const std::vector<std::unique_ptr<ContainerInstance>>& instances() const {
     return instances_;
@@ -102,6 +120,18 @@ class ContainerRuntime {
   Task NetworkInit(ContainerInstance& inst, bool off_critical_path);
   Task FinalSetup(ContainerInstance& inst);
   Task RunApp(ContainerInstance& inst, const ServerlessApp& app);
+
+  // The phase sequence of StartContainer, with per-phase fault recovery;
+  // throws FaultError when a start cannot complete.
+  Task StartPipeline(ContainerInstance& inst);
+  // Supervises BringUpLink in the background: retries transient link faults
+  // and marks the link permanently failed when retries run out, so the
+  // agent's poll loop always terminates.
+  Task SupervisedLinkUp(ContainerInstance& inst);
+  // Wraps NetworkInit when it runs asynchronously (§4.2.2): a permanent
+  // failure after the container went ready aborts it in place; before
+  // ready, it flags net_failed for the main path to act on.
+  Task AsyncNetworkInit(ContainerInstance& inst);
 
   Host* host_;
   std::vector<std::unique_ptr<ContainerInstance>> instances_;

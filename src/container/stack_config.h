@@ -51,6 +51,18 @@ struct StackConfig {
   double vcpus = 0.5;
   bool hugepages = true;
 
+  // Recovery policy for injected pipeline faults (src/fault): transient
+  // faults are retried up to fault_retry_limit times per phase with
+  // exponential backoff; a permanent fault or exhausted retries abort the
+  // container start via AbortContainer.
+  int fault_retry_limit = 3;
+  SimTime fault_backoff_initial = Milliseconds(5);
+  double fault_backoff_multiplier = 2.0;
+  SimTime fault_backoff_max = Milliseconds(250);
+  // Per-phase deadline, checked after the phase (including retries)
+  // completes; exceeding it aborts the start. Zero disables the check.
+  SimTime phase_timeout = SimTime::Zero();
+
   // --- factory functions for the paper's baselines ---
   static StackConfig NoNetwork();
   static StackConfig VanillaUnfixed();

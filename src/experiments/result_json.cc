@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/stats/fault_stats.h"
 #include "src/stats/json_writer.h"
 
 namespace fastiov {
@@ -45,6 +46,13 @@ void WriteExperimentResultBody(const ExperimentResult& r, JsonWriter& json) {
       .KV("fault_zeroed_pages", r.fault_zeroed_pages)
       .KV("background_zeroed_pages", r.background_zeroed_pages)
       .EndObject();
+  // Only fault-injection runs carry this section, so disabled runs keep a
+  // byte-identical digest.
+  if (r.fault_stats.has_value()) {
+    json.KV("aborted_containers", r.aborted_containers);
+    json.Key("fault_injection");
+    WriteFaultStatsJson(*r.fault_stats, json);
+  }
   json.EndObject();
 }
 

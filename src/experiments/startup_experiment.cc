@@ -51,6 +51,11 @@ ExperimentResult RunStartupExperiment(const StackConfig& config,
   // zeroer/timer wakeups); 16 per container absorbs the burst peak without
   // the queue ever growing mid-run.
   sim.ReserveEvents(static_cast<size_t>(options.concurrency) * 16);
+  std::optional<FaultInjector> injector;
+  if (options.fault_plan.has_value()) {
+    injector.emplace(*options.fault_plan);
+    sim.set_fault_injector(&*injector);
+  }
   Host host(sim, options.host, options.cost, config);
   ContainerRuntime runtime(host);
 
@@ -75,6 +80,14 @@ ExperimentResult RunStartupExperiment(const StackConfig& config,
   result.background_zeroed_pages = host.fastiovd().background_zeroed_pages();
   result.local_allocations = host.pmem().local_allocations();
   result.remote_allocations = host.pmem().remote_allocations();
+  if (injector.has_value()) {
+    for (const auto& inst : runtime.instances()) {
+      if (inst->aborted) {
+        ++result.aborted_containers;
+      }
+    }
+    result.fault_stats = FaultStatsReport::FromInjector(*injector);
+  }
   return result;
 }
 

@@ -10,6 +10,8 @@
 
 #include "src/config/cost_model.h"
 #include "src/container/stack_config.h"
+#include "src/fault/fault.h"
+#include "src/stats/fault_stats.h"
 #include "src/stats/summary.h"
 #include "src/stats/timeline.h"
 #include "src/workload/arrivals.h"
@@ -34,6 +36,10 @@ struct ExperimentOptions {
   // timelines, and keeping every one alive is what makes large multi-seed
   // sweeps memory-hungry.
   bool keep_runs = false;
+  // When set, a FaultInjector seeded from the plan is attached to the
+  // simulation for this run. Unset (the default) leaves the run bit-for-bit
+  // identical to a build without the fault subsystem.
+  std::optional<FaultPlan> fault_plan;
 };
 
 struct ExperimentResult {
@@ -53,6 +59,10 @@ struct ExperimentResult {
   uint64_t background_zeroed_pages = 0;
   uint64_t local_allocations = 0;
   uint64_t remote_allocations = 0;  // NUMA spillover
+
+  // Fault-injection bookkeeping; present only when options.fault_plan was.
+  uint64_t aborted_containers = 0;
+  std::optional<FaultStatsReport> fault_stats;
 
   double MeanStartupSeconds() const { return startup.Mean(); }
   double P99StartupSeconds() const { return startup.Percentile(99.0); }

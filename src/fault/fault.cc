@@ -1,0 +1,273 @@
+#include "src/fault/fault.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/simcore/simulation.h"
+
+namespace fastiov {
+namespace {
+
+struct SiteNameEntry {
+  FaultSite site;
+  const char* name;
+};
+
+constexpr SiteNameEntry kSiteNames[] = {
+    {FaultSite::kVfioGroupOpen, "vfio-group"},
+    {FaultSite::kVfioDeviceOpen, "vfio-dev"},
+    {FaultSite::kDmaMap, "dma-map"},
+    {FaultSite::kDmaPin, "dma-pin"},
+    {FaultSite::kVfBind, "vf-bind"},
+    {FaultSite::kVfFlr, "vf-flr"},
+    {FaultSite::kVfLinkUp, "link-up"},
+    {FaultSite::kVdpaAttach, "vdpa-attach"},
+    {FaultSite::kKvmMemslot, "kvm-memslot"},
+    {FaultSite::kCni, "cni"},
+    {FaultSite::kVirtioFs, "virtiofs"},
+    {FaultSite::kGuestBoot, "guest-boot"},
+    {FaultSite::kPhaseTimeout, "phase-timeout"},
+};
+static_assert(sizeof(kSiteNames) / sizeof(kSiteNames[0]) == kNumFaultSites);
+
+std::string DescribeFault(FaultSite site, bool transient) {
+  std::string s = transient ? "transient" : "permanent";
+  s += " fault at ";
+  s += FaultSiteName(site);
+  return s;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseDoubleStrict(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  for (const auto& e : kSiteNames) {
+    if (e.site == site) {
+      return e.name;
+    }
+  }
+  return "?";
+}
+
+std::optional<FaultSite> FaultSiteFromName(const std::string& name) {
+  for (const auto& e : kSiteNames) {
+    if (name == e.name) {
+      return e.site;
+    }
+  }
+  return std::nullopt;
+}
+
+FaultError::FaultError(FaultSite site, bool transient)
+    : std::runtime_error(DescribeFault(site, transient)),
+      site_(site),
+      transient_(transient) {}
+
+std::optional<FaultPlan> FaultPlan::Parse(const std::string& spec, std::string* error) {
+  FaultPlan plan;
+  std::stringstream entries(spec);
+  std::string entry;
+  while (std::getline(entries, entry, ';')) {
+    if (entry.empty()) {
+      continue;
+    }
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      *error = "fault entry '" + entry + "' missing ':'";
+      return std::nullopt;
+    }
+    const std::string site_name = entry.substr(0, colon);
+    const auto site = FaultSiteFromName(site_name);
+    if (!site.has_value()) {
+      *error = "unknown fault site '" + site_name + "'";
+      return std::nullopt;
+    }
+    SiteFaultSpec fault;
+    std::stringstream kvs(entry.substr(colon + 1));
+    std::string kv;
+    while (std::getline(kvs, kv, ',')) {
+      const size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        *error = "malformed key=value '" + kv + "' for site '" + site_name + "'";
+        return std::nullopt;
+      }
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      bool ok = true;
+      if (key == "p") {
+        ok = ParseDoubleStrict(value, &fault.probability) && fault.probability >= 0.0 &&
+             fault.probability <= 1.0;
+      } else if (key == "nth") {
+        ok = ParseU64(value, &fault.nth_call) && fault.nth_call > 0;
+      } else if (key == "kind") {
+        if (value == "transient") {
+          fault.transient = true;
+        } else if (value == "permanent") {
+          fault.transient = false;
+        } else {
+          ok = false;
+        }
+      } else if (key == "penalty_ms") {
+        double ms = 0.0;
+        ok = ParseDoubleStrict(value, &ms) && ms >= 0.0;
+        if (ok) {
+          fault.penalty = SimTime(static_cast<int64_t>(ms * 1e6));
+        }
+      } else if (key == "max") {
+        ok = ParseU64(value, &fault.max_faults) && fault.max_faults > 0;
+      } else {
+        *error = "unknown fault key '" + key + "' for site '" + site_name + "'";
+        return std::nullopt;
+      }
+      if (!ok) {
+        *error = "bad value '" + value + "' for key '" + key + "' at site '" + site_name + "'";
+        return std::nullopt;
+      }
+    }
+    plan.sites[*site] = fault;
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [site, fault] : sites) {
+    if (!first) {
+      os << ';';
+    }
+    first = false;
+    os << FaultSiteName(site) << ':';
+    bool first_kv = true;
+    auto sep = [&] {
+      if (!first_kv) {
+        os << ',';
+      }
+      first_kv = false;
+    };
+    if (fault.probability > 0.0) {
+      sep();
+      os << "p=" << fault.probability;
+    }
+    if (fault.nth_call > 0) {
+      sep();
+      os << "nth=" << fault.nth_call;
+    }
+    sep();
+    os << "kind=" << (fault.transient ? "transient" : "permanent");
+    if (fault.penalty > SimTime::Zero()) {
+      sep();
+      os << "penalty_ms=" << fault.penalty.ToSecondsF() * 1e3;
+    }
+    if (fault.max_faults != UINT64_MAX) {
+      sep();
+      os << "max=" << fault.max_faults;
+    }
+  }
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+std::optional<FaultInjector::Injection> FaultInjector::Decide(FaultSite site) {
+  SiteFaultCounters& c = counters_[Index(site)];
+  ++c.calls;
+  const auto it = plan_.sites.find(site);
+  if (it == plan_.sites.end()) {
+    return std::nullopt;
+  }
+  const SiteFaultSpec& fault = it->second;
+  if (c.injected >= fault.max_faults) {
+    return std::nullopt;
+  }
+  bool fire = false;
+  if (fault.nth_call > 0 && c.calls == fault.nth_call) {
+    fire = true;
+  }
+  // The probability draw happens for every call at an armed site, fired or
+  // not, so the private RNG stream stays aligned across replays regardless
+  // of which trigger hits first.
+  if (fault.probability > 0.0 && rng_.NextDouble() < fault.probability) {
+    fire = true;
+  }
+  if (!fire) {
+    return std::nullopt;
+  }
+  ++c.injected;
+  if (fault.transient) {
+    ++c.transient_injected;
+  } else {
+    ++c.permanent_injected;
+  }
+  return Injection{fault.transient, fault.penalty};
+}
+
+Task FaultInjector::MaybeInject(Simulation& sim, FaultSite site) {
+  const std::optional<Injection> injection = Decide(site);
+  if (!injection.has_value()) {
+    co_return;
+  }
+  if (injection->penalty > SimTime::Zero()) {
+    co_await sim.Delay(injection->penalty);
+  }
+  throw FaultError(site, injection->transient);
+}
+
+uint64_t FaultInjector::TotalInjected() const {
+  uint64_t total = 0;
+  for (const auto& c : counters_) {
+    total += c.injected;
+  }
+  return total;
+}
+
+uint64_t FaultInjector::TotalRetried() const {
+  uint64_t total = 0;
+  for (const auto& c : counters_) {
+    total += c.retried;
+  }
+  return total;
+}
+
+uint64_t FaultInjector::TotalRecovered() const {
+  uint64_t total = 0;
+  for (const auto& c : counters_) {
+    total += c.recovered;
+  }
+  return total;
+}
+
+uint64_t FaultInjector::TotalAborted() const {
+  uint64_t total = 0;
+  for (const auto& c : counters_) {
+    total += c.aborted;
+  }
+  return total;
+}
+
+}  // namespace fastiov

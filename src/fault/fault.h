@@ -1,0 +1,146 @@
+// Deterministic fault injection for the startup pipeline.
+//
+// A FaultPlan names the injection sites that may fail (VFIO group/device
+// registration, DMA map/pin, VF bind/FLR/link, vDPA attach, KVM memslots,
+// CNI, virtioFS, guest boot) and how: per-call probability or an exact
+// nth-call trigger, transient vs permanent, and an optional simulated-time
+// penalty charged before the fault surfaces (a stuck firmware mailbox, an
+// ioctl that times out).
+//
+// Determinism contract: the FaultInjector draws from its OWN xoshiro stream
+// (seeded from the plan), never from the simulation RNG, and charges no
+// simulated time unless a fault actually fires. Every call site guards on
+// `sim.fault_injector() != nullptr`, so with no injector installed the
+// instrumented build is event-for-event identical to one without the
+// subsystem — simulated-time digests stay byte-identical.
+#ifndef SRC_FAULT_FAULT_H_
+#define SRC_FAULT_FAULT_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "src/simcore/rng.h"
+#include "src/simcore/task.h"
+#include "src/simcore/time.h"
+
+namespace fastiov {
+
+class Simulation;
+
+// Named injection sites, one per failure-prone pipeline interaction.
+enum class FaultSite : int {
+  kVfioGroupOpen = 0,  // VFIO group/container open before DMA mapping
+  kVfioDeviceOpen,     // VFIO_GROUP_GET_DEVICE_FD (DevSet::OpenDevice)
+  kDmaMap,             // VFIO_IOMMU_MAP_DMA entry
+  kDmaPin,             // page pinning inside an in-flight DMA map
+  kVfBind,             // CNI configuring the VF through the PF driver
+  kVfFlr,              // VF function-level reset
+  kVfLinkUp,           // firmware link negotiation (PF mailbox)
+  kVdpaAttach,         // `vdpa dev add` (§7 path)
+  kKvmMemslot,         // KVM_SET_USER_MEMORY_REGION
+  kCni,                // network namespace / CNI plugin invocation
+  kVirtioFs,           // virtiofsd spawn + vhost-user socket registration
+  kGuestBoot,          // guest kernel fails to come up in time
+  kPhaseTimeout,       // synthesized when a phase exceeds its deadline
+};
+inline constexpr int kNumFaultSites = 13;
+
+const char* FaultSiteName(FaultSite site);
+std::optional<FaultSite> FaultSiteFromName(const std::string& name);
+
+// Typed pipeline error. Transient faults are retried by the runtime (with
+// exponential backoff); permanent ones abort the container start.
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(FaultSite site, bool transient);
+
+  FaultSite site() const { return site_; }
+  bool transient() const { return transient_; }
+
+ private:
+  FaultSite site_;
+  bool transient_;
+};
+
+// How one site misbehaves.
+struct SiteFaultSpec {
+  double probability = 0.0;          // per-call fault probability
+  uint64_t nth_call = 0;             // 1-based; fire on exactly this call (0 = off)
+  bool transient = true;             // transient (retryable) vs permanent
+  SimTime penalty = SimTime::Zero(); // simulated time lost before the fault surfaces
+  uint64_t max_faults = UINT64_MAX;  // stop injecting after this many faults
+};
+
+// A full, replayable fault schedule. The per-site map is ordered so
+// iteration (printing, serialization) is deterministic.
+struct FaultPlan {
+  uint64_t seed = 1;  // seeds the injector's private RNG
+  std::map<FaultSite, SiteFaultSpec> sites;
+
+  bool Empty() const { return sites.empty(); }
+
+  // Parses "site:key=val,key=val;site2:..." where keys are
+  //   p=<prob>  nth=<n>  kind=transient|permanent  penalty_ms=<ms>  max=<n>
+  // e.g. "vfio-dev:p=0.2,penalty_ms=5;dma-pin:nth=3,kind=permanent".
+  // Returns nullopt (with *error set) on malformed specs.
+  static std::optional<FaultPlan> Parse(const std::string& spec, std::string* error);
+  std::string ToString() const;
+};
+
+// Per-site outcome counters (surfaced through src/stats/fault_stats.h).
+struct SiteFaultCounters {
+  uint64_t calls = 0;      // times the site was reached
+  uint64_t injected = 0;   // faults fired
+  uint64_t transient_injected = 0;
+  uint64_t permanent_injected = 0;
+  uint64_t retried = 0;    // retry attempts triggered by this site
+  uint64_t recovered = 0;  // phases that succeeded after >=1 fault here
+  uint64_t aborted = 0;    // container starts this site's fault killed
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // Consults the plan for one call at `site`. Charges the site's penalty as
+  // a simulated delay, then throws FaultError when a fault fires; otherwise
+  // returns without touching the clock. Never draws from the simulation RNG.
+  Task MaybeInject(Simulation& sim, FaultSite site);
+
+  // Recovery bookkeeping (called by ContainerRuntime).
+  void NoteRetry(FaultSite site) { ++counters_[Index(site)].retried; }
+  void NoteRecovered(FaultSite site) { ++counters_[Index(site)].recovered; }
+  void NoteAborted(FaultSite site) { ++counters_[Index(site)].aborted; }
+
+  const SiteFaultCounters& counters(FaultSite site) const {
+    return counters_[Index(site)];
+  }
+  const FaultPlan& plan() const { return plan_; }
+
+  uint64_t TotalInjected() const;
+  uint64_t TotalRetried() const;
+  uint64_t TotalRecovered() const;
+  uint64_t TotalAborted() const;
+
+ private:
+  static int Index(FaultSite site) { return static_cast<int>(site); }
+  // Pure decision step: updates call counters and the private RNG; returns
+  // the fault to raise, if any.
+  struct Injection {
+    bool transient;
+    SimTime penalty;
+  };
+  std::optional<Injection> Decide(FaultSite site);
+
+  FaultPlan plan_;
+  Rng rng_;
+  std::array<SiteFaultCounters, kNumFaultSites> counters_{};
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_FAULT_FAULT_H_

@@ -1,6 +1,9 @@
 #include "src/kvm/microvm.h"
 
 #include <cassert>
+#include <utility>
+
+#include "src/fault/fault.h"
 
 namespace fastiov {
 
@@ -31,6 +34,14 @@ GuestMemoryRegion& MicroVm::AddRegion(std::string name, RegionType type, uint64_
   region.frames.Reset(size / pmem_->page_size());
   regions_.push_back(std::move(region));
   return regions_.back();
+}
+
+Task MicroVm::RegisterRegion(std::string name, RegionType type, uint64_t gpa_base,
+                             uint64_t size) {
+  if (FaultInjector* injector = sim_->fault_injector()) {
+    co_await injector->MaybeInject(*sim_, FaultSite::kKvmMemslot);
+  }
+  AddRegion(std::move(name), type, gpa_base, size);
 }
 
 GuestMemoryRegion* MicroVm::FindRegion(const std::string& name) {

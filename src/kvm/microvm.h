@@ -77,6 +77,9 @@ class MicroVm {
 
   GuestMemoryRegion& AddRegion(std::string name, RegionType type, uint64_t gpa_base,
                                uint64_t size);
+  // AddRegion through the KVM_SET_USER_MEMORY_REGION ioctl: same effect,
+  // but consults the fault injector first (the memslot registration site).
+  Task RegisterRegion(std::string name, RegionType type, uint64_t gpa_base, uint64_t size);
   GuestMemoryRegion* FindRegion(const std::string& name);
   GuestMemoryRegion* RegionForGpa(uint64_t gpa);
   const std::vector<GuestMemoryRegion>& regions() const { return regions_; }

@@ -412,6 +412,7 @@ Task PhysicalMemory::PinPages(std::span<const PageRun> runs) {
     }
     total += run.count;
   }
+  pinned_pages_ += total;
   co_await cpu_->Compute(cost_.page_pin * static_cast<double>(total));
 }
 
@@ -419,6 +420,7 @@ Task PhysicalMemory::PinPages(std::span<const PageId> pages) {
   for (PageId id : pages) {
     ++frames_[id].pin_count;
   }
+  pinned_pages_ += pages.size();
   co_await cpu_->Compute(cost_.page_pin * static_cast<double>(pages.size()));
 }
 
@@ -428,6 +430,8 @@ void PhysicalMemory::UnpinPages(std::span<const PageRun> runs) {
       assert(frames_[id].pin_count > 0);
       --frames_[id].pin_count;
     }
+    assert(pinned_pages_ >= run.count);
+    pinned_pages_ -= run.count;
   }
 }
 
@@ -436,6 +440,8 @@ void PhysicalMemory::UnpinPages(std::span<const PageId> pages) {
     assert(frames_[id].pin_count > 0);
     --frames_[id].pin_count;
   }
+  assert(pinned_pages_ >= pages.size());
+  pinned_pages_ -= pages.size();
 }
 
 }  // namespace fastiov

@@ -117,6 +117,9 @@ class PhysicalMemory {
   void set_cpu(CpuPool* cpu) { cpu_ = cpu; }
 
   // Statistics.
+  // Host-wide sum of pin counts — 0 when no DMA mapping is live, which is
+  // the leak invariant the chaos tests assert after full teardown.
+  uint64_t total_pinned_pages() const { return pinned_pages_; }
   uint64_t total_pages_zeroed() const { return pages_zeroed_; }
   uint64_t total_batches_retrieved() const { return batches_retrieved_; }
   // Allocations that handed out a frame a previous owner had used.
@@ -163,6 +166,7 @@ class PhysicalMemory {
   std::unordered_map<int, std::vector<PageRun>> refill_cache_;  // per owner
   uint64_t prezeroed_free_ = 0;
 
+  uint64_t pinned_pages_ = 0;
   uint64_t pages_zeroed_ = 0;
   uint64_t batches_retrieved_ = 0;
   uint64_t reused_allocations_ = 0;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/fault/fault.h"
+
 namespace fastiov {
 
 VirtualFunction::VirtualFunction(PciAddress addr, int vf_index)
@@ -47,11 +49,26 @@ void SriovNic::ReleaseVf(VirtualFunction* vf) {
 }
 
 Task SriovNic::ConfigureVf(VirtualFunction* vf) {
+  if (FaultInjector* injector = sim_->fault_injector()) {
+    co_await injector->MaybeInject(*sim_, FaultSite::kVfBind);
+  }
   co_await pf_lock_.Lock();
   co_await cpu_->Compute(sim_->rng().Jitter(cost_.pf_driver_lock_crit, cost_.jitter_sigma));
   pf_lock_.Unlock();
   co_await cpu_->Compute(sim_->rng().Jitter(cost_.cni_vf_config_cpu, cost_.jitter_sigma));
   vf->set_configured(true);
+}
+
+Task SriovNic::ResetVf(VirtualFunction* vf) {
+  if (FaultInjector* injector = sim_->fault_injector()) {
+    co_await injector->MaybeInject(*sim_, FaultSite::kVfFlr);
+  }
+  // FLR is requested through the PF driver and waits for firmware
+  // completion; per-VF state (rings, filters) is wiped by hardware.
+  co_await pf_lock_.Lock();
+  co_await cpu_->Compute(cost_.vf_flr_cpu);
+  pf_lock_.Unlock();
+  (void)vf;
 }
 
 Task SriovNic::DeliverInterrupt(MicroVm& vm) {

@@ -65,6 +65,12 @@ class SriovNic {
   // CNI path: set VF parameters (MAC filter, VLAN, rate) via the PF driver.
   Task ConfigureVf(VirtualFunction* vf);
 
+  // Function-level reset of a VF (recovery path): issued through the PF
+  // before retrying a failed VF operation or recycling a half-attached VF.
+  // Leaves allocation state (configured/assigned_pid) untouched — the
+  // caller decides whether the VF goes back to the pool.
+  Task ResetVf(VirtualFunction* vf);
+
   size_t num_vfs() const { return vfs_.size(); }
   VirtualFunction* vf(int index) { return vfs_.at(index).get(); }
   BandwidthResource& data_plane() { return data_plane_; }

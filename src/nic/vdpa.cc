@@ -4,9 +4,14 @@
 #include <cassert>
 #include <cstdio>
 
+#include "src/fault/fault.h"
+
 namespace fastiov {
 
 Task VdpaBus::AddDevice(VirtualFunction* vf) {
+  if (FaultInjector* injector = sim_->fault_injector()) {
+    co_await injector->MaybeInject(*sim_, FaultSite::kVdpaAttach);
+  }
   co_await lock_.Lock();
   co_await cpu_->Compute(sim_->rng().Jitter(cost_.vdpa_bus_crit, cost_.jitter_sigma));
   lock_.Unlock();

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "src/fault/fault.h"
+
 namespace fastiov {
 
 VfDriver::VfDriver(Simulation& sim, CpuPool& cpu, const CostModel& cost, MicroVm& vm,
@@ -42,12 +44,23 @@ Task VfDriver::Initialize(bool zero_rx_buffers) {
 
 Task VfDriver::BringUpLink() {
   assert(initialized_);
+  if (FaultInjector* injector = sim_->fault_injector()) {
+    co_await injector->MaybeInject(*sim_, FaultSite::kVfLinkUp);
+  }
   // VF link requests funnel through the PF firmware mailbox one at a time.
   co_await nic_->mailbox_lock().Lock();
   co_await cpu_->Compute(sim_->rng().Jitter(cost_.pf_mailbox_crit, cost_.jitter_sigma));
   nic_->mailbox_lock().Unlock();
   co_await sim_->Delay(sim_->rng().Jitter(cost_.vf_link_settle, cost_.jitter_sigma));
   link_settled_.Set();
+}
+
+void VfDriver::MarkLinkFailed() {
+  link_failed_ = true;
+  // Wake both the agent's poll loop and anything blocked on interface
+  // availability; link_settled()/interface_up() still read false.
+  link_settled_.Set();
+  up_event_.Set();
 }
 
 Task VfDriver::AssignAddresses() {
@@ -63,6 +76,9 @@ Task VfDriver::AssignAddresses() {
   // Poll until the link is up (the agent's periodic status check).
   while (!link_settled_.IsSet()) {
     co_await sim_->Delay(cost_.agent_poll_interval);
+  }
+  if (link_failed_) {
+    throw FaultError(FaultSite::kVfLinkUp, /*transient=*/false);
   }
   up_event_.Set();
 }

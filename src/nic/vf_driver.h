@@ -44,13 +44,20 @@ class VfDriver {
   // Firmware link negotiation (PF mailbox serialized). Sets link_settled.
   Task BringUpLink();
 
+  // Recovery path: marks link negotiation as permanently failed so the
+  // agent's poll loop terminates. AssignAddresses then throws instead of
+  // bringing the interface up.
+  void MarkLinkFailed();
+
   // Agent step: MAC/IP assignment, then poll until the link settles; the
-  // interface is available (up_event) afterwards.
+  // interface is available (up_event) afterwards. Throws FaultError if the
+  // link failed permanently.
   Task AssignAddresses();
 
   bool initialized() const { return initialized_; }
-  bool link_settled() const { return link_settled_.IsSet(); }
-  bool interface_up() const { return up_event_.IsSet(); }
+  bool link_settled() const { return link_settled_.IsSet() && !link_failed_; }
+  bool link_failed() const { return link_failed_; }
+  bool interface_up() const { return up_event_.IsSet() && !link_failed_; }
   SimEvent& up_event() { return up_event_; }
 
   // Receives `bytes` from the network: charges the NIC data plane, DMA-
@@ -73,6 +80,7 @@ class VfDriver {
   SimEvent link_settled_;
   SimEvent up_event_;
   bool initialized_ = false;
+  bool link_failed_ = false;
 
   uint64_t dma_translation_failures_ = 0;
   uint64_t corrupted_reads_ = 0;

@@ -28,6 +28,7 @@
 namespace fastiov {
 
 class Simulation;
+class FaultInjector;  // src/fault/fault.h
 
 // Shared completion state of a spawned process.
 struct ProcessState {
@@ -74,6 +75,12 @@ class Simulation {
 
   SimTime Now() const { return now_; }
   Rng& rng() { return rng_; }
+
+  // Optional deterministic fault injection (src/fault). Components consult
+  // this before every failure-prone operation; nullptr (the default) means
+  // no site is instrumented and no extra events or RNG draws occur.
+  FaultInjector* fault_injector() const { return fault_injector_; }
+  void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
 
   // Pre-sizes the event queue for a workload expected to keep up to `n`
   // events outstanding at once, so the hot loop never reallocates.
@@ -155,6 +162,7 @@ class Simulation {
   EventHeap queue_;
   std::vector<std::shared_ptr<ProcessState>> faulted_;
   Rng rng_;
+  FaultInjector* fault_injector_ = nullptr;
 };
 
 // Awaits every process in the list (exceptions propagate from the first

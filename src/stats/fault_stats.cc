@@ -1,0 +1,68 @@
+#include "src/stats/fault_stats.h"
+
+#include "src/stats/json_writer.h"
+#include "src/stats/table.h"
+
+namespace fastiov {
+
+FaultStatsReport FaultStatsReport::FromInjector(const FaultInjector& injector) {
+  FaultStatsReport report;
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    const FaultSite site = static_cast<FaultSite>(i);
+    const SiteFaultCounters& c = injector.counters(site);
+    const bool armed = injector.plan().sites.count(site) > 0;
+    if (c.calls == 0 && c.aborted == 0 && !armed) {
+      continue;
+    }
+    FaultSiteStats s;
+    s.site = FaultSiteName(site);
+    s.calls = c.calls;
+    s.injected = c.injected;
+    s.retried = c.retried;
+    s.recovered = c.recovered;
+    s.aborted = c.aborted;
+    report.sites.push_back(std::move(s));
+  }
+  report.total_injected = injector.TotalInjected();
+  report.total_retried = injector.TotalRetried();
+  report.total_recovered = injector.TotalRecovered();
+  report.total_aborted = injector.TotalAborted();
+  return report;
+}
+
+void WriteFaultStatsJson(const FaultStatsReport& report, JsonWriter& json) {
+  json.BeginObject();
+  json.KV("injected", report.total_injected);
+  json.KV("retried", report.total_retried);
+  json.KV("recovered", report.total_recovered);
+  json.KV("aborted", report.total_aborted);
+  json.Key("sites");
+  json.BeginObject();
+  for (const FaultSiteStats& s : report.sites) {
+    json.Key(s.site);
+    json.BeginObject()
+        .KV("calls", s.calls)
+        .KV("injected", s.injected)
+        .KV("retried", s.retried)
+        .KV("recovered", s.recovered)
+        .KV("aborted", s.aborted)
+        .EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+void PrintFaultStatsTable(const FaultStatsReport& report, std::ostream& os) {
+  TextTable table({"site", "calls", "injected", "retried", "recovered", "aborted"});
+  for (const FaultSiteStats& s : report.sites) {
+    table.AddRow({s.site, std::to_string(s.calls), std::to_string(s.injected),
+                  std::to_string(s.retried), std::to_string(s.recovered),
+                  std::to_string(s.aborted)});
+  }
+  table.AddRow({"total", "", std::to_string(report.total_injected),
+                std::to_string(report.total_retried), std::to_string(report.total_recovered),
+                std::to_string(report.total_aborted)});
+  table.Print(os);
+}
+
+}  // namespace fastiov

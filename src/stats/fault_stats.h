@@ -1,0 +1,46 @@
+// Reporting helpers for the fault-injection counters: a plain snapshot
+// struct (decoupled from the live FaultInjector so results outlive the
+// simulation), a text table, and a JSON section.
+#ifndef SRC_STATS_FAULT_STATS_H_
+#define SRC_STATS_FAULT_STATS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault.h"
+
+namespace fastiov {
+
+class JsonWriter;
+
+struct FaultSiteStats {
+  std::string site;
+  uint64_t calls = 0;
+  uint64_t injected = 0;
+  uint64_t retried = 0;
+  uint64_t recovered = 0;
+  uint64_t aborted = 0;
+};
+
+struct FaultStatsReport {
+  std::vector<FaultSiteStats> sites;  // sites that were reached or armed
+  uint64_t total_injected = 0;
+  uint64_t total_retried = 0;
+  uint64_t total_recovered = 0;
+  uint64_t total_aborted = 0;
+
+  static FaultStatsReport FromInjector(const FaultInjector& injector);
+};
+
+// Writes the "fault_injection" object (caller supplies the surrounding
+// object context and has already emitted the key, or wants a standalone
+// value).
+void WriteFaultStatsJson(const FaultStatsReport& report, JsonWriter& json);
+
+void PrintFaultStatsTable(const FaultStatsReport& report, std::ostream& os);
+
+}  // namespace fastiov
+
+#endif  // SRC_STATS_FAULT_STATS_H_

@@ -35,6 +35,7 @@ void TimelineRecorder::RecordSpan(int container_id, const std::string& step, Sim
 
 void TimelineRecorder::MarkReady(int container_id, SimTime t) {
   lanes_[container_id].ready = t;
+  lanes_[container_id].has_ready = true;
 }
 
 void TimelineRecorder::MarkTaskDone(int container_id, SimTime t) {
@@ -45,7 +46,11 @@ void TimelineRecorder::MarkTaskDone(int container_id, SimTime t) {
 Summary TimelineRecorder::StartupSummary() const {
   Summary s;
   for (const auto& lane : lanes_) {
-    s.AddTime(lane.StartupTime());
+    // Containers that aborted before reaching ready (fault-injection runs)
+    // have no startup time; including their zero would skew the summary.
+    if (lane.has_ready) {
+      s.AddTime(lane.StartupTime());
+    }
   }
   return s;
 }

@@ -42,6 +42,7 @@ struct ContainerTimeline {
   SimTime start;       // startup command issued
   SimTime ready;       // container reported ready
   SimTime task_done;   // application finished (task-completion experiments)
+  bool has_ready = false;  // false for containers that aborted before ready
   bool has_task_done = false;
   std::vector<Span> spans;
 

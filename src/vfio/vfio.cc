@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "src/fault/fault.h"
+
 namespace fastiov {
 namespace {
 
@@ -53,6 +55,9 @@ SimTime DevSet::BusScanCost() const {
 }
 
 Task DevSet::OpenDevice(VfioDevice* dev) {
+  if (FaultInjector* injector = sim_->fault_injector()) {
+    co_await injector->MaybeInject(*sim_, FaultSite::kVfioDeviceOpen);
+  }
   co_await lock_policy_->AcquireDeviceOp(dev->index_in_devset());
   // Critical section. Vanilla VFIO re-verifies devset membership by walking
   // the PCI bus and updates the global open count; the hierarchical policy
@@ -118,6 +123,11 @@ Task VfioContainer::MapDma(uint64_t iova, uint64_t size, const DmaMapOptions& op
   const uint64_t num_pages = size / page_size;
   const bool legacy = LegacyPerPageDma();
 
+  if (FaultInjector* injector = sim_->fault_injector()) {
+    // The VFIO_IOMMU_MAP_DMA ioctl fails before any frame is taken.
+    co_await injector->MaybeInject(*sim_, FaultSite::kDmaMap);
+  }
+
   DmaMapping mapping;
   mapping.iova_base = iova;
   mapping.size = size;
@@ -129,6 +139,26 @@ Task VfioContainer::MapDma(uint64_t iova, uint64_t size, const DmaMapOptions& op
     co_await pmem_->RetrievePages(options.pid, num_pages, &flat);
   } else {
     co_await pmem_->RetrievePages(options.pid, num_pages, &mapping.runs);
+  }
+
+  if (FaultInjector* injector = sim_->fault_injector()) {
+    // Pinning fails mid-map: the frames were retrieved but are not yet
+    // pinned, registered with a lazy-zero registry, or IOMMU-mapped, so the
+    // cleanup is a plain free of exactly what step 1 handed out.
+    std::exception_ptr pin_fault;
+    try {
+      co_await injector->MaybeInject(*sim_, FaultSite::kDmaPin);
+    } catch (const FaultError&) {
+      pin_fault = std::current_exception();
+    }
+    if (pin_fault != nullptr) {
+      if (legacy) {
+        pmem_->FreePages(std::span<const PageId>(flat));
+      } else {
+        pmem_->FreePages(std::span<const PageRun>(mapping.runs));
+      }
+      std::rethrow_exception(pin_fault);
+    }
   }
 
   // 2. Page zeroing, per policy (§3.2.3 P3: with hugepages this dominates

@@ -1,0 +1,35 @@
+# Configures, builds, and runs the chaos test suite under a sanitizer in a
+# nested build tree. Invoked by ctest (see tests/CMakeLists.txt):
+#
+#   cmake -DSAN=ASAN|TSAN -DSRC_DIR=<repo> -DBIN_DIR=<build> -P sanitizer_chaos.cmake
+#
+# The nested tree lives inside the main build directory, so reruns only pay
+# for an incremental rebuild.
+if(NOT SAN OR NOT SRC_DIR OR NOT BIN_DIR)
+  message(FATAL_ERROR "SAN, SRC_DIR and BIN_DIR must all be set")
+endif()
+
+string(TOLOWER "${SAN}" san_lower)
+set(build_dir "${BIN_DIR}/sanitize-${san_lower}")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -S "${SRC_DIR}" -B "${build_dir}"
+          -DFASTIOV_${SAN}=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "configure of ${SAN} build failed")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" --build "${build_dir}" --target fault_chaos_test
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "build of fault_chaos_test under ${SAN} failed")
+endif()
+
+execute_process(
+  COMMAND "${build_dir}/tests/fault_chaos_test"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fault_chaos_test failed under ${SAN}")
+endif()

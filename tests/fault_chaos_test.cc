@@ -1,0 +1,234 @@
+// Chaos/property testing: randomized start/stop/fault interleavings across
+// many seeds, asserting the system-wide safety invariants after every run —
+// no leaked pinned pages, frames, VFs, VFIO opens, or fastiovd state; every
+// container either reached ready or was cleanly aborted; and no
+// cross-tenant corruption, ever.
+//
+// The FaultChaosQuick suite is a 4-seed subset wired into the `smoke` ctest
+// label; the full sweep runs 52 seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/container/runtime.h"
+#include "src/fault/fault.h"
+#include "src/simcore/rng.h"
+
+namespace fastiov {
+namespace {
+
+// The sites a randomized plan may arm. kPhaseTimeout is synthesized by the
+// runtime, never planned.
+constexpr FaultSite kInjectableSites[] = {
+    FaultSite::kVfioGroupOpen, FaultSite::kVfioDeviceOpen, FaultSite::kDmaMap,
+    FaultSite::kDmaPin,        FaultSite::kVfBind,         FaultSite::kVfFlr,
+    FaultSite::kVfLinkUp,      FaultSite::kVdpaAttach,     FaultSite::kKvmMemslot,
+    FaultSite::kCni,           FaultSite::kVirtioFs,       FaultSite::kGuestBoot,
+};
+
+FaultPlan RandomPlan(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b9u + 7);
+  FaultPlan plan;
+  plan.seed = seed;
+  for (const FaultSite site : kInjectableSites) {
+    if (rng.NextDouble() >= 0.45) {
+      continue;  // leave this site healthy
+    }
+    SiteFaultSpec spec;
+    if (rng.NextDouble() < 0.25) {
+      spec.nth_call = static_cast<uint64_t>(rng.UniformInt(1, 8));
+    } else {
+      spec.probability = rng.Uniform(0.02, 0.35);
+    }
+    spec.transient = rng.NextDouble() < 0.7;
+    if (rng.NextDouble() < 0.4) {
+      spec.penalty = Milliseconds(rng.UniformInt(1, 8));
+    }
+    if (rng.NextDouble() < 0.2) {
+      spec.max_faults = static_cast<uint64_t>(rng.UniformInt(1, 5));
+    }
+    plan.sites[site] = spec;
+  }
+  return plan;
+}
+
+StackConfig ConfigForSeed(uint64_t seed) {
+  switch (seed % 4) {
+    case 0:
+      return StackConfig::FastIov();
+    case 1:
+      return StackConfig::Vanilla();
+    case 2:
+      return StackConfig::FastIovVdpa();
+    default: {
+      // FastIOV with a per-phase deadline armed: timeouts synthesize
+      // permanent kPhaseTimeout faults on top of the injected ones.
+      StackConfig config = StackConfig::FastIov();
+      config.phase_timeout = Milliseconds(400);
+      return config;
+    }
+  }
+}
+
+// One chaos episode: two waves of starts with randomized faults, stops of
+// the ready containers in shuffled order between and after, then the leak
+// and safety invariants.
+void RunChaosSeed(uint64_t seed) {
+  SCOPED_TRACE("chaos seed " + std::to_string(seed));
+  const StackConfig config = ConfigForSeed(seed);
+  const FaultPlan plan = RandomPlan(seed);
+  FaultInjector injector(plan);
+  Simulation sim(seed);
+  sim.set_fault_injector(&injector);
+  Host host(sim, HostSpec{}, CostModel{}, config);
+  ContainerRuntime runtime(host);
+  Rng shuffle_rng(seed + 101);
+
+  auto start_wave = [](Simulation* s, Host* h, ContainerRuntime* rt, int count,
+                       bool first) -> Task {
+    if (first) {
+      co_await h->PrepareSharedImage();
+      if (h->config().UsesSriov() && h->config().cni != CniKind::kVanillaUnfixed) {
+        h->PreBindVfsToVfio();
+      }
+    }
+    if (h->config().decoupled_zeroing) {
+      h->fastiovd().StartBackgroundZeroer();
+    }
+    std::vector<Process> ps;
+    for (int i = 0; i < count; ++i) {
+      ps.push_back(s->Spawn(rt->StartContainer(nullptr)));
+    }
+    co_await WaitAll(std::move(ps));
+    h->fastiovd().StopBackgroundZeroer();
+  };
+  auto stop_ready = [](Simulation* s, ContainerRuntime* rt, Host* h, Rng* rng) -> Task {
+    if (h->config().decoupled_zeroing) {
+      h->fastiovd().StartBackgroundZeroer();
+    }
+    std::vector<ContainerInstance*> ready;
+    for (const auto& inst : rt->instances()) {
+      if (inst->ready) {
+        ready.push_back(inst.get());
+      }
+    }
+    // Fisher-Yates with the test's own stream: teardown order is part of
+    // the property being fuzzed.
+    for (size_t i = ready.size(); i > 1; --i) {
+      std::swap(ready[i - 1], ready[static_cast<size_t>(rng->UniformInt(
+                                  0, static_cast<int64_t>(i) - 1))]);
+    }
+    std::vector<Process> ps;
+    for (ContainerInstance* inst : ready) {
+      ps.push_back(s->Spawn(rt->StopContainer(*inst)));
+    }
+    co_await WaitAll(std::move(ps));
+    h->fastiovd().StopBackgroundZeroer();
+  };
+
+  const int wave = 8;
+  sim.Spawn(start_wave(&sim, &host, &runtime, wave, /*first=*/true));
+  sim.Run();
+  sim.Spawn(stop_ready(&sim, &runtime, &host, &shuffle_rng));
+  sim.Run();
+  sim.Spawn(start_wave(&sim, &host, &runtime, wave, /*first=*/false));
+  sim.Run();
+  sim.Spawn(stop_ready(&sim, &runtime, &host, &shuffle_rng));
+  sim.Run();
+
+  // --- invariants --------------------------------------------------------
+  // Every container either reached ready (and was stopped) or aborted
+  // cleanly; nobody is left half-started.
+  for (const auto& inst : runtime.instances()) {
+    EXPECT_TRUE(inst->terminated) << "cid " << inst->cid;
+    EXPECT_FALSE(inst->ready) << "cid " << inst->cid;
+    EXPECT_EQ(inst->vf, nullptr) << "cid " << inst->cid;
+    EXPECT_EQ(inst->vfio_dev, nullptr) << "cid " << inst->cid;
+    EXPECT_EQ(inst->vfio_container, nullptr) << "cid " << inst->cid;
+  }
+  // No leaked pinned pages and no leaked frames: only the host's shared
+  // image copy stays resident.
+  EXPECT_EQ(host.pmem().total_pinned_pages(), 0u);
+  EXPECT_EQ(host.pmem().used_pages(), host.shared_image_frames().size());
+  // Every VF back in the pool, unconfigured.
+  for (size_t i = 0; i < host.nic().num_vfs(); ++i) {
+    const VirtualFunction* vf = host.nic().vf(static_cast<int>(i));
+    EXPECT_LT(vf->assigned_pid(), 0) << "vf " << i;
+    EXPECT_FALSE(vf->configured()) << "vf " << i;
+  }
+  // No VFIO device left open, no fastiovd registration left behind, no
+  // IOMMU domain leaked.
+  EXPECT_EQ(host.devset().TotalOpenCount(), 0);
+  EXPECT_EQ(host.fastiovd().total_pending_pages(), 0u);
+  EXPECT_EQ(host.iommu().num_domains(), 0u);
+  // Safety: faults may slow containers down or abort them, but must never
+  // corrupt another tenant's data or leak residue to a guest.
+  EXPECT_EQ(runtime.TotalCorruptions(), 0u);
+  EXPECT_EQ(runtime.TotalResidueReads(), 0u);
+}
+
+// Small subset for the smoke label / fault_chaos_quick target: one seed per
+// stack-config flavor.
+TEST(FaultChaosQuick, FourSeedsAcrossConfigs) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    RunChaosSeed(seed);
+  }
+}
+
+TEST(FaultChaosTest, FiftySeedSweepLeaksNothing) {
+  for (uint64_t seed = 4; seed < 56; ++seed) {
+    RunChaosSeed(seed);
+  }
+}
+
+// Replays of the same chaos episode are event-identical: the injector's
+// private stream plus the simulation seed fully determine the outcome.
+TEST(FaultChaosTest, EpisodesAreReplayable) {
+  for (uint64_t seed : {3u, 17u, 29u}) {
+    auto run_once = [&](uint64_t s) {
+      const StackConfig config = ConfigForSeed(s);
+      FaultInjector injector(RandomPlan(s));
+      Simulation sim(s);
+      sim.set_fault_injector(&injector);
+      Host host(sim, HostSpec{}, CostModel{}, config);
+      ContainerRuntime runtime(host);
+      auto root = [](Simulation* sm, Host* h, ContainerRuntime* rt) -> Task {
+        co_await h->PrepareSharedImage();
+        if (h->config().UsesSriov() && h->config().cni != CniKind::kVanillaUnfixed) {
+          h->PreBindVfsToVfio();
+        }
+        if (h->config().decoupled_zeroing) {
+          h->fastiovd().StartBackgroundZeroer();
+        }
+        std::vector<Process> ps;
+        for (int i = 0; i < 6; ++i) {
+          ps.push_back(sm->Spawn(rt->StartContainer(nullptr)));
+        }
+        co_await WaitAll(std::move(ps));
+        h->fastiovd().StopBackgroundZeroer();
+      };
+      sim.Spawn(root(&sim, &host, &runtime));
+      sim.Run();
+      struct Outcome {
+        int64_t end_ns;
+        uint64_t injected;
+        uint64_t retried;
+        uint64_t recovered;
+        uint64_t aborted;
+      };
+      return Outcome{sim.Now().ns(), injector.TotalInjected(), injector.TotalRetried(),
+                     injector.TotalRecovered(), injector.TotalAborted()};
+    };
+    const auto a = run_once(seed);
+    const auto b = run_once(seed);
+    EXPECT_EQ(a.end_ns, b.end_ns) << "seed " << seed;
+    EXPECT_EQ(a.injected, b.injected) << "seed " << seed;
+    EXPECT_EQ(a.retried, b.retried) << "seed " << seed;
+    EXPECT_EQ(a.recovered, b.recovered) << "seed " << seed;
+    EXPECT_EQ(a.aborted, b.aborted) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -1,0 +1,261 @@
+// Deterministic fault injection: plan parsing, trigger semantics, the
+// replay guarantee (same seed + plan => identical run), and the disabled
+// guarantee (no injector => bit-identical to a build without the subsystem).
+#include <gtest/gtest.h>
+
+#include "src/container/runtime.h"
+#include "src/experiments/result_json.h"
+#include "src/experiments/startup_experiment.h"
+#include "src/fault/fault.h"
+#include "src/stats/fault_stats.h"
+
+namespace fastiov {
+namespace {
+
+TEST(FaultPlanTest, ParsesFullGrammar) {
+  std::string error;
+  const auto plan = FaultPlan::Parse(
+      "vfio-dev:p=0.25,penalty_ms=5;dma-pin:nth=3,kind=permanent,max=2", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  const SiteFaultSpec& dev = plan->sites.at(FaultSite::kVfioDeviceOpen);
+  EXPECT_DOUBLE_EQ(dev.probability, 0.25);
+  EXPECT_EQ(dev.penalty, Milliseconds(5));
+  EXPECT_TRUE(dev.transient);
+  EXPECT_EQ(dev.nth_call, 0u);
+  const SiteFaultSpec& pin = plan->sites.at(FaultSite::kDmaPin);
+  EXPECT_EQ(pin.nth_call, 3u);
+  EXPECT_FALSE(pin.transient);
+  EXPECT_EQ(pin.max_faults, 2u);
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(FaultPlan::Parse("no-such-site:p=0.5", &error).has_value());
+  EXPECT_NE(error.find("unknown fault site"), std::string::npos);
+  EXPECT_FALSE(FaultPlan::Parse("vfio-dev", &error).has_value());
+  EXPECT_FALSE(FaultPlan::Parse("vfio-dev:p", &error).has_value());
+  EXPECT_FALSE(FaultPlan::Parse("vfio-dev:p=1.5", &error).has_value());
+  EXPECT_FALSE(FaultPlan::Parse("vfio-dev:nth=0", &error).has_value());
+  EXPECT_FALSE(FaultPlan::Parse("vfio-dev:kind=sometimes", &error).has_value());
+  EXPECT_FALSE(FaultPlan::Parse("vfio-dev:frobnicate=1", &error).has_value());
+}
+
+TEST(FaultPlanTest, ToStringRoundTrips) {
+  std::string error;
+  const auto plan = FaultPlan::Parse(
+      "cni:p=0.1,kind=permanent;link-up:nth=2,penalty_ms=4,max=7", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  const auto reparsed = FaultPlan::Parse(plan->ToString(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  ASSERT_EQ(reparsed->sites.size(), plan->sites.size());
+  for (const auto& [site, spec] : plan->sites) {
+    const SiteFaultSpec& other = reparsed->sites.at(site);
+    EXPECT_DOUBLE_EQ(other.probability, spec.probability);
+    EXPECT_EQ(other.nth_call, spec.nth_call);
+    EXPECT_EQ(other.transient, spec.transient);
+    EXPECT_EQ(other.penalty, spec.penalty);
+    EXPECT_EQ(other.max_faults, spec.max_faults);
+  }
+}
+
+TEST(FaultSiteTest, NamesRoundTrip) {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    const std::string name = FaultSiteName(site);
+    EXPECT_NE(name, "?");
+    const auto back = FaultSiteFromName(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, site);
+  }
+  EXPECT_FALSE(FaultSiteFromName("bogus").has_value());
+}
+
+// Drives `calls` MaybeInject invocations at one site and returns which of
+// them threw.
+std::vector<bool> DriveSite(FaultInjector& injector, FaultSite site, int calls) {
+  Simulation sim(1);
+  std::vector<bool> fired(calls, false);
+  auto probe = [](Simulation* s, FaultInjector* inj, FaultSite target,
+                  std::vector<bool>* out) -> Task {
+    for (size_t i = 0; i < out->size(); ++i) {
+      try {
+        co_await inj->MaybeInject(*s, target);
+      } catch (const FaultError& e) {
+        EXPECT_EQ(e.site(), target);
+        (*out)[i] = true;
+      }
+    }
+  };
+  sim.Spawn(probe(&sim, &injector, site, &fired));
+  sim.Run();
+  return fired;
+}
+
+TEST(FaultInjectorTest, NthCallFiresExactlyOnce) {
+  FaultPlan plan;
+  plan.sites[FaultSite::kCni] = SiteFaultSpec{.nth_call = 3, .transient = false};
+  FaultInjector injector(plan);
+  const std::vector<bool> fired = DriveSite(injector, FaultSite::kCni, 6);
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(injector.counters(FaultSite::kCni).calls, 6u);
+  EXPECT_EQ(injector.counters(FaultSite::kCni).injected, 1u);
+  EXPECT_EQ(injector.counters(FaultSite::kCni).permanent_injected, 1u);
+}
+
+TEST(FaultInjectorTest, ProbabilityDrawsAreReplayable) {
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.sites[FaultSite::kDmaMap] = SiteFaultSpec{.probability = 0.4};
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  const std::vector<bool> fired_a = DriveSite(a, FaultSite::kDmaMap, 200);
+  const std::vector<bool> fired_b = DriveSite(b, FaultSite::kDmaMap, 200);
+  EXPECT_EQ(fired_a, fired_b);
+  EXPECT_GT(a.TotalInjected(), 0u);
+  // A different injector seed produces a different schedule.
+  plan.seed = 78;
+  FaultInjector c(plan);
+  EXPECT_NE(DriveSite(c, FaultSite::kDmaMap, 200), fired_a);
+}
+
+TEST(FaultInjectorTest, MaxFaultsCapsInjection) {
+  FaultPlan plan;
+  plan.sites[FaultSite::kVfLinkUp] = SiteFaultSpec{.probability = 1.0, .max_faults = 2};
+  FaultInjector injector(plan);
+  const std::vector<bool> fired = DriveSite(injector, FaultSite::kVfLinkUp, 5);
+  EXPECT_EQ(fired, (std::vector<bool>{true, true, false, false, false}));
+}
+
+TEST(FaultInjectorTest, PenaltyChargesSimulatedTime) {
+  FaultPlan plan;
+  plan.sites[FaultSite::kGuestBoot] = SiteFaultSpec{.nth_call = 1, .penalty = Milliseconds(7)};
+  FaultInjector injector(plan);
+  Simulation sim(1);
+  auto probe = [](Simulation* s, FaultInjector* inj) -> Task {
+    try {
+      co_await inj->MaybeInject(*s, FaultSite::kGuestBoot);
+    } catch (const FaultError&) {
+    }
+    EXPECT_EQ(s->Now(), Milliseconds(7));
+  };
+  sim.Spawn(probe(&sim, &injector));
+  sim.Run();
+}
+
+// With no fault plan the instrumented pipeline must be bit-identical to one
+// without the subsystem: same event stream, same RNG draws, same digests.
+// An armed-but-silent plan (probability 0) must be identical too — the
+// injector draws only from its own stream.
+TEST(FaultInjectorTest, DisabledRunsAreBitIdentical) {
+  ExperimentOptions plain;
+  plain.concurrency = 12;
+  const ExperimentResult base = RunStartupExperiment(StackConfig::FastIov(), plain);
+
+  ExperimentOptions armed = plain;
+  armed.fault_plan = FaultPlan{};
+  armed.fault_plan->sites[FaultSite::kVfioDeviceOpen] = SiteFaultSpec{.probability = 0.0};
+  const ExperimentResult silent = RunStartupExperiment(StackConfig::FastIov(), armed);
+
+  // Simulated-time metrics are doubles computed from the event stream;
+  // bitwise equality means the streams were identical.
+  EXPECT_EQ(base.startup.Mean(), silent.startup.Mean());
+  EXPECT_EQ(base.startup.Percentile(99), silent.startup.Percentile(99));
+  EXPECT_EQ(base.startup.Min(), silent.startup.Min());
+  EXPECT_EQ(base.startup.Max(), silent.startup.Max());
+  EXPECT_EQ(base.vf_related.Mean(), silent.vf_related.Mean());
+  EXPECT_EQ(base.pages_zeroed, silent.pages_zeroed);
+  EXPECT_EQ(base.residue_reads, silent.residue_reads);
+  EXPECT_EQ(base.corruptions, silent.corruptions);
+  ASSERT_TRUE(silent.fault_stats.has_value());
+  EXPECT_EQ(silent.fault_stats->total_injected, 0u);
+  EXPECT_EQ(silent.aborted_containers, 0u);
+  EXPECT_FALSE(base.fault_stats.has_value());
+}
+
+TEST(FaultInjectorTest, SameSeedAndPlanReplaysByteIdentically) {
+  std::string error;
+  auto plan = FaultPlan::Parse(
+      "vfio-dev:p=0.3,penalty_ms=5;dma-pin:p=0.15;link-up:p=0.25;cni:nth=5,kind=permanent",
+      &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  plan->seed = 1234;
+  ExperimentOptions options;
+  options.concurrency = 16;
+  options.fault_plan = plan;
+  const ExperimentResult a = RunStartupExperiment(StackConfig::FastIov(), options);
+  const ExperimentResult b = RunStartupExperiment(StackConfig::FastIov(), options);
+  EXPECT_GT(a.fault_stats->total_injected, 0u);
+  EXPECT_EQ(ExperimentResultJson(a), ExperimentResultJson(b));
+}
+
+TEST(FaultInjectorTest, TransientFaultIsRetriedAndRecovered) {
+  FaultPlan plan;
+  plan.sites[FaultSite::kVfioDeviceOpen] = SiteFaultSpec{.nth_call = 1, .transient = true};
+  ExperimentOptions options;
+  options.concurrency = 3;
+  options.fault_plan = plan;
+  const ExperimentResult r = RunStartupExperiment(StackConfig::FastIov(), options);
+  ASSERT_TRUE(r.fault_stats.has_value());
+  const FaultStatsReport& stats = *r.fault_stats;
+  EXPECT_EQ(stats.total_injected, 1u);
+  EXPECT_EQ(stats.total_retried, 1u);
+  EXPECT_EQ(stats.total_recovered, 1u);
+  EXPECT_EQ(stats.total_aborted, 0u);
+  EXPECT_EQ(r.aborted_containers, 0u);
+  EXPECT_EQ(r.startup.Count(), 3u);  // everyone still came up
+  EXPECT_EQ(r.corruptions, 0u);
+}
+
+TEST(FaultInjectorTest, PermanentFaultAbortsWithoutLeaks) {
+  Simulation sim(9);
+  FaultPlan plan;
+  plan.sites[FaultSite::kDmaPin] = SiteFaultSpec{.nth_call = 2, .transient = false};
+  FaultInjector injector(plan);
+  sim.set_fault_injector(&injector);
+  Host host(sim, HostSpec{}, CostModel{}, StackConfig::FastIov());
+  ContainerRuntime runtime(host);
+  auto root = [](Simulation* s, Host* h, ContainerRuntime* rt) -> Task {
+    co_await h->PrepareSharedImage();
+    h->PreBindVfsToVfio();
+    h->fastiovd().StartBackgroundZeroer();
+    std::vector<Process> ps;
+    for (int i = 0; i < 4; ++i) {
+      ps.push_back(s->Spawn(rt->StartContainer(nullptr)));
+    }
+    co_await WaitAll(std::move(ps));
+    h->fastiovd().StopBackgroundZeroer();
+  };
+  sim.Spawn(root(&sim, &host, &runtime));
+  sim.Run();
+
+  int aborted = 0;
+  int ready = 0;
+  for (const auto& inst : runtime.instances()) {
+    if (inst->aborted) {
+      ++aborted;
+      EXPECT_TRUE(inst->terminated);
+      EXPECT_FALSE(inst->ready);
+      EXPECT_EQ(inst->vf, nullptr);
+      EXPECT_EQ(inst->vfio_container, nullptr);
+      EXPECT_EQ(inst->vfio_dev, nullptr);
+    } else {
+      EXPECT_TRUE(inst->ready);
+      ++ready;
+    }
+  }
+  EXPECT_EQ(aborted, 1);
+  EXPECT_EQ(ready, 3);
+  EXPECT_EQ(injector.counters(FaultSite::kDmaPin).aborted, 1u);
+  // The aborted container's VF went back to the pool.
+  int assigned = 0;
+  for (size_t i = 0; i < host.nic().num_vfs(); ++i) {
+    if (host.nic().vf(static_cast<int>(i))->assigned_pid() >= 0) {
+      ++assigned;
+    }
+  }
+  EXPECT_EQ(assigned, 3);
+  EXPECT_EQ(runtime.TotalCorruptions(), 0u);
+}
+
+}  // namespace
+}  // namespace fastiov

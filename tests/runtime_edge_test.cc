@@ -1,11 +1,13 @@
 // Edge cases of the runtime pipeline not covered by the matrix tests:
 // guest layout geometry, large allocations, IPvtap with applications,
-// unfixed CNI with devset growth, vDPA churn.
+// unfixed CNI with devset growth, vDPA churn, and partial-teardown
+// correctness when a start aborts at specific pipeline phases.
 #include <gtest/gtest.h>
 
 #include "src/container/runtime.h"
 #include "src/experiments/churn_experiment.h"
 #include "src/experiments/startup_experiment.h"
+#include "src/fault/fault.h"
 
 namespace fastiov {
 namespace {
@@ -134,6 +136,98 @@ TEST(RuntimeEdgeTest, InterruptsAreRelayedDuringDownloads) {
     // 52 MiB / 4 MiB ring = 13 chunks -> 13 interrupts.
     EXPECT_EQ(inst->vm->interrupts_received(), 13u);
   }
+}
+
+// Starts one FastIOV container under a plan whose single permanent fault
+// lands at `spec_site`, and asserts the abort unwound everything:
+// PhysicalMemory back to the shared-image baseline, nothing pinned, the VF
+// recycled, no VFIO open left behind.
+void ExpectCleanAbortAt(FaultSite site, uint64_t nth) {
+  SCOPED_TRACE(std::string("abort at ") + FaultSiteName(site));
+  Simulation sim(5);
+  FaultPlan plan;
+  plan.sites[site] = SiteFaultSpec{.nth_call = nth, .transient = false};
+  FaultInjector injector(plan);
+  sim.set_fault_injector(&injector);
+  Host host(sim, HostSpec{}, CostModel{}, StackConfig::FastIov());
+  ContainerRuntime runtime(host);
+  auto root = [](Simulation* s, Host* h, ContainerRuntime* rt) -> Task {
+    co_await h->PrepareSharedImage();
+    h->PreBindVfsToVfio();
+    h->fastiovd().StartBackgroundZeroer();
+    co_await s->Spawn(rt->StartContainer(nullptr), "container").Join();
+    h->fastiovd().StopBackgroundZeroer();
+  };
+  sim.Spawn(root(&sim, &host, &runtime));
+  sim.Run();
+
+  ASSERT_EQ(runtime.instances().size(), 1u);
+  const ContainerInstance& inst = *runtime.instances().front();
+  EXPECT_TRUE(inst.aborted);
+  EXPECT_TRUE(inst.terminated);
+  EXPECT_FALSE(inst.ready);
+  EXPECT_EQ(inst.vf, nullptr);
+  EXPECT_EQ(inst.vfio_dev, nullptr);
+  EXPECT_EQ(inst.vfio_container, nullptr);
+  EXPECT_EQ(injector.counters(site).aborted, 1u);
+  // Memory accounting back to the baseline: the shared image copy is the
+  // only thing resident, and nothing stays pinned or pending.
+  EXPECT_EQ(host.pmem().total_pinned_pages(), 0u);
+  EXPECT_EQ(host.pmem().used_pages(), host.shared_image_frames().size());
+  EXPECT_EQ(host.fastiovd().total_pending_pages(), 0u);
+  EXPECT_EQ(host.devset().TotalOpenCount(), 0);
+  for (size_t i = 0; i < host.nic().num_vfs(); ++i) {
+    EXPECT_LT(host.nic().vf(static_cast<int>(i))->assigned_pid(), 0);
+  }
+}
+
+TEST(RuntimeAbortTest, PreVfioAbortRestoresBaseline) {
+  // The CNI phase fails before any VFIO or DMA state exists.
+  ExpectCleanAbortAt(FaultSite::kCni, 1);
+}
+
+TEST(RuntimeAbortTest, PostDmaMapAbortRestoresBaseline) {
+  // Device registration fails after guest RAM was DMA-mapped and pinned.
+  ExpectCleanAbortAt(FaultSite::kVfioDeviceOpen, 1);
+}
+
+TEST(RuntimeAbortTest, MidBootAbortRestoresBaseline) {
+  // The guest fails to boot after the full VFIO attach completed.
+  ExpectCleanAbortAt(FaultSite::kGuestBoot, 1);
+}
+
+TEST(RuntimeAbortTest, DmaPinAbortFreesRetrievedFrames) {
+  // Pinning fails mid-map: the frames handed out by the allocator must go
+  // straight back without ever being registered or pinned.
+  ExpectCleanAbortAt(FaultSite::kDmaPin, 1);
+}
+
+// Regression: the link bring-up process used to be spawned detached, so a
+// teardown racing firmware link negotiation let the process dereference the
+// driver and VF it had already freed. StopContainer must join it.
+TEST(RuntimeEdgeTest, StopContainerJoinsLinkUpProcess) {
+  Simulation sim(11);
+  Host host(sim, HostSpec{}, CostModel{}, StackConfig::FastIov());
+  ContainerRuntime runtime(host);
+  auto root = [](Host* h, ContainerRuntime* rt) -> Task {
+    co_await h->PrepareSharedImage();
+    h->PreBindVfsToVfio();
+    h->fastiovd().StartBackgroundZeroer();
+    // No app: StartContainer returns at ready, while the async network init
+    // (and its link negotiation) may still be in flight.
+    co_await rt->StartContainer(nullptr);
+    ContainerInstance& inst = *rt->instances().front();
+    EXPECT_TRUE(inst.ready);
+    co_await rt->StopContainer(inst);
+    EXPECT_TRUE(inst.async_net.Done());
+    EXPECT_TRUE(inst.link_up.Done());
+    EXPECT_EQ(inst.vf, nullptr);
+    h->fastiovd().StopBackgroundZeroer();
+  };
+  sim.Spawn(root(&host, &runtime));
+  sim.Run();
+  EXPECT_EQ(host.pmem().total_pinned_pages(), 0u);
+  EXPECT_EQ(host.pmem().used_pages(), host.shared_image_frames().size());
 }
 
 }  // namespace
