@@ -18,7 +18,9 @@
 #include "src/experiments/result_json.h"
 #include "src/experiments/startup_experiment.h"
 #include "src/fault/fault.h"
+#include "src/stats/blocked_time.h"
 #include "src/stats/fault_stats.h"
+#include "src/stats/lock_stats.h"
 #include "src/stats/table.h"
 #include "src/stats/json_writer.h"
 #include "src/stats/trace_export.h"
@@ -59,6 +61,14 @@ void WriteSummaryText(const ExperimentResult& r) {
     std::printf("  %-12s %s\n", step.c_str(),
                 FormatPercent(r.timeline.StepShareOfAverage(step)).c_str());
   }
+  if (r.observability != nullptr) {
+    std::printf("\ntop contended locks:\n");
+    PrintLockReport(r.observability->lock_stats.ByTotalWait(), std::cout, /*max_rows=*/10);
+    if (r.blocked_time.has_value()) {
+      std::printf("\nblocked-time attribution (per phase, by cause):\n");
+      PrintBlockedTimeReport(*r.blocked_time, std::cout);
+    }
+  }
 }
 
 }  // namespace
@@ -77,6 +87,10 @@ int main(int argc, char** argv) {
   flags.AddDouble("rate", 50.0, "arrival rate (containers/s) for uniform/poisson");
   flags.AddInt("waves", 1, "churn mode: start/run/terminate this many waves");
   flags.AddBool("json", false, "emit machine-readable JSON instead of tables");
+  flags.AddBool("metrics", false,
+                "collect contention-aware observability: lock stats, blocked-time "
+                "attribution, counter tracks (adds an 'observability' JSON section "
+                "and enriches --trace; never perturbs the simulation)");
   flags.AddString("trace", "", "write a Chrome trace of the timeline to this file");
   flags.AddString("fault-plan", "",
                   "fault schedule 'site:p=0.1,kind=transient;site2:nth=3,...' "
@@ -164,6 +178,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.arrival_rate_per_s = flags.GetDouble("rate");
+  options.collect_metrics = flags.GetBool("metrics");
   if (!flags.GetString("fault-plan").empty()) {
     std::string plan_error;
     auto plan = FaultPlan::Parse(flags.GetString("fault-plan"), &plan_error);
@@ -189,7 +204,15 @@ int main(int argc, char** argv) {
                    flags.GetString("trace").c_str());
       return 1;
     }
-    ExportChromeTrace(r.timeline, trace);
+    TraceOptions trace_options;
+    if (r.observability != nullptr) {
+      trace_options.blocked = &r.observability->blocked;
+      trace_options.counters = &r.observability->tracks;
+    }
+    if (!r.fault_events.empty()) {
+      trace_options.fault_events = &r.fault_events;
+    }
+    ExportChromeTrace(r.timeline, trace, trace_options);
     std::fprintf(stderr, "trace written to %s (open in chrome://tracing)\n",
                  flags.GetString("trace").c_str());
   }

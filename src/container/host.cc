@@ -18,11 +18,11 @@ Host::Host(Simulation& sim, const HostSpec& spec, const CostModel& cost,
       spec_(spec),
       cost_(cost),
       config_(config),
-      cpu_(sim, spec.physical_cores),
-      guest_cpu_(sim, static_cast<double>(spec.logical_cores)),
+      cpu_(sim, spec.physical_cores, "host.cpu"),
+      guest_cpu_(sim, static_cast<double>(spec.logical_cores), "host.guest-cpu"),
       pmem_(sim, spec, cost, config.hugepages ? kHugePageSize : kSmallPageSize),
-      virtiofs_bw_(sim, 6.0 * static_cast<double>(kGiB)),
-      ipvtap_bw_(sim, cost.ipvtap_bandwidth_bps),
+      virtiofs_bw_(sim, 6.0 * static_cast<double>(kGiB), "host.virtiofs-bw"),
+      ipvtap_bw_(sim, cost.ipvtap_bandwidth_bps, "host.ipvtap-bw"),
       nic_bus_(0x3b),
       nic_(sim, cpu_, cost, spec, nic_bus_),
       vdpa_bus_(sim, cpu_, cost),
@@ -41,6 +41,35 @@ Host::Host(Simulation& sim, const HostSpec& spec, const CostModel& cost,
   if (config.prezero_fraction > 0.0) {
     pmem_.PreZeroFreePages(config.prezero_fraction);
   }
+}
+
+void Host::EnableObservability() {
+  if (obs_ != nullptr) {
+    return;
+  }
+  obs_ = std::make_shared<ObservabilityHub>();
+  LockStatsRegistry* locks = &obs_->lock_stats;
+
+  // Host-wide kernel locks.
+  cgroup_lock_.Instrument(locks->Create("host.cgroup"));
+  virtiofs_lock_.Instrument(locks->Create("host.virtiofs"));
+  rtnl_lock_.Instrument(locks->Create("host.rtnl"));
+  device_bind_lock_.Instrument(locks->Create("host.device-bind"));
+
+  // Subsystem locks: the VFIO devset policy (global mutex or hierarchical
+  // rwlock + per-child mutexes), the NIC PF-driver/mailbox locks, the vdpa
+  // bus lock.
+  devset_->lock_policy().Instrument(locks);
+  vdpa_bus_.Instrument(locks);
+
+  // Counter tracks for the unified trace.
+  free_frames_track_ = obs_->tracks.Create("mem.free_frames");
+  pinned_pages_track_ = obs_->tracks.Create("mem.pinned_pages");
+  iommu_track_ = obs_->tracks.Create("iommu.mappings");
+  vfs_track_ = obs_->tracks.Create("nic.vfs_in_use");
+  pmem_.InstrumentTracks(free_frames_track_, pinned_pages_track_);
+  iommu_.InstrumentTrack(sim_, iommu_track_);
+  nic_.Instrument(locks, vfs_track_);
 }
 
 void Host::PreBindVfsToVfio() {

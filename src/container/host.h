@@ -19,6 +19,7 @@
 #include "src/simcore/resources.h"
 #include "src/simcore/simulation.h"
 #include "src/simcore/sync.h"
+#include "src/stats/observability.h"
 #include "src/stats/timeline.h"
 #include "src/vfio/vfio.h"
 
@@ -54,6 +55,23 @@ class Host {
   SimMutex& rtnl_lock() { return rtnl_lock_; }
   SimMutex& device_bind_lock() { return device_bind_lock_; }
 
+  // Turns on contention-aware observability: creates the hub and attaches
+  // named probes to every shared lock plus the standard counter tracks.
+  // Purely memory-side — charges no simulated time and draws no randomness,
+  // so instrumented runs stay event-identical to uninstrumented ones. Call
+  // before containers start (idempotent).
+  void EnableObservability();
+  ObservabilityHub* observability() { return obs_.get(); }
+  // Shared ownership so an ExperimentResult can keep the hub alive after the
+  // Host (and the locks that reported into it) are gone.
+  std::shared_ptr<ObservabilityHub> observability_ptr() { return obs_; }
+
+  // Standard counter tracks (null until EnableObservability).
+  CounterTrack* free_frames_track() { return free_frames_track_; }
+  CounterTrack* pinned_pages_track() { return pinned_pages_track_; }
+  CounterTrack* iommu_track() { return iommu_track_; }
+  CounterTrack* vfs_track() { return vfs_track_; }
+
   // Pre-binds every VF to VFIO (the §5 fix; done once after host boot).
   // VanillaUnfixed skips this and binds per container start.
   void PreBindVfsToVfio();
@@ -86,6 +104,12 @@ class Host {
   SimMutex virtiofs_lock_;
   SimMutex rtnl_lock_;
   SimMutex device_bind_lock_;
+
+  std::shared_ptr<ObservabilityHub> obs_;
+  CounterTrack* free_frames_track_ = nullptr;
+  CounterTrack* pinned_pages_track_ = nullptr;
+  CounterTrack* iommu_track_ = nullptr;
+  CounterTrack* vfs_track_ = nullptr;
 
   std::vector<PageId> shared_image_frames_;
 };

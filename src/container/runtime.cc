@@ -8,6 +8,17 @@
 namespace fastiov {
 namespace {
 
+// Wait-attribution context for one pipeline phase of one container: inert
+// (a default WaitCtx) when observability is off, so every probe downstream
+// stays a single null-check.
+WaitCtx Ctx(Host& h, const ContainerInstance& inst, const char* phase) {
+  ObservabilityHub* obs = h.observability();
+  if (obs == nullptr) {
+    return {};
+  }
+  return WaitCtx{&obs->blocked, inst.timeline_id, phase};
+}
+
 // Sites whose retry should FLR the VF first: the failed operation may have
 // left per-VF hardware state behind (partial bind, stuck mailbox).
 bool IsVfSite(FaultSite site) {
@@ -52,7 +63,7 @@ Task RunPhaseWithRecovery(Host& h, ContainerInstance& inst, MakeTask make) {
     had_fault = true;
     ++attempt;
     if (injector != nullptr) {
-      injector->NoteRetry(last_site);
+      injector->NoteRetry(last_site, h.sim().Now());
     }
     if (IsVfSite(last_site) && inst.vf != nullptr) {
       // A fault during the reset itself just folds into the next attempt.
@@ -65,7 +76,7 @@ Task RunPhaseWithRecovery(Host& h, ContainerInstance& inst, MakeTask make) {
     backoff = std::min(backoff * cfg.fault_backoff_multiplier, cfg.fault_backoff_max);
   }
   if (had_fault && injector != nullptr) {
-    injector->NoteRecovered(last_site);
+    injector->NoteRecovered(last_site, h.sim().Now());
   }
   if (cfg.phase_timeout > SimTime::Zero() && h.sim().Now() - begin > cfg.phase_timeout) {
     throw FaultError(FaultSite::kPhaseTimeout, /*transient=*/false);
@@ -104,10 +115,12 @@ Task ContainerRuntime::SetupCgroup(ContainerInstance& inst) {
   if (h.config().cni == CniKind::kIpvtap) {
     crit += h.cost().ipvtap_cgroup_extra_crit;
   }
-  co_await h.cgroup_lock().Lock();
-  co_await h.cpu().Compute(h.sim().rng().Jitter(crit, h.cost().jitter_sigma));
+  const WaitCtx ctx = Ctx(h, inst, kStepCgroup);
+  co_await h.cgroup_lock().Lock(ctx);
+  co_await h.cpu().Compute(h.sim().rng().Jitter(crit, h.cost().jitter_sigma), ctx);
   h.cgroup_lock().Unlock();
-  co_await h.cpu().Compute(h.sim().rng().Jitter(h.cost().cgroup_cpu, h.cost().jitter_sigma));
+  co_await h.cpu().Compute(h.sim().rng().Jitter(h.cost().cgroup_cpu, h.cost().jitter_sigma),
+                           ctx);
   h.timeline().RecordSpan(inst.timeline_id, kStepCgroup, begin, h.sim().Now());
 }
 
@@ -117,7 +130,8 @@ Task ContainerRuntime::SetupNamespaceAndCni(ContainerInstance& inst) {
   if (FaultInjector* injector = h.sim().fault_injector()) {
     co_await injector->MaybeInject(h.sim(), FaultSite::kCni);
   }
-  co_await h.cpu().Compute(rng.Jitter(h.cost().nns_create_cpu, h.cost().jitter_sigma));
+  const WaitCtx ctx = Ctx(h, inst, kStepAddCni);
+  co_await h.cpu().Compute(rng.Jitter(h.cost().nns_create_cpu, h.cost().jitter_sigma), ctx);
 
   switch (h.config().cni) {
     case CniKind::kNoNetwork:
@@ -130,17 +144,18 @@ Task ContainerRuntime::SetupNamespaceAndCni(ContainerInstance& inst) {
       if (inst.vf == nullptr) {
         throw std::runtime_error("no free VF");
       }
-      co_await h.nic().ConfigureVf(inst.vf);
+      co_await h.nic().ConfigureVf(inst.vf, ctx);
       // The §5 implementation flaw: bind the VF to the host network driver
       // (device_lock + driver probe, serialized host-wide), create the real
       // netdev, move it into the container NNS.
-      co_await h.device_bind_lock().Lock();
+      co_await h.device_bind_lock().Lock(ctx);
       co_await h.cpu().Compute(
-          rng.Jitter(h.cost().host_driver_bind_crit, h.cost().jitter_sigma));
+          rng.Jitter(h.cost().host_driver_bind_crit, h.cost().jitter_sigma), ctx);
       h.device_bind_lock().Unlock();
-      co_await h.cpu().Compute(rng.Jitter(h.cost().host_driver_bind_cpu, h.cost().jitter_sigma));
+      co_await h.cpu().Compute(rng.Jitter(h.cost().host_driver_bind_cpu, h.cost().jitter_sigma),
+                               ctx);
       inst.vf->BindDriver(BoundDriver::kHostNetdev);
-      co_await h.cpu().Compute(h.cost().cni_nns_move_cpu);
+      co_await h.cpu().Compute(h.cost().cni_nns_move_cpu, ctx);
       break;
     }
     case CniKind::kVanillaFixed:
@@ -151,22 +166,25 @@ Task ContainerRuntime::SetupNamespaceAndCni(ContainerInstance& inst) {
       if (inst.vf == nullptr) {
         throw std::runtime_error("no free VF");
       }
-      co_await h.nic().ConfigureVf(inst.vf);
+      co_await h.nic().ConfigureVf(inst.vf, ctx);
       // Dummy Linux interface stands in for the VF netdev (§5), so the VF
       // stays bound to VFIO.
-      co_await h.cpu().Compute(rng.Jitter(h.cost().cni_dummy_netdev_cpu, h.cost().jitter_sigma));
-      co_await h.cpu().Compute(h.cost().cni_nns_move_cpu);
+      co_await h.cpu().Compute(rng.Jitter(h.cost().cni_dummy_netdev_cpu, h.cost().jitter_sigma),
+                               ctx);
+      co_await h.cpu().Compute(h.cost().cni_nns_move_cpu, ctx);
       break;
     }
     case CniKind::kIpvtap: {
       // Software CNI: create + configure the virtual device under the
       // kernel's global network lock (Fig. 14's `addCNI`).
       const SimTime begin = h.sim().Now();
-      co_await h.rtnl_lock().Lock();
-      co_await h.cpu().Compute(rng.Jitter(h.cost().ipvtap_rtnl_crit, h.cost().jitter_sigma));
+      co_await h.rtnl_lock().Lock(ctx);
+      co_await h.cpu().Compute(rng.Jitter(h.cost().ipvtap_rtnl_crit, h.cost().jitter_sigma),
+                               ctx);
       h.rtnl_lock().Unlock();
-      co_await h.cpu().Compute(rng.Jitter(h.cost().ipvtap_create_cpu, h.cost().jitter_sigma));
-      co_await h.cpu().Compute(h.cost().cni_nns_move_cpu);
+      co_await h.cpu().Compute(rng.Jitter(h.cost().ipvtap_create_cpu, h.cost().jitter_sigma),
+                               ctx);
+      co_await h.cpu().Compute(h.cost().cni_nns_move_cpu, ctx);
       h.timeline().RecordSpan(inst.timeline_id, kStepAddCni, begin, h.sim().Now());
       break;
     }
@@ -179,12 +197,14 @@ Task ContainerRuntime::SetupVirtioFsDaemon(ContainerInstance& inst) {
     co_await injector->MaybeInject(h.sim(), FaultSite::kVirtioFs);
   }
   const SimTime begin = h.sim().Now();
+  const WaitCtx ctx = Ctx(h, inst, kStepVirtioFs);
   // vhost-user socket registration serializes host-wide.
-  co_await h.virtiofs_lock().Lock();
-  co_await h.cpu().Compute(h.sim().rng().Jitter(h.cost().virtiofs_lock_crit, h.cost().jitter_sigma));
+  co_await h.virtiofs_lock().Lock(ctx);
+  co_await h.cpu().Compute(
+      h.sim().rng().Jitter(h.cost().virtiofs_lock_crit, h.cost().jitter_sigma), ctx);
   h.virtiofs_lock().Unlock();
   co_await h.cpu().Compute(
-      h.sim().rng().Jitter(h.cost().virtiofs_daemon_cpu, h.cost().jitter_sigma));
+      h.sim().rng().Jitter(h.cost().virtiofs_daemon_cpu, h.cost().jitter_sigma), ctx);
   h.timeline().RecordSpan(inst.timeline_id, kStepVirtioFs, begin, h.sim().Now());
 }
 
@@ -235,7 +255,9 @@ Task ContainerRuntime::MapGuestRam(ContainerInstance& inst) {
   GuestMemoryRegion* ram = inst.vm->FindRegion("ram");
   const SimTime begin = h.sim().Now();
   std::vector<PageRun> runs;
-  co_await inst.vfio_container->MapDma(0, inst.layout.ram_bytes, MakeDmaOptions(inst), &runs);
+  DmaMapOptions options = MakeDmaOptions(inst);
+  options.wait_ctx = Ctx(h, inst, kStepDmaRam);
+  co_await inst.vfio_container->MapDma(0, inst.layout.ram_bytes, options, &runs);
   ram->frames.AssignRuns(runs);
   ram->dma_mapped = true;
   h.timeline().RecordSpan(inst.timeline_id, kStepDmaRam, begin, h.sim().Now());
@@ -260,8 +282,10 @@ Task ContainerRuntime::MapGuestImage(ContainerInstance& inst) {
                                           h.cost().image_bytes);
   }
   std::vector<PageRun> runs;
-  co_await inst.vfio_container->MapDma(inst.layout.image_gpa, h.cost().image_bytes,
-                                       MakeDmaOptions(inst), &runs);
+  DmaMapOptions options = MakeDmaOptions(inst);
+  options.wait_ctx = Ctx(h, inst, kStepDmaImage);
+  co_await inst.vfio_container->MapDma(inst.layout.image_gpa, h.cost().image_bytes, options,
+                                       &runs);
   image->frames.AssignRuns(runs);
   image->dma_mapped = true;
   h.timeline().RecordSpan(inst.timeline_id, kStepDmaImage, begin, h.sim().Now());
@@ -270,16 +294,18 @@ Task ContainerRuntime::MapGuestImage(ContainerInstance& inst) {
 Task ContainerRuntime::RegisterVfioDevice(ContainerInstance& inst) {
   auto& h = *host_;
   auto& rng = h.sim().rng();
+  const WaitCtx ctx = Ctx(h, inst, kStepVfioDev);
 
   if (h.config().use_vdpa) {
     // §7: the VF is registered with the vDPA framework instead of being
     // opened through VFIO — no devset lock is involved at all.
     const SimTime begin = h.sim().Now();
-    co_await h.vdpa_bus().AddDevice(inst.vf);
+    co_await h.vdpa_bus().AddDevice(inst.vf, ctx);
     h.timeline().RecordSpan(inst.timeline_id, kStepVfioDev, begin, h.sim().Now());
     inst.vfio_container->domain()->AttachDevice(inst.vf->id());
     inst.vf->set_assigned_pid(inst.pid);
-    co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_attach_misc_cpu, h.cost().jitter_sigma));
+    co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_attach_misc_cpu, h.cost().jitter_sigma),
+                             ctx);
     co_return;
   }
 
@@ -288,10 +314,12 @@ Task ContainerRuntime::RegisterVfioDevice(ContainerInstance& inst) {
     // stage the fixed CNI eliminates (§5). A retry after OpenDevice failed
     // keeps the devset entry from the first attempt.
     if (inst.vfio_dev == nullptr) {
-      co_await h.device_bind_lock().Lock();
-      co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_rebind_crit, h.cost().jitter_sigma));
+      co_await h.device_bind_lock().Lock(ctx);
+      co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_rebind_crit, h.cost().jitter_sigma),
+                               ctx);
       h.device_bind_lock().Unlock();
-      co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_rebind_cpu, h.cost().jitter_sigma));
+      co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_rebind_cpu, h.cost().jitter_sigma),
+                               ctx);
       inst.vfio_dev = h.devset().AddDevice(inst.vf);
     }
   } else {
@@ -302,7 +330,7 @@ Task ContainerRuntime::RegisterVfioDevice(ContainerInstance& inst) {
   // VFIO device registration: Fig. 5's dominant 4-vfio-dev step.
   {
     const SimTime begin = h.sim().Now();
-    co_await h.devset().OpenDevice(inst.vfio_dev);
+    co_await h.devset().OpenDevice(inst.vfio_dev, ctx);
     inst.vfio_dev_open = true;
     h.timeline().RecordSpan(inst.timeline_id, kStepVfioDev, begin, h.sim().Now());
   }
@@ -310,7 +338,8 @@ Task ContainerRuntime::RegisterVfioDevice(ContainerInstance& inst) {
   inst.vf->set_assigned_pid(inst.pid);
 
   // Interrupt routing, PCIe emulation, etc.
-  co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_attach_misc_cpu, h.cost().jitter_sigma));
+  co_await h.cpu().Compute(rng.Jitter(h.cost().vfio_attach_misc_cpu, h.cost().jitter_sigma),
+                           ctx);
 }
 
 Task ContainerRuntime::LoadGuestImageAndKernel(ContainerInstance& inst) {
@@ -404,6 +433,7 @@ Task ContainerRuntime::SupervisedLinkUp(ContainerInstance& inst) {
   auto& h = *host_;
   FaultInjector* injector = h.sim().fault_injector();
   const StackConfig& cfg = h.config();
+  const SimTime link_begin = h.sim().Now();
   SimTime backoff = cfg.fault_backoff_initial;
   int attempt = 0;
   bool had_fault = false;
@@ -411,7 +441,7 @@ Task ContainerRuntime::SupervisedLinkUp(ContainerInstance& inst) {
     bool retry = false;
     bool give_up = false;
     try {
-      co_await inst.driver->BringUpLink();
+      co_await inst.driver->BringUpLink(Ctx(h, inst, "link-up"));
     } catch (const FaultError& e) {
       if (e.transient() && attempt < cfg.fault_retry_limit) {
         retry = true;
@@ -423,6 +453,7 @@ Task ContainerRuntime::SupervisedLinkUp(ContainerInstance& inst) {
       // Out of options: fail the link permanently so the agent's poll loop
       // and any interface waiters terminate instead of spinning forever.
       inst.driver->MarkLinkFailed();
+      h.timeline().RecordAuxSpan(inst.timeline_id, "link-up", link_begin, h.sim().Now());
       co_return;
     }
     if (!retry) {
@@ -431,14 +462,15 @@ Task ContainerRuntime::SupervisedLinkUp(ContainerInstance& inst) {
     had_fault = true;
     ++attempt;
     if (injector != nullptr) {
-      injector->NoteRetry(FaultSite::kVfLinkUp);
+      injector->NoteRetry(FaultSite::kVfLinkUp, h.sim().Now());
     }
     co_await h.sim().Delay(backoff);
     backoff = std::min(backoff * cfg.fault_backoff_multiplier, cfg.fault_backoff_max);
   }
   if (had_fault && injector != nullptr) {
-    injector->NoteRecovered(FaultSite::kVfLinkUp);
+    injector->NoteRecovered(FaultSite::kVfLinkUp, h.sim().Now());
   }
+  h.timeline().RecordAuxSpan(inst.timeline_id, "link-up", link_begin, h.sim().Now());
 }
 
 Task ContainerRuntime::AsyncNetworkInit(ContainerInstance& inst) {
@@ -457,7 +489,7 @@ Task ContainerRuntime::AsyncNetworkInit(ContainerInstance& inst) {
     // The container already reported ready; a permanent network failure
     // surfaces as an in-place abort.
     if (FaultInjector* injector = h.sim().fault_injector()) {
-      injector->NoteAborted(FaultSite::kVfLinkUp);
+      injector->NoteAborted(FaultSite::kVfLinkUp, h.sim().Now());
     }
     co_await AbortContainer(inst, /*from_async=*/true);
   }
@@ -598,7 +630,7 @@ Task ContainerRuntime::StartContainer(const ServerlessApp* app) {
   }
   if (failed) {
     if (FaultInjector* injector = h.sim().fault_injector()) {
-      injector->NoteAborted(fail_site);
+      injector->NoteAborted(fail_site, h.sim().Now());
     }
     co_await AbortContainer(inst);
     co_return;

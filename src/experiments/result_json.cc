@@ -4,9 +4,56 @@
 
 #include "src/stats/fault_stats.h"
 #include "src/stats/json_writer.h"
+#include "src/stats/lock_stats.h"
+#include "src/stats/metrics.h"
 
 namespace fastiov {
 namespace {
+
+void WriteObservabilityJson(const ExperimentResult& r, JsonWriter& json) {
+  json.Key("observability");
+  json.BeginObject();
+  json.Key("metrics");
+  r.observability->metrics.WriteJson(json);
+  json.Key("locks");
+  json.BeginArray();
+  for (const LockStats* lock : r.observability->lock_stats.ByTotalWait()) {
+    json.BeginObject()
+        .KV("name", lock->name())
+        .KV("acquisitions", lock->acquisitions())
+        .KV("contended", lock->contended())
+        .KV("max_queue_depth", static_cast<uint64_t>(lock->max_queue_depth()))
+        .KV("mean_queue_depth", lock->mean_queue_depth())
+        .KV("wait_total_seconds", lock->wait_seconds().Sum())
+        .KV("wait_mean_seconds", lock->wait_seconds().Mean())
+        .KV("wait_max_seconds", lock->wait_seconds().Max())
+        .KV("hold_mean_seconds", lock->hold_seconds().Mean())
+        .EndObject();
+  }
+  json.EndArray();
+  if (r.blocked_time.has_value()) {
+    json.Key("blocked_time");
+    json.BeginObject()
+        .KV("mean_startup_seconds", r.blocked_time->mean_startup_seconds)
+        .KV("p99_startup_seconds", r.blocked_time->p99_startup_seconds);
+    json.Key("rows");
+    json.BeginArray();
+    for (const BlockedTimeRow& row : r.blocked_time->rows) {
+      json.BeginObject()
+          .KV("phase", row.phase)
+          .KV("cause", row.cause)
+          .KV("mean_seconds", row.mean_seconds)
+          .KV("share_of_mean", row.share_of_mean)
+          .KV("tail_seconds", row.tail_seconds)
+          .KV("share_of_p99_tail", row.share_of_p99_tail)
+          .KV("events", row.events)
+          .EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+}
 
 void WriteExperimentResultBody(const ExperimentResult& r, JsonWriter& json) {
   json.BeginObject();
@@ -52,6 +99,12 @@ void WriteExperimentResultBody(const ExperimentResult& r, JsonWriter& json) {
     json.KV("aborted_containers", r.aborted_containers);
     json.Key("fault_injection");
     WriteFaultStatsJson(*r.fault_stats, json);
+  }
+  // Same conditional-section pattern: metrics-off runs emit no observability
+  // key, and because the probes are memory-only the rest of the document is
+  // byte-identical either way.
+  if (r.observability != nullptr) {
+    WriteObservabilityJson(r, json);
   }
   json.EndObject();
 }

@@ -57,6 +57,10 @@ ExperimentResult RunStartupExperiment(const StackConfig& config,
     sim.set_fault_injector(&*injector);
   }
   Host host(sim, options.host, options.cost, config);
+  if (options.collect_metrics) {
+    // Before any container starts, so every lock acquisition is observed.
+    host.EnableObservability();
+  }
   ContainerRuntime runtime(host);
 
   Process root = sim.Spawn(Orchestrate(sim, host, runtime, options), "orchestrator");
@@ -87,6 +91,38 @@ ExperimentResult RunStartupExperiment(const StackConfig& config,
       }
     }
     result.fault_stats = FaultStatsReport::FromInjector(*injector);
+    result.fault_events = injector->trace_events();
+  }
+  if (ObservabilityHub* obs = host.observability()) {
+    result.blocked_time = BuildBlockedTimeReport(obs->blocked, host.timeline());
+    // Fold the run's headline counters and distributions into the registry
+    // so one export surface carries them all.
+    MetricsRegistry& m = obs->metrics;
+    m.SetCounter("runtime.residue_reads", result.residue_reads);
+    m.SetCounter("runtime.corruptions", result.corruptions);
+    m.SetCounter("runtime.aborted_containers", result.aborted_containers);
+    m.SetCounter("vfio.devset.lock_contention", result.devset_lock_contention);
+    m.SetCounter("vfio.devset.opens", host.devset().opens_performed());
+    m.SetCounter("mem.pages_zeroed", result.pages_zeroed);
+    m.SetCounter("mem.local_allocations", result.local_allocations);
+    m.SetCounter("mem.remote_allocations", result.remote_allocations);
+    m.SetCounter("fastiovd.fault_zeroed_pages", result.fault_zeroed_pages);
+    m.SetCounter("fastiovd.background_zeroed_pages", result.background_zeroed_pages);
+    m.SetGauge("mem.free_pages", static_cast<double>(host.pmem().free_pages()));
+    m.SetGauge("iommu.mapped_pages", static_cast<double>(host.iommu().total_mapped_pages()));
+    m.SetGauge("nic.vfs_in_use", static_cast<double>(host.nic().vfs_in_use()));
+    m.MergeSummary("startup.seconds", result.startup);
+    m.MergeSummary("startup.vf_related_seconds", result.vf_related);
+    if (!result.task_completion.Empty()) {
+      m.MergeSummary("task.completion_seconds", result.task_completion);
+    }
+    for (size_t i = 0; i < obs->lock_stats.size(); ++i) {
+      const LockStats& lock = obs->lock_stats.at(i);
+      m.SetCounter("lock." + lock.name() + ".acquisitions", lock.acquisitions());
+      m.SetCounter("lock." + lock.name() + ".contended", lock.contended());
+      m.MergeSummary("lock." + lock.name() + ".wait_seconds", lock.wait_seconds());
+    }
+    result.observability = host.observability_ptr();
   }
   return result;
 }

@@ -6,12 +6,15 @@
 #define SRC_EXPERIMENTS_STARTUP_EXPERIMENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "src/config/cost_model.h"
 #include "src/container/stack_config.h"
 #include "src/fault/fault.h"
+#include "src/stats/blocked_time.h"
 #include "src/stats/fault_stats.h"
+#include "src/stats/observability.h"
 #include "src/stats/summary.h"
 #include "src/stats/timeline.h"
 #include "src/workload/arrivals.h"
@@ -40,6 +43,12 @@ struct ExperimentOptions {
   // simulation for this run. Unset (the default) leaves the run bit-for-bit
   // identical to a build without the fault subsystem.
   std::optional<FaultPlan> fault_plan;
+  // Contention-aware observability: lock/resource probes, blocked-time
+  // attribution, counter tracks, and the metrics registry. Probes are
+  // memory-only (no events, no RNG, no simulated time), so enabling this
+  // leaves the base result JSON byte-identical — it only ADDS an
+  // "observability" section.
+  bool collect_metrics = false;
 };
 
 struct ExperimentResult {
@@ -63,6 +72,15 @@ struct ExperimentResult {
   // Fault-injection bookkeeping; present only when options.fault_plan was.
   uint64_t aborted_containers = 0;
   std::optional<FaultStatsReport> fault_stats;
+
+  // Observability payload; set only when options.collect_metrics was. The
+  // hub (lock stats, counter tracks, metrics registry) is shared so results
+  // stay copyable and outlive the Host that recorded into it.
+  std::shared_ptr<ObservabilityHub> observability;
+  std::optional<BlockedTimeReport> blocked_time;
+  // Fault-lifecycle events for the trace exporter (copied out of the
+  // injector; empty without a fault plan).
+  std::vector<FaultTraceEvent> fault_events;
 
   double MeanStartupSeconds() const { return startup.Mean(); }
   double P99StartupSeconds() const { return startup.Percentile(99.0); }

@@ -74,6 +74,20 @@ const char* FaultSiteName(FaultSite site) {
   return "?";
 }
 
+const char* FaultTraceEventKindName(FaultTraceEvent::Kind kind) {
+  switch (kind) {
+    case FaultTraceEvent::Kind::kInjected:
+      return "injected";
+    case FaultTraceEvent::Kind::kRetried:
+      return "retried";
+    case FaultTraceEvent::Kind::kRecovered:
+      return "recovered";
+    case FaultTraceEvent::Kind::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
 std::optional<FaultSite> FaultSiteFromName(const std::string& name) {
   for (const auto& e : kSiteNames) {
     if (name == e.name) {
@@ -235,6 +249,9 @@ Task FaultInjector::MaybeInject(Simulation& sim, FaultSite site) {
   if (injection->penalty > SimTime::Zero()) {
     co_await sim.Delay(injection->penalty);
   }
+  // Stamped after the penalty: the instant marks when the fault surfaced.
+  events_.push_back(
+      {sim.Now(), site, FaultTraceEvent::Kind::kInjected, injection->transient});
   throw FaultError(site, injection->transient);
 }
 

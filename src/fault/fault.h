@@ -22,6 +22,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "src/simcore/rng.h"
 #include "src/simcore/task.h"
@@ -91,6 +92,21 @@ struct FaultPlan {
   std::string ToString() const;
 };
 
+// One time-stamped fault-lifecycle event, kept for the unified trace
+// (rendered as Perfetto instant events). Recording is memory-only: the log
+// only grows when a fault actually fires or the runtime reacts to one, so
+// fault-free runs carry an empty log.
+struct FaultTraceEvent {
+  enum class Kind { kInjected, kRetried, kRecovered, kAborted };
+
+  SimTime t;
+  FaultSite site;
+  Kind kind;
+  bool transient = false;  // meaningful for kInjected only
+};
+
+const char* FaultTraceEventKindName(FaultTraceEvent::Kind kind);
+
 // Per-site outcome counters (surfaced through src/stats/fault_stats.h).
 struct SiteFaultCounters {
   uint64_t calls = 0;      // times the site was reached
@@ -111,10 +127,24 @@ class FaultInjector {
   // returns without touching the clock. Never draws from the simulation RNG.
   Task MaybeInject(Simulation& sim, FaultSite site);
 
-  // Recovery bookkeeping (called by ContainerRuntime).
-  void NoteRetry(FaultSite site) { ++counters_[Index(site)].retried; }
-  void NoteRecovered(FaultSite site) { ++counters_[Index(site)].recovered; }
-  void NoteAborted(FaultSite site) { ++counters_[Index(site)].aborted; }
+  // Recovery bookkeeping (called by ContainerRuntime). `now` stamps the
+  // trace event; the counters themselves are time-free.
+  void NoteRetry(FaultSite site, SimTime now) {
+    ++counters_[Index(site)].retried;
+    events_.push_back({now, site, FaultTraceEvent::Kind::kRetried});
+  }
+  void NoteRecovered(FaultSite site, SimTime now) {
+    ++counters_[Index(site)].recovered;
+    events_.push_back({now, site, FaultTraceEvent::Kind::kRecovered});
+  }
+  void NoteAborted(FaultSite site, SimTime now) {
+    ++counters_[Index(site)].aborted;
+    events_.push_back({now, site, FaultTraceEvent::Kind::kAborted});
+  }
+
+  // Chronological fault-lifecycle log (injections, retries, recoveries,
+  // aborts) for the trace exporter.
+  const std::vector<FaultTraceEvent>& trace_events() const { return events_; }
 
   const SiteFaultCounters& counters(FaultSite site) const {
     return counters_[Index(site)];
@@ -139,6 +169,7 @@ class FaultInjector {
   FaultPlan plan_;
   Rng rng_;
   std::array<SiteFaultCounters, kNumFaultSites> counters_{};
+  std::vector<FaultTraceEvent> events_;
 };
 
 }  // namespace fastiov

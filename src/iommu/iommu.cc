@@ -1,14 +1,39 @@
 #include "src/iommu/iommu.h"
 
+#include "src/simcore/simulation.h"
+
 namespace fastiov {
+
+void IommuDomain::NoteMapped(int64_t delta) {
+  if (parent_ != nullptr && delta != 0) {
+    parent_->NoteMapped(delta);
+  }
+}
+
+void Iommu::NoteMapped(int64_t delta) {
+  total_mapped_pages_ = static_cast<uint64_t>(
+      static_cast<int64_t>(total_mapped_pages_) + delta);
+  if (track_ != nullptr && track_sim_ != nullptr) {
+    track_->Record(track_sim_->Now(), static_cast<double>(total_mapped_pages_));
+  }
+}
 
 IommuDomain* Iommu::CreateDomain() {
   const int id = next_id_++;
   auto [it, inserted] = domains_.emplace(id, std::make_unique<IommuDomain>(id));
+  it->second->parent_ = this;
   return it->second.get();
 }
 
-void Iommu::DestroyDomain(int id) { domains_.erase(id); }
+void Iommu::DestroyDomain(int id) {
+  auto it = domains_.find(id);
+  if (it == domains_.end()) {
+    return;
+  }
+  // Mappings still live in the dying domain leave the unit-wide count.
+  NoteMapped(-static_cast<int64_t>(it->second->table().num_mappings()));
+  domains_.erase(it);
+}
 
 IommuDomain* Iommu::domain(int id) {
   auto it = domains_.find(id);

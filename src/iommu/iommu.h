@@ -14,8 +14,12 @@
 #include "src/config/cost_model.h"
 #include "src/iommu/io_page_table.h"
 #include "src/iommu/iotlb.h"
+#include "src/stats/counter_track.h"
 
 namespace fastiov {
+
+class Iommu;
+class Simulation;
 
 class IommuDomain {
  public:
@@ -26,13 +30,25 @@ class IommuDomain {
   const IoPageTable& table() const { return table_; }
 
   bool Map(uint64_t iova, PageId frame, uint64_t page_size) {
-    return table_.Map(iova, frame, page_size);
+    const bool ok = table_.Map(iova, frame, page_size);
+    if (ok) {
+      NoteMapped(1);
+    }
+    return ok;
   }
   bool MapRange(uint64_t iova, PageRun run, uint64_t page_size) {
-    return table_.MapRange(iova, run, page_size);
+    const bool ok = table_.MapRange(iova, run, page_size);
+    if (ok) {
+      NoteMapped(static_cast<int64_t>(run.count));
+    }
+    return ok;
   }
   bool MapExtents(uint64_t iova, std::span<const PageRun> runs, uint64_t page_size) {
-    return table_.MapExtents(iova, runs, page_size);
+    const bool ok = table_.MapExtents(iova, runs, page_size);
+    if (ok) {
+      NoteMapped(static_cast<int64_t>(PageCountOfRuns(runs)));
+    }
+    return ok;
   }
   bool Unmap(uint64_t iova) {
     // Invalidate every small-page tag the mapping covers: TranslateCached
@@ -46,12 +62,18 @@ class IommuDomain {
     } else {
       iotlb_.Invalidate(iova / kSmallPageSize);
     }
-    return table_.Unmap(iova);
+    const bool ok = table_.Unmap(iova);
+    if (ok) {
+      NoteMapped(-1);
+    }
+    return ok;
   }
   uint64_t UnmapRange(uint64_t iova, uint64_t num_pages, uint64_t page_size) {
     iotlb_.InvalidateRange(iova / kSmallPageSize,
                            num_pages * (page_size / kSmallPageSize));
-    return table_.UnmapRange(iova, num_pages, page_size);
+    const uint64_t removed = table_.UnmapRange(iova, num_pages, page_size);
+    NoteMapped(-static_cast<int64_t>(removed));
+    return removed;
   }
   std::optional<IoTranslation> Translate(uint64_t iova) const {
     return table_.Translate(iova);
@@ -80,7 +102,11 @@ class IommuDomain {
   void CountTranslationFault() { ++translation_faults_; }
 
  private:
+  friend class Iommu;
+  void NoteMapped(int64_t delta);
+
   int id_;
+  Iommu* parent_ = nullptr;
   IoPageTable table_;
   IoTlb iotlb_;
   std::vector<int> devices_;
@@ -94,9 +120,23 @@ class Iommu {
   IommuDomain* domain(int id);
   size_t num_domains() const { return domains_.size(); }
 
+  // Unit-wide count of live IOMMU mappings (pages) across all domains.
+  uint64_t total_mapped_pages() const { return total_mapped_pages_; }
+  // Attaches a counter track sampled at every map/unmap (nullptr detaches).
+  void InstrumentTrack(Simulation* sim, CounterTrack* track) {
+    track_sim_ = sim;
+    track_ = track;
+  }
+
  private:
+  friend class IommuDomain;
+  void NoteMapped(int64_t delta);
+
   int next_id_ = 1;
   std::map<int, std::unique_ptr<IommuDomain>> domains_;
+  uint64_t total_mapped_pages_ = 0;
+  Simulation* track_sim_ = nullptr;
+  CounterTrack* track_ = nullptr;
 };
 
 }  // namespace fastiov

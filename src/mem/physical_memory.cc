@@ -34,7 +34,7 @@ PhysicalMemory::PhysicalMemory(Simulation& sim, const HostSpec& host, const Cost
       interleave_homes_(host.numa_interleave_homes),
       per_thread_zeroing_bps_(host.per_thread_zeroing_bps),
       remote_zeroing_penalty_(host.remote_zeroing_penalty),
-      zero_dram_(sim, host.zeroing_dram_bandwidth_bps) {
+      zero_dram_(sim, host.zeroing_dram_bandwidth_bps, "mem.zero-dram") {
   assert(page_size > 0);
   assert(host.numa_nodes > 0);
   assert(total_pages_ <= kMaxModeledPages &&
@@ -124,7 +124,8 @@ PageRun PhysicalMemory::TakeRunFromNode(int node, int owner, uint64_t max_pages)
   return out;
 }
 
-Task PhysicalMemory::RetrievePages(int owner, uint64_t num_pages, std::vector<PageRun>* out) {
+Task PhysicalMemory::RetrievePages(int owner, uint64_t num_pages, std::vector<PageRun>* out,
+                                   WaitCtx ctx) {
   assert(out != nullptr);
   if (num_pages > free_pages()) {
     throw std::runtime_error("PhysicalMemory: out of memory");
@@ -173,11 +174,13 @@ Task PhysicalMemory::RetrievePages(int owner, uint64_t num_pages, std::vector<Pa
     ++batches;
   }
   used_pages_ += num_pages;
+  SampleFreeTrack();
   batches_retrieved_ += batches;
-  co_await cpu_->Compute(cost_.page_retrieve_batch * static_cast<double>(batches));
+  co_await cpu_->Compute(cost_.page_retrieve_batch * static_cast<double>(batches), ctx);
 }
 
-Task PhysicalMemory::RetrievePages(int owner, uint64_t num_pages, std::vector<PageId>* out) {
+Task PhysicalMemory::RetrievePages(int owner, uint64_t num_pages, std::vector<PageId>* out,
+                                   WaitCtx ctx) {
   // Flat compatibility overload: one free-store operation and one frame-state
   // update per page, the way the pre-extent allocator worked. Identical
   // batch structure, RNG draws and simulated cost as the run overload — only
@@ -221,11 +224,12 @@ Task PhysicalMemory::RetrievePages(int owner, uint64_t num_pages, std::vector<Pa
     ++batches;
   }
   used_pages_ += num_pages;
+  SampleFreeTrack();
   batches_retrieved_ += batches;
-  co_await cpu_->Compute(cost_.page_retrieve_batch * static_cast<double>(batches));
+  co_await cpu_->Compute(cost_.page_retrieve_batch * static_cast<double>(batches), ctx);
 }
 
-Task PhysicalMemory::RetrieveSinglePage(int owner, PageId* out) {
+Task PhysicalMemory::RetrieveSinglePage(int owner, PageId* out, WaitCtx ctx) {
   assert(out != nullptr);
   if (refill_cache_[owner].empty()) {
     const uint64_t want = std::min<uint64_t>(kRefillCachePages, free_pages());
@@ -233,7 +237,7 @@ Task PhysicalMemory::RetrieveSinglePage(int owner, PageId* out) {
       throw std::runtime_error("PhysicalMemory: out of memory");
     }
     std::vector<PageRun> filled;
-    co_await RetrievePages(owner, want, &filled);
+    co_await RetrievePages(owner, want, &filled, ctx);
     // Re-look-up after the await: another owner's refill may have rehashed
     // the cache map while this coroutine was suspended. Append (rather than
     // assign) so a concurrent same-owner refill cannot strand pages.
@@ -303,6 +307,7 @@ void PhysicalMemory::FreePages(std::span<const PageRun> runs) {
     }
   }
   used_pages_ -= total;
+  SampleFreeTrack();
 }
 
 void PhysicalMemory::FreePages(std::span<const PageId> pages) {
@@ -329,9 +334,10 @@ void PhysicalMemory::FreePages(std::span<const PageId> pages) {
     ++free_count_[node];
   }
   used_pages_ -= pages.size();
+  SampleFreeTrack();
 }
 
-Task PhysicalMemory::ChargeZeroing(uint64_t total, uint64_t remote) {
+Task PhysicalMemory::ChargeZeroing(uint64_t total, uint64_t remote, WaitCtx ctx) {
   // Zeroing is a memset loop: one thread streams at per_thread rate when
   // DRAM is idle, but concurrent zeroers share the aggregate DRAM write
   // bandwidth — a dozen threads saturate it, and 200 containers each
@@ -344,12 +350,12 @@ Task PhysicalMemory::ChargeZeroing(uint64_t total, uint64_t remote) {
   const double rate = per_thread_zeroing_bps_ / slowdown;
   const double bytes = static_cast<double>(total * page_size_);
   Process cpu_load = sim_->Spawn(cpu_->Compute(Seconds(bytes / rate)));
-  co_await zero_dram_.Transfer(bytes, rate);
+  co_await zero_dram_.Transfer(bytes, rate, ctx);
   co_await cpu_load.Join();
   pages_zeroed_ += total;
 }
 
-Task PhysicalMemory::ZeroPages(std::span<const PageRun> runs) {
+Task PhysicalMemory::ZeroPages(std::span<const PageRun> runs, WaitCtx ctx) {
   const uint64_t total = PageCountOfRuns(runs);
   if (total == 0) {
     co_return;
@@ -374,7 +380,7 @@ Task PhysicalMemory::ZeroPages(std::span<const PageRun> runs) {
       rest.count -= span;
     }
   }
-  co_await ChargeZeroing(total, remote);
+  co_await ChargeZeroing(total, remote, ctx);
   for (const PageRun& run : runs) {
     for (PageId id = run.first; id < run.first + run.count; ++id) {
       frames_[id].content = PageContent::kZeroed;
@@ -382,7 +388,7 @@ Task PhysicalMemory::ZeroPages(std::span<const PageRun> runs) {
   }
 }
 
-Task PhysicalMemory::ZeroPages(std::span<const PageId> pages) {
+Task PhysicalMemory::ZeroPages(std::span<const PageId> pages, WaitCtx ctx) {
   if (pages.empty()) {
     co_return;
   }
@@ -393,18 +399,18 @@ Task PhysicalMemory::ZeroPages(std::span<const PageId> pages) {
       ++remote;
     }
   }
-  co_await ChargeZeroing(pages.size(), remote);
+  co_await ChargeZeroing(pages.size(), remote, ctx);
   for (PageId id : pages) {
     frames_[id].content = PageContent::kZeroed;
   }
 }
 
-Task PhysicalMemory::ZeroPage(PageId page) {
+Task PhysicalMemory::ZeroPage(PageId page, WaitCtx ctx) {
   const PageId one[] = {page};
-  co_await ZeroPages(std::span<const PageId>(one));
+  co_await ZeroPages(std::span<const PageId>(one), ctx);
 }
 
-Task PhysicalMemory::PinPages(std::span<const PageRun> runs) {
+Task PhysicalMemory::PinPages(std::span<const PageRun> runs, WaitCtx ctx) {
   uint64_t total = 0;
   for (const PageRun& run : runs) {
     for (PageId id = run.first; id < run.first + run.count; ++id) {
@@ -413,15 +419,17 @@ Task PhysicalMemory::PinPages(std::span<const PageRun> runs) {
     total += run.count;
   }
   pinned_pages_ += total;
-  co_await cpu_->Compute(cost_.page_pin * static_cast<double>(total));
+  SamplePinnedTrack();
+  co_await cpu_->Compute(cost_.page_pin * static_cast<double>(total), ctx);
 }
 
-Task PhysicalMemory::PinPages(std::span<const PageId> pages) {
+Task PhysicalMemory::PinPages(std::span<const PageId> pages, WaitCtx ctx) {
   for (PageId id : pages) {
     ++frames_[id].pin_count;
   }
   pinned_pages_ += pages.size();
-  co_await cpu_->Compute(cost_.page_pin * static_cast<double>(pages.size()));
+  SamplePinnedTrack();
+  co_await cpu_->Compute(cost_.page_pin * static_cast<double>(pages.size()), ctx);
 }
 
 void PhysicalMemory::UnpinPages(std::span<const PageRun> runs) {
@@ -433,6 +441,7 @@ void PhysicalMemory::UnpinPages(std::span<const PageRun> runs) {
     assert(pinned_pages_ >= run.count);
     pinned_pages_ -= run.count;
   }
+  SamplePinnedTrack();
 }
 
 void PhysicalMemory::UnpinPages(std::span<const PageId> pages) {
@@ -442,6 +451,7 @@ void PhysicalMemory::UnpinPages(std::span<const PageId> pages) {
   }
   assert(pinned_pages_ >= pages.size());
   pinned_pages_ -= pages.size();
+  SamplePinnedTrack();
 }
 
 }  // namespace fastiov

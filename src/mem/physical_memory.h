@@ -33,6 +33,8 @@
 #include "src/mem/page_run.h"
 #include "src/simcore/resources.h"
 #include "src/simcore/simulation.h"
+#include "src/stats/blocked_time.h"
+#include "src/stats/counter_track.h"
 
 namespace fastiov {
 
@@ -77,14 +79,16 @@ class PhysicalMemory {
   // Allocation drains the owner's home node first, then spills to the other
   // nodes; runs never span NUMA nodes. Pre-zeroed frames arrive with
   // content kZeroed; the rest as kResidue.
-  Task RetrievePages(int owner, uint64_t num_pages, std::vector<PageRun>* out);
+  Task RetrievePages(int owner, uint64_t num_pages, std::vector<PageRun>* out,
+                     WaitCtx ctx = {});
   // Flat-list compatibility overload (cold paths and tests): identical cost,
   // appends one PageId per page.
-  Task RetrievePages(int owner, uint64_t num_pages, std::vector<PageId>* out);
+  Task RetrievePages(int owner, uint64_t num_pages, std::vector<PageId>* out,
+                     WaitCtx ctx = {});
 
   // Single-page retrieval through the per-owner refill cache (EPT-fault
   // path). Charges a batched retrieval only when the cache is empty.
-  Task RetrieveSinglePage(int owner, PageId* out);
+  Task RetrieveSinglePage(int owner, PageId* out, WaitCtx ctx = {});
   // Returns an owner's unused cached pages to the free pool (VM teardown).
   void DrainRefillCache(int owner);
   uint64_t refill_cached_pages(int owner) const;
@@ -99,14 +103,14 @@ class PhysicalMemory {
   // Zeroes the given frames, charging the shared zeroing bandwidth; frames
   // remote to the (owner's) zeroing thread pay the interconnect penalty.
   // The run and flat-list overloads charge identically.
-  Task ZeroPages(std::span<const PageRun> runs);
-  Task ZeroPages(std::span<const PageId> pages);
+  Task ZeroPages(std::span<const PageRun> runs, WaitCtx ctx = {});
+  Task ZeroPages(std::span<const PageId> pages, WaitCtx ctx = {});
   // Zeroes a single frame (EPT-fault path).
-  Task ZeroPage(PageId page);
+  Task ZeroPage(PageId page, WaitCtx ctx = {});
 
   // Pins frames for DMA, charging per-page pin cost on the CPU pool.
-  Task PinPages(std::span<const PageRun> runs);
-  Task PinPages(std::span<const PageId> pages);
+  Task PinPages(std::span<const PageRun> runs, WaitCtx ctx = {});
+  Task PinPages(std::span<const PageId> pages, WaitCtx ctx = {});
   void UnpinPages(std::span<const PageRun> runs);
   void UnpinPages(std::span<const PageId> pages);
 
@@ -115,6 +119,13 @@ class PhysicalMemory {
 
   CpuPool& cpu() { return *cpu_; }
   void set_cpu(CpuPool* cpu) { cpu_ = cpu; }
+
+  // Attaches counter tracks sampled at every allocation/pin state change
+  // (nullptr detaches). Memory-only; no effect on the simulation.
+  void InstrumentTracks(CounterTrack* free_frames, CounterTrack* pinned) {
+    free_track_ = free_frames;
+    pinned_track_ = pinned;
+  }
 
   // Statistics.
   // Host-wide sum of pin counts — 0 when no DMA mapping is live, which is
@@ -145,7 +156,18 @@ class PhysicalMemory {
   PageRun TakeRunFromNode(int node, int owner, uint64_t max_pages);
   // Shared zeroing engine: charges DRAM bandwidth + CPU for `total` pages of
   // which `remote` are off the zeroing thread's node.
-  Task ChargeZeroing(uint64_t total, uint64_t remote);
+  Task ChargeZeroing(uint64_t total, uint64_t remote, WaitCtx ctx);
+  // Counter-track sampling helpers (single branch when uninstrumented).
+  void SampleFreeTrack() {
+    if (free_track_ != nullptr) {
+      free_track_->Record(sim_->Now(), static_cast<double>(free_pages()));
+    }
+  }
+  void SamplePinnedTrack() {
+    if (pinned_track_ != nullptr) {
+      pinned_track_->Record(sim_->Now(), static_cast<double>(pinned_pages_));
+    }
+  }
 
   Simulation* sim_;
   const CostModel cost_;
@@ -172,6 +194,9 @@ class PhysicalMemory {
   uint64_t reused_allocations_ = 0;
   uint64_t local_allocations_ = 0;
   uint64_t remote_allocations_ = 0;
+
+  CounterTrack* free_track_ = nullptr;
+  CounterTrack* pinned_track_ = nullptr;
 };
 
 }  // namespace fastiov

@@ -19,7 +19,7 @@ SriovNic::SriovNic(Simulation& sim, CpuPool& cpu, const CostModel& cost, const H
       bus_(&bus),
       pf_lock_(sim),
       mailbox_lock_(sim),
-      data_plane_(sim, host.nic_bandwidth_bps) {}
+      data_plane_(sim, host.nic_bandwidth_bps, "nic.data-plane") {}
 
 void SriovNic::CreateVfs(int count) {
   for (int i = 0; i < count; ++i) {
@@ -36,6 +36,8 @@ VirtualFunction* SriovNic::AllocateFreeVf() {
   for (auto& vf : vfs_) {
     if (vf->assigned_pid() < 0 && !vf->configured()) {
       vf->set_configured(true);
+      ++vfs_in_use_;
+      SampleVfTrack();
       return vf.get();
     }
   }
@@ -46,29 +48,40 @@ void SriovNic::ReleaseVf(VirtualFunction* vf) {
   vf->set_configured(false);
   vf->set_assigned_pid(-1);
   vf->AssignAddresses({}, {});
+  assert(vfs_in_use_ > 0);
+  --vfs_in_use_;
+  SampleVfTrack();
 }
 
-Task SriovNic::ConfigureVf(VirtualFunction* vf) {
+Task SriovNic::ConfigureVf(VirtualFunction* vf, WaitCtx ctx) {
   if (FaultInjector* injector = sim_->fault_injector()) {
     co_await injector->MaybeInject(*sim_, FaultSite::kVfBind);
   }
-  co_await pf_lock_.Lock();
-  co_await cpu_->Compute(sim_->rng().Jitter(cost_.pf_driver_lock_crit, cost_.jitter_sigma));
+  co_await pf_lock_.Lock(ctx);
+  co_await cpu_->Compute(sim_->rng().Jitter(cost_.pf_driver_lock_crit, cost_.jitter_sigma),
+                         ctx);
   pf_lock_.Unlock();
-  co_await cpu_->Compute(sim_->rng().Jitter(cost_.cni_vf_config_cpu, cost_.jitter_sigma));
+  co_await cpu_->Compute(sim_->rng().Jitter(cost_.cni_vf_config_cpu, cost_.jitter_sigma),
+                         ctx);
   vf->set_configured(true);
 }
 
-Task SriovNic::ResetVf(VirtualFunction* vf) {
+Task SriovNic::ResetVf(VirtualFunction* vf, WaitCtx ctx) {
   if (FaultInjector* injector = sim_->fault_injector()) {
     co_await injector->MaybeInject(*sim_, FaultSite::kVfFlr);
   }
   // FLR is requested through the PF driver and waits for firmware
   // completion; per-VF state (rings, filters) is wiped by hardware.
-  co_await pf_lock_.Lock();
-  co_await cpu_->Compute(cost_.vf_flr_cpu);
+  co_await pf_lock_.Lock(ctx);
+  co_await cpu_->Compute(cost_.vf_flr_cpu, ctx);
   pf_lock_.Unlock();
   (void)vf;
+}
+
+void SriovNic::Instrument(LockStatsRegistry* locks, CounterTrack* vfs_in_use) {
+  pf_lock_.Instrument(locks == nullptr ? nullptr : locks->Create("nic.pf-driver"));
+  mailbox_lock_.Instrument(locks == nullptr ? nullptr : locks->Create("nic.mailbox"));
+  vf_track_ = vfs_in_use;
 }
 
 Task SriovNic::DeliverInterrupt(MicroVm& vm) {

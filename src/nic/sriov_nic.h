@@ -63,13 +63,13 @@ class SriovNic {
   void ReleaseVf(VirtualFunction* vf);
 
   // CNI path: set VF parameters (MAC filter, VLAN, rate) via the PF driver.
-  Task ConfigureVf(VirtualFunction* vf);
+  Task ConfigureVf(VirtualFunction* vf, WaitCtx ctx = {});
 
   // Function-level reset of a VF (recovery path): issued through the PF
   // before retrying a failed VF operation or recycling a half-attached VF.
   // Leaves allocation state (configured/assigned_pid) untouched — the
   // caller decides whether the VF goes back to the pool.
-  Task ResetVf(VirtualFunction* vf);
+  Task ResetVf(VirtualFunction* vf, WaitCtx ctx = {});
 
   size_t num_vfs() const { return vfs_.size(); }
   VirtualFunction* vf(int index) { return vfs_.at(index).get(); }
@@ -87,7 +87,18 @@ class SriovNic {
   // Completion interrupt, relayed through the hypervisor (§2.2).
   Task DeliverInterrupt(MicroVm& vm);
 
+  // Observability: named probes on the PF-driver and mailbox locks, plus a
+  // counter track of VFs currently configured/assigned.
+  void Instrument(LockStatsRegistry* locks, CounterTrack* vfs_in_use);
+  uint64_t vfs_in_use() const { return vfs_in_use_; }
+
  private:
+  void SampleVfTrack() {
+    if (vf_track_ != nullptr) {
+      vf_track_->Record(sim_->Now(), static_cast<double>(vfs_in_use_));
+    }
+  }
+
   Simulation* sim_;
   CpuPool* cpu_;
   const CostModel cost_;
@@ -96,6 +107,8 @@ class SriovNic {
   SimMutex mailbox_lock_;
   BandwidthResource data_plane_;
   std::vector<std::unique_ptr<VirtualFunction>> vfs_;
+  uint64_t vfs_in_use_ = 0;
+  CounterTrack* vf_track_ = nullptr;
 };
 
 }  // namespace fastiov

@@ -8,14 +8,14 @@
 
 namespace fastiov {
 
-Task VdpaBus::AddDevice(VirtualFunction* vf) {
+Task VdpaBus::AddDevice(VirtualFunction* vf, WaitCtx ctx) {
   if (FaultInjector* injector = sim_->fault_injector()) {
     co_await injector->MaybeInject(*sim_, FaultSite::kVdpaAttach);
   }
-  co_await lock_.Lock();
-  co_await cpu_->Compute(sim_->rng().Jitter(cost_.vdpa_bus_crit, cost_.jitter_sigma));
+  co_await lock_.Lock(ctx);
+  co_await cpu_->Compute(sim_->rng().Jitter(cost_.vdpa_bus_crit, cost_.jitter_sigma), ctx);
   lock_.Unlock();
-  co_await cpu_->Compute(sim_->rng().Jitter(cost_.vdpa_dev_add_cpu, cost_.jitter_sigma));
+  co_await cpu_->Compute(sim_->rng().Jitter(cost_.vdpa_dev_add_cpu, cost_.jitter_sigma), ctx);
   vf->BindDriver(BoundDriver::kVfio);  // vhost-vdpa keeps the VF off host netdevs
   ++devices_added_;
 }

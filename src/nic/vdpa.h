@@ -34,7 +34,12 @@ class VdpaBus {
 
   // `vdpa dev add`: creates the vdpa device for a VF (serialized on the
   // vdpa bus lock).
-  Task AddDevice(VirtualFunction* vf);
+  Task AddDevice(VirtualFunction* vf, WaitCtx ctx = {});
+
+  // Observability: named probe on the vdpa bus lock.
+  void Instrument(LockStatsRegistry* locks) {
+    lock_.Instrument(locks == nullptr ? nullptr : locks->Create("vdpa.bus"));
+  }
 
   uint64_t devices_added() const { return devices_added_; }
   uint64_t lock_contention() const { return lock_.contention_count(); }

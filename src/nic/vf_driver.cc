@@ -42,14 +42,14 @@ Task VfDriver::Initialize(bool zero_rx_buffers) {
   initialized_ = true;
 }
 
-Task VfDriver::BringUpLink() {
+Task VfDriver::BringUpLink(WaitCtx ctx) {
   assert(initialized_);
   if (FaultInjector* injector = sim_->fault_injector()) {
     co_await injector->MaybeInject(*sim_, FaultSite::kVfLinkUp);
   }
   // VF link requests funnel through the PF firmware mailbox one at a time.
-  co_await nic_->mailbox_lock().Lock();
-  co_await cpu_->Compute(sim_->rng().Jitter(cost_.pf_mailbox_crit, cost_.jitter_sigma));
+  co_await nic_->mailbox_lock().Lock(ctx);
+  co_await cpu_->Compute(sim_->rng().Jitter(cost_.pf_mailbox_crit, cost_.jitter_sigma), ctx);
   nic_->mailbox_lock().Unlock();
   co_await sim_->Delay(sim_->rng().Jitter(cost_.vf_link_settle, cost_.jitter_sigma));
   link_settled_.Set();

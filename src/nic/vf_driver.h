@@ -42,7 +42,7 @@ class VfDriver {
   Task Initialize(bool zero_rx_buffers = true);
 
   // Firmware link negotiation (PF mailbox serialized). Sets link_settled.
-  Task BringUpLink();
+  Task BringUpLink(WaitCtx ctx = {});
 
   // Recovery path: marks link negotiation as permanently failed so the
   // agent's poll loop terminates. AssignAddresses then throws instead of

@@ -7,21 +7,24 @@
 
 namespace fastiov {
 
-CpuPool::CpuPool(Simulation& sim, int num_cores)
-    : sim_(&sim), num_cores_(num_cores), ps_(sim, static_cast<double>(num_cores)) {
+CpuPool::CpuPool(Simulation& sim, int num_cores, std::string name)
+    : sim_(&sim),
+      num_cores_(num_cores),
+      ps_(sim, static_cast<double>(num_cores), std::move(name)) {
   assert(num_cores > 0);
 }
 
-Task CpuPool::Compute(SimTime cost) {
+Task CpuPool::Compute(SimTime cost, WaitCtx ctx) {
   if (cost <= SimTime::Zero()) {
     co_return;
   }
   busy_core_time_ += cost;
-  co_await ps_.Transfer(cost.ToSecondsF(), /*max_rate=*/1.0);
+  co_await ps_.Transfer(cost.ToSecondsF(), /*max_rate=*/1.0, ctx);
 }
 
-BandwidthResource::BandwidthResource(Simulation& sim, double capacity_per_second)
-    : sim_(&sim), capacity_(capacity_per_second) {
+BandwidthResource::BandwidthResource(Simulation& sim, double capacity_per_second,
+                                     std::string name)
+    : sim_(&sim), capacity_(capacity_per_second), name_(std::move(name)) {
   assert(capacity_per_second > 0.0);
 }
 
@@ -103,17 +106,23 @@ void BandwidthResource::OnTimer(uint64_t generation) {
   Reschedule();
 }
 
-Task BandwidthResource::Transfer(double amount, double max_rate) {
+Task BandwidthResource::Transfer(double amount, double max_rate, WaitCtx ctx) {
   if (amount <= 0.0) {
     co_return;
   }
   assert(max_rate > 0.0);
   total_ += amount;
+  const SimTime begin = sim_->Now();
   Flow flow{amount, max_rate, 0.0, SimEvent(*sim_)};
   Advance();
   flows_.push_back(&flow);
   Reschedule();
   co_await flow.done.Wait();
+  if (ctx.active() && !name_.empty()) {
+    // Anything beyond the flow's ideal uncontended duration is contention.
+    const double ideal_s = amount / std::min(max_rate, capacity_);
+    ctx.Record("resource-wait:" + name_, begin + Seconds(ideal_s), sim_->Now());
+  }
 }
 
 }  // namespace fastiov

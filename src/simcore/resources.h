@@ -15,11 +15,13 @@
 #include <cstdint>
 #include <limits>
 #include <list>
+#include <string>
 
 #include "src/simcore/simulation.h"
 #include "src/simcore/sync.h"
 #include "src/simcore/task.h"
 #include "src/simcore/time.h"
+#include "src/stats/blocked_time.h"
 
 namespace fastiov {
 
@@ -28,15 +30,21 @@ class BandwidthResource {
  public:
   static constexpr double kUncapped = std::numeric_limits<double>::infinity();
 
-  // capacity_per_second > 0 (bytes/s, core-seconds/s, ...).
-  BandwidthResource(Simulation& sim, double capacity_per_second);
+  // capacity_per_second > 0 (bytes/s, core-seconds/s, ...). `name` labels the
+  // resource in blocked-time attribution ("resource-wait:<name>"); unnamed
+  // resources never attribute.
+  BandwidthResource(Simulation& sim, double capacity_per_second,
+                    std::string name = "");
   BandwidthResource(const BandwidthResource&) = delete;
   BandwidthResource& operator=(const BandwidthResource&) = delete;
 
   // Completes when `amount` has been transferred. The flow's instantaneous
-  // rate is min(max_rate, water-filling fair share).
-  Task Transfer(double amount, double max_rate = kUncapped);
+  // rate is min(max_rate, water-filling fair share). When `ctx` is active,
+  // the slowdown beyond the flow's ideal uncontended time is recorded as a
+  // resource-wait interval — pure bookkeeping, no effect on timing.
+  Task Transfer(double amount, double max_rate = kUncapped, WaitCtx ctx = {});
 
+  const std::string& name() const { return name_; }
   double capacity_per_second() const { return capacity_; }
   size_t active_flows() const { return flows_.size(); }
   double total_transferred() const { return total_; }
@@ -58,6 +66,7 @@ class BandwidthResource {
 
   Simulation* sim_;
   double capacity_;
+  std::string name_;
   double total_ = 0.0;
   std::list<Flow*> flows_;
   SimTime last_update_ = SimTime::Zero();
@@ -71,10 +80,11 @@ class BandwidthResource {
 // the convoy effect a FIFO queue would impose on short operations.
 class CpuPool {
  public:
-  CpuPool(Simulation& sim, int num_cores);
+  CpuPool(Simulation& sim, int num_cores, std::string name = "");
 
   // Runs `cost` worth of single-threaded work (at most one core's rate).
-  Task Compute(SimTime cost);
+  // Queueing delay beyond `cost` is attributed to `ctx` when active.
+  Task Compute(SimTime cost, WaitCtx ctx = {});
 
   int num_cores() const { return num_cores_; }
   // Total core-time consumed so far; utilization = busy / (cores * elapsed).

@@ -14,29 +14,48 @@ void SimEvent::Set() {
 }
 
 void SimMutex::Unlock() {
+  const SimTime now = sim_->Now();
+  if (stats_ != nullptr) {
+    stats_->OnRelease(now - acquired_at_);
+  }
   if (waiters_.empty()) {
     locked_ = false;
+    holder_lane_ = -1;
     return;
   }
   // Direct handoff: the lock stays held on behalf of the next waiter.
-  std::coroutine_handle<> next = waiters_.front();
+  Waiter next = std::move(waiters_.front());
   waiters_.pop_front();
-  sim_->ScheduleHandle(sim_->Now(), next);
+  if (stats_ != nullptr) {
+    // The whole wait is charged to the holder releasing now (intermediate
+    // holders during the wait are not tracked).
+    stats_->OnGrant(now - next.enqueued, next.ctx.lane, holder_lane_);
+    next.ctx.Record("lock-wait:" + stats_->name(), next.enqueued, now);
+    holder_lane_ = next.ctx.lane;
+    acquired_at_ = now;
+  }
+  sim_->ScheduleHandle(now, next.handle);
 }
 
 void SimRwLock::UnlockRead() {
   --active_readers_;
   if (active_readers_ == 0) {
-    DrainQueue();
+    DrainQueue(/*releaser_lane=*/-1);
   }
 }
 
 void SimRwLock::UnlockWrite() {
+  const int releaser = writer_lane_;
+  if (stats_ != nullptr) {
+    stats_->OnRelease(sim_->Now() - writer_since_);
+  }
   writer_active_ = false;
-  DrainQueue();
+  writer_lane_ = -1;
+  DrainQueue(releaser);
 }
 
-void SimRwLock::DrainQueue() {
+void SimRwLock::DrainQueue(int releaser_lane) {
+  const SimTime now = sim_->Now();
   while (!queue_.empty()) {
     Waiter& front = queue_.front();
     if (front.is_writer) {
@@ -44,7 +63,13 @@ void SimRwLock::DrainQueue() {
         return;
       }
       writer_active_ = true;
-      sim_->ScheduleHandle(sim_->Now(), front.handle);
+      if (stats_ != nullptr) {
+        stats_->OnGrant(now - front.enqueued, front.ctx.lane, releaser_lane);
+        front.ctx.Record("lock-wait:" + stats_->name(), front.enqueued, now);
+        writer_lane_ = front.ctx.lane;
+        writer_since_ = now;
+      }
+      sim_->ScheduleHandle(now, front.handle);
       queue_.pop_front();
       return;  // a writer excludes everyone behind it
     }
@@ -52,7 +77,11 @@ void SimRwLock::DrainQueue() {
       return;
     }
     ++active_readers_;
-    sim_->ScheduleHandle(sim_->Now(), front.handle);
+    if (stats_ != nullptr) {
+      stats_->OnGrant(now - front.enqueued, front.ctx.lane, releaser_lane);
+      front.ctx.Record("lock-wait:" + stats_->name(), front.enqueued, now);
+    }
+    sim_->ScheduleHandle(now, front.handle);
     queue_.pop_front();
     // Keep admitting consecutive readers.
   }

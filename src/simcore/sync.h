@@ -9,6 +9,13 @@
 // Accounting happens at *grant* time (inside await_ready for the fast path,
 // inside the release path for queued waiters), so lock state is always
 // consistent even while a woken waiter is still sitting in the event queue.
+//
+// Contention probes: a primitive can carry a LockStats* (attached by name via
+// Instrument()); Lock()/LockRead()/LockWrite() accept a WaitCtx identifying
+// the waiting container and pipeline phase. Probes record wait time, hold
+// time, queue depth, and blocked-by edges at enqueue/grant/release. They are
+// memory-only — no events, no simulated time, no RNG — so instrumented and
+// uninstrumented runs are byte-identical.
 #ifndef SRC_SIMCORE_SYNC_H_
 #define SRC_SIMCORE_SYNC_H_
 
@@ -18,6 +25,8 @@
 #include <vector>
 
 #include "src/simcore/simulation.h"
+#include "src/stats/blocked_time.h"
+#include "src/stats/lock_stats.h"
 
 namespace fastiov {
 
@@ -56,29 +65,53 @@ class SimMutex {
   // Number of Lock() calls that had to wait; a direct contention metric.
   uint64_t contention_count() const { return contention_count_; }
 
+  // Attaches a contention probe. Must be called before the simulation runs;
+  // pass nullptr to detach.
+  void Instrument(LockStats* stats) { stats_ = stats; }
+  const LockStats* stats() const { return stats_; }
+
   struct LockAwaiter {
     SimMutex* m;
+    WaitCtx ctx;
     bool await_ready() noexcept {
       if (!m->locked_) {
         m->locked_ = true;
+        if (m->stats_ != nullptr) {
+          m->stats_->OnAcquireFast();
+          m->holder_lane_ = ctx.lane;
+          m->acquired_at_ = m->sim_->Now();
+        }
         return true;
       }
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
       ++m->contention_count_;
-      m->waiters_.push_back(h);
+      if (m->stats_ != nullptr) {
+        m->stats_->OnEnqueue(m->waiters_.size() + 1);
+      }
+      m->waiters_.push_back(Waiter{h, ctx, m->sim_->Now()});
     }
     void await_resume() const noexcept {}
   };
-  LockAwaiter Lock() { return LockAwaiter{this}; }
+  LockAwaiter Lock(WaitCtx ctx = {}) { return LockAwaiter{this, ctx}; }
   void Unlock();
 
  private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    WaitCtx ctx;
+    SimTime enqueued;
+  };
+
   Simulation* sim_;
   bool locked_ = false;
   uint64_t contention_count_ = 0;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<Waiter> waiters_;
+  // Probe state (unused unless stats_ is attached).
+  LockStats* stats_ = nullptr;
+  int holder_lane_ = -1;
+  SimTime acquired_at_ = SimTime::Zero();
 };
 
 // RAII unlock helper; the lock must already be held by the current process:
@@ -111,54 +144,82 @@ class SimRwLock {
   bool writer_active() const { return writer_active_; }
   uint64_t contention_count() const { return contention_count_; }
 
+  // Attaches a contention probe. Hold times are recorded for write holds
+  // (reader holds overlap and have no unlock identity); blocked-by edges
+  // charge the waiter to the active writer, or lane -1 while readers hold.
+  void Instrument(LockStats* stats) { stats_ = stats; }
+  const LockStats* stats() const { return stats_; }
+
   struct ReadAwaiter {
     SimRwLock* l;
+    WaitCtx ctx;
     bool await_ready() noexcept {
       if (!l->writer_active_ && l->queue_.empty()) {
         ++l->active_readers_;
+        if (l->stats_ != nullptr) {
+          l->stats_->OnAcquireFast();
+        }
         return true;
       }
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
       ++l->contention_count_;
-      l->queue_.push_back({h, /*is_writer=*/false});
+      if (l->stats_ != nullptr) {
+        l->stats_->OnEnqueue(l->queue_.size() + 1);
+      }
+      l->queue_.push_back({h, /*is_writer=*/false, ctx, l->sim_->Now()});
     }
     void await_resume() const noexcept {}
   };
-  ReadAwaiter LockRead() { return ReadAwaiter{this}; }
+  ReadAwaiter LockRead(WaitCtx ctx = {}) { return ReadAwaiter{this, ctx}; }
   void UnlockRead();
 
   struct WriteAwaiter {
     SimRwLock* l;
+    WaitCtx ctx;
     bool await_ready() noexcept {
       if (!l->writer_active_ && l->active_readers_ == 0 && l->queue_.empty()) {
         l->writer_active_ = true;
+        if (l->stats_ != nullptr) {
+          l->stats_->OnAcquireFast();
+          l->writer_lane_ = ctx.lane;
+          l->writer_since_ = l->sim_->Now();
+        }
         return true;
       }
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
       ++l->contention_count_;
-      l->queue_.push_back({h, /*is_writer=*/true});
+      if (l->stats_ != nullptr) {
+        l->stats_->OnEnqueue(l->queue_.size() + 1);
+      }
+      l->queue_.push_back({h, /*is_writer=*/true, ctx, l->sim_->Now()});
     }
     void await_resume() const noexcept {}
   };
-  WriteAwaiter LockWrite() { return WriteAwaiter{this}; }
+  WriteAwaiter LockWrite(WaitCtx ctx = {}) { return WriteAwaiter{this, ctx}; }
   void UnlockWrite();
 
  private:
   struct Waiter {
     std::coroutine_handle<> handle;
     bool is_writer;
+    WaitCtx ctx;
+    SimTime enqueued;
   };
-  void DrainQueue();
+  void DrainQueue(int releaser_lane);
 
   Simulation* sim_;
   int active_readers_ = 0;
   bool writer_active_ = false;
   uint64_t contention_count_ = 0;
   std::deque<Waiter> queue_;
+  // Probe state (unused unless stats_ is attached).
+  LockStats* stats_ = nullptr;
+  int writer_lane_ = -1;
+  SimTime writer_since_ = SimTime::Zero();
 };
 
 // FIFO counting semaphore.

@@ -1,0 +1,171 @@
+#include "src/stats/blocked_time.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "src/stats/table.h"
+#include "src/stats/timeline.h"
+
+namespace fastiov {
+
+const std::vector<WaitInterval> BlockedTimeRecorder::kEmpty;
+
+void WaitCtx::Record(const std::string& cause, SimTime begin, SimTime end) const {
+  if (recorder == nullptr || end <= begin) {
+    return;
+  }
+  recorder->Record(lane, phase, cause, begin, end);
+}
+
+void BlockedTimeRecorder::Record(int lane, const char* phase, const std::string& cause,
+                                 SimTime begin, SimTime end) {
+  if (lane < 0) {
+    return;
+  }
+  if (static_cast<size_t>(lane) >= lanes_.size()) {
+    lanes_.resize(static_cast<size_t>(lane) + 1);
+  }
+  lanes_[static_cast<size_t>(lane)].push_back(
+      WaitInterval{phase, cause, begin, end});
+}
+
+const std::vector<WaitInterval>& BlockedTimeRecorder::Lane(int lane) const {
+  if (lane < 0 || static_cast<size_t>(lane) >= lanes_.size()) {
+    return kEmpty;
+  }
+  return lanes_[static_cast<size_t>(lane)];
+}
+
+namespace {
+
+struct Bucket {
+  double total_seconds = 0.0;
+  double tail_seconds = 0.0;
+  uint64_t events = 0;
+};
+
+}  // namespace
+
+BlockedTimeReport BuildBlockedTimeReport(const BlockedTimeRecorder& recorder,
+                                         const TimelineRecorder& timeline) {
+  BlockedTimeReport report;
+
+  std::vector<const ContainerTimeline*> ready;
+  for (const ContainerTimeline& lane : timeline.containers()) {
+    if (lane.has_ready) {
+      ready.push_back(&lane);
+    }
+  }
+  if (ready.empty()) {
+    return report;
+  }
+
+  const Summary startup = timeline.StartupSummary();
+  report.mean_startup_seconds = startup.Mean();
+  report.p99_startup_seconds = startup.Percentile(99);
+
+  // Tail set: slowest 1% (at least one), matching StepShareOfP99's convention.
+  std::vector<const ContainerTimeline*> by_time = ready;
+  std::sort(by_time.begin(), by_time.end(), [](const auto* a, const auto* b) {
+    return a->StartupTime() < b->StartupTime();
+  });
+  const size_t tail_n = std::max<size_t>(1, by_time.size() / 100);
+  std::vector<bool> in_tail(timeline.NumContainers(), false);
+  double tail_startup_sum = 0.0;
+  for (size_t i = by_time.size() - tail_n; i < by_time.size(); ++i) {
+    in_tail[static_cast<size_t>(by_time[i]->id)] = true;
+    tail_startup_sum += by_time[i]->StartupTime().ToSecondsF();
+  }
+  const double tail_mean_startup = tail_startup_sum / static_cast<double>(tail_n);
+
+  // Phase ordering: timeline steps first, then phases only seen in waits.
+  std::vector<std::string> phase_order = timeline.StepNames();
+  auto note_phase = [&phase_order](const std::string& phase) {
+    if (std::find(phase_order.begin(), phase_order.end(), phase) == phase_order.end()) {
+      phase_order.push_back(phase);
+    }
+  };
+
+  // (phase, cause) -> aggregate across containers. Also track per-(lane,
+  // phase) wait totals so the "work" residual can be computed.
+  std::map<std::pair<std::string, std::string>, Bucket> buckets;
+  std::map<std::pair<int, std::string>, double> lane_phase_wait;
+  for (const ContainerTimeline* lane : ready) {
+    for (const WaitInterval& w : recorder.Lane(lane->id)) {
+      note_phase(w.phase);
+      Bucket& b = buckets[{w.phase, w.cause}];
+      const double secs = w.duration().ToSecondsF();
+      b.total_seconds += secs;
+      b.events += 1;
+      if (in_tail[static_cast<size_t>(lane->id)]) {
+        b.tail_seconds += secs;
+      }
+      lane_phase_wait[{lane->id, w.phase}] += secs;
+    }
+  }
+
+  // "work" residual per phase that has critical-path spans.
+  for (const std::string& phase : phase_order) {
+    Bucket work;
+    bool has_span = false;
+    for (const ContainerTimeline* lane : ready) {
+      const double span = lane->StepTime(phase).ToSecondsF();
+      if (span <= 0.0) {
+        continue;
+      }
+      has_span = true;
+      auto it = lane_phase_wait.find({lane->id, phase});
+      const double waits = it == lane_phase_wait.end() ? 0.0 : it->second;
+      const double residual = std::max(0.0, span - waits);
+      work.total_seconds += residual;
+      if (in_tail[static_cast<size_t>(lane->id)]) {
+        work.tail_seconds += residual;
+      }
+    }
+    if (has_span) {
+      buckets[{phase, "work"}] = work;
+    }
+  }
+
+  const double n = static_cast<double>(ready.size());
+  for (const std::string& phase : phase_order) {
+    // std::map keeps causes sorted: "lock-wait:*" < "resource-wait:*" < "work".
+    for (const auto& [key, b] : buckets) {
+      if (key.first != phase) {
+        continue;
+      }
+      BlockedTimeRow row;
+      row.phase = phase;
+      row.cause = key.second;
+      row.mean_seconds = b.total_seconds / n;
+      row.share_of_mean =
+          report.mean_startup_seconds > 0.0 ? row.mean_seconds / report.mean_startup_seconds
+                                            : 0.0;
+      row.tail_seconds = b.tail_seconds / static_cast<double>(tail_n);
+      row.share_of_p99_tail =
+          tail_mean_startup > 0.0 ? row.tail_seconds / tail_mean_startup : 0.0;
+      row.events = b.events;
+      report.rows.push_back(std::move(row));
+    }
+  }
+  return report;
+}
+
+void PrintBlockedTimeReport(const BlockedTimeReport& report, std::ostream& os,
+                            size_t max_rows) {
+  TextTable table({"phase", "cause", "mean", "share-of-mean", "p99-tail", "share-of-tail"});
+  size_t emitted = 0;
+  for (const BlockedTimeRow& row : report.rows) {
+    if (max_rows != 0 && emitted >= max_rows) {
+      break;
+    }
+    table.AddRow({row.phase, row.cause, FormatSeconds(row.mean_seconds) + " s",
+                  FormatPercent(row.share_of_mean), FormatSeconds(row.tail_seconds) + " s",
+                  FormatPercent(row.share_of_p99_tail)});
+    ++emitted;
+  }
+  table.Print(os);
+}
+
+}  // namespace fastiov

@@ -1,0 +1,69 @@
+// Change-driven counter tracks for the unified trace (Perfetto "C" events):
+// free frames, pinned pages, IOMMU mappings, VFs in use.
+//
+// Subsystems hold a nullable CounterTrack* and call Record at each mutation;
+// when observability is off the pointer is null and the probe is a single
+// branch. Sampling is change-driven — never a periodic process — so the
+// track adds no simulation events.
+#ifndef SRC_STATS_COUNTER_TRACK_H_
+#define SRC_STATS_COUNTER_TRACK_H_
+
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/simcore/time.h"
+
+namespace fastiov {
+
+struct CounterPoint {
+  SimTime t;
+  double value;
+};
+
+class CounterTrack {
+ public:
+  explicit CounterTrack(std::string name) : name_(std::move(name)) {}
+
+  // Appends a point; coalesces same-timestamp updates (last write wins) and
+  // drops no-op repeats so traces stay small.
+  void Record(SimTime t, double value) {
+    if (!points_.empty()) {
+      if (points_.back().t == t) {
+        points_.back().value = value;
+        return;
+      }
+      if (points_.back().value == value) {
+        return;
+      }
+    }
+    points_.push_back(CounterPoint{t, value});
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<CounterPoint>& points() const { return points_; }
+
+ private:
+  std::string name_;
+  std::vector<CounterPoint> points_;
+};
+
+// Owns tracks with stable addresses, in creation order.
+class CounterTrackSet {
+ public:
+  CounterTrack* Create(const std::string& name) {
+    store_.emplace_back(name);
+    return &store_.back();
+  }
+
+  size_t size() const { return store_.size(); }
+  const CounterTrack& at(size_t i) const { return store_[i]; }
+
+ private:
+  std::deque<CounterTrack> store_;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_STATS_COUNTER_TRACK_H_

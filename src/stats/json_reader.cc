@@ -1,0 +1,259 @@
+#include "src/stats/json_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace fastiov {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+double JsonValue::GetDouble(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->type() == Type::kNumber) ? v->AsDouble() : fallback;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->type() == Type::kString) ? v->AsString() : fallback;
+}
+
+bool JsonReader::Parse(const std::string& text, JsonValue* out, std::string* error) {
+  JsonReader reader(text, error);
+  reader.SkipWhitespace();
+  if (!reader.ParseValue(out)) {
+    return false;
+  }
+  reader.SkipWhitespace();
+  if (reader.pos_ != text.size()) {
+    return reader.Fail("trailing characters after document");
+  }
+  return true;
+}
+
+bool JsonReader::Fail(const std::string& message) {
+  if (error_ != nullptr) {
+    *error_ = message + " at offset " + std::to_string(pos_);
+  }
+  return false;
+}
+
+void JsonReader::SkipWhitespace() {
+  while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                 text_[pos_] == '\n' || text_[pos_] == '\r')) {
+    ++pos_;
+  }
+}
+
+bool JsonReader::ParseValue(JsonValue* out) {
+  SkipWhitespace();
+  if (pos_ >= text_.size()) {
+    return Fail("unexpected end of input");
+  }
+  const char c = text_[pos_];
+  switch (c) {
+    case '{':
+      return ParseObject(out);
+    case '[':
+      return ParseArray(out);
+    case '"':
+      out->type_ = JsonValue::Type::kString;
+      return ParseString(&out->string_);
+    case 't':
+      return ParseLiteral("true", out, JsonValue::Type::kBool, true);
+    case 'f':
+      return ParseLiteral("false", out, JsonValue::Type::kBool, false);
+    case 'n':
+      return ParseLiteral("null", out, JsonValue::Type::kNull, false);
+    default:
+      if (c == '-' || (c >= '0' && c <= '9')) {
+        return ParseNumber(out);
+      }
+      return Fail(std::string("unexpected character '") + c + "'");
+  }
+}
+
+bool JsonReader::ParseObject(JsonValue* out) {
+  out->type_ = JsonValue::Type::kObject;
+  ++pos_;  // '{'
+  SkipWhitespace();
+  if (pos_ < text_.size() && text_[pos_] == '}') {
+    ++pos_;
+    return true;
+  }
+  while (true) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected object key");
+    }
+    std::string key;
+    if (!ParseString(&key)) {
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != ':') {
+      return Fail("expected ':' after key");
+    }
+    ++pos_;
+    JsonValue value;
+    if (!ParseValue(&value)) {
+      return false;
+    }
+    out->members_.emplace_back(std::move(key), std::move(value));
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Fail("unterminated object");
+    }
+    if (text_[pos_] == ',') {
+      ++pos_;
+      continue;
+    }
+    if (text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    return Fail("expected ',' or '}' in object");
+  }
+}
+
+bool JsonReader::ParseArray(JsonValue* out) {
+  out->type_ = JsonValue::Type::kArray;
+  ++pos_;  // '['
+  SkipWhitespace();
+  if (pos_ < text_.size() && text_[pos_] == ']') {
+    ++pos_;
+    return true;
+  }
+  while (true) {
+    JsonValue value;
+    if (!ParseValue(&value)) {
+      return false;
+    }
+    out->array_.push_back(std::move(value));
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Fail("unterminated array");
+    }
+    if (text_[pos_] == ',') {
+      ++pos_;
+      continue;
+    }
+    if (text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    return Fail("expected ',' or ']' in array");
+  }
+}
+
+bool JsonReader::ParseString(std::string* out) {
+  ++pos_;  // opening quote
+  out->clear();
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c == '"') {
+      ++pos_;
+      return true;
+    }
+    if (c == '\\') {
+      if (pos_ + 1 >= text_.size()) {
+        return Fail("dangling escape");
+      }
+      const char esc = text_[pos_ + 1];
+      pos_ += 2;
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad hex digit in \\u escape");
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode (BMP only; the writer never emits surrogates).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+      continue;
+    }
+    out->push_back(c);
+    ++pos_;
+  }
+  return Fail("unterminated string");
+}
+
+bool JsonReader::ParseNumber(JsonValue* out) {
+  const size_t start = pos_;
+  if (pos_ < text_.size() && text_[pos_] == '-') {
+    ++pos_;
+  }
+  while (pos_ < text_.size() &&
+         (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+          text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+          text_[pos_] == '+' || text_[pos_] == '-')) {
+    ++pos_;
+  }
+  const std::string token = text_.substr(start, pos_ - start);
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0' || token.empty()) {
+    pos_ = start;
+    return Fail("malformed number");
+  }
+  out->type_ = JsonValue::Type::kNumber;
+  out->number_ = value;
+  return true;
+}
+
+bool JsonReader::ParseLiteral(const char* literal, JsonValue* out,
+                              JsonValue::Type type, bool bool_value) {
+  const size_t len = std::strlen(literal);
+  if (text_.compare(pos_, len, literal) != 0) {
+    return Fail(std::string("expected '") + literal + "'");
+  }
+  pos_ += len;
+  out->type_ = type;
+  out->bool_ = bool_value;
+  return true;
+}
+
+}  // namespace fastiov

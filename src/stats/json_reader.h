@@ -1,0 +1,77 @@
+// Minimal JSON parser (RFC 8259 subset) for tools that read back the
+// simulator's own result JSON — primarily tools/simreport. No external
+// dependencies; enough to round-trip everything JsonWriter emits.
+#ifndef SRC_STATS_JSON_READER_H_
+#define SRC_STATS_JSON_READER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fastiov {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+
+  // Object access. Members keep insertion order (matching the writer).
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const {
+    return members_;
+  }
+  // Returns nullptr when the key is absent (or this is not an object).
+  const JsonValue* Find(const std::string& key) const;
+  // Convenience lookups with defaults.
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+  std::string GetString(const std::string& key, const std::string& fallback = "") const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+
+ private:
+  friend class JsonReader;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+class JsonReader {
+ public:
+  // Parses a complete document. On failure returns std::nullopt-like null and
+  // sets *error (when non-null) with a position-annotated message.
+  static bool Parse(const std::string& text, JsonValue* out, std::string* error);
+
+ private:
+  JsonReader(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+  bool ParseValue(JsonValue* out);
+  bool ParseObject(JsonValue* out);
+  bool ParseArray(JsonValue* out);
+  bool ParseString(std::string* out);
+  bool ParseNumber(JsonValue* out);
+  bool ParseLiteral(const char* literal, JsonValue* out, JsonValue::Type type,
+                    bool bool_value);
+  void SkipWhitespace();
+  bool Fail(const std::string& message);
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_STATS_JSON_READER_H_

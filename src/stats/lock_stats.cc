@@ -1,0 +1,42 @@
+#include "src/stats/lock_stats.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "src/stats/table.h"
+
+namespace fastiov {
+
+std::vector<const LockStats*> LockStatsRegistry::ByTotalWait() const {
+  std::vector<const LockStats*> out;
+  out.reserve(store_.size());
+  for (const LockStats& s : store_) {
+    out.push_back(&s);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const LockStats* a, const LockStats* b) {
+    return a->wait_seconds().Sum() > b->wait_seconds().Sum();
+  });
+  return out;
+}
+
+void PrintLockReport(const std::vector<const LockStats*>& locks, std::ostream& os,
+                     size_t max_rows) {
+  TextTable table({"lock", "acquisitions", "contended", "wait-total", "wait-mean",
+                   "wait-max", "hold-mean", "max-queue"});
+  size_t emitted = 0;
+  for (const LockStats* lock : locks) {
+    if (max_rows != 0 && emitted >= max_rows) {
+      break;
+    }
+    const Summary& w = lock->wait_seconds();
+    table.AddRow({lock->name(), std::to_string(lock->acquisitions()),
+                  std::to_string(lock->contended()), FormatSeconds(w.Sum()) + " s",
+                  FormatSeconds(w.Mean()) + " s", FormatSeconds(w.Max()) + " s",
+                  FormatSeconds(lock->hold_seconds().Mean()) + " s",
+                  std::to_string(lock->max_queue_depth())});
+    ++emitted;
+  }
+  table.Print(os);
+}
+
+}  // namespace fastiov

@@ -1,0 +1,111 @@
+// Per-lock contention statistics — the probe data behind the contention
+// report (§3's lock analysis: who waited on which lock, for how long, at what
+// queue depth, blocked by whom).
+//
+// A LockStats is attached to a SimMutex / SimRwLock by name; the primitive
+// calls the hooks at enqueue / grant / release time. All hooks are memory-only
+// (no events, no simulated time, no RNG), so attaching stats never changes a
+// run's outcome.
+#ifndef SRC_STATS_LOCK_STATS_H_
+#define SRC_STATS_LOCK_STATS_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/simcore/time.h"
+#include "src/stats/summary.h"
+
+namespace fastiov {
+
+// Directed contention edge: `waiter` container parked behind `holder`
+// container on this lock. Lane -1 means "not a container" (infrastructure).
+struct BlockedByEdge {
+  uint64_t count = 0;
+  double seconds = 0.0;
+};
+
+class LockStats {
+ public:
+  explicit LockStats(std::string name) : name_(std::move(name)) {}
+
+  // --- probe hooks (called by the sync primitives) ---
+  void OnAcquireFast() { ++acquisitions_; }
+  // A waiter parked; depth is the queue length including this waiter.
+  void OnEnqueue(size_t depth) {
+    ++contended_;
+    queue_depth_sum_ += static_cast<uint64_t>(depth);
+    if (depth > max_queue_depth_) {
+      max_queue_depth_ = depth;
+    }
+  }
+  // A parked waiter was granted the lock after `waited`.
+  void OnGrant(SimTime waited, int waiter_lane, int holder_lane) {
+    ++acquisitions_;
+    wait_seconds_.AddTime(waited);
+    BlockedByEdge& e = blocked_by_[{waiter_lane, holder_lane}];
+    e.count += 1;
+    e.seconds += waited.ToSecondsF();
+  }
+  void OnRelease(SimTime held) { hold_seconds_.AddTime(held); }
+
+  // --- report accessors ---
+  const std::string& name() const { return name_; }
+  uint64_t acquisitions() const { return acquisitions_; }
+  uint64_t contended() const { return contended_; }
+  size_t max_queue_depth() const { return max_queue_depth_; }
+  // Mean queue length observed at enqueue time (0 when never contended).
+  double mean_queue_depth() const {
+    return contended_ == 0 ? 0.0
+                           : static_cast<double>(queue_depth_sum_) /
+                                 static_cast<double>(contended_);
+  }
+  // Wait-time distribution over *contended* acquisitions only.
+  const Summary& wait_seconds() const { return wait_seconds_; }
+  const Summary& hold_seconds() const { return hold_seconds_; }
+  const std::map<std::pair<int, int>, BlockedByEdge>& blocked_by() const {
+    return blocked_by_;
+  }
+
+ private:
+  std::string name_;
+  uint64_t acquisitions_ = 0;
+  uint64_t contended_ = 0;
+  uint64_t queue_depth_sum_ = 0;
+  size_t max_queue_depth_ = 0;
+  Summary wait_seconds_;
+  Summary hold_seconds_;
+  std::map<std::pair<int, int>, BlockedByEdge> blocked_by_;
+};
+
+// Owns LockStats objects with stable addresses (sync primitives keep raw
+// pointers for the lifetime of the simulation). Creation order is preserved
+// so reports and JSON are deterministic.
+class LockStatsRegistry {
+ public:
+  LockStats* Create(const std::string& name) {
+    store_.emplace_back(name);
+    return &store_.back();
+  }
+
+  size_t size() const { return store_.size(); }
+  const LockStats& at(size_t i) const { return store_[i]; }
+
+  // Locks sorted by total wait seconds, descending (ties: creation order).
+  std::vector<const LockStats*> ByTotalWait() const;
+
+ private:
+  std::deque<LockStats> store_;  // deque: no reallocation, pointers stable
+};
+
+// Renders the top-N contended locks table shared by fastiov_sim and
+// simreport. max_rows == 0 means all.
+void PrintLockReport(const std::vector<const LockStats*>& locks, std::ostream& os,
+                     size_t max_rows = 0);
+
+}  // namespace fastiov
+
+#endif  // SRC_STATS_LOCK_STATS_H_

@@ -1,0 +1,57 @@
+#include "src/stats/metrics.h"
+
+#include "src/stats/json_writer.h"
+
+namespace fastiov {
+
+uint64_t MetricsRegistry::Counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::Gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const Summary* MetricsRegistry::FindSummary(const std::string& name) const {
+  auto it = summaries_.find(name);
+  return it == summaries_.end() ? nullptr : &it->second;
+}
+
+bool MetricsRegistry::Has(const std::string& name) const {
+  return counters_.count(name) > 0 || gauges_.count(name) > 0 ||
+         summaries_.count(name) > 0;
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, value] : counters_) {
+    json.KV(name, value);
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, value] : gauges_) {
+    json.KV(name, value);
+  }
+  json.EndObject();
+  json.Key("summaries");
+  json.BeginObject();
+  for (const auto& [name, s] : summaries_) {
+    json.Key(name);
+    json.BeginObject()
+        .KV("count", static_cast<uint64_t>(s.Count()))
+        .KV("mean", s.Mean())
+        .KV("p50", s.Percentile(50))
+        .KV("p99", s.Percentile(99))
+        .KV("max", s.Max())
+        .EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+}  // namespace fastiov

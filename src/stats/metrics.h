@@ -1,0 +1,63 @@
+// Central metrics registry — named counters, gauges, and Summary-backed
+// distributions with hierarchical `subsystem.object.metric` names.
+//
+// The registry is the single export surface for the observability layer: at
+// the end of a run the experiment harness folds subsystem counters, lock
+// stats, and per-step distributions into one registry and serializes it into
+// the result JSON (only when observability was requested, so default digests
+// are untouched).
+#ifndef SRC_STATS_METRICS_H_
+#define SRC_STATS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/stats/summary.h"
+
+namespace fastiov {
+
+class JsonWriter;
+
+class MetricsRegistry {
+ public:
+  // Counters: monotonically increasing event counts.
+  void IncCounter(const std::string& name, uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  void SetCounter(const std::string& name, uint64_t value) { counters_[name] = value; }
+  uint64_t Counter(const std::string& name) const;
+
+  // Gauges: point-in-time values.
+  void SetGauge(const std::string& name, double value) { gauges_[name] = value; }
+  double Gauge(const std::string& name) const;
+
+  // Distributions: Summary-backed (exact percentiles).
+  void Observe(const std::string& name, double value) { summaries_[name].Add(value); }
+  void MergeSummary(const std::string& name, const Summary& s) {
+    summaries_[name].Merge(s);
+  }
+  const Summary* FindSummary(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+  size_t NumMetrics() const {
+    return counters_.size() + gauges_.size() + summaries_.size();
+  }
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Summary>& summaries() const { return summaries_; }
+
+  // {"counters":{...},"gauges":{...},"summaries":{name:{count,mean,p50,p99,
+  // max},...}} — keys sorted (std::map), so output is deterministic.
+  void WriteJson(JsonWriter& json) const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Summary> summaries_;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_STATS_METRICS_H_

@@ -1,0 +1,26 @@
+// Aggregates the per-run observability state: the lock-stats registry the
+// sync primitives report into, the blocked-time recorder wait contexts point
+// at, and the counter tracks subsystems sample into.
+//
+// A Host owns one hub when observability is enabled; subsystems receive raw
+// pointers (nullable — null means "probes off", costing one branch).
+#ifndef SRC_STATS_OBSERVABILITY_H_
+#define SRC_STATS_OBSERVABILITY_H_
+
+#include "src/stats/blocked_time.h"
+#include "src/stats/counter_track.h"
+#include "src/stats/lock_stats.h"
+#include "src/stats/metrics.h"
+
+namespace fastiov {
+
+struct ObservabilityHub {
+  MetricsRegistry metrics;
+  LockStatsRegistry lock_stats;
+  BlockedTimeRecorder blocked;
+  CounterTrackSet tracks;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_STATS_OBSERVABILITY_H_

@@ -33,6 +33,12 @@ void TimelineRecorder::RecordSpan(int container_id, const std::string& step, Sim
   lanes_[container_id].spans.push_back(Span{step, begin, end, off_critical_path});
 }
 
+void TimelineRecorder::RecordAuxSpan(int container_id, const std::string& step, SimTime begin,
+                                     SimTime end) {
+  assert(container_id >= 0 && static_cast<size_t>(container_id) < lanes_.size());
+  lanes_[container_id].aux_spans.push_back(Span{step, begin, end, /*off_critical_path=*/true});
+}
+
 void TimelineRecorder::MarkReady(int container_id, SimTime t) {
   lanes_[container_id].ready = t;
   lanes_[container_id].has_ready = true;

@@ -45,6 +45,10 @@ struct ContainerTimeline {
   bool has_ready = false;  // false for containers that aborted before ready
   bool has_task_done = false;
   std::vector<Span> spans;
+  // Auxiliary spans (e.g. the supervised link-up process): rendered in the
+  // trace on their own thread rows but kept out of `spans` so step-share
+  // accounting and step_order_ never see them.
+  std::vector<Span> aux_spans;
 
   SimTime StartupTime() const { return ready - start; }
   // Total time spent in a step on the critical path.
@@ -56,6 +60,8 @@ class TimelineRecorder {
   int RegisterContainer(SimTime start_time);
   void RecordSpan(int container_id, const std::string& step, SimTime begin, SimTime end,
                   bool off_critical_path = false);
+  // Records an auxiliary span: trace-only, excluded from step accounting.
+  void RecordAuxSpan(int container_id, const std::string& step, SimTime begin, SimTime end);
   void MarkReady(int container_id, SimTime t);
   void MarkTaskDone(int container_id, SimTime t);
 

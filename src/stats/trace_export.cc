@@ -1,52 +1,168 @@
 #include "src/stats/trace_export.h"
 
+#include <string>
+
 #include "src/stats/json_writer.h"
 
 namespace fastiov {
+namespace {
 
-void ExportChromeTrace(const TimelineRecorder& recorder, std::ostream& os) {
+// The synthetic process that carries host-wide counter tracks and fault
+// instants; large enough to never collide with a container lane id.
+constexpr int64_t kHostPid = 1 << 20;
+
+// Per-container thread-row registry: row 0 is the critical path; every other
+// row is created on first use, in emission order, so tids are deterministic.
+class RowRegistry {
+ public:
+  RowRegistry() { rows_.push_back("critical-path"); }
+
+  int64_t Tid(const std::string& name) {
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (rows_[i] == name) {
+        return static_cast<int64_t>(i);
+      }
+    }
+    rows_.push_back(name);
+    return static_cast<int64_t>(rows_.size() - 1);
+  }
+
+  const std::vector<std::string>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> rows_;
+};
+
+void EmitSpan(JsonWriter& json, const std::string& name, int64_t pid, int64_t tid,
+              SimTime begin, SimTime dur) {
+  json.BeginObject()
+      .KV("name", name)
+      .KV("ph", "X")
+      .KV("pid", pid)
+      .KV("tid", tid)
+      .KV("ts", begin.ToMicrosF())
+      .KV("dur", dur.ToMicrosF())
+      .EndObject();
+}
+
+void EmitThreadName(JsonWriter& json, int64_t pid, int64_t tid, const std::string& name) {
+  json.BeginObject()
+      .KV("name", "thread_name")
+      .KV("ph", "M")
+      .KV("pid", pid)
+      .KV("tid", tid)
+      .Key("args")
+      .BeginObject()
+      .KV("name", name)
+      .EndObject()
+      .EndObject();
+}
+
+}  // namespace
+
+void ExportChromeTrace(const TimelineRecorder& recorder, std::ostream& os,
+                       const TraceOptions& options) {
   JsonWriter json(os);
   json.BeginObject();
   json.Key("traceEvents");
   json.BeginArray();
   for (const ContainerTimeline& lane : recorder.containers()) {
+    const int64_t pid = lane.id;
+    RowRegistry rows;
     // Process metadata: name the row after the container.
     json.BeginObject()
         .KV("name", "process_name")
         .KV("ph", "M")
-        .KV("pid", static_cast<int64_t>(lane.id))
+        .KV("pid", pid)
         .Key("args")
         .BeginObject()
         .KV("name", "container-" + std::to_string(lane.id))
         .EndObject()
         .EndObject();
     // The whole startup as one umbrella event.
-    json.BeginObject()
-        .KV("name", "startup")
-        .KV("ph", "X")
-        .KV("pid", static_cast<int64_t>(lane.id))
-        .KV("tid", static_cast<int64_t>(0))
-        .KV("ts", lane.start.ToMicrosF())
-        .KV("dur", (lane.ready - lane.start).ToMicrosF())
-        .EndObject();
+    EmitSpan(json, "startup", pid, 0, lane.start, lane.ready - lane.start);
     for (const Span& span : lane.spans) {
-      json.BeginObject()
-          .KV("name", span.step)
-          .KV("ph", "X")
-          .KV("pid", static_cast<int64_t>(lane.id))
-          .KV("tid", static_cast<int64_t>(span.off_critical_path ? 1 : 0))
-          .KV("ts", span.begin.ToMicrosF())
-          .KV("dur", span.duration().ToMicrosF())
-          .EndObject();
+      // Each off-critical-path span kind lands on its own thread row so
+      // concurrent background work (async VF init) stays distinguishable
+      // from the critical path and from other background rows.
+      const int64_t tid = span.off_critical_path ? rows.Tid("async " + span.step) : 0;
+      EmitSpan(json, span.step, pid, tid, span.begin, span.duration());
+    }
+    for (const Span& span : lane.aux_spans) {
+      EmitSpan(json, span.step, pid, rows.Tid(span.step), span.begin, span.duration());
     }
     if (lane.has_task_done) {
+      EmitSpan(json, "task", pid, 0, lane.ready, lane.task_done - lane.ready);
+    }
+    if (options.blocked != nullptr) {
+      for (const WaitInterval& w : options.blocked->Lane(lane.id)) {
+        const int64_t tid = rows.Tid("waits");
+        json.BeginObject()
+            .KV("name", w.cause)
+            .KV("ph", "X")
+            .KV("pid", pid)
+            .KV("tid", tid)
+            .KV("ts", w.begin.ToMicrosF())
+            .KV("dur", w.duration().ToMicrosF())
+            .Key("args")
+            .BeginObject()
+            .KV("phase", w.phase)
+            .EndObject()
+            .EndObject();
+      }
+    }
+    for (size_t i = 0; i < rows.rows().size(); ++i) {
+      EmitThreadName(json, pid, static_cast<int64_t>(i), rows.rows()[i]);
+    }
+  }
+
+  const bool have_counters = options.counters != nullptr && options.counters->size() > 0;
+  const bool have_faults =
+      options.fault_events != nullptr && !options.fault_events->empty();
+  if (have_counters || have_faults) {
+    json.BeginObject()
+        .KV("name", "process_name")
+        .KV("ph", "M")
+        .KV("pid", kHostPid)
+        .Key("args")
+        .BeginObject()
+        .KV("name", "host")
+        .EndObject()
+        .EndObject();
+  }
+  if (have_counters) {
+    for (size_t i = 0; i < options.counters->size(); ++i) {
+      const CounterTrack& track = options.counters->at(i);
+      for (const CounterPoint& p : track.points()) {
+        json.BeginObject()
+            .KV("name", track.name())
+            .KV("ph", "C")
+            .KV("pid", kHostPid)
+            .KV("ts", p.t.ToMicrosF())
+            .Key("args")
+            .BeginObject()
+            .KV("value", p.value)
+            .EndObject()
+            .EndObject();
+      }
+    }
+  }
+  if (have_faults) {
+    for (const FaultTraceEvent& e : *options.fault_events) {
       json.BeginObject()
-          .KV("name", "task")
-          .KV("ph", "X")
-          .KV("pid", static_cast<int64_t>(lane.id))
+          .KV("name", std::string("fault ") + FaultTraceEventKindName(e.kind) + ": " +
+                          FaultSiteName(e.site))
+          .KV("ph", "i")
+          .KV("s", "g")
+          .KV("pid", kHostPid)
           .KV("tid", static_cast<int64_t>(0))
-          .KV("ts", lane.ready.ToMicrosF())
-          .KV("dur", (lane.task_done - lane.ready).ToMicrosF())
+          .KV("ts", e.t.ToMicrosF())
+          .Key("args")
+          .BeginObject()
+          .KV("site", FaultSiteName(e.site))
+          .KV("kind", FaultTraceEventKindName(e.kind))
+          .KV("transient", e.transient)
+          .EndObject()
           .EndObject();
     }
   }

@@ -1,20 +1,39 @@
-// Chrome-trace (chrome://tracing / Perfetto) export of a startup timeline.
+// Unified Chrome-trace (chrome://tracing / Perfetto) export.
 //
-// Each container becomes a process row; each recorded step span becomes a
-// complete ("X") duration event, so the Fig. 5 timeline can be explored
-// interactively. Off-critical-path spans (FastIOV's async VF init) land on
-// a separate thread row within the container's process.
+// Each container becomes a process row. Within a container:
+//   * tid 0 is the critical path (umbrella "startup" event, step spans,
+//     the serverless task);
+//   * each distinct off-critical-path span kind gets its own thread row
+//     (FastIOV's async VF init vs. the supervised link-up process), so
+//     overlapping background work no longer collapses onto one row;
+//   * when blocked-time attribution is supplied, every recorded lock-wait /
+//     resource-wait interval becomes a slice on a dedicated "waits" row.
+// A synthetic "host" process carries the counter tracks (free frames,
+// pinned pages, IOMMU mappings, VFs in use) as Perfetto "C" events and the
+// fault-injection lifecycle as instant ("i") events.
 #ifndef SRC_STATS_TRACE_EXPORT_H_
 #define SRC_STATS_TRACE_EXPORT_H_
 
 #include <ostream>
+#include <vector>
 
+#include "src/fault/fault.h"
+#include "src/stats/blocked_time.h"
+#include "src/stats/counter_track.h"
 #include "src/stats/timeline.h"
 
 namespace fastiov {
 
+// Optional trace enrichments; all-null renders the plain timeline.
+struct TraceOptions {
+  const BlockedTimeRecorder* blocked = nullptr;       // lock/resource wait slices
+  const CounterTrackSet* counters = nullptr;          // host counter tracks
+  const std::vector<FaultTraceEvent>* fault_events = nullptr;  // instant events
+};
+
 // Writes the Chrome trace-event JSON ("traceEvents" array format).
-void ExportChromeTrace(const TimelineRecorder& recorder, std::ostream& os);
+void ExportChromeTrace(const TimelineRecorder& recorder, std::ostream& os,
+                       const TraceOptions& options = {});
 
 }  // namespace fastiov
 

@@ -1,13 +1,21 @@
 #include "src/vfio/lock_policy.h"
 
 #include <cassert>
+#include <string>
 
 namespace fastiov {
 
-Task GlobalMutexPolicy::AcquireDeviceOp(int /*index*/) { co_await mutex_.Lock(); }
+Task GlobalMutexPolicy::AcquireDeviceOp(int /*index*/, WaitCtx ctx) {
+  co_await mutex_.Lock(ctx);
+}
 void GlobalMutexPolicy::ReleaseDeviceOp(int /*index*/) { mutex_.Unlock(); }
-Task GlobalMutexPolicy::AcquireGlobalOp() { co_await mutex_.Lock(); }
+Task GlobalMutexPolicy::AcquireGlobalOp(WaitCtx ctx) { co_await mutex_.Lock(ctx); }
 void GlobalMutexPolicy::ReleaseGlobalOp() { mutex_.Unlock(); }
+
+void GlobalMutexPolicy::Instrument(LockStatsRegistry* registry) {
+  mutex_.Instrument(registry == nullptr ? nullptr
+                                        : registry->Create("vfio.devset.global"));
+}
 
 void HierarchicalLockPolicy::AddChild(int index) {
   if (static_cast<size_t>(index) >= children_.size()) {
@@ -15,15 +23,19 @@ void HierarchicalLockPolicy::AddChild(int index) {
   }
   if (!children_[index]) {
     children_[index] = std::make_unique<SimMutex>(*sim_);
+    if (registry_ != nullptr) {
+      children_[index]->Instrument(
+          registry_->Create("vfio.devset.child." + std::to_string(index)));
+    }
   }
 }
 
-Task HierarchicalLockPolicy::AcquireDeviceOp(int index) {
+Task HierarchicalLockPolicy::AcquireDeviceOp(int index, WaitCtx ctx) {
   assert(static_cast<size_t>(index) < children_.size() && children_[index]);
   // ac-read then ac-mutex_i (§4.2.1). Lock order is uniform (parent before
   // child), so the framework cannot deadlock.
-  co_await parent_.LockRead();
-  co_await children_[index]->Lock();
+  co_await parent_.LockRead(ctx);
+  co_await children_[index]->Lock(ctx);
 }
 
 void HierarchicalLockPolicy::ReleaseDeviceOp(int index) {
@@ -31,8 +43,24 @@ void HierarchicalLockPolicy::ReleaseDeviceOp(int index) {
   parent_.UnlockRead();
 }
 
-Task HierarchicalLockPolicy::AcquireGlobalOp() { co_await parent_.LockWrite(); }
+Task HierarchicalLockPolicy::AcquireGlobalOp(WaitCtx ctx) {
+  co_await parent_.LockWrite(ctx);
+}
 void HierarchicalLockPolicy::ReleaseGlobalOp() { parent_.UnlockWrite(); }
+
+void HierarchicalLockPolicy::Instrument(LockStatsRegistry* registry) {
+  registry_ = registry;
+  parent_.Instrument(registry == nullptr ? nullptr
+                                         : registry->Create("vfio.devset.parent"));
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i]) {
+      children_[i]->Instrument(
+          registry == nullptr
+              ? nullptr
+              : registry->Create("vfio.devset.child." + std::to_string(i)));
+    }
+  }
+}
 
 uint64_t HierarchicalLockPolicy::contention_count() const {
   uint64_t total = parent_.contention_count();

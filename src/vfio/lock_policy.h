@@ -25,14 +25,20 @@ class DevsetLockPolicy {
   virtual void AddChild(int index) = 0;
 
   // An operation touching the local state of child `index` (e.g. opening
-  // one VF: its open count).
-  virtual Task AcquireDeviceOp(int index) = 0;
+  // one VF: its open count). `ctx` attributes any lock wait to the calling
+  // container's current pipeline phase.
+  virtual Task AcquireDeviceOp(int index, WaitCtx ctx = {}) = 0;
   virtual void ReleaseDeviceOp(int index) = 0;
 
   // An operation touching the devset's global state (e.g. a bus-level
   // reset checking the total open count of all members).
-  virtual Task AcquireGlobalOp() = 0;
+  virtual Task AcquireGlobalOp(WaitCtx ctx = {}) = 0;
   virtual void ReleaseGlobalOp() = 0;
+
+  // Attaches named contention probes for every lock the policy owns
+  // ("vfio.devset.global" / "vfio.devset.parent" / "vfio.devset.child.<i>").
+  // Locks added later (AddChild) are instrumented on creation.
+  virtual void Instrument(LockStatsRegistry* registry) = 0;
 
   virtual const char* name() const = 0;
   // Number of acquisitions that had to wait.
@@ -45,10 +51,11 @@ class GlobalMutexPolicy : public DevsetLockPolicy {
   explicit GlobalMutexPolicy(Simulation& sim) : mutex_(sim) {}
 
   void AddChild(int /*index*/) override {}
-  Task AcquireDeviceOp(int index) override;
+  Task AcquireDeviceOp(int index, WaitCtx ctx = {}) override;
   void ReleaseDeviceOp(int index) override;
-  Task AcquireGlobalOp() override;
+  Task AcquireGlobalOp(WaitCtx ctx = {}) override;
   void ReleaseGlobalOp() override;
+  void Instrument(LockStatsRegistry* registry) override;
   const char* name() const override { return "global-mutex"; }
   uint64_t contention_count() const override { return mutex_.contention_count(); }
 
@@ -67,10 +74,11 @@ class HierarchicalLockPolicy : public DevsetLockPolicy {
   explicit HierarchicalLockPolicy(Simulation& sim) : sim_(&sim), parent_(sim) {}
 
   void AddChild(int index) override;
-  Task AcquireDeviceOp(int index) override;
+  Task AcquireDeviceOp(int index, WaitCtx ctx = {}) override;
   void ReleaseDeviceOp(int index) override;
-  Task AcquireGlobalOp() override;
+  Task AcquireGlobalOp(WaitCtx ctx = {}) override;
   void ReleaseGlobalOp() override;
+  void Instrument(LockStatsRegistry* registry) override;
   const char* name() const override { return "hierarchical"; }
   uint64_t contention_count() const override;
 
@@ -78,6 +86,7 @@ class HierarchicalLockPolicy : public DevsetLockPolicy {
   Simulation* sim_;
   SimRwLock parent_;
   std::vector<std::unique_ptr<SimMutex>> children_;
+  LockStatsRegistry* registry_ = nullptr;
 };
 
 }  // namespace fastiov

@@ -54,11 +54,11 @@ SimTime DevSet::BusScanCost() const {
   return cost_.vfio_pci_scan_per_device * static_cast<double>(bus_->num_devices());
 }
 
-Task DevSet::OpenDevice(VfioDevice* dev) {
+Task DevSet::OpenDevice(VfioDevice* dev, WaitCtx ctx) {
   if (FaultInjector* injector = sim_->fault_injector()) {
     co_await injector->MaybeInject(*sim_, FaultSite::kVfioDeviceOpen);
   }
-  co_await lock_policy_->AcquireDeviceOp(dev->index_in_devset());
+  co_await lock_policy_->AcquireDeviceOp(dev->index_in_devset(), ctx);
   // Critical section. Vanilla VFIO re-verifies devset membership by walking
   // the PCI bus and updates the global open count; the hierarchical policy
   // only touches this device's local state.
@@ -66,32 +66,34 @@ Task DevSet::OpenDevice(VfioDevice* dev) {
   if (scan_on_open_) {
     crit += BusScanCost();
   }
-  co_await cpu_->Compute(sim_->rng().Jitter(crit, cost_.jitter_sigma));
+  co_await cpu_->Compute(sim_->rng().Jitter(crit, cost_.jitter_sigma), ctx);
   ++dev->open_count_;
   ++opens_performed_;
   lock_policy_->ReleaseDeviceOp(dev->index_in_devset());
 
   // fd setup and region-info queries happen outside the devset lock.
-  co_await cpu_->Compute(sim_->rng().Jitter(cost_.vfio_device_fd_cpu, cost_.jitter_sigma));
+  co_await cpu_->Compute(sim_->rng().Jitter(cost_.vfio_device_fd_cpu, cost_.jitter_sigma),
+                         ctx);
 }
 
-Task DevSet::CloseDevice(VfioDevice* dev) {
-  co_await lock_policy_->AcquireDeviceOp(dev->index_in_devset());
-  co_await cpu_->Compute(cost_.vfio_open_bookkeeping);
+Task DevSet::CloseDevice(VfioDevice* dev, WaitCtx ctx) {
+  co_await lock_policy_->AcquireDeviceOp(dev->index_in_devset(), ctx);
+  co_await cpu_->Compute(cost_.vfio_open_bookkeeping, ctx);
   assert(dev->open_count_ > 0);
   --dev->open_count_;
   lock_policy_->ReleaseDeviceOp(dev->index_in_devset());
 }
 
-Task DevSet::TryBusReset(bool* ok) {
-  co_await lock_policy_->AcquireGlobalOp();
+Task DevSet::TryBusReset(bool* ok, WaitCtx ctx) {
+  co_await lock_policy_->AcquireGlobalOp(ctx);
   // The reset path always verifies the whole devset.
-  co_await cpu_->Compute(BusScanCost());
+  co_await cpu_->Compute(BusScanCost(), ctx);
   if (TotalOpenCount() > 0) {
     *ok = false;
   } else {
     // Reset cost scales with the member count.
-    co_await cpu_->Compute(cost_.vfio_open_bookkeeping * static_cast<double>(num_devices()));
+    co_await cpu_->Compute(cost_.vfio_open_bookkeeping * static_cast<double>(num_devices()),
+                           ctx);
     *ok = true;
   }
   lock_policy_->ReleaseGlobalOp();
@@ -136,9 +138,10 @@ Task VfioContainer::MapDma(uint64_t iova, uint64_t size, const DmaMapOptions& op
   // legacy mode pulls pages one at a time like the pre-extent allocator).
   std::vector<PageId> flat;
   if (legacy) {
-    co_await pmem_->RetrievePages(options.pid, num_pages, &flat);
+    co_await pmem_->RetrievePages(options.pid, num_pages, &flat, options.wait_ctx);
   } else {
-    co_await pmem_->RetrievePages(options.pid, num_pages, &mapping.runs);
+    co_await pmem_->RetrievePages(options.pid, num_pages, &mapping.runs,
+                                  options.wait_ctx);
   }
 
   if (FaultInjector* injector = sim_->fault_injector()) {
@@ -166,9 +169,9 @@ Task VfioContainer::MapDma(uint64_t iova, uint64_t size, const DmaMapOptions& op
   switch (options.zeroing) {
     case ZeroingMode::kEager: {
       if (legacy) {
-        co_await pmem_->ZeroPages(flat);
+        co_await pmem_->ZeroPages(flat, options.wait_ctx);
       } else {
-        co_await pmem_->ZeroPages(mapping.runs);
+        co_await pmem_->ZeroPages(mapping.runs, options.wait_ctx);
       }
       break;
     }
@@ -181,7 +184,7 @@ Task VfioContainer::MapDma(uint64_t iova, uint64_t size, const DmaMapOptions& op
             dirty.push_back(id);
           }
         }
-        co_await pmem_->ZeroPages(dirty);
+        co_await pmem_->ZeroPages(dirty, options.wait_ctx);
       } else {
         std::vector<PageRun> dirty;
         for (const PageRun& run : mapping.runs) {
@@ -191,7 +194,7 @@ Task VfioContainer::MapDma(uint64_t iova, uint64_t size, const DmaMapOptions& op
             }
           }
         }
-        co_await pmem_->ZeroPages(dirty);
+        co_await pmem_->ZeroPages(dirty, options.wait_ctx);
       }
       break;
     }
@@ -213,9 +216,9 @@ Task VfioContainer::MapDma(uint64_t iova, uint64_t size, const DmaMapOptions& op
 
   // 3. Page pinning.
   if (legacy) {
-    co_await pmem_->PinPages(flat);
+    co_await pmem_->PinPages(flat, options.wait_ctx);
   } else {
-    co_await pmem_->PinPages(mapping.runs);
+    co_await pmem_->PinPages(mapping.runs, options.wait_ctx);
   }
 
   // 4. IOMMU page-table updates: one range descent per extent (legacy mode
@@ -233,7 +236,8 @@ Task VfioContainer::MapDma(uint64_t iova, uint64_t size, const DmaMapOptions& op
     assert(mapped && "IOVA range already mapped");
     (void)mapped;
   }
-  co_await cpu_->Compute(cost_.iommu_map_entry * static_cast<double>(num_pages));
+  co_await cpu_->Compute(cost_.iommu_map_entry * static_cast<double>(num_pages),
+                         options.wait_ctx);
 
   if (legacy) {
     if (out_runs != nullptr) {

@@ -58,13 +58,14 @@ class DevSet {
 
   // Opens a device (hypervisor registration path). The critical section —
   // under the policy's device-op lock — covers the devset consistency check
-  // (bus scan, vanilla only) and the open-count update.
-  Task OpenDevice(VfioDevice* dev);
-  Task CloseDevice(VfioDevice* dev);
+  // (bus scan, vanilla only) and the open-count update. `ctx` attributes
+  // lock and CPU waits to the calling container's current phase.
+  Task OpenDevice(VfioDevice* dev, WaitCtx ctx = {});
+  Task CloseDevice(VfioDevice* dev, WaitCtx ctx = {});
 
   // Bus-level reset: requires that no member is open; global-op lock.
   // Returns (via *ok) whether the reset was performed.
-  Task TryBusReset(bool* ok);
+  Task TryBusReset(bool* ok, WaitCtx ctx = {});
 
   int TotalOpenCount() const;
   size_t num_devices() const { return devices_.size(); }
@@ -112,6 +113,8 @@ struct DmaMapOptions {
   // Required when zeroing == kDecoupled.
   LazyZeroRegistry* lazy_registry = nullptr;
   int pid = -1;  // owning microVM
+  // Attributes retrieval/zeroing/pinning waits to a container phase.
+  WaitCtx wait_ctx;
 };
 
 // The VFIO container: an IOMMU domain plus its DMA mappings.

@@ -1,0 +1,105 @@
+#include "src/stats/json_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/stats/json_writer.h"
+
+namespace fastiov {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(JsonReader::Parse(text, &v, &error)) << error;
+  return v;
+}
+
+TEST(JsonReaderTest, Scalars) {
+  EXPECT_DOUBLE_EQ(MustParse("3.25").AsDouble(), 3.25);
+  EXPECT_DOUBLE_EQ(MustParse("-17").AsDouble(), -17.0);
+  EXPECT_DOUBLE_EQ(MustParse("2.5e3").AsDouble(), 2500.0);
+  EXPECT_EQ(MustParse("\"hi\"").AsString(), "hi");
+  EXPECT_TRUE(MustParse("true").AsBool());
+  EXPECT_FALSE(MustParse("false").AsBool());
+  EXPECT_TRUE(MustParse("null").is_null());
+}
+
+TEST(JsonReaderTest, StringEscapes) {
+  EXPECT_EQ(MustParse("\"a\\\"b\\\\c\\nd\"").AsString(), "a\"b\\c\nd");
+  EXPECT_EQ(MustParse("\"tab\\there\"").AsString(), "tab\there");
+}
+
+TEST(JsonReaderTest, NestedObjectsAndArrays) {
+  const JsonValue doc =
+      MustParse("{\"a\":{\"b\":[1,2,{\"c\":true}]},\"d\":[]}");
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* a = doc.Find("a");
+  ASSERT_NE(a, nullptr);
+  const JsonValue* b = a->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->AsArray().size(), 3u);
+  EXPECT_EQ(b->AsArray()[0].AsInt(), 1);
+  EXPECT_TRUE(b->AsArray()[2].Find("c")->AsBool());
+  EXPECT_TRUE(doc.Find("d")->AsArray().empty());
+}
+
+TEST(JsonReaderTest, MembersPreserveInsertionOrder) {
+  const JsonValue doc = MustParse("{\"z\":1,\"a\":2,\"m\":3}");
+  ASSERT_EQ(doc.Members().size(), 3u);
+  EXPECT_EQ(doc.Members()[0].first, "z");
+  EXPECT_EQ(doc.Members()[1].first, "a");
+  EXPECT_EQ(doc.Members()[2].first, "m");
+}
+
+TEST(JsonReaderTest, LookupsWithFallbacks) {
+  const JsonValue doc = MustParse("{\"x\":1.5,\"s\":\"v\"}");
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.GetDouble("x"), 1.5);
+  EXPECT_DOUBLE_EQ(doc.GetDouble("missing", -1.0), -1.0);
+  EXPECT_EQ(doc.GetString("s"), "v");
+  EXPECT_EQ(doc.GetString("missing", "dflt"), "dflt");
+  // Non-objects have no members.
+  EXPECT_EQ(MustParse("[1]").Find("x"), nullptr);
+}
+
+TEST(JsonReaderTest, RejectsMalformedDocuments) {
+  for (const char* bad : {"{", "[1,", "\"unterminated", "{\"a\"}", "tru",
+                          "{\"a\":1} trailing", "", "{\"a\":01x}"}) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(JsonReader::Parse(bad, &v, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonReaderTest, RoundTripsJsonWriterOutput) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.KV("name", "vfio.devset.global");
+  json.KV("count", static_cast<uint64_t>(49));
+  json.KV("wait", 109.493);
+  json.KV("escaped", "line\nbreak \"quoted\"");
+  json.Key("rows");
+  json.BeginArray().Value(1.0).Value(-2.5).EndArray();
+  json.KV("flag", true);
+  json.Key("nothing");
+  json.Null();
+  json.EndObject();
+
+  const JsonValue doc = MustParse(os.str());
+  EXPECT_EQ(doc.GetString("name"), "vfio.devset.global");
+  EXPECT_EQ(doc.Find("count")->AsInt(), 49);
+  EXPECT_DOUBLE_EQ(doc.GetDouble("wait"), 109.493);
+  EXPECT_EQ(doc.GetString("escaped"), "line\nbreak \"quoted\"");
+  ASSERT_EQ(doc.Find("rows")->AsArray().size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.Find("rows")->AsArray()[1].AsDouble(), -2.5);
+  EXPECT_TRUE(doc.Find("flag")->AsBool());
+  EXPECT_TRUE(doc.Find("nothing")->is_null());
+}
+
+}  // namespace
+}  // namespace fastiov

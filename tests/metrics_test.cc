@@ -1,0 +1,99 @@
+#include "src/stats/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/stats/json_reader.h"
+#include "src/stats/json_writer.h"
+
+namespace fastiov {
+namespace {
+
+TEST(MetricsRegistryTest, CountersIncrementAndSet) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.Counter("vfio.devset.opens"), 0u);
+  m.IncCounter("vfio.devset.opens");
+  m.IncCounter("vfio.devset.opens", 4);
+  EXPECT_EQ(m.Counter("vfio.devset.opens"), 5u);
+  m.SetCounter("vfio.devset.opens", 2);
+  EXPECT_EQ(m.Counter("vfio.devset.opens"), 2u);
+}
+
+TEST(MetricsRegistryTest, GaugesHoldLastValue) {
+  MetricsRegistry m;
+  EXPECT_DOUBLE_EQ(m.Gauge("mem.free_pages"), 0.0);
+  m.SetGauge("mem.free_pages", 1024.0);
+  m.SetGauge("mem.free_pages", 512.0);
+  EXPECT_DOUBLE_EQ(m.Gauge("mem.free_pages"), 512.0);
+}
+
+TEST(MetricsRegistryTest, SummariesObserveAndMerge) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.FindSummary("startup.seconds"), nullptr);
+  m.Observe("startup.seconds", 1.0);
+  m.Observe("startup.seconds", 3.0);
+  Summary extra;
+  extra.Add(5.0);
+  m.MergeSummary("startup.seconds", extra);
+  const Summary* s = m.FindSummary("startup.seconds");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->Count(), 3u);
+  EXPECT_DOUBLE_EQ(s->Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s->Percentile(100), 5.0);
+}
+
+TEST(MetricsRegistryTest, HasAndNumMetricsSpanAllKinds) {
+  MetricsRegistry m;
+  EXPECT_FALSE(m.Has("a.b.c"));
+  m.IncCounter("a.b.c");
+  m.SetGauge("d.e", 1.0);
+  m.Observe("f.g", 2.0);
+  EXPECT_TRUE(m.Has("a.b.c"));
+  EXPECT_TRUE(m.Has("d.e"));
+  EXPECT_TRUE(m.Has("f.g"));
+  EXPECT_EQ(m.NumMetrics(), 3u);
+}
+
+TEST(MetricsRegistryTest, WriteJsonRoundTrips) {
+  MetricsRegistry m;
+  m.SetCounter("mem.pages_zeroed", 42);
+  m.SetGauge("nic.vfs_in_use", 7.0);
+  m.Observe("lock.vfio.devset.global.wait_seconds", 0.5);
+  m.Observe("lock.vfio.devset.global.wait_seconds", 1.5);
+
+  std::ostringstream os;
+  JsonWriter json(os);
+  m.WriteJson(json);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonReader::Parse(os.str(), &doc, &error)) << error;
+  const JsonValue* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->GetDouble("mem.pages_zeroed"), 42.0);
+  const JsonValue* gauges = doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->GetDouble("nic.vfs_in_use"), 7.0);
+  const JsonValue* summaries = doc.Find("summaries");
+  ASSERT_NE(summaries, nullptr);
+  const JsonValue* wait = summaries->Find("lock.vfio.devset.global.wait_seconds");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_DOUBLE_EQ(wait->GetDouble("count"), 2.0);
+  EXPECT_DOUBLE_EQ(wait->GetDouble("mean"), 1.0);
+  EXPECT_DOUBLE_EQ(wait->GetDouble("max"), 1.5);
+}
+
+TEST(MetricsRegistryTest, JsonKeysAreSortedDeterministically) {
+  MetricsRegistry m;
+  m.IncCounter("z.last");
+  m.IncCounter("a.first");
+  std::ostringstream os;
+  JsonWriter json(os);
+  m.WriteJson(json);
+  const std::string out = os.str();
+  EXPECT_LT(out.find("a.first"), out.find("z.last"));
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -1,0 +1,233 @@
+// End-to-end tests for the contention-aware observability layer: the
+// zero-perturbation contract (metrics-on results are byte-identical modulo
+// the appended "observability" section), the §3/Fig. 6 contention narrative
+// (vanilla's devset global mutex dominates; FastIOV demotes it), blocked-time
+// attribution, counter tracks, and fault instants in the unified trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "src/experiments/result_json.h"
+#include "src/experiments/startup_experiment.h"
+#include "src/fault/fault.h"
+#include "src/stats/blocked_time.h"
+#include "src/stats/json_reader.h"
+#include "src/stats/lock_stats.h"
+#include "src/stats/observability.h"
+#include "src/stats/trace_export.h"
+
+namespace fastiov {
+namespace {
+
+ExperimentResult RunCase(const StackConfig& config, int concurrency, bool metrics,
+                         ArrivalPattern arrival = ArrivalPattern::kBurst) {
+  ExperimentOptions options;
+  options.concurrency = concurrency;
+  options.arrival = arrival;
+  options.collect_metrics = metrics;
+  return RunStartupExperiment(config, options);
+}
+
+// The PR 3 digest contract: enabling the probes must not move a single byte
+// of the pre-existing result JSON — the metrics-on document is exactly the
+// metrics-off document with an "observability" member appended before the
+// closing brace.
+void ExpectByteIdenticalModuloObservability(const StackConfig& config,
+                                            ArrivalPattern arrival) {
+  const std::string off = ExperimentResultJson(RunCase(config, 50, false, arrival));
+  const std::string on = ExperimentResultJson(RunCase(config, 50, true, arrival));
+  ASSERT_FALSE(off.empty());
+  EXPECT_EQ(off.find("\"observability\""), std::string::npos);
+  ASSERT_NE(on.find("\"observability\""), std::string::npos);
+  const std::string off_body = off.substr(0, off.size() - 1);  // drop final '}'
+  ASSERT_GT(on.size(), off.size());
+  EXPECT_EQ(on.substr(0, off_body.size()), off_body);
+  EXPECT_EQ(on.back(), '}');
+}
+
+TEST(ObservabilityDigestTest, VanillaByteIdentical) {
+  ExpectByteIdenticalModuloObservability(StackConfig::Vanilla(), ArrivalPattern::kBurst);
+}
+
+TEST(ObservabilityDigestTest, FastIovByteIdentical) {
+  ExpectByteIdenticalModuloObservability(StackConfig::FastIov(), ArrivalPattern::kBurst);
+}
+
+TEST(ObservabilityDigestTest, FastIovPoissonByteIdentical) {
+  ExpectByteIdenticalModuloObservability(StackConfig::FastIov(), ArrivalPattern::kPoisson);
+}
+
+TEST(ObservabilityDigestTest, PreZeroByteIdentical) {
+  ExpectByteIdenticalModuloObservability(StackConfig::PreZero(1.0), ArrivalPattern::kBurst);
+}
+
+TEST(ObservabilityDigestTest, MetricsRunIsRepeatable) {
+  const std::string a = ExperimentResultJson(RunCase(StackConfig::Vanilla(), 50, true));
+  const std::string b = ExperimentResultJson(RunCase(StackConfig::Vanilla(), 50, true));
+  EXPECT_EQ(a, b);
+}
+
+// §3 / Fig. 6: at 50 concurrent vanilla startups, the VFIO devset global
+// mutex is the top lock by total wait time, and the wait dwarfs every other
+// lock. FastIOV's hierarchical locking demotes it.
+TEST(ContentionReportTest, VanillaTopLockIsDevsetGlobal) {
+  const ExperimentResult r = RunCase(StackConfig::Vanilla(), 50, true);
+  ASSERT_NE(r.observability, nullptr);
+  const auto locks = r.observability->lock_stats.ByTotalWait();
+  ASSERT_FALSE(locks.empty());
+  EXPECT_EQ(locks.front()->name(), "vfio.devset.global");
+  EXPECT_GT(locks.front()->contended(), 0u);
+  ASSERT_GE(locks.size(), 2u);
+  EXPECT_GT(locks.front()->wait_seconds().Sum(), locks[1]->wait_seconds().Sum());
+  // The blocked-by edges name real waiter/holder container lanes.
+  EXPECT_FALSE(locks.front()->blocked_by().empty());
+}
+
+TEST(ContentionReportTest, FastIovDemotesDevsetGlobal) {
+  const ExperimentResult r = RunCase(StackConfig::FastIov(), 50, true);
+  ASSERT_NE(r.observability, nullptr);
+  const auto locks = r.observability->lock_stats.ByTotalWait();
+  ASSERT_FALSE(locks.empty());
+  EXPECT_NE(locks.front()->name(), "vfio.devset.global");
+  for (const LockStats* lock : locks) {
+    if (lock->name() == "vfio.devset.global") {
+      // Hierarchical locking: the global lock is all but idle.
+      EXPECT_LT(lock->wait_seconds().Sum(), locks.front()->wait_seconds().Sum());
+    }
+  }
+}
+
+TEST(BlockedTimeTest, VanillaAttributesTheTailToTheDevsetLock) {
+  const ExperimentResult r = RunCase(StackConfig::Vanilla(), 50, true);
+  ASSERT_TRUE(r.blocked_time.has_value());
+  const BlockedTimeReport& report = *r.blocked_time;
+  EXPECT_GT(report.mean_startup_seconds, 0.0);
+  EXPECT_GE(report.p99_startup_seconds, report.mean_startup_seconds);
+  ASSERT_FALSE(report.rows.empty());
+  bool saw_devset_wait = false;
+  for (const BlockedTimeRow& row : report.rows) {
+    EXPECT_GE(row.mean_seconds, 0.0);
+    EXPECT_GE(row.share_of_mean, 0.0);
+    EXPECT_GE(row.tail_seconds, 0.0);
+    if (row.phase == kStepVfioDev && row.cause == "lock-wait:vfio.devset.global") {
+      saw_devset_wait = true;
+      // Tab.-1 narrative: the devset lock wait is a large share of both the
+      // mean and the p99 tail at this concurrency.
+      EXPECT_GT(row.share_of_mean, 0.2);
+      EXPECT_GT(row.share_of_p99_tail, row.share_of_mean);
+      EXPECT_GT(row.events, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_devset_wait);
+}
+
+TEST(BlockedTimeTest, WorkResidualPresentForCriticalPhases) {
+  const ExperimentResult r = RunCase(StackConfig::FastIov(), 20, true);
+  ASSERT_TRUE(r.blocked_time.has_value());
+  int work_rows = 0;
+  for (const BlockedTimeRow& row : r.blocked_time->rows) {
+    if (row.cause == "work") {
+      ++work_rows;
+      EXPECT_EQ(row.events, 0u);
+    }
+  }
+  EXPECT_GE(work_rows, 3);
+}
+
+TEST(CounterTrackTest, AtLeastThreeTracksArePopulated) {
+  const ExperimentResult r = RunCase(StackConfig::FastIov(), 20, true);
+  ASSERT_NE(r.observability, nullptr);
+  const CounterTrackSet& tracks = r.observability->tracks;
+  ASSERT_GE(tracks.size(), 4u);
+  int populated = 0;
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    if (!tracks.at(i).points().empty()) {
+      ++populated;
+    }
+  }
+  EXPECT_GE(populated, 3);
+}
+
+TEST(CounterTrackTest, VfsInUseRisesAndReturnsToZeroAcrossChurn) {
+  const ExperimentResult r = RunCase(StackConfig::FastIov(), 10, true);
+  ASSERT_NE(r.observability, nullptr);
+  const CounterTrackSet& tracks = r.observability->tracks;
+  const CounterTrack* vfs = nullptr;
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    if (tracks.at(i).name() == "nic.vfs_in_use") {
+      vfs = &tracks.at(i);
+    }
+  }
+  ASSERT_NE(vfs, nullptr);
+  ASSERT_FALSE(vfs->points().empty());
+  double peak = 0.0;
+  for (const CounterPoint& p : vfs->points()) {
+    peak = std::max(peak, p.value);
+  }
+  EXPECT_DOUBLE_EQ(peak, 10.0);  // every container holds a VF at the burst peak
+}
+
+TEST(ObservabilityJsonTest, SectionParsesAndNamesTheTopLock) {
+  const ExperimentResult r = RunCase(StackConfig::Vanilla(), 50, true);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonReader::Parse(ExperimentResultJson(r), &doc, &error)) << error;
+  const JsonValue* obs = doc.Find("observability");
+  ASSERT_NE(obs, nullptr);
+  const JsonValue* locks = obs->Find("locks");
+  ASSERT_NE(locks, nullptr);
+  ASSERT_FALSE(locks->AsArray().empty());
+  EXPECT_EQ(locks->AsArray().front().GetString("name"), "vfio.devset.global");
+  const JsonValue* metrics = obs->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_NE(metrics->Find("counters"), nullptr);
+  const JsonValue* blocked = obs->Find("blocked_time");
+  ASSERT_NE(blocked, nullptr);
+  EXPECT_GT(blocked->GetDouble("mean_startup_seconds"), 0.0);
+}
+
+TEST(UnifiedTraceTest, FaultPlanRunEmitsInstantsAndLockWaitSlices) {
+  std::string error;
+  auto plan = FaultPlan::Parse("vfio-dev:p=0.5,penalty_ms=2", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  ExperimentOptions options;
+  options.concurrency = 20;
+  options.collect_metrics = true;
+  options.fault_plan = std::move(plan);
+  const ExperimentResult r = RunStartupExperiment(StackConfig::FastIov(), options);
+  ASSERT_NE(r.observability, nullptr);
+  ASSERT_FALSE(r.fault_events.empty());
+
+  TraceOptions trace_options;
+  trace_options.blocked = &r.observability->blocked;
+  trace_options.counters = &r.observability->tracks;
+  trace_options.fault_events = &r.fault_events;
+  std::ostringstream os;
+  ExportChromeTrace(r.timeline, os, trace_options);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(out.find("lock-wait:"), std::string::npos);
+  EXPECT_NE(out.find("fault injected: vfio-dev"), std::string::npos);
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonReader::Parse(out, &doc, &error)) << error;
+}
+
+TEST(MetricsFoldTest, RegistryCarriesRunCountersAndLockStats) {
+  const ExperimentResult r = RunCase(StackConfig::Vanilla(), 20, true);
+  ASSERT_NE(r.observability, nullptr);
+  const MetricsRegistry& m = r.observability->metrics;
+  EXPECT_TRUE(m.Has("mem.pages_zeroed"));
+  EXPECT_TRUE(m.Has("vfio.devset.lock_contention"));
+  EXPECT_TRUE(m.Has("lock.vfio.devset.global.acquisitions"));
+  const Summary* startup = m.FindSummary("startup.seconds");
+  ASSERT_NE(startup, nullptr);
+  EXPECT_EQ(startup->Count(), 20u);
+  EXPECT_EQ(m.Counter("vfio.devset.lock_contention"), r.devset_lock_contention);
+}
+
+}  // namespace
+}  // namespace fastiov

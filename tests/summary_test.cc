@@ -1,0 +1,104 @@
+// Gap-fill for Summary::Percentile edge cases and Histogram bucket
+// boundaries — the metrics registry and the lock-stats reports lean on these
+// exact semantics, so they get their own focused suite.
+#include "src/stats/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace fastiov {
+namespace {
+
+TEST(PercentileEdgeTest, EmptySummaryIsZeroAtEveryPercentile) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 0.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 0.0);
+}
+
+TEST(PercentileEdgeTest, SingleSampleIsEveryPercentile) {
+  Summary s;
+  s.Add(7.25);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 7.25);
+  EXPECT_DOUBLE_EQ(s.Percentile(42.5), 7.25);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 7.25);
+}
+
+TEST(PercentileEdgeTest, P0IsMinAndP100IsMaxOnUnsortedInput) {
+  Summary s;
+  for (double v : {5.0, -3.0, 12.0, 0.5, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), s.Min());
+  EXPECT_DOUBLE_EQ(s.Percentile(0), -3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), s.Max());
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 12.0);
+}
+
+TEST(PercentileEdgeTest, MergeThenPercentileSeesTheUnion) {
+  Summary a;
+  for (int i = 1; i <= 50; ++i) {
+    a.Add(static_cast<double>(i));
+  }
+  // Force the sorted cache so Merge must invalidate it.
+  EXPECT_DOUBLE_EQ(a.Percentile(100), 50.0);
+  Summary b;
+  for (int i = 51; i <= 101; ++i) {
+    b.Add(static_cast<double>(i));
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 101u);
+  EXPECT_DOUBLE_EQ(a.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(50), 51.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(100), 101.0);
+  EXPECT_DOUBLE_EQ(a.Sum(), 101.0 * 102.0 / 2.0);
+}
+
+TEST(PercentileEdgeTest, MergingAnEmptySummaryChangesNothing) {
+  Summary a;
+  a.Add(1.0);
+  a.Add(3.0);
+  Summary empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Percentile(50), 2.0);
+
+  Summary target;
+  target.Merge(a);
+  EXPECT_EQ(target.Count(), 2u);
+  EXPECT_DOUBLE_EQ(target.Percentile(100), 3.0);
+}
+
+TEST(HistogramBoundaryTest, InteriorBoundaryValueLandsInUpperBin) {
+  // Bins over [0, 10): [0,2) [2,4) [4,6) [6,8) [8,10).
+  Histogram h(0.0, 10.0, 5);
+  h.Add(2.0);  // exactly on the bin 0 / bin 1 edge -> bin 1
+  h.Add(4.0);  // -> bin 2
+  h.Add(8.0);  // -> bin 4
+  EXPECT_EQ(h.BinCount(0), 0u);
+  EXPECT_EQ(h.BinCount(1), 1u);
+  EXPECT_EQ(h.BinCount(2), 1u);
+  EXPECT_EQ(h.BinCount(4), 1u);
+  EXPECT_EQ(h.TotalCount(), 3u);
+}
+
+TEST(HistogramBoundaryTest, RangeEdgesClampToEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.0);   // lo -> bin 0
+  h.Add(10.0);  // hi (exclusive) clamps to the last bin
+  EXPECT_EQ(h.BinCount(0), 1u);
+  EXPECT_EQ(h.BinCount(4), 1u);
+}
+
+TEST(HistogramBoundaryTest, BinEdgesTileTheRangeExactly) {
+  Histogram h(1.0, 5.0, 4);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 1.0);
+  for (size_t i = 0; i + 1 < h.NumBins(); ++i) {
+    EXPECT_DOUBLE_EQ(h.BinHigh(i), h.BinLow(i + 1));
+  }
+  EXPECT_DOUBLE_EQ(h.BinHigh(h.NumBins() - 1), 5.0);
+}
+
+}  // namespace
+}  // namespace fastiov

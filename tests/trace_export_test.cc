@@ -1,0 +1,184 @@
+// The unified trace exporter: golden output for a minimal timeline, distinct
+// thread rows per off-critical-path span kind, and the observability layers
+// (lock-wait slices, counter tracks, fault instants).
+#include "src/stats/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "src/fault/fault.h"
+#include "src/stats/blocked_time.h"
+#include "src/stats/counter_track.h"
+#include "src/stats/json_reader.h"
+#include "src/stats/timeline.h"
+
+namespace fastiov {
+namespace {
+
+JsonValue ParseTrace(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(JsonReader::Parse(text, &doc, &error)) << error;
+  return doc;
+}
+
+// thread_name metadata per pid: row name -> tid.
+std::map<std::string, int64_t> ThreadRows(const JsonValue& doc, int64_t pid) {
+  std::map<std::string, int64_t> rows;
+  for (const JsonValue& e : doc.Find("traceEvents")->AsArray()) {
+    if (e.GetString("ph") == "M" && e.GetString("name") == "thread_name" &&
+        e.GetDouble("pid") == static_cast<double>(pid)) {
+      rows[e.Find("args")->GetString("name")] = static_cast<int64_t>(e.GetDouble("tid"));
+    }
+  }
+  return rows;
+}
+
+// The exact bytes for a minimal one-container timeline: the golden pins the
+// event schema (field order, microsecond timestamps, metadata placement) that
+// Perfetto/chrome://tracing consumes.
+TEST(TraceExportGoldenTest, MinimalTimeline) {
+  TimelineRecorder rec;
+  const int id = rec.RegisterContainer(SimTime::Zero());
+  rec.RecordSpan(id, kStepCgroup, SimTime::Zero(), Milliseconds(2));
+  rec.RecordSpan(id, kStepVfDriver, Milliseconds(2), Milliseconds(5),
+                 /*off_critical_path=*/true);
+  rec.MarkReady(id, Milliseconds(4));
+
+  std::ostringstream os;
+  ExportChromeTrace(rec, os);
+  const std::string expected =
+      "{\"traceEvents\":["
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"container-0\"}},"
+      "{\"name\":\"startup\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":0,\"dur\":4000},"
+      "{\"name\":\"0-cgroup\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":0,\"dur\":2000},"
+      "{\"name\":\"5-vf-driver\",\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":2000,\"dur\":3000},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"critical-path\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+      "\"args\":{\"name\":\"async 5-vf-driver\"}}"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(TraceExportTest, DistinctThreadRowPerOffCriticalSpanKind) {
+  TimelineRecorder rec;
+  const int id = rec.RegisterContainer(SimTime::Zero());
+  rec.RecordSpan(id, kStepVfioDev, SimTime::Zero(), Milliseconds(1));
+  // Two different background span kinds plus the supervised link-up aux span:
+  // each must land on its own named row, not a shared "async" row.
+  rec.RecordSpan(id, kStepVfDriver, Milliseconds(1), Milliseconds(3),
+                 /*off_critical_path=*/true);
+  rec.RecordSpan(id, kStepAddCni, Milliseconds(1), Milliseconds(2),
+                 /*off_critical_path=*/true);
+  rec.RecordAuxSpan(id, "link-up", Milliseconds(3), Milliseconds(6));
+  rec.MarkReady(id, Milliseconds(2));
+
+  std::ostringstream os;
+  ExportChromeTrace(rec, os);
+  const JsonValue doc = ParseTrace(os.str());
+
+  const std::map<std::string, int64_t> rows = ThreadRows(doc, 0);
+  ASSERT_EQ(rows.count("critical-path"), 1u);
+  ASSERT_EQ(rows.count("async 5-vf-driver"), 1u);
+  ASSERT_EQ(rows.count("async addCNI"), 1u);
+  ASSERT_EQ(rows.count("link-up"), 1u);
+  EXPECT_EQ(rows.at("critical-path"), 0);
+  EXPECT_NE(rows.at("async 5-vf-driver"), rows.at("async addCNI"));
+  EXPECT_NE(rows.at("async 5-vf-driver"), rows.at("link-up"));
+
+  // Every span event must sit on the row matching its kind.
+  for (const JsonValue& e : doc.Find("traceEvents")->AsArray()) {
+    if (e.GetString("ph") != "X") {
+      continue;
+    }
+    const int64_t tid = static_cast<int64_t>(e.GetDouble("tid"));
+    const std::string name = e.GetString("name");
+    if (name == kStepVfDriver) {
+      EXPECT_EQ(tid, rows.at("async 5-vf-driver"));
+    } else if (name == kStepAddCni) {
+      EXPECT_EQ(tid, rows.at("async addCNI"));
+    } else if (name == "link-up") {
+      EXPECT_EQ(tid, rows.at("link-up"));
+    } else {
+      EXPECT_EQ(tid, 0) << name;
+    }
+  }
+}
+
+TEST(TraceExportTest, EmitsWaitSlicesCounterTracksAndFaultInstants) {
+  TimelineRecorder rec;
+  const int id = rec.RegisterContainer(SimTime::Zero());
+  rec.RecordSpan(id, kStepVfioDev, SimTime::Zero(), Milliseconds(10));
+  rec.MarkReady(id, Milliseconds(10));
+
+  BlockedTimeRecorder blocked;
+  blocked.Record(id, kStepVfioDev, "lock-wait:vfio.devset.global", Milliseconds(1),
+                 Milliseconds(7));
+
+  CounterTrackSet tracks;
+  CounterTrack* frames = tracks.Create("mem.free_frames");
+  frames->Record(SimTime::Zero(), 100.0);
+  frames->Record(Milliseconds(5), 60.0);
+
+  std::vector<FaultTraceEvent> faults;
+  faults.push_back(FaultTraceEvent{Milliseconds(3), FaultSite::kVfioDeviceOpen,
+                                   FaultTraceEvent::Kind::kInjected, /*transient=*/true});
+  faults.push_back(FaultTraceEvent{Milliseconds(4), FaultSite::kVfioDeviceOpen,
+                                   FaultTraceEvent::Kind::kRecovered});
+
+  TraceOptions options;
+  options.blocked = &blocked;
+  options.counters = &tracks;
+  options.fault_events = &faults;
+  std::ostringstream os;
+  ExportChromeTrace(rec, os, options);
+  const JsonValue doc = ParseTrace(os.str());
+
+  const std::map<std::string, int64_t> rows = ThreadRows(doc, 0);
+  ASSERT_EQ(rows.count("waits"), 1u);
+
+  bool saw_wait = false, saw_counter = false, saw_instant = false, saw_host = false;
+  for (const JsonValue& e : doc.Find("traceEvents")->AsArray()) {
+    const std::string ph = e.GetString("ph");
+    const std::string name = e.GetString("name");
+    if (ph == "X" && name == "lock-wait:vfio.devset.global") {
+      saw_wait = true;
+      EXPECT_EQ(static_cast<int64_t>(e.GetDouble("tid")), rows.at("waits"));
+      EXPECT_EQ(e.Find("args")->GetString("phase"), kStepVfioDev);
+      EXPECT_DOUBLE_EQ(e.GetDouble("dur"), 6000.0);  // 6 ms in us
+    } else if (ph == "C" && name == "mem.free_frames") {
+      saw_counter = true;
+      EXPECT_GT(e.Find("args")->GetDouble("value"), 0.0);
+    } else if (ph == "i") {
+      saw_instant = true;
+      EXPECT_EQ(e.GetString("s"), "g");
+      EXPECT_EQ(e.Find("args")->GetString("site"), "vfio-dev");
+    } else if (ph == "M" && name == "process_name" &&
+               e.Find("args")->GetString("name") == "host") {
+      saw_host = true;
+    }
+  }
+  EXPECT_TRUE(saw_wait);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_host);
+}
+
+TEST(TraceExportTest, NoObservabilityOptionsMeansNoHostProcess) {
+  TimelineRecorder rec;
+  const int id = rec.RegisterContainer(SimTime::Zero());
+  rec.RecordSpan(id, kStepCgroup, SimTime::Zero(), Milliseconds(1));
+  rec.MarkReady(id, Milliseconds(1));
+  std::ostringstream os;
+  ExportChromeTrace(rec, os);
+  EXPECT_EQ(os.str().find("\"host\""), std::string::npos);
+  EXPECT_EQ(os.str().find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_EQ(os.str().find("\"ph\":\"i\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastiov

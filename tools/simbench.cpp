@@ -13,6 +13,11 @@
 //      2 MiB pages and fragmentation 0.0/0.5, with a byte-identity check
 //      on the simulated-time results of the two modes.
 //
+// It also asserts the observability layer's zero-perturbation contract:
+// a metrics-on run must produce the exact same result bytes as a
+// metrics-off run plus a trailing "observability" section, and the
+// wall-clock overhead of the probes is reported.
+//
 // `--quick` shrinks the workload for use as a ctest smoke test: it keeps
 // the harness itself from rotting without burning CI minutes.
 #include <chrono>
@@ -359,6 +364,39 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(chaos.residue_reads),
               chaos_replay_identical ? "yes" : "NO — BUG");
 
+  // --- 5. observability probes: digest identity + overhead ----------------
+  // The instrumentation contract is that probes are memory-only: the
+  // metrics-off JSON, minus its closing brace, must be a byte prefix of the
+  // metrics-on JSON (which appends only the "observability" section).
+  bool metrics_identical = true;
+  double metrics_off_seconds = 0.0;
+  double metrics_on_seconds = 0.0;
+  for (const StackConfig& config : {StackConfig::Vanilla(), StackConfig::FastIov()}) {
+    ExperimentOptions mopt;
+    mopt.concurrency = quick ? 20 : 50;
+    start = Clock::now();
+    const ExperimentResult off = RunStartupExperiment(config, mopt);
+    metrics_off_seconds += SecondsSince(start);
+    mopt.collect_metrics = true;
+    start = Clock::now();
+    const ExperimentResult on = RunStartupExperiment(config, mopt);
+    metrics_on_seconds += SecondsSince(start);
+    const std::string off_json = ExperimentResultJson(off);
+    const std::string on_json = ExperimentResultJson(on);
+    const std::string off_body = off_json.substr(0, off_json.size() - 1);
+    metrics_identical = metrics_identical &&
+                        on_json.compare(0, off_body.size(), off_body) == 0 &&
+                        on_json.find("\"observability\"") != std::string::npos;
+  }
+  std::printf("\nobservability (vanilla + fastiov @%d):\n", quick ? 20 : 50);
+  std::printf("  metrics off %.3fs, on %.3fs (overhead %+.1f%%)\n", metrics_off_seconds,
+              metrics_on_seconds,
+              metrics_off_seconds > 0.0
+                  ? (metrics_on_seconds / metrics_off_seconds - 1.0) * 100.0
+                  : 0.0);
+  std::printf("  result bytes identical modulo observability section: %s\n",
+              metrics_identical ? "yes" : "NO — BUG");
+
   // --- report ------------------------------------------------------------
   const std::string out_path = flags.GetString("out");
   std::ofstream out(out_path);
@@ -409,6 +447,12 @@ int main(int argc, char** argv) {
         .EndObject();
   }
   json.EndArray();
+  json.Key("observability");
+  json.BeginObject()
+      .KV("seconds_metrics_off", metrics_off_seconds)
+      .KV("seconds_metrics_on", metrics_on_seconds)
+      .KV("byte_identical", metrics_identical)
+      .EndObject();
   json.Key("chaos");
   json.BeginObject()
       .KV("seeds", static_cast<int64_t>(chaos_seeds))
@@ -427,5 +471,7 @@ int main(int argc, char** argv) {
   out << '\n';
   std::printf("\nreport written to %s\n", out_path.c_str());
 
-  return (identical && membench_identical && chaos_replay_identical) ? 0 : 1;
+  return (identical && membench_identical && chaos_replay_identical && metrics_identical)
+             ? 0
+             : 1;
 }

@@ -1,0 +1,170 @@
+// simreport — renders the observability section of a result JSON (produced
+// by `fastiov_sim --metrics --json`) as human-readable reports:
+//   * headline run facts (stack, concurrency, startup mean/p99),
+//   * the top-N contended locks ranked by total wait time,
+//   * the Tab.-1-style per-phase blocked-time attribution (lock-wait /
+//     resource-wait / work, with shares of the mean and of the p99 tail).
+//
+// Usage:
+//   fastiov_sim --stack=vanilla --concurrency=50 --metrics --json > r.json
+//   simreport r.json [--top=N]
+//   ... | simreport -            # read from stdin
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/stats/json_reader.h"
+#include "src/stats/table.h"
+
+using namespace fastiov;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <result.json | -> [--top=N]\n"
+               "renders lock-contention and blocked-time reports from the\n"
+               "'observability' section of a fastiov_sim --metrics --json result\n",
+               argv0);
+  return 2;
+}
+
+std::string FormatSecondsShort(double s) {
+  char buf[32];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", s * 1e6);
+  }
+  return buf;
+}
+
+std::string FormatShare(double f) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", f * 100.0);
+  return buf;
+}
+
+void PrintHeadline(const JsonValue& root) {
+  std::printf("stack %s, concurrency %lld, seed %lld\n",
+              root.GetString("stack", "?").c_str(),
+              static_cast<long long>(root.GetDouble("concurrency")),
+              static_cast<long long>(root.GetDouble("seed")));
+  if (const JsonValue* startup = root.Find("startup_seconds")) {
+    std::printf("startup mean %s, p99 %s\n\n",
+                FormatSecondsShort(startup->GetDouble("mean")).c_str(),
+                FormatSecondsShort(startup->GetDouble("p99")).c_str());
+  }
+}
+
+void PrintLocks(const JsonValue& locks, size_t top) {
+  TextTable table({"lock", "acquisitions", "contended", "wait-total", "wait-mean",
+                   "wait-max", "hold-mean", "max-queue"});
+  size_t shown = 0;
+  for (const JsonValue& lock : locks.AsArray()) {
+    if (top > 0 && shown >= top) {
+      break;
+    }
+    ++shown;
+    table.AddRow({lock.GetString("name", "?"),
+                  std::to_string(static_cast<long long>(lock.GetDouble("acquisitions"))),
+                  std::to_string(static_cast<long long>(lock.GetDouble("contended"))),
+                  FormatSecondsShort(lock.GetDouble("wait_total_seconds")),
+                  FormatSecondsShort(lock.GetDouble("wait_mean_seconds")),
+                  FormatSecondsShort(lock.GetDouble("wait_max_seconds")),
+                  FormatSecondsShort(lock.GetDouble("hold_mean_seconds")),
+                  std::to_string(static_cast<long long>(lock.GetDouble("max_queue_depth")))});
+  }
+  std::printf("top contended locks (by total wait):\n");
+  table.Print(std::cout);
+  if (top > 0 && locks.AsArray().size() > shown) {
+    std::printf("  ... %zu more (raise --top)\n", locks.AsArray().size() - shown);
+  }
+}
+
+void PrintBlockedTime(const JsonValue& blocked) {
+  std::printf("\nblocked-time attribution (mean startup %s, p99 %s):\n",
+              FormatSecondsShort(blocked.GetDouble("mean_startup_seconds")).c_str(),
+              FormatSecondsShort(blocked.GetDouble("p99_startup_seconds")).c_str());
+  const JsonValue* rows = blocked.Find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    std::printf("  (no rows)\n");
+    return;
+  }
+  TextTable table({"phase", "cause", "mean", "share-of-mean", "p99-tail", "share-of-tail"});
+  for (const JsonValue& row : rows->AsArray()) {
+    table.AddRow({row.GetString("phase", "?"), row.GetString("cause", "?"),
+                  FormatSecondsShort(row.GetDouble("mean_seconds")),
+                  FormatShare(row.GetDouble("share_of_mean")),
+                  FormatSecondsShort(row.GetDouble("tail_seconds")),
+                  FormatShare(row.GetDouble("share_of_p99_tail"))});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  size_t top = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--top=", 0) == 0) {
+      top = static_cast<size_t>(std::strtoul(arg.c_str() + 6, nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (path.empty()) {
+    return Usage(argv[0]);
+  }
+
+  std::string text;
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+
+  JsonValue root;
+  std::string error;
+  if (!JsonReader::Parse(text, &root, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  PrintHeadline(root);
+  const JsonValue* obs = root.Find("observability");
+  if (obs == nullptr) {
+    std::fprintf(stderr,
+                 "error: no 'observability' section — rerun fastiov_sim with "
+                 "--metrics --json\n");
+    return 1;
+  }
+  if (const JsonValue* locks = obs->Find("locks"); locks != nullptr && locks->is_array()) {
+    PrintLocks(*locks, top);
+  }
+  if (const JsonValue* blocked = obs->Find("blocked_time")) {
+    PrintBlockedTime(*blocked);
+  }
+  return 0;
+}
