@@ -29,14 +29,19 @@ inline ExperimentOptions DefaultOptions(int concurrency = 200, uint64_t seed = 4
 
 // Flags shared by every bench binary.
 struct BenchEnv {
-  int jobs = 1;  // resolved worker count for the run matrix
+  int jobs = 1;            // effective worker count (clamped to hardware)
+  int jobs_requested = 0;  // raw --jobs value as given (0 = auto)
+  bool scale = false;      // extend concurrency sweeps into the 1000+ regime
 };
 
-// Parses the uniform bench flags (currently --jobs); exits on --help or a
+// Parses the uniform bench flags (--jobs, --scale); exits on --help or a
 // bad flag, so every bench main stays a straight line.
 inline BenchEnv ParseBenchEnv(int argc, const char* const* argv) {
   FlagParser flags;
   AddJobsFlag(flags);
+  flags.AddBool("scale", false,
+                "extend concurrency sweeps to the 1000+ container regime "
+                "(currently honoured by fig13a)");
   std::string error;
   if (!flags.Parse(argc, argv, &error)) {
     std::fprintf(stderr, "error: %s\n\n%s", error.c_str(), flags.HelpText(argv[0]).c_str());
@@ -47,8 +52,24 @@ inline BenchEnv ParseBenchEnv(int argc, const char* const* argv) {
     std::exit(0);
   }
   BenchEnv env;
-  env.jobs = ResolveJobs(GetJobsFlag(flags));
+  env.jobs_requested = GetJobsFlag(flags);
+  env.jobs = ClampJobsToHardware(env.jobs_requested);
+  env.scale = flags.GetBool("scale");
   return env;
+}
+
+// Host spec for a scale-regime cell. The paper's testbed (256 VFs, 256 GiB)
+// caps out near 200 concurrent containers; beyond that the host grows with
+// the fleet, because the scale regime measures engine behaviour, not
+// testbed realism. 1 GiB per container covers the 512 MiB guest plus the
+// 256 MiB image region with headroom.
+inline HostSpec ScaleHost(int concurrency) {
+  HostSpec spec;
+  if (concurrency > 200) {
+    spec.num_vfs = concurrency;
+    spec.memory_bytes = static_cast<uint64_t>(concurrency) * kGiB;
+  }
+  return spec;
 }
 
 // Every header names the jobs count so recorded numbers stay attributable

@@ -4,6 +4,7 @@
 
 #include "src/container/host.h"
 #include "src/container/runtime.h"
+#include "src/simcore/arena.h"
 #include "src/simcore/simulation.h"
 
 namespace fastiov {
@@ -46,7 +47,9 @@ SimTime VfRelatedTime(const ContainerTimeline& lane) {
 
 ExperimentResult RunStartupExperiment(const StackConfig& config,
                                       const ExperimentOptions& options) {
-  Simulation sim(options.seed);
+  // Per-run arena numbers are deltas over the thread-cumulative counters.
+  const FramePool::Stats arena_before = FramePool::ThreadStats();
+  Simulation sim(options.seed, options.scheduler);
   // Each container keeps a handful of events outstanding (its own step plus
   // zeroer/timer wakeups); 16 per container absorbs the burst peak without
   // the queue ever growing mid-run.
@@ -84,6 +87,7 @@ ExperimentResult RunStartupExperiment(const StackConfig& config,
   result.background_zeroed_pages = host.fastiovd().background_zeroed_pages();
   result.local_allocations = host.pmem().local_allocations();
   result.remote_allocations = host.pmem().remote_allocations();
+  result.events_processed = sim.num_events_processed();
   if (injector.has_value()) {
     for (const auto& inst : runtime.instances()) {
       if (inst->aborted) {
@@ -121,6 +125,27 @@ ExperimentResult RunStartupExperiment(const StackConfig& config,
       m.SetCounter("lock." + lock.name() + ".acquisitions", lock.acquisitions());
       m.SetCounter("lock." + lock.name() + ".contended", lock.contended());
       m.MergeSummary("lock." + lock.name() + ".wait_seconds", lock.wait_seconds());
+    }
+    // Engine self-observability: event throughput, arena pool traffic, and
+    // (under the calendar policy) queue-tier occupancy. Only run-deterministic
+    // counters go into the registry — warm-pool state (pool hits, slab
+    // carves) varies with what previously ran on this thread, and registry
+    // contents must be repeatable byte-for-byte (MetricsRunIsRepeatable).
+    // Benchmarks read the full warm/cold picture from FramePool::ThreadStats.
+    m.SetCounter("sim.events_processed", result.events_processed);
+    const FramePool::Stats arena = FramePool::ThreadStats();
+    m.SetCounter("sim.arena.allocs", arena.allocs - arena_before.allocs);
+    m.SetCounter("sim.arena.frees", arena.frees - arena_before.frees);
+    m.SetCounter("sim.arena.upstream_allocs",
+                 arena.upstream_allocs - arena_before.upstream_allocs);
+    if (const CalendarQueueStats* cal = sim.calendar_stats()) {
+      m.SetCounter("sim.calendar.immediate_pushes", cal->immediate_pushes);
+      m.SetCounter("sim.calendar.due_pushes", cal->due_pushes);
+      m.SetCounter("sim.calendar.ring_pushes", cal->ring_pushes);
+      m.SetCounter("sim.calendar.overflow_pushes", cal->overflow_pushes);
+      m.SetCounter("sim.calendar.windows_advanced", cal->windows_advanced);
+      m.SetCounter("sim.calendar.rebuilds", cal->rebuilds);
+      m.SetGauge("sim.calendar.bucket_ns", static_cast<double>(cal->bucket_ns));
     }
     result.observability = host.observability_ptr();
   }

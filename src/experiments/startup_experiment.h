@@ -12,6 +12,7 @@
 #include "src/config/cost_model.h"
 #include "src/container/stack_config.h"
 #include "src/fault/fault.h"
+#include "src/simcore/event_queue.h"
 #include "src/stats/blocked_time.h"
 #include "src/stats/fault_stats.h"
 #include "src/stats/observability.h"
@@ -49,6 +50,11 @@ struct ExperimentOptions {
   // leaves the base result JSON byte-identical — it only ADDS an
   // "observability" section.
   bool collect_metrics = false;
+  // Pending-event queue implementation for this run's Simulation. Unset uses
+  // the process-wide default. Both policies produce byte-identical results
+  // (asserted by tests/sched_equiv_test.cc); the knob exists so benchmarks
+  // and equivalence tests can pin one side. Not serialized into result JSON.
+  std::optional<SchedulerPolicy> scheduler;
 };
 
 struct ExperimentResult {
@@ -68,6 +74,10 @@ struct ExperimentResult {
   uint64_t background_zeroed_pages = 0;
   uint64_t local_allocations = 0;
   uint64_t remote_allocations = 0;  // NUMA spillover
+  // Total simulation events dispatched by the run. Scheduler-policy
+  // independent (both queues pop the same sequence); used by the scale
+  // benchmarks to report events/sec. Not serialized into result JSON.
+  uint64_t events_processed = 0;
 
   // Fault-injection bookkeeping; present only when options.fault_plan was.
   uint64_t aborted_containers = 0;

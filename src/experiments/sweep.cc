@@ -47,6 +47,10 @@ int DefaultJobs() {
 
 int ResolveJobs(int jobs) { return jobs <= 0 ? DefaultJobs() : jobs; }
 
+int ClampJobsToHardware(int jobs) {
+  return std::min(ResolveJobs(jobs), DefaultJobs());
+}
+
 void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& body) {
   if (n == 0) {
     return;

@@ -28,6 +28,14 @@ int DefaultJobs();
 // threads"; anything else is taken literally.
 int ResolveJobs(int jobs);
 
+// Resolve, then clamp to the hardware thread count. The CLI entry points use
+// this: sweep cells are CPU-bound, so oversubscribing buys nothing but
+// context-switch overhead and has manufactured fake "regressions" on small
+// CI boxes (--jobs 4 on a 1-CPU host measured 0.83x of --jobs 1). Tests that
+// deliberately want more workers than cores call ParallelFor directly, which
+// takes the value literally.
+int ClampJobsToHardware(int jobs);
+
 // Runs body(i) for every i in [0, n), fanned out across `jobs` worker
 // threads with work stealing: indices are dealt round-robin into per-worker
 // queues, and a worker whose queue drains steals from its siblings, so one

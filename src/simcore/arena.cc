@@ -1,0 +1,148 @@
+#include "src/simcore/arena.h"
+
+#include <atomic>
+#include <cassert>
+#include <new>
+#include <vector>
+
+namespace fastiov {
+namespace {
+
+std::atomic<bool> g_pooling_enabled{true};
+
+// Free-list node overlaid on the first word of a freed block. Every pooled
+// block is at least kClassBytes, so the overlay always fits.
+struct FreeNode {
+  FreeNode* next;
+};
+
+// Per-size-class slab state. Allocation is bump-first within the current
+// slab; the free list only carries blocks freed mid-generation, so a fresh
+// generation (after a reset) hands out addresses in strict slab order.
+struct ClassState {
+  FreeNode* free = nullptr;
+  std::vector<char*> slabs;  // owned; released at thread exit only
+  size_t slab_idx = 0;       // slab the bump pointer is in
+  size_t offset = FramePool::kSlabBytes;  // next carve offset; full => advance
+};
+
+struct ThreadPool {
+  ClassState classes[FramePool::kNumClasses];
+  FramePool::Stats stats;
+  // The pooling regime this thread is currently in; re-read from the global
+  // switch only while outstanding == 0, so every allocation is freed under
+  // the regime that produced it.
+  bool pooling = true;
+
+  ~ThreadPool() {
+    for (ClassState& cs : classes) {
+      for (char* slab : cs.slabs) {
+        ::operator delete(slab);
+      }
+    }
+  }
+};
+
+ThreadPool& Pool() {
+  thread_local ThreadPool pool;
+  return pool;
+}
+
+size_t ClassIndex(size_t bytes) {
+  return (bytes + FramePool::kClassBytes - 1) / FramePool::kClassBytes - 1;
+}
+
+// Zero live allocations: rewind every class to the start of its slab chain
+// and drop the free lists (all their blocks are inside the slabs, which the
+// bump pointers now cover again). Successive generations therefore see the
+// same, sequential address layout instead of the address entropy a LIFO
+// free list accumulates across runs — layout drift is what made warm pools
+// measurably slower than cold ones at the 5000-container scale.
+void ResetGeneration(ThreadPool& tp) {
+  for (ClassState& cs : tp.classes) {
+    cs.free = nullptr;
+    cs.slab_idx = 0;
+    cs.offset = cs.slabs.empty() ? FramePool::kSlabBytes : 0;
+  }
+  ++tp.stats.generation_resets;
+}
+
+}  // namespace
+
+void* FramePool::Allocate(size_t bytes) {
+  if (bytes == 0) {
+    bytes = 1;
+  }
+  ThreadPool& tp = Pool();
+  if (tp.stats.outstanding == 0) {
+    tp.pooling = g_pooling_enabled.load(std::memory_order_relaxed);
+  }
+  ++tp.stats.allocs;
+  ++tp.stats.outstanding;
+  if (!tp.pooling || bytes > kMaxPooledBytes) {
+    ++tp.stats.upstream_allocs;
+    return ::operator new(bytes);
+  }
+  const size_t cls = ClassIndex(bytes);
+  ClassState& cs = tp.classes[cls];
+  if (FreeNode* node = cs.free) {
+    cs.free = node->next;
+    ++tp.stats.pool_hits;
+    return node;
+  }
+  // Bump-carve from the slab chain. operator new guarantees max_align_t
+  // alignment and kClassBytes is a multiple of it, so every node is
+  // suitably aligned for coroutine frames.
+  const size_t node_bytes = (cls + 1) * kClassBytes;
+  if (cs.offset + node_bytes > kSlabBytes) {
+    if (cs.slab_idx + 1 < cs.slabs.size()) {
+      ++cs.slab_idx;  // re-carve a slab retained from an earlier generation
+    } else {
+      cs.slabs.push_back(static_cast<char*>(::operator new(kSlabBytes)));
+      cs.slab_idx = cs.slabs.size() - 1;
+      tp.stats.slab_bytes += kSlabBytes;
+      ++tp.stats.slab_carves;
+    }
+    cs.offset = 0;
+  }
+  char* p = cs.slabs[cs.slab_idx] + cs.offset;
+  cs.offset += node_bytes;
+  ++tp.stats.pool_hits;
+  return p;
+}
+
+void FramePool::Deallocate(void* p, size_t bytes) noexcept {
+  if (p == nullptr) {
+    return;
+  }
+  if (bytes == 0) {
+    bytes = 1;
+  }
+  ThreadPool& tp = Pool();
+  ++tp.stats.frees;
+  assert(tp.stats.outstanding > 0);
+  --tp.stats.outstanding;
+  if (!tp.pooling || bytes > kMaxPooledBytes) {
+    ::operator delete(p);
+  } else {
+    const size_t cls = ClassIndex(bytes);
+    FreeNode* node = static_cast<FreeNode*>(p);
+    node->next = tp.classes[cls].free;
+    tp.classes[cls].free = node;
+  }
+  if (tp.stats.outstanding == 0) {
+    ResetGeneration(tp);
+  }
+}
+
+void FramePool::SetPoolingEnabled(bool enabled) {
+  g_pooling_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool FramePool::pooling_enabled() {
+  return g_pooling_enabled.load(std::memory_order_relaxed);
+}
+
+FramePool::Stats FramePool::ThreadStats() { return Pool().stats; }
+
+}  // namespace fastiov

@@ -1,0 +1,99 @@
+// Slab/arena pools for the discrete-event hot path.
+//
+// A simulation run allocates the same few object shapes millions of times:
+// coroutine frames (every awaited child Task), spawned-process root frames
+// and ProcessState blocks, and the occasional oversized event closure. The
+// general-purpose allocator charges a lock-free-list walk plus metadata for
+// each, and its churn dominates the profile once the event engine itself is
+// O(1). FramePool replaces it with thread-local, size-class segregated
+// free lists carved out of large slabs:
+//
+//   * Allocate/Deallocate are a pointer bump/push in the common case.
+//   * Slabs are never returned to the OS until thread exit, so a steady-state
+//     run reaches a fixed working set and stops calling malloc entirely.
+//   * Everything is thread-local. A Simulation is single-threaded by
+//     contract (see simulation.h), and the sweep layer runs each cell to
+//     completion on one worker, so frames never cross threads.
+//   * When the thread drops to zero outstanding allocations (between runs),
+//     the slab chains rewind and the free lists drop: the next generation
+//     carves addresses in the same sequential order as a cold pool. Without
+//     the rewind, LIFO free-list reuse accumulates address entropy run over
+//     run and a warm pool ends up measurably slower than a cold one.
+//
+// Determinism contract: the pool influences *addresses only*. It performs no
+// RNG draws, schedules no events, and reads no simulated time; pooled and
+// unpooled runs must be byte-identical (asserted by sched_equiv_test).
+//
+// Pooling can be switched off globally (SetPoolingEnabled); each thread
+// adopts the new setting only while it has zero outstanding allocations, so
+// an allocation is always returned to the regime that produced it.
+#ifndef SRC_SIMCORE_ARENA_H_
+#define SRC_SIMCORE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fastiov {
+
+class FramePool {
+ public:
+  // Allocations at most this large are served from size-class free lists;
+  // anything bigger goes straight to operator new (counted as upstream).
+  static constexpr size_t kMaxPooledBytes = 2048;
+  // Size-class granularity. 64 keeps every pooled node cache-line aligned
+  // and bounds internal fragmentation at one line.
+  static constexpr size_t kClassBytes = 64;
+  static constexpr size_t kNumClasses = kMaxPooledBytes / kClassBytes;
+  // Slab size carved into nodes when a class's free list runs dry.
+  static constexpr size_t kSlabBytes = 64 * 1024;
+
+  static void* Allocate(size_t bytes);
+  static void Deallocate(void* p, size_t bytes) noexcept;
+
+  // Global pooling switch (default on). Threads adopt a change lazily, at
+  // the next Allocate issued while they have no outstanding allocations —
+  // never in the middle of a run.
+  static void SetPoolingEnabled(bool enabled);
+  static bool pooling_enabled();
+
+  // Allocation statistics of the calling thread, cumulative since thread
+  // start. Callers wanting per-run numbers snapshot before/after the run.
+  struct Stats {
+    uint64_t allocs = 0;          // every Allocate call
+    uint64_t frees = 0;           // every Deallocate call
+    uint64_t pool_hits = 0;       // served from slab memory (bump or free list)
+    uint64_t slab_carves = 0;     // a fresh slab was allocated for a class
+    uint64_t upstream_allocs = 0; // served by operator new (oversized or pooling off)
+    uint64_t slab_bytes = 0;      // total bytes held in slabs
+    uint64_t outstanding = 0;     // live allocations right now
+    uint64_t generation_resets = 0;  // slab rewinds at zero outstanding
+  };
+  static Stats ThreadStats();
+};
+
+// Minimal std-allocator adapter over FramePool, for allocate_shared and
+// friends. All instances compare equal: memory from one can be returned
+// through any other (on the same thread).
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(FramePool::Allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    FramePool::Deallocate(p, n * sizeof(T));
+  }
+
+  friend bool operator==(const PoolAllocator&, const PoolAllocator&) { return true; }
+  friend bool operator!=(const PoolAllocator&, const PoolAllocator&) { return false; }
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_SIMCORE_ARENA_H_

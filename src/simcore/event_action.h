@@ -17,13 +17,17 @@
 #include <type_traits>
 #include <utility>
 
+#include "src/simcore/arena.h"
+
 namespace fastiov {
 
 class EventAction {
  public:
   // Inline closure budget: enough for a this-pointer plus a few captured
-  // words, which covers every callback the simulator schedules today.
-  static constexpr size_t kInlineBytes = 48;
+  // words, which covers every callback the simulator schedules today. Sized
+  // so a whole queued event (when + seq + action) fits one cache line —
+  // queue moves are the scheduler's inner loop.
+  static constexpr size_t kInlineBytes = 32;
 
   EventAction() noexcept = default;
 
@@ -49,7 +53,7 @@ class EventAction {
     } else {
       kind_ = Kind::kHeap;
       ops_ = &HeapOps<Fn>::ops;
-      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ::new (static_cast<void*>(storage_)) Fn*(HeapOps<Fn>::Create(std::forward<F>(f)));
     }
   }
 
@@ -105,12 +109,39 @@ class EventAction {
 
   template <typename Fn>
   struct HeapOps {
+    // Oversized closures come from the arena pool unless they demand more
+    // than fundamental alignment, which the pool does not provide.
+    static constexpr bool kPooled = alignof(Fn) <= alignof(std::max_align_t);
+
+    template <typename F>
+    static Fn* Create(F&& f) {
+      if constexpr (kPooled) {
+        void* mem = FramePool::Allocate(sizeof(Fn));
+        try {
+          return ::new (mem) Fn(std::forward<F>(f));
+        } catch (...) {
+          FramePool::Deallocate(mem, sizeof(Fn));
+          throw;
+        }
+      } else {
+        return new Fn(std::forward<F>(f));
+      }
+    }
+
     static Fn* Ptr(void* storage) { return *std::launder(static_cast<Fn**>(storage)); }
     static void Invoke(void* storage) { (*Ptr(storage))(); }
     static void Relocate(void* dst, void* src) noexcept {
       ::new (dst) Fn*(Ptr(src));
     }
-    static void Destroy(void* storage) noexcept { delete Ptr(storage); }
+    static void Destroy(void* storage) noexcept {
+      Fn* ptr = Ptr(storage);
+      if constexpr (kPooled) {
+        ptr->~Fn();
+        FramePool::Deallocate(ptr, sizeof(Fn));
+      } else {
+        delete ptr;
+      }
+    }
     static constexpr Ops ops{&Invoke, &Relocate, &Destroy};
   };
 

@@ -1,0 +1,334 @@
+#include "src/simcore/event_queue.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <utility>
+
+namespace fastiov {
+namespace {
+
+std::atomic<SchedulerPolicy> g_default_policy{SchedulerPolicy::kCalendar};
+
+// Shared binary-heap kernels on a vector<QueuedEvent> ordered by
+// EarlierEvent. Hand-rolled so the root can be moved out on pop.
+void HeapPush(std::vector<QueuedEvent>& heap, QueuedEvent ev) {
+  heap.push_back(std::move(ev));
+  size_t i = heap.size() - 1;
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!EarlierEvent(heap[i], heap[parent])) {
+      break;
+    }
+    std::swap(heap[i], heap[parent]);
+    i = parent;
+  }
+}
+
+void HeapSiftDown(std::vector<QueuedEvent>& heap, size_t i) {
+  const size_t n = heap.size();
+  for (;;) {
+    const size_t left = 2 * i + 1;
+    if (left >= n) {
+      break;
+    }
+    const size_t right = left + 1;
+    size_t smallest = left;
+    if (right < n && EarlierEvent(heap[right], heap[left])) {
+      smallest = right;
+    }
+    if (!EarlierEvent(heap[smallest], heap[i])) {
+      break;
+    }
+    std::swap(heap[i], heap[smallest]);
+    i = smallest;
+  }
+}
+
+QueuedEvent HeapPop(std::vector<QueuedEvent>& heap) {
+  QueuedEvent top = std::move(heap.front());
+  if (heap.size() > 1) {
+    heap.front() = std::move(heap.back());
+  }
+  heap.pop_back();
+  if (!heap.empty()) {
+    HeapSiftDown(heap, 0);
+  }
+  return top;
+}
+
+}  // namespace
+
+SchedulerPolicy DefaultSchedulerPolicy() {
+  return g_default_policy.load(std::memory_order_relaxed);
+}
+
+void SetDefaultSchedulerPolicy(SchedulerPolicy policy) {
+  g_default_policy.store(policy, std::memory_order_relaxed);
+}
+
+const char* SchedulerPolicyName(SchedulerPolicy policy) {
+  return policy == SchedulerPolicy::kCalendar ? "calendar" : "heap";
+}
+
+void EventHeap::Push(QueuedEvent ev) { HeapPush(events_, std::move(ev)); }
+
+void EventHeap::SiftDown(size_t i) { HeapSiftDown(events_, i); }
+
+QueuedEvent EventHeap::PopTop() { return HeapPop(events_); }
+
+CalendarQueue::CalendarQueue() : ring_(kNumBuckets) {
+  window_end_ns_ = window_start_ns_ + bucket_ns_ * static_cast<int64_t>(kNumBuckets);
+  cur_bucket_end_ns_ = window_start_ns_ + bucket_ns_;
+  stats_.bucket_ns = bucket_ns_;
+}
+
+void CalendarQueue::Reserve(size_t n) {
+  // The immediate lane and due heap carry the hot traffic; the ring buckets
+  // grow organically and keep their capacity across windows.
+  const size_t hot = std::min<size_t>(n, 4096);
+  due_.reserve(hot);
+  if (immediate_.size() < hot) {
+    size_t cap = 64;
+    while (cap < hot) {
+      cap *= 2;
+    }
+    // Ring buffer is empty whenever Reserve is called in practice, but stay
+    // correct regardless: relocate live entries to the front.
+    std::vector<QueuedEvent> grown(cap);
+    for (size_t i = 0; i < imm_count_; ++i) {
+      grown[i] = std::move(immediate_[(imm_head_ + i) & (immediate_.size() - 1)]);
+    }
+    immediate_ = std::move(grown);
+    imm_head_ = 0;
+  }
+}
+
+void CalendarQueue::Push(QueuedEvent ev) {
+  const int64_t w = ev.when.ns();
+  ++size_;
+  if (w <= last_pop_ns_) {
+    // Wakeup at the current timestamp: FIFO append. Push order is seq order,
+    // and `when` never decreases across immediate pushes, so the lane is
+    // already in (when, seq) order.
+    if (imm_count_ == immediate_.size()) {
+      const size_t cap = immediate_.empty() ? 64 : immediate_.size() * 2;
+      std::vector<QueuedEvent> grown(cap);
+      for (size_t i = 0; i < imm_count_; ++i) {
+        grown[i] = std::move(immediate_[(imm_head_ + i) & (immediate_.size() - 1)]);
+      }
+      immediate_ = std::move(grown);
+      imm_head_ = 0;
+    }
+    immediate_[(imm_head_ + imm_count_) & (immediate_.size() - 1)] = std::move(ev);
+    ++imm_count_;
+    ++stats_.immediate_pushes;
+    return;
+  }
+  if (w < cur_bucket_end_ns_) {
+    // The current bucket's run is already sorted and partially consumed, so
+    // late arrivals go to the overlay heap instead.
+    HeapPush(overlay_, std::move(ev));
+    ++stats_.due_pushes;
+    if (WantsRebuild()) {
+      RebuildWindow();
+    }
+    return;
+  }
+  if (w < window_end_ns_) {
+    ring_[static_cast<size_t>((w - window_start_ns_) / bucket_ns_)].push_back(std::move(ev));
+    ++ring_count_;
+    ++stats_.ring_pushes;
+    return;
+  }
+  HeapPush(overflow_, std::move(ev));
+  ++stats_.overflow_pushes;
+}
+
+void CalendarQueue::BinIntoWindow(QueuedEvent ev) {
+  // Callers sort due_ (and reset due_head_) once all events are binned.
+  const int64_t w = ev.when.ns();
+  if (w < cur_bucket_end_ns_) {
+    due_.push_back(std::move(ev));
+  } else {
+    ring_[static_cast<size_t>((w - window_start_ns_) / bucket_ns_)].push_back(std::move(ev));
+    ++ring_count_;
+  }
+}
+
+void CalendarQueue::RebuildWindow() {
+  ++stats_.rebuilds;
+  // Gather everything binned into the current window; overflow stays put.
+  std::vector<QueuedEvent> pending;
+  pending.reserve((due_.size() - due_head_) + overlay_.size() + ring_count_);
+  for (size_t i = due_head_; i < due_.size(); ++i) {
+    pending.push_back(std::move(due_[i]));
+  }
+  due_.clear();
+  due_head_ = 0;
+  for (QueuedEvent& ev : overlay_) {
+    pending.push_back(std::move(ev));
+  }
+  overlay_.clear();
+  if (ring_count_ > 0) {
+    for (std::vector<QueuedEvent>& bucket : ring_) {
+      for (QueuedEvent& ev : bucket) {
+        pending.push_back(std::move(ev));
+      }
+      bucket.clear();
+    }
+    ring_count_ = 0;
+  }
+  int64_t min_ns = pending.front().when.ns();
+  int64_t max_ns = min_ns;
+  for (const QueuedEvent& ev : pending) {
+    min_ns = std::min(min_ns, ev.when.ns());
+    max_ns = std::max(max_ns, ev.when.ns());
+  }
+  // Spread the observed span over half the ring; the other half is headroom
+  // before pushes start overflowing.
+  const int64_t span = max_ns - min_ns + 1;
+  bucket_ns_ = std::clamp(span / static_cast<int64_t>(kNumBuckets / 2) + 1,
+                          kMinBucketNs, kMaxBucketNs);
+  stats_.bucket_ns = bucket_ns_;
+  window_start_ns_ = min_ns;
+  window_end_ns_ = window_start_ns_ + bucket_ns_ * static_cast<int64_t>(kNumBuckets);
+  cursor_ = 0;
+  cur_bucket_end_ns_ = window_start_ns_ + bucket_ns_;
+  for (QueuedEvent& ev : pending) {
+    // w >= window_end is only reachable when the clamp floored the width, in
+    // which case the tail of the span belongs in overflow.
+    if (ev.when.ns() >= window_end_ns_) {
+      HeapPush(overflow_, std::move(ev));
+    } else {
+      BinIntoWindow(std::move(ev));
+    }
+  }
+  while (!overflow_.empty() && overflow_.front().when.ns() < window_end_ns_) {
+    BinIntoWindow(HeapPop(overflow_));
+  }
+  std::sort(due_.begin(), due_.end(), EarlierEvent);
+  due_head_ = 0;
+  // A same-width rebuild must not re-trigger on the very next push: demand
+  // the overlay double before rebuilding again within this window.
+  rebuild_gate_ = std::max(kDueRebuildThreshold, rebuild_gate_ * 2);
+}
+
+void CalendarQueue::AdvanceWindow() {
+  assert(!overflow_.empty());
+  ++stats_.windows_advanced;
+  rebuild_gate_ = kDueRebuildThreshold;
+  // Adapt the bucket width to the observed density: a window that dispatched
+  // far more events than buckets is too coarse (the due heap is doing the
+  // work); one that dispatched almost none is too fine (the cursor is
+  // walking empties and everything lands in overflow).
+  if (popped_in_window_ > kDenseWindow) {
+    bucket_ns_ = std::max(kMinBucketNs, bucket_ns_ / 2);
+  } else if (popped_in_window_ < kSparseWindow) {
+    bucket_ns_ = std::min(kMaxBucketNs, bucket_ns_ * 2);
+  }
+  popped_in_window_ = 0;
+  stats_.bucket_ns = bucket_ns_;
+
+  window_start_ns_ = overflow_.front().when.ns();
+  window_end_ns_ = window_start_ns_ + bucket_ns_ * static_cast<int64_t>(kNumBuckets);
+  cursor_ = 0;
+  cur_bucket_end_ns_ = window_start_ns_ + bucket_ns_;
+  while (!overflow_.empty() && overflow_.front().when.ns() < window_end_ns_) {
+    BinIntoWindow(HeapPop(overflow_));
+  }
+  // Overflow pops arrive in ascending (when, seq) order, so the run is
+  // already nearly sorted; the sort is a cheap verification pass.
+  std::sort(due_.begin(), due_.end(), EarlierEvent);
+  due_head_ = 0;
+  // The overflow minimum defines window_start, so the first drained event
+  // always lands in the due run.
+  assert(!due_.empty());
+}
+
+void CalendarQueue::SettleDue() {
+  assert(size_ > 0);
+  while (DueTierEmpty()) {
+    due_.clear();
+    due_head_ = 0;
+    if (ring_count_ == 0) {
+      AdvanceWindow();
+      return;
+    }
+    do {
+      ++cursor_;
+      assert(cursor_ < kNumBuckets);
+    } while (ring_[cursor_].empty());
+    cur_bucket_end_ns_ = window_start_ns_ + static_cast<int64_t>(cursor_ + 1) * bucket_ns_;
+    // Swap the bucket into the (empty) due run and sort it once; from here
+    // every pop is a cursor bump. The bucket inherits the run's old
+    // capacity, recycling allocations across windows.
+    due_.swap(ring_[cursor_]);
+    ring_count_ -= due_.size();
+    std::sort(due_.begin(), due_.end(), EarlierEvent);
+    rebuild_gate_ = kDueRebuildThreshold;
+  }
+}
+
+SimTime CalendarQueue::NextTime() {
+  if (imm_count_ == 0 && DueTierEmpty()) {
+    SettleDue();
+  }
+  const QueuedEvent* best = due_head_ < due_.size() ? &due_[due_head_] : nullptr;
+  if (!overlay_.empty() && (best == nullptr || EarlierEvent(overlay_.front(), *best))) {
+    best = &overlay_.front();
+  }
+  if (imm_count_ != 0) {
+    const QueuedEvent& imm = immediate_[imm_head_];
+    if (best == nullptr || EarlierEvent(imm, *best)) {
+      best = &imm;
+    }
+  }
+  return best->when;
+}
+
+QueuedEvent CalendarQueue::PopTop() {
+  if (imm_count_ == 0 && DueTierEmpty()) {
+    SettleDue();
+  }
+  --size_;
+  ++popped_in_window_;
+  // Three candidate sources; the immediate lane only holds events at or
+  // before the last dispatched timestamp, so when populated it usually wins.
+  const QueuedEvent* due_best = due_head_ < due_.size() ? &due_[due_head_] : nullptr;
+  bool from_overlay = false;
+  if (!overlay_.empty() && (due_best == nullptr || EarlierEvent(overlay_.front(), *due_best))) {
+    due_best = &overlay_.front();
+    from_overlay = true;
+  }
+  QueuedEvent ev;
+  if (imm_count_ != 0 &&
+      (due_best == nullptr || EarlierEvent(immediate_[imm_head_], *due_best))) {
+    ev = std::move(immediate_[imm_head_]);
+    imm_head_ = (imm_head_ + 1) & (immediate_.size() - 1);
+    --imm_count_;
+  } else if (from_overlay) {
+    ev = HeapPop(overlay_);
+  } else {
+    ev = std::move(due_[due_head_]);
+    ++due_head_;
+  }
+  last_pop_ns_ = ev.when.ns();
+  return ev;
+}
+
+EventQueue::EventQueue(SchedulerPolicy policy) : policy_(policy) {
+  if (policy_ == SchedulerPolicy::kCalendar) {
+    calendar_ = std::make_unique<CalendarQueue>();
+  }
+}
+
+void EventQueue::Reserve(size_t n) {
+  if (calendar_) {
+    calendar_->Reserve(n);
+  } else {
+    heap_.Reserve(n);
+  }
+}
+
+}  // namespace fastiov

@@ -1,0 +1,223 @@
+// Pending-event queues for the discrete-event engine.
+//
+// The queue's contract is strict: events leave in ascending (when, seq)
+// order, where seq is the global scheduling sequence number. Every number
+// the simulator produces is downstream of that order, so any queue
+// implementation must be *observationally identical* — the digest-identity
+// tests in sched_equiv_test hold both implementations to it byte-for-byte.
+//
+// Two implementations are provided, selectable per Simulation:
+//
+//   * EventHeap — the reference binary min-heap. O(log n) per operation,
+//     simple enough to be obviously correct; the baseline every optimization
+//     is measured (and verified) against.
+//
+//   * CalendarQueue — a two-tier calendar/ladder queue for the 1000+
+//     concurrent-container regime, O(1) amortized per operation:
+//
+//       immediate lane   FIFO ring of events scheduled at (or before) the
+//                        last dispatched timestamp — lock handoffs, event
+//                        broadcasts, spawn wakeups. Pure append/pop.
+//       due run          events inside the current calendar bucket, sorted
+//                        once when the bucket becomes current and consumed
+//                        by a head cursor — every pop is an O(1) cursor
+//                        bump over an L1-hot array, not a heap sift.
+//       overlay heap     late arrivals into the *current* bucket (pushed
+//                        after its run was sorted); a min-heap that stays
+//                        tiny because well-adapted buckets rarely receive
+//                        in-bucket pushes.
+//       calendar ring    kNumBuckets FIFO buckets of bucket_ns each covering
+//                        the current window; append on push, sorted
+//                        wholesale when the cursor reaches the bucket.
+//       overflow rung    min-heap of events beyond the window; drained into
+//                        the ring each time the window advances. The
+//                        fallback that keeps far-future events O(log n)
+//                        instead of O(window).
+//
+//     The bucket width adapts to the observed event density at two points:
+//     window boundaries (pops per window steer growth/shrink) and an
+//     overlay-occupancy trigger that rebuilds the window in place when the
+//     current bucket keeps absorbing pushes it should be spreading across
+//     the ring — the case where the whole workload fits inside the current
+//     window and no boundary would ever be crossed. Sparse (ms-scale
+//     timers) and dense (ns-scale handoffs) phases both keep buckets near
+//     their occupancy sweet spot. All adaptation is driven by the event
+//     sequence alone — no wall clock, no RNG — so it is exactly
+//     reproducible.
+#ifndef SRC_SIMCORE_EVENT_QUEUE_H_
+#define SRC_SIMCORE_EVENT_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/simcore/event_action.h"
+#include "src/simcore/time.h"
+
+namespace fastiov {
+
+// Which pending-event queue a Simulation runs on. kCalendar is the default;
+// kHeap is kept as the verification baseline and for A/B benchmarking.
+enum class SchedulerPolicy { kCalendar, kHeap };
+
+// Process-wide default applied to Simulations that do not pick a policy
+// explicitly (mirrors SetLegacyPerPageDma in the mem layer: set it before
+// runs start, not mid-run).
+SchedulerPolicy DefaultSchedulerPolicy();
+void SetDefaultSchedulerPolicy(SchedulerPolicy policy);
+const char* SchedulerPolicyName(SchedulerPolicy policy);
+
+struct QueuedEvent {
+  SimTime when;
+  uint64_t seq;
+  EventAction action;
+};
+
+// Dispatch order: earlier time first; FIFO scheduling order on ties.
+inline bool EarlierEvent(const QueuedEvent& a, const QueuedEvent& b) {
+  if (a.when != b.when) {
+    return a.when < b.when;
+  }
+  return a.seq < b.seq;
+}
+
+// Hand-rolled binary min-heap on (when, seq). Unlike std::priority_queue,
+// whose const top() forces copying every event out before pop, PopTop()
+// moves the root out — the event payload is move-only and moving it is
+// the whole point of the small-buffer EventAction.
+class EventHeap {
+ public:
+  void Reserve(size_t n) { events_.reserve(n); }
+  bool Empty() const { return events_.empty(); }
+  size_t Size() const { return events_.size(); }
+  SimTime NextTime() const { return events_.front().when; }
+  void Push(QueuedEvent ev);
+  QueuedEvent PopTop();
+
+ private:
+  void SiftDown(size_t i);
+
+  std::vector<QueuedEvent> events_;
+};
+
+// Occupancy counters a CalendarQueue exports for observability and tests.
+struct CalendarQueueStats {
+  uint64_t immediate_pushes = 0;  // landed in the immediate lane
+  uint64_t due_pushes = 0;        // landed in the current bucket (overlay)
+  uint64_t ring_pushes = 0;       // landed in a calendar bucket
+  uint64_t overflow_pushes = 0;   // landed beyond the window
+  uint64_t windows_advanced = 0;
+  uint64_t rebuilds = 0;          // density-triggered in-window rebuilds
+  int64_t bucket_ns = 0;          // current (adapted) bucket width
+};
+
+class CalendarQueue {
+ public:
+  CalendarQueue();
+
+  void Reserve(size_t n);
+  bool Empty() const { return size_ == 0; }
+  size_t Size() const { return size_; }
+  // Timestamp of the next event to dispatch. Settles internal cursors, so
+  // non-const; requires !Empty().
+  SimTime NextTime();
+  QueuedEvent PopTop();
+  void Push(QueuedEvent ev);
+
+  const CalendarQueueStats& stats() const { return stats_; }
+
+ private:
+  static constexpr size_t kNumBuckets = 512;
+  static constexpr int64_t kMinBucketNs = 64;
+  static constexpr int64_t kMaxBucketNs = int64_t{1} << 40;  // ~18 simulated minutes
+  // Occupancy targets steering bucket-width adaptation: aim for a handful of
+  // events per bucket over a full window.
+  static constexpr uint64_t kDenseWindow = kNumBuckets * 8;
+  static constexpr uint64_t kSparseWindow = kNumBuckets / 4;
+  // Overlay population past which the current bucket is clearly too wide
+  // and the window is rebuilt around the pending span. The gate doubles
+  // after each rebuild (and re-arms on bucket/window advance) so a
+  // same-timestamp pile-up cannot trigger quadratic rebuild storms.
+  static constexpr size_t kDueRebuildThreshold = 64;
+
+  bool DueTierEmpty() const {
+    return due_head_ == due_.size() && overlay_.empty();
+  }
+  void SettleDue();      // ensure the next event sits in the due tier
+  void AdvanceWindow();  // ring exhausted: move the window, drain overflow
+  // Re-bins due tier + ring (and any overflow the new window reaches) with
+  // a bucket width derived from the pending span. O(pending), amortized by
+  // the occupancy gate.
+  void RebuildWindow();
+  bool WantsRebuild() const {
+    return overlay_.size() >= rebuild_gate_ && bucket_ns_ > kMinBucketNs;
+  }
+  void BinIntoWindow(QueuedEvent ev);
+
+  // Immediate lane: events at or before the last dispatched timestamp,
+  // stored FIFO in a growable ring buffer (push order == seq order, which is
+  // exactly dispatch order for them).
+  std::vector<QueuedEvent> immediate_;
+  size_t imm_head_ = 0;
+  size_t imm_count_ = 0;
+
+  // Due run: the current bucket's events, sorted ascending by (when, seq),
+  // consumed from due_head_. Late arrivals into the current bucket go to the
+  // overlay_ min-heap instead of disturbing the sorted run.
+  std::vector<QueuedEvent> due_;
+  size_t due_head_ = 0;
+  std::vector<QueuedEvent> overlay_;
+
+  std::vector<std::vector<QueuedEvent>> ring_;
+  size_t cursor_ = 0;  // ring index the due run was filled from
+  size_t ring_count_ = 0;
+
+  std::vector<QueuedEvent> overflow_;  // min-heap: events >= window_end_
+
+  int64_t bucket_ns_ = 4096;
+  int64_t window_start_ns_ = 0;
+  int64_t window_end_ns_ = 0;
+  int64_t cur_bucket_end_ns_ = 0;
+  int64_t last_pop_ns_ = -1;
+  uint64_t popped_in_window_ = 0;
+  size_t rebuild_gate_ = kDueRebuildThreshold;
+
+  size_t size_ = 0;
+  CalendarQueueStats stats_;
+};
+
+// Policy-dispatching facade used by Simulation. The calendar structure is
+// only materialized when the policy asks for it, so heap-policy Simulations
+// stay as light as before.
+class EventQueue {
+ public:
+  explicit EventQueue(SchedulerPolicy policy);
+
+  SchedulerPolicy policy() const { return policy_; }
+  void Reserve(size_t n);
+  bool Empty() const { return calendar_ ? calendar_->Empty() : heap_.Empty(); }
+  size_t Size() const { return calendar_ ? calendar_->Size() : heap_.Size(); }
+  SimTime NextTime() { return calendar_ ? calendar_->NextTime() : heap_.NextTime(); }
+  QueuedEvent PopTop() { return calendar_ ? calendar_->PopTop() : heap_.PopTop(); }
+  void Push(QueuedEvent ev) {
+    if (calendar_) {
+      calendar_->Push(std::move(ev));
+    } else {
+      heap_.Push(std::move(ev));
+    }
+  }
+  // nullptr under the heap policy.
+  const CalendarQueueStats* calendar_stats() const {
+    return calendar_ ? &calendar_->stats() : nullptr;
+  }
+
+ private:
+  SchedulerPolicy policy_;
+  EventHeap heap_;
+  std::unique_ptr<CalendarQueue> calendar_;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_SIMCORE_EVENT_QUEUE_H_

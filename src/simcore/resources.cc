@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <vector>
 
 namespace fastiov {
 
@@ -28,14 +27,46 @@ BandwidthResource::BandwidthResource(Simulation& sim, double capacity_per_second
   assert(capacity_per_second > 0.0);
 }
 
+void BandwidthResource::Link(Flow* f) {
+  assert(f->owner == nullptr);
+  f->owner = this;
+  f->prev = flows_tail_;
+  f->next = nullptr;
+  if (flows_tail_ != nullptr) {
+    flows_tail_->next = f;
+  } else {
+    flows_head_ = f;
+  }
+  flows_tail_ = f;
+  ++num_flows_;
+}
+
+void BandwidthResource::Unlink(Flow* f) {
+  assert(f->owner == this);
+  if (f->prev != nullptr) {
+    f->prev->next = f->next;
+  } else {
+    flows_head_ = f->next;
+  }
+  if (f->next != nullptr) {
+    f->next->prev = f->prev;
+  } else {
+    flows_tail_ = f->prev;
+  }
+  f->prev = nullptr;
+  f->next = nullptr;
+  f->owner = nullptr;
+  --num_flows_;
+}
+
 void BandwidthResource::Advance() {
   const SimTime now = sim_->Now();
-  if (flows_.empty() || now <= last_update_) {
+  if (flows_head_ == nullptr || now <= last_update_) {
     last_update_ = now;
     return;
   }
   const double elapsed_s = (now - last_update_).ToSecondsF();
-  for (Flow* f : flows_) {
+  for (Flow* f = flows_head_; f != nullptr; f = f->next) {
     f->remaining = std::max(0.0, f->remaining - f->rate * elapsed_s);
   }
   last_update_ = now;
@@ -44,7 +75,11 @@ void BandwidthResource::Advance() {
 void BandwidthResource::AssignRates() {
   // Water-filling: capped flows take min(cap, fair share); capacity they
   // leave on the table is redistributed among the uncapped/larger flows.
-  std::vector<Flow*> pending(flows_.begin(), flows_.end());
+  pending_scratch_.clear();
+  for (Flow* f = flows_head_; f != nullptr; f = f->next) {
+    pending_scratch_.push_back(f);
+  }
+  auto& pending = pending_scratch_;
   double capacity_left = capacity_;
   bool progressed = true;
   while (!pending.empty() && progressed) {
@@ -72,12 +107,12 @@ void BandwidthResource::AssignRates() {
 
 void BandwidthResource::Reschedule() {
   ++timer_generation_;
-  if (flows_.empty()) {
+  if (flows_head_ == nullptr) {
     return;
   }
   AssignRates();
   double min_eta_s = std::numeric_limits<double>::infinity();
-  for (Flow* f : flows_) {
+  for (Flow* f = flows_head_; f != nullptr; f = f->next) {
     if (f->rate > 0.0) {
       min_eta_s = std::min(min_eta_s, f->remaining / f->rate);
     }
@@ -94,14 +129,13 @@ void BandwidthResource::OnTimer(uint64_t generation) {
   }
   Advance();
   constexpr double kEpsilon = 1e-3;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    Flow* f = *it;
+  for (Flow* f = flows_head_; f != nullptr;) {
+    Flow* next = f->next;
     if (f->remaining <= kEpsilon) {
-      it = flows_.erase(it);
+      Unlink(f);
       f->done.Set();
-    } else {
-      ++it;
     }
+    f = next;
   }
   Reschedule();
 }
@@ -113,9 +147,9 @@ Task BandwidthResource::Transfer(double amount, double max_rate, WaitCtx ctx) {
   assert(max_rate > 0.0);
   total_ += amount;
   const SimTime begin = sim_->Now();
-  Flow flow{amount, max_rate, 0.0, SimEvent(*sim_)};
+  Flow flow{amount, max_rate, *sim_};
   Advance();
-  flows_.push_back(&flow);
+  Link(&flow);
   Reschedule();
   co_await flow.done.Wait();
   if (ctx.active() && !name_.empty()) {

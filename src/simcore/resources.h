@@ -14,8 +14,8 @@
 
 #include <cstdint>
 #include <limits>
-#include <list>
 #include <string>
+#include <vector>
 
 #include "src/simcore/simulation.h"
 #include "src/simcore/sync.h"
@@ -46,16 +46,37 @@ class BandwidthResource {
 
   const std::string& name() const { return name_; }
   double capacity_per_second() const { return capacity_; }
-  size_t active_flows() const { return flows_.size(); }
+  size_t active_flows() const { return num_flows_; }
   double total_transferred() const { return total_; }
 
  private:
+  // One in-flight Transfer. Lives in the transferring coroutine's frame and
+  // links itself into the resource's intrusive FIFO flow list: joining and
+  // leaving are O(1) and allocation-free (the former std::list<Flow*> paid a
+  // node allocation per join). A flow whose frame dies mid-transfer unlinks
+  // itself in its destructor instead of leaving a dangling pointer behind.
   struct Flow {
     double remaining;
     double max_rate;
     double rate = 0.0;  // assigned at the last reschedule
     SimEvent done;
+    Flow* prev = nullptr;
+    Flow* next = nullptr;
+    BandwidthResource* owner = nullptr;
+
+    Flow(const Flow&) = delete;
+    Flow& operator=(const Flow&) = delete;
+    Flow(double remaining_in, double max_rate_in, Simulation& sim)
+        : remaining(remaining_in), max_rate(max_rate_in), done(sim) {}
+    ~Flow() {
+      if (owner != nullptr) {
+        owner->Unlink(this);
+      }
+    }
   };
+
+  void Link(Flow* f);
+  void Unlink(Flow* f);
 
   // Settle progress of all active flows up to Now() at their current rates.
   void Advance();
@@ -68,7 +89,11 @@ class BandwidthResource {
   double capacity_;
   std::string name_;
   double total_ = 0.0;
-  std::list<Flow*> flows_;
+  Flow* flows_head_ = nullptr;  // FIFO: append at tail, iterate from head
+  Flow* flows_tail_ = nullptr;
+  size_t num_flows_ = 0;
+  // Reused by AssignRates so water-filling never allocates in steady state.
+  std::vector<Flow*> pending_scratch_;
   SimTime last_update_ = SimTime::Zero();
   uint64_t timer_generation_ = 0;
 };

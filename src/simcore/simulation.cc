@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/simcore/arena.h"
+
 namespace fastiov {
 namespace {
 
@@ -11,6 +13,13 @@ namespace {
 class RootCoro {
  public:
   struct promise_type {
+    // Root frames are allocated once per spawned process; pool them like
+    // Task frames (see task.h).
+    static void* operator new(size_t bytes) { return FramePool::Allocate(bytes); }
+    static void operator delete(void* p, size_t bytes) noexcept {
+      FramePool::Deallocate(p, bytes);
+    }
+
     RootCoro get_return_object() {
       return RootCoro{std::coroutine_handle<promise_type>::from_promise(*this)};
     }
@@ -44,64 +53,19 @@ RootCoro RunRoot(Task task, std::shared_ptr<ProcessState> state) {
 
 }  // namespace
 
-Simulation::Simulation(uint64_t seed) : rng_(seed) {}
-
-void Simulation::EventHeap::Push(Event ev) {
-  events_.push_back(std::move(ev));
-  // Sift the new leaf up to its place.
-  size_t i = events_.size() - 1;
-  while (i > 0) {
-    const size_t parent = (i - 1) / 2;
-    if (!Earlier(events_[i], events_[parent])) {
-      break;
-    }
-    std::swap(events_[i], events_[parent]);
-    i = parent;
-  }
-}
-
-void Simulation::EventHeap::SiftDown(size_t i) {
-  const size_t n = events_.size();
-  for (;;) {
-    const size_t left = 2 * i + 1;
-    if (left >= n) {
-      break;
-    }
-    const size_t right = left + 1;
-    size_t smallest = left;
-    if (right < n && Earlier(events_[right], events_[left])) {
-      smallest = right;
-    }
-    if (!Earlier(events_[smallest], events_[i])) {
-      break;
-    }
-    std::swap(events_[i], events_[smallest]);
-    i = smallest;
-  }
-}
-
-Simulation::Event Simulation::EventHeap::PopTop() {
-  Event top = std::move(events_.front());
-  if (events_.size() > 1) {
-    events_.front() = std::move(events_.back());
-  }
-  events_.pop_back();
-  if (!events_.empty()) {
-    SiftDown(0);
-  }
-  return top;
-}
+Simulation::Simulation(uint64_t seed, std::optional<SchedulerPolicy> policy)
+    : queue_(policy.value_or(DefaultSchedulerPolicy())), rng_(seed) {}
 
 void Simulation::ScheduleAction(SimTime when, EventAction action) {
   if (when < now_) {
     throw std::logic_error("Simulation: cannot schedule an event at " + when.ToString() +
                            ", which is in the past (now is " + now_.ToString() + ")");
   }
-  queue_.Push(Event{when, next_seq_++, std::move(action)});
+  queue_.Push(QueuedEvent{when, next_seq_++, std::move(action)});
 }
 
 Process Simulation::Spawn(Task task, std::string name) {
-  auto state = std::make_shared<ProcessState>();
+  auto state = std::allocate_shared<ProcessState>(PoolAllocator<ProcessState>());
   state->sim = this;
   state->name = std::move(name);
   RootCoro root = RunRoot(std::move(task), state);
@@ -121,7 +85,7 @@ void Simulation::MaybeRethrowUnjoined() {
 
 void Simulation::Run() {
   while (!queue_.Empty()) {
-    Event ev = queue_.PopTop();
+    QueuedEvent ev = queue_.PopTop();
     now_ = ev.when;
     ++num_events_processed_;
     ev.action();
@@ -130,8 +94,8 @@ void Simulation::Run() {
 }
 
 void Simulation::RunUntil(SimTime t) {
-  while (!queue_.Empty() && queue_.Top().when <= t) {
-    Event ev = queue_.PopTop();
+  while (!queue_.Empty() && queue_.NextTime() <= t) {
+    QueuedEvent ev = queue_.PopTop();
     now_ = ev.when;
     ++num_events_processed_;
     ev.action();

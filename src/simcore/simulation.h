@@ -16,11 +16,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/simcore/event_action.h"
+#include "src/simcore/event_queue.h"
 #include "src/simcore/rng.h"
 #include "src/simcore/task.h"
 #include "src/simcore/time.h"
@@ -69,12 +71,20 @@ class Process {
 
 class Simulation {
  public:
-  explicit Simulation(uint64_t seed = 1);
+  // `policy` picks the pending-event queue (see event_queue.h); unset means
+  // the process-wide default (SetDefaultSchedulerPolicy). Both policies are
+  // observationally identical — results never depend on the choice.
+  explicit Simulation(uint64_t seed = 1,
+                      std::optional<SchedulerPolicy> policy = std::nullopt);
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   SimTime Now() const { return now_; }
   Rng& rng() { return rng_; }
+
+  SchedulerPolicy scheduler_policy() const { return queue_.policy(); }
+  // Calendar-queue occupancy counters; nullptr under the heap policy.
+  const CalendarQueueStats* calendar_stats() const { return queue_.calendar_stats(); }
 
   // Optional deterministic fault injection (src/fault). Components consult
   // this before every failure-prone operation; nullptr (the default) means
@@ -123,35 +133,6 @@ class Simulation {
 
  private:
   friend class Process;
-  struct Event {
-    SimTime when;
-    uint64_t seq;
-    EventAction action;
-  };
-
-  // Hand-rolled binary min-heap on (when, seq). Unlike std::priority_queue,
-  // whose const top() forces copying every event out before pop, PopTop()
-  // moves the root out — the event payload is move-only and moving it is
-  // the whole point of the small-buffer EventAction.
-  class EventHeap {
-   public:
-    void Reserve(size_t n) { events_.reserve(n); }
-    bool Empty() const { return events_.empty(); }
-    const Event& Top() const { return events_.front(); }
-    void Push(Event ev);
-    Event PopTop();
-
-   private:
-    static bool Earlier(const Event& a, const Event& b) {
-      if (a.when != b.when) {
-        return a.when < b.when;
-      }
-      return a.seq < b.seq;
-    }
-    void SiftDown(size_t i);
-
-    std::vector<Event> events_;
-  };
 
   void ScheduleAction(SimTime when, EventAction action);
   void MaybeRethrowUnjoined();
@@ -159,7 +140,7 @@ class Simulation {
   SimTime now_ = SimTime::Zero();
   uint64_t next_seq_ = 0;
   uint64_t num_events_processed_ = 0;
-  EventHeap queue_;
+  EventQueue queue_;
   std::vector<std::shared_ptr<ProcessState>> faulted_;
   Rng rng_;
   FaultInjector* fault_injector_ = nullptr;

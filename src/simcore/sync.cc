@@ -1,15 +1,56 @@
 #include "src/simcore/sync.h"
 
-#include <utility>
+#include <cassert>
 
 namespace fastiov {
 
+void WaitList::PushBack(WaitNode* node) {
+  assert(node->owner_ == nullptr);
+  node->owner_ = this;
+  node->prev_ = tail_;
+  node->next_ = nullptr;
+  if (tail_ != nullptr) {
+    tail_->next_ = node;
+  } else {
+    head_ = node;
+  }
+  tail_ = node;
+  ++size_;
+}
+
+WaitNode* WaitList::PopFront() {
+  WaitNode* node = head_;
+  if (node != nullptr) {
+    Remove(node);
+  }
+  return node;
+}
+
+void WaitList::Remove(WaitNode* node) {
+  assert(node->owner_ == this);
+  if (node->prev_ != nullptr) {
+    node->prev_->next_ = node->next_;
+  } else {
+    head_ = node->next_;
+  }
+  if (node->next_ != nullptr) {
+    node->next_->prev_ = node->prev_;
+  } else {
+    tail_ = node->prev_;
+  }
+  node->prev_ = nullptr;
+  node->next_ = nullptr;
+  node->owner_ = nullptr;
+  --size_;
+}
+
 void SimEvent::Set() {
   set_ = true;
-  std::vector<std::coroutine_handle<>> waiters = std::move(waiters_);
-  waiters_.clear();
-  for (auto h : waiters) {
-    sim_->ScheduleHandle(sim_->Now(), h);
+  // Waiters resume via the event queue in FIFO order; each node is popped
+  // before its wakeup is scheduled, so a woken waiter can immediately Wait()
+  // again (after a Reset) without colliding with its old node.
+  while (WaitNode* node = waiters_.PopFront()) {
+    sim_->ScheduleHandle(sim_->Now(), node->handle);
   }
 }
 
@@ -18,23 +59,22 @@ void SimMutex::Unlock() {
   if (stats_ != nullptr) {
     stats_->OnRelease(now - acquired_at_);
   }
-  if (waiters_.empty()) {
+  WaitNode* next = waiters_.PopFront();
+  if (next == nullptr) {
     locked_ = false;
     holder_lane_ = -1;
     return;
   }
   // Direct handoff: the lock stays held on behalf of the next waiter.
-  Waiter next = std::move(waiters_.front());
-  waiters_.pop_front();
   if (stats_ != nullptr) {
     // The whole wait is charged to the holder releasing now (intermediate
     // holders during the wait are not tracked).
-    stats_->OnGrant(now - next.enqueued, next.ctx.lane, holder_lane_);
-    next.ctx.Record("lock-wait:" + stats_->name(), next.enqueued, now);
-    holder_lane_ = next.ctx.lane;
+    stats_->OnGrant(now - next->enqueued, next->ctx.lane, holder_lane_);
+    next->ctx.Record("lock-wait:" + stats_->name(), next->enqueued, now);
+    holder_lane_ = next->ctx.lane;
     acquired_at_ = now;
   }
-  sim_->ScheduleHandle(now, next.handle);
+  sim_->ScheduleHandle(now, next->handle);
 }
 
 void SimRwLock::UnlockRead() {
@@ -56,21 +96,20 @@ void SimRwLock::UnlockWrite() {
 
 void SimRwLock::DrainQueue(int releaser_lane) {
   const SimTime now = sim_->Now();
-  while (!queue_.empty()) {
-    Waiter& front = queue_.front();
-    if (front.is_writer) {
+  while (WaitNode* front = queue_.Front()) {
+    if (front->is_writer) {
       if (writer_active_ || active_readers_ > 0) {
         return;
       }
       writer_active_ = true;
       if (stats_ != nullptr) {
-        stats_->OnGrant(now - front.enqueued, front.ctx.lane, releaser_lane);
-        front.ctx.Record("lock-wait:" + stats_->name(), front.enqueued, now);
-        writer_lane_ = front.ctx.lane;
+        stats_->OnGrant(now - front->enqueued, front->ctx.lane, releaser_lane);
+        front->ctx.Record("lock-wait:" + stats_->name(), front->enqueued, now);
+        writer_lane_ = front->ctx.lane;
         writer_since_ = now;
       }
-      sim_->ScheduleHandle(now, front.handle);
-      queue_.pop_front();
+      queue_.Remove(front);
+      sim_->ScheduleHandle(now, front->handle);
       return;  // a writer excludes everyone behind it
     }
     if (writer_active_) {
@@ -78,24 +117,23 @@ void SimRwLock::DrainQueue(int releaser_lane) {
     }
     ++active_readers_;
     if (stats_ != nullptr) {
-      stats_->OnGrant(now - front.enqueued, front.ctx.lane, releaser_lane);
-      front.ctx.Record("lock-wait:" + stats_->name(), front.enqueued, now);
+      stats_->OnGrant(now - front->enqueued, front->ctx.lane, releaser_lane);
+      front->ctx.Record("lock-wait:" + stats_->name(), front->enqueued, now);
     }
-    sim_->ScheduleHandle(now, front.handle);
-    queue_.pop_front();
+    queue_.Remove(front);
+    sim_->ScheduleHandle(now, front->handle);
     // Keep admitting consecutive readers.
   }
 }
 
 void SimSemaphore::Release() {
-  if (waiters_.empty()) {
+  WaitNode* next = waiters_.PopFront();
+  if (next == nullptr) {
     ++available_;
     return;
   }
   // Handoff: the permit passes directly to the next waiter.
-  std::coroutine_handle<> next = waiters_.front();
-  waiters_.pop_front();
-  sim_->ScheduleHandle(sim_->Now(), next);
+  sim_->ScheduleHandle(sim_->Now(), next->handle);
 }
 
 }  // namespace fastiov

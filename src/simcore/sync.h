@@ -6,6 +6,15 @@
 // (condition broadcast). All wakeups go through the simulation event queue,
 // preserving FIFO determinism.
 //
+// Wait queues are intrusive FIFO lists whose nodes are the awaiter objects
+// themselves. A co_await's awaiter lives in the waiting coroutine's frame
+// for the whole suspension, so enqueueing a waiter allocates nothing, and
+// enqueue, grant, and cancel are all O(1). A node whose frame is destroyed
+// while still queued (a process torn down mid-wait on a fault-abort path)
+// unlinks itself in its destructor, so a queue never holds a dangling
+// handle — with the old value-based queues that removal was an O(n) scan at
+// best and a use-after-free at worst.
+//
 // Accounting happens at *grant* time (inside await_ready for the fast path,
 // inside the release path for queued waiters), so lock state is always
 // consistent even while a woken waiter is still sitting in the event queue.
@@ -20,15 +29,63 @@
 #define SRC_SIMCORE_SYNC_H_
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <vector>
 
 #include "src/simcore/simulation.h"
 #include "src/stats/blocked_time.h"
 #include "src/stats/lock_stats.h"
 
 namespace fastiov {
+
+class WaitList;
+
+// One queued waiter, embedded in an awaiter object (and therefore in the
+// waiting coroutine's frame). Non-copyable: the queue holds its address.
+struct WaitNode {
+  std::coroutine_handle<> handle{};
+  WaitCtx ctx{};
+  SimTime enqueued{};
+  bool is_writer = false;  // meaningful for SimRwLock waiters only
+
+  WaitNode() = default;
+  WaitNode(const WaitNode&) = delete;
+  WaitNode& operator=(const WaitNode&) = delete;
+  ~WaitNode();  // unlinks from its WaitList if still queued
+
+ private:
+  friend class WaitList;
+  WaitNode* prev_ = nullptr;
+  WaitNode* next_ = nullptr;
+  WaitList* owner_ = nullptr;
+};
+
+// Intrusive FIFO list of WaitNodes: O(1) push, pop, and arbitrary removal.
+class WaitList {
+ public:
+  WaitList() = default;
+  WaitList(const WaitList&) = delete;
+  WaitList& operator=(const WaitList&) = delete;
+
+  bool Empty() const { return head_ == nullptr; }
+  size_t size() const { return size_; }
+  WaitNode* Front() const { return head_; }
+
+  void PushBack(WaitNode* node);
+  WaitNode* PopFront();
+  void Remove(WaitNode* node);
+
+ private:
+  WaitNode* head_ = nullptr;
+  WaitNode* tail_ = nullptr;
+  size_t size_ = 0;
+};
+
+inline WaitNode::~WaitNode() {
+  if (owner_ != nullptr) {
+    owner_->Remove(this);
+  }
+}
 
 // One-shot (resettable) broadcast event.
 class SimEvent {
@@ -43,8 +100,12 @@ class SimEvent {
 
   struct Awaiter {
     SimEvent* ev;
+    WaitNode node{};
     bool await_ready() const noexcept { return ev->set_; }
-    void await_suspend(std::coroutine_handle<> h) { ev->waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      node.handle = h;
+      ev->waiters_.PushBack(&node);
+    }
     void await_resume() const noexcept {}
   };
   Awaiter Wait() { return Awaiter{this}; }
@@ -52,7 +113,7 @@ class SimEvent {
  private:
   Simulation* sim_;
   bool set_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  WaitList waiters_;
 };
 
 // FIFO mutex. Ownership is handed directly to the next waiter on Unlock, so
@@ -73,6 +134,7 @@ class SimMutex {
   struct LockAwaiter {
     SimMutex* m;
     WaitCtx ctx;
+    WaitNode node{};
     bool await_ready() noexcept {
       if (!m->locked_) {
         m->locked_ = true;
@@ -90,7 +152,10 @@ class SimMutex {
       if (m->stats_ != nullptr) {
         m->stats_->OnEnqueue(m->waiters_.size() + 1);
       }
-      m->waiters_.push_back(Waiter{h, ctx, m->sim_->Now()});
+      node.handle = h;
+      node.ctx = ctx;
+      node.enqueued = m->sim_->Now();
+      m->waiters_.PushBack(&node);
     }
     void await_resume() const noexcept {}
   };
@@ -98,16 +163,10 @@ class SimMutex {
   void Unlock();
 
  private:
-  struct Waiter {
-    std::coroutine_handle<> handle;
-    WaitCtx ctx;
-    SimTime enqueued;
-  };
-
   Simulation* sim_;
   bool locked_ = false;
   uint64_t contention_count_ = 0;
-  std::deque<Waiter> waiters_;
+  WaitList waiters_;
   // Probe state (unused unless stats_ is attached).
   LockStats* stats_ = nullptr;
   int holder_lane_ = -1;
@@ -153,8 +212,9 @@ class SimRwLock {
   struct ReadAwaiter {
     SimRwLock* l;
     WaitCtx ctx;
+    WaitNode node{};
     bool await_ready() noexcept {
-      if (!l->writer_active_ && l->queue_.empty()) {
+      if (!l->writer_active_ && l->queue_.Empty()) {
         ++l->active_readers_;
         if (l->stats_ != nullptr) {
           l->stats_->OnAcquireFast();
@@ -168,7 +228,11 @@ class SimRwLock {
       if (l->stats_ != nullptr) {
         l->stats_->OnEnqueue(l->queue_.size() + 1);
       }
-      l->queue_.push_back({h, /*is_writer=*/false, ctx, l->sim_->Now()});
+      node.handle = h;
+      node.ctx = ctx;
+      node.enqueued = l->sim_->Now();
+      node.is_writer = false;
+      l->queue_.PushBack(&node);
     }
     void await_resume() const noexcept {}
   };
@@ -178,8 +242,9 @@ class SimRwLock {
   struct WriteAwaiter {
     SimRwLock* l;
     WaitCtx ctx;
+    WaitNode node{};
     bool await_ready() noexcept {
-      if (!l->writer_active_ && l->active_readers_ == 0 && l->queue_.empty()) {
+      if (!l->writer_active_ && l->active_readers_ == 0 && l->queue_.Empty()) {
         l->writer_active_ = true;
         if (l->stats_ != nullptr) {
           l->stats_->OnAcquireFast();
@@ -195,7 +260,11 @@ class SimRwLock {
       if (l->stats_ != nullptr) {
         l->stats_->OnEnqueue(l->queue_.size() + 1);
       }
-      l->queue_.push_back({h, /*is_writer=*/true, ctx, l->sim_->Now()});
+      node.handle = h;
+      node.ctx = ctx;
+      node.enqueued = l->sim_->Now();
+      node.is_writer = true;
+      l->queue_.PushBack(&node);
     }
     void await_resume() const noexcept {}
   };
@@ -203,19 +272,13 @@ class SimRwLock {
   void UnlockWrite();
 
  private:
-  struct Waiter {
-    std::coroutine_handle<> handle;
-    bool is_writer;
-    WaitCtx ctx;
-    SimTime enqueued;
-  };
   void DrainQueue(int releaser_lane);
 
   Simulation* sim_;
   int active_readers_ = 0;
   bool writer_active_ = false;
   uint64_t contention_count_ = 0;
-  std::deque<Waiter> queue_;
+  WaitList queue_;
   // Probe state (unused unless stats_ is attached).
   LockStats* stats_ = nullptr;
   int writer_lane_ = -1;
@@ -232,6 +295,7 @@ class SimSemaphore {
 
   struct AcquireAwaiter {
     SimSemaphore* s;
+    WaitNode node{};
     bool await_ready() noexcept {
       if (s->available_ > 0) {
         --s->available_;
@@ -239,7 +303,10 @@ class SimSemaphore {
       }
       return false;
     }
-    void await_suspend(std::coroutine_handle<> h) { s->waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      node.handle = h;
+      s->waiters_.PushBack(&node);
+    }
     void await_resume() const noexcept {}
   };
   AcquireAwaiter Acquire() { return AcquireAwaiter{this}; }
@@ -248,7 +315,7 @@ class SimSemaphore {
  private:
   Simulation* sim_;
   int64_t available_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  WaitList waiters_;
 };
 
 }  // namespace fastiov

@@ -15,6 +15,8 @@
 #include <exception>
 #include <utility>
 
+#include "src/simcore/arena.h"
+
 namespace fastiov {
 
 class [[nodiscard]] Task {
@@ -23,6 +25,13 @@ class [[nodiscard]] Task {
   using Handle = std::coroutine_handle<promise_type>;
 
   struct promise_type {
+    // Coroutine frames are the single hottest allocation in a simulation
+    // run (one per awaited child task); serve them from the arena pool.
+    static void* operator new(size_t bytes) { return FramePool::Allocate(bytes); }
+    static void operator delete(void* p, size_t bytes) noexcept {
+      FramePool::Deallocate(p, bytes);
+    }
+
     std::coroutine_handle<> continuation;
     std::exception_ptr exception;
 

@@ -1,0 +1,168 @@
+// Tests for the slab/arena pool behind coroutine frames, process state, and
+// oversized event closures (src/simcore/arena.h): size-class recycling,
+// upstream fallback for oversized blocks, the lazy pooling toggle, and the
+// PoolAllocator adapter.
+#include "src/simcore/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace fastiov {
+namespace {
+
+using Stats = FramePool::Stats;
+
+Stats Delta(const Stats& before) {
+  const Stats now = FramePool::ThreadStats();
+  Stats d;
+  d.allocs = now.allocs - before.allocs;
+  d.frees = now.frees - before.frees;
+  d.pool_hits = now.pool_hits - before.pool_hits;
+  d.slab_carves = now.slab_carves - before.slab_carves;
+  d.upstream_allocs = now.upstream_allocs - before.upstream_allocs;
+  d.slab_bytes = now.slab_bytes - before.slab_bytes;
+  d.generation_resets = now.generation_resets - before.generation_resets;
+  d.outstanding = now.outstanding;
+  return d;
+}
+
+TEST(FramePoolTest, RecyclesFreedBlocksOfSameClass) {
+  const Stats before = FramePool::ThreadStats();
+  void* p = FramePool::Allocate(100);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 100);
+  FramePool::Deallocate(p, 100);
+  // Same size class (64-byte granularity): the freed block must come back.
+  void* q = FramePool::Allocate(128);
+  EXPECT_EQ(q, p);
+  FramePool::Deallocate(q, 128);
+  const Stats d = Delta(before);
+  EXPECT_EQ(d.allocs, 2u);
+  EXPECT_EQ(d.frees, 2u);
+  EXPECT_GE(d.pool_hits, 1u);
+}
+
+TEST(FramePoolTest, SlabCarveServesManyNodes) {
+  const Stats before = FramePool::ThreadStats();
+  constexpr size_t kCount = FramePool::kSlabBytes / 256;  // one slab's worth
+  std::vector<void*> blocks;
+  blocks.reserve(kCount);
+  for (size_t i = 0; i < kCount; ++i) {
+    blocks.push_back(FramePool::Allocate(256));
+  }
+  const Stats mid = Delta(before);
+  // At most two carves for a slab's worth of one class (the first carve may
+  // land partway into a warm free list).
+  EXPECT_LE(mid.slab_carves, 2u);
+  for (void* p : blocks) {
+    FramePool::Deallocate(p, 256);
+  }
+  const Stats d = Delta(before);
+  EXPECT_EQ(d.allocs, kCount);
+  EXPECT_EQ(d.frees, kCount);
+}
+
+TEST(FramePoolTest, OversizedAllocationsGoUpstream) {
+  const Stats before = FramePool::ThreadStats();
+  void* p = FramePool::Allocate(FramePool::kMaxPooledBytes + 1);
+  ASSERT_NE(p, nullptr);
+  FramePool::Deallocate(p, FramePool::kMaxPooledBytes + 1);
+  const Stats d = Delta(before);
+  EXPECT_EQ(d.upstream_allocs, 1u);
+}
+
+TEST(FramePoolTest, AlignmentSuitsMaxAlign) {
+  for (size_t bytes : {1u, 64u, 65u, 500u, 2048u}) {
+    void* p = FramePool::Allocate(bytes);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(std::max_align_t), 0u)
+        << "bytes=" << bytes;
+    FramePool::Deallocate(p, bytes);
+  }
+}
+
+TEST(FramePoolTest, PoolingToggleIsAdoptedOnlyWhenIdle) {
+  ASSERT_TRUE(FramePool::pooling_enabled());
+  const Stats entry = FramePool::ThreadStats();
+  // This test needs the thread at zero outstanding pooled allocations to
+  // observe regime adoption; under a harness that holds live frames the
+  // scenario is not constructible, so skip rather than misreport.
+  if (entry.outstanding != 0) {
+    GTEST_SKIP() << "thread has outstanding pooled allocations";
+  }
+  void* held = FramePool::Allocate(64);
+  FramePool::SetPoolingEnabled(false);
+  EXPECT_FALSE(FramePool::pooling_enabled());
+  // Outstanding allocation: the thread must stay in the pooled regime so
+  // `held` is freed by the regime that produced it.
+  const Stats before_second = FramePool::ThreadStats();
+  void* second = FramePool::Allocate(64);
+  EXPECT_EQ(Delta(before_second).upstream_allocs, 0u);
+  FramePool::Deallocate(second, 64);
+  FramePool::Deallocate(held, 64);
+  // Idle now: the next allocation adopts the disabled regime and goes
+  // upstream.
+  const Stats before_third = FramePool::ThreadStats();
+  void* third = FramePool::Allocate(64);
+  EXPECT_EQ(Delta(before_third).upstream_allocs, 1u);
+  FramePool::Deallocate(third, 64);
+  FramePool::SetPoolingEnabled(true);
+  // Re-adopt the enabled regime so later tests see a pooled thread.
+  FramePool::Deallocate(FramePool::Allocate(64), 64);
+}
+
+TEST(FramePoolTest, GenerationResetRestoresSequentialLayout) {
+  const Stats entry = FramePool::ThreadStats();
+  // The reset fires when the thread reaches zero outstanding allocations;
+  // under a harness holding live frames the scenario is not constructible.
+  if (entry.outstanding != 0) {
+    GTEST_SKIP() << "thread has outstanding pooled allocations";
+  }
+  std::vector<void*> first;
+  for (int i = 0; i < 8; ++i) {
+    first.push_back(FramePool::Allocate(64));
+  }
+  // Freeing in allocation order builds a reversed LIFO free list; without
+  // the generation reset the next round would hand the blocks back in
+  // reverse. The reset rewinds the slab chain instead, so the second
+  // generation must see the exact same addresses in the same order.
+  for (void* p : first) {
+    FramePool::Deallocate(p, 64);
+  }
+  EXPECT_GE(Delta(entry).generation_resets, 1u);
+  std::vector<void*> second;
+  for (int i = 0; i < 8; ++i) {
+    second.push_back(FramePool::Allocate(64));
+  }
+  EXPECT_EQ(first, second);
+  for (void* p : second) {
+    FramePool::Deallocate(p, 64);
+  }
+}
+
+TEST(PoolAllocatorTest, WorksWithAllocateShared) {
+  struct Payload {
+    uint64_t a = 1;
+    uint64_t b = 2;
+  };
+  const Stats before = FramePool::ThreadStats();
+  {
+    auto sp = std::allocate_shared<Payload>(PoolAllocator<Payload>());
+    EXPECT_EQ(sp->a + sp->b, 3u);
+  }
+  const Stats d = Delta(before);
+  EXPECT_GE(d.allocs, 1u);
+  EXPECT_EQ(d.allocs, d.frees);
+}
+
+TEST(PoolAllocatorTest, AllInstancesCompareEqual) {
+  PoolAllocator<int> a;
+  PoolAllocator<double> b;
+  EXPECT_TRUE(a == PoolAllocator<int>(b));
+  EXPECT_FALSE(a != PoolAllocator<int>(b));
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -1,0 +1,267 @@
+// Unit tests for the pending-event queues (src/simcore/event_queue.h): the
+// (when, seq) dispatch contract, FIFO tie-break stability, the calendar
+// queue's tier routing (immediate lane / due heap / ring / overflow), window
+// advancement with bucket-width adaptation, and randomized cross-checking of
+// CalendarQueue against EventHeap under simulator-shaped traffic.
+#include "src/simcore/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "src/simcore/time.h"
+
+namespace fastiov {
+namespace {
+
+QueuedEvent Ev(int64_t when_ns, uint64_t seq) {
+  return QueuedEvent{Nanoseconds(when_ns), seq, EventAction{}};
+}
+
+// Pops everything, returning (when_ns, seq) pairs in dispatch order.
+template <typename Queue>
+std::vector<std::pair<int64_t, uint64_t>> Drain(Queue& q) {
+  std::vector<std::pair<int64_t, uint64_t>> out;
+  while (!q.Empty()) {
+    QueuedEvent ev = q.PopTop();
+    out.emplace_back(ev.when.ns(), ev.seq);
+  }
+  return out;
+}
+
+TEST(EventHeapTest, PopsInTimeOrder) {
+  EventHeap h;
+  h.Push(Ev(300, 0));
+  h.Push(Ev(100, 1));
+  h.Push(Ev(200, 2));
+  const auto order = Drain(h);
+  const std::vector<std::pair<int64_t, uint64_t>> want = {{100, 1}, {200, 2}, {300, 0}};
+  EXPECT_EQ(order, want);
+}
+
+TEST(EventHeapTest, TiesBreakInSchedulingOrder) {
+  EventHeap h;
+  for (uint64_t seq = 0; seq < 64; ++seq) {
+    h.Push(Ev(1000, seq));
+  }
+  const auto order = Drain(h);
+  ASSERT_EQ(order.size(), 64u);
+  for (uint64_t seq = 0; seq < 64; ++seq) {
+    EXPECT_EQ(order[seq].second, seq);
+  }
+}
+
+TEST(CalendarQueueTest, TiesBreakInSchedulingOrder) {
+  CalendarQueue q;
+  for (uint64_t seq = 0; seq < 64; ++seq) {
+    q.Push(Ev(1000, seq));
+  }
+  const auto order = Drain(q);
+  ASSERT_EQ(order.size(), 64u);
+  for (uint64_t seq = 0; seq < 64; ++seq) {
+    EXPECT_EQ(order[seq].second, seq);
+  }
+}
+
+TEST(CalendarQueueTest, ImmediateLanePreservesFifoAcrossInterleavedPops) {
+  CalendarQueue q;
+  q.Push(Ev(100, 0));
+  QueuedEvent first = q.PopTop();
+  EXPECT_EQ(first.seq, 0u);
+  // Wakeups at the already-dispatched timestamp land in the immediate lane
+  // and must come out in scheduling order, ahead of anything later.
+  q.Push(Ev(100, 1));
+  q.Push(Ev(100, 2));
+  q.Push(Ev(250, 3));
+  q.Push(Ev(100, 4));
+  const auto order = Drain(q);
+  const std::vector<std::pair<int64_t, uint64_t>> want = {
+      {100, 1}, {100, 2}, {100, 4}, {250, 3}};
+  EXPECT_EQ(order, want);
+  EXPECT_GE(q.stats().immediate_pushes, 3u);
+}
+
+TEST(CalendarQueueTest, ImmediateLaneGrowsPastInitialCapacity) {
+  CalendarQueue q;
+  q.Push(Ev(10, 0));
+  (void)q.PopTop();
+  // Well past the 64-slot initial ring capacity, forcing in-place growth
+  // while the lane holds live entries.
+  for (uint64_t seq = 1; seq <= 500; ++seq) {
+    q.Push(Ev(10, seq));
+  }
+  const auto order = Drain(q);
+  ASSERT_EQ(order.size(), 500u);
+  for (uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(order[i].second, i + 1);
+  }
+}
+
+TEST(CalendarQueueTest, FarFutureEventsRouteThroughOverflow) {
+  CalendarQueue q;
+  // Spread far beyond any initial window so most pushes overflow, then make
+  // sure the drain is still globally ordered and every window advance keeps
+  // the events intact.
+  std::vector<std::pair<int64_t, uint64_t>> want;
+  uint64_t seq = 0;
+  for (int64_t ms = 1000; ms >= 1; --ms) {
+    const int64_t ns = ms * 1'000'000;
+    q.Push(Ev(ns, seq));
+    want.emplace_back(ns, seq);
+    ++seq;
+  }
+  EXPECT_GT(q.stats().overflow_pushes, 0u);
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(Drain(q), want);
+  EXPECT_GT(q.stats().windows_advanced, 0u);
+}
+
+TEST(CalendarQueueTest, BucketWidthAdaptsToSparseTraffic) {
+  CalendarQueue q;
+  const int64_t initial = q.stats().bucket_ns;
+  // A few events spread over seconds: each window dispatches almost nothing,
+  // so the bucket width must grow toward the event spacing.
+  uint64_t seq = 0;
+  for (int64_t s = 1; s <= 40; ++s) {
+    q.Push(Ev(s * 1'000'000'000, seq++));
+  }
+  (void)Drain(q);
+  EXPECT_GT(q.stats().bucket_ns, initial);
+}
+
+TEST(CalendarQueueTest, BucketWidthAdaptsToDenseTraffic) {
+  CalendarQueue q;
+  const int64_t initial = q.stats().bucket_ns;
+  // Tens of thousands of events packed into the first window: it dispatches
+  // far more events than it has buckets, so when the window next advances
+  // (onto the far-future timer) the width must shrink. Adaptation happens at
+  // window boundaries, hence the overflow event to force one.
+  uint64_t seq = 0;
+  for (int64_t t = 0; t < 50'000; ++t) {
+    q.Push(Ev(t, seq++));
+  }
+  q.Push(Ev(1'000'000'000, seq++));
+  (void)Drain(q);
+  EXPECT_LT(q.stats().bucket_ns, initial);
+}
+
+TEST(CalendarQueueTest, DenseInWindowTrafficTriggersRebuild) {
+  CalendarQueue q;
+  const int64_t initial = q.stats().bucket_ns;
+  // Thousands of events within the first bucket and never any overflow: the
+  // window boundary is never crossed, so only the due-occupancy rebuild can
+  // adapt. Without it this degenerates into a plain binary heap.
+  uint64_t seq = 0;
+  std::vector<std::pair<int64_t, uint64_t>> want;
+  for (int64_t t = 0; t < 4000; ++t) {
+    const int64_t ns = (t * 37) % 4001;  // dense, shuffled, all < initial width
+    q.Push(Ev(ns, seq));
+    want.emplace_back(ns, seq);
+    ++seq;
+  }
+  EXPECT_GT(q.stats().rebuilds, 0u);
+  EXPECT_LT(q.stats().bucket_ns, initial);
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(Drain(q), want);
+}
+
+TEST(CalendarQueueTest, ReserveKeepsLiveImmediateEntries) {
+  CalendarQueue q;
+  q.Push(Ev(5, 0));
+  (void)q.PopTop();
+  for (uint64_t seq = 1; seq <= 10; ++seq) {
+    q.Push(Ev(5, seq));
+  }
+  q.Reserve(2048);
+  const auto order = Drain(q);
+  ASSERT_EQ(order.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i].second, i + 1);
+  }
+}
+
+// Drives CalendarQueue and EventHeap with an identical, simulator-shaped
+// operation stream (pushes never target before the last dispatched
+// timestamp, exactly the Simulation::ScheduleAction contract) and demands
+// identical dispatch sequences.
+TEST(CalendarQueueTest, RandomizedMatchesHeapReference) {
+  for (uint64_t trial = 0; trial < 8; ++trial) {
+    std::mt19937_64 rng(0x5eed0000 + trial);
+    CalendarQueue cal;
+    EventHeap heap;
+    uint64_t seq = 0;
+    int64_t now_ns = 0;
+    size_t pending = 0;
+    std::vector<std::pair<int64_t, uint64_t>> cal_order;
+    std::vector<std::pair<int64_t, uint64_t>> heap_order;
+    for (int op = 0; op < 20'000; ++op) {
+      const bool push = pending == 0 || (rng() % 100) < 55;
+      if (push) {
+        // Mix of same-timestamp wakeups, near-future handoffs, bucket-scale
+        // delays, and far-future timers (overflow territory).
+        int64_t delta = 0;
+        switch (rng() % 4) {
+          case 0: delta = 0; break;
+          case 1: delta = static_cast<int64_t>(rng() % 512); break;
+          case 2: delta = static_cast<int64_t>(rng() % 2'000'000); break;
+          default: delta = static_cast<int64_t>(rng() % 40'000'000'000); break;
+        }
+        cal.Push(Ev(now_ns + delta, seq));
+        heap.Push(Ev(now_ns + delta, seq));
+        ++seq;
+        ++pending;
+      } else {
+        const QueuedEvent a = cal.PopTop();
+        const QueuedEvent b = heap.PopTop();
+        cal_order.emplace_back(a.when.ns(), a.seq);
+        heap_order.emplace_back(b.when.ns(), b.seq);
+        now_ns = b.when.ns();
+        --pending;
+      }
+    }
+    while (!heap.Empty()) {
+      const QueuedEvent a = cal.PopTop();
+      const QueuedEvent b = heap.PopTop();
+      cal_order.emplace_back(a.when.ns(), a.seq);
+      heap_order.emplace_back(b.when.ns(), b.seq);
+    }
+    EXPECT_TRUE(cal.Empty());
+    ASSERT_EQ(cal_order, heap_order) << "trial " << trial;
+  }
+}
+
+TEST(EventQueueFacadeTest, PolicySelectsImplementation) {
+  EventQueue cal(SchedulerPolicy::kCalendar);
+  EXPECT_EQ(cal.policy(), SchedulerPolicy::kCalendar);
+  EXPECT_NE(cal.calendar_stats(), nullptr);
+
+  EventQueue heap(SchedulerPolicy::kHeap);
+  EXPECT_EQ(heap.policy(), SchedulerPolicy::kHeap);
+  EXPECT_EQ(heap.calendar_stats(), nullptr);
+
+  for (auto* q : {&cal, &heap}) {
+    q->Push(Ev(20, 0));
+    q->Push(Ev(10, 1));
+    EXPECT_EQ(q->Size(), 2u);
+    EXPECT_EQ(q->NextTime().ns(), 10);
+    EXPECT_EQ(q->PopTop().seq, 1u);
+    EXPECT_EQ(q->PopTop().seq, 0u);
+    EXPECT_TRUE(q->Empty());
+  }
+}
+
+TEST(EventQueueFacadeTest, DefaultPolicyIsProcessWide) {
+  const SchedulerPolicy saved = DefaultSchedulerPolicy();
+  SetDefaultSchedulerPolicy(SchedulerPolicy::kHeap);
+  EXPECT_EQ(DefaultSchedulerPolicy(), SchedulerPolicy::kHeap);
+  SetDefaultSchedulerPolicy(saved);
+  EXPECT_EQ(DefaultSchedulerPolicy(), saved);
+  EXPECT_STREQ(SchedulerPolicyName(SchedulerPolicy::kCalendar), "calendar");
+  EXPECT_STREQ(SchedulerPolicyName(SchedulerPolicy::kHeap), "heap");
+}
+
+}  // namespace
+}  // namespace fastiov

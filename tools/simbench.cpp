@@ -20,7 +20,18 @@
 //
 // `--quick` shrinks the workload for use as a ctest smoke test: it keeps
 // the harness itself from rotting without burning CI minutes.
+//
+// Noise control: every wall-clock cell is measured best-of-N (the min is the
+// least scheduler-contaminated sample) and reports the coefficient of
+// variation across the N samples, so a reader can tell a real regression
+// from a noisy box. Full (non-quick) runs refuse to execute in a Debug
+// build — unoptimized numbers would silently poison the recorded perf
+// trajectory — unless --allow-debug is passed.
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <span>
@@ -32,6 +43,8 @@
 #include "src/experiments/result_json.h"
 #include "src/experiments/sweep.h"
 #include "src/fault/fault.h"
+#include "src/simcore/arena.h"
+#include "src/simcore/event_queue.h"
 #include "src/simcore/simulation.h"
 #include "src/stats/json_writer.h"
 #include "src/vfio/vfio.h"
@@ -44,6 +57,40 @@ using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Coefficient of variation (stddev/mean) of a sample set; 0 for fewer than
+// two samples.
+double Cv(const std::vector<double>& samples) {
+  if (samples.size() < 2) {
+    return 0.0;
+  }
+  double mean = 0.0;
+  for (double v : samples) {
+    mean += v;
+  }
+  mean /= static_cast<double>(samples.size());
+  if (mean <= 0.0) {
+    return 0.0;
+  }
+  double var = 0.0;
+  for (double v : samples) {
+    var += (v - mean) * (v - mean);
+  }
+  var /= static_cast<double>(samples.size());
+  return std::sqrt(var) / mean;
+}
+
+double Best(const std::vector<double>& samples) {
+  return *std::min_element(samples.begin(), samples.end());
+}
+
+// Process peak RSS in bytes (Linux reports ru_maxrss in KiB). Monotone over
+// the process lifetime, so scale cells run in ascending size order.
+uint64_t PeakRssBytes() {
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<uint64_t>(ru.ru_maxrss) * 1024;
 }
 
 Task PingPong(Simulation& sim, int hops) {
@@ -59,19 +106,27 @@ struct LoopResult {
 };
 
 // Coroutine-dominant workload: the shape of a real startup run, where
-// almost every event is a handle resume.
-LoopResult TimeHandleLoop(int processes, int hops) {
-  Simulation sim(7);
-  sim.ReserveEvents(static_cast<size_t>(processes) + 8);
-  for (int p = 0; p < processes; ++p) {
-    sim.Spawn(PingPong(sim, hops));
-  }
-  const auto start = Clock::now();
-  sim.Run();
+// almost every event is a handle resume. `policy` picks the pending-event
+// queue; `pooled` toggles the frame arenas, so (heap, unpooled) measures the
+// pre-calendar engine as the A/B baseline.
+LoopResult TimeHandleLoop(int processes, int hops,
+                          SchedulerPolicy policy = SchedulerPolicy::kCalendar,
+                          bool pooled = true) {
+  FramePool::SetPoolingEnabled(pooled);
   LoopResult r;
-  r.seconds = SecondsSince(start);
-  r.events = sim.num_events_processed();
-  r.events_per_sec = static_cast<double>(r.events) / r.seconds;
+  {
+    Simulation sim(7, policy);
+    sim.ReserveEvents(static_cast<size_t>(processes) + 8);
+    for (int p = 0; p < processes; ++p) {
+      sim.Spawn(PingPong(sim, hops));
+    }
+    const auto start = Clock::now();
+    sim.Run();
+    r.seconds = SecondsSince(start);
+    r.events = sim.num_events_processed();
+    r.events_per_sec = static_cast<double>(r.events) / r.seconds;
+  }
+  FramePool::SetPoolingEnabled(true);
   return r;
 }
 
@@ -190,6 +245,20 @@ MembenchCell RunDmaBench(uint64_t page_size, double fragmentation, uint64_t map_
   return cell;
 }
 
+// Host spec for a scale cell. The paper's testbed caps at 256 VFs and
+// 256 GiB — enough for the 200-container regime but not for 1000+ — so
+// beyond 200 the host grows with the fleet: the scale tier measures engine
+// scaling, not testbed realism. 1 GiB per container covers the 512 MiB
+// guest plus the 256 MiB image region with headroom.
+HostSpec ScaleHost(int concurrency) {
+  HostSpec spec;
+  if (concurrency > 200) {
+    spec.num_vfs = concurrency;
+    spec.memory_bytes = static_cast<uint64_t>(concurrency) * kGiB;
+  }
+  return spec;
+}
+
 std::string SweepDigest(const std::vector<RepeatedResult>& results) {
   std::string digest;
   for (const RepeatedResult& r : results) {
@@ -205,6 +274,7 @@ int main(int argc, char** argv) {
   FlagParser flags;
   AddJobsFlag(flags);
   flags.AddBool("quick", false, "small workload (the ctest smoke configuration)");
+  flags.AddBool("allow-debug", false, "run the full workload even in a Debug build");
   flags.AddString("out", "BENCH_sim.json", "where to write the JSON report");
   std::string error;
   if (!flags.Parse(argc, argv, &error)) {
@@ -216,48 +286,92 @@ int main(int argc, char** argv) {
     return 0;
   }
   const bool quick = flags.GetBool("quick");
-  const int jobs = ResolveJobs(GetJobsFlag(flags));
+#ifndef NDEBUG
+  const bool debug_build = true;
+#else
+  const bool debug_build = false;
+#endif
+  if (debug_build && !quick && !flags.GetBool("allow-debug")) {
+    std::fprintf(stderr,
+                 "simbench: refusing a full run in a Debug build — unoptimized numbers "
+                 "would poison the recorded perf trajectory.\n"
+                 "Use a Release build, --quick, or --allow-debug to override.\n");
+    return 2;
+  }
+  const int jobs_requested = GetJobsFlag(flags);
+  const int jobs = ClampJobsToHardware(jobs_requested);
 
-  std::printf("simbench: %s workload, parallel jobs %d (hardware threads %d)\n\n",
-              quick ? "quick" : "full", jobs, DefaultJobs());
+  std::printf("simbench: %s workload, parallel jobs %d (requested %d, hardware threads %d)\n\n",
+              quick ? "quick" : "full", jobs, jobs_requested, DefaultJobs());
 
   // --- 1. event-loop microbenchmarks -------------------------------------
   const int processes = quick ? 200 : 2000;
   const int hops = quick ? 50 : 500;
-  const LoopResult handle_loop = TimeHandleLoop(processes, hops);
-  const LoopResult callback_loop = TimeCallbackLoop(quick ? 100000 : 2000000);
-  std::printf("event loop (coroutine resume): %9.0f events/s  (%lu events in %.3fs)\n",
+  const int loop_reps = quick ? 1 : 3;
+  LoopResult handle_loop = TimeHandleLoop(processes, hops);
+  LoopResult callback_loop = TimeCallbackLoop(quick ? 100000 : 2000000);
+  std::vector<double> handle_samples = {handle_loop.seconds};
+  std::vector<double> callback_samples = {callback_loop.seconds};
+  for (int r = 1; r < loop_reps; ++r) {
+    const LoopResult h = TimeHandleLoop(processes, hops);
+    handle_samples.push_back(h.seconds);
+    if (h.seconds < handle_loop.seconds) {
+      handle_loop = h;
+    }
+    const LoopResult c = TimeCallbackLoop(quick ? 100000 : 2000000);
+    callback_samples.push_back(c.seconds);
+    if (c.seconds < callback_loop.seconds) {
+      callback_loop = c;
+    }
+  }
+  const double handle_cv = Cv(handle_samples);
+  const double callback_cv = Cv(callback_samples);
+  std::printf("event loop (coroutine resume): %9.0f events/s  (%lu events in %.3fs, cv %.1f%%)\n",
               handle_loop.events_per_sec, static_cast<unsigned long>(handle_loop.events),
-              handle_loop.seconds);
-  std::printf("event loop (small callback):   %9.0f events/s  (%lu events in %.3fs)\n",
+              handle_loop.seconds, handle_cv * 100.0);
+  std::printf("event loop (small callback):   %9.0f events/s  (%lu events in %.3fs, cv %.1f%%)\n",
               callback_loop.events_per_sec, static_cast<unsigned long>(callback_loop.events),
-              callback_loop.seconds);
+              callback_loop.seconds, callback_cv * 100.0);
 
   // --- 2. fig11-style multi-seed sweep, sequential vs parallel -----------
   ExperimentOptions options;
   options.concurrency = quick ? 20 : 200;
   const int repeats = quick ? 2 : 5;
+  const int sweep_reps = quick ? 1 : 2;
   const std::vector<StackConfig> configs = {StackConfig::NoNetwork(), StackConfig::Vanilla(),
                                             StackConfig::FastIov(), StackConfig::PreZero(1.0)};
 
-  auto start = Clock::now();
-  const std::vector<RepeatedResult> sequential =
-      RunRepeatedSweep(configs, options, repeats, /*jobs=*/1);
-  const double seq_seconds = SecondsSince(start);
+  std::vector<double> seq_samples;
+  std::vector<double> par_samples;
+  std::string seq_digest;
+  std::string par_digest;
+  for (int r = 0; r < sweep_reps; ++r) {
+    auto t0 = Clock::now();
+    const std::vector<RepeatedResult> sequential =
+        RunRepeatedSweep(configs, options, repeats, /*jobs=*/1);
+    seq_samples.push_back(SecondsSince(t0));
 
-  start = Clock::now();
-  const std::vector<RepeatedResult> parallel =
-      RunRepeatedSweep(configs, options, repeats, jobs);
-  const double par_seconds = SecondsSince(start);
-
-  const bool identical = SweepDigest(sequential) == SweepDigest(parallel);
+    t0 = Clock::now();
+    const std::vector<RepeatedResult> parallel =
+        RunRepeatedSweep(configs, options, repeats, jobs);
+    par_samples.push_back(SecondsSince(t0));
+    if (r == 0) {
+      seq_digest = SweepDigest(sequential);
+      par_digest = SweepDigest(parallel);
+    }
+  }
+  const double seq_seconds = Best(seq_samples);
+  const double par_seconds = Best(par_samples);
+  const bool identical = seq_digest == par_digest;
   const double speedup = par_seconds > 0.0 ? seq_seconds / par_seconds : 0.0;
   const size_t cells = configs.size() * static_cast<size_t>(repeats);
   std::printf("\nsweep (%zu cells, concurrency %d):\n", cells, options.concurrency);
-  std::printf("  --jobs 1:  %.3fs\n", seq_seconds);
-  std::printf("  --jobs %d:  %.3fs   speedup %.2fx\n", jobs, par_seconds, speedup);
+  std::printf("  --jobs 1:  %.3fs  (cv %.1f%%)\n", seq_seconds, Cv(seq_samples) * 100.0);
+  std::printf("  --jobs %d:  %.3fs  (cv %.1f%%)  speedup %.2fx\n", jobs, par_seconds,
+              Cv(par_samples) * 100.0, speedup);
   std::printf("  parallel output byte-identical to sequential: %s\n",
               identical ? "yes" : "NO — BUG");
+  auto start = Clock::now();
 
   // --- 3. extent-based memory path vs legacy per-page --------------------
   struct MembenchRow {
@@ -265,6 +379,7 @@ int main(int argc, char** argv) {
     double fragmentation;
     MembenchCell runs;
     MembenchCell legacy;
+    double cv = 0.0;  // of extent-mode map wall-clock across repetitions
   };
   std::vector<MembenchRow> membench;
   bool membench_identical = true;
@@ -280,11 +395,18 @@ int main(int argc, char** argv) {
       // the cell is not trivially short.
       const uint64_t map_bytes = page_size == kSmallPageSize ? (quick ? 32 * kMiB : 512 * kMiB)
                                                             : (quick ? 256 * kMiB : 2 * kGiB);
+      std::vector<double> map_samples;
       auto best_of = [&](bool legacy_mode) {
         MembenchCell best = RunDmaBench(page_size, frag, map_bytes, churn_iters, legacy_mode);
+        if (!legacy_mode) {
+          map_samples.push_back(best.map_seconds);
+        }
         for (int r = 1; r < reps; ++r) {
           const MembenchCell c = RunDmaBench(page_size, frag, map_bytes, churn_iters, legacy_mode);
           membench_identical = membench_identical && c.digest == best.digest;
+          if (!legacy_mode) {
+            map_samples.push_back(c.map_seconds);
+          }
           best.map_seconds = std::min(best.map_seconds, c.map_seconds);
           best.unmap_seconds = std::min(best.unmap_seconds, c.unmap_seconds);
           best.churn_seconds = std::min(best.churn_seconds, c.churn_seconds);
@@ -292,6 +414,7 @@ int main(int argc, char** argv) {
         return best;
       };
       MembenchRow row{page_size, frag, best_of(/*legacy=*/false), best_of(/*legacy=*/true)};
+      row.cv = Cv(map_samples);
       const bool identical_cell = row.runs.digest == row.legacy.digest;
       membench_identical = membench_identical && identical_cell;
       std::printf(
@@ -397,6 +520,111 @@ int main(int argc, char** argv) {
   std::printf("  result bytes identical modulo observability section: %s\n",
               metrics_identical ? "yes" : "NO — BUG");
 
+  // --- 6. scale tier: the 1000+ concurrent-container regime ---------------
+  // Two views per fleet size. First a ping-pong A/B at fleet width: the
+  // pre-PR engine (binary heap, frames on malloc) against the current one
+  // (calendar queue, arena pools) — the engine speedup in isolation. Then
+  // full startup cells (vanilla + fastiov) on a host scaled to the fleet,
+  // with wall-clock, events/sec, peak RSS, and a heap-vs-calendar digest
+  // identity check, so the scale regime is covered by the same determinism
+  // contract as the reference configs.
+  struct ScaleLoopRow {
+    int processes = 0;
+    LoopResult baseline;  // heap + pooling off: the pre-PR engine
+    LoopResult tuned;     // calendar + arenas
+    double cv = 0.0;      // of the tuned wall-clock across repetitions
+  };
+  struct ScaleCellRow {
+    int concurrency = 0;
+    std::string stack;
+    double wall_seconds = 0.0;
+    double cv = 0.0;
+    uint64_t events = 0;
+    double events_per_sec = 0.0;
+    uint64_t peak_rss_bytes = 0;
+    bool digest_checked = false;
+    bool digest_identical = true;
+  };
+  const std::vector<int> scale_levels =
+      quick ? std::vector<int>{50, 200} : std::vector<int>{200, 1000, 2000, 5000};
+  const int scale_hops = quick ? 50 : 200;
+  const int scale_reps = quick ? 1 : 3;
+  std::vector<ScaleLoopRow> scale_loops;
+  std::printf("\nscale / event loop A/B (%d hops per process, heap+malloc vs calendar+arena):\n",
+              scale_hops);
+  for (const int n : scale_levels) {
+    ScaleLoopRow row;
+    row.processes = n;
+    std::vector<double> tuned_samples;
+    row.baseline = TimeHandleLoop(n, scale_hops, SchedulerPolicy::kHeap, /*pooled=*/false);
+    row.tuned = TimeHandleLoop(n, scale_hops, SchedulerPolicy::kCalendar, /*pooled=*/true);
+    tuned_samples.push_back(row.tuned.seconds);
+    for (int r = 1; r < scale_reps; ++r) {
+      const LoopResult b = TimeHandleLoop(n, scale_hops, SchedulerPolicy::kHeap, false);
+      if (b.seconds < row.baseline.seconds) {
+        row.baseline = b;
+      }
+      const LoopResult t = TimeHandleLoop(n, scale_hops, SchedulerPolicy::kCalendar, true);
+      tuned_samples.push_back(t.seconds);
+      if (t.seconds < row.tuned.seconds) {
+        row.tuned = t;
+      }
+    }
+    row.cv = Cv(tuned_samples);
+    std::printf("  %5d procs: %9.0f -> %9.0f events/s  (%.2fx, cv %.1f%%)\n", n,
+                row.baseline.events_per_sec, row.tuned.events_per_sec,
+                row.tuned.events_per_sec / row.baseline.events_per_sec, row.cv * 100.0);
+    scale_loops.push_back(row);
+  }
+
+  bool scale_identical = true;
+  std::vector<ScaleCellRow> scale_cells;
+  std::printf("\nscale / full startup cells (host scaled with the fleet):\n");
+  for (const int n : scale_levels) {
+    for (const StackConfig& config : {StackConfig::Vanilla(), StackConfig::FastIov()}) {
+      ExperimentOptions sopt;
+      sopt.concurrency = n;
+      sopt.host = ScaleHost(n);
+      // The big cells are minutes-scale: one shot is the budget; the digest
+      // cross-check doubles the cost, so it stops at the 1000 level.
+      const int cell_reps = (quick || n > 1000) ? 1 : scale_reps;
+      ScaleCellRow cell;
+      cell.concurrency = n;
+      cell.stack = config.name;
+      std::vector<double> samples;
+      std::string calendar_json;
+      for (int r = 0; r < cell_reps; ++r) {
+        sopt.scheduler = SchedulerPolicy::kCalendar;
+        const auto t0 = Clock::now();
+        const ExperimentResult res = RunStartupExperiment(config, sopt);
+        samples.push_back(SecondsSince(t0));
+        if (r == 0) {
+          cell.events = res.events_processed;
+          calendar_json = ExperimentResultJson(res);
+        }
+      }
+      cell.wall_seconds = Best(samples);
+      cell.cv = Cv(samples);
+      cell.events_per_sec =
+          cell.wall_seconds > 0.0 ? static_cast<double>(cell.events) / cell.wall_seconds : 0.0;
+      if (n <= 1000) {
+        sopt.scheduler = SchedulerPolicy::kHeap;
+        const ExperimentResult heap_res = RunStartupExperiment(config, sopt);
+        cell.digest_checked = true;
+        cell.digest_identical = ExperimentResultJson(heap_res) == calendar_json;
+        scale_identical = scale_identical && cell.digest_identical;
+      }
+      cell.peak_rss_bytes = PeakRssBytes();
+      std::printf("  %5d x %-8s %8.3fs  %9.0f events/s  rss %5llu MiB  cv %4.1f%%  %s\n", n,
+                  config.name.c_str(), cell.wall_seconds, cell.events_per_sec,
+                  static_cast<unsigned long long>(cell.peak_rss_bytes / kMiB), cell.cv * 100.0,
+                  cell.digest_checked
+                      ? (cell.digest_identical ? "digest identical" : "digest DIFFERS — BUG")
+                      : "digest unchecked");
+      scale_cells.push_back(std::move(cell));
+    }
+  }
+
   // --- report ------------------------------------------------------------
   const std::string out_path = flags.GetString("out");
   std::ofstream out(out_path);
@@ -408,13 +636,18 @@ int main(int argc, char** argv) {
   json.BeginObject();
   json.KV("bench", "simbench");
   json.KV("quick", quick);
+  json.KV("debug_build", debug_build);
   json.KV("hardware_threads", static_cast<int64_t>(DefaultJobs()));
+  json.KV("jobs_requested", static_cast<int64_t>(jobs_requested));
+  json.KV("jobs_effective", static_cast<int64_t>(jobs));
   json.Key("event_loop");
   json.BeginObject()
       .KV("handle_events_per_sec", handle_loop.events_per_sec)
       .KV("handle_events", handle_loop.events)
+      .KV("handle_cv", handle_cv)
       .KV("callback_events_per_sec", callback_loop.events_per_sec)
       .KV("callback_events", callback_loop.events)
+      .KV("callback_cv", callback_cv)
       .EndObject();
   json.Key("sweep");
   json.BeginObject()
@@ -423,7 +656,9 @@ int main(int argc, char** argv) {
       .KV("repeats", static_cast<int64_t>(repeats))
       .KV("jobs", static_cast<int64_t>(jobs))
       .KV("seconds_jobs1", seq_seconds)
+      .KV("seconds_jobs1_cv", Cv(seq_samples))
       .KV("seconds_jobsN", par_seconds)
+      .KV("seconds_jobsN_cv", Cv(par_samples))
       .KV("speedup", speedup)
       .KV("byte_identical", identical)
       .EndObject();
@@ -443,10 +678,45 @@ int main(int argc, char** argv) {
         .KV("churn_seconds_runs", row.runs.churn_seconds)
         .KV("churn_seconds_legacy", row.legacy.churn_seconds)
         .KV("churn_speedup", row.legacy.churn_seconds / row.runs.churn_seconds)
+        .KV("map_cv", row.cv)
         .KV("byte_identical", row.runs.digest == row.legacy.digest)
         .EndObject();
   }
   json.EndArray();
+  json.Key("scale");
+  json.BeginObject();
+  json.KV("hops", static_cast<int64_t>(scale_hops));
+  json.Key("event_loop");
+  json.BeginArray();
+  for (const ScaleLoopRow& row : scale_loops) {
+    json.BeginObject()
+        .KV("processes", static_cast<int64_t>(row.processes))
+        .KV("handle_events_per_sec_heap", row.baseline.events_per_sec)
+        .KV("handle_events_per_sec", row.tuned.events_per_sec)
+        .KV("speedup_vs_heap", row.tuned.events_per_sec / row.baseline.events_per_sec)
+        .KV("events", row.tuned.events)
+        .KV("cv", row.cv)
+        .EndObject();
+  }
+  json.EndArray();
+  json.Key("cells");
+  json.BeginArray();
+  for (const ScaleCellRow& cell : scale_cells) {
+    json.BeginObject()
+        .KV("concurrency", static_cast<int64_t>(cell.concurrency))
+        .KV("stack", cell.stack)
+        .KV("wall_seconds", cell.wall_seconds)
+        .KV("cv", cell.cv)
+        .KV("events", cell.events)
+        .KV("events_per_sec", cell.events_per_sec)
+        .KV("peak_rss_bytes", cell.peak_rss_bytes)
+        .KV("digest_checked", cell.digest_checked)
+        .KV("byte_identical", cell.digest_identical)
+        .EndObject();
+  }
+  json.EndArray();
+  json.KV("byte_identical", scale_identical);
+  json.EndObject();
   json.Key("observability");
   json.BeginObject()
       .KV("seconds_metrics_off", metrics_off_seconds)
@@ -471,7 +741,8 @@ int main(int argc, char** argv) {
   out << '\n';
   std::printf("\nreport written to %s\n", out_path.c_str());
 
-  return (identical && membench_identical && chaos_replay_identical && metrics_identical)
+  return (identical && membench_identical && chaos_replay_identical && metrics_identical &&
+          scale_identical)
              ? 0
              : 1;
 }
