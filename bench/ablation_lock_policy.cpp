@@ -27,10 +27,11 @@ void RunOpens(benchmark::State& state, bool hierarchical) {
     cost.jitter_sigma = 0.0;
     CpuPool cpu(sim, spec.physical_cores);
     PciBus bus(0x3b);
+    PciIdAllocator pci_ids;
     std::vector<std::unique_ptr<VirtualFunction>> vfs;
     for (int i = 0; i < num_vfs; ++i) {
       vfs.push_back(std::make_unique<VirtualFunction>(
-          PciAddress{0, 0x3b, static_cast<uint8_t>(2 + i / 8), static_cast<uint8_t>(i % 8)},
+          pci_ids, PciAddress{0, 0x3b, static_cast<uint8_t>(2 + i / 8), static_cast<uint8_t>(i % 8)},
           i));
       bus.AddDevice(vfs.back().get());
     }

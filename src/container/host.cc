@@ -24,7 +24,7 @@ Host::Host(Simulation& sim, const HostSpec& spec, const CostModel& cost,
       virtiofs_bw_(sim, 6.0 * static_cast<double>(kGiB), "host.virtiofs-bw"),
       ipvtap_bw_(sim, cost.ipvtap_bandwidth_bps, "host.ipvtap-bw"),
       nic_bus_(0x3b),
-      nic_(sim, cpu_, cost, spec, nic_bus_),
+      nic_(sim, cpu_, cost, spec, nic_bus_, pci_ids_),
       vdpa_bus_(sim, cpu_, cost),
       fastiovd_(sim, cpu_, pmem_, cost),
       cgroup_lock_(sim),

@@ -44,6 +44,7 @@ class Host {
   PhysicalMemory& pmem() { return pmem_; }
   Iommu& iommu() { return iommu_; }
   PciBus& nic_bus() { return nic_bus_; }
+  PciIdAllocator& pci_ids() { return pci_ids_; }
   SriovNic& nic() { return nic_; }
   DevSet& devset() { return *devset_; }
   VdpaBus& vdpa_bus() { return vdpa_bus_; }
@@ -94,6 +95,7 @@ class Host {
   BandwidthResource ipvtap_bw_;
   Iommu iommu_;
   PciBus nic_bus_;
+  PciIdAllocator pci_ids_;  // per-host id space; see pci.h
   SriovNic nic_;
   std::unique_ptr<DevSet> devset_;
   VdpaBus vdpa_bus_;

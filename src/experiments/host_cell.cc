@@ -1,0 +1,217 @@
+#include "src/experiments/host_cell.h"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "src/simcore/arena.h"
+
+namespace fastiov {
+namespace {
+
+// Accumulate the FramePool counter movement across one execution slice.
+void Accumulate(const FramePool::Stats& before, uint64_t* allocs, uint64_t* frees,
+                uint64_t* upstream) {
+  const FramePool::Stats after = FramePool::ThreadStats();
+  *allocs += after.allocs - before.allocs;
+  *frees += after.frees - before.frees;
+  *upstream += after.upstream_allocs - before.upstream_allocs;
+}
+
+}  // namespace
+
+HostCell::HostCell(const StackConfig& config, const ExperimentOptions& options)
+    : config_(config), options_(options) {}
+
+HostCell::~HostCell() {
+  // Normally a no-op: CellEnd (or CellAbandon) already tore everything down
+  // on the owning thread. Only a cell that never ran reaches here with live
+  // state.
+  Teardown();
+}
+
+// Root orchestration: mirrors `crictl` concurrently invoking N containers
+// (§3.1), with the small dispatch stagger a real client exhibits.
+Task HostCell::Orchestrate() {
+  Simulation& sim = *sim_;
+  Host& host = *host_;
+  co_await host.PrepareSharedImage();
+  if (host.config().cni == CniKind::kVanillaFixed || host.config().cni == CniKind::kFastIov) {
+    host.PreBindVfsToVfio();
+  }
+  if (host.config().decoupled_zeroing) {
+    host.fastiovd().StartBackgroundZeroer();
+  }
+  const ServerlessApp* app = options_.app.has_value() ? &*options_.app : nullptr;
+  const ArrivalSchedule schedule =
+      ArrivalSchedule::Generate(options_.arrival, options_.concurrency,
+                                options_.arrival_rate_per_s, host.cost().crictl_dispatch_gap,
+                                sim.rng());
+  std::vector<Process> containers;
+  containers.reserve(options_.concurrency);
+  for (int i = 0; i < options_.concurrency; ++i) {
+    if (schedule.times[i] > sim.Now()) {
+      co_await sim.Delay(schedule.times[i] - sim.Now());
+    }
+    containers.push_back(sim.Spawn(runtime_->StartContainer(app), "container"));
+  }
+  co_await WaitAll(std::move(containers));
+  host.fastiovd().StopBackgroundZeroer();
+}
+
+void HostCell::CellBegin(CellPort* port) {
+  // No cross-cell traffic yet: hosts in a fleet are independent until the
+  // cluster layer (ROADMAP item 1) wires its control plane through `port`.
+  (void)port;
+  const FramePool::Stats before = FramePool::ThreadStats();
+  sim_.emplace(options_.seed, options_.scheduler);
+  // Each container keeps a handful of events outstanding (its own step plus
+  // zeroer/timer wakeups); 16 per container absorbs the burst peak without
+  // the queue ever growing mid-run.
+  sim_->ReserveEvents(static_cast<size_t>(options_.concurrency) * 16);
+  if (options_.fault_plan.has_value()) {
+    injector_.emplace(*options_.fault_plan);
+    sim_->set_fault_injector(&*injector_);
+  }
+  host_.emplace(*sim_, options_.host, options_.cost, config_);
+  if (options_.collect_metrics) {
+    // Before any container starts, so every lock acquisition is observed.
+    host_->EnableObservability();
+  }
+  runtime_.emplace(*host_);
+  Process root = sim_->Spawn(Orchestrate(), "orchestrator");
+  (void)root;
+  Accumulate(before, &arena_.allocs, &arena_.frees, &arena_.upstream_allocs);
+}
+
+void HostCell::ExecuteWindow(SimTime horizon) {
+  const FramePool::Stats before = FramePool::ThreadStats();
+  sim_->RunWindow(horizon);
+  Accumulate(before, &arena_.allocs, &arena_.frees, &arena_.upstream_allocs);
+}
+
+void HostCell::CellEnd() {
+  CollectResult();
+  Teardown();
+}
+
+void HostCell::CellAbandon() noexcept {
+  Teardown();
+}
+
+void HostCell::RunStandalone() {
+  CellBegin(nullptr);
+  try {
+    ExecuteWindow(SimTime::Max());
+  } catch (...) {
+    CellAbandon();
+    throw;
+  }
+  CellEnd();
+}
+
+void HostCell::CollectResult() {
+  Host& host = *host_;
+  ContainerRuntime& runtime = *runtime_;
+  Simulation& sim = *sim_;
+
+  ExperimentResult result;
+  result.config = config_;
+  result.options = options_;
+  result.timeline = host.timeline();
+  result.startup = host.timeline().StartupSummary();
+  result.task_completion = host.timeline().TaskCompletionSummary();
+  for (const auto& lane : host.timeline().containers()) {
+    result.vf_related.AddTime(VfRelatedTime(lane));
+  }
+  result.residue_reads = runtime.TotalResidueReads();
+  result.corruptions = runtime.TotalCorruptions();
+  result.devset_lock_contention = host.devset().lock_policy().contention_count();
+  result.pages_zeroed = host.pmem().total_pages_zeroed();
+  result.fault_zeroed_pages = host.fastiovd().fault_zeroed_pages();
+  result.background_zeroed_pages = host.fastiovd().background_zeroed_pages();
+  result.local_allocations = host.pmem().local_allocations();
+  result.remote_allocations = host.pmem().remote_allocations();
+  result.events_processed = sim.num_events_processed();
+  if (injector_.has_value()) {
+    for (const auto& inst : runtime.instances()) {
+      if (inst->aborted) {
+        ++result.aborted_containers;
+      }
+    }
+    result.fault_stats = FaultStatsReport::FromInjector(*injector_);
+    result.fault_events = injector_->trace_events();
+  }
+  if (ObservabilityHub* obs = host.observability()) {
+    result.blocked_time = BuildBlockedTimeReport(obs->blocked, host.timeline());
+    // Fold the run's headline counters and distributions into the registry
+    // so one export surface carries them all.
+    MetricsRegistry& m = obs->metrics;
+    m.SetCounter("runtime.residue_reads", result.residue_reads);
+    m.SetCounter("runtime.corruptions", result.corruptions);
+    m.SetCounter("runtime.aborted_containers", result.aborted_containers);
+    m.SetCounter("vfio.devset.lock_contention", result.devset_lock_contention);
+    m.SetCounter("vfio.devset.opens", host.devset().opens_performed());
+    m.SetCounter("mem.pages_zeroed", result.pages_zeroed);
+    m.SetCounter("mem.local_allocations", result.local_allocations);
+    m.SetCounter("mem.remote_allocations", result.remote_allocations);
+    m.SetCounter("fastiovd.fault_zeroed_pages", result.fault_zeroed_pages);
+    m.SetCounter("fastiovd.background_zeroed_pages", result.background_zeroed_pages);
+    m.SetGauge("mem.free_pages", static_cast<double>(host.pmem().free_pages()));
+    m.SetGauge("iommu.mapped_pages", static_cast<double>(host.iommu().total_mapped_pages()));
+    m.SetGauge("nic.vfs_in_use", static_cast<double>(host.nic().vfs_in_use()));
+    m.MergeSummary("startup.seconds", result.startup);
+    m.MergeSummary("startup.vf_related_seconds", result.vf_related);
+    if (!result.task_completion.Empty()) {
+      m.MergeSummary("task.completion_seconds", result.task_completion);
+    }
+    for (size_t i = 0; i < obs->lock_stats.size(); ++i) {
+      const LockStats& lock = obs->lock_stats.at(i);
+      m.SetCounter("lock." + lock.name() + ".acquisitions", lock.acquisitions());
+      m.SetCounter("lock." + lock.name() + ".contended", lock.contended());
+      m.MergeSummary("lock." + lock.name() + ".wait_seconds", lock.wait_seconds());
+    }
+    // Engine self-observability: event throughput, arena pool traffic, and
+    // (under the calendar policy) queue-tier occupancy. Only run-deterministic
+    // counters go into the registry — warm-pool state (pool hits, slab
+    // carves) varies with what previously ran on this thread, and registry
+    // contents must be repeatable byte-for-byte (MetricsRunIsRepeatable).
+    // The arena numbers are the per-slice deltas attributed to this cell, so
+    // they are identical whether the cell ran standalone, interleaved with
+    // siblings on one worker, or alone on its own thread. Benchmarks read
+    // the full warm/cold picture from FramePool::ThreadStats.
+    m.SetCounter("sim.events_processed", result.events_processed);
+    m.SetCounter("sim.arena.allocs", arena_.allocs);
+    m.SetCounter("sim.arena.frees", arena_.frees);
+    m.SetCounter("sim.arena.upstream_allocs", arena_.upstream_allocs);
+    if (const CalendarQueueStats* cal = sim.calendar_stats()) {
+      m.SetCounter("sim.calendar.immediate_pushes", cal->immediate_pushes);
+      m.SetCounter("sim.calendar.due_pushes", cal->due_pushes);
+      m.SetCounter("sim.calendar.ring_pushes", cal->ring_pushes);
+      m.SetCounter("sim.calendar.overflow_pushes", cal->overflow_pushes);
+      m.SetCounter("sim.calendar.windows_advanced", cal->windows_advanced);
+      m.SetCounter("sim.calendar.rebuilds", cal->rebuilds);
+      m.SetGauge("sim.calendar.bucket_ns", static_cast<double>(cal->bucket_ns));
+    }
+    result.observability = host.observability_ptr();
+  }
+  result_ = std::move(result);
+  collected_ = true;
+}
+
+void HostCell::Teardown() {
+  runtime_.reset();
+  host_.reset();
+  injector_.reset();
+  sim_.reset();
+}
+
+ExperimentResult HostCell::TakeResult() {
+  if (!collected_) {
+    throw std::logic_error("HostCell::TakeResult: cell has not finished");
+  }
+  collected_ = false;
+  return std::move(result_);
+}
+
+}  // namespace fastiov

@@ -1,0 +1,85 @@
+// HostCell: one experiment run packaged as a self-contained simulation cell.
+//
+// A cell bundles everything RunStartupExperiment used to hold on its stack —
+// Simulation (clock, queue, RNG stream), fault injector, Host (CPU pools,
+// memory, IOMMU, PCI id space, NIC, VFIO, fastiovd, observability hub) and
+// the container runtime — behind the SimCell interface, so N of them run
+// under the parallel driver (src/simcore/parallel_exec.h) or one of them
+// runs standalone on the calling thread. Nothing in a cell is process-global:
+// two cells in one process produce byte-identical results to two processes.
+//
+// Lifecycle honours the FramePool thread-affinity contract (parallel_exec.h):
+// all sim-side state is constructed in CellBegin and destroyed in CellEnd —
+// both on the owning worker thread — so every coroutine frame is returned to
+// the thread-local pool that carved it. The constructor and TakeResult are
+// main-thread safe: they only touch plain config/result values.
+#ifndef SRC_EXPERIMENTS_HOST_CELL_H_
+#define SRC_EXPERIMENTS_HOST_CELL_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/container/host.h"
+#include "src/container/runtime.h"
+#include "src/experiments/startup_experiment.h"
+#include "src/simcore/parallel_exec.h"
+#include "src/simcore/simulation.h"
+
+namespace fastiov {
+
+class HostCell : public SimCell {
+ public:
+  HostCell(const StackConfig& config, const ExperimentOptions& options);
+  ~HostCell() override;
+  HostCell(const HostCell&) = delete;
+  HostCell& operator=(const HostCell&) = delete;
+
+  // SimCell interface (driven by RunCells, or by RunStandalone inline).
+  Simulation& cell_sim() override { return *sim_; }
+  void CellBegin(CellPort* port) override;
+  void ExecuteWindow(SimTime horizon) override;
+  void CellEnd() override;
+  void CellAbandon() noexcept override;
+
+  // The sequential path: Begin, run to completion, End — all inline on the
+  // calling thread. Exactly the event sequence the pre-cell
+  // RunStartupExperiment executed.
+  void RunStandalone();
+
+  bool finished() const { return collected_; }
+  // Valid once finished(); moves the collected result out.
+  ExperimentResult TakeResult();
+
+ private:
+  Task Orchestrate();
+  void CollectResult();
+  void Teardown();
+
+  StackConfig config_;
+  ExperimentOptions options_;
+
+  // Sim-side state; alive between CellBegin and CellEnd, on the owner
+  // thread. Declaration order is teardown-relevant: Teardown() resets in
+  // reverse construction order (runtime, host, injector, sim), matching the
+  // old stack-frame destruction.
+  std::optional<Simulation> sim_;
+  std::optional<FaultInjector> injector_;
+  std::optional<Host> host_;
+  std::optional<ContainerRuntime> runtime_;
+
+  // Arena traffic attributed to this cell, accumulated per execution slice
+  // so the numbers are identical whichever worker threads the slices ran on.
+  struct ArenaDelta {
+    uint64_t allocs = 0;
+    uint64_t frees = 0;
+    uint64_t upstream_allocs = 0;
+  };
+  ArenaDelta arena_;
+
+  bool collected_ = false;
+  ExperimentResult result_;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_EXPERIMENTS_HOST_CELL_H_

@@ -1,0 +1,50 @@
+#include "src/experiments/multi_cell.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "src/experiments/host_cell.h"
+#include "src/experiments/result_json.h"
+
+namespace fastiov {
+
+MultiCellResult RunMultiCellExperiment(const StackConfig& config,
+                                       const ExperimentOptions& base,
+                                       const MultiCellOptions& mc) {
+  if (mc.cells <= 0) {
+    throw std::invalid_argument("RunMultiCellExperiment: cells must be positive");
+  }
+  std::vector<std::unique_ptr<HostCell>> cells;
+  cells.reserve(static_cast<size_t>(mc.cells));
+  std::vector<SimCell*> ptrs;
+  ptrs.reserve(static_cast<size_t>(mc.cells));
+  for (int i = 0; i < mc.cells; ++i) {
+    ExperimentOptions options = base;
+    options.seed = base.seed + static_cast<uint64_t>(i);
+    cells.push_back(std::make_unique<HostCell>(config, options));
+    ptrs.push_back(cells.back().get());
+  }
+
+  ParallelExecOptions po;
+  po.threads = mc.cell_threads;
+  po.lookahead = mc.lookahead;
+
+  MultiCellResult result;
+  result.exec = RunCells(ptrs, po);
+  result.cells.reserve(cells.size());
+  for (auto& cell : cells) {
+    result.cells.push_back(cell->TakeResult());
+  }
+  return result;
+}
+
+std::string MultiCellDigest(const MultiCellResult& result) {
+  std::string digest;
+  for (const ExperimentResult& cell : result.cells) {
+    digest += ExperimentResultJson(cell);
+    digest += '\n';
+  }
+  return digest;
+}
+
+}  // namespace fastiov

@@ -1,0 +1,43 @@
+// Multi-cell experiments: N independent hosts simulated in one process,
+// executed by the conservative parallel driver on up to `cell_threads`
+// worker threads. Cell i runs the base options with seed base.seed + i, so a
+// multi-cell run is exactly N standalone runs — byte-for-byte, at any thread
+// count (multi_cell_test and sched_equiv_test pin this).
+#ifndef SRC_EXPERIMENTS_MULTI_CELL_H_
+#define SRC_EXPERIMENTS_MULTI_CELL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/experiments/startup_experiment.h"
+#include "src/simcore/parallel_exec.h"
+
+namespace fastiov {
+
+struct MultiCellOptions {
+  int cells = 2;
+  // Worker threads for the parallel driver; <= 0 means hardware concurrency.
+  // Always clamped to `cells`.
+  int cell_threads = 1;
+  // Conservative lookahead. The default (Max) means the cells are uncoupled
+  // and each runs to completion in one window — today's FastIOV regime. A
+  // finite value exercises the windowed protocol (the cluster layer's mode).
+  SimTime lookahead = SimTime::Max();
+};
+
+struct MultiCellResult {
+  std::vector<ExperimentResult> cells;  // in cell-index order
+  ParallelExecStats exec;
+};
+
+MultiCellResult RunMultiCellExperiment(const StackConfig& config,
+                                       const ExperimentOptions& base,
+                                       const MultiCellOptions& mc);
+
+// Digest for identity checks: the concatenated per-cell result JSON. Two
+// runs are equivalent iff their digests are byte-identical.
+std::string MultiCellDigest(const MultiCellResult& result);
+
+}  // namespace fastiov
+
+#endif  // SRC_EXPERIMENTS_MULTI_CELL_H_

@@ -1,44 +1,8 @@
 #include "src/experiments/startup_experiment.h"
 
-#include <vector>
-
-#include "src/container/host.h"
-#include "src/container/runtime.h"
-#include "src/simcore/arena.h"
-#include "src/simcore/simulation.h"
+#include "src/experiments/host_cell.h"
 
 namespace fastiov {
-namespace {
-
-// Root orchestration: mirrors `crictl` concurrently invoking N containers
-// (§3.1), with the small dispatch stagger a real client exhibits.
-Task Orchestrate(Simulation& sim, Host& host, ContainerRuntime& runtime,
-                 const ExperimentOptions& options) {
-  co_await host.PrepareSharedImage();
-  if (host.config().cni == CniKind::kVanillaFixed || host.config().cni == CniKind::kFastIov) {
-    host.PreBindVfsToVfio();
-  }
-  if (host.config().decoupled_zeroing) {
-    host.fastiovd().StartBackgroundZeroer();
-  }
-  const ServerlessApp* app = options.app.has_value() ? &*options.app : nullptr;
-  const ArrivalSchedule schedule =
-      ArrivalSchedule::Generate(options.arrival, options.concurrency,
-                                options.arrival_rate_per_s, host.cost().crictl_dispatch_gap,
-                                sim.rng());
-  std::vector<Process> containers;
-  containers.reserve(options.concurrency);
-  for (int i = 0; i < options.concurrency; ++i) {
-    if (schedule.times[i] > sim.Now()) {
-      co_await sim.Delay(schedule.times[i] - sim.Now());
-    }
-    containers.push_back(sim.Spawn(runtime.StartContainer(app), "container"));
-  }
-  co_await WaitAll(std::move(containers));
-  host.fastiovd().StopBackgroundZeroer();
-}
-
-}  // namespace
 
 SimTime VfRelatedTime(const ContainerTimeline& lane) {
   return lane.StepTime(kStepDmaRam) + lane.StepTime(kStepDmaImage) +
@@ -47,109 +11,12 @@ SimTime VfRelatedTime(const ContainerTimeline& lane) {
 
 ExperimentResult RunStartupExperiment(const StackConfig& config,
                                       const ExperimentOptions& options) {
-  // Per-run arena numbers are deltas over the thread-cumulative counters.
-  const FramePool::Stats arena_before = FramePool::ThreadStats();
-  Simulation sim(options.seed, options.scheduler);
-  // Each container keeps a handful of events outstanding (its own step plus
-  // zeroer/timer wakeups); 16 per container absorbs the burst peak without
-  // the queue ever growing mid-run.
-  sim.ReserveEvents(static_cast<size_t>(options.concurrency) * 16);
-  std::optional<FaultInjector> injector;
-  if (options.fault_plan.has_value()) {
-    injector.emplace(*options.fault_plan);
-    sim.set_fault_injector(&*injector);
-  }
-  Host host(sim, options.host, options.cost, config);
-  if (options.collect_metrics) {
-    // Before any container starts, so every lock acquisition is observed.
-    host.EnableObservability();
-  }
-  ContainerRuntime runtime(host);
-
-  Process root = sim.Spawn(Orchestrate(sim, host, runtime, options), "orchestrator");
-  sim.Run();
-  (void)root;
-
-  ExperimentResult result;
-  result.config = config;
-  result.options = options;
-  result.timeline = host.timeline();
-  result.startup = host.timeline().StartupSummary();
-  result.task_completion = host.timeline().TaskCompletionSummary();
-  for (const auto& lane : host.timeline().containers()) {
-    result.vf_related.AddTime(VfRelatedTime(lane));
-  }
-  result.residue_reads = runtime.TotalResidueReads();
-  result.corruptions = runtime.TotalCorruptions();
-  result.devset_lock_contention = host.devset().lock_policy().contention_count();
-  result.pages_zeroed = host.pmem().total_pages_zeroed();
-  result.fault_zeroed_pages = host.fastiovd().fault_zeroed_pages();
-  result.background_zeroed_pages = host.fastiovd().background_zeroed_pages();
-  result.local_allocations = host.pmem().local_allocations();
-  result.remote_allocations = host.pmem().remote_allocations();
-  result.events_processed = sim.num_events_processed();
-  if (injector.has_value()) {
-    for (const auto& inst : runtime.instances()) {
-      if (inst->aborted) {
-        ++result.aborted_containers;
-      }
-    }
-    result.fault_stats = FaultStatsReport::FromInjector(*injector);
-    result.fault_events = injector->trace_events();
-  }
-  if (ObservabilityHub* obs = host.observability()) {
-    result.blocked_time = BuildBlockedTimeReport(obs->blocked, host.timeline());
-    // Fold the run's headline counters and distributions into the registry
-    // so one export surface carries them all.
-    MetricsRegistry& m = obs->metrics;
-    m.SetCounter("runtime.residue_reads", result.residue_reads);
-    m.SetCounter("runtime.corruptions", result.corruptions);
-    m.SetCounter("runtime.aborted_containers", result.aborted_containers);
-    m.SetCounter("vfio.devset.lock_contention", result.devset_lock_contention);
-    m.SetCounter("vfio.devset.opens", host.devset().opens_performed());
-    m.SetCounter("mem.pages_zeroed", result.pages_zeroed);
-    m.SetCounter("mem.local_allocations", result.local_allocations);
-    m.SetCounter("mem.remote_allocations", result.remote_allocations);
-    m.SetCounter("fastiovd.fault_zeroed_pages", result.fault_zeroed_pages);
-    m.SetCounter("fastiovd.background_zeroed_pages", result.background_zeroed_pages);
-    m.SetGauge("mem.free_pages", static_cast<double>(host.pmem().free_pages()));
-    m.SetGauge("iommu.mapped_pages", static_cast<double>(host.iommu().total_mapped_pages()));
-    m.SetGauge("nic.vfs_in_use", static_cast<double>(host.nic().vfs_in_use()));
-    m.MergeSummary("startup.seconds", result.startup);
-    m.MergeSummary("startup.vf_related_seconds", result.vf_related);
-    if (!result.task_completion.Empty()) {
-      m.MergeSummary("task.completion_seconds", result.task_completion);
-    }
-    for (size_t i = 0; i < obs->lock_stats.size(); ++i) {
-      const LockStats& lock = obs->lock_stats.at(i);
-      m.SetCounter("lock." + lock.name() + ".acquisitions", lock.acquisitions());
-      m.SetCounter("lock." + lock.name() + ".contended", lock.contended());
-      m.MergeSummary("lock." + lock.name() + ".wait_seconds", lock.wait_seconds());
-    }
-    // Engine self-observability: event throughput, arena pool traffic, and
-    // (under the calendar policy) queue-tier occupancy. Only run-deterministic
-    // counters go into the registry — warm-pool state (pool hits, slab
-    // carves) varies with what previously ran on this thread, and registry
-    // contents must be repeatable byte-for-byte (MetricsRunIsRepeatable).
-    // Benchmarks read the full warm/cold picture from FramePool::ThreadStats.
-    m.SetCounter("sim.events_processed", result.events_processed);
-    const FramePool::Stats arena = FramePool::ThreadStats();
-    m.SetCounter("sim.arena.allocs", arena.allocs - arena_before.allocs);
-    m.SetCounter("sim.arena.frees", arena.frees - arena_before.frees);
-    m.SetCounter("sim.arena.upstream_allocs",
-                 arena.upstream_allocs - arena_before.upstream_allocs);
-    if (const CalendarQueueStats* cal = sim.calendar_stats()) {
-      m.SetCounter("sim.calendar.immediate_pushes", cal->immediate_pushes);
-      m.SetCounter("sim.calendar.due_pushes", cal->due_pushes);
-      m.SetCounter("sim.calendar.ring_pushes", cal->ring_pushes);
-      m.SetCounter("sim.calendar.overflow_pushes", cal->overflow_pushes);
-      m.SetCounter("sim.calendar.windows_advanced", cal->windows_advanced);
-      m.SetCounter("sim.calendar.rebuilds", cal->rebuilds);
-      m.SetGauge("sim.calendar.bucket_ns", static_cast<double>(cal->bucket_ns));
-    }
-    result.observability = host.observability_ptr();
-  }
-  return result;
+  // One cell, driven inline: the same Begin/run/End sequence the parallel
+  // driver executes, which is what keeps standalone and multi-cell runs
+  // byte-identical (multi_cell_test pins this).
+  HostCell cell(config, options);
+  cell.RunStandalone();
+  return cell.TakeResult();
 }
 
 }  // namespace fastiov

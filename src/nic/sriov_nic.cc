@@ -6,17 +6,18 @@
 
 namespace fastiov {
 
-VirtualFunction::VirtualFunction(PciAddress addr, int vf_index)
-    : PciDevice(addr, kIntelVendorId, kE810VfDeviceId, ResetScope::kBus,
+VirtualFunction::VirtualFunction(PciIdAllocator& ids, PciAddress addr, int vf_index)
+    : PciDevice(ids, addr, kIntelVendorId, kE810VfDeviceId, ResetScope::kBus,
                 "e810-vf" + std::to_string(vf_index)),
       vf_index_(vf_index) {}
 
 SriovNic::SriovNic(Simulation& sim, CpuPool& cpu, const CostModel& cost, const HostSpec& host,
-                   PciBus& bus)
+                   PciBus& bus, PciIdAllocator& pci_ids)
     : sim_(&sim),
       cpu_(&cpu),
       cost_(cost),
       bus_(&bus),
+      pci_ids_(&pci_ids),
       pf_lock_(sim),
       mailbox_lock_(sim),
       data_plane_(sim, host.nic_bandwidth_bps, "nic.data-plane") {}
@@ -26,7 +27,7 @@ void SriovNic::CreateVfs(int count) {
     // VFs appear as functions behind the PF's bus: device = 2 + i/8,
     // function = i%8, like real SR-IOV VF BDF assignment.
     PciAddress addr{0, 0x3b, static_cast<uint8_t>(2 + i / 8), static_cast<uint8_t>(i % 8)};
-    auto vf = std::make_unique<VirtualFunction>(addr, i);
+    auto vf = std::make_unique<VirtualFunction>(*pci_ids_, addr, i);
     bus_->AddDevice(vf.get());
     vfs_.push_back(std::move(vf));
   }

@@ -25,7 +25,7 @@ namespace fastiov {
 
 class VirtualFunction : public PciDevice {
  public:
-  VirtualFunction(PciAddress addr, int vf_index);
+  VirtualFunction(PciIdAllocator& ids, PciAddress addr, int vf_index);
 
   int vf_index() const { return vf_index_; }
 
@@ -53,7 +53,7 @@ class VirtualFunction : public PciDevice {
 class SriovNic {
  public:
   SriovNic(Simulation& sim, CpuPool& cpu, const CostModel& cost, const HostSpec& host,
-           PciBus& bus);
+           PciBus& bus, PciIdAllocator& pci_ids);
 
   // PF driver: one-time VF pre-creation at host boot (hardware
   // configuration; deliberately uncharged, see §2.3).
@@ -103,6 +103,7 @@ class SriovNic {
   CpuPool* cpu_;
   const CostModel cost_;
   PciBus* bus_;
+  PciIdAllocator* pci_ids_;
   SimMutex pf_lock_;
   SimMutex mailbox_lock_;
   BandwidthResource data_plane_;

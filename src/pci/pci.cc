@@ -7,17 +7,15 @@
 
 namespace fastiov {
 
-std::atomic<int> PciDevice::next_id_{0};
-
 std::string PciAddress::ToString() const {
   char buf[16];
   std::snprintf(buf, sizeof(buf), "%04x:%02x:%02x.%x", domain, bus, device, function);
   return buf;
 }
 
-PciDevice::PciDevice(PciAddress addr, uint16_t vendor_id, uint16_t device_id,
-                     ResetScope reset_scope, std::string name)
-    : id_(next_id_++), addr_(addr), name_(std::move(name)), reset_scope_(reset_scope) {
+PciDevice::PciDevice(PciIdAllocator& ids, PciAddress addr, uint16_t vendor_id,
+                     uint16_t device_id, ResetScope reset_scope, std::string name)
+    : id_(ids.Next()), addr_(addr), name_(std::move(name)), reset_scope_(reset_scope) {
   ConfigWrite16(kPciVendorId, vendor_id);
   ConfigWrite16(kPciDeviceId, device_id);
 }

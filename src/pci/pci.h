@@ -8,7 +8,6 @@
 #define SRC_PCI_PCI_H_
 
 #include <array>
-#include <atomic>
 #include <compare>
 #include <cstdint>
 #include <string>
@@ -48,10 +47,25 @@ enum class ResetScope {
 
 enum class BoundDriver { kNone, kHostNetdev, kVfio };
 
+// Per-cell PCI device id allocator. A device id is an identity key within
+// one simulated host (IOMMU attach bookkeeping, VFIO group membership) and
+// never feeds any reported number. Each host/cell owns its own allocator, so
+// two cells constructed in one process assign identical id sequences and
+// share no state — the property the parallel driver's isolation tests pin
+// down (there used to be a process-wide atomic counter here; it was the last
+// hidden global reachable from Host).
+class PciIdAllocator {
+ public:
+  int Next() { return next_id_++; }
+
+ private:
+  int next_id_ = 0;
+};
+
 class PciDevice {
  public:
-  PciDevice(PciAddress addr, uint16_t vendor_id, uint16_t device_id, ResetScope reset_scope,
-            std::string name);
+  PciDevice(PciIdAllocator& ids, PciAddress addr, uint16_t vendor_id, uint16_t device_id,
+            ResetScope reset_scope, std::string name);
   virtual ~PciDevice() = default;
 
   int id() const { return id_; }
@@ -74,11 +88,6 @@ class PciDevice {
   }
 
  private:
-  // Process-wide id allocator. Atomic because concurrent sweep runs create
-  // devices from multiple threads; the id is only an identity key within a
-  // run (never part of any reported number), so allocation order across
-  // runs does not affect determinism of results.
-  static std::atomic<int> next_id_;
   int id_;
   PciAddress addr_;
   std::string name_;

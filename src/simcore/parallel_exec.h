@@ -1,0 +1,155 @@
+// Conservative parallel execution of simulation cells.
+//
+// A SimCell is a self-contained simulation — its own Simulation (clock, event
+// queue, RNG stream), its own model state, no globals shared with any other
+// cell. RunCells() drives N cells on up to T worker threads using classic
+// conservative (Chandy–Misra style) synchronization:
+//
+//   * Time is partitioned into global windows [start, start + lookahead).
+//     Every cell executes its own events inside the current window on its
+//     worker thread, in exactly the order its sequential scheduler would.
+//   * Cross-cell interaction goes through CellPort::Send, which requires a
+//     latency >= lookahead. A message sent at time t inside a window is
+//     therefore delivered at t + latency >= window_end — never inside the
+//     window that produced it — so cells never need to see each other's
+//     state mid-window and no rollback is ever required.
+//   * At each window boundary all workers meet at a barrier. The barrier's
+//     completion step routes every outbox into the target inboxes in cell
+//     index order, then plans the next window from the global minimum of
+//     pending event times and pending deliveries.
+//
+// Determinism: delivery into a cell sorts its inbox by (deliver_at,
+// from_cell, per-sender seq) — a total order independent of which worker ran
+// which cell when — and intra-cell execution is the sequential scheduler
+// verbatim. Result bytes are identical at any thread count, including T=1
+// (T=1 runs the same windowed protocol, just inline).
+//
+// Cells that never exchange messages (lookahead == SimTime::Max(), the
+// default) degenerate to a single window: each cell runs to completion on
+// its worker with exactly one barrier at the end. That is today's FastIOV
+// regime — hosts in a fleet don't interact until the cluster layer lands —
+// and it keeps the parallel path free of synchronization overhead.
+//
+// Thread-affinity contract: the driver calls CellBegin, ExecuteWindow,
+// OnCellMessage, and CellEnd/CellAbandon for a given cell all on one worker
+// thread (round-robin by cell index: worker w owns cells w, w+T, ...). Any
+// state that allocates from the thread-local FramePool (coroutine frames,
+// ProcessStates) must be created in CellBegin and destroyed in
+// CellEnd/CellAbandon so allocation and deallocation meet on that worker;
+// anything left for the cell's destructor is freed on whichever thread
+// destroys the cell object.
+#ifndef SRC_SIMCORE_PARALLEL_EXEC_H_
+#define SRC_SIMCORE_PARALLEL_EXEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/simcore/simulation.h"
+#include "src/simcore/time.h"
+
+namespace fastiov {
+
+// A cross-cell message. `kind` and `payload` are opaque to the driver.
+struct CellMessage {
+  uint32_t from_cell = 0;
+  uint32_t to_cell = 0;
+  SimTime sent_at = SimTime::Zero();
+  SimTime deliver_at = SimTime::Zero();
+  uint64_t seq = 0;  // per-sender send sequence; tie-breaks delivery order
+  uint64_t kind = 0;
+  uint64_t payload = 0;
+};
+
+class ParallelRunner;
+
+// A cell's handle for sending cross-cell messages. Owned by the driver; valid
+// from CellBegin until the run ends.
+class CellPort {
+ public:
+  // Queues a message for `to_cell`, delivered at Now() + latency. Throws
+  // std::logic_error if latency < lookahead (a conservative-synchronization
+  // violation: the message could land inside the current window) and
+  // std::out_of_range for an unknown cell.
+  void Send(uint32_t to_cell, SimTime latency, uint64_t kind = 0, uint64_t payload = 0);
+
+  uint32_t cell_index() const { return from_; }
+  SimTime lookahead() const { return lookahead_; }
+
+ private:
+  friend class ParallelRunner;
+
+  Simulation* sim_ = nullptr;
+  uint32_t from_ = 0;
+  uint32_t num_cells_ = 0;
+  SimTime lookahead_ = SimTime::Max();
+  uint64_t next_seq_ = 0;
+  std::vector<CellMessage> outbox_;
+};
+
+// Interface a cell implements to run under RunCells. Lifecycle on the owning
+// worker thread: CellBegin -> {OnCellMessage*, ExecuteWindow}* -> CellEnd
+// (or CellAbandon if this cell — or setup/teardown — threw).
+class SimCell {
+ public:
+  virtual ~SimCell() = default;
+
+  // The cell's simulation. Only called between CellBegin and CellEnd.
+  virtual Simulation& cell_sim() = 0;
+
+  // First call, before any window. Construct sim-side state and spawn root
+  // processes here (not in the constructor — see the thread-affinity
+  // contract above). `port` stays valid for the whole run.
+  virtual void CellBegin(CellPort* port) = 0;
+
+  // A cross-cell message scheduled at its deliver_at timestamp; runs as an
+  // event inside the receiving cell's window, so cell_sim().Now() ==
+  // msg.deliver_at.
+  virtual void OnCellMessage(const CellMessage& msg) { (void)msg; }
+
+  // Runs the cell's events strictly before `horizon`. Override to wrap the
+  // default with per-window accounting.
+  virtual void ExecuteWindow(SimTime horizon) { cell_sim().RunWindow(horizon); }
+
+  // Last call after the cell's queue (and inbox) drained. Collect results
+  // and tear down sim-side state here.
+  virtual void CellEnd() {}
+
+  // Called instead of CellEnd when the cell is being discarded after an
+  // exception (its own or a sibling failure does NOT trigger this — only
+  // this cell's). Must not throw.
+  virtual void CellAbandon() noexcept {}
+};
+
+struct ParallelExecOptions {
+  // Worker threads. <= 0 means std::thread::hardware_concurrency(); always
+  // clamped to the number of cells.
+  int threads = 1;
+  // The conservative lookahead: minimum cross-cell latency CellPort::Send
+  // accepts, and the width of every execution window. SimTime::Max() (the
+  // default) means the cells are uncoupled and each runs to completion in a
+  // single window.
+  SimTime lookahead = SimTime::Max();
+};
+
+struct ParallelExecStats {
+  int threads_used = 0;
+  uint64_t windows = 0;
+  uint64_t messages_delivered = 0;
+  double wall_seconds = 0.0;
+  // Per-worker time spent executing cells (vs waiting at barriers).
+  std::vector<double> worker_busy_seconds;
+
+  // Mean fraction of wall time the workers spent executing.
+  double Utilization() const;
+};
+
+// Runs the cells to completion. Blocks until every cell has finished (or
+// failed); rethrows the exception of the lowest-index failed cell, after all
+// surviving cells have completed normally (same policy as sweep's
+// ParallelFor).
+ParallelExecStats RunCells(const std::vector<SimCell*>& cells,
+                           const ParallelExecOptions& options);
+
+}  // namespace fastiov
+
+#endif  // SRC_SIMCORE_PARALLEL_EXEC_H_

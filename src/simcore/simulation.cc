@@ -93,6 +93,29 @@ void Simulation::Run() {
   MaybeRethrowUnjoined();
 }
 
+void Simulation::RunWindow(SimTime horizon) {
+  if (horizon == SimTime::Max()) {
+    Run();
+    return;
+  }
+  while (!queue_.Empty() && queue_.NextTime() < horizon) {
+    QueuedEvent ev = queue_.PopTop();
+    now_ = ev.when;
+    ++num_events_processed_;
+    ev.action();
+  }
+  if (queue_.Empty()) {
+    MaybeRethrowUnjoined();
+  }
+}
+
+std::optional<SimTime> Simulation::NextEventTime() {
+  if (queue_.Empty()) {
+    return std::nullopt;
+  }
+  return queue_.NextTime();
+}
+
 void Simulation::RunUntil(SimTime t) {
   while (!queue_.Empty() && queue_.NextTime() <= t) {
     QueuedEvent ev = queue_.PopTop();

@@ -129,6 +129,19 @@ class Simulation {
   // Runs while events exist at times <= t, then sets the clock to t.
   void RunUntil(SimTime t);
 
+  // Conservative-window execution for the parallel driver (parallel_exec.h):
+  // processes every event strictly before `horizon` and stops, leaving the
+  // clock at the last dispatched event (the next window resumes exactly
+  // where this one stopped — no clock jump, so the pop sequence is the same
+  // one Run() would produce). horizon == SimTime::Max() delegates to Run(),
+  // keeping the standalone hot loop untouched. Unjoined-process exceptions
+  // are only rethrown once the queue is empty, as in Run().
+  void RunWindow(SimTime horizon);
+
+  // Timestamp of the earliest pending event, or nullopt when the queue is
+  // empty. Non-const: the calendar queue settles cursors to answer.
+  std::optional<SimTime> NextEventTime();
+
   uint64_t num_events_processed() const { return num_events_processed_; }
 
  private:

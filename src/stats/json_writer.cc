@@ -93,6 +93,12 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::RawValue(std::string_view json) {
+  MaybeComma();
+  *os_ << json;
+  return *this;
+}
+
 std::string JsonWriter::Escape(std::string_view raw) {
   std::string out;
   out.reserve(raw.size());

@@ -32,6 +32,11 @@ class JsonWriter {
   JsonWriter& Value(bool v);
   JsonWriter& Null();
 
+  // Emits pre-serialized JSON verbatim as the next value (e.g. a document
+  // from result_json embedded in a larger report). The caller guarantees
+  // well-formedness.
+  JsonWriter& RawValue(std::string_view json);
+
   // Convenience: Key + Value.
   template <typename T>
   JsonWriter& KV(std::string_view key, T&& value) {

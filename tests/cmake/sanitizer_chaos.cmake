@@ -1,13 +1,21 @@
-# Configures, builds, and runs the chaos test suite under a sanitizer in a
-# nested build tree. Invoked by ctest (see tests/CMakeLists.txt):
+# Configures, builds, and runs test binaries under a sanitizer in a nested
+# build tree. Invoked by ctest (see tests/CMakeLists.txt):
 #
-#   cmake -DSAN=ASAN|TSAN -DSRC_DIR=<repo> -DBIN_DIR=<build> -P sanitizer_chaos.cmake
+#   cmake -DSAN=ASAN|TSAN -DSRC_DIR=<repo> -DBIN_DIR=<build>
+#         [-DTARGETS=<name>[,<name>...]] -P sanitizer_chaos.cmake
 #
-# The nested tree lives inside the main build directory, so reruns only pay
-# for an incremental rebuild.
+# TARGETS is a comma-separated list of gtest binaries to build and run
+# (commas because ctest would split a semicolon list into separate
+# arguments); it defaults to the chaos suite. The nested tree lives inside
+# the main build directory and is shared by every invocation with the same
+# SAN, so reruns only pay for an incremental rebuild.
 if(NOT SAN OR NOT SRC_DIR OR NOT BIN_DIR)
   message(FATAL_ERROR "SAN, SRC_DIR and BIN_DIR must all be set")
 endif()
+if(NOT TARGETS)
+  set(TARGETS "fault_chaos_test")
+endif()
+string(REPLACE "," ";" target_list "${TARGETS}")
 
 string(TOLOWER "${SAN}" san_lower)
 set(build_dir "${BIN_DIR}/sanitize-${san_lower}")
@@ -20,16 +28,18 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "configure of ${SAN} build failed")
 endif()
 
-execute_process(
-  COMMAND "${CMAKE_COMMAND}" --build "${build_dir}" --target fault_chaos_test
-  RESULT_VARIABLE rc)
-if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "build of fault_chaos_test under ${SAN} failed")
-endif()
+foreach(target IN LISTS target_list)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" --build "${build_dir}" --target ${target}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "build of ${target} under ${SAN} failed")
+  endif()
 
-execute_process(
-  COMMAND "${build_dir}/tests/fault_chaos_test"
-  RESULT_VARIABLE rc)
-if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "fault_chaos_test failed under ${SAN}")
-endif()
+  execute_process(
+    COMMAND "${build_dir}/tests/${target}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${target} failed under ${SAN}")
+  endif()
+endforeach()

@@ -168,6 +168,79 @@ TEST(CalendarQueueTest, DenseInWindowTrafficTriggersRebuild) {
   EXPECT_EQ(Drain(q), want);
 }
 
+// Adversarial pattern: the entire workload lands on one far-future
+// timestamp, far beyond the initial window. Every push takes the overflow
+// rung, and when the window finally jumps there the rung must hand the
+// pileup back in FIFO order — cross-checked against the heap reference.
+TEST(CalendarQueueTest, AllFarFutureSingleTimestampDrainsThroughOverflowRung) {
+  CalendarQueue cal;
+  EventHeap heap;
+  const int64_t far = int64_t{5} * 1'000'000'000;
+  for (uint64_t seq = 0; seq < 5000; ++seq) {
+    cal.Push(Ev(far, seq));
+    heap.Push(Ev(far, seq));
+  }
+  EXPECT_EQ(cal.stats().overflow_pushes, 5000u);
+  EXPECT_EQ(Drain(cal), Drain(heap));
+  EXPECT_GT(cal.stats().windows_advanced, 0u);
+}
+
+// Adversarial pattern: everything piles into a handful of nanoseconds — a
+// single bucket at the initial width — while pops interleave with pushes, so
+// the due-occupancy rebuild fires mid-window with live events in flight. The
+// rebuild must not reorder, duplicate, or drop anything relative to the heap.
+TEST(CalendarQueueTest, SingleBucketPileupWithInterleavedPopsMatchesHeap) {
+  CalendarQueue cal;
+  EventHeap heap;
+  std::mt19937_64 rng(0x9111e09);
+  uint64_t seq = 0;
+  int64_t now_ns = 0;
+  size_t pending = 0;
+  for (int op = 0; op < 30'000; ++op) {
+    if (pending == 0 || (rng() % 100) < 60) {
+      const int64_t when = now_ns + static_cast<int64_t>(rng() % 64);
+      cal.Push(Ev(when, seq));
+      heap.Push(Ev(when, seq));
+      ++seq;
+      ++pending;
+    } else {
+      const QueuedEvent a = cal.PopTop();
+      const QueuedEvent b = heap.PopTop();
+      ASSERT_EQ(a.when.ns(), b.when.ns()) << "op " << op;
+      ASSERT_EQ(a.seq, b.seq) << "op " << op;
+      now_ns = b.when.ns();
+      --pending;
+    }
+  }
+  EXPECT_EQ(Drain(cal), Drain(heap));
+  EXPECT_GT(cal.stats().rebuilds, 0u);
+}
+
+// Adversarial pattern: timestamps pinned to exact multiples of the bucket
+// width — the classic off-by-one hazard when the window advances or the
+// width is rebuilt mid-drain. An event exactly at window_end must never be
+// dispatched a window early nor lost by the advance; pushed in descending
+// order to stress routing into past-relative positions of the ring.
+TEST(CalendarQueueTest, WindowBoundaryTimestampsSurviveAdvancesAndRebuilds) {
+  CalendarQueue cal;
+  EventHeap heap;
+  const int64_t width = cal.stats().bucket_ns;
+  ASSERT_GT(width, 0);
+  uint64_t seq = 0;
+  for (int64_t k = 256; k >= 0; --k) {
+    for (int rep = 0; rep < 4; ++rep) {
+      cal.Push(Ev(k * width, seq));
+      heap.Push(Ev(k * width, seq));
+      ++seq;
+    }
+  }
+  // One far-future timer drags the drain across many window advances.
+  cal.Push(Ev(width * 100'000, seq));
+  heap.Push(Ev(width * 100'000, seq));
+  EXPECT_EQ(Drain(cal), Drain(heap));
+  EXPECT_GT(cal.stats().windows_advanced, 0u);
+}
+
 TEST(CalendarQueueTest, ReserveKeepsLiveImmediateEntries) {
   CalendarQueue q;
   q.Push(Ev(5, 0));

@@ -1,0 +1,115 @@
+// Tests for multi-cell experiments (src/experiments/multi_cell): a fleet of
+// HostCells in one process must be exactly N standalone runs — byte-for-byte
+// in the serialized result JSON — at any thread count and lookahead, with
+// nothing leaking between cells (the point of removing the last process-wide
+// state reachable from Host).
+#include "src/experiments/multi_cell.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "src/experiments/result_json.h"
+#include "src/experiments/startup_experiment.h"
+
+namespace fastiov {
+namespace {
+
+ExperimentOptions SmallOptions(int concurrency) {
+  ExperimentOptions options;
+  options.concurrency = concurrency;
+  return options;
+}
+
+// Satellite: two cells in one process, each identical to the standalone run
+// with the same seed. This is the isolation test — before PciDevice's
+// process-global id counter was removed, the second Host in a process saw
+// different device ids than the first.
+TEST(MultiCellTest, CellsMatchStandaloneRuns) {
+  const ExperimentOptions base = SmallOptions(8);
+  MultiCellOptions mc;
+  mc.cells = 2;
+  mc.cell_threads = 1;
+  const MultiCellResult multi = RunMultiCellExperiment(StackConfig::FastIov(), base, mc);
+  ASSERT_EQ(multi.cells.size(), 2u);
+  for (int i = 0; i < 2; ++i) {
+    ExperimentOptions solo = base;
+    solo.seed = base.seed + static_cast<uint64_t>(i);
+    const ExperimentResult standalone = RunStartupExperiment(StackConfig::FastIov(), solo);
+    EXPECT_EQ(ExperimentResultJson(multi.cells[static_cast<size_t>(i)]),
+              ExperimentResultJson(standalone))
+        << "cell " << i;
+  }
+}
+
+// Same-seed runs executed back to back in one process must serialize
+// identically — a regression guard against any hidden process-global state
+// reachable from Host (id counters, caches, statics).
+TEST(MultiCellTest, RepeatedRunsInOneProcessAreIdentical) {
+  const ExperimentOptions options = SmallOptions(6);
+  const std::string first =
+      ExperimentResultJson(RunStartupExperiment(StackConfig::FastIov(), options));
+  const std::string second =
+      ExperimentResultJson(RunStartupExperiment(StackConfig::FastIov(), options));
+  EXPECT_EQ(first, second);
+}
+
+TEST(MultiCellTest, DigestInvariantAcrossThreadCounts) {
+  const ExperimentOptions base = SmallOptions(6);
+  MultiCellOptions mc;
+  mc.cells = 4;
+  mc.cell_threads = 1;
+  const std::string d1 =
+      MultiCellDigest(RunMultiCellExperiment(StackConfig::FastIov(), base, mc));
+  mc.cell_threads = 2;
+  const std::string d2 =
+      MultiCellDigest(RunMultiCellExperiment(StackConfig::FastIov(), base, mc));
+  mc.cell_threads = 4;
+  const std::string d4 =
+      MultiCellDigest(RunMultiCellExperiment(StackConfig::FastIov(), base, mc));
+  ASSERT_FALSE(d1.empty());
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(d1, d4);
+}
+
+// HostCells never talk to each other, so a finite lookahead only chops the
+// run into many windows — it must not move a byte relative to the uncoupled
+// single-window execution.
+TEST(MultiCellTest, WindowedLookaheadMatchesUncoupled) {
+  const ExperimentOptions base = SmallOptions(5);
+  MultiCellOptions mc;
+  mc.cells = 2;
+  mc.cell_threads = 2;
+  const MultiCellResult uncoupled =
+      RunMultiCellExperiment(StackConfig::FastIov(), base, mc);
+  EXPECT_EQ(uncoupled.exec.windows, 1u);
+
+  mc.lookahead = Microseconds(100);
+  const MultiCellResult windowed =
+      RunMultiCellExperiment(StackConfig::FastIov(), base, mc);
+  EXPECT_GT(windowed.exec.windows, 1u);
+  EXPECT_EQ(MultiCellDigest(uncoupled), MultiCellDigest(windowed));
+}
+
+TEST(MultiCellTest, ExecStatsReflectTheFleet) {
+  const ExperimentOptions base = SmallOptions(4);
+  MultiCellOptions mc;
+  mc.cells = 3;
+  mc.cell_threads = 8;  // clamped to the 3 cells
+  const MultiCellResult result = RunMultiCellExperiment(StackConfig::FastIov(), base, mc);
+  EXPECT_EQ(result.exec.threads_used, 3);
+  EXPECT_EQ(result.exec.worker_busy_seconds.size(), 3u);
+  EXPECT_EQ(result.exec.messages_delivered, 0u);
+  EXPECT_GT(result.exec.wall_seconds, 0.0);
+}
+
+TEST(MultiCellTest, RejectsNonPositiveCellCount) {
+  MultiCellOptions mc;
+  mc.cells = 0;
+  EXPECT_THROW(RunMultiCellExperiment(StackConfig::FastIov(), SmallOptions(2), mc),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -18,6 +18,7 @@ struct NicEnv {
   PhysicalMemory pmem;
   Iommu iommu;
   PciBus bus{0x3b};
+  PciIdAllocator pci_ids;
   SriovNic nic;
   MicroVm vm;
   Fastiovd fastiovd;
@@ -31,7 +32,7 @@ struct NicEnv {
           spec.memory_bytes = 2 * kGiB;
           return spec;
         }(), cost, kHugePageSize),
-        nic(sim, cpu, cost, spec, bus),
+        nic(sim, cpu, cost, spec, bus, pci_ids),
         vm(sim, cpu, pmem, cost, 1000),
         fastiovd(sim, cpu, pmem, cost) {
     pmem.set_cpu(&cpu);

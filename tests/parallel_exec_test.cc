@@ -1,0 +1,283 @@
+// Tests for the conservative parallel cell driver (src/simcore/parallel_exec):
+// determinism across thread counts, cross-cell message timing, enforcement of
+// the conservative-synchronization contract, the exception policy, and the
+// uncoupled single-window degenerate case. The cells here are toys — plain
+// callbacks, no coroutines — but they follow the real lifecycle contract: all
+// sim-side state is created in CellBegin and destroyed in CellEnd/CellAbandon
+// on the owning worker thread. Assertions on worker-thread state are recorded
+// as flags and checked on the main thread after RunCells returns.
+#include "src/simcore/parallel_exec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/simcore/simulation.h"
+#include "src/simcore/time.h"
+
+namespace fastiov {
+namespace {
+
+// A ring cell: receives a token, records the delivery, and forwards it to the
+// next cell until the token has made `max_hops` hops. Cells flagged `starts`
+// inject a token at t=0 (from a scheduled event, not from CellBegin — the
+// port cannot send before the first window).
+class RingCell : public SimCell {
+ public:
+  RingCell(uint32_t index, uint32_t num_cells, uint64_t max_hops, SimTime latency,
+           bool starts)
+      : index_(index),
+        num_cells_(num_cells),
+        max_hops_(max_hops),
+        latency_(latency),
+        starts_(starts) {}
+
+  Simulation& cell_sim() override { return *sim_; }
+
+  void CellBegin(CellPort* port) override {
+    port_ = port;
+    sim_.emplace(1000 + index_);
+    if (starts_) {
+      sim_->ScheduleCallback(SimTime::Zero(), [this] {
+        port_->Send((index_ + 1) % num_cells_, latency_, /*kind=*/1, /*payload=*/0);
+      });
+    }
+  }
+
+  void OnCellMessage(const CellMessage& msg) override {
+    timing_ok_ = timing_ok_ && sim_->Now() == msg.deliver_at &&
+                 msg.deliver_at.ns() == msg.sent_at.ns() + latency_.ns();
+    log_.emplace_back(msg.deliver_at.ns(), msg.payload);
+    if (msg.payload + 1 < max_hops_) {
+      port_->Send((index_ + 1) % num_cells_, latency_, /*kind=*/1, msg.payload + 1);
+    }
+  }
+
+  void CellEnd() override {
+    sim_.reset();
+    ended_ = true;
+  }
+  void CellAbandon() noexcept override { sim_.reset(); }
+
+  const std::vector<std::pair<int64_t, uint64_t>>& log() const { return log_; }
+  bool ended() const { return ended_; }
+  bool timing_ok() const { return timing_ok_; }
+
+ private:
+  uint32_t index_;
+  uint32_t num_cells_;
+  uint64_t max_hops_;
+  SimTime latency_;
+  bool starts_;
+  CellPort* port_ = nullptr;
+  std::optional<Simulation> sim_;
+  std::vector<std::pair<int64_t, uint64_t>> log_;
+  bool ended_ = false;
+  bool timing_ok_ = true;
+};
+
+struct RingRun {
+  std::vector<std::vector<std::pair<int64_t, uint64_t>>> logs;
+  ParallelExecStats stats;
+};
+
+// Runs a ring of `num_cells` cells. With `two_tokens`, cell 0 and the middle
+// cell each inject a token, so several cells are active in the same window
+// and the deterministic merge order actually matters.
+RingRun RunRing(int threads, uint32_t num_cells, uint64_t hops, bool two_tokens) {
+  const SimTime latency = Microseconds(5);
+  std::vector<std::unique_ptr<RingCell>> cells;
+  std::vector<SimCell*> ptrs;
+  for (uint32_t i = 0; i < num_cells; ++i) {
+    const bool starts = i == 0 || (two_tokens && i == num_cells / 2);
+    cells.push_back(std::make_unique<RingCell>(i, num_cells, hops, latency, starts));
+    ptrs.push_back(cells.back().get());
+  }
+  ParallelExecOptions opt;
+  opt.threads = threads;
+  opt.lookahead = latency;
+  RingRun run;
+  run.stats = RunCells(ptrs, opt);
+  for (auto& cell : cells) {
+    EXPECT_TRUE(cell->ended());
+    EXPECT_TRUE(cell->timing_ok());
+    run.logs.push_back(cell->log());
+  }
+  return run;
+}
+
+TEST(ParallelExecTest, RingIsDeterministicAcrossThreadCounts) {
+  const RingRun r1 = RunRing(1, 4, 40, /*two_tokens=*/true);
+  const RingRun r2 = RunRing(2, 4, 40, /*two_tokens=*/true);
+  const RingRun r4 = RunRing(4, 4, 40, /*two_tokens=*/true);
+  EXPECT_EQ(r1.logs, r2.logs);
+  EXPECT_EQ(r1.logs, r4.logs);
+  EXPECT_EQ(r1.stats.messages_delivered, r2.stats.messages_delivered);
+  EXPECT_EQ(r1.stats.messages_delivered, r4.stats.messages_delivered);
+  EXPECT_EQ(r1.stats.windows, r4.stats.windows);
+  // Two tokens of 40 hops each.
+  EXPECT_EQ(r1.stats.messages_delivered, 80u);
+}
+
+TEST(ParallelExecTest, MessageWakesCellWithNoEventsOfItsOwn) {
+  // Cell 1 schedules nothing; its only activity is the delivered token. The
+  // planner must still pick its inbox up as the next global event.
+  const RingRun run = RunRing(2, 2, 1, /*two_tokens=*/false);
+  ASSERT_EQ(run.logs.size(), 2u);
+  EXPECT_TRUE(run.logs[0].empty());
+  const std::vector<std::pair<int64_t, uint64_t>> want = {{Microseconds(5).ns(), 0}};
+  EXPECT_EQ(run.logs[1], want);
+  EXPECT_EQ(run.stats.messages_delivered, 1u);
+}
+
+TEST(ParallelExecTest, SendBelowLookaheadThrowsConservativeViolation) {
+  // latency 1us against a 10us lookahead: the message could land inside the
+  // window that produced it, which conservative sync must reject.
+  std::vector<std::unique_ptr<RingCell>> cells;
+  cells.push_back(std::make_unique<RingCell>(0, 2, 1, Microseconds(1), /*starts=*/true));
+  cells.push_back(std::make_unique<RingCell>(1, 2, 1, Microseconds(1), /*starts=*/false));
+  std::vector<SimCell*> ptrs = {cells[0].get(), cells[1].get()};
+  ParallelExecOptions opt;
+  opt.threads = 2;
+  opt.lookahead = Microseconds(10);
+  EXPECT_THROW(RunCells(ptrs, opt), std::logic_error);
+}
+
+// A cell whose only event throws. Used to pin the exception policy: the
+// driver abandons the failing cell, lets every healthy cell finish, and
+// rethrows the lowest-index failure.
+class ThrowCell : public SimCell {
+ public:
+  ThrowCell(uint32_t index, std::string what) : index_(index), what_(std::move(what)) {}
+
+  Simulation& cell_sim() override { return *sim_; }
+  void CellBegin(CellPort* /*port*/) override {
+    sim_.emplace(1);
+    sim_->ScheduleCallback(Microseconds(static_cast<int64_t>(index_) + 1),
+                           [this] { throw std::runtime_error(what_); });
+  }
+  void CellEnd() override { sim_.reset(); }
+  void CellAbandon() noexcept override {
+    sim_.reset();
+    abandoned_ = true;
+  }
+  bool abandoned() const { return abandoned_; }
+
+ private:
+  uint32_t index_;
+  std::string what_;
+  std::optional<Simulation> sim_;
+  bool abandoned_ = false;
+};
+
+TEST(ParallelExecTest, LowestIndexFailureWinsAndHealthyCellsFinish) {
+  RingCell healthy0(0, 4, 0, Microseconds(5), /*starts=*/false);
+  ThrowCell bad1(1, "boom-1");
+  RingCell healthy2(2, 4, 0, Microseconds(5), /*starts=*/false);
+  ThrowCell bad3(3, "boom-3");
+  const std::vector<SimCell*> ptrs = {&healthy0, &bad1, &healthy2, &bad3};
+  ParallelExecOptions opt;
+  opt.threads = 2;
+  try {
+    RunCells(ptrs, opt);
+    FAIL() << "RunCells should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom-1");
+  }
+  EXPECT_TRUE(bad1.abandoned());
+  EXPECT_TRUE(bad3.abandoned());
+  EXPECT_TRUE(healthy0.ended());
+  EXPECT_TRUE(healthy2.ended());
+}
+
+// Purely local work: a short self-rescheduling callback chain, no ports.
+class LocalCell : public SimCell {
+ public:
+  explicit LocalCell(int events) : events_(events) {}
+
+  Simulation& cell_sim() override { return *sim_; }
+  void CellBegin(CellPort* /*port*/) override {
+    sim_.emplace(7);
+    for (int i = 0; i < events_; ++i) {
+      sim_->ScheduleCallback(Microseconds(i + 1), [this] { ++fired_; });
+    }
+  }
+  void CellEnd() override {
+    sim_.reset();
+    ended_ = true;
+  }
+  void CellAbandon() noexcept override { sim_.reset(); }
+  int fired() const { return fired_; }
+  bool ended() const { return ended_; }
+
+ private:
+  int events_;
+  std::optional<Simulation> sim_;
+  int fired_ = 0;
+  bool ended_ = false;
+};
+
+TEST(ParallelExecTest, UncoupledCellsRunInOneWindow) {
+  // Default lookahead (Max): no cross-cell traffic, so every cell runs to
+  // completion with a single planning round — the FastIOV fleet regime.
+  std::vector<std::unique_ptr<LocalCell>> cells;
+  std::vector<SimCell*> ptrs;
+  for (int i = 0; i < 4; ++i) {
+    cells.push_back(std::make_unique<LocalCell>(10));
+    ptrs.push_back(cells.back().get());
+  }
+  ParallelExecOptions opt;
+  opt.threads = 4;
+  const ParallelExecStats stats = RunCells(ptrs, opt);
+  EXPECT_EQ(stats.windows, 1u);
+  EXPECT_EQ(stats.messages_delivered, 0u);
+  for (auto& cell : cells) {
+    EXPECT_TRUE(cell->ended());
+    EXPECT_EQ(cell->fired(), 10);
+  }
+}
+
+TEST(ParallelExecTest, StatsShapeAndClamping) {
+  std::vector<std::unique_ptr<LocalCell>> cells;
+  std::vector<SimCell*> ptrs;
+  for (int i = 0; i < 3; ++i) {
+    cells.push_back(std::make_unique<LocalCell>(2));
+    ptrs.push_back(cells.back().get());
+  }
+  ParallelExecOptions opt;
+  opt.threads = 8;  // more threads than cells: clamped to 3
+  const ParallelExecStats stats = RunCells(ptrs, opt);
+  EXPECT_EQ(stats.threads_used, 3);
+  EXPECT_EQ(stats.worker_busy_seconds.size(), 3u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GE(stats.Utilization(), 0.0);
+}
+
+TEST(ParallelExecTest, ThreadsZeroMeansHardwareConcurrency) {
+  LocalCell cell(2);
+  const std::vector<SimCell*> ptrs = {&cell};
+  ParallelExecOptions opt;
+  opt.threads = 0;
+  const ParallelExecStats stats = RunCells(ptrs, opt);
+  EXPECT_EQ(stats.threads_used, 1);  // clamped to the single cell
+  EXPECT_EQ(cell.fired(), 2);
+}
+
+TEST(ParallelExecTest, EmptyAndInvalidInputs) {
+  const ParallelExecStats stats = RunCells({}, ParallelExecOptions{});
+  EXPECT_EQ(stats.threads_used, 0);
+  EXPECT_EQ(stats.windows, 0u);
+
+  LocalCell cell(1);
+  const std::vector<SimCell*> with_null = {&cell, nullptr};
+  EXPECT_THROW(RunCells(with_null, ParallelExecOptions{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -22,7 +22,8 @@ TEST(PciAddressTest, Ordering) {
 }
 
 TEST(PciDeviceTest, VendorDeviceIdsInConfigSpace) {
-  PciDevice dev({0, 1, 2, 3}, kIntelVendorId, kE810VfDeviceId, ResetScope::kBus, "vf0");
+  PciIdAllocator ids;
+  PciDevice dev(ids, {0, 1, 2, 3}, kIntelVendorId, kE810VfDeviceId, ResetScope::kBus, "vf0");
   EXPECT_EQ(dev.ConfigRead16(kPciVendorId), kIntelVendorId);
   EXPECT_EQ(dev.ConfigRead16(kPciDeviceId), kE810VfDeviceId);
   EXPECT_EQ(dev.name(), "vf0");
@@ -30,7 +31,8 @@ TEST(PciDeviceTest, VendorDeviceIdsInConfigSpace) {
 }
 
 TEST(PciDeviceTest, ConfigReadWriteWidths) {
-  PciDevice dev({}, 0x1234, 0x5678, ResetScope::kFunction, "d");
+  PciIdAllocator ids;
+  PciDevice dev(ids, {}, 0x1234, 0x5678, ResetScope::kFunction, "d");
   dev.ConfigWrite32(kPciBar0, 0xdeadbeef);
   EXPECT_EQ(dev.ConfigRead32(kPciBar0), 0xdeadbeefu);
   EXPECT_EQ(dev.ConfigRead16(kPciBar0), 0xbeef);
@@ -40,20 +42,36 @@ TEST(PciDeviceTest, ConfigReadWriteWidths) {
 }
 
 TEST(PciDeviceTest, BusMasterBit) {
-  PciDevice dev({}, 1, 2, ResetScope::kBus, "d");
+  PciIdAllocator ids;
+  PciDevice dev(ids, {}, 1, 2, ResetScope::kBus, "d");
   EXPECT_FALSE(dev.bus_master_enabled());
   dev.ConfigWrite16(kPciCommand, dev.ConfigRead16(kPciCommand) | kPciCommandBusMaster);
   EXPECT_TRUE(dev.bus_master_enabled());
 }
 
 TEST(PciDeviceTest, UniqueIds) {
-  PciDevice a({}, 1, 1, ResetScope::kBus, "a");
-  PciDevice b({}, 1, 1, ResetScope::kBus, "b");
+  PciIdAllocator ids;
+  PciDevice a(ids, {}, 1, 1, ResetScope::kBus, "a");
+  PciDevice b(ids, {}, 1, 1, ResetScope::kBus, "b");
   EXPECT_NE(a.id(), b.id());
 }
 
+TEST(PciDeviceTest, IdSequencesAreIndependentPerAllocator) {
+  // Two id spaces in one process start from zero independently — the
+  // property that makes two HostCells byte-identical replicas of each other.
+  PciIdAllocator ids_a;
+  PciIdAllocator ids_b;
+  for (int i = 0; i < 4; ++i) {
+    PciDevice da(ids_a, {}, 1, 1, ResetScope::kBus, "a");
+    PciDevice db(ids_b, {}, 1, 1, ResetScope::kBus, "b");
+    EXPECT_EQ(da.id(), i);
+    EXPECT_EQ(db.id(), da.id());
+  }
+}
+
 TEST(PciDeviceTest, DriverBinding) {
-  PciDevice dev({}, 1, 2, ResetScope::kBus, "d");
+  PciIdAllocator ids;
+  PciDevice dev(ids, {}, 1, 2, ResetScope::kBus, "d");
   EXPECT_EQ(dev.bound_driver(), BoundDriver::kNone);
   dev.BindDriver(BoundDriver::kVfio);
   EXPECT_EQ(dev.bound_driver(), BoundDriver::kVfio);
@@ -61,8 +79,9 @@ TEST(PciDeviceTest, DriverBinding) {
 
 TEST(PciBusTest, AddFindRemove) {
   PciBus bus(0x3b);
-  PciDevice a({0, 0x3b, 1, 0}, 1, 1, ResetScope::kBus, "a");
-  PciDevice b({0, 0x3b, 1, 1}, 1, 1, ResetScope::kBus, "b");
+  PciIdAllocator ids;
+  PciDevice a(ids, {0, 0x3b, 1, 0}, 1, 1, ResetScope::kBus, "a");
+  PciDevice b(ids, {0, 0x3b, 1, 1}, 1, 1, ResetScope::kBus, "b");
   bus.AddDevice(&a);
   bus.AddDevice(&b);
   EXPECT_EQ(bus.num_devices(), 2u);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/experiments/multi_cell.h"
 #include "src/experiments/result_json.h"
 #include "src/experiments/startup_experiment.h"
 #include "src/simcore/arena.h"
@@ -113,6 +114,54 @@ TEST(SchedEquivDigestTest, ArenaPoolingDoesNotMoveBytes) {
       RunJson(StackConfig::FastIov(), ReferenceOptions(), SchedulerPolicy::kCalendar);
   FramePool::SetPoolingEnabled(true);
   EXPECT_EQ(pooled, unpooled);
+}
+
+// The full equivalence matrix over the parallel driver: a 4-cell fleet must
+// produce one digest across {heap, calendar} x {1, 4 threads} x {pooled,
+// unpooled}. This is the thread axis of the determinism contract — worker
+// count and scheduling interleaving may only change wall-clock, never bytes.
+TEST(SchedEquivDigestTest, MultiCellThreadSchedulerPoolingMatrix) {
+  ExperimentOptions base;
+  base.concurrency = 10;
+  MultiCellOptions mc;
+  mc.cells = 4;
+  auto digest = [&](SchedulerPolicy policy, int threads, bool pooled) {
+    FramePool::SetPoolingEnabled(pooled);
+    ExperimentOptions options = base;
+    options.scheduler = policy;
+    mc.cell_threads = threads;
+    const std::string d =
+        MultiCellDigest(RunMultiCellExperiment(StackConfig::FastIov(), options, mc));
+    FramePool::SetPoolingEnabled(true);
+    return d;
+  };
+  const std::string reference = digest(SchedulerPolicy::kCalendar, 1, true);
+  ASSERT_FALSE(reference.empty());
+  for (const SchedulerPolicy policy : {SchedulerPolicy::kHeap, SchedulerPolicy::kCalendar}) {
+    for (const int threads : {1, 4}) {
+      for (const bool pooled : {true, false}) {
+        EXPECT_EQ(digest(policy, threads, pooled), reference)
+            << "policy=" << SchedulerPolicyName(policy) << " threads=" << threads
+            << " pooled=" << pooled;
+      }
+    }
+  }
+}
+
+// A standalone run and a 1-cell fleet are the same computation; the parallel
+// driver must not add or move a byte around it.
+TEST(SchedEquivDigestTest, SingleCellFleetMatchesStandalone) {
+  ExperimentOptions options;
+  options.concurrency = 10;
+  const std::string standalone =
+      ExperimentResultJson(RunStartupExperiment(StackConfig::FastIov(), options));
+  MultiCellOptions mc;
+  mc.cells = 1;
+  mc.cell_threads = 1;
+  const MultiCellResult fleet = RunMultiCellExperiment(StackConfig::FastIov(), options, mc);
+  ASSERT_EQ(fleet.cells.size(), 1u);
+  EXPECT_EQ(ExperimentResultJson(fleet.cells[0]) + "\n", MultiCellDigest(fleet));
+  EXPECT_EQ(ExperimentResultJson(fleet.cells[0]), standalone);
 }
 
 // Raw engine-level FIFO stability: N processes spawned at one timestamp run

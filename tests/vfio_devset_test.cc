@@ -16,12 +16,13 @@ struct DevsetFixture {
   CostModel cost;
   CpuPool cpu{sim, 56};
   PciBus bus{0x3b};
+  PciIdAllocator pci_ids;
   std::vector<std::unique_ptr<VirtualFunction>> vfs;
 
   DevsetFixture() {
     for (int i = 0; i < 16; ++i) {
       vfs.push_back(std::make_unique<VirtualFunction>(
-          PciAddress{0, 0x3b, static_cast<uint8_t>(2 + i / 8), static_cast<uint8_t>(i % 8)},
+          pci_ids, PciAddress{0, 0x3b, static_cast<uint8_t>(2 + i / 8), static_cast<uint8_t>(i % 8)},
           i));
       bus.AddDevice(vfs.back().get());
     }
@@ -140,10 +141,11 @@ TEST(DevsetTest, VanillaOpenCostScalesWithBusPopulation) {
     cost.jitter_sigma = 0.0;  // deterministic costs for exact comparison
     CpuPool cpu(sim, 56);
     PciBus bus(0);
+    PciIdAllocator pci_ids;
     std::vector<std::unique_ptr<VirtualFunction>> vfs;
     for (int i = 0; i < n; ++i) {
       vfs.push_back(std::make_unique<VirtualFunction>(
-          PciAddress{0, 0, static_cast<uint8_t>(i / 8), static_cast<uint8_t>(i % 8)}, i));
+          pci_ids, PciAddress{0, 0, static_cast<uint8_t>(i / 8), static_cast<uint8_t>(i % 8)}, i));
       bus.AddDevice(vfs.back().get());
     }
     DevSet devset(sim, cpu, cost, &bus, std::make_unique<GlobalMutexPolicy>(sim), true);
