@@ -210,42 +210,49 @@ int main(int argc, char** argv) {
     if (flags.GetInt("lookahead-us") > 0) {
       mc.lookahead = Microseconds(flags.GetInt("lookahead-us"));
     }
-    const MultiCellResult mr = RunMultiCellExperiment(*stack, options, mc);
+    // Stream cells through as they complete: each result is serialized (or
+    // printed) and freed before the next arrives, so --cells 1000 does not
+    // hold a thousand timelines alive. The "parallel" stats section moves
+    // after "results" because execution stats only exist once the last cell
+    // finished.
     if (flags.GetBool("json")) {
       JsonWriter json(std::cout);
       json.BeginObject();
       json.KV("cells", static_cast<int64_t>(mc.cells));
-      json.Key("parallel");
-      json.BeginObject();
-      json.KV("threads_used", static_cast<int64_t>(mr.exec.threads_used));
-      json.KV("windows", mr.exec.windows);
-      json.KV("messages_delivered", mr.exec.messages_delivered);
-      json.KV("wall_seconds", mr.exec.wall_seconds);
-      json.KV("utilization", mr.exec.Utilization());
-      json.EndObject();
       json.Key("results");
       json.BeginArray();
-      for (const ExperimentResult& cell : mr.cells) {
-        json.RawValue(ExperimentResultJson(cell));
-      }
+      const MultiCellStreamStats stats = RunMultiCellStream(
+          *stack, options, mc,
+          [&](int, ExperimentResult&& cell) { WriteExperimentResultJson(cell, json); });
       json.EndArray();
+      json.Key("parallel");
+      json.BeginObject();
+      json.KV("threads_used", static_cast<int64_t>(stats.threads_used));
+      json.KV("streamed", stats.streamed);
+      json.KV("windows", stats.exec.windows);
+      json.KV("messages_delivered", stats.exec.messages_delivered);
+      json.KV("wall_seconds", stats.wall_seconds);
+      json.KV("utilization", stats.exec.Utilization());
+      json.EndObject();
       json.EndObject();
       std::cout << '\n';
     } else {
+      std::printf("%d cells x %d containers, stack %s\n", mc.cells, options.concurrency,
+                  stack->name.c_str());
       Summary startup;
-      for (const ExperimentResult& cell : mr.cells) {
-        startup.Merge(cell.startup);
-      }
-      std::printf("%d cells x %d containers, stack %s, %d threads (%lu windows)\n",
-                  mc.cells, options.concurrency, stack->name.c_str(),
-                  mr.exec.threads_used, static_cast<unsigned long>(mr.exec.windows));
-      for (size_t i = 0; i < mr.cells.size(); ++i) {
-        std::printf("  cell %zu: avg %.3fs p99 %.3fs (seed %lu)\n", i,
-                    mr.cells[i].startup.Mean(), mr.cells[i].startup.Percentile(99),
-                    static_cast<unsigned long>(mr.cells[i].options.seed));
-      }
+      const MultiCellStreamStats stats = RunMultiCellStream(
+          *stack, options, mc, [&](int i, ExperimentResult&& cell) {
+            std::printf("  cell %d: avg %.3fs p99 %.3fs (seed %lu)\n", i,
+                        cell.startup.Mean(), cell.startup.Percentile(99),
+                        static_cast<unsigned long>(cell.options.seed));
+            startup.Merge(cell.startup);
+          });
       std::printf("  fleet: avg %.3fs p99 %.3fs over %lu containers\n", startup.Mean(),
                   startup.Percentile(99), static_cast<unsigned long>(startup.Count()));
+      std::printf("  %d threads, %.2fs wall%s\n", stats.threads_used, stats.wall_seconds,
+                  stats.streamed
+                      ? " (streamed)"
+                      : (", " + std::to_string(stats.exec.windows) + " windows").c_str());
     }
     return 0;
   }

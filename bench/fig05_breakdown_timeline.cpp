@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
       }
       const char* glyph = nullptr;
       for (size_t s = 0; s < std::size(kSteps); ++s) {
-        if (span.step == kSteps[s]) {
+        if (lane.StepNameOf(span) == kSteps[s]) {
           glyph = &kStepGlyphs[s];
           break;
         }

@@ -74,6 +74,9 @@ void HostCell::CellBegin(CellPort* port) {
     sim_->set_fault_injector(&*injector_);
   }
   host_.emplace(*sim_, options_.host, options_.cost, config_);
+  // Before any container registers a lane, so the sampling decision covers
+  // every container from id 0.
+  host_->timeline().set_span_sample_limit(options_.timeline_span_sample);
   if (options_.collect_metrics) {
     // Before any container starts, so every lock acquisition is observed.
     host_->EnableObservability();

@@ -1,10 +1,16 @@
 #include "src/experiments/multi_cell.h"
 
+#include <algorithm>
+#include <chrono>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "src/experiments/host_cell.h"
 #include "src/experiments/result_json.h"
+#include "src/experiments/sweep.h"
 
 namespace fastiov {
 
@@ -36,6 +42,71 @@ MultiCellResult RunMultiCellExperiment(const StackConfig& config,
     result.cells.push_back(cell->TakeResult());
   }
   return result;
+}
+
+MultiCellStreamStats RunMultiCellStream(const StackConfig& config,
+                                        const ExperimentOptions& base,
+                                        const MultiCellOptions& mc,
+                                        const CellResultSink& sink) {
+  if (mc.cells <= 0) {
+    throw std::invalid_argument("RunMultiCellStream: cells must be positive");
+  }
+  MultiCellStreamStats stats;
+  stats.cells = mc.cells;
+  const auto wall_begin = std::chrono::steady_clock::now();
+
+  if (mc.lookahead != SimTime::Max()) {
+    // Coupled cells advance in lockstep windows; none can finish early, so
+    // there is nothing to stream — run buffered, then drain in order.
+    MultiCellResult buffered = RunMultiCellExperiment(config, base, mc);
+    stats.exec = buffered.exec;
+    stats.threads_used = buffered.exec.threads_used;
+    for (int i = 0; i < mc.cells; ++i) {
+      sink(i, std::move(buffered.cells[static_cast<size_t>(i)]));
+    }
+    stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_begin)
+            .count();
+    return stats;
+  }
+
+  const int threads =
+      std::min(mc.cell_threads <= 0 ? DefaultJobs() : mc.cell_threads, mc.cells);
+  stats.threads_used = threads;
+  stats.streamed = true;
+
+  // In-order emission with bounded buffering: results completing ahead of
+  // the next expected index park in a map until the gap closes. With one
+  // worker the map never holds more than the cell just finished, so exactly
+  // one cell's result is alive at a time.
+  std::mutex mu;
+  std::map<int, ExperimentResult> parked;
+  int next = 0;
+  ParallelFor(static_cast<size_t>(mc.cells), threads, [&](size_t i) {
+    ExperimentOptions options = base;
+    options.seed = base.seed + static_cast<uint64_t>(i);
+    ExperimentResult result;
+    {
+      // The cell (sim state, arenas, host) dies before the sink runs; only
+      // the collected result crosses the scope.
+      HostCell cell(config, options);
+      cell.RunStandalone();
+      result = cell.TakeResult();
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    parked.emplace(static_cast<int>(i), std::move(result));
+    while (!parked.empty() && parked.begin()->first == next) {
+      auto it = parked.begin();
+      sink(it->first, std::move(it->second));
+      parked.erase(it);
+      ++next;
+    }
+  });
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_begin)
+          .count();
+  return stats;
 }
 
 std::string MultiCellDigest(const MultiCellResult& result) {

@@ -6,6 +6,7 @@
 #ifndef SRC_EXPERIMENTS_MULTI_CELL_H_
 #define SRC_EXPERIMENTS_MULTI_CELL_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,37 @@ struct MultiCellResult {
 MultiCellResult RunMultiCellExperiment(const StackConfig& config,
                                        const ExperimentOptions& base,
                                        const MultiCellOptions& mc);
+
+// Receives cell results strictly in cell-index order, as they become
+// available. The result is moved in; the callee owns (and frees) it.
+using CellResultSink = std::function<void(int cell_index, ExperimentResult&&)>;
+
+struct MultiCellStreamStats {
+  int cells = 0;
+  int threads_used = 0;
+  double wall_seconds = 0.0;
+  // True when the uncoupled streaming path ran: at most `threads + in-flight
+  // reorder window` cells are alive at once, so peak memory is O(per-cell)
+  // instead of O(fleet). False means the coupled (finite-lookahead) path
+  // buffered via RunMultiCellExperiment before draining the sink.
+  bool streamed = false;
+  // Populated only by the coupled path (the streaming path never enters the
+  // windowed driver).
+  ParallelExecStats exec;
+};
+
+// Streaming counterpart of RunMultiCellExperiment: emits each cell's result
+// to `sink` in cell-index order instead of buffering the whole fleet.
+// Uncoupled fleets (lookahead == SimTime::Max(), today's FastIOV regime) run
+// each cell to completion independently and free it as soon as the sink
+// returns; per-cell results are byte-identical to the buffered path
+// (multi_cell_test pins cells == standalone). Finite-lookahead fleets are
+// coupled — no cell can finish before the whole window protocol does — so
+// they fall back to the buffered path and then drain in order.
+MultiCellStreamStats RunMultiCellStream(const StackConfig& config,
+                                        const ExperimentOptions& base,
+                                        const MultiCellOptions& mc,
+                                        const CellResultSink& sink);
 
 // Digest for identity checks: the concatenated per-cell result JSON. Two
 // runs are equivalent iff their digests are byte-identical.

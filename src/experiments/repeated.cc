@@ -18,39 +18,44 @@ RepeatedMetric Aggregate(const std::vector<double>& values) {
   return RepeatedMetric{s.Mean(), s.Stddev(), s.Min(), s.Max()};
 }
 
-// Folds `repeats` consecutive runs into one aggregate. Consumes the runs
-// from `first` so the timelines can be moved (or dropped) instead of copied.
-RepeatedResult AggregateRuns(const StackConfig& config, const ExperimentOptions& options,
-                             std::vector<ExperimentResult>::iterator first, int repeats) {
-  RepeatedResult result;
-  result.config = config;
-  result.repeats = repeats;
-
+// Per-config fold state for the streaming aggregation: headline scalars are
+// extracted the moment a run arrives (in index order, so the aggregate is
+// byte-identical to the historical buffered path) and the run itself is
+// dropped — or moved into `runs` — immediately instead of the whole
+// (config × seed) matrix staying alive until the end.
+struct ConfigFold {
   std::vector<double> startup_means;
   std::vector<double> startup_p99s;
   std::vector<double> task_means;
   std::vector<double> vf_means;
-  for (int r = 0; r < repeats; ++r) {
-    const ExperimentResult& run = *(first + r);
+  std::vector<ExperimentResult> runs;  // only populated when keep_runs
+
+  void Absorb(ExperimentResult&& run, bool keep_runs) {
     startup_means.push_back(run.startup.Mean());
     startup_p99s.push_back(run.startup.Percentile(99));
     if (!run.task_completion.Empty()) {
       task_means.push_back(run.task_completion.Mean());
     }
     vf_means.push_back(run.vf_related.Mean());
+    if (keep_runs) {
+      runs.push_back(std::move(run));
+    }
   }
-  result.startup_mean = Aggregate(startup_means);
-  result.startup_p99 = Aggregate(startup_p99s);
-  if (!task_means.empty()) {
-    result.task_mean = Aggregate(task_means);
+
+  RepeatedResult Finish(const StackConfig& config, int repeats) {
+    RepeatedResult result;
+    result.config = config;
+    result.repeats = repeats;
+    result.startup_mean = Aggregate(startup_means);
+    result.startup_p99 = Aggregate(startup_p99s);
+    if (!task_means.empty()) {
+      result.task_mean = Aggregate(task_means);
+    }
+    result.vf_related_mean = Aggregate(vf_means);
+    result.runs = std::move(runs);
+    return result;
   }
-  result.vf_related_mean = Aggregate(vf_means);
-  if (options.keep_runs) {
-    result.runs.assign(std::make_move_iterator(first),
-                       std::make_move_iterator(first + repeats));
-  }
-  return result;
-}
+};
 
 std::vector<uint64_t> SeedRange(uint64_t base, int repeats) {
   std::vector<uint64_t> seeds;
@@ -73,13 +78,16 @@ std::vector<RepeatedResult> RunRepeatedSweep(const std::vector<StackConfig>& con
                                              const ExperimentOptions& options, int repeats,
                                              int jobs) {
   assert(repeats > 0);
-  std::vector<ExperimentResult> runs =
-      RunSweep(CrossProduct(configs, options, SeedRange(options.seed, repeats)), jobs);
+  const std::vector<SweepCell> cells =
+      CrossProduct(configs, options, SeedRange(options.seed, repeats));
+  std::vector<ConfigFold> folds(configs.size());
+  RunSweepStream(cells, jobs, [&](size_t i, ExperimentResult&& run) {
+    folds[i / static_cast<size_t>(repeats)].Absorb(std::move(run), options.keep_runs);
+  });
   std::vector<RepeatedResult> results;
   results.reserve(configs.size());
   for (size_t c = 0; c < configs.size(); ++c) {
-    results.push_back(AggregateRuns(
-        configs[c], options, runs.begin() + static_cast<ptrdiff_t>(c) * repeats, repeats));
+    results.push_back(folds[c].Finish(configs[c], repeats));
   }
   return results;
 }

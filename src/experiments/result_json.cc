@@ -126,6 +126,10 @@ void WriteExperimentResultJson(const ExperimentResult& r, std::ostream& os) {
   WriteExperimentResultBody(r, json);
 }
 
+void WriteExperimentResultJson(const ExperimentResult& r, JsonWriter& json) {
+  WriteExperimentResultBody(r, json);
+}
+
 void WriteRepeatedResultJson(const RepeatedResult& r, std::ostream& os) {
   JsonWriter json(os);
   json.BeginObject();
@@ -145,9 +149,10 @@ void WriteRepeatedResultJson(const RepeatedResult& r, std::ostream& os) {
 }
 
 std::string ExperimentResultJson(const ExperimentResult& r) {
-  std::ostringstream os;
-  WriteExperimentResultJson(r, os);
-  return os.str();
+  std::string out;
+  JsonWriter json(out);
+  WriteExperimentResultBody(r, json);
+  return out;
 }
 
 std::string RepeatedResultJson(const RepeatedResult& r) {

@@ -15,8 +15,16 @@
 
 namespace fastiov {
 
+class JsonWriter;
+
 // One experiment run: headline summaries, step shares, and counters.
 void WriteExperimentResultJson(const ExperimentResult& r, std::ostream& os);
+
+// Same document, written as the next value of an existing JsonWriter — lets
+// callers stream per-cell results directly into an enclosing array without
+// materializing intermediate strings (byte-identical to embedding
+// ExperimentResultJson(r) via RawValue).
+void WriteExperimentResultJson(const ExperimentResult& r, JsonWriter& json);
 
 // A multi-seed aggregate: the four spread metrics plus every retained run.
 void WriteRepeatedResultJson(const RepeatedResult& r, std::ostream& os);

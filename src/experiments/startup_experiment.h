@@ -55,6 +55,12 @@ struct ExperimentOptions {
   // (asserted by tests/sched_equiv_test.cc); the knob exists so benchmarks
   // and equivalence tests can pin one side. Not serialized into result JSON.
   std::optional<SchedulerPolicy> scheduler;
+  // Bounded timeline recording: keep full span vectors only for the first K
+  // containers (deterministic sample, for trace export). Aggregate per-step
+  // sums stay on for every container, so all summary statistics — and the
+  // result JSON — are byte-identical to unbounded recording. The default
+  // records everything. Not serialized into result JSON.
+  size_t timeline_span_sample = static_cast<size_t>(-1);
 };
 
 struct ExperimentResult {

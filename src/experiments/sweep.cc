@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <deque>
 #include <exception>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 namespace fastiov {
 namespace {
@@ -137,6 +139,24 @@ std::vector<ExperimentResult> RunSweep(const std::vector<SweepCell>& cells, int 
     results[i] = RunStartupExperiment(cells[i].config, cells[i].options);
   });
   return results;
+}
+
+void RunSweepStream(const std::vector<SweepCell>& cells, int jobs,
+                    const SweepResultSink& sink) {
+  std::mutex mu;
+  std::map<size_t, ExperimentResult> parked;
+  size_t next = 0;
+  ParallelFor(cells.size(), jobs, [&](size_t i) {
+    ExperimentResult result = RunStartupExperiment(cells[i].config, cells[i].options);
+    std::lock_guard<std::mutex> lock(mu);
+    parked.emplace(i, std::move(result));
+    while (!parked.empty() && parked.begin()->first == next) {
+      auto it = parked.begin();
+      sink(it->first, std::move(it->second));
+      parked.erase(it);
+      ++next;
+    }
+  });
 }
 
 }  // namespace fastiov

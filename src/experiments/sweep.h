@@ -62,6 +62,15 @@ std::vector<SweepCell> CrossProduct(const std::vector<StackConfig>& configs,
 // returns results in cell order.
 std::vector<ExperimentResult> RunSweep(const std::vector<SweepCell>& cells, int jobs);
 
+// Streaming variant: each result is moved to `sink` strictly in cell order
+// as soon as ordering allows, instead of buffering the whole matrix.
+// Out-of-order completions park in a reorder buffer bounded by the worker
+// count's completion skew; with jobs <= 1 exactly one result is alive at a
+// time. Per-cell results are identical to RunSweep's.
+using SweepResultSink = std::function<void(size_t index, ExperimentResult&&)>;
+void RunSweepStream(const std::vector<SweepCell>& cells, int jobs,
+                    const SweepResultSink& sink);
+
 }  // namespace fastiov
 
 #endif  // SRC_EXPERIMENTS_SWEEP_H_

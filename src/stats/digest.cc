@@ -1,0 +1,45 @@
+#include "src/stats/digest.h"
+
+#include <cstdio>
+
+namespace fastiov {
+
+void Fnv1a64::Update(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = state_;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<uint64_t>(p[i]);
+    h *= 0x100000001b3ull;
+  }
+  state_ = h;
+  bytes_ += len;
+}
+
+std::string Fnv1a64::Hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(state_));
+  return std::string(buf, 16);
+}
+
+DigestStreambuf::int_type DigestStreambuf::overflow(int_type ch) {
+  if (ch == traits_type::eof()) {
+    return traits_type::not_eof(ch);
+  }
+  const char c = static_cast<char>(ch);
+  digest_.Update(&c, 1);
+  if (tee_ != nullptr) {
+    tee_->put(c);
+  }
+  return ch;
+}
+
+std::streamsize DigestStreambuf::xsputn(const char* s, std::streamsize n) {
+  digest_.Update(s, static_cast<size_t>(n));
+  if (tee_ != nullptr) {
+    tee_->write(s, n);
+  }
+  return n;
+}
+
+}  // namespace fastiov

@@ -1,0 +1,65 @@
+// Incremental FNV-1a 64-bit digest plus an ostream adapter, so result
+// documents can be hashed as they stream out instead of being buffered whole.
+#ifndef SRC_STATS_DIGEST_H_
+#define SRC_STATS_DIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <string_view>
+
+namespace fastiov {
+
+// Incremental FNV-1a over a byte stream. Same polynomial for a single
+// Update("abc") and Update("a"), Update("bc") — chunking never matters.
+class Fnv1a64 {
+ public:
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  uint64_t value() const { return state_; }
+  size_t bytes() const { return bytes_; }
+  std::string Hex() const;  // 16 lowercase hex digits
+
+ private:
+  uint64_t state_ = 0xcbf29ce484222325ull;
+  size_t bytes_ = 0;
+};
+
+// A streambuf that folds every byte into an Fnv1a64 and optionally tees the
+// bytes to a downstream stream. Lets callers compute a digest of streamed
+// JSON without materializing the document.
+class DigestStreambuf : public std::streambuf {
+ public:
+  explicit DigestStreambuf(std::ostream* tee = nullptr) : tee_(tee) {}
+
+  const Fnv1a64& digest() const { return digest_; }
+
+ protected:
+  int_type overflow(int_type ch) override;
+  std::streamsize xsputn(const char* s, std::streamsize n) override;
+
+ private:
+  Fnv1a64 digest_;
+  std::ostream* tee_;
+};
+
+// Convenience ostream wrapper around DigestStreambuf.
+class DigestOstream : public std::ostream {
+ public:
+  explicit DigestOstream(std::ostream* tee = nullptr)
+      : std::ostream(&buf_), buf_(tee) {}
+
+  uint64_t value() const { return buf_.digest().value(); }
+  size_t bytes() const { return buf_.digest().bytes(); }
+  std::string Hex() const { return buf_.digest().Hex(); }
+
+ private:
+  DigestStreambuf buf_;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_STATS_DIGEST_H_

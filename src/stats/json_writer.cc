@@ -4,6 +4,30 @@
 #include <cstdio>
 
 namespace fastiov {
+namespace {
+
+// True for bytes that pass through the escaper unchanged.
+inline bool IsClean(unsigned char c) {
+  return c >= 0x20 && c != '"' && c != '\\';
+}
+
+}  // namespace
+
+void JsonWriter::Write(std::string_view s) {
+  if (str_ != nullptr) {
+    str_->append(s.data(), s.size());
+  } else {
+    os_->write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+}
+
+void JsonWriter::Put(char c) {
+  if (str_ != nullptr) {
+    str_->push_back(c);
+  } else {
+    os_->put(c);
+  }
+}
 
 void JsonWriter::MaybeComma() {
   if (pending_key_) {
@@ -12,7 +36,7 @@ void JsonWriter::MaybeComma() {
   }
   if (!stack_.empty()) {
     if (stack_.back().has_item) {
-      *os_ << ',';
+      Put(',');
     }
     stack_.back().has_item = true;
   }
@@ -20,40 +44,85 @@ void JsonWriter::MaybeComma() {
 
 JsonWriter& JsonWriter::BeginObject() {
   MaybeComma();
-  *os_ << '{';
+  Put('{');
   stack_.push_back({});
   return *this;
 }
 
 JsonWriter& JsonWriter::EndObject() {
   stack_.pop_back();
-  *os_ << '}';
+  Put('}');
   return *this;
 }
 
 JsonWriter& JsonWriter::BeginArray() {
   MaybeComma();
-  *os_ << '[';
+  Put('[');
   stack_.push_back({});
   return *this;
 }
 
 JsonWriter& JsonWriter::EndArray() {
   stack_.pop_back();
-  *os_ << ']';
+  Put(']');
   return *this;
+}
+
+void JsonWriter::WriteEscaped(std::string_view raw) {
+  size_t i = 0;
+  while (i < raw.size()) {
+    // Fast path: emit the longest clean run in one write, no temporaries.
+    size_t j = i;
+    while (j < raw.size() && IsClean(static_cast<unsigned char>(raw[j]))) {
+      ++j;
+    }
+    if (j > i) {
+      Write(raw.substr(i, j - i));
+      i = j;
+    }
+    if (i >= raw.size()) {
+      break;
+    }
+    const char c = raw[i++];
+    switch (c) {
+      case '"':
+        Write("\\\"");
+        break;
+      case '\\':
+        Write("\\\\");
+        break;
+      case '\n':
+        Write("\\n");
+        break;
+      case '\r':
+        Write("\\r");
+        break;
+      case '\t':
+        Write("\\t");
+        break;
+      default: {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        Write(buf);
+      }
+    }
+  }
 }
 
 JsonWriter& JsonWriter::Key(std::string_view key) {
   MaybeComma();
-  *os_ << '"' << Escape(key) << "\":";
+  Put('"');
+  WriteEscaped(key);
+  Write("\":");
   pending_key_ = true;
   return *this;
 }
 
 JsonWriter& JsonWriter::Value(std::string_view v) {
   MaybeComma();
-  *os_ << '"' << Escape(v) << '"';
+  Put('"');
+  WriteEscaped(v);
+  Put('"');
   return *this;
 }
 
@@ -62,73 +131,51 @@ JsonWriter& JsonWriter::Value(double v) {
   if (std::isfinite(v)) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.9g", v);
-    *os_ << buf;
+    Write(buf);
   } else {
-    *os_ << "null";  // JSON has no Inf/NaN
+    Write("null");  // JSON has no Inf/NaN
   }
   return *this;
 }
 
 JsonWriter& JsonWriter::Value(int64_t v) {
   MaybeComma();
-  *os_ << v;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  Write(buf);
   return *this;
 }
 
 JsonWriter& JsonWriter::Value(uint64_t v) {
   MaybeComma();
-  *os_ << v;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  Write(buf);
   return *this;
 }
 
 JsonWriter& JsonWriter::Value(bool v) {
   MaybeComma();
-  *os_ << (v ? "true" : "false");
+  Write(v ? "true" : "false");
   return *this;
 }
 
 JsonWriter& JsonWriter::Null() {
   MaybeComma();
-  *os_ << "null";
+  Write("null");
   return *this;
 }
 
 JsonWriter& JsonWriter::RawValue(std::string_view json) {
   MaybeComma();
-  *os_ << json;
+  Write(json);
   return *this;
 }
 
 std::string JsonWriter::Escape(std::string_view raw) {
   std::string out;
-  out.reserve(raw.size());
-  for (char c : raw) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
+  JsonWriter w(out);
+  w.WriteEscaped(raw);
   return out;
 }
 

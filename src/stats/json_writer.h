@@ -1,5 +1,10 @@
 // Minimal streaming JSON writer (objects, arrays, scalars, escaping).
 // Used for the Chrome-trace export and the CLI's machine-readable output.
+//
+// Three sinks: an ostream (streaming export, incremental digests), an
+// external std::string, or an internal string buffer (default ctor) read back
+// via str()/TakeString(). All sinks produce byte-identical output; the escape
+// path writes clean runs directly to the sink without a per-call temporary.
 #ifndef SRC_STATS_JSON_WRITER_H_
 #define SRC_STATS_JSON_WRITER_H_
 
@@ -7,13 +12,17 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace fastiov {
 
 class JsonWriter {
  public:
+  // Buffers into an internal string; read back with str()/TakeString().
+  JsonWriter() : str_(&own_) {}
   explicit JsonWriter(std::ostream& os) : os_(&os) {}
+  explicit JsonWriter(std::string& out) : str_(&out) {}
 
   JsonWriter& BeginObject();
   JsonWriter& EndObject();
@@ -44,13 +53,22 @@ class JsonWriter {
     return Value(std::forward<T>(value));
   }
 
+  // The buffered document (string-sink writers only).
+  const std::string& str() const { return *str_; }
+  std::string TakeString() { return std::move(*str_); }
+
   // Escapes per RFC 8259.
   static std::string Escape(std::string_view raw);
 
  private:
   void MaybeComma();
+  void Write(std::string_view s);
+  void Put(char c);
+  void WriteEscaped(std::string_view raw);
 
-  std::ostream* os_;
+  std::ostream* os_ = nullptr;
+  std::string* str_ = nullptr;
+  std::string own_;
   // One entry per open container: whether a value has been emitted at this
   // level (needs a comma) and whether the next token is an object value
   // (suppresses the comma after a key).

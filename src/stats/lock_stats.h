@@ -13,10 +13,13 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/simcore/time.h"
+#include "src/stats/name_table.h"
 #include "src/stats/summary.h"
 
 namespace fastiov {
@@ -30,7 +33,8 @@ struct BlockedByEdge {
 
 class LockStats {
  public:
-  explicit LockStats(std::string name) : name_(std::move(name)) {}
+  explicit LockStats(std::string name, NameId id = kInvalidNameId)
+      : name_(std::move(name)), id_(id) {}
 
   // --- probe hooks (called by the sync primitives) ---
   void OnAcquireFast() { ++acquisitions_; }
@@ -54,6 +58,8 @@ class LockStats {
 
   // --- report accessors ---
   const std::string& name() const { return name_; }
+  // Interned id within the owning registry (kInvalidNameId if standalone).
+  NameId id() const { return id_; }
   uint64_t acquisitions() const { return acquisitions_; }
   uint64_t contended() const { return contended_; }
   size_t max_queue_depth() const { return max_queue_depth_; }
@@ -72,6 +78,7 @@ class LockStats {
 
  private:
   std::string name_;
+  NameId id_ = kInvalidNameId;
   uint64_t acquisitions_ = 0;
   uint64_t contended_ = 0;
   uint64_t queue_depth_sum_ = 0;
@@ -83,22 +90,38 @@ class LockStats {
 
 // Owns LockStats objects with stable addresses (sync primitives keep raw
 // pointers for the lifetime of the simulation). Creation order is preserved
-// so reports and JSON are deterministic.
+// so reports and JSON are deterministic. Names are interned: lookups by name
+// go through a u32 NameId index rather than string comparison.
 class LockStatsRegistry {
  public:
-  LockStats* Create(const std::string& name) {
-    store_.emplace_back(name);
+  LockStats* Create(std::string_view name) {
+    const NameId id = names_.Intern(name);
+    store_.emplace_back(std::string(name), id);
+    // Duplicate names are allowed (rare); the index keeps the first.
+    index_.emplace(id, store_.size() - 1);
     return &store_.back();
   }
 
   size_t size() const { return store_.size(); }
   const LockStats& at(size_t i) const { return store_[i]; }
 
+  // First lock created under `name`, or nullptr.
+  const LockStats* Find(std::string_view name) const {
+    const NameId id = names_.Find(name);
+    if (id == kInvalidNameId) {
+      return nullptr;
+    }
+    auto it = index_.find(id);
+    return it == index_.end() ? nullptr : &store_[it->second];
+  }
+
   // Locks sorted by total wait seconds, descending (ties: creation order).
   std::vector<const LockStats*> ByTotalWait() const;
 
  private:
   std::deque<LockStats> store_;  // deque: no reallocation, pointers stable
+  NameTable names_;
+  std::unordered_map<NameId, size_t> index_;
 };
 
 // Renders the top-N contended locks table shared by fastiov_sim and

@@ -1,53 +1,91 @@
 #include "src/stats/metrics.h"
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "src/stats/json_writer.h"
 
 namespace fastiov {
+namespace {
 
-uint64_t MetricsRegistry::Counter(const std::string& name) const {
-  auto it = counters_.find(name);
+// Sorted (name, id) view over an id-keyed map, for deterministic export with
+// the same lexicographic key order std::map used to provide.
+template <typename Map>
+std::vector<std::pair<const std::string*, const typename Map::mapped_type*>>
+SortedByName(const NameTable& names, const Map& map) {
+  std::vector<std::pair<const std::string*, const typename Map::mapped_type*>> out;
+  out.reserve(map.size());
+  for (const auto& [id, value] : map) {
+    out.emplace_back(&names.Name(id), &value);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  return out;
+}
+
+}  // namespace
+
+uint64_t MetricsRegistry::Counter(std::string_view name) const {
+  const NameId id = names_.Find(name);
+  if (id == kInvalidNameId) {
+    return 0;
+  }
+  auto it = counters_.find(id);
   return it == counters_.end() ? 0 : it->second;
 }
 
-double MetricsRegistry::Gauge(const std::string& name) const {
-  auto it = gauges_.find(name);
+double MetricsRegistry::Gauge(std::string_view name) const {
+  const NameId id = names_.Find(name);
+  if (id == kInvalidNameId) {
+    return 0.0;
+  }
+  auto it = gauges_.find(id);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
-const Summary* MetricsRegistry::FindSummary(const std::string& name) const {
-  auto it = summaries_.find(name);
+const Summary* MetricsRegistry::FindSummary(std::string_view name) const {
+  const NameId id = names_.Find(name);
+  if (id == kInvalidNameId) {
+    return nullptr;
+  }
+  auto it = summaries_.find(id);
   return it == summaries_.end() ? nullptr : &it->second;
 }
 
-bool MetricsRegistry::Has(const std::string& name) const {
-  return counters_.count(name) > 0 || gauges_.count(name) > 0 ||
-         summaries_.count(name) > 0;
+bool MetricsRegistry::Has(std::string_view name) const {
+  const NameId id = names_.Find(name);
+  if (id == kInvalidNameId) {
+    return false;
+  }
+  return counters_.count(id) > 0 || gauges_.count(id) > 0 ||
+         summaries_.count(id) > 0;
 }
 
 void MetricsRegistry::WriteJson(JsonWriter& json) const {
   json.BeginObject();
   json.Key("counters");
   json.BeginObject();
-  for (const auto& [name, value] : counters_) {
-    json.KV(name, value);
+  for (const auto& [name, value] : SortedByName(names_, counters_)) {
+    json.KV(*name, *value);
   }
   json.EndObject();
   json.Key("gauges");
   json.BeginObject();
-  for (const auto& [name, value] : gauges_) {
-    json.KV(name, value);
+  for (const auto& [name, value] : SortedByName(names_, gauges_)) {
+    json.KV(*name, *value);
   }
   json.EndObject();
   json.Key("summaries");
   json.BeginObject();
-  for (const auto& [name, s] : summaries_) {
-    json.Key(name);
+  for (const auto& [name, s] : SortedByName(names_, summaries_)) {
+    json.Key(*name);
     json.BeginObject()
-        .KV("count", static_cast<uint64_t>(s.Count()))
-        .KV("mean", s.Mean())
-        .KV("p50", s.Percentile(50))
-        .KV("p99", s.Percentile(99))
-        .KV("max", s.Max())
+        .KV("count", static_cast<uint64_t>(s->Count()))
+        .KV("mean", s->Mean())
+        .KV("p50", s->Percentile(50))
+        .KV("p99", s->Percentile(99))
+        .KV("max", s->Max())
         .EndObject();
   }
   json.EndObject();

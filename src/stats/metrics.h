@@ -6,13 +6,19 @@
 // stats, and per-step distributions into one registry and serializes it into
 // the result JSON (only when observability was requested, so default digests
 // are untouched).
+//
+// Names are interned into a NameTable and the hot-path maps key on a 32-bit
+// NameId, so repeated IncCounter/Observe calls never re-hash or copy the
+// name string. JSON export still emits keys sorted lexicographically, byte
+// identical to the historical std::map-keyed output.
 #ifndef SRC_STATS_METRICS_H_
 #define SRC_STATS_METRICS_H_
 
 #include <cstdint>
-#include <map>
-#include <string>
+#include <string_view>
+#include <unordered_map>
 
+#include "src/stats/name_table.h"
 #include "src/stats/summary.h"
 
 namespace fastiov {
@@ -22,40 +28,44 @@ class JsonWriter;
 class MetricsRegistry {
  public:
   // Counters: monotonically increasing event counts.
-  void IncCounter(const std::string& name, uint64_t delta = 1) {
-    counters_[name] += delta;
+  void IncCounter(std::string_view name, uint64_t delta = 1) {
+    counters_[names_.Intern(name)] += delta;
   }
-  void SetCounter(const std::string& name, uint64_t value) { counters_[name] = value; }
-  uint64_t Counter(const std::string& name) const;
+  void SetCounter(std::string_view name, uint64_t value) {
+    counters_[names_.Intern(name)] = value;
+  }
+  uint64_t Counter(std::string_view name) const;
 
   // Gauges: point-in-time values.
-  void SetGauge(const std::string& name, double value) { gauges_[name] = value; }
-  double Gauge(const std::string& name) const;
-
-  // Distributions: Summary-backed (exact percentiles).
-  void Observe(const std::string& name, double value) { summaries_[name].Add(value); }
-  void MergeSummary(const std::string& name, const Summary& s) {
-    summaries_[name].Merge(s);
+  void SetGauge(std::string_view name, double value) {
+    gauges_[names_.Intern(name)] = value;
   }
-  const Summary* FindSummary(const std::string& name) const;
+  double Gauge(std::string_view name) const;
 
-  bool Has(const std::string& name) const;
+  // Distributions: Summary-backed (exact percentiles up to the streaming
+  // threshold).
+  void Observe(std::string_view name, double value) {
+    summaries_[names_.Intern(name)].Add(value);
+  }
+  void MergeSummary(std::string_view name, const Summary& s) {
+    summaries_[names_.Intern(name)].Merge(s);
+  }
+  const Summary* FindSummary(std::string_view name) const;
+
+  bool Has(std::string_view name) const;
   size_t NumMetrics() const {
     return counters_.size() + gauges_.size() + summaries_.size();
   }
 
-  const std::map<std::string, uint64_t>& counters() const { return counters_; }
-  const std::map<std::string, double>& gauges() const { return gauges_; }
-  const std::map<std::string, Summary>& summaries() const { return summaries_; }
-
   // {"counters":{...},"gauges":{...},"summaries":{name:{count,mean,p50,p99,
-  // max},...}} — keys sorted (std::map), so output is deterministic.
+  // max},...}} — keys sorted by name, so output is deterministic.
   void WriteJson(JsonWriter& json) const;
 
  private:
-  std::map<std::string, uint64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, Summary> summaries_;
+  NameTable names_;
+  std::unordered_map<NameId, uint64_t> counters_;
+  std::unordered_map<NameId, double> gauges_;
+  std::unordered_map<NameId, Summary> summaries_;
 };
 
 }  // namespace fastiov

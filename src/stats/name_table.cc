@@ -1,0 +1,33 @@
+#include "src/stats/name_table.h"
+
+namespace fastiov {
+
+NameTable& NameTable::operator=(const NameTable& other) {
+  if (this != &other) {
+    names_ = other.names_;
+    index_.clear();
+    index_.reserve(names_.size());
+    for (size_t i = 0; i < names_.size(); ++i) {
+      index_.emplace(std::string_view(names_[i]), static_cast<NameId>(i));
+    }
+  }
+  return *this;
+}
+
+NameId NameTable::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+NameId NameTable::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidNameId : it->second;
+}
+
+}  // namespace fastiov

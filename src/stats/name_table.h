@@ -1,0 +1,47 @@
+// Interned-name table: hot paths key metrics/locks/timeline steps on a
+// 32-bit NameId instead of hashing and comparing strings per event.
+#ifndef SRC_STATS_NAME_TABLE_H_
+#define SRC_STATS_NAME_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace fastiov {
+
+using NameId = uint32_t;
+inline constexpr NameId kInvalidNameId = static_cast<NameId>(-1);
+
+// Append-only intern table. Ids are dense and assigned in first-Intern order,
+// so they are deterministic for a deterministic call sequence. Strings live in
+// a deque (stable addresses — the lookup index holds views into them), and
+// Name() references stay valid for the table's lifetime.
+class NameTable {
+ public:
+  NameTable() = default;
+  NameTable(const NameTable& other) { *this = other; }
+  NameTable& operator=(const NameTable& other);
+  // Moving a deque never relocates its elements, so the index's views into
+  // the stored strings (including SSO buffers) stay valid.
+  NameTable(NameTable&&) = default;
+  NameTable& operator=(NameTable&&) = default;
+
+  // Returns the id for `name`, interning it on first use.
+  NameId Intern(std::string_view name);
+
+  // Returns the id for `name` or kInvalidNameId if it was never interned.
+  NameId Find(std::string_view name) const;
+
+  const std::string& Name(NameId id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, NameId> index_;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_STATS_NAME_TABLE_H_

@@ -1,22 +1,111 @@
 #include "src/stats/summary.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 
 namespace fastiov {
+namespace {
+
+// Log-linear bin layout for the streaming histogram. A positive value
+// v = f * 2^e (frexp, f in [0.5, 1)) maps to octave e clamped to
+// [kMinExp, kMaxExp] and sub-bin floor((f - 0.5) * 2 * kSubBins). Bin 0 is
+// the underflow/non-positive catch-all. No libm log: the layout is exact
+// integer arithmetic on the float's exponent, so it is deterministic across
+// platforms and insertion orders.
+constexpr int kMinExp = -40;  // 2^-40 ~ 9.1e-13
+constexpr int kMaxExp = 40;   // 2^40  ~ 1.1e12
+constexpr int kSubBins = 32;  // per octave -> bin width ~1.6% of the value
+constexpr size_t kNumBins =
+    1 + static_cast<size_t>(kMaxExp - kMinExp + 1) * kSubBins;
+
+size_t BinIndex(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) {
+    return 0;
+  }
+  int e = 0;
+  const double f = std::frexp(v, &e);
+  if (e < kMinExp) {
+    return 0;
+  }
+  if (e > kMaxExp) {
+    return kNumBins - 1;
+  }
+  int sub = static_cast<int>((f - 0.5) * (2 * kSubBins));
+  sub = std::clamp(sub, 0, kSubBins - 1);
+  return 1 + static_cast<size_t>(e - kMinExp) * kSubBins +
+         static_cast<size_t>(sub);
+}
+
+double BinLowEdge(size_t i) {
+  if (i == 0) {
+    return 0.0;
+  }
+  const size_t rel = i - 1;
+  const int e = kMinExp + static_cast<int>(rel / kSubBins);
+  const int sub = static_cast<int>(rel % kSubBins);
+  return std::ldexp(0.5 + static_cast<double>(sub) / (2.0 * kSubBins), e);
+}
+
+double BinHighEdge(size_t i) {
+  if (i == 0) {
+    return BinLowEdge(1);
+  }
+  return BinLowEdge(i + 1);
+}
+
+std::atomic<size_t> g_default_exact_limit{65536};
+
+}  // namespace
+
+size_t Summary::DefaultExactLimit() {
+  return g_default_exact_limit.load(std::memory_order_relaxed);
+}
+
+void Summary::SetDefaultExactLimit(size_t limit) {
+  g_default_exact_limit.store(limit, std::memory_order_relaxed);
+}
 
 void Summary::Add(double v) {
-  samples_.push_back(v);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
   sum_ += v;
+  sumsq_ += v * v;
+  ++count_;
+  if (!bins_.empty()) {
+    ++bins_[BinIndex(v)];
+    return;
+  }
+  samples_.push_back(v);
+  sorted_valid_ = false;
+  if (count_ > exact_limit_) {
+    SwitchToStreaming();
+  }
+}
+
+void Summary::SwitchToStreaming() {
+  bins_.assign(kNumBins, 0);
+  for (double v : samples_) {
+    ++bins_[BinIndex(v)];
+  }
+  samples_.clear();
+  samples_.shrink_to_fit();
+  sorted_.clear();
+  sorted_.shrink_to_fit();
   sorted_valid_ = false;
 }
 
 double Summary::Mean() const {
-  if (samples_.empty()) {
+  if (count_ == 0) {
     return 0.0;
   }
-  return sum_ / static_cast<double>(samples_.size());
+  return sum_ / static_cast<double>(count_);
 }
 
 void Summary::EnsureSorted() const {
@@ -27,40 +116,63 @@ void Summary::EnsureSorted() const {
   }
 }
 
-double Summary::Min() const {
+const std::vector<double>& Summary::SortedSamples() const {
   EnsureSorted();
-  return sorted_.empty() ? 0.0 : sorted_.front();
-}
-
-double Summary::Max() const {
-  EnsureSorted();
-  return sorted_.empty() ? 0.0 : sorted_.back();
+  return sorted_;
 }
 
 double Summary::Variance() const {
-  if (samples_.size() < 2) {
+  if (count_ < 2) {
     return 0.0;
+  }
+  if (streaming()) {
+    const double n = static_cast<double>(count_);
+    const double mean = sum_ / n;
+    return std::max(0.0, sumsq_ / n - mean * mean);
   }
   const double mean = Mean();
   double acc = 0.0;
   for (double v : samples_) {
     acc += (v - mean) * (v - mean);
   }
-  return acc / static_cast<double>(samples_.size());
+  return acc / static_cast<double>(count_);
 }
 
 double Summary::Stddev() const { return std::sqrt(Variance()); }
 
+double Summary::ValueAtRank(double rank) const {
+  uint64_t before = 0;
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    const uint64_t c = bins_[i];
+    if (c == 0) {
+      continue;
+    }
+    if (rank < static_cast<double>(before + c)) {
+      const double lo = BinLowEdge(i);
+      const double hi = BinHighEdge(i);
+      const double within =
+          (rank - static_cast<double>(before) + 0.5) / static_cast<double>(c);
+      const double v = lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+      return std::clamp(v, min_, max_);
+    }
+    before += c;
+  }
+  return max_;
+}
+
 double Summary::Percentile(double p) const {
-  EnsureSorted();
-  if (sorted_.empty()) {
+  if (count_ == 0) {
     return 0.0;
   }
-  if (sorted_.size() == 1) {
-    return sorted_.front();
+  if (count_ == 1) {
+    return min_;
   }
   const double clamped = std::clamp(p, 0.0, 100.0);
-  const double rank = clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const double rank = clamped / 100.0 * static_cast<double>(count_ - 1);
+  if (streaming()) {
+    return ValueAtRank(rank);
+  }
+  EnsureSorted();
   const size_t lo = static_cast<size_t>(std::floor(rank));
   const size_t hi = static_cast<size_t>(std::ceil(rank));
   const double frac = rank - static_cast<double>(lo);
@@ -68,9 +180,32 @@ double Summary::Percentile(double p) const {
 }
 
 void Summary::Merge(const Summary& other) {
-  for (double v : other.samples_) {
-    Add(v);
+  if (other.count_ == 0) {
+    return;
   }
+  if (!other.streaming()) {
+    for (double v : other.samples_) {
+      Add(v);
+    }
+    return;
+  }
+  // The other side already spilled: fold bins and moments directly.
+  if (!streaming()) {
+    SwitchToStreaming();
+  }
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    bins_[i] += other.bins_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  sumsq_ += other.sumsq_;
+  count_ += other.count_;
 }
 
 Histogram::Histogram(double lo, double hi, size_t num_bins)
@@ -101,8 +236,21 @@ std::vector<CdfPoint> ComputeCdf(const Summary& summary, size_t max_points) {
   if (n == 0) {
     return out;
   }
-  std::vector<double> sorted = summary.samples();
-  std::sort(sorted.begin(), sorted.end());
+  if (summary.streaming()) {
+    // Walk percentile ranks rather than raw bins so the values clamp to
+    // [min, max] exactly like Percentile() does.
+    const size_t steps = std::max<size_t>(2, max_points);
+    out.reserve(steps);
+    for (size_t i = 0; i < steps; ++i) {
+      const double frac =
+          static_cast<double>(i + 1) / static_cast<double>(steps);
+      out.push_back({summary.Percentile(frac * 100.0), frac});
+    }
+    out.back().value = summary.Max();
+    out.back().fraction = 1.0;
+    return out;
+  }
+  const std::vector<double>& sorted = summary.SortedSamples();
   const size_t step = std::max<size_t>(1, n / max_points);
   for (size_t i = 0; i < n; i += step) {
     out.push_back({sorted[i], static_cast<double>(i + 1) / static_cast<double>(n)});

@@ -1,45 +1,87 @@
-// Sample summaries with exact percentiles.
+// Sample summaries: exact percentiles up to a pinned sample threshold, then a
+// deterministic log-binned streaming histogram (O(1) memory per sample).
 #ifndef SRC_STATS_SUMMARY_H_
 #define SRC_STATS_SUMMARY_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/simcore/time.h"
 
 namespace fastiov {
 
-// Collects double samples; percentiles are exact (computed on a sorted copy,
-// cached until the next Add).
+// Collects double samples. Up to `exact_limit` samples the summary is exact:
+// every sample is retained and percentiles are computed on a sorted copy
+// (cached until the next Add), byte-identical to the historical behavior.
+// When the count first exceeds the limit, the retained samples are folded —
+// in insertion order — into a fixed-size log-linear histogram (~32 sub-bins
+// per octave over ~2^-40..2^40, frexp-based, no libm log) and the sample
+// vector is freed; from then on each Add is O(1) memory. Mean/Min/Max/Sum are
+// tracked incrementally and identical in both modes; percentiles in streaming
+// mode interpolate within a bin (relative error bounded by the ~1.6% bin
+// width) and clamp to the observed [min, max].
 class Summary {
  public:
+  // Sentinel: never switch to streaming; pure exact mode.
+  static constexpr size_t kUnlimited = static_cast<size_t>(-1);
+
+  // Process-wide default for the exact-sample threshold (initially 65536).
+  // All existing experiment configs stay below it, so their results are
+  // byte-identical to the pre-streaming implementation.
+  static size_t DefaultExactLimit();
+  static void SetDefaultExactLimit(size_t limit);
+
+  Summary() : exact_limit_(DefaultExactLimit()) {}
+  explicit Summary(size_t exact_limit) : exact_limit_(exact_limit) {}
+
   void Add(double v);
   void AddTime(SimTime t) { Add(t.ToSecondsF()); }
 
-  size_t Count() const { return samples_.size(); }
-  bool Empty() const { return samples_.empty(); }
+  size_t Count() const { return count_; }
+  bool Empty() const { return count_ == 0; }
   double Sum() const { return sum_; }
   double Mean() const;
-  double Min() const;
-  double Max() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
   double Variance() const;  // population variance
   double Stddev() const;
 
-  // p in [0, 100]; linear interpolation between closest ranks.
+  // p in [0, 100]; linear interpolation between closest ranks (exact mode)
+  // or within the covering histogram bin (streaming mode).
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
   double P99() const { return Percentile(99.0); }
 
-  const std::vector<double>& samples() const { return samples_; }
+  // True once the summary has spilled to the streaming histogram. samples()
+  // and SortedSamples() are empty in that mode.
+  bool streaming() const { return !bins_.empty(); }
+  size_t exact_limit() const { return exact_limit_; }
 
-  // Merges another summary's samples into this one.
+  const std::vector<double>& samples() const { return samples_; }
+  // Sorted view of the retained samples (exact mode). Sorted once and cached;
+  // callers must not mutate. Empty in streaming mode.
+  const std::vector<double>& SortedSamples() const;
+
+  // Merges another summary's samples into this one. If both sides are exact
+  // and the combined count stays under the limit, this is byte-identical to
+  // re-adding the other side's samples in order.
   void Merge(const Summary& other);
 
  private:
   void EnsureSorted() const;
+  void SwitchToStreaming();
+  void AddToBins(double v);
+  double ValueAtRank(double rank) const;  // streaming mode; rank in [0, n-1]
 
   std::vector<double> samples_;
   double sum_ = 0.0;
+  double sumsq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  size_t count_ = 0;
+  size_t exact_limit_;
+  std::vector<uint64_t> bins_;  // empty until streaming mode activates
   mutable std::vector<double> sorted_;
   mutable bool sorted_valid_ = false;
 };

@@ -2,17 +2,43 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace fastiov {
 
-SimTime ContainerTimeline::StepTime(const std::string& step) const {
-  SimTime total = SimTime::Zero();
-  for (const Span& s : spans) {
-    if (!s.off_critical_path && s.step == step) {
-      total += s.duration();
-    }
+SimTime ContainerTimeline::StepTime(std::string_view step) const {
+  if (names == nullptr) {
+    return SimTime::Zero();
   }
-  return total;
+  return StepTimeId(names->Find(step));
+}
+
+TimelineRecorder& TimelineRecorder::operator=(const TimelineRecorder& other) {
+  if (this != &other) {
+    lanes_ = other.lanes_;
+    names_ = other.names_;
+    step_order_ = other.step_order_;
+    span_sample_limit_ = other.span_sample_limit_;
+    FixupLanePointers();
+  }
+  return *this;
+}
+
+TimelineRecorder& TimelineRecorder::operator=(TimelineRecorder&& other) noexcept {
+  if (this != &other) {
+    lanes_ = std::move(other.lanes_);
+    names_ = std::move(other.names_);
+    step_order_ = std::move(other.step_order_);
+    span_sample_limit_ = other.span_sample_limit_;
+    FixupLanePointers();
+  }
+  return *this;
+}
+
+void TimelineRecorder::FixupLanePointers() {
+  for (ContainerTimeline& lane : lanes_) {
+    lane.names = &names_;
+  }
 }
 
 int TimelineRecorder::RegisterContainer(SimTime start_time) {
@@ -20,23 +46,38 @@ int TimelineRecorder::RegisterContainer(SimTime start_time) {
   lane.id = static_cast<int>(lanes_.size());
   lane.start = start_time;
   lane.ready = start_time;
+  lane.names = &names_;
   lanes_.push_back(std::move(lane));
   return lanes_.back().id;
 }
 
-void TimelineRecorder::RecordSpan(int container_id, const std::string& step, SimTime begin,
+void TimelineRecorder::RecordSpan(int container_id, std::string_view step, SimTime begin,
                                   SimTime end, bool off_critical_path) {
   assert(container_id >= 0 && static_cast<size_t>(container_id) < lanes_.size());
-  if (std::find(step_order_.begin(), step_order_.end(), step) == step_order_.end()) {
-    step_order_.push_back(step);
+  const NameId id = names_.Intern(step);
+  if (std::find(step_order_.begin(), step_order_.end(), id) == step_order_.end()) {
+    step_order_.push_back(id);
   }
-  lanes_[container_id].spans.push_back(Span{step, begin, end, off_critical_path});
+  ContainerTimeline& lane = lanes_[container_id];
+  if (!off_critical_path) {
+    if (lane.step_ns.size() <= static_cast<size_t>(id)) {
+      lane.step_ns.resize(static_cast<size_t>(id) + 1, 0);
+    }
+    lane.step_ns[id] += (end - begin).ns();
+  }
+  if (static_cast<size_t>(container_id) < span_sample_limit_) {
+    lane.spans.push_back(Span{id, begin, end, off_critical_path});
+  }
 }
 
-void TimelineRecorder::RecordAuxSpan(int container_id, const std::string& step, SimTime begin,
+void TimelineRecorder::RecordAuxSpan(int container_id, std::string_view step, SimTime begin,
                                      SimTime end) {
   assert(container_id >= 0 && static_cast<size_t>(container_id) < lanes_.size());
-  lanes_[container_id].aux_spans.push_back(Span{step, begin, end, /*off_critical_path=*/true});
+  const NameId id = names_.Intern(step);
+  if (static_cast<size_t>(container_id) < span_sample_limit_) {
+    lanes_[container_id].aux_spans.push_back(
+        Span{id, begin, end, /*off_critical_path=*/true});
+  }
 }
 
 void TimelineRecorder::MarkReady(int container_id, SimTime t) {
@@ -71,15 +112,16 @@ Summary TimelineRecorder::TaskCompletionSummary() const {
   return s;
 }
 
-Summary TimelineRecorder::StepSummary(const std::string& step) const {
+Summary TimelineRecorder::StepSummary(std::string_view step) const {
+  const NameId id = names_.Find(step);
   Summary s;
   for (const auto& lane : lanes_) {
-    s.AddTime(lane.StepTime(step));
+    s.AddTime(lane.StepTimeId(id));
   }
   return s;
 }
 
-double TimelineRecorder::StepShareOfAverage(const std::string& step) const {
+double TimelineRecorder::StepShareOfAverage(std::string_view step) const {
   const Summary startup = StartupSummary();
   if (startup.Empty() || startup.Mean() <= 0.0) {
     return 0.0;
@@ -87,10 +129,11 @@ double TimelineRecorder::StepShareOfAverage(const std::string& step) const {
   return StepSummary(step).Mean() / startup.Mean();
 }
 
-double TimelineRecorder::StepShareOfP99(const std::string& step) const {
+double TimelineRecorder::StepShareOfP99(std::string_view step) const {
   if (lanes_.empty()) {
     return 0.0;
   }
+  const NameId id = names_.Find(step);
   // Rank containers by startup time; average the step share over the slowest
   // 1% (at least one container).
   std::vector<const ContainerTimeline*> by_time;
@@ -108,13 +151,20 @@ double TimelineRecorder::StepShareOfP99(const std::string& step) const {
     const ContainerTimeline* lane = by_time[i];
     const double total = lane->StartupTime().ToSecondsF();
     if (total > 0.0) {
-      share_sum += lane->StepTime(step).ToSecondsF() / total;
+      share_sum += lane->StepTimeId(id).ToSecondsF() / total;
       ++counted;
     }
   }
   return counted > 0 ? share_sum / static_cast<double>(counted) : 0.0;
 }
 
-std::vector<std::string> TimelineRecorder::StepNames() const { return step_order_; }
+std::vector<std::string> TimelineRecorder::StepNames() const {
+  std::vector<std::string> out;
+  out.reserve(step_order_.size());
+  for (NameId id : step_order_) {
+    out.push_back(names_.Name(id));
+  }
+  return out;
+}
 
 }  // namespace fastiov

@@ -6,14 +6,24 @@
 // (step name, begin, end). Spans flagged `off_critical_path` (FastIOV's
 // asynchronously executed VF driver init) are excluded from per-container
 // startup accounting but still available for inspection.
+//
+// Memory model (fleet scale): step names are interned once into a NameTable
+// and spans carry a 32-bit NameId, and every lane maintains an aggregate
+// critical-path nanosecond sum per step id. Because simulated time is integer
+// nanoseconds, those sums are bit-identical to re-walking the span list, so
+// with `set_span_sample_limit(K)` the recorder can keep full span vectors for
+// only the first K lanes (deterministic sample, for trace export) while all
+// step/startup statistics remain byte-identical to unbounded recording.
 #ifndef SRC_STATS_TIMELINE_H_
 #define SRC_STATS_TIMELINE_H_
 
-#include <map>
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/simcore/time.h"
+#include "src/stats/name_table.h"
 #include "src/stats/summary.h"
 
 namespace fastiov {
@@ -29,7 +39,7 @@ inline constexpr const char kStepVfDriver[] = "5-vf-driver";
 inline constexpr const char kStepAddCni[] = "addCNI";
 
 struct Span {
-  std::string step;
+  NameId step = kInvalidNameId;  // resolve via ContainerTimeline::StepNameOf
   SimTime begin;
   SimTime end;
   bool off_critical_path = false;
@@ -44,24 +54,52 @@ struct ContainerTimeline {
   SimTime task_done;   // application finished (task-completion experiments)
   bool has_ready = false;  // false for containers that aborted before ready
   bool has_task_done = false;
+  // Full span lists; empty for lanes beyond the recorder's span-sample limit.
   std::vector<Span> spans;
   // Auxiliary spans (e.g. the supervised link-up process): rendered in the
   // trace on their own thread rows but kept out of `spans` so step-share
-  // accounting and step_order_ never see them.
+  // accounting and step order never see them.
   std::vector<Span> aux_spans;
+  // Aggregate critical-path time per step id — always maintained, even for
+  // lanes whose span vectors are elided.
+  std::vector<int64_t> step_ns;
+  // The owning recorder's intern table (fixed up on recorder copy/move).
+  const NameTable* names = nullptr;
 
   SimTime StartupTime() const { return ready - start; }
   // Total time spent in a step on the critical path.
-  SimTime StepTime(const std::string& step) const;
+  SimTime StepTime(std::string_view step) const;
+  SimTime StepTimeId(NameId step) const {
+    if (step == kInvalidNameId || static_cast<size_t>(step) >= step_ns.size()) {
+      return SimTime::Zero();
+    }
+    return SimTime(step_ns[step]);
+  }
+  const std::string& StepNameOf(const Span& s) const { return names->Name(s.step); }
 };
 
 class TimelineRecorder {
  public:
+  TimelineRecorder() = default;
+  // Lanes hold a pointer to this recorder's NameTable; copies and moves must
+  // re-point them at the destination table.
+  TimelineRecorder(const TimelineRecorder& other) { *this = other; }
+  TimelineRecorder& operator=(const TimelineRecorder& other);
+  TimelineRecorder(TimelineRecorder&& other) noexcept { *this = std::move(other); }
+  TimelineRecorder& operator=(TimelineRecorder&& other) noexcept;
+
+  // Bounded recording: keep full span vectors only for the first `limit`
+  // registered lanes. Aggregate step sums stay on for every lane, so all
+  // summary/step statistics are unaffected — only trace export of unsampled
+  // lanes loses per-span detail. Set before containers register.
+  void set_span_sample_limit(size_t limit) { span_sample_limit_ = limit; }
+  size_t span_sample_limit() const { return span_sample_limit_; }
+
   int RegisterContainer(SimTime start_time);
-  void RecordSpan(int container_id, const std::string& step, SimTime begin, SimTime end,
+  void RecordSpan(int container_id, std::string_view step, SimTime begin, SimTime end,
                   bool off_critical_path = false);
   // Records an auxiliary span: trace-only, excluded from step accounting.
-  void RecordAuxSpan(int container_id, const std::string& step, SimTime begin, SimTime end);
+  void RecordAuxSpan(int container_id, std::string_view step, SimTime begin, SimTime end);
   void MarkReady(int container_id, SimTime t);
   void MarkTaskDone(int container_id, SimTime t);
 
@@ -74,22 +112,29 @@ class TimelineRecorder {
   // Task-completion times for containers that ran an application.
   Summary TaskCompletionSummary() const;
   // Per-step critical-path durations across containers.
-  Summary StepSummary(const std::string& step) const;
+  Summary StepSummary(std::string_view step) const;
 
   // Tab. 1: share of a step in the average startup time — the mean of the
   // per-container step durations divided by the mean startup time.
-  double StepShareOfAverage(const std::string& step) const;
+  double StepShareOfAverage(std::string_view step) const;
   // Tab. 1: share of a step in the p99 tail — the step time of containers at
   // the startup-time p99, approximated by the mean step share among the
   // slowest 1% of containers.
-  double StepShareOfP99(const std::string& step) const;
+  double StepShareOfP99(std::string_view step) const;
 
   // All distinct step names seen, in first-seen order.
   std::vector<std::string> StepNames() const;
 
+  const NameTable& step_names() const { return names_; }
+  const std::string& StepName(NameId id) const { return names_.Name(id); }
+
  private:
+  void FixupLanePointers();
+
   std::vector<ContainerTimeline> lanes_;
-  std::vector<std::string> step_order_;
+  NameTable names_;
+  std::vector<NameId> step_order_;
+  size_t span_sample_limit_ = static_cast<size_t>(-1);
 };
 
 }  // namespace fastiov

@@ -82,14 +82,16 @@ void ExportChromeTrace(const TimelineRecorder& recorder, std::ostream& os,
     // The whole startup as one umbrella event.
     EmitSpan(json, "startup", pid, 0, lane.start, lane.ready - lane.start);
     for (const Span& span : lane.spans) {
+      const std::string& step = recorder.StepName(span.step);
       // Each off-critical-path span kind lands on its own thread row so
       // concurrent background work (async VF init) stays distinguishable
       // from the critical path and from other background rows.
-      const int64_t tid = span.off_critical_path ? rows.Tid("async " + span.step) : 0;
-      EmitSpan(json, span.step, pid, tid, span.begin, span.duration());
+      const int64_t tid = span.off_critical_path ? rows.Tid("async " + step) : 0;
+      EmitSpan(json, step, pid, tid, span.begin, span.duration());
     }
     for (const Span& span : lane.aux_spans) {
-      EmitSpan(json, span.step, pid, rows.Tid(span.step), span.begin, span.duration());
+      const std::string& step = recorder.StepName(span.step);
+      EmitSpan(json, step, pid, rows.Tid(step), span.begin, span.duration());
     }
     if (lane.has_task_done) {
       EmitSpan(json, "task", pid, 0, lane.ready, lane.task_done - lane.ready);

@@ -1,0 +1,137 @@
+// Fleet-scale streaming pipeline smoke (~10^3 launches): the streamed
+// multi-cell path must be byte-identical to the buffered path, bounding the
+// timeline must not move a result byte, and the streaming-capable Summary
+// must match pure exact mode below the switchover threshold — the three
+// identities the fleet tier of simbench relies on, pinned here at a size
+// ctest can afford.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/experiments/multi_cell.h"
+#include "src/experiments/result_json.h"
+#include "src/experiments/startup_experiment.h"
+#include "src/stats/digest.h"
+#include "src/stats/json_writer.h"
+#include "src/stats/summary.h"
+
+namespace fastiov {
+namespace {
+
+constexpr int kCells = 4;
+constexpr int kPerCell = 250;  // 4 x 250 = 10^3 launches
+
+ExperimentOptions FleetOptions() {
+  ExperimentOptions opt;
+  opt.concurrency = kPerCell;
+  return opt;
+}
+
+TEST(FleetSmokeTest, StreamedResultsByteIdenticalToBuffered) {
+  MultiCellOptions mc;
+  mc.cells = kCells;
+  mc.cell_threads = 1;
+
+  DigestOstream streamed;
+  std::vector<int> order;
+  const MultiCellStreamStats stats = RunMultiCellStream(
+      StackConfig::FastIov(), FleetOptions(), mc,
+      [&](int index, ExperimentResult&& cell) {
+        order.push_back(index);
+        JsonWriter json(streamed);
+        WriteExperimentResultJson(cell, json);
+        streamed << '\n';
+      });
+  EXPECT_TRUE(stats.streamed);
+  EXPECT_EQ(stats.cells, kCells);
+  ASSERT_EQ(order.size(), static_cast<size_t>(kCells));
+  for (int i = 0; i < kCells; ++i) {
+    EXPECT_EQ(order[i], i) << "sink must receive cells in index order";
+  }
+
+  const MultiCellResult buffered =
+      RunMultiCellExperiment(StackConfig::FastIov(), FleetOptions(), mc);
+  Fnv1a64 reference;
+  reference.Update(MultiCellDigest(buffered));
+  EXPECT_EQ(streamed.bytes(), reference.bytes());
+  EXPECT_EQ(streamed.value(), reference.value());
+}
+
+TEST(FleetSmokeTest, BoundedTimelineDoesNotMoveResultBytes) {
+  // All result statistics come from the always-on aggregate step sums, so
+  // keeping spans for only the first 8 containers (out of 250) must leave
+  // the serialized result untouched.
+  ExperimentOptions bounded = FleetOptions();
+  bounded.timeline_span_sample = 8;
+  ExperimentOptions unbounded = FleetOptions();
+  const ExperimentResult b = RunStartupExperiment(StackConfig::FastIov(), bounded);
+  const ExperimentResult u = RunStartupExperiment(StackConfig::FastIov(), unbounded);
+  EXPECT_EQ(ExperimentResultJson(b), ExperimentResultJson(u));
+  // The bounding itself took effect: sampled lanes keep spans, later ones not.
+  EXPECT_FALSE(b.timeline.Container(0).spans.empty());
+  EXPECT_TRUE(b.timeline.Container(kPerCell - 1).spans.empty());
+  EXPECT_FALSE(u.timeline.Container(kPerCell - 1).spans.empty());
+}
+
+TEST(FleetSmokeTest, StreamingCapableSummaryMatchesPureExactBelowThreshold) {
+  // Below the switchover threshold the streaming-capable Summary must be a
+  // byte-for-byte no-op: the same experiment serialized under the default
+  // limit (65536, never reached at 250 samples) and under kUnlimited (the
+  // pre-streaming behavior) must match exactly.
+  const size_t saved = Summary::DefaultExactLimit();
+  const ExperimentResult with_default =
+      RunStartupExperiment(StackConfig::FastIov(), FleetOptions());
+  Summary::SetDefaultExactLimit(Summary::kUnlimited);
+  const ExperimentResult pure_exact =
+      RunStartupExperiment(StackConfig::FastIov(), FleetOptions());
+  Summary::SetDefaultExactLimit(saved);
+  EXPECT_EQ(ExperimentResultJson(with_default), ExperimentResultJson(pure_exact));
+}
+
+TEST(FleetSmokeTest, FleetAggregateCrossesSwitchoverDeterministically) {
+  // A fleet-wide aggregate with a small exact limit crosses into streaming
+  // mid-merge; merging the same cells in the same order twice must land on
+  // bit-identical statistics.
+  MultiCellOptions mc;
+  mc.cells = kCells;
+  mc.cell_threads = 1;
+  std::vector<Summary> per_cell;
+  RunMultiCellStream(StackConfig::FastIov(), FleetOptions(), mc,
+                     [&](int, ExperimentResult&& cell) {
+                       per_cell.push_back(cell.startup);
+                     });
+  ASSERT_EQ(per_cell.size(), static_cast<size_t>(kCells));
+
+  auto fold = [&] {
+    Summary fleet(100);  // 1000 samples total: crosses during the first cell
+    for (const Summary& s : per_cell) {
+      fleet.Merge(s);
+    }
+    return fleet;
+  };
+  const Summary a = fold();
+  const Summary b = fold();
+  ASSERT_TRUE(a.streaming());
+  EXPECT_EQ(a.Count(), static_cast<size_t>(kCells * kPerCell));
+  EXPECT_DOUBLE_EQ(a.Mean(), b.Mean());
+  EXPECT_DOUBLE_EQ(a.Percentile(50), b.Percentile(50));
+  EXPECT_DOUBLE_EQ(a.Percentile(99), b.Percentile(99));
+  EXPECT_DOUBLE_EQ(a.Min(), b.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), b.Max());
+
+  // And the streamed aggregate tracks the exact one: same count/min/max/sum,
+  // percentiles within the histogram's bin width.
+  Summary exact(Summary::kUnlimited);
+  for (const Summary& s : per_cell) {
+    exact.Merge(s);
+  }
+  EXPECT_EQ(a.Count(), exact.Count());
+  EXPECT_DOUBLE_EQ(a.Min(), exact.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), exact.Max());
+  EXPECT_DOUBLE_EQ(a.Sum(), exact.Sum());
+  EXPECT_NEAR(a.Percentile(99), exact.Percentile(99), 0.03 * exact.Percentile(99));
+}
+
+}  // namespace
+}  // namespace fastiov

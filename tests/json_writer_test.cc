@@ -1,0 +1,181 @@
+// JsonWriter edge cases: the three sinks must produce byte-identical output
+// (streamed fleet digests are computed over the ostream sink while tests
+// compare string-sink documents — any divergence would fake a determinism
+// failure), escaping must cover the full control range, and deep nesting
+// must not blow up.
+#include "src/stats/json_writer.h"
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace fastiov {
+namespace {
+
+// One document exercising every value path: nested containers, escapes,
+// integer widths, doubles, bools, null, raw embedding.
+void WriteSampleDocument(JsonWriter& json) {
+  json.BeginObject();
+  json.KV("name", "fleet \"α\" run\n\ttab");
+  json.KV("count", static_cast<int64_t>(-42));
+  json.KV("big", static_cast<uint64_t>(18446744073709551615ull));
+  json.KV("ratio", 0.25);
+  json.KV("tiny", 1e-30);
+  json.KV("flag", true);
+  json.Key("missing");
+  json.Null();
+  json.Key("nested");
+  json.BeginArray();
+  json.Value("plain");
+  json.BeginObject().KV("inner", 7).EndObject();
+  json.RawValue("{\"raw\":[1,2,3]}");
+  json.EndArray();
+  json.EndObject();
+}
+
+TEST(JsonWriterTest, AllThreeSinksProduceIdenticalBytes) {
+  JsonWriter internal;
+  WriteSampleDocument(internal);
+
+  std::string external;
+  JsonWriter to_string(external);
+  WriteSampleDocument(to_string);
+
+  std::ostringstream os;
+  {
+    JsonWriter to_stream(os);
+    WriteSampleDocument(to_stream);
+  }
+
+  EXPECT_EQ(internal.str(), external);
+  EXPECT_EQ(internal.str(), os.str());
+  EXPECT_FALSE(internal.str().empty());
+}
+
+TEST(JsonWriterTest, ControlCharactersEscapedAsUnicode) {
+  JsonWriter json;
+  std::string raw;
+  for (char c = 1; c < 0x20; ++c) {
+    raw.push_back(c);
+  }
+  json.Value(raw);
+  const std::string out = json.str();
+  // The named short escapes the writer emits.
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+  EXPECT_NE(out.find("\\r"), std::string::npos);
+  EXPECT_NE(out.find("\\t"), std::string::npos);
+  // Everything else (including \b and \f) as \u00XX.
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+  EXPECT_NE(out.find("\\u0008"), std::string::npos);
+  EXPECT_NE(out.find("\\u000c"), std::string::npos);
+  EXPECT_NE(out.find("\\u001f"), std::string::npos);
+  // No raw control byte may survive.
+  for (char c = 1; c < 0x20; ++c) {
+    EXPECT_EQ(out.find(c), std::string::npos) << static_cast<int>(c);
+  }
+}
+
+TEST(JsonWriterTest, QuoteAndBackslashEscaped) {
+  JsonWriter json;
+  json.Value("a\"b\\c");
+  EXPECT_EQ(json.str(), "\"a\\\"b\\\\c\"");
+}
+
+TEST(JsonWriterTest, EscapeStaticMatchesValuePath) {
+  const std::string raw = "line1\nline2\t\"quoted\"\\x";
+  JsonWriter json;
+  json.Value(raw);
+  EXPECT_EQ(json.str(), "\"" + JsonWriter::Escape(raw) + "\"");
+}
+
+TEST(JsonWriterTest, RawValueParticipatesInCommaPlacement) {
+  JsonWriter json;
+  json.BeginArray();
+  json.RawValue("1");
+  json.RawValue("{\"k\":\"v\"}");
+  json.Value(3);
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[1,{\"k\":\"v\"},3]");
+}
+
+TEST(JsonWriterTest, RawValueAsObjectMember) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("embedded");
+  json.RawValue("[null,true]");
+  json.KV("after", 1);
+  json.EndObject();
+  EXPECT_EQ(json.str(), "{\"embedded\":[null,true],\"after\":1}");
+}
+
+TEST(JsonWriterTest, DeepNestingRoundTrips) {
+  constexpr int kDepth = 1000;
+  JsonWriter json;
+  for (int i = 0; i < kDepth; ++i) {
+    json.BeginArray();
+  }
+  json.Value(1);
+  for (int i = 0; i < kDepth; ++i) {
+    json.EndArray();
+  }
+  const std::string out = json.str();
+  EXPECT_EQ(out.size(), 2u * kDepth + 1);
+  EXPECT_EQ(out.substr(0, 3), "[[[");
+  EXPECT_EQ(out.substr(out.size() - 3), "]]]");
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesSerializeAsNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Value(std::nan(""));
+  json.Value(HUGE_VAL);
+  json.Value(-HUGE_VAL);
+  json.Value(1.5);
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[null,null,null,1.5]");
+}
+
+TEST(JsonWriterTest, TakeStringMovesDocumentOut) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("k", 1);
+  json.EndObject();
+  std::string doc = json.TakeString();
+  EXPECT_EQ(doc, "{\"k\":1}");
+}
+
+TEST(JsonWriterTest, ExternalStringSinkAppends) {
+  // The writer appends to the caller's buffer — callers stream multiple
+  // documents into one string (the sweep digest does exactly this).
+  std::string out = "prefix:";
+  JsonWriter json(out);
+  json.BeginObject();
+  json.KV("a", true);
+  json.EndObject();
+  EXPECT_EQ(out, "prefix:{\"a\":true}");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("obj");
+  json.BeginObject().EndObject();
+  json.Key("arr");
+  json.BeginArray().EndArray();
+  json.EndObject();
+  EXPECT_EQ(json.str(), "{\"obj\":{},\"arr\":[]}");
+}
+
+TEST(JsonWriterTest, KeysAreEscapedToo) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("we\"ird\nkey", 1);
+  json.EndObject();
+  EXPECT_EQ(json.str(), "{\"we\\\"ird\\nkey\":1}");
+}
+
+}  // namespace
+}  // namespace fastiov

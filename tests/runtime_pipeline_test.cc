@@ -130,7 +130,7 @@ TEST(PipelineTest, FastIovVfDriverSpanIsOffCriticalPath) {
     // ...but the span itself was recorded.
     bool saw_async_span = false;
     for (const Span& span : lane.spans) {
-      if (span.step == kStepVfDriver) {
+      if (lane.StepNameOf(span) == kStepVfDriver) {
         EXPECT_TRUE(span.off_critical_path);
         saw_async_span = true;
       }

@@ -4,7 +4,9 @@
 
 #include "src/stats/table.h"
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 namespace fastiov {
 namespace {
@@ -90,6 +92,173 @@ TEST(SummaryTest, MergeCombinesSamples) {
   a.Merge(b);
   EXPECT_EQ(a.Count(), 3u);
   EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+}
+
+// --- streaming mode: the exact->histogram switchover ----------------------
+
+TEST(SummaryStreamingTest, DefaultLimitIsHighEnoughForReferenceConfigs) {
+  // Every reference experiment config stays below this, so their results are
+  // byte-identical to the pre-streaming implementation by construction.
+  EXPECT_GE(Summary::DefaultExactLimit(), 65536u);
+  Summary s;
+  EXPECT_EQ(s.exact_limit(), Summary::DefaultExactLimit());
+}
+
+TEST(SummaryStreamingTest, ActivatesOnlyAboveLimit) {
+  Summary s(100);
+  for (int i = 0; i < 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_FALSE(s.streaming());
+  EXPECT_EQ(s.samples().size(), 100u);
+  s.Add(100.0);
+  EXPECT_TRUE(s.streaming());
+  EXPECT_TRUE(s.samples().empty());  // retained samples folded and freed
+  EXPECT_EQ(s.Count(), 101u);
+}
+
+TEST(SummaryStreamingTest, MomentsIdenticalAcrossModes) {
+  Summary exact(Summary::kUnlimited);
+  Summary streaming(64);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = 0.5 + static_cast<double>(i % 997) * 0.01;
+    exact.Add(v);
+    streaming.Add(v);
+  }
+  ASSERT_TRUE(streaming.streaming());
+  ASSERT_FALSE(exact.streaming());
+  // Count/Sum/Min/Max are tracked incrementally on both paths: bit-identical.
+  EXPECT_EQ(streaming.Count(), exact.Count());
+  EXPECT_DOUBLE_EQ(streaming.Sum(), exact.Sum());
+  EXPECT_DOUBLE_EQ(streaming.Min(), exact.Min());
+  EXPECT_DOUBLE_EQ(streaming.Max(), exact.Max());
+  EXPECT_DOUBLE_EQ(streaming.Mean(), exact.Mean());
+  // Variance switches from two-pass to the moment formula: equal up to fp
+  // rounding, not bitwise.
+  EXPECT_NEAR(streaming.Variance(), exact.Variance(), 1e-9 * exact.Variance() + 1e-12);
+}
+
+TEST(SummaryStreamingTest, PercentilesWithinBinWidthOfExact) {
+  Summary exact(Summary::kUnlimited);
+  Summary streaming(128);
+  for (int i = 0; i < 100000; ++i) {
+    const double v = 0.001 + static_cast<double>((i * 7919) % 10007) * 0.003;
+    exact.Add(v);
+    streaming.Add(v);
+  }
+  ASSERT_TRUE(streaming.streaming());
+  for (double p : {1.0, 25.0, 50.0, 90.0, 99.0, 99.9}) {
+    const double e = exact.Percentile(p);
+    const double s = streaming.Percentile(p);
+    // ~32 sub-bins per octave => relative bin width ~2.2%; interpolation
+    // within the bin keeps the error well inside it.
+    EXPECT_NEAR(s, e, 0.03 * e) << "p" << p;
+    EXPECT_GE(s, streaming.Min());
+    EXPECT_LE(s, streaming.Max());
+  }
+  EXPECT_DOUBLE_EQ(streaming.Percentile(0), exact.Min());
+  EXPECT_DOUBLE_EQ(streaming.Percentile(100), exact.Max());
+}
+
+TEST(SummaryStreamingTest, SwitchoverIsDeterministic) {
+  // Same insertion order, same limit => the fold happens at the same point
+  // and every statistic matches bit for bit.
+  Summary a(50);
+  Summary b(50);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 1.0 + static_cast<double>((i * 31) % 113);
+    a.Add(v);
+    b.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(a.Percentile(50), b.Percentile(50));
+  EXPECT_DOUBLE_EQ(a.Percentile(99), b.Percentile(99));
+  EXPECT_DOUBLE_EQ(a.Mean(), b.Mean());
+  EXPECT_DOUBLE_EQ(a.Variance(), b.Variance());
+}
+
+TEST(SummaryStreamingTest, MergeExactIntoStreaming) {
+  Summary streaming(10);
+  for (int i = 0; i < 100; ++i) {
+    streaming.Add(static_cast<double>(i));
+  }
+  ASSERT_TRUE(streaming.streaming());
+  Summary exact;
+  exact.Add(1000.0);
+  exact.Add(2000.0);
+  streaming.Merge(exact);
+  EXPECT_EQ(streaming.Count(), 102u);
+  EXPECT_DOUBLE_EQ(streaming.Max(), 2000.0);
+  EXPECT_DOUBLE_EQ(streaming.Min(), 0.0);
+}
+
+TEST(SummaryStreamingTest, MergeStreamingForcesStreaming) {
+  Summary a;  // exact, default limit
+  a.Add(1.0);
+  a.Add(2.0);
+  Summary b(10);
+  for (int i = 0; i < 50; ++i) {
+    b.Add(3.0);
+  }
+  ASSERT_TRUE(b.streaming());
+  a.Merge(b);
+  EXPECT_TRUE(a.streaming());
+  EXPECT_EQ(a.Count(), 52u);
+  EXPECT_DOUBLE_EQ(a.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(a.Sum(), 153.0);
+}
+
+TEST(SummaryStreamingTest, MergeOfExactSidesStaysExact) {
+  Summary a;
+  a.Add(1.0);
+  Summary b;
+  b.Add(2.0);
+  a.Merge(b);
+  EXPECT_FALSE(a.streaming());
+  EXPECT_EQ(a.samples().size(), 2u);
+}
+
+TEST(SummaryStreamingTest, NegativeAndZeroSamples) {
+  // The log-binned histogram handles sign via mirrored bins and zero via the
+  // underflow catch-all; order statistics stay clamped to [min, max].
+  Summary s(4);
+  for (double v : {-5.0, -1.0, 0.0, 0.0, 1.0, 5.0, -2.5, 3.5}) {
+    s.Add(v);
+  }
+  ASSERT_TRUE(s.streaming());
+  EXPECT_DOUBLE_EQ(s.Min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  EXPECT_GE(s.Percentile(50), s.Min());
+  EXPECT_LE(s.Percentile(50), s.Max());
+}
+
+TEST(SummaryStreamingTest, CdfStreamingMonotoneAndEndsAtMax) {
+  Summary s(100);
+  for (int i = 0; i < 5000; ++i) {
+    s.Add(1.0 + static_cast<double>(i % 37));
+  }
+  ASSERT_TRUE(s.streaming());
+  const auto cdf = ComputeCdf(s, 32);
+  ASSERT_FALSE(cdf.empty());
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 37.0);
+}
+
+TEST(SummaryStreamingTest, SortedSamplesCachedViewMatchesSortedCopy) {
+  Summary s;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    s.Add(v);
+  }
+  const std::vector<double>& sorted = s.SortedSamples();
+  ASSERT_EQ(sorted.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  // Adding invalidates the cache; the re-sorted view includes the new sample.
+  s.Add(0.5);
+  EXPECT_DOUBLE_EQ(s.SortedSamples().front(), 0.5);
 }
 
 TEST(HistogramTest, BinsAndClamping) {

@@ -95,5 +95,106 @@ TEST(TimelineTest, EmptyRecorderSharesAreZero) {
   EXPECT_DOUBLE_EQ(rec.StepShareOfP99(kStepCgroup), 0.0);
 }
 
+// --- interning ------------------------------------------------------------
+
+TEST(TimelineTest, SpanStepResolvesThroughRecorder) {
+  TimelineRecorder rec;
+  const int id = rec.RegisterContainer(SimTime::Zero());
+  rec.RecordSpan(id, kStepDmaRam, SimTime::Zero(), Seconds(1.0));
+  const ContainerTimeline& lane = rec.Container(id);
+  ASSERT_EQ(lane.spans.size(), 1u);
+  EXPECT_EQ(lane.StepNameOf(lane.spans[0]), kStepDmaRam);
+  // Both lane and recorder resolve the interned id to the same string.
+  EXPECT_EQ(rec.StepName(lane.spans[0].step), kStepDmaRam);
+}
+
+TEST(TimelineTest, InterningDeduplicatesAcrossLanes) {
+  TimelineRecorder rec;
+  const int a = rec.RegisterContainer(SimTime::Zero());
+  const int b = rec.RegisterContainer(SimTime::Zero());
+  rec.RecordSpan(a, kStepVfioDev, SimTime::Zero(), Seconds(1.0));
+  rec.RecordSpan(b, kStepVfioDev, Seconds(1.0), Seconds(2.0));
+  EXPECT_EQ(rec.Container(a).spans[0].step, rec.Container(b).spans[0].step);
+}
+
+TEST(TimelineTest, CopiedRecorderResolvesNamesIndependently) {
+  TimelineRecorder rec;
+  const int id = rec.RegisterContainer(SimTime::Zero());
+  rec.RecordSpan(id, kStepVirtioFs, SimTime::Zero(), Seconds(1.0));
+  TimelineRecorder copy = rec;   // lanes' name-table pointers must be fixed up
+  rec = TimelineRecorder();      // destroy the original's table
+  const ContainerTimeline& lane = copy.Container(id);
+  EXPECT_EQ(lane.StepNameOf(lane.spans[0]), kStepVirtioFs);
+  EXPECT_EQ(lane.StepTime(kStepVirtioFs), Seconds(1.0));
+}
+
+// --- bounded span recording -----------------------------------------------
+
+TEST(TimelineBoundedTest, SpansElidedBeyondSampleLimit) {
+  TimelineRecorder rec;
+  rec.set_span_sample_limit(2);
+  for (int i = 0; i < 5; ++i) {
+    const int id = rec.RegisterContainer(SimTime::Zero());
+    rec.RecordSpan(id, kStepDmaRam, SimTime::Zero(), Seconds(1.0));
+    rec.MarkReady(id, Seconds(2.0));
+  }
+  EXPECT_EQ(rec.Container(0).spans.size(), 1u);
+  EXPECT_EQ(rec.Container(1).spans.size(), 1u);
+  EXPECT_TRUE(rec.Container(2).spans.empty());
+  EXPECT_TRUE(rec.Container(4).spans.empty());
+}
+
+TEST(TimelineBoundedTest, AggregateStatsUnchangedByBounding) {
+  // The per-lane step-time sums are maintained independently of the span
+  // vectors, so every statistic the result JSON is built from is identical
+  // whether or not a lane keeps its spans.
+  TimelineRecorder full;
+  TimelineRecorder bounded;
+  bounded.set_span_sample_limit(1);
+  for (TimelineRecorder* rec : {&full, &bounded}) {
+    for (int i = 0; i < 4; ++i) {
+      const int id = rec->RegisterContainer(SimTime::Zero());
+      rec->RecordSpan(id, kStepVfioDev, SimTime::Zero(), Seconds(2.0));
+      rec->RecordSpan(id, kStepDmaRam, Seconds(2.0), Seconds(3.0));
+      rec->RecordSpan(id, kStepVfDriver, Seconds(3.0), Seconds(4.0),
+                      /*off_critical_path=*/true);
+      rec->MarkReady(id, Seconds(4.0));
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(bounded.Container(i).StepTime(kStepVfioDev),
+              full.Container(i).StepTime(kStepVfioDev));
+    EXPECT_EQ(bounded.Container(i).StepTime(kStepDmaRam),
+              full.Container(i).StepTime(kStepDmaRam));
+    // Off-critical-path spans are excluded from sums on both paths.
+    EXPECT_EQ(bounded.Container(i).StepTime(kStepVfDriver), SimTime::Zero());
+  }
+  EXPECT_DOUBLE_EQ(bounded.StepShareOfAverage(kStepVfioDev),
+                   full.StepShareOfAverage(kStepVfioDev));
+  EXPECT_DOUBLE_EQ(bounded.StepShareOfP99(kStepVfioDev),
+                   full.StepShareOfP99(kStepVfioDev));
+  EXPECT_EQ(bounded.StepNames(), full.StepNames());
+  EXPECT_EQ(bounded.Container(3).spans.size(), 0u);
+  EXPECT_EQ(full.Container(3).spans.size(), 3u);
+}
+
+TEST(TimelineBoundedTest, StepSummaryIdenticalUnderBounding) {
+  TimelineRecorder full;
+  TimelineRecorder bounded;
+  bounded.set_span_sample_limit(0);  // keep no spans at all
+  for (TimelineRecorder* rec : {&full, &bounded}) {
+    for (int i = 0; i < 3; ++i) {
+      const int id = rec->RegisterContainer(SimTime::Zero());
+      rec->RecordSpan(id, kStepCgroup, SimTime::Zero(), Seconds(0.5 + i));
+      rec->MarkReady(id, Seconds(2.0 + i));
+    }
+  }
+  const Summary f = full.StepSummary(kStepCgroup);
+  const Summary b = bounded.StepSummary(kStepCgroup);
+  ASSERT_EQ(b.Count(), f.Count());
+  EXPECT_DOUBLE_EQ(b.Mean(), f.Mean());
+  EXPECT_DOUBLE_EQ(b.Max(), f.Max());
+}
+
 }  // namespace
 }  // namespace fastiov

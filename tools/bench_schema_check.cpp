@@ -1,0 +1,251 @@
+// bench_schema_check — structural sanity for BENCH_sim.json.
+//
+// The perf report is consumed by humans and by dashboards diffing the perf
+// trajectory across PRs, so its shape is part of the repo's contract. This
+// tool validates a report (the checked-in one and the freshly produced quick
+// one both run under ctest):
+//
+//   * every expected top-level section is present and of the right type;
+//   * known scalar keys inside each section have the right JSON type;
+//   * every `cv` / `*_cv` key anywhere in the document is a number or null —
+//     null is the legal spelling of "cv undefined: fewer than two samples",
+//     a plain 0 would be indistinguishable from "perfectly stable";
+//   * unknown keys are allowed everywhere (the schema is open: new tiers may
+//     add keys without breaking old checkers).
+//
+// Exit 0 when the report conforms; 1 with one line per violation otherwise.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/stats/json_reader.h"
+
+using namespace fastiov;
+
+namespace {
+
+int g_errors = 0;
+
+void Fail(const std::string& where, const std::string& what) {
+  std::fprintf(stderr, "bench_schema_check: %s: %s\n", where.c_str(), what.c_str());
+  ++g_errors;
+}
+
+const char* TypeName(JsonValue::Type t) {
+  switch (t) {
+    case JsonValue::Type::kNull: return "null";
+    case JsonValue::Type::kBool: return "bool";
+    case JsonValue::Type::kNumber: return "number";
+    case JsonValue::Type::kString: return "string";
+    case JsonValue::Type::kArray: return "array";
+    case JsonValue::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+bool EndsWithCv(const std::string& key) {
+  if (key == "cv") {
+    return true;
+  }
+  return key.size() >= 3 && key.compare(key.size() - 3, 3, "_cv") == 0;
+}
+
+// The document-wide cv rule: number or null, nothing else, at any depth.
+void CheckCvKeys(const JsonValue& v, const std::string& path) {
+  if (v.is_object()) {
+    for (const auto& [key, member] : v.Members()) {
+      const std::string child = path + "." + key;
+      if (EndsWithCv(key) && !member.is_null() &&
+          member.type() != JsonValue::Type::kNumber) {
+        Fail(child, std::string("cv key must be number or null, got ") +
+                        TypeName(member.type()));
+      }
+      CheckCvKeys(member, child);
+    }
+  } else if (v.is_array()) {
+    for (size_t i = 0; i < v.AsArray().size(); ++i) {
+      CheckCvKeys(v.AsArray()[i], path + "[" + std::to_string(i) + "]");
+    }
+  }
+}
+
+// Requires `key` under `obj` with the given type; cv keys additionally admit
+// null (callers list them with kNumber).
+void Require(const JsonValue& obj, const std::string& where, const std::string& key,
+             JsonValue::Type type) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    Fail(where + "." + key, "missing");
+    return;
+  }
+  if (v->type() == type) {
+    return;
+  }
+  if (type == JsonValue::Type::kNumber && EndsWithCv(key) && v->is_null()) {
+    return;
+  }
+  Fail(where + "." + key,
+       std::string("expected ") + TypeName(type) + ", got " + TypeName(v->type()));
+}
+
+const JsonValue* RequireSection(const JsonValue& root, const std::string& key,
+                                JsonValue::Type type) {
+  const JsonValue* v = root.Find(key);
+  if (v == nullptr) {
+    Fail(key, "missing top-level section");
+    return nullptr;
+  }
+  if (v->type() != type) {
+    Fail(key, std::string("expected ") + TypeName(type) + ", got " + TypeName(v->type()));
+    return nullptr;
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s BENCH_sim.json\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "bench_schema_check: cannot open '%s'\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  JsonValue root;
+  std::string error;
+  if (!JsonReader::Parse(text, &root, &error)) {
+    std::fprintf(stderr, "bench_schema_check: parse error: %s\n", error.c_str());
+    return 1;
+  }
+  if (!root.is_object()) {
+    std::fprintf(stderr, "bench_schema_check: document is not an object\n");
+    return 1;
+  }
+
+  using T = JsonValue::Type;
+
+  // Top-level scalars.
+  Require(root, "$", "bench", T::kString);
+  Require(root, "$", "quick", T::kBool);
+  Require(root, "$", "debug_build", T::kBool);
+  Require(root, "$", "hardware_threads", T::kNumber);
+  Require(root, "$", "jobs_requested", T::kNumber);
+  Require(root, "$", "jobs_effective", T::kNumber);
+
+  if (const JsonValue* s = RequireSection(root, "event_loop", T::kObject)) {
+    Require(*s, "event_loop", "handle_events_per_sec", T::kNumber);
+    Require(*s, "event_loop", "handle_events", T::kNumber);
+    Require(*s, "event_loop", "handle_cv", T::kNumber);
+    Require(*s, "event_loop", "callback_events_per_sec", T::kNumber);
+    Require(*s, "event_loop", "callback_events", T::kNumber);
+    Require(*s, "event_loop", "callback_cv", T::kNumber);
+  }
+
+  if (const JsonValue* s = RequireSection(root, "sweep", T::kObject)) {
+    Require(*s, "sweep", "cells", T::kNumber);
+    Require(*s, "sweep", "concurrency", T::kNumber);
+    Require(*s, "sweep", "repeats", T::kNumber);
+    Require(*s, "sweep", "seconds_jobs1", T::kNumber);
+    Require(*s, "sweep", "seconds_jobs1_cv", T::kNumber);
+    Require(*s, "sweep", "seconds_jobsN", T::kNumber);
+    Require(*s, "sweep", "seconds_jobsN_cv", T::kNumber);
+    Require(*s, "sweep", "clamped", T::kBool);
+    Require(*s, "sweep", "byte_identical", T::kBool);
+  }
+
+  if (const JsonValue* s = RequireSection(root, "membench", T::kArray)) {
+    for (size_t i = 0; i < s->AsArray().size(); ++i) {
+      const JsonValue& row = s->AsArray()[i];
+      const std::string where = "membench[" + std::to_string(i) + "]";
+      if (!row.is_object()) {
+        Fail(where, "expected object");
+        continue;
+      }
+      Require(row, where, "page_size", T::kNumber);
+      Require(row, where, "pages", T::kNumber);
+      Require(row, where, "map_seconds_runs", T::kNumber);
+      Require(row, where, "map_cv", T::kNumber);
+      Require(row, where, "byte_identical", T::kBool);
+    }
+  }
+
+  if (const JsonValue* s = RequireSection(root, "scale", T::kObject)) {
+    Require(*s, "scale", "hops", T::kNumber);
+    Require(*s, "scale", "byte_identical", T::kBool);
+    if (const JsonValue* cells = s->Find("cells"); cells != nullptr && cells->is_array()) {
+      for (size_t i = 0; i < cells->AsArray().size(); ++i) {
+        const JsonValue& cell = cells->AsArray()[i];
+        const std::string where = "scale.cells[" + std::to_string(i) + "]";
+        Require(cell, where, "concurrency", T::kNumber);
+        Require(cell, where, "stack", T::kString);
+        Require(cell, where, "wall_seconds", T::kNumber);
+        Require(cell, where, "cv", T::kNumber);
+        Require(cell, where, "peak_rss_bytes", T::kNumber);
+      }
+    } else {
+      Fail("scale.cells", "missing array");
+    }
+  }
+
+  if (const JsonValue* s = RequireSection(root, "parallel", T::kObject)) {
+    Require(*s, "parallel", "cells", T::kNumber);
+    Require(*s, "parallel", "concurrency_per_cell", T::kNumber);
+    Require(*s, "parallel", "threads_effective", T::kNumber);
+    Require(*s, "parallel", "seconds_threads1", T::kNumber);
+    Require(*s, "parallel", "seconds_threads1_cv", T::kNumber);
+    Require(*s, "parallel", "seconds_threadsN", T::kNumber);
+    Require(*s, "parallel", "seconds_threadsN_cv", T::kNumber);
+    Require(*s, "parallel", "byte_identical", T::kBool);
+  }
+
+  if (const JsonValue* s = RequireSection(root, "fleet", T::kObject)) {
+    Require(*s, "fleet", "cells", T::kNumber);
+    Require(*s, "fleet", "concurrency_per_cell", T::kNumber);
+    Require(*s, "fleet", "launches", T::kNumber);
+    Require(*s, "fleet", "streamed", T::kBool);
+    Require(*s, "fleet", "timeline_span_sample", T::kNumber);
+    Require(*s, "fleet", "wall_seconds", T::kNumber);
+    Require(*s, "fleet", "launches_per_sec", T::kNumber);
+    Require(*s, "fleet", "startup_p50", T::kNumber);
+    Require(*s, "fleet", "startup_p99", T::kNumber);
+    Require(*s, "fleet", "startup_p999", T::kNumber);
+    Require(*s, "fleet", "summary_streaming", T::kBool);
+    Require(*s, "fleet", "result_digest", T::kString);
+    Require(*s, "fleet", "rss_before_bytes", T::kNumber);
+    Require(*s, "fleet", "rss_after_bytes", T::kNumber);
+    Require(*s, "fleet", "rss_sublinear", T::kBool);
+    Require(*s, "fleet", "stream_identical", T::kBool);
+    Require(*s, "fleet", "bounded_identical", T::kBool);
+  }
+
+  if (const JsonValue* s = RequireSection(root, "observability", T::kObject)) {
+    Require(*s, "observability", "seconds_metrics_off", T::kNumber);
+    Require(*s, "observability", "seconds_metrics_on", T::kNumber);
+    Require(*s, "observability", "byte_identical", T::kBool);
+  }
+
+  if (const JsonValue* s = RequireSection(root, "chaos", T::kObject)) {
+    Require(*s, "chaos", "seeds", T::kNumber);
+    Require(*s, "chaos", "concurrency", T::kNumber);
+    Require(*s, "chaos", "injected", T::kNumber);
+    Require(*s, "chaos", "replay_identical", T::kBool);
+  }
+
+  CheckCvKeys(root, "$");
+
+  if (g_errors > 0) {
+    std::fprintf(stderr, "bench_schema_check: %d violation(s) in %s\n", g_errors, argv[1]);
+    return 1;
+  }
+  std::printf("bench_schema_check: %s conforms\n", argv[1]);
+  return 0;
+}

@@ -14,7 +14,13 @@
 //      on the simulated-time results of the two modes;
 //   4. the parallel-in-run driver: one multi-cell fleet executed at 1 worker
 //      thread vs --cell-threads N, with speedup, per-thread utilization, and
-//      a digest-identity check across thread counts and scheduler policies.
+//      a digest-identity check across thread counts and scheduler policies;
+//   5. the fleet tier: 10^5 launches (100 cells x 1000 containers) pushed
+//      through the streaming multi-cell path — per-cell results serialized
+//      into an incremental digest and folded into one fleet-wide streaming
+//      Summary, then freed — with launches/sec, RSS-plateau (sublinearity)
+//      evidence, and streamed-vs-buffered / bounded-vs-unbounded timeline
+//      digest-identity checks.
 //
 // It also asserts the observability layer's zero-perturbation contract:
 // a metrics-on run must produce the exact same result bytes as a
@@ -27,10 +33,13 @@
 // Noise control: every wall-clock cell is measured best-of-N (the min is the
 // least scheduler-contaminated sample) and reports the coefficient of
 // variation across the N samples, so a reader can tell a real regression
-// from a noisy box. Full (non-quick) runs refuse to execute in a Debug
-// build — unoptimized numbers would silently poison the recorded perf
-// trajectory — unless --allow-debug is passed.
+// from a noisy box. A cv computed from a single sample is undefined, not
+// zero: such cells record null in the JSON and "cv n/a" in the text. Full
+// (non-quick) runs refuse to execute in a Debug build — unoptimized numbers
+// would silently poison the recorded perf trajectory — unless --allow-debug
+// is passed.
 #include <sys/resource.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -50,7 +59,9 @@
 #include "src/simcore/arena.h"
 #include "src/simcore/event_queue.h"
 #include "src/simcore/simulation.h"
+#include "src/stats/digest.h"
 #include "src/stats/json_writer.h"
+#include "src/stats/summary.h"
 #include "src/vfio/vfio.h"
 
 using namespace fastiov;
@@ -89,12 +100,61 @@ double Best(const std::vector<double>& samples) {
   return *std::min_element(samples.begin(), samples.end());
 }
 
+// A cv together with the number of samples it was computed from. With fewer
+// than two samples the statistic is undefined — the report must distinguish
+// "no spread measured" (one repetition, e.g. --quick) from "perfectly
+// stable", so such cells emit null in JSON and "cv n/a" in text.
+struct CvStat {
+  double value = 0.0;
+  size_t n = 0;
+};
+
+CvStat CvOf(const std::vector<double>& samples) {
+  return CvStat{Cv(samples), samples.size()};
+}
+
+// "cv 3.1%" or "cv n/a" for the text report.
+std::string CvText(const CvStat& cv) {
+  if (cv.n < 2) {
+    return "cv n/a";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "cv %.1f%%", cv.value * 100.0);
+  return buf;
+}
+
+// JSON: a cv measured from fewer than two samples is null, not 0.
+void KvCv(JsonWriter& json, std::string_view key, const CvStat& cv) {
+  json.Key(key);
+  if (cv.n < 2) {
+    json.Null();
+  } else {
+    json.Value(cv.value);
+  }
+}
+
 // Process peak RSS in bytes (Linux reports ru_maxrss in KiB). Monotone over
 // the process lifetime, so scale cells run in ascending size order.
 uint64_t PeakRssBytes() {
   struct rusage ru;
   getrusage(RUSAGE_SELF, &ru);
   return static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+// Current (not peak) RSS in bytes, from /proc/self/statm. The fleet tier
+// needs a gauge that can fall back down: ru_maxrss is a high-water mark, and
+// by the time the fleet runs the scale tier has already pushed it far above
+// anything the streamed fleet allocates. Returns 0 when the file is
+// unavailable (non-Linux); the sublinearity check then degrades to vacuous
+// rather than wrong.
+uint64_t CurrentRssBytes() {
+  std::ifstream statm("/proc/self/statm");
+  uint64_t vm_pages = 0;
+  uint64_t rss_pages = 0;
+  if (!(statm >> vm_pages >> rss_pages)) {
+    return 0;
+  }
+  return rss_pages * static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
 }
 
 Task PingPong(Simulation& sim, int hops) {
@@ -336,14 +396,14 @@ int main(int argc, char** argv) {
       callback_loop = c;
     }
   }
-  const double handle_cv = Cv(handle_samples);
-  const double callback_cv = Cv(callback_samples);
-  std::printf("event loop (coroutine resume): %9.0f events/s  (%lu events in %.3fs, cv %.1f%%)\n",
+  const CvStat handle_cv = CvOf(handle_samples);
+  const CvStat callback_cv = CvOf(callback_samples);
+  std::printf("event loop (coroutine resume): %9.0f events/s  (%lu events in %.3fs, %s)\n",
               handle_loop.events_per_sec, static_cast<unsigned long>(handle_loop.events),
-              handle_loop.seconds, handle_cv * 100.0);
-  std::printf("event loop (small callback):   %9.0f events/s  (%lu events in %.3fs, cv %.1f%%)\n",
+              handle_loop.seconds, CvText(handle_cv).c_str());
+  std::printf("event loop (small callback):   %9.0f events/s  (%lu events in %.3fs, %s)\n",
               callback_loop.events_per_sec, static_cast<unsigned long>(callback_loop.events),
-              callback_loop.seconds, callback_cv * 100.0);
+              callback_loop.seconds, CvText(callback_cv).c_str());
 
   // --- 2. fig11-style multi-seed sweep, sequential vs parallel -----------
   ExperimentOptions options;
@@ -378,14 +438,14 @@ int main(int argc, char** argv) {
   const double speedup = par_seconds > 0.0 ? seq_seconds / par_seconds : 0.0;
   const size_t cells = configs.size() * static_cast<size_t>(repeats);
   std::printf("\nsweep (%zu cells, concurrency %d):\n", cells, options.concurrency);
-  std::printf("  --jobs 1:  %.3fs  (cv %.1f%%)\n", seq_seconds, Cv(seq_samples) * 100.0);
+  std::printf("  --jobs 1:  %.3fs  (%s)\n", seq_seconds, CvText(CvOf(seq_samples)).c_str());
   if (jobs_clamped) {
-    std::printf("  --jobs %d:  %.3fs  (cv %.1f%%)  speedup skipped: clamped to %d hardware "
+    std::printf("  --jobs %d:  %.3fs  (%s)  speedup skipped: clamped to %d hardware "
                 "thread(s)\n",
-                jobs, par_seconds, Cv(par_samples) * 100.0, DefaultJobs());
+                jobs, par_seconds, CvText(CvOf(par_samples)).c_str(), DefaultJobs());
   } else {
-    std::printf("  --jobs %d:  %.3fs  (cv %.1f%%)  speedup %.2fx\n", jobs, par_seconds,
-                Cv(par_samples) * 100.0, speedup);
+    std::printf("  --jobs %d:  %.3fs  (%s)  speedup %.2fx\n", jobs, par_seconds,
+                CvText(CvOf(par_samples)).c_str(), speedup);
   }
   std::printf("  parallel output byte-identical to sequential: %s\n",
               identical ? "yes" : "NO — BUG");
@@ -397,7 +457,7 @@ int main(int argc, char** argv) {
     double fragmentation;
     MembenchCell runs;
     MembenchCell legacy;
-    double cv = 0.0;  // of extent-mode map wall-clock across repetitions
+    CvStat cv;  // of extent-mode map wall-clock across repetitions
   };
   std::vector<MembenchRow> membench;
   bool membench_identical = true;
@@ -431,8 +491,10 @@ int main(int argc, char** argv) {
         }
         return best;
       };
-      MembenchRow row{page_size, frag, best_of(/*legacy=*/false), best_of(/*legacy=*/true)};
-      row.cv = Cv(map_samples);
+      // Braced-init evaluates left to right, so both modes have run (and
+      // map_samples is complete) before CvOf is evaluated.
+      MembenchRow row{page_size, frag, best_of(/*legacy=*/false), best_of(/*legacy=*/true),
+                      CvOf(map_samples)};
       const bool identical_cell = row.runs.digest == row.legacy.digest;
       membench_identical = membench_identical && identical_cell;
       std::printf(
@@ -550,13 +612,13 @@ int main(int argc, char** argv) {
     int processes = 0;
     LoopResult baseline;  // heap + pooling off: the pre-PR engine
     LoopResult tuned;     // calendar + arenas
-    double cv = 0.0;      // of the tuned wall-clock across repetitions
+    CvStat cv;            // of the tuned wall-clock across repetitions
   };
   struct ScaleCellRow {
     int concurrency = 0;
     std::string stack;
     double wall_seconds = 0.0;
-    double cv = 0.0;
+    CvStat cv;
     uint64_t events = 0;
     double events_per_sec = 0.0;
     uint64_t peak_rss_bytes = 0;
@@ -588,10 +650,11 @@ int main(int argc, char** argv) {
         row.tuned = t;
       }
     }
-    row.cv = Cv(tuned_samples);
-    std::printf("  %5d procs: %9.0f -> %9.0f events/s  (%.2fx, cv %.1f%%)\n", n,
+    row.cv = CvOf(tuned_samples);
+    std::printf("  %5d procs: %9.0f -> %9.0f events/s  (%.2fx, %s)\n", n,
                 row.baseline.events_per_sec, row.tuned.events_per_sec,
-                row.tuned.events_per_sec / row.baseline.events_per_sec, row.cv * 100.0);
+                row.tuned.events_per_sec / row.baseline.events_per_sec,
+                CvText(row.cv).c_str());
     scale_loops.push_back(row);
   }
 
@@ -622,7 +685,7 @@ int main(int argc, char** argv) {
         }
       }
       cell.wall_seconds = Best(samples);
-      cell.cv = Cv(samples);
+      cell.cv = CvOf(samples);
       cell.events_per_sec =
           cell.wall_seconds > 0.0 ? static_cast<double>(cell.events) / cell.wall_seconds : 0.0;
       if (n <= 1000) {
@@ -633,9 +696,10 @@ int main(int argc, char** argv) {
         scale_identical = scale_identical && cell.digest_identical;
       }
       cell.peak_rss_bytes = PeakRssBytes();
-      std::printf("  %5d x %-8s %8.3fs  %9.0f events/s  rss %5llu MiB  cv %4.1f%%  %s\n", n,
+      std::printf("  %5d x %-8s %8.3fs  %9.0f events/s  rss %5llu MiB  %-8s  %s\n", n,
                   config.name.c_str(), cell.wall_seconds, cell.events_per_sec,
-                  static_cast<unsigned long long>(cell.peak_rss_bytes / kMiB), cell.cv * 100.0,
+                  static_cast<unsigned long long>(cell.peak_rss_bytes / kMiB),
+                  CvText(cell.cv).c_str(),
                   cell.digest_checked
                       ? (cell.digest_identical ? "digest identical" : "digest DIFFERS — BUG")
                       : "digest unchecked");
@@ -698,18 +762,124 @@ int main(int argc, char** argv) {
   const double parallel_speedup = ptN_seconds > 0.0 ? pt1_seconds / ptN_seconds : 0.0;
   std::printf("\nparallel (in-run: %d cells x %d containers, FastIOV):\n", parallel_cells,
               parallel_per_cell);
-  std::printf("  threads 1:  %.3fs  (cv %.1f%%)\n", pt1_seconds, Cv(pt1_samples) * 100.0);
+  std::printf("  threads 1:  %.3fs  (%s)\n", pt1_seconds, CvText(CvOf(pt1_samples)).c_str());
   if (parallel_clamped) {
-    std::printf("  threads %d:  %.3fs  (cv %.1f%%)  speedup skipped: clamped to %d hardware "
+    std::printf("  threads %d:  %.3fs  (%s)  speedup skipped: clamped to %d hardware "
                 "thread(s)\n",
-                cell_threads, ptN_seconds, Cv(ptN_samples) * 100.0, DefaultJobs());
+                cell_threads, ptN_seconds, CvText(CvOf(ptN_samples)).c_str(), DefaultJobs());
   } else {
-    std::printf("  threads %d:  %.3fs  (cv %.1f%%)  speedup %.2fx  utilization %.0f%%\n",
-                cell_threads, ptN_seconds, Cv(ptN_samples) * 100.0, parallel_speedup,
+    std::printf("  threads %d:  %.3fs  (%s)  speedup %.2fx  utilization %.0f%%\n",
+                cell_threads, ptN_seconds, CvText(CvOf(ptN_samples)).c_str(), parallel_speedup,
                 ptN_stats.Utilization() * 100.0);
   }
   std::printf("  digests identical across thread counts and schedulers: %s\n",
               parallel_identical ? "yes" : "NO — BUG");
+
+  // --- 8. fleet tier: launch throughput at 10^5 launches, O(1) memory -----
+  // The streaming fleet pipeline end to end: N uncoupled FastIOV cells run
+  // through RunMultiCellStream, each cell's result serialized straight into
+  // an incremental FNV-1a digest and folded into one fleet-wide Summary,
+  // then freed — nothing fleet-sized is ever alive at once. Timelines are
+  // bounded (full spans only for the first kFleetSpanSample containers per
+  // cell; aggregate step sums always on), and on the full workload the
+  // fleet-wide summary crosses the exact->streaming switchover (65536
+  // samples). RSS is sampled from /proc/self/statm before, at the midpoint,
+  // and after: a buffered fleet grows through the second half like the
+  // first, a streamed one plateaus once allocator arenas are warm, so
+  // "second-half growth <= max(first-half growth, 32 MiB slack)" is the
+  // sublinearity evidence recorded in the report.
+  const int fleet_cells = quick ? 10 : 100;
+  const int fleet_per_cell = quick ? 100 : 1000;
+  const uint64_t fleet_launches =
+      static_cast<uint64_t>(fleet_cells) * static_cast<uint64_t>(fleet_per_cell);
+  constexpr size_t kFleetSpanSample = 32;
+
+  ExperimentOptions fopt;
+  fopt.concurrency = fleet_per_cell;
+  fopt.host = ScaleHost(fleet_per_cell);
+  fopt.timeline_span_sample = kFleetSpanSample;
+  MultiCellOptions fmc;
+  fmc.cells = fleet_cells;
+  fmc.cell_threads = std::min(ClampJobsToHardware(cell_threads_requested), fleet_cells);
+
+  Summary fleet_startup;
+  DigestOstream fleet_digest;
+  const uint64_t fleet_rss_before = CurrentRssBytes();
+  uint64_t fleet_rss_mid = 0;
+  uint64_t fleet_rss_peak = 0;
+  int fleet_cells_done = 0;
+  const MultiCellStreamStats fleet_stats = RunMultiCellStream(
+      StackConfig::FastIov(), fopt, fmc, [&](int, ExperimentResult&& cell) {
+        JsonWriter cell_json(fleet_digest);
+        WriteExperimentResultJson(cell, cell_json);
+        fleet_digest << '\n';
+        fleet_startup.Merge(cell.startup);
+        ++fleet_cells_done;
+        const uint64_t rss = CurrentRssBytes();
+        fleet_rss_peak = std::max(fleet_rss_peak, rss);
+        if (fleet_cells_done == (fleet_cells + 1) / 2) {
+          fleet_rss_mid = rss;
+        }
+      });
+  const uint64_t fleet_rss_after = CurrentRssBytes();
+  const uint64_t fleet_growth_first =
+      fleet_rss_mid > fleet_rss_before ? fleet_rss_mid - fleet_rss_before : 0;
+  const uint64_t fleet_growth_second =
+      fleet_rss_after > fleet_rss_mid ? fleet_rss_after - fleet_rss_mid : 0;
+  const bool fleet_rss_sublinear =
+      fleet_growth_second <= std::max<uint64_t>(fleet_growth_first, 32 * kMiB);
+  const double fleet_launches_per_sec =
+      fleet_stats.wall_seconds > 0.0
+          ? static_cast<double>(fleet_launches) / fleet_stats.wall_seconds
+          : 0.0;
+
+  // Identity checks on a small config (cheap enough to run both paths):
+  // the streamed per-cell digest must equal the buffered MultiCellDigest
+  // byte for byte, and bounding the timeline must not move a single result
+  // byte (all statistics come from the always-on aggregate step sums).
+  ExperimentOptions iopt;
+  iopt.concurrency = quick ? 25 : 100;
+  MultiCellOptions imc;
+  imc.cells = 4;
+  imc.cell_threads = fmc.cell_threads;
+  DigestOstream stream_digest;
+  RunMultiCellStream(StackConfig::FastIov(), iopt, imc,
+                     [&](int, ExperimentResult&& cell) {
+                       JsonWriter cell_json(stream_digest);
+                       WriteExperimentResultJson(cell, cell_json);
+                       stream_digest << '\n';
+                     });
+  const MultiCellResult fleet_buffered = RunMultiCellExperiment(StackConfig::FastIov(), iopt, imc);
+  Fnv1a64 buffered_digest;
+  buffered_digest.Update(MultiCellDigest(fleet_buffered));
+  const bool fleet_stream_identical = stream_digest.value() == buffered_digest.value() &&
+                                      stream_digest.bytes() == buffered_digest.bytes();
+  ExperimentOptions bopt = iopt;
+  bopt.timeline_span_sample = 2;
+  const ExperimentResult fleet_bounded = RunStartupExperiment(StackConfig::FastIov(), bopt);
+  bopt.timeline_span_sample = static_cast<size_t>(-1);
+  const ExperimentResult fleet_unbounded = RunStartupExperiment(StackConfig::FastIov(), bopt);
+  const bool fleet_bounded_identical =
+      ExperimentResultJson(fleet_bounded) == ExperimentResultJson(fleet_unbounded);
+
+  std::printf("\nfleet (%d cells x %d containers, FastIOV, streamed, span sample %zu):\n",
+              fleet_cells, fleet_per_cell, kFleetSpanSample);
+  std::printf("  %llu launches in %.2fs  (%.0f launches/s, %d threads)\n",
+              static_cast<unsigned long long>(fleet_launches), fleet_stats.wall_seconds,
+              fleet_launches_per_sec, fleet_stats.threads_used);
+  std::printf("  startup p50 %.2fs  p99 %.2fs  p99.9 %.2fs  (fleet summary %s)\n",
+              fleet_startup.Percentile(50), fleet_startup.Percentile(99),
+              fleet_startup.Percentile(99.9),
+              fleet_startup.streaming() ? "streaming" : "exact");
+  std::printf("  rss %llu -> %llu -> %llu MiB (start/mid/end), second-half growth %llu MiB: %s\n",
+              static_cast<unsigned long long>(fleet_rss_before / kMiB),
+              static_cast<unsigned long long>(fleet_rss_mid / kMiB),
+              static_cast<unsigned long long>(fleet_rss_after / kMiB),
+              static_cast<unsigned long long>(fleet_growth_second / kMiB),
+              fleet_rss_sublinear ? "sublinear" : "LINEAR — BUG");
+  std::printf("  streamed == buffered digest: %s   bounded == unbounded timeline: %s\n",
+              fleet_stream_identical ? "yes" : "NO — BUG",
+              fleet_bounded_identical ? "yes" : "NO — BUG");
 
   // --- report ------------------------------------------------------------
   const std::string out_path = flags.GetString("out");
@@ -729,23 +899,23 @@ int main(int argc, char** argv) {
   json.Key("event_loop");
   json.BeginObject()
       .KV("handle_events_per_sec", handle_loop.events_per_sec)
-      .KV("handle_events", handle_loop.events)
-      .KV("handle_cv", handle_cv)
-      .KV("callback_events_per_sec", callback_loop.events_per_sec)
-      .KV("callback_events", callback_loop.events)
-      .KV("callback_cv", callback_cv)
-      .EndObject();
+      .KV("handle_events", handle_loop.events);
+  KvCv(json, "handle_cv", handle_cv);
+  json.KV("callback_events_per_sec", callback_loop.events_per_sec)
+      .KV("callback_events", callback_loop.events);
+  KvCv(json, "callback_cv", callback_cv);
+  json.EndObject();
   json.Key("sweep");
   json.BeginObject()
       .KV("cells", static_cast<int64_t>(cells))
       .KV("concurrency", static_cast<int64_t>(options.concurrency))
       .KV("repeats", static_cast<int64_t>(repeats))
       .KV("jobs", static_cast<int64_t>(jobs))
-      .KV("seconds_jobs1", seq_seconds)
-      .KV("seconds_jobs1_cv", Cv(seq_samples))
-      .KV("seconds_jobsN", par_seconds)
-      .KV("seconds_jobsN_cv", Cv(par_samples))
-      .KV("clamped", jobs_clamped);
+      .KV("seconds_jobs1", seq_seconds);
+  KvCv(json, "seconds_jobs1_cv", CvOf(seq_samples));
+  json.KV("seconds_jobsN", par_seconds);
+  KvCv(json, "seconds_jobsN_cv", CvOf(par_samples));
+  json.KV("clamped", jobs_clamped);
   if (!jobs_clamped) {
     json.KV("speedup", speedup);
   }
@@ -765,10 +935,9 @@ int main(int argc, char** argv) {
         .KV("unmap_speedup", row.legacy.unmap_seconds / row.runs.unmap_seconds)
         .KV("churn_seconds_runs", row.runs.churn_seconds)
         .KV("churn_seconds_legacy", row.legacy.churn_seconds)
-        .KV("churn_speedup", row.legacy.churn_seconds / row.runs.churn_seconds)
-        .KV("map_cv", row.cv)
-        .KV("byte_identical", row.runs.digest == row.legacy.digest)
-        .EndObject();
+        .KV("churn_speedup", row.legacy.churn_seconds / row.runs.churn_seconds);
+    KvCv(json, "map_cv", row.cv);
+    json.KV("byte_identical", row.runs.digest == row.legacy.digest).EndObject();
   }
   json.EndArray();
   json.Key("scale");
@@ -782,9 +951,9 @@ int main(int argc, char** argv) {
         .KV("handle_events_per_sec_heap", row.baseline.events_per_sec)
         .KV("handle_events_per_sec", row.tuned.events_per_sec)
         .KV("speedup_vs_heap", row.tuned.events_per_sec / row.baseline.events_per_sec)
-        .KV("events", row.tuned.events)
-        .KV("cv", row.cv)
-        .EndObject();
+        .KV("events", row.tuned.events);
+    KvCv(json, "cv", row.cv);
+    json.EndObject();
   }
   json.EndArray();
   json.Key("cells");
@@ -793,9 +962,9 @@ int main(int argc, char** argv) {
     json.BeginObject()
         .KV("concurrency", static_cast<int64_t>(cell.concurrency))
         .KV("stack", cell.stack)
-        .KV("wall_seconds", cell.wall_seconds)
-        .KV("cv", cell.cv)
-        .KV("events", cell.events)
+        .KV("wall_seconds", cell.wall_seconds);
+    KvCv(json, "cv", cell.cv);
+    json.KV("events", cell.events)
         .KV("events_per_sec", cell.events_per_sec)
         .KV("peak_rss_bytes", cell.peak_rss_bytes)
         .KV("digest_checked", cell.digest_checked)
@@ -814,10 +983,10 @@ int main(int argc, char** argv) {
       .KV("threads_effective", static_cast<int64_t>(cell_threads))
       .KV("clamped", parallel_clamped)
       .KV("windows", ptN_stats.windows)
-      .KV("seconds_threads1", pt1_seconds)
-      .KV("seconds_threads1_cv", Cv(pt1_samples))
-      .KV("seconds_threadsN", ptN_seconds)
-      .KV("seconds_threadsN_cv", Cv(ptN_samples));
+      .KV("seconds_threads1", pt1_seconds);
+  KvCv(json, "seconds_threads1_cv", CvOf(pt1_samples));
+  json.KV("seconds_threadsN", ptN_seconds);
+  KvCv(json, "seconds_threadsN_cv", CvOf(ptN_samples));
   if (!parallel_clamped) {
     json.KV("speedup", parallel_speedup);
   }
@@ -829,6 +998,32 @@ int main(int argc, char** argv) {
   }
   json.EndArray();
   json.EndObject();
+  json.Key("fleet");
+  json.BeginObject()
+      .KV("cells", static_cast<int64_t>(fleet_cells))
+      .KV("concurrency_per_cell", static_cast<int64_t>(fleet_per_cell))
+      .KV("launches", fleet_launches)
+      .KV("threads_effective", static_cast<int64_t>(fleet_stats.threads_used))
+      .KV("streamed", fleet_stats.streamed)
+      .KV("timeline_span_sample", static_cast<uint64_t>(kFleetSpanSample))
+      .KV("wall_seconds", fleet_stats.wall_seconds)
+      .KV("launches_per_sec", fleet_launches_per_sec)
+      .KV("startup_mean", fleet_startup.Mean())
+      .KV("startup_p50", fleet_startup.Percentile(50))
+      .KV("startup_p99", fleet_startup.Percentile(99))
+      .KV("startup_p999", fleet_startup.Percentile(99.9))
+      .KV("summary_streaming", fleet_startup.streaming())
+      .KV("result_digest", fleet_digest.Hex())
+      .KV("result_bytes", static_cast<uint64_t>(fleet_digest.bytes()))
+      .KV("rss_before_bytes", fleet_rss_before)
+      .KV("rss_mid_bytes", fleet_rss_mid)
+      .KV("rss_after_bytes", fleet_rss_after)
+      .KV("rss_peak_bytes", fleet_rss_peak)
+      .KV("rss_second_half_growth_bytes", fleet_growth_second)
+      .KV("rss_sublinear", fleet_rss_sublinear)
+      .KV("stream_identical", fleet_stream_identical)
+      .KV("bounded_identical", fleet_bounded_identical)
+      .EndObject();
   json.Key("observability");
   json.BeginObject()
       .KV("seconds_metrics_off", metrics_off_seconds)
@@ -854,7 +1049,8 @@ int main(int argc, char** argv) {
   std::printf("\nreport written to %s\n", out_path.c_str());
 
   return (identical && membench_identical && chaos_replay_identical && metrics_identical &&
-          scale_identical && parallel_identical)
+          scale_identical && parallel_identical && fleet_stream_identical &&
+          fleet_bounded_identical && fleet_rss_sublinear)
              ? 0
              : 1;
 }
