@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "src/cli/flags.h"
+#include "src/cluster/cluster.h"
 #include "src/experiments/churn_experiment.h"
 #include "src/experiments/multi_cell.h"
 #include "src/experiments/result_json.h"
@@ -104,8 +105,30 @@ int main(int argc, char** argv) {
   flags.AddString("fault-plan", "",
                   "fault schedule 'site:p=0.1,kind=transient;site2:nth=3,...' "
                   "(sites: vfio-group vfio-dev dma-map dma-pin vf-bind vf-flr "
-                  "link-up vdpa-attach kvm-memslot cni virtiofs guest-boot)");
+                  "link-up vdpa-attach kvm-memslot cni virtiofs guest-boot "
+                  "ipam-alloc cni-assign registry-fetch)");
   flags.AddInt("fault-seed", 1, "seed for the fault injector's private RNG");
+  flags.AddInt("cluster-hosts", 0,
+               "cluster mode: simulate this many hosts plus a shared control-plane "
+               "cell (IPAM pool, CNI service, image registry); launches come from a "
+               "synthetic trace placed by --sched-policy");
+  flags.AddString("sched-policy", "least-loaded",
+                  "cluster scheduler policy: bin-pack|least-loaded|locality");
+  flags.AddInt("cluster-trace", 1000, "cluster mode: launches in the synthetic trace");
+  flags.AddDouble("cluster-rate", 1000.0,
+                  "cluster mode: cluster-wide launch arrival rate (launches/s)");
+  flags.AddInt("cluster-zones", 8, "cluster mode: locality zones in the trace");
+  flags.AddInt("cluster-seed", -1,
+               "cluster mode: seed for trace generation and the host simulations "
+               "(-1 = use --seed); replaying a seed reproduces the run exactly");
+  flags.AddInt("cluster-rtt-us", 200,
+               "cluster mode: one-way host<->control-plane latency in microseconds "
+               "(also the conservative lookahead)");
+  flags.AddInt("cluster-dwell-ms", 2000,
+               "cluster mode: container lifetime after ready, before stop (ms)");
+  flags.AddString("cp-fault-plan", "",
+                  "cluster mode: fault plan for the control-plane sites "
+                  "(ipam-alloc cni-assign registry-fetch)");
 
   std::string error;
   if (!flags.Parse(argc, argv, &error)) {
@@ -133,6 +156,72 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: unknown app '%s'\n", flags.GetString("app").c_str());
       return 2;
     }
+  }
+
+  if (flags.GetInt("cluster-hosts") > 0) {
+    const std::optional<int64_t> lookahead_us =
+        flags.GetInt("lookahead-us") > 0
+            ? std::optional<int64_t>(flags.GetInt("lookahead-us"))
+            : std::nullopt;
+    if (auto cli_error = ValidateClusterCli(
+            static_cast<int>(flags.GetInt("cluster-hosts")),
+            static_cast<int>(flags.GetInt("cells")),
+            static_cast<int>(flags.GetInt("waves")), !flags.GetString("trace").empty(),
+            lookahead_us, flags.GetInt("cluster-rtt-us"))) {
+      std::fprintf(stderr, "error: %s\n", cli_error->c_str());
+      return 2;
+    }
+    auto policy = ClusterSchedPolicyFromName(flags.GetString("sched-policy"));
+    if (!policy.has_value()) {
+      std::fprintf(stderr,
+                   "error: unknown --sched-policy '%s' "
+                   "(bin-pack|least-loaded|locality)\n",
+                   flags.GetString("sched-policy").c_str());
+      return 2;
+    }
+    ClusterOptions cluster;
+    cluster.hosts = static_cast<int>(flags.GetInt("cluster-hosts"));
+    cluster.threads = static_cast<int>(flags.GetInt("cell-threads"));
+    cluster.policy = *policy;
+    cluster.trace.launches = static_cast<uint64_t>(flags.GetInt("cluster-trace"));
+    cluster.trace.arrival_rate_per_s = flags.GetDouble("cluster-rate");
+    cluster.trace.zones = static_cast<uint32_t>(flags.GetInt("cluster-zones"));
+    cluster.seed = flags.GetInt("cluster-seed") >= 0
+                       ? static_cast<uint64_t>(flags.GetInt("cluster-seed"))
+                       : static_cast<uint64_t>(flags.GetInt("seed"));
+    cluster.stack = *stack;
+    cluster.app = app;
+    cluster.rtt = Microseconds(flags.GetInt("cluster-rtt-us"));
+    cluster.dwell = Milliseconds(flags.GetInt("cluster-dwell-ms"));
+    cluster.collect_metrics = flags.GetBool("metrics");
+    if (!flags.GetString("fault-plan").empty()) {
+      std::string plan_error;
+      auto plan = FaultPlan::Parse(flags.GetString("fault-plan"), &plan_error);
+      if (!plan.has_value()) {
+        std::fprintf(stderr, "error: bad --fault-plan: %s\n", plan_error.c_str());
+        return 2;
+      }
+      plan->seed = static_cast<uint64_t>(flags.GetInt("fault-seed"));
+      cluster.host_fault_plan = std::move(plan);
+    }
+    if (!flags.GetString("cp-fault-plan").empty()) {
+      std::string plan_error;
+      auto plan = FaultPlan::Parse(flags.GetString("cp-fault-plan"), &plan_error);
+      if (!plan.has_value()) {
+        std::fprintf(stderr, "error: bad --cp-fault-plan: %s\n", plan_error.c_str());
+        return 2;
+      }
+      plan->seed = static_cast<uint64_t>(flags.GetInt("fault-seed")) + 1;
+      cluster.control_plane_fault_plan = std::move(plan);
+    }
+    const ClusterResult r = RunClusterExperiment(cluster);
+    if (flags.GetBool("json")) {
+      WriteClusterResultJson(r, std::cout, /*include_exec=*/true);
+      std::cout << '\n';
+    } else {
+      PrintClusterReport(r, std::cout);
+    }
+    return 0;
   }
 
   if (flags.GetInt("waves") > 1) {

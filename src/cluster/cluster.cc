@@ -1,0 +1,354 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/experiments/result_json.h"
+#include "src/simcore/parallel_exec.h"
+#include "src/stats/json_writer.h"
+
+namespace fastiov {
+namespace {
+
+void WriteWaitSummary(JsonWriter& json, const Summary& s) {
+  json.BeginObject().KV("count", static_cast<uint64_t>(s.Count()));
+  if (!s.Empty()) {
+    json.KV("mean", s.Mean())
+        .KV("p50", s.Percentile(50))
+        .KV("p99", s.Percentile(99))
+        .KV("max", s.Max());
+  }
+  json.EndObject();
+}
+
+void WriteResourceReport(JsonWriter& json, const CpResourceReport& r) {
+  json.BeginObject()
+      .KV("requests", r.requests)
+      .KV("granted", r.granted)
+      .KV("rejected", r.rejected)
+      .KV("busy_seconds", r.busy.ToSecondsF());
+  json.Key("queue_wait_seconds");
+  WriteWaitSummary(json, r.queue_wait);
+  json.EndObject();
+}
+
+void WriteHostExtras(JsonWriter& json, const ClusterHostExtras& e) {
+  json.BeginObject()
+      .KV("assigned", e.assigned)
+      .KV("completed", e.completed)
+      .KV("cp_rejected", e.cp_rejected)
+      .KV("aborted", e.aborted)
+      .KV("registry_cache_hits", e.registry_cache_hits)
+      .KV("registry_cache_misses", e.registry_cache_misses)
+      .KV("ipam_releases", e.ipam_releases)
+      .KV("end_sim_seconds", e.end_sim_time.ToSecondsF());
+  json.Key("admission_wait_seconds");
+  WriteWaitSummary(json, e.admission_wait);
+  json.Key("gate_wait_seconds");
+  WriteWaitSummary(json, e.gate_wait);
+  json.Key("ipam_gate_seconds");
+  WriteWaitSummary(json, e.ipam_gate);
+  json.Key("cni_gate_seconds");
+  WriteWaitSummary(json, e.cni_gate);
+  json.Key("registry_gate_seconds");
+  WriteWaitSummary(json, e.registry_gate);
+  json.Key("leak_check");
+  json.BeginObject()
+      .KV("live_instances", e.final_live_instances)
+      .KV("pinned_pages", e.end_pinned_pages)
+      .KV("used_pages", e.end_used_pages)
+      .KV("shared_image_pages", e.end_shared_image_pages)
+      .KV("vfio_open", e.end_vfio_open)
+      .KV("fastiovd_pending", e.end_fastiovd_pending)
+      .KV("iommu_domains", e.end_iommu_domains)
+      .KV("nic_vfs_in_use", e.end_nic_vfs_in_use)
+      .EndObject();
+  json.EndObject();
+}
+
+}  // namespace
+
+ExperimentOptions ClusterHostBaseOptions(const ClusterOptions& options, int host_index,
+                                         uint64_t assigned) {
+  ExperimentOptions o;
+  // Same convention as the multi-cell fleet: host i draws from seed + i; the
+  // control-plane cell takes seed + hosts (never colliding with a host).
+  o.seed = options.seed + static_cast<uint64_t>(host_index);
+  // In bypass mode the base Orchestrate drives exactly `concurrency`
+  // containers, so it must equal the assignment. In control-plane mode the
+  // trace drives the launches and concurrency only pre-sizes the event
+  // queue for the live set — cap it so a 10^5-launch assignment does not
+  // reserve a million-slot queue up front.
+  o.concurrency = options.bypass_control_plane
+                      ? static_cast<int>(assigned)
+                      : static_cast<int>(std::min<uint64_t>(assigned, 2048));
+  o.host = options.host;
+  o.cost = options.cost;
+  o.app = options.app;
+  o.fault_plan = options.host_fault_plan;
+  o.collect_metrics = options.collect_metrics;
+  o.scheduler = options.scheduler;
+  o.timeline_span_sample = options.timeline_span_sample;
+  return o;
+}
+
+ClusterResult RunClusterExperiment(const ClusterOptions& options) {
+  if (options.hosts <= 0) {
+    throw std::invalid_argument("RunClusterExperiment: hosts must be positive");
+  }
+  if (options.trace.launches == 0) {
+    throw std::invalid_argument("RunClusterExperiment: trace needs at least one launch");
+  }
+
+  const std::vector<ClusterLaunch> trace = GenerateLaunchTrace(options.trace, options.seed);
+  const ClusterPlacement placement =
+      PlaceLaunches(trace, options.hosts, options.slots_per_host, options.policy);
+
+  std::vector<std::vector<ClusterLaunch>> per_host(static_cast<size_t>(options.hosts));
+  for (int h = 0; h < options.hosts; ++h) {
+    per_host[static_cast<size_t>(h)].reserve(placement.per_host[static_cast<size_t>(h)]);
+  }
+  for (size_t i = 0; i < trace.size(); ++i) {
+    per_host[static_cast<size_t>(placement.host_of[i])].push_back(trace[i]);
+  }
+
+  ControlPlaneConfig cp_config = options.control_plane;
+  if (cp_config.ipam_pool == 0) {
+    cp_config.ipam_pool = trace.size();
+  }
+
+  std::vector<std::unique_ptr<ClusterHostCell>> hosts;
+  hosts.reserve(static_cast<size_t>(options.hosts));
+  std::vector<SimCell*> cells;
+  cells.reserve(static_cast<size_t>(options.hosts) + 1);
+  for (int h = 0; h < options.hosts; ++h) {
+    const uint64_t assigned = placement.per_host[static_cast<size_t>(h)];
+    ClusterHostParams params;
+    params.control_plane_cell = static_cast<uint32_t>(options.hosts);
+    params.rtt = options.rtt;
+    params.dwell = options.dwell;
+    params.max_live = options.max_live_per_host > 0
+                          ? options.max_live_per_host
+                          : static_cast<uint64_t>(options.host.num_vfs);
+    params.bypass_control_plane = options.bypass_control_plane;
+    hosts.push_back(std::make_unique<ClusterHostCell>(
+        options.stack, ClusterHostBaseOptions(options, h, assigned), params,
+        std::move(per_host[static_cast<size_t>(h)])));
+    cells.push_back(hosts.back().get());
+  }
+
+  std::unique_ptr<ControlPlaneCell> control_plane;
+  if (!options.bypass_control_plane) {
+    control_plane = std::make_unique<ControlPlaneCell>(
+        cp_config, options.rtt, options.seed + static_cast<uint64_t>(options.hosts),
+        options.control_plane_fault_plan);
+    cells.push_back(control_plane.get());
+  }
+
+  ParallelExecOptions po;
+  po.threads = options.threads;
+  po.lookahead = options.bypass_control_plane ? SimTime::Max() : options.rtt;
+
+  ClusterResult result;
+  result.exec = RunCells(cells, po);
+
+  result.hosts = options.hosts;
+  result.policy = options.policy;
+  result.launches = trace.size();
+  result.seed = options.seed;
+  result.rtt = options.rtt;
+  result.dwell = options.dwell;
+  result.bypass_control_plane = options.bypass_control_plane;
+  result.slots_per_host = placement.slots_per_host;
+  result.imbalance = placement.Imbalance();
+  result.locality_hit_rate = placement.LocalityHitRate();
+  result.per_host_assigned = placement.per_host;
+
+  result.host_results.reserve(hosts.size());
+  for (auto& host : hosts) {
+    ClusterHostOutcome outcome;
+    outcome.extras = host->extras();
+    outcome.result = host->TakeResult();
+    result.completed += outcome.extras.completed;
+    result.cp_rejected += outcome.extras.cp_rejected;
+    result.aborted += outcome.extras.aborted;
+    result.registry_cache_hits += outcome.extras.registry_cache_hits;
+    result.registry_cache_misses += outcome.extras.registry_cache_misses;
+    result.sim_makespan = std::max(result.sim_makespan, outcome.extras.end_sim_time);
+    result.host_results.push_back(std::move(outcome));
+  }
+  if (control_plane) {
+    result.control_plane = control_plane->TakeReport();
+  }
+  return result;
+}
+
+void WriteClusterResultJson(const ClusterResult& result, std::ostream& os,
+                            bool include_exec) {
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("cluster");
+  json.BeginObject()
+      .KV("hosts", static_cast<int64_t>(result.hosts))
+      .KV("policy", ClusterSchedPolicyName(result.policy))
+      .KV("launches", result.launches)
+      .KV("seed", result.seed)
+      .KV("rtt_us", result.rtt.ToMicrosF())
+      .KV("dwell_ms", result.dwell.ToMillisF())
+      .KV("bypass_control_plane", result.bypass_control_plane)
+      .EndObject();
+  json.Key("placement");
+  json.BeginObject()
+      .KV("slots_per_host", result.slots_per_host)
+      .KV("imbalance", result.imbalance)
+      .KV("locality_hit_rate", result.locality_hit_rate);
+  json.Key("per_host_assigned");
+  json.BeginArray();
+  for (uint64_t n : result.per_host_assigned) {
+    json.Value(n);
+  }
+  json.EndArray();
+  json.EndObject();
+  json.Key("totals");
+  json.BeginObject()
+      .KV("completed", result.completed)
+      .KV("cp_rejected", result.cp_rejected)
+      .KV("aborted", result.aborted)
+      .KV("registry_cache_hits", result.registry_cache_hits)
+      .KV("registry_cache_misses", result.registry_cache_misses)
+      .KV("sim_makespan_seconds", result.sim_makespan.ToSecondsF())
+      .EndObject();
+  json.Key("hosts_detail");
+  json.BeginArray();
+  for (const ClusterHostOutcome& outcome : result.host_results) {
+    json.BeginObject();
+    json.Key("result");
+    WriteExperimentResultJson(outcome.result, json);
+    json.Key("cluster");
+    WriteHostExtras(json, outcome.extras);
+    json.EndObject();
+  }
+  json.EndArray();
+  if (result.control_plane.has_value()) {
+    const ControlPlaneReport& cp = *result.control_plane;
+    json.Key("control_plane");
+    json.BeginObject();
+    json.Key("ipam");
+    WriteResourceReport(json, cp.ipam);
+    json.Key("cni");
+    WriteResourceReport(json, cp.cni);
+    json.Key("registry");
+    WriteResourceReport(json, cp.registry);
+    json.KV("ipam_pool", cp.ipam_pool)
+        .KV("ipam_free_end", cp.ipam_free_end)
+        .KV("ipam_released", cp.ipam_released);
+    if (cp.fault_stats.has_value()) {
+      json.Key("fault_injection");
+      WriteFaultStatsJson(*cp.fault_stats, json);
+    }
+    json.EndObject();
+  }
+  if (include_exec) {
+    json.Key("exec");
+    json.BeginObject()
+        .KV("threads_used", static_cast<int64_t>(result.exec.threads_used))
+        .KV("windows", result.exec.windows)
+        .KV("messages_delivered", result.exec.messages_delivered)
+        .KV("wall_seconds", result.exec.wall_seconds)
+        .KV("utilization", result.exec.Utilization())
+        .EndObject();
+  }
+  json.EndObject();
+}
+
+std::string ClusterDigest(const ClusterResult& result) {
+  std::ostringstream os;
+  WriteClusterResultJson(result, os, /*include_exec=*/false);
+  return os.str();
+}
+
+void PrintClusterReport(const ClusterResult& result, std::ostream& os) {
+  os << "cluster: " << result.hosts << " hosts, policy " << ClusterSchedPolicyName(result.policy)
+     << ", " << result.launches << " launches, seed " << result.seed;
+  if (result.bypass_control_plane) {
+    os << ", control plane bypassed";
+  }
+  os << "\n";
+  os << std::fixed << std::setprecision(3);
+  os << "  placement: slots/host " << result.slots_per_host << ", imbalance "
+     << result.imbalance << ", locality hit rate " << result.locality_hit_rate << "\n";
+  os << "  outcome: " << result.completed << " completed, " << result.cp_rejected
+     << " rejected, " << result.aborted << " aborted; registry cache "
+     << result.registry_cache_hits << " hits / " << result.registry_cache_misses
+     << " misses\n";
+  os << "  simulated makespan: " << result.sim_makespan.ToSecondsF() << " s";
+  if (result.sim_makespan > SimTime::Zero()) {
+    os << " (" << static_cast<double>(result.launches) / result.sim_makespan.ToSecondsF()
+       << " launches/s simulated)";
+  }
+  os << "\n";
+  if (result.control_plane.has_value()) {
+    const ControlPlaneReport& cp = *result.control_plane;
+    auto line = [&os](const CpResourceReport& r) {
+      os << "    " << r.name << ": " << r.requests << " requests, " << r.granted
+         << " granted, " << r.rejected << " rejected";
+      if (!r.queue_wait.Empty()) {
+        os << "; queue wait p50 " << r.queue_wait.Percentile(50) * 1e3 << " ms, p99 "
+           << r.queue_wait.Percentile(99) * 1e3 << " ms";
+      }
+      os << "\n";
+    };
+    os << "  control plane (pool " << cp.ipam_pool << ", free at end " << cp.ipam_free_end
+       << "):\n";
+    line(cp.ipam);
+    line(cp.cni);
+    line(cp.registry);
+  }
+  os << "  wall: " << result.exec.wall_seconds << " s on " << result.exec.threads_used
+     << " thread(s), " << result.exec.windows << " windows, "
+     << result.exec.messages_delivered << " messages\n";
+}
+
+std::optional<std::string> ValidateClusterCli(int cluster_hosts, int cells, int waves,
+                                              bool chrome_trace,
+                                              std::optional<int64_t> lookahead_us,
+                                              int64_t rtt_us) {
+  if (cluster_hosts <= 0) {
+    return std::nullopt;  // not in cluster mode; nothing to check
+  }
+  if (cells > 1) {
+    return "--cells and --cluster-hosts are contradictory: a cluster run owns the "
+           "cell topology (hosts + control plane); drop --cells";
+  }
+  if (waves > 1) {
+    return "--waves cannot be combined with --cluster-hosts: cluster load comes from "
+           "the launch trace, not repeated waves";
+  }
+  if (chrome_trace) {
+    return "--trace (Chrome trace export) is not supported with --cluster-hosts; "
+           "use --json for the cluster report";
+  }
+  if (lookahead_us.has_value()) {
+    if (*lookahead_us < rtt_us) {
+      std::ostringstream os;
+      os << "--lookahead-us " << *lookahead_us << " is below the control-plane minimum RTT ("
+         << rtt_us << " us): the cluster's conservative lookahead must equal the "
+         << "control-plane RTT (--cluster-rtt-us)";
+      return os.str();
+    }
+    if (*lookahead_us > rtt_us) {
+      std::ostringstream os;
+      os << "--lookahead-us " << *lookahead_us << " exceeds the control-plane RTT (" << rtt_us
+         << " us): control-plane messages would land inside the execution window, "
+         << "violating conservative synchronization";
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fastiov

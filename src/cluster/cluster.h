@@ -1,0 +1,131 @@
+// Cluster-scale fleet simulation: N hosts + a shared control plane.
+//
+// RunClusterExperiment assembles the whole topology: a synthetic launch
+// trace (trace.h) is placed onto H hosts by a pluggable scheduler policy
+// (scheduler.h); cells 0..H-1 are ClusterHostCells and cell H is the
+// ControlPlaneCell; the conservative parallel driver runs them with
+// lookahead equal to the control-plane RTT — the minimum cross-cell latency,
+// so every CellPort::Send is legal and windows are as wide as the physics
+// allows. In bypass mode (no control plane) the cells are uncoupled
+// (lookahead = Max) and a one-host cluster is byte-identical to
+// HostCell::RunStandalone.
+//
+// Determinism contract (tests/cluster_test.cc): for a fixed ClusterOptions,
+// ClusterDigest is byte-identical across driver thread counts {1, N}, both
+// event-queue backends, and is a pure function of (options) — replaying the
+// same --cluster-seed reproduces the run exactly.
+#ifndef SRC_CLUSTER_CLUSTER_H_
+#define SRC_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_host.h"
+#include "src/cluster/control_plane.h"
+#include "src/cluster/scheduler.h"
+#include "src/cluster/trace.h"
+#include "src/container/stack_config.h"
+#include "src/experiments/startup_experiment.h"
+
+namespace fastiov {
+
+struct ClusterOptions {
+  int hosts = 4;
+  // Worker threads for the parallel driver; <= 0 means hardware concurrency.
+  int threads = 1;
+  ClusterSchedPolicy policy = ClusterSchedPolicy::kLeastLoaded;
+  ClusterTraceSpec trace;
+  uint64_t seed = 42;
+
+  StackConfig stack = StackConfig::FastIov();
+  HostSpec host;
+  CostModel cost;
+  std::optional<ServerlessApp> app;
+
+  // One-way host <-> control-plane latency; doubles as the driver lookahead.
+  SimTime rtt = Microseconds(200);
+  // Container lifetime after ready; the stop + IPAM release follow it.
+  SimTime dwell = Seconds(2.0);
+  // Scheduler slot budget per host; 0 = ceil(launches / hosts).
+  uint64_t slots_per_host = 0;
+  // Host admission cap on live containers; 0 = the host's VF pool size.
+  uint64_t max_live_per_host = 0;
+
+  ControlPlaneConfig control_plane;
+  bool bypass_control_plane = false;
+
+  // Event-queue backend override (determinism-matrix knob); unset = default.
+  std::optional<SchedulerPolicy> scheduler;
+  std::optional<FaultPlan> host_fault_plan;           // host-local sites
+  std::optional<FaultPlan> control_plane_fault_plan;  // ipam/cni/registry sites
+  size_t timeline_span_sample = 32;
+  bool collect_metrics = false;
+};
+
+struct ClusterHostOutcome {
+  ExperimentResult result;
+  ClusterHostExtras extras;
+};
+
+struct ClusterResult {
+  int hosts = 0;
+  ClusterSchedPolicy policy = ClusterSchedPolicy::kLeastLoaded;
+  uint64_t launches = 0;
+  uint64_t seed = 0;
+  SimTime rtt = SimTime::Zero();
+  SimTime dwell = SimTime::Zero();
+  bool bypass_control_plane = false;
+
+  // Placement quality of the chosen policy on this trace.
+  uint64_t slots_per_host = 0;
+  double imbalance = 1.0;
+  double locality_hit_rate = 0.0;
+  std::vector<uint64_t> per_host_assigned;
+
+  std::vector<ClusterHostOutcome> host_results;  // in host-index order
+  std::optional<ControlPlaneReport> control_plane;  // absent in bypass mode
+
+  // Cluster totals (sums over hosts).
+  uint64_t completed = 0;
+  uint64_t cp_rejected = 0;
+  uint64_t aborted = 0;
+  uint64_t registry_cache_hits = 0;
+  uint64_t registry_cache_misses = 0;
+  SimTime sim_makespan = SimTime::Zero();  // max host end time
+
+  ParallelExecStats exec;  // wall-clock; excluded from the digest
+};
+
+// The per-host ExperimentOptions the runner derives for host `host_index`
+// with `assigned` launches. Exposed so the single-host-identity test can
+// build the exact standalone twin of a cluster host.
+ExperimentOptions ClusterHostBaseOptions(const ClusterOptions& options, int host_index,
+                                         uint64_t assigned);
+
+// Generates the trace, places it, runs the cells, collects everything.
+ClusterResult RunClusterExperiment(const ClusterOptions& options);
+
+// Deterministic serialization: everything except wall-clock execution stats.
+// Two runs are equivalent iff their digests are byte-identical.
+void WriteClusterResultJson(const ClusterResult& result, std::ostream& os,
+                            bool include_exec);
+std::string ClusterDigest(const ClusterResult& result);
+
+// Human-readable report for the CLI.
+void PrintClusterReport(const ClusterResult& result, std::ostream& os);
+
+// CLI contradiction checks for fastiov_sim's cluster mode. Returns an error
+// message when the flag combination is invalid, nullopt when fine.
+// `lookahead_us` is the user's explicit --lookahead-us value (unset if the
+// flag was not given); `chrome_trace` is whether --trace was given.
+std::optional<std::string> ValidateClusterCli(int cluster_hosts, int cells, int waves,
+                                              bool chrome_trace,
+                                              std::optional<int64_t> lookahead_us,
+                                              int64_t rtt_us);
+
+}  // namespace fastiov
+
+#endif  // SRC_CLUSTER_CLUSTER_H_

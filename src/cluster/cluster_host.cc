@@ -1,0 +1,251 @@
+#include "src/cluster/cluster_host.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fastiov {
+
+ClusterHostCell::ClusterHostCell(const StackConfig& config, const ExperimentOptions& options,
+                                 const ClusterHostParams& params,
+                                 std::vector<ClusterLaunch> assigned)
+    : HostCell(config, options), params_(params), assigned_(std::move(assigned)) {
+  extras_.assigned = assigned_.size();
+  free_slots_ = params_.max_live;
+}
+
+Task ClusterHostCell::RootTask() {
+  return params_.bypass_control_plane ? Orchestrate() : ClusterOrchestrate();
+}
+
+void ClusterHostCell::GateAwaiter::await_suspend(std::coroutine_handle<> h) {
+  handle = h;
+  cell->gates_[launch_id] = this;
+  cell->port_->Send(cell->params_.control_plane_cell, cell->params_.rtt, kind, payload);
+}
+
+void ClusterHostCell::ImageWaitAwaiter::await_suspend(std::coroutine_handle<> h) {
+  cell->images_[image_id].waiters.push_back(h);
+}
+
+void ClusterHostCell::OnCellMessage(const CellMessage& msg) {
+  bool granted = false;
+  switch (static_cast<CpMessage>(msg.kind)) {
+    case CpMessage::kIpamGrant:
+    case CpMessage::kCniGrant:
+    case CpMessage::kRegistryGrant:
+      granted = true;
+      break;
+    case CpMessage::kIpamReject:
+    case CpMessage::kCniReject:
+    case CpMessage::kRegistryReject:
+      granted = false;
+      break;
+    default:
+      throw std::logic_error("ClusterHostCell: unexpected message kind");
+  }
+  const uint32_t launch_id = CpPayloadLaunchId(msg.payload);
+  auto it = gates_.find(launch_id);
+  if (it == gates_.end()) {
+    throw std::logic_error("ClusterHostCell: response for a launch with no open gate");
+  }
+  GateAwaiter* gate = it->second;
+  gates_.erase(it);
+  // The awaiter lives in the launch coroutine's frame; after resume() the
+  // frame may already be gone, so the verdict is written first and the
+  // pointer never touched again.
+  gate->ok = granted;
+  gate->handle.resume();
+}
+
+Task ClusterHostCell::ClusterOrchestrate() {
+  Simulation& sim = *sim_;
+  co_await BeginHostServices();
+  std::vector<Process> launches;
+  launches.reserve(256);
+  size_t spawned = 0;
+  for (const ClusterLaunch& launch : assigned_) {
+    if (launch.arrival > sim.Now()) {
+      co_await sim.Delay(launch.arrival - sim.Now());
+    }
+    launches.push_back(sim.Spawn(LaunchOne(launch), "launch"));
+    // Drop handles of finished launches so the in-flight list tracks live
+    // containers, not the 10^4+ a trace replays. A dropped process that
+    // failed is still rethrown by the simulation at drain time.
+    if (++spawned % 256 == 0) {
+      std::erase_if(launches, [](const Process& p) { return p.Done(); });
+    }
+  }
+  co_await WaitAll(std::move(launches));
+  host_->fastiovd().StopBackgroundZeroer();
+}
+
+Task ClusterHostCell::EnsureImage(const ClusterLaunch& launch, bool* ok) {
+  Simulation& sim = *sim_;
+  ImageState& state = images_[launch.image_id];  // node-based map: stable ref
+  while (true) {
+    if (state.cached) {
+      ++extras_.registry_cache_hits;
+      *ok = true;
+      co_return;
+    }
+    if (state.fetching) {
+      co_await ImageWaitAwaiter{this, launch.image_id};
+      continue;
+    }
+    state.fetching = true;
+    ++extras_.registry_cache_misses;
+    const SimTime t0 = sim.Now();
+    GateAwaiter gate{this, launch.id, static_cast<uint64_t>(CpMessage::kRegistryRequest),
+                     CpRequestPayload(launch.id, launch.image_mb)};
+    const bool granted = co_await gate;
+    extras_.registry_gate.AddTime(sim.Now() - t0);
+    state.fetching = false;
+    if (granted) {
+      state.cached = true;
+    }
+    // Either way the fetch resolved: waiters re-check and the first one
+    // becomes the new fetcher if this one was rejected.
+    ResumeImageWaiters(launch.image_id);
+    *ok = granted;
+    co_return;
+  }
+}
+
+void ClusterHostCell::ResumeImageWaiters(uint32_t image_id) {
+  ImageState& state = images_[image_id];
+  if (state.waiters.empty()) {
+    return;
+  }
+  std::vector<std::coroutine_handle<>> waiters = std::move(state.waiters);
+  state.waiters.clear();
+  // Each waiter resumes as its own event at the current timestamp, in wait
+  // order — deterministic, and no deep synchronous resume chains.
+  for (std::coroutine_handle<> h : waiters) {
+    sim_->ScheduleHandle(sim_->Now(), h);
+  }
+}
+
+void ClusterHostCell::ReleaseSlot() {
+  if (!slot_waiters_.empty()) {
+    // Hand the slot straight to the head waiter; it resumes as its own event
+    // at the current timestamp (deterministic FIFO, no counter round trip).
+    std::coroutine_handle<> h = slot_waiters_.front();
+    slot_waiters_.pop_front();
+    sim_->ScheduleHandle(sim_->Now(), h);
+  } else {
+    ++free_slots_;
+  }
+}
+
+void ClusterHostCell::SendIpamRelease(uint32_t launch_id) {
+  port_->Send(params_.control_plane_cell, params_.rtt,
+              static_cast<uint64_t>(CpMessage::kIpamRelease),
+              CpRequestPayload(launch_id, 0));
+  ++extras_.ipam_releases;
+}
+
+Task ClusterHostCell::LaunchOne(ClusterLaunch launch) {
+  Simulation& sim = *sim_;
+  ContainerRuntime& runtime = *runtime_;
+
+  {
+    const SimTime t0 = sim.Now();
+    co_await SlotAwaiter{this};
+    extras_.admission_wait.AddTime(sim.Now() - t0);
+  }
+  // From here the launch holds an admission slot; every exit path below
+  // releases it (after the reap, so the slot really is free capacity).
+  const SimTime gates_begin = sim.Now();
+
+  bool image_ok = true;
+  co_await EnsureImage(launch, &image_ok);
+  if (!image_ok) {
+    ++extras_.cp_rejected;
+    ReleaseSlot();
+    co_return;
+  }
+
+  {
+    const SimTime t0 = sim.Now();
+    GateAwaiter gate{this, launch.id, static_cast<uint64_t>(CpMessage::kIpamRequest),
+                     CpRequestPayload(launch.id, 0)};
+    const bool granted = co_await gate;
+    extras_.ipam_gate.AddTime(sim.Now() - t0);
+    if (!granted) {
+      ++extras_.cp_rejected;
+      ReleaseSlot();
+      co_return;
+    }
+  }
+  // From here the launch also holds an IP; every exit path returns it.
+  {
+    const SimTime t0 = sim.Now();
+    GateAwaiter gate{this, launch.id, static_cast<uint64_t>(CpMessage::kCniRequest),
+                     CpRequestPayload(launch.id, 0)};
+    const bool granted = co_await gate;
+    extras_.cni_gate.AddTime(sim.Now() - t0);
+    if (!granted) {
+      SendIpamRelease(launch.id);
+      ++extras_.cp_rejected;
+      ReleaseSlot();
+      co_return;
+    }
+  }
+  extras_.gate_wait.AddTime(sim.Now() - gates_begin);
+
+  const ServerlessApp* app = options_.app.has_value() ? &*options_.app : nullptr;
+  ContainerInstance* inst = nullptr;
+  co_await runtime.StartContainer(app, &inst);
+  if (inst == nullptr || inst->aborted) {
+    ++extras_.aborted;
+    SendIpamRelease(launch.id);
+    runtime.ReapTerminated();
+    ReleaseSlot();
+    co_return;
+  }
+  // The raw pointer is not safe across the dwell: a post-ready async-network
+  // failure can abort the container, and once its supervision processes
+  // finish, any sibling's ReapTerminated may free the record. Re-find it by
+  // cid afterwards.
+  const int cid = inst->cid;
+  co_await sim.Delay(params_.dwell);
+  ContainerInstance* live = nullptr;
+  for (const auto& candidate : runtime.instances()) {
+    if (candidate->cid == cid) {
+      live = candidate.get();
+      break;
+    }
+  }
+  if (live == nullptr || live->aborted) {
+    // Aborted (and possibly already reaped) during the dwell.
+    ++extras_.aborted;
+    SendIpamRelease(launch.id);
+    runtime.ReapTerminated();
+    ReleaseSlot();
+    co_return;
+  }
+  co_await runtime.StopContainer(*live);
+  ++extras_.completed;
+  SendIpamRelease(launch.id);
+  runtime.ReapTerminated();
+  ReleaseSlot();
+}
+
+void ClusterHostCell::CellEnd() {
+  // Final reap and leak snapshot before the base collects the result and
+  // tears the host down.
+  extras_.end_sim_time = sim_->Now();
+  runtime_->ReapTerminated();
+  extras_.final_live_instances = runtime_->instances().size();
+  Host& host = *host_;
+  extras_.end_pinned_pages = host.pmem().total_pinned_pages();
+  extras_.end_used_pages = host.pmem().used_pages();
+  extras_.end_shared_image_pages = host.shared_image_frames().size();
+  extras_.end_vfio_open = static_cast<uint64_t>(host.devset().TotalOpenCount());
+  extras_.end_fastiovd_pending = host.fastiovd().total_pending_pages();
+  extras_.end_iommu_domains = host.iommu().num_domains();
+  extras_.end_nic_vfs_in_use = host.nic().vfs_in_use();
+  HostCell::CellEnd();
+}
+
+}  // namespace fastiov

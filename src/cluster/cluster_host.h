@@ -1,0 +1,174 @@
+// ClusterHostCell: a HostCell driven by a cluster trace through the shared
+// control plane.
+//
+// The base HostCell runs a closed burst: N containers, arrival schedule from
+// the host's own RNG, no outside world. A ClusterHostCell instead replays the
+// slice of a cluster launch trace the scheduler placed on it, and every
+// launch must clear three control-plane gates — registry fetch (unless the
+// image is already in the host's cache), IPAM allocation, CNI assignment —
+// before the local start pipeline runs. Gates are CellPort round-trips to the
+// ControlPlaneCell: the launch coroutine suspends on a GateAwaiter, the
+// grant/reject message resumes it. After the container's dwell time it is
+// stopped, its IP released back to the pool, and its bookkeeping record
+// reaped — so resident memory tracks the *live* container count, not the
+// 10^4+ launches a trace replays through each host.
+//
+// In bypass mode (no control plane, lookahead = Max) the cell is exactly a
+// HostCell: RootTask() returns the base Orchestrate(), so a one-host cluster
+// is byte-identical to RunStandalone (tests/cluster_test.cc pins this).
+#ifndef SRC_CLUSTER_CLUSTER_HOST_H_
+#define SRC_CLUSTER_CLUSTER_HOST_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/control_plane.h"
+#include "src/cluster/trace.h"
+#include "src/experiments/host_cell.h"
+
+namespace fastiov {
+
+// Cluster-side per-host outcome, reported next to the base ExperimentResult.
+struct ClusterHostExtras {
+  uint64_t assigned = 0;
+  uint64_t completed = 0;     // started, dwelled, stopped cleanly
+  uint64_t cp_rejected = 0;   // a control-plane gate rejected the launch
+  uint64_t aborted = 0;       // local start pipeline aborted (fault injection)
+  uint64_t registry_cache_hits = 0;
+  uint64_t registry_cache_misses = 0;  // cold fetches this host issued
+  uint64_t ipam_releases = 0;
+  // Host-side admission queueing (waiting for a live-container slot).
+  Summary admission_wait;
+  // Per-gate round-trip seconds (request sent -> response resumed): queue
+  // wait + service + 2x RTT.
+  Summary ipam_gate;
+  Summary cni_gate;
+  Summary registry_gate;
+  // Total control-plane time per launch (arrival to all gates cleared).
+  Summary gate_wait;
+  // Simulated time at which this host's cell drained (cluster makespan is
+  // the max across hosts).
+  SimTime end_sim_time = SimTime::Zero();
+  // End-of-run leak snapshot, taken after the final reap. The conformance
+  // and chaos suites assert these against the host's quiescent baseline.
+  uint64_t final_live_instances = 0;
+  uint64_t end_pinned_pages = 0;
+  uint64_t end_used_pages = 0;
+  uint64_t end_shared_image_pages = 0;
+  uint64_t end_vfio_open = 0;
+  uint64_t end_fastiovd_pending = 0;
+  uint64_t end_iommu_domains = 0;
+  uint64_t end_nic_vfs_in_use = 0;
+};
+
+struct ClusterHostParams {
+  uint32_t control_plane_cell = 0;  // cell index of the ControlPlaneCell
+  SimTime rtt = Microseconds(200);  // one-way latency == driver lookahead
+  SimTime dwell = Seconds(2);       // container lifetime after ready
+  // Admission cap: launches past this many live containers queue host-side
+  // (kubelet pod-capacity admission). Sized to the VF pool by the runner so
+  // an arrival burst can never exhaust VFs mid-pipeline.
+  uint64_t max_live = 256;
+  // When set, skip the control plane entirely and run the base closed-burst
+  // Orchestrate — the standalone-identity pin.
+  bool bypass_control_plane = false;
+};
+
+class ClusterHostCell : public HostCell {
+ public:
+  // `assigned` is this host's slice of the trace, in trace order.
+  ClusterHostCell(const StackConfig& config, const ExperimentOptions& options,
+                  const ClusterHostParams& params, std::vector<ClusterLaunch> assigned);
+
+  void OnCellMessage(const CellMessage& msg) override;
+  void CellEnd() override;
+
+  // Valid once finished(); plain values, safe to read from the main thread.
+  const ClusterHostExtras& extras() const { return extras_; }
+
+ protected:
+  Task RootTask() override;
+
+ private:
+  // One control-plane round trip. The coroutine parks here until
+  // OnCellMessage resumes it with the verdict.
+  struct GateAwaiter {
+    ClusterHostCell* cell;
+    uint32_t launch_id;
+    uint64_t kind;
+    uint64_t payload;
+    std::coroutine_handle<> handle{};
+    bool ok = false;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    bool await_resume() const noexcept { return ok; }
+  };
+
+  // Parks a launch until the in-flight fetch of its image resolves.
+  struct ImageWaitAwaiter {
+    ClusterHostCell* cell;
+    uint32_t image_id;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+
+  struct ImageState {
+    bool cached = false;
+    bool fetching = false;
+    std::vector<std::coroutine_handle<>> waiters;
+  };
+
+  // FIFO admission slot. A free slot is consumed in await_ready; otherwise
+  // the launch parks and ReleaseSlot hands the freed slot directly to the
+  // head waiter (never through the counter, so a newly arriving launch can
+  // never overtake the queue).
+  struct SlotAwaiter {
+    ClusterHostCell* cell;
+
+    bool await_ready() const noexcept {
+      if (cell->free_slots_ == 0) {
+        return false;
+      }
+      --cell->free_slots_;
+      return true;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      cell->slot_waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  void ReleaseSlot();
+
+  Task ClusterOrchestrate();
+  Task LaunchOne(ClusterLaunch launch);
+  // Registry gate with the per-host image cache: the first launch of an
+  // image fetches, concurrent launches of the same image wait for that fetch
+  // instead of piling onto the registry queue. Returns false when the fetch
+  // was rejected for this launch.
+  Task EnsureImage(const ClusterLaunch& launch, bool* ok);
+  void SendIpamRelease(uint32_t launch_id);
+  void ResumeImageWaiters(uint32_t image_id);
+
+  ClusterHostParams params_;
+  std::vector<ClusterLaunch> assigned_;
+
+  // Launches parked on a control-plane response, keyed by launch id. One
+  // launch holds at most one gate at a time, so the key is unique.
+  std::unordered_map<uint32_t, GateAwaiter*> gates_;
+  std::unordered_map<uint32_t, ImageState> images_;
+
+  uint64_t free_slots_ = 0;
+  std::deque<std::coroutine_handle<>> slot_waiters_;
+
+  ClusterHostExtras extras_;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_CLUSTER_CLUSTER_HOST_H_

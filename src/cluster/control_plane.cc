@@ -1,0 +1,206 @@
+#include "src/cluster/control_plane.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace fastiov {
+
+ControlPlaneCell::ControlPlaneCell(const ControlPlaneConfig& config, SimTime rtt,
+                                   uint64_t seed, std::optional<FaultPlan> fault_plan)
+    : config_(config), rtt_(rtt), seed_(seed), fault_plan_(std::move(fault_plan)) {
+  ipam_.name = "ipam";
+  ipam_.site = FaultSite::kIpamAlloc;
+  ipam_.grant = CpMessage::kIpamGrant;
+  ipam_.reject = CpMessage::kIpamReject;
+  cni_.name = "cni";
+  cni_.site = FaultSite::kCniAssign;
+  cni_.grant = CpMessage::kCniGrant;
+  cni_.reject = CpMessage::kCniReject;
+  registry_.name = "registry";
+  registry_.site = FaultSite::kRegistryFetch;
+  registry_.grant = CpMessage::kRegistryGrant;
+  registry_.reject = CpMessage::kRegistryReject;
+}
+
+ControlPlaneCell::~ControlPlaneCell() {
+  Teardown();
+}
+
+void ControlPlaneCell::CellBegin(CellPort* port) {
+  if (port == nullptr) {
+    throw std::logic_error("ControlPlaneCell requires the parallel driver's port");
+  }
+  port_ = port;
+  sim_.emplace(seed_);
+  if (fault_plan_.has_value()) {
+    injector_.emplace(*fault_plan_);
+    sim_->set_fault_injector(&*injector_);
+  }
+  free_ips_ = config_.ipam_pool;
+  ipam_released_ = 0;
+}
+
+void ControlPlaneCell::Enqueue(Resource& resource, const CellMessage& msg) {
+  Pending request;
+  request.from_cell = msg.from_cell;
+  request.launch_id = CpPayloadLaunchId(msg.payload);
+  request.image_mb = CpPayloadImageMb(msg.payload);
+  request.enqueued_at = sim_->Now();
+  resource.queue.push_back(request);
+  ++resource.requests;
+  if (!resource.busy) {
+    // The serve loop exits when the queue drains; re-arm it for this burst.
+    resource.busy = true;
+    sim_->Spawn(ServeLoop(&resource), resource.name);
+  }
+}
+
+void ControlPlaneCell::OnCellMessage(const CellMessage& msg) {
+  switch (static_cast<CpMessage>(msg.kind)) {
+    case CpMessage::kIpamRequest:
+      Enqueue(ipam_, msg);
+      break;
+    case CpMessage::kCniRequest:
+      Enqueue(cni_, msg);
+      break;
+    case CpMessage::kRegistryRequest:
+      Enqueue(registry_, msg);
+      break;
+    case CpMessage::kIpamRelease:
+      // Releases are fire-and-forget: the etcd write happens off the
+      // launch's critical path, so it costs the pool no server time.
+      ++free_ips_;
+      ++ipam_released_;
+      break;
+    default:
+      throw std::logic_error("ControlPlaneCell: unexpected message kind");
+  }
+}
+
+SimTime ControlPlaneCell::ServiceTime(const Resource& resource,
+                                      const Pending& request) const {
+  if (&resource == &ipam_) {
+    return config_.ipam_service;
+  }
+  if (&resource == &cni_) {
+    return config_.cni_service;
+  }
+  // Registry: the fetch occupies the shared egress pipe for the image's
+  // transfer time.
+  const double bits = static_cast<double>(request.image_mb) * 1024.0 * 1024.0 * 8.0;
+  const SimTime transfer =
+      config_.registry_bandwidth_bps > 0.0
+          ? Seconds(bits / config_.registry_bandwidth_bps)
+          : SimTime::Zero();
+  return std::max(transfer, config_.registry_min_service);
+}
+
+Task ControlPlaneCell::ServeLoop(Resource* resource) {
+  Simulation& sim = *sim_;
+  while (!resource->queue.empty()) {
+    const Pending request = resource->queue.front();
+    resource->queue.pop_front();
+    resource->queue_wait.AddTime(sim.Now() - request.enqueued_at);
+    bool ok = true;
+    if (injector_.has_value()) {
+      bool faulted = false;
+      for (int attempt = 0;; ++attempt) {
+        bool transient_fault = false;
+        try {
+          co_await injector_->MaybeInject(sim, resource->site);
+          break;
+        } catch (const FaultError& err) {
+          faulted = true;
+          transient_fault = err.transient() && attempt < config_.retry_limit;
+          if (!transient_fault) {
+            injector_->NoteAborted(resource->site, sim.Now());
+            ok = false;
+          }
+        }
+        if (!ok) {
+          break;
+        }
+        // Retry with exponential backoff, outside the catch block so the
+        // co_await does not run during exception unwinding.
+        injector_->NoteRetry(resource->site, sim.Now());
+        co_await sim.Delay(config_.retry_backoff * static_cast<double>(1ll << attempt));
+      }
+      if (ok && faulted) {
+        injector_->NoteRecovered(resource->site, sim.Now());
+      }
+    }
+    if (ok) {
+      const SimTime service = ServiceTime(*resource, request);
+      co_await sim.Delay(service);
+      resource->busy_time += service;
+    }
+    if (ok && resource == &ipam_) {
+      // Pool accounting happens at grant time, after the etcd round: a
+      // drained pool rejects even though the request was served.
+      if (free_ips_ == 0) {
+        ok = false;
+      } else {
+        --free_ips_;
+      }
+    }
+    if (ok) {
+      ++resource->granted;
+    } else {
+      ++resource->rejected;
+    }
+    port_->Send(request.from_cell, rtt_,
+                static_cast<uint64_t>(ok ? resource->grant : resource->reject),
+                request.launch_id);
+  }
+  resource->busy = false;
+}
+
+void ControlPlaneCell::CellEnd() {
+  ControlPlaneReport report;
+  auto snapshot = [](const Resource& r) {
+    CpResourceReport out;
+    out.name = r.name;
+    out.requests = r.requests;
+    out.granted = r.granted;
+    out.rejected = r.rejected;
+    out.queue_wait = r.queue_wait;
+    out.busy = r.busy_time;
+    return out;
+  };
+  report.ipam = snapshot(ipam_);
+  report.cni = snapshot(cni_);
+  report.registry = snapshot(registry_);
+  report.ipam_pool = config_.ipam_pool;
+  report.ipam_free_end = free_ips_;
+  report.ipam_released = ipam_released_;
+  report.events_processed = sim_->num_events_processed();
+  if (injector_.has_value()) {
+    report.fault_stats = FaultStatsReport::FromInjector(*injector_);
+  }
+  report_ = std::move(report);
+  collected_ = true;
+  Teardown();
+}
+
+void ControlPlaneCell::CellAbandon() noexcept {
+  Teardown();
+}
+
+void ControlPlaneCell::Teardown() {
+  ipam_.queue.clear();
+  cni_.queue.clear();
+  registry_.queue.clear();
+  injector_.reset();
+  sim_.reset();
+}
+
+ControlPlaneReport ControlPlaneCell::TakeReport() {
+  if (!collected_) {
+    throw std::logic_error("ControlPlaneCell::TakeReport: cell has not finished");
+  }
+  collected_ = false;
+  return std::move(report_);
+}
+
+}  // namespace fastiov

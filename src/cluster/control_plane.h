@@ -1,0 +1,165 @@
+// The shared cluster control plane, modeled as its own simulation cell.
+//
+// Every host in the cluster launches containers through three shared
+// services: the IPAM pool (a finite block of cluster IPs, etcd-backed), the
+// CNI assignment service, and the image registry (a shared egress pipe whose
+// service time scales with image size). Each service is a single-server FIFO
+// queue living inside one ControlPlaneCell; host cells reach it exclusively
+// through CellPort messages, so the control plane obeys the same conservative
+// synchronization contract as everything else: requests ride one RTT to the
+// cell, queue, get served, and the grant/reject rides one RTT back. The
+// cluster's lookahead is exactly that RTT — the minimum control-plane latency.
+//
+// Determinism: the cell's inbox is delivered in (deliver_at, from_cell, seq)
+// order — a total order independent of driver thread count — and each FIFO
+// serves in arrival order, so queue waits, grants, and rejections are
+// byte-identical across {1, N} threads and both event-queue backends.
+#ifndef SRC_CLUSTER_CONTROL_PLANE_H_
+#define SRC_CLUSTER_CONTROL_PLANE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "src/fault/fault.h"
+#include "src/simcore/parallel_exec.h"
+#include "src/simcore/simulation.h"
+#include "src/stats/fault_stats.h"
+#include "src/stats/summary.h"
+
+namespace fastiov {
+
+// Cross-cell message kinds on the host <-> control-plane wire. Requests carry
+// payload = launch_id | (image_mb << 32); responses carry payload = launch_id
+// so the host can wake the right gated launch.
+enum class CpMessage : uint64_t {
+  kIpamRequest = 1,
+  kCniRequest = 2,
+  kRegistryRequest = 3,
+  kIpamRelease = 4,  // fire-and-forget; returns the launch's IP to the pool
+  kIpamGrant = 5,
+  kCniGrant = 6,
+  kRegistryGrant = 7,
+  kIpamReject = 8,
+  kCniReject = 9,
+  kRegistryReject = 10,
+};
+
+inline uint64_t CpRequestPayload(uint32_t launch_id, uint32_t image_mb) {
+  return static_cast<uint64_t>(launch_id) | (static_cast<uint64_t>(image_mb) << 32);
+}
+inline uint32_t CpPayloadLaunchId(uint64_t payload) {
+  return static_cast<uint32_t>(payload & 0xffffffffull);
+}
+inline uint32_t CpPayloadImageMb(uint64_t payload) {
+  return static_cast<uint32_t>(payload >> 32);
+}
+
+struct ControlPlaneConfig {
+  SimTime ipam_service = Microseconds(300);   // etcd compare-and-swap round
+  SimTime cni_service = Microseconds(200);    // allocation bookkeeping
+  // Shared registry egress; a cold fetch of image_mb MiB occupies the pipe
+  // for max(min_service, bits / bandwidth).
+  double registry_bandwidth_bps = 2.0e9;
+  SimTime registry_min_service = Microseconds(100);
+  // IP pool size. 0 = sized by the runner to the trace's launch count, so
+  // pool exhaustion only happens when a test asks for it.
+  uint64_t ipam_pool = 0;
+  // Transient-fault retry policy for the three control-plane sites.
+  int retry_limit = 3;
+  SimTime retry_backoff = Milliseconds(1);
+};
+
+// Per-service outcome, decoupled from the live cell so results outlive it.
+struct CpResourceReport {
+  std::string name;
+  uint64_t requests = 0;
+  uint64_t granted = 0;
+  uint64_t rejected = 0;
+  Summary queue_wait;       // seconds from enqueue to service start
+  SimTime busy = SimTime::Zero();  // simulated time the server spent serving
+};
+
+struct ControlPlaneReport {
+  CpResourceReport ipam;
+  CpResourceReport cni;
+  CpResourceReport registry;
+  uint64_t ipam_pool = 0;
+  uint64_t ipam_free_end = 0;   // free IPs when the run drained
+  uint64_t ipam_released = 0;   // releases received back from hosts
+  uint64_t events_processed = 0;
+  std::optional<FaultStatsReport> fault_stats;
+};
+
+class ControlPlaneCell : public SimCell {
+ public:
+  // `rtt` is the one-way host <-> control-plane latency; it must equal the
+  // driver's lookahead (responses are sent with exactly this latency).
+  ControlPlaneCell(const ControlPlaneConfig& config, SimTime rtt, uint64_t seed,
+                   std::optional<FaultPlan> fault_plan);
+  ~ControlPlaneCell() override;
+  ControlPlaneCell(const ControlPlaneCell&) = delete;
+  ControlPlaneCell& operator=(const ControlPlaneCell&) = delete;
+
+  Simulation& cell_sim() override { return *sim_; }
+  void CellBegin(CellPort* port) override;
+  void OnCellMessage(const CellMessage& msg) override;
+  void CellEnd() override;
+  void CellAbandon() noexcept override;
+
+  bool finished() const { return collected_; }
+  ControlPlaneReport TakeReport();
+
+ private:
+  struct Pending {
+    uint32_t from_cell = 0;
+    uint32_t launch_id = 0;
+    uint32_t image_mb = 0;
+    SimTime enqueued_at = SimTime::Zero();
+  };
+
+  // One single-server FIFO service.
+  struct Resource {
+    const char* name = "";
+    FaultSite site = FaultSite::kIpamAlloc;
+    CpMessage grant = CpMessage::kIpamGrant;
+    CpMessage reject = CpMessage::kIpamReject;
+    std::deque<Pending> queue;
+    bool busy = false;
+    uint64_t requests = 0;
+    uint64_t granted = 0;
+    uint64_t rejected = 0;
+    Summary queue_wait;
+    SimTime busy_time = SimTime::Zero();
+  };
+
+  void Enqueue(Resource& resource, const CellMessage& msg);
+  SimTime ServiceTime(const Resource& resource, const Pending& request) const;
+  // Drains `resource.queue` one request at a time; spawned on demand when a
+  // request lands on an idle server, exits when the queue is empty.
+  Task ServeLoop(Resource* resource);
+  void Teardown();
+
+  ControlPlaneConfig config_;
+  SimTime rtt_;
+  uint64_t seed_;
+  std::optional<FaultPlan> fault_plan_;
+
+  std::optional<Simulation> sim_;
+  std::optional<FaultInjector> injector_;
+  CellPort* port_ = nullptr;
+
+  Resource ipam_;
+  Resource cni_;
+  Resource registry_;
+  uint64_t free_ips_ = 0;
+  uint64_t ipam_released_ = 0;
+
+  bool collected_ = false;
+  ControlPlaneReport report_;
+};
+
+}  // namespace fastiov
+
+#endif  // SRC_CLUSTER_CONTROL_PLANE_H_

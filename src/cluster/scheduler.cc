@@ -1,0 +1,109 @@
+#include "src/cluster/scheduler.h"
+
+#include <algorithm>
+
+namespace fastiov {
+namespace {
+
+// Least-loaded with deterministic tie-break: lowest index wins.
+int LeastLoadedHost(const std::vector<uint64_t>& per_host) {
+  int best = 0;
+  for (int h = 1; h < static_cast<int>(per_host.size()); ++h) {
+    if (per_host[static_cast<size_t>(h)] < per_host[static_cast<size_t>(best)]) {
+      best = h;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+const char* ClusterSchedPolicyName(ClusterSchedPolicy policy) {
+  switch (policy) {
+    case ClusterSchedPolicy::kBinPack:
+      return "bin-pack";
+    case ClusterSchedPolicy::kLeastLoaded:
+      return "least-loaded";
+    case ClusterSchedPolicy::kLocality:
+      return "locality";
+  }
+  return "?";
+}
+
+std::optional<ClusterSchedPolicy> ClusterSchedPolicyFromName(const std::string& name) {
+  if (name == "bin-pack") {
+    return ClusterSchedPolicy::kBinPack;
+  }
+  if (name == "least-loaded") {
+    return ClusterSchedPolicy::kLeastLoaded;
+  }
+  if (name == "locality") {
+    return ClusterSchedPolicy::kLocality;
+  }
+  return std::nullopt;
+}
+
+double ClusterPlacement::Imbalance() const {
+  if (per_host.empty() || host_of.empty()) {
+    return 1.0;
+  }
+  const uint64_t max = *std::max_element(per_host.begin(), per_host.end());
+  const double mean =
+      static_cast<double>(host_of.size()) / static_cast<double>(per_host.size());
+  return mean > 0.0 ? static_cast<double>(max) / mean : 1.0;
+}
+
+double ClusterPlacement::LocalityHitRate() const {
+  return host_of.empty()
+             ? 0.0
+             : static_cast<double>(locality_hits) / static_cast<double>(host_of.size());
+}
+
+ClusterPlacement PlaceLaunches(const std::vector<ClusterLaunch>& trace, int hosts,
+                               uint64_t slots_per_host, ClusterSchedPolicy policy) {
+  ClusterPlacement placement;
+  if (hosts <= 0) {
+    return placement;
+  }
+  placement.per_host.assign(static_cast<size_t>(hosts), 0);
+  placement.host_of.reserve(trace.size());
+  if (slots_per_host == 0) {
+    slots_per_host =
+        (trace.size() + static_cast<size_t>(hosts) - 1) / static_cast<size_t>(hosts);
+    slots_per_host = std::max<uint64_t>(slots_per_host, 1);
+  }
+  placement.slots_per_host = slots_per_host;
+
+  int pack_cursor = 0;  // bin-pack's current fill target
+  for (const ClusterLaunch& launch : trace) {
+    const int preferred = static_cast<int>(launch.zone % static_cast<uint32_t>(hosts));
+    int target = 0;
+    switch (policy) {
+      case ClusterSchedPolicy::kBinPack:
+        while (pack_cursor < hosts - 1 &&
+               placement.per_host[static_cast<size_t>(pack_cursor)] >= slots_per_host) {
+          ++pack_cursor;
+        }
+        target = placement.per_host[static_cast<size_t>(pack_cursor)] < slots_per_host
+                     ? pack_cursor
+                     : LeastLoadedHost(placement.per_host);
+        break;
+      case ClusterSchedPolicy::kLeastLoaded:
+        target = LeastLoadedHost(placement.per_host);
+        break;
+      case ClusterSchedPolicy::kLocality:
+        target = placement.per_host[static_cast<size_t>(preferred)] < slots_per_host
+                     ? preferred
+                     : LeastLoadedHost(placement.per_host);
+        break;
+    }
+    if (target == preferred) {
+      ++placement.locality_hits;
+    }
+    ++placement.per_host[static_cast<size_t>(target)];
+    placement.host_of.push_back(target);
+  }
+  return placement;
+}
+
+}  // namespace fastiov

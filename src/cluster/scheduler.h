@@ -1,0 +1,51 @@
+// Pluggable cluster placement policies.
+//
+// The scheduler decides, before the simulation starts, which host runs each
+// launch of a trace. Placement is deterministic and purely a function of
+// (trace, hosts, slots, policy) — it consumes no RNG and no simulated time —
+// so every policy keeps the cluster determinism contract: the same placement
+// at any driver thread count, under either event-queue backend.
+#ifndef SRC_CLUSTER_SCHEDULER_H_
+#define SRC_CLUSTER_SCHEDULER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/trace.h"
+
+namespace fastiov {
+
+enum class ClusterSchedPolicy {
+  kBinPack,      // fill host 0 to its slot budget, then host 1, ...
+  kLeastLoaded,  // host with the fewest assigned launches (ties: lowest index)
+  kLocality,     // the launch's zone-preferred host, overflowing to least-loaded
+};
+
+const char* ClusterSchedPolicyName(ClusterSchedPolicy policy);
+std::optional<ClusterSchedPolicy> ClusterSchedPolicyFromName(const std::string& name);
+
+// The outcome of placing one trace.
+struct ClusterPlacement {
+  std::vector<int> host_of;        // per launch (trace order)
+  std::vector<uint64_t> per_host;  // assigned launch count per host
+  uint64_t slots_per_host = 0;
+  // Launches that landed on their zone-preferred host (zone % hosts). Counted
+  // for every policy so placement quality is comparable across them.
+  uint64_t locality_hits = 0;
+
+  // max/mean assigned count; 1.0 is perfectly balanced.
+  double Imbalance() const;
+  double LocalityHitRate() const;
+};
+
+// Places every launch. `slots_per_host` caps a host's assignments for the
+// bin-pack fill and the locality preference; when every host is at its cap
+// the policies fall back to least-loaded so no launch is ever unplaceable.
+ClusterPlacement PlaceLaunches(const std::vector<ClusterLaunch>& trace, int hosts,
+                               uint64_t slots_per_host, ClusterSchedPolicy policy);
+
+}  // namespace fastiov
+
+#endif  // SRC_CLUSTER_SCHEDULER_H_

@@ -1,0 +1,40 @@
+#include "src/cluster/trace.h"
+
+#include "src/simcore/rng.h"
+
+namespace fastiov {
+
+std::vector<ClusterLaunch> GenerateLaunchTrace(const ClusterTraceSpec& spec, uint64_t seed) {
+  // A private stream, decorrelated from the per-host simulation seeds (which
+  // are seed+host_index): the trace must not change when the host count does.
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x436c7573ull);
+  std::vector<ClusterLaunch> trace;
+  trace.reserve(spec.launches);
+  const double mean_gap_s =
+      spec.arrival_rate_per_s > 0.0 ? 1.0 / spec.arrival_rate_per_s : 0.0;
+  SimTime t = SimTime::Zero();
+  for (uint64_t i = 0; i < spec.launches; ++i) {
+    if (i > 0 && mean_gap_s > 0.0) {
+      t += Seconds(rng.Exponential(mean_gap_s));
+    }
+    ClusterLaunch launch;
+    launch.id = static_cast<uint32_t>(i);
+    launch.arrival = t;
+    launch.zone = spec.zones > 0
+                      ? static_cast<uint32_t>(rng.UniformInt(0, spec.zones - 1))
+                      : 0;
+    // Images are zone-affine: workloads in one zone boot the same image, so a
+    // locality-aware placement turns registry fetches into per-host cache
+    // hits. This is what gives the locality policy something real to win.
+    launch.image_id = launch.zone;
+    launch.image_mb =
+        spec.image_mb.empty()
+            ? 128u
+            : spec.image_mb[static_cast<size_t>(rng.UniformInt(
+                  0, static_cast<int64_t>(spec.image_mb.size()) - 1))];
+    trace.push_back(launch);
+  }
+  return trace;
+}
+
+}  // namespace fastiov

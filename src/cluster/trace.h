@@ -1,0 +1,46 @@
+// Synthetic cluster launch traces.
+//
+// A trace is the cluster-level workload: a time-ordered sequence of container
+// launch requests (10^5–10^6 of them for the fleet-scale experiments), each
+// tagged with the zone it wants to run near and the image it boots from. The
+// generator is pure: one (spec, seed) pair always produces the same trace, so
+// trace replay identity is a property of the inputs, not of any recorded
+// file (tests/cluster_test.cc pins this).
+#ifndef SRC_CLUSTER_TRACE_H_
+#define SRC_CLUSTER_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/simcore/time.h"
+
+namespace fastiov {
+
+// One container launch in a cluster trace.
+struct ClusterLaunch {
+  uint32_t id = 0;        // trace index; unique across the cluster
+  SimTime arrival = SimTime::Zero();
+  uint32_t zone = 0;      // locality domain the workload prefers
+  uint32_t image_id = 0;  // which image it boots (zones share images)
+  uint32_t image_mb = 0;  // registry bytes a cold fetch moves
+};
+
+struct ClusterTraceSpec {
+  uint64_t launches = 1000;
+  // Cluster-wide Poisson arrival rate. Launch arrivals are an open-loop
+  // process: the cluster keeps receiving requests whether or not hosts have
+  // finished earlier ones.
+  double arrival_rate_per_s = 1000.0;
+  uint32_t zones = 8;
+  // Candidate image sizes, drawn uniformly per launch.
+  std::vector<uint32_t> image_mb = {64, 128, 256};
+};
+
+// Deterministic generation from (spec, seed): exponential inter-arrival gaps
+// at `arrival_rate_per_s`, zone and image size drawn from the same private
+// stream. Arrivals are non-decreasing; ids are 0..launches-1 in time order.
+std::vector<ClusterLaunch> GenerateLaunchTrace(const ClusterTraceSpec& spec, uint64_t seed);
+
+}  // namespace fastiov
+
+#endif  // SRC_CLUSTER_TRACE_H_

@@ -609,16 +609,19 @@ Task ContainerRuntime::StartPipeline(ContainerInstance& inst) {
   }
 }
 
-Task ContainerRuntime::StartContainer(const ServerlessApp* app) {
+Task ContainerRuntime::StartContainer(const ServerlessApp* app, ContainerInstance** out_inst) {
   auto& h = *host_;
   auto inst_owner = std::make_unique<ContainerInstance>();
   ContainerInstance& inst = *inst_owner;
-  inst.cid = static_cast<int>(instances_.size());
+  inst.cid = next_cid_++;
   inst.pid = next_pid_++;
   inst.timeline_id = h.timeline().RegisterContainer(h.sim().Now());
   inst.layout = GuestLayout::For(h.config().guest_memory_bytes, h.cost().image_bytes,
                                  h.cost().readonly_region_bytes, h.pmem().page_size());
   instances_.push_back(std::move(inst_owner));
+  if (out_inst != nullptr) {
+    *out_inst = &inst;
+  }
 
   bool failed = false;
   FaultSite fail_site = FaultSite::kPhaseTimeout;
@@ -684,6 +687,7 @@ Task ContainerRuntime::StopContainer(ContainerInstance& inst) {
   inst.vfio_container.reset();
   inst.ready = false;
   inst.terminated = true;
+  inst.teardown_done = true;
 }
 
 Task ContainerRuntime::AbortContainer(ContainerInstance& inst, bool from_async) {
@@ -732,30 +736,79 @@ Task ContainerRuntime::AbortContainer(ContainerInstance& inst, bool from_async) 
     inst.vf = nullptr;
   }
   inst.vfio_container.reset();
+  inst.teardown_done = true;
+}
+
+namespace {
+
+uint64_t InstanceResidueReads(const ContainerInstance& inst) {
+  return inst.vm ? inst.vm->residue_reads() : 0;
+}
+
+uint64_t InstanceCorruptions(const ContainerInstance& inst) {
+  uint64_t total = inst.kernel_corruptions;
+  if (inst.virtiofs) {
+    total += inst.virtiofs->corrupted_reads();
+  }
+  if (inst.driver) {
+    total += inst.driver->corrupted_reads();
+  }
+  if (inst.vnet_driver) {
+    total += inst.vnet_driver->corrupted_reads();
+  }
+  return total;
+}
+
+}  // namespace
+
+size_t ContainerRuntime::ReapTerminated() {
+  size_t reaped = 0;
+  auto it = instances_.begin();
+  while (it != instances_.end()) {
+    ContainerInstance& inst = **it;
+    // Only records whose teardown is fully settled: terminated with the
+    // Stop/Abort coroutine run to completion (an abort sets `terminated`
+    // immediately but keeps unwinding across suspensions), and neither
+    // supervision process still running (a from_async abort can leave its
+    // own process mid-flight for one more event).
+    if (!inst.terminated || !inst.teardown_done || !inst.async_net.Done() ||
+        !inst.link_up.Done()) {
+      ++it;
+      continue;
+    }
+    reaped_residue_reads_ += InstanceResidueReads(inst);
+    reaped_corruptions_ += InstanceCorruptions(inst);
+    if (inst.aborted) {
+      ++reaped_aborted_;
+    }
+    ++reaped_count_;
+    ++reaped;
+    it = instances_.erase(it);
+  }
+  return reaped;
 }
 
 uint64_t ContainerRuntime::TotalResidueReads() const {
-  uint64_t total = 0;
+  uint64_t total = reaped_residue_reads_;
   for (const auto& inst : instances_) {
-    if (inst->vm) {
-      total += inst->vm->residue_reads();
-    }
+    total += InstanceResidueReads(*inst);
   }
   return total;
 }
 
 uint64_t ContainerRuntime::TotalCorruptions() const {
-  uint64_t total = 0;
+  uint64_t total = reaped_corruptions_;
   for (const auto& inst : instances_) {
-    total += inst->kernel_corruptions;
-    if (inst->virtiofs) {
-      total += inst->virtiofs->corrupted_reads();
-    }
-    if (inst->driver) {
-      total += inst->driver->corrupted_reads();
-    }
-    if (inst->vnet_driver) {
-      total += inst->vnet_driver->corrupted_reads();
+    total += InstanceCorruptions(*inst);
+  }
+  return total;
+}
+
+uint64_t ContainerRuntime::AbortedContainers() const {
+  uint64_t total = reaped_aborted_;
+  for (const auto& inst : instances_) {
+    if (inst->aborted) {
+      ++total;
     }
   }
   return total;

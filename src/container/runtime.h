@@ -58,6 +58,7 @@ struct ContainerInstance {
   Process link_up;    // supervised firmware link negotiation
   bool ready = false;
   bool terminated = false;
+  bool teardown_done = false;  // Stop/AbortContainer ran to completion
   bool aborted = false;        // start failed; resources were unwound
   bool vfio_dev_open = false;  // OpenDevice succeeded (CloseDevice owed)
   bool net_failed = false;     // async network init failed permanently
@@ -76,7 +77,13 @@ class ContainerRuntime {
   // retries unwind the partial setup via AbortContainer and return normally
   // with inst.aborted set — a failed start never leaks and never tears down
   // its siblings.
-  Task StartContainer(const ServerlessApp* app);
+  Task StartContainer(const ServerlessApp* app) { return StartContainer(app, nullptr); }
+
+  // As above, but additionally publishes the instance record through
+  // `out_inst` as soon as it exists (before the first suspension), so an
+  // open-loop caller — the cluster launch path — can stop or inspect exactly
+  // the container this call created even while siblings start concurrently.
+  Task StartContainer(const ServerlessApp* app, ContainerInstance** out_inst);
 
   // Terminates a running container: detaches and recycles the VF, unmaps
   // and unpins DMA memory, drops fastiovd state, and frees guest frames —
@@ -95,9 +102,22 @@ class ContainerRuntime {
     return instances_;
   }
 
-  // Aggregated correctness counters across all instances.
+  // Drops the bookkeeping records of fully terminated containers whose
+  // supervision processes have finished, folding their correctness counters
+  // into running totals first so TotalResidueReads/TotalCorruptions and
+  // AbortedContainers keep reporting lifetime values. Long-lived hosts (the
+  // cluster launch traces, 10^4+ launches per host) call this after each
+  // stop so resident memory tracks the number of *live* containers, not the
+  // number ever started. Memory-only: touches no simulated time and no RNG.
+  // Returns the number of records reaped.
+  size_t ReapTerminated();
+
+  // Aggregated correctness counters across all instances, including reaped
+  // ones.
   uint64_t TotalResidueReads() const;
   uint64_t TotalCorruptions() const;
+  // Containers whose start was aborted (live records plus reaped ones).
+  uint64_t AbortedContainers() const;
 
  private:
   Task SetupCgroup(ContainerInstance& inst);
@@ -136,6 +156,13 @@ class ContainerRuntime {
   Host* host_;
   std::vector<std::unique_ptr<ContainerInstance>> instances_;
   int next_pid_ = 1000;
+  // Monotonic container-id source; cids stay unique across ReapTerminated.
+  int next_cid_ = 0;
+  // Lifetime counters carried over from reaped instance records.
+  uint64_t reaped_count_ = 0;
+  uint64_t reaped_residue_reads_ = 0;
+  uint64_t reaped_corruptions_ = 0;
+  uint64_t reaped_aborted_ = 0;
 };
 
 }  // namespace fastiov

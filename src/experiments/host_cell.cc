@@ -30,10 +30,7 @@ HostCell::~HostCell() {
   Teardown();
 }
 
-// Root orchestration: mirrors `crictl` concurrently invoking N containers
-// (§3.1), with the small dispatch stagger a real client exhibits.
-Task HostCell::Orchestrate() {
-  Simulation& sim = *sim_;
+Task HostCell::BeginHostServices() {
   Host& host = *host_;
   co_await host.PrepareSharedImage();
   if (host.config().cni == CniKind::kVanillaFixed || host.config().cni == CniKind::kFastIov) {
@@ -42,6 +39,14 @@ Task HostCell::Orchestrate() {
   if (host.config().decoupled_zeroing) {
     host.fastiovd().StartBackgroundZeroer();
   }
+}
+
+// Root orchestration: mirrors `crictl` concurrently invoking N containers
+// (§3.1), with the small dispatch stagger a real client exhibits.
+Task HostCell::Orchestrate() {
+  Simulation& sim = *sim_;
+  Host& host = *host_;
+  co_await BeginHostServices();
   const ServerlessApp* app = options_.app.has_value() ? &*options_.app : nullptr;
   const ArrivalSchedule schedule =
       ArrivalSchedule::Generate(options_.arrival, options_.concurrency,
@@ -60,9 +65,9 @@ Task HostCell::Orchestrate() {
 }
 
 void HostCell::CellBegin(CellPort* port) {
-  // No cross-cell traffic yet: hosts in a fleet are independent until the
-  // cluster layer (ROADMAP item 1) wires its control plane through `port`.
-  (void)port;
+  // Fleet hosts are independent; the cluster layer's ClusterHostCell talks
+  // to its control-plane cell through this port.
+  port_ = port;
   const FramePool::Stats before = FramePool::ThreadStats();
   sim_.emplace(options_.seed, options_.scheduler);
   // Each container keeps a handful of events outstanding (its own step plus
@@ -82,7 +87,7 @@ void HostCell::CellBegin(CellPort* port) {
     host_->EnableObservability();
   }
   runtime_.emplace(*host_);
-  Process root = sim_->Spawn(Orchestrate(), "orchestrator");
+  Process root = sim_->Spawn(RootTask(), "orchestrator");
   (void)root;
   Accumulate(before, &arena_.allocs, &arena_.frees, &arena_.upstream_allocs);
 }
@@ -137,11 +142,7 @@ void HostCell::CollectResult() {
   result.remote_allocations = host.pmem().remote_allocations();
   result.events_processed = sim.num_events_processed();
   if (injector_.has_value()) {
-    for (const auto& inst : runtime.instances()) {
-      if (inst->aborted) {
-        ++result.aborted_containers;
-      }
-    }
+    result.aborted_containers = runtime.AbortedContainers();
     result.fault_stats = FaultStatsReport::FromInjector(*injector_);
     result.fault_events = injector_->trace_events();
   }

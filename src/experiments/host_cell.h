@@ -50,7 +50,20 @@ class HostCell : public SimCell {
   // Valid once finished(); moves the collected result out.
   ExperimentResult TakeResult();
 
- private:
+ protected:
+  // The root coroutine CellBegin spawns. The default is Orchestrate() — the
+  // closed-burst/arrival-schedule experiment. Subclasses (the cluster layer's
+  // ClusterHostCell) override it to drive launches from a cluster trace
+  // through the control plane instead; returning Orchestrate() unchanged
+  // keeps the event sequence — and the result bytes — identical to a
+  // standalone run.
+  virtual Task RootTask() { return Orchestrate(); }
+
+  // The shared preamble every orchestration flavor runs before its first
+  // container: shared image preparation, VF pre-binding (for the CNI modes
+  // that do it at host setup), and the background zeroer.
+  Task BeginHostServices();
+
   Task Orchestrate();
   void CollectResult();
   void Teardown();
@@ -67,6 +80,14 @@ class HostCell : public SimCell {
   std::optional<Host> host_;
   std::optional<ContainerRuntime> runtime_;
 
+  // The driver's message port; valid between CellBegin and the end of the
+  // run. Null in standalone runs (no driver, no peers to message).
+  CellPort* port_ = nullptr;
+
+  bool collected_ = false;
+  ExperimentResult result_;
+
+ private:
   // Arena traffic attributed to this cell, accumulated per execution slice
   // so the numbers are identical whichever worker threads the slices ran on.
   struct ArenaDelta {
@@ -75,9 +96,6 @@ class HostCell : public SimCell {
     uint64_t upstream_allocs = 0;
   };
   ArenaDelta arena_;
-
-  bool collected_ = false;
-  ExperimentResult result_;
 };
 
 }  // namespace fastiov

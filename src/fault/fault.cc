@@ -27,6 +27,9 @@ constexpr SiteNameEntry kSiteNames[] = {
     {FaultSite::kVirtioFs, "virtiofs"},
     {FaultSite::kGuestBoot, "guest-boot"},
     {FaultSite::kPhaseTimeout, "phase-timeout"},
+    {FaultSite::kIpamAlloc, "ipam-alloc"},
+    {FaultSite::kCniAssign, "cni-assign"},
+    {FaultSite::kRegistryFetch, "registry-fetch"},
 };
 static_assert(sizeof(kSiteNames) / sizeof(kSiteNames[0]) == kNumFaultSites);
 

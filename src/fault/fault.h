@@ -47,8 +47,15 @@ enum class FaultSite : int {
   kVirtioFs,           // virtiofsd spawn + vhost-user socket registration
   kGuestBoot,          // guest kernel fails to come up in time
   kPhaseTimeout,       // synthesized when a phase exceeds its deadline
+  // Cluster control-plane sites (src/cluster/): the shared services every
+  // host's launches queue through. Appended after the host-local sites so
+  // existing site indices — and therefore existing fault-plan digests —
+  // stay stable.
+  kIpamAlloc,          // cluster IPAM pool allocation (etcd-backed)
+  kCniAssign,          // cluster CNI assignment service
+  kRegistryFetch,      // image-registry fetch over shared bandwidth
 };
-inline constexpr int kNumFaultSites = 13;
+inline constexpr int kNumFaultSites = 16;
 
 const char* FaultSiteName(FaultSite site);
 std::optional<FaultSite> FaultSiteFromName(const std::string& name);

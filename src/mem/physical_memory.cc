@@ -383,7 +383,7 @@ Task PhysicalMemory::ZeroPages(std::span<const PageRun> runs, WaitCtx ctx) {
   co_await ChargeZeroing(total, remote, ctx);
   for (const PageRun& run : runs) {
     for (PageId id = run.first; id < run.first + run.count; ++id) {
-      frames_[id].content = PageContent::kZeroed;
+      MarkZeroed(frames_[id]);
     }
   }
 }
@@ -401,7 +401,7 @@ Task PhysicalMemory::ZeroPages(std::span<const PageId> pages, WaitCtx ctx) {
   }
   co_await ChargeZeroing(pages.size(), remote, ctx);
   for (PageId id : pages) {
-    frames_[id].content = PageContent::kZeroed;
+    MarkZeroed(frames_[id]);
   }
 }
 

@@ -157,6 +157,16 @@ class PhysicalMemory {
   // Shared zeroing engine: charges DRAM bandwidth + CPU for `total` pages of
   // which `remote` are off the zeroing thread's node.
   Task ChargeZeroing(uint64_t total, uint64_t remote, WaitCtx ctx);
+  // Stamp a frame zeroed, keeping the prezeroed-free stat consistent when
+  // the frame was freed while the zeroing charge was in flight (an abort
+  // teardown can release pages the background scrubber already claimed; the
+  // write still lands, leaving a pre-zeroed free frame).
+  void MarkZeroed(PageFrame& f) {
+    if (f.owner == -1 && f.content != PageContent::kZeroed) {
+      ++prezeroed_free_;
+    }
+    f.content = PageContent::kZeroed;
+  }
   // Counter-track sampling helpers (single branch when uninstrumented).
   void SampleFreeTrack() {
     if (free_track_ != nullptr) {

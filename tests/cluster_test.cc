@@ -1,0 +1,233 @@
+// Cluster conformance & property suite (src/cluster/): the determinism
+// contract — byte-identical ClusterDigest across driver thread counts and
+// event-queue backends for every scheduler policy — plus trace replay
+// identity, placement properties, the single-host-bypass == standalone pin,
+// and the fleet-level safety invariants (IPAM conservation, zero leaks).
+#include "src/cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/scheduler.h"
+#include "src/cluster/trace.h"
+#include "src/experiments/result_json.h"
+#include "src/experiments/startup_experiment.h"
+
+namespace fastiov {
+namespace {
+
+// Small but non-trivial: enough launches that every gate queues, small
+// enough that the {threads} x {backend} x {policy} matrix stays fast. The
+// 1 ms RTT keeps the conservative window count low without changing any
+// semantics (lookahead == RTT either way).
+ClusterOptions SmallCluster(ClusterSchedPolicy policy) {
+  ClusterOptions options;
+  options.hosts = 3;
+  options.policy = policy;
+  options.trace.launches = 36;
+  options.trace.arrival_rate_per_s = 300.0;
+  options.trace.zones = 6;
+  options.seed = 7;
+  options.rtt = Milliseconds(1);
+  options.dwell = Milliseconds(200);
+  return options;
+}
+
+TEST(ClusterTrace, ReplayIsIdentity) {
+  ClusterTraceSpec spec;
+  spec.launches = 500;
+  spec.arrival_rate_per_s = 800.0;
+  const std::vector<ClusterLaunch> a = GenerateLaunchTrace(spec, 7);
+  const std::vector<ClusterLaunch> b = GenerateLaunchTrace(spec, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].arrival.ns(), b[i].arrival.ns());
+    EXPECT_EQ(a[i].zone, b[i].zone);
+    EXPECT_EQ(a[i].image_id, b[i].image_id);
+    EXPECT_EQ(a[i].image_mb, b[i].image_mb);
+  }
+  // A different seed is a different trace.
+  const std::vector<ClusterLaunch> c = GenerateLaunchTrace(spec, 8);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a[i].arrival.ns() != c[i].arrival.ns() || a[i].zone != c[i].zone;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ClusterTrace, ArrivalsAreOrderedAndIdsSequential) {
+  ClusterTraceSpec spec;
+  spec.launches = 300;
+  const std::vector<ClusterLaunch> trace = GenerateLaunchTrace(spec, 11);
+  ASSERT_EQ(trace.size(), 300u);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].id, static_cast<uint32_t>(i));
+    EXPECT_LT(trace[i].zone, spec.zones);
+    if (i > 0) {
+      EXPECT_GE(trace[i].arrival.ns(), trace[i - 1].arrival.ns());
+    }
+  }
+}
+
+TEST(ClusterScheduler, BinPackFillsInHostOrder) {
+  const std::vector<ClusterLaunch> trace = GenerateLaunchTrace({.launches = 40}, 3);
+  const ClusterPlacement p =
+      PlaceLaunches(trace, /*hosts=*/4, /*slots_per_host=*/10, ClusterSchedPolicy::kBinPack);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(p.host_of[i], static_cast<int>(i / 10)) << "launch " << i;
+  }
+}
+
+TEST(ClusterScheduler, LeastLoadedIsBalanced) {
+  const std::vector<ClusterLaunch> trace = GenerateLaunchTrace({.launches = 40}, 3);
+  const ClusterPlacement p =
+      PlaceLaunches(trace, /*hosts=*/4, /*slots_per_host=*/0, ClusterSchedPolicy::kLeastLoaded);
+  EXPECT_DOUBLE_EQ(p.Imbalance(), 1.0);
+  for (uint64_t n : p.per_host) {
+    EXPECT_EQ(n, 10u);
+  }
+}
+
+TEST(ClusterScheduler, LocalityPrefersZoneHost) {
+  // hosts == zones and ample slots: every launch lands on its zone host.
+  ClusterTraceSpec spec;
+  spec.launches = 60;
+  spec.zones = 4;
+  const std::vector<ClusterLaunch> trace = GenerateLaunchTrace(spec, 5);
+  const ClusterPlacement p =
+      PlaceLaunches(trace, /*hosts=*/4, /*slots_per_host=*/60, ClusterSchedPolicy::kLocality);
+  EXPECT_DOUBLE_EQ(p.LocalityHitRate(), 1.0);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(p.host_of[i], static_cast<int>(trace[i].zone % 4));
+  }
+}
+
+TEST(ClusterScheduler, CapFallbackPlacesEveryLaunch) {
+  const std::vector<ClusterLaunch> trace = GenerateLaunchTrace({.launches = 10}, 9);
+  for (const ClusterSchedPolicy policy :
+       {ClusterSchedPolicy::kBinPack, ClusterSchedPolicy::kLeastLoaded,
+        ClusterSchedPolicy::kLocality}) {
+    const ClusterPlacement p = PlaceLaunches(trace, /*hosts=*/2, /*slots_per_host=*/1, policy);
+    uint64_t total = 0;
+    for (uint64_t n : p.per_host) {
+      total += n;
+    }
+    EXPECT_EQ(total, 10u) << ClusterSchedPolicyName(policy);
+  }
+}
+
+// The headline determinism contract: one digest per policy across the whole
+// {1,4 driver threads} x {heap, calendar} matrix.
+TEST(ClusterSchedEquiv, DigestInvariantAcrossThreadsAndBackends) {
+  for (const ClusterSchedPolicy policy :
+       {ClusterSchedPolicy::kBinPack, ClusterSchedPolicy::kLeastLoaded,
+        ClusterSchedPolicy::kLocality}) {
+    SCOPED_TRACE(ClusterSchedPolicyName(policy));
+    std::string reference;
+    for (const int threads : {1, 4}) {
+      for (const SchedulerPolicy backend :
+           {SchedulerPolicy::kHeap, SchedulerPolicy::kCalendar}) {
+        ClusterOptions options = SmallCluster(policy);
+        options.threads = threads;
+        options.scheduler = backend;
+        const std::string digest = ClusterDigest(RunClusterExperiment(options));
+        if (reference.empty()) {
+          reference = digest;
+          EXPECT_FALSE(reference.empty());
+        } else {
+          EXPECT_EQ(digest, reference)
+              << "threads=" << threads << " backend=" << static_cast<int>(backend);
+        }
+      }
+    }
+  }
+}
+
+TEST(ClusterSchedEquiv, SeedReplayIsIdentityAndSeedsDiffer) {
+  ClusterOptions options = SmallCluster(ClusterSchedPolicy::kLeastLoaded);
+  const std::string first = ClusterDigest(RunClusterExperiment(options));
+  const std::string second = ClusterDigest(RunClusterExperiment(options));
+  EXPECT_EQ(first, second);
+  options.seed = 8;
+  EXPECT_NE(ClusterDigest(RunClusterExperiment(options)), first);
+}
+
+// A one-host cluster in bypass mode IS the standalone experiment: the host
+// cell runs the base closed-burst orchestration, so its serialized result
+// must match RunStartupExperiment byte for byte.
+TEST(ClusterConformance, SingleHostBypassMatchesStandalone) {
+  ClusterOptions options;
+  options.hosts = 1;
+  options.trace.launches = 12;
+  options.seed = 21;
+  options.bypass_control_plane = true;
+  const ClusterResult cluster = RunClusterExperiment(options);
+  ASSERT_EQ(cluster.host_results.size(), 1u);
+
+  const ExperimentOptions solo = ClusterHostBaseOptions(options, /*host_index=*/0,
+                                                        /*assigned=*/12);
+  const ExperimentResult standalone = RunStartupExperiment(options.stack, solo);
+  EXPECT_EQ(ExperimentResultJson(cluster.host_results[0].result),
+            ExperimentResultJson(standalone));
+}
+
+// Fleet safety: every launch is accounted for exactly once, every IP goes
+// back to the pool, and no host leaks pages, VFs, VFIO opens, fastiovd
+// registrations, or IOMMU domains.
+TEST(ClusterConformance, AccountingAndLeakInvariants) {
+  ClusterOptions options = SmallCluster(ClusterSchedPolicy::kLocality);
+  options.hosts = 2;
+  const ClusterResult r = RunClusterExperiment(options);
+  ASSERT_EQ(r.host_results.size(), 2u);
+  uint64_t assigned_total = 0;
+  for (const ClusterHostOutcome& host : r.host_results) {
+    const ClusterHostExtras& e = host.extras;
+    EXPECT_EQ(e.completed + e.cp_rejected + e.aborted, e.assigned);
+    EXPECT_EQ(e.final_live_instances, 0u);
+    EXPECT_EQ(e.end_pinned_pages, 0u);
+    // Only the host's shared image copy stays resident.
+    EXPECT_EQ(e.end_used_pages, e.end_shared_image_pages);
+    EXPECT_EQ(e.end_vfio_open, 0u);
+    EXPECT_EQ(e.end_fastiovd_pending, 0u);
+    EXPECT_EQ(e.end_iommu_domains, 0u);
+    EXPECT_EQ(e.end_nic_vfs_in_use, 0u);
+    EXPECT_EQ(host.result.corruptions, 0u);
+    EXPECT_EQ(host.result.residue_reads, 0u);
+    assigned_total += e.assigned;
+  }
+  EXPECT_EQ(assigned_total, options.trace.launches);
+  EXPECT_EQ(r.completed + r.cp_rejected + r.aborted, options.trace.launches);
+  ASSERT_TRUE(r.control_plane.has_value());
+  // IPAM conservation: with every container stopped, the free pool is back
+  // to its full size.
+  EXPECT_EQ(r.control_plane->ipam_free_end, r.control_plane->ipam_pool);
+}
+
+// An exhausted IPAM pool rejects rather than deadlocks, and conservation
+// still holds at the end.
+TEST(ClusterConformance, IpamExhaustionRejectsCleanly) {
+  ClusterOptions options;
+  options.hosts = 2;
+  options.trace.launches = 12;
+  options.trace.arrival_rate_per_s = 2000.0;
+  options.trace.zones = 2;
+  options.trace.image_mb = {64};
+  options.seed = 13;
+  options.rtt = Milliseconds(1);
+  // Longer than any start pipeline + registry backlog: no IP is released
+  // until every launch has passed the IPAM gate, so exactly pool-many grants.
+  options.dwell = Seconds(30.0);
+  options.control_plane.ipam_pool = 5;
+  const ClusterResult r = RunClusterExperiment(options);
+  ASSERT_TRUE(r.control_plane.has_value());
+  EXPECT_EQ(r.control_plane->ipam.granted, 5u);
+  EXPECT_EQ(r.cp_rejected, 7u);
+  EXPECT_EQ(r.completed, 5u);
+  EXPECT_EQ(r.control_plane->ipam_free_end, 5u);
+}
+
+}  // namespace
+}  // namespace fastiov

@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
+#include "src/cluster/cluster.h"
 #include "src/container/runtime.h"
 #include "src/fault/fault.h"
 #include "src/simcore/rng.h"
@@ -179,6 +181,104 @@ TEST(FaultChaosQuick, FourSeedsAcrossConfigs) {
 TEST(FaultChaosTest, FiftySeedSweepLeaksNothing) {
   for (uint64_t seed = 4; seed < 56; ++seed) {
     RunChaosSeed(seed);
+  }
+}
+
+// --- cluster chaos -------------------------------------------------------
+// Seeded random fault plans over the control-plane sites (plus a random
+// subset of host-local sites) on a 4-host cluster. The fleet invariants must
+// hold under any mix of gate rejections and mid-pipeline aborts: every
+// launch accounted for exactly once, every IP conserved, zero leaks, zero
+// corruption.
+
+FaultPlan RandomControlPlanePlan(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b9u + 23);
+  constexpr FaultSite kCpSites[] = {FaultSite::kIpamAlloc, FaultSite::kCniAssign,
+                                    FaultSite::kRegistryFetch};
+  FaultPlan plan;
+  plan.seed = seed + 1;
+  for (const FaultSite site : kCpSites) {
+    if (rng.NextDouble() >= 0.6) {
+      continue;
+    }
+    SiteFaultSpec spec;
+    spec.probability = rng.Uniform(0.05, 0.3);
+    spec.transient = rng.NextDouble() < 0.6;
+    if (rng.NextDouble() < 0.3) {
+      spec.penalty = Milliseconds(rng.UniformInt(1, 5));
+    }
+    plan.sites[site] = spec;
+  }
+  return plan;
+}
+
+void RunClusterChaosSeed(uint64_t seed) {
+  SCOPED_TRACE("cluster chaos seed " + std::to_string(seed));
+  ClusterOptions options;
+  options.hosts = 4;
+  options.trace.launches = 32;
+  options.trace.arrival_rate_per_s = 400.0;
+  options.trace.zones = 4;
+  options.seed = seed;
+  options.rtt = Milliseconds(1);
+  options.dwell = Milliseconds(200);
+  options.policy = static_cast<ClusterSchedPolicy>(seed % 3);
+  options.control_plane_fault_plan = RandomControlPlanePlan(seed);
+  options.host_fault_plan = RandomPlan(seed);
+
+  const ClusterResult r = RunClusterExperiment(options);
+  uint64_t assigned_total = 0;
+  for (const ClusterHostOutcome& host : r.host_results) {
+    const ClusterHostExtras& e = host.extras;
+    // Exact accounting even under aborted teardowns: nothing double-counted,
+    // nothing lost.
+    EXPECT_EQ(e.completed + e.cp_rejected + e.aborted, e.assigned);
+    EXPECT_EQ(e.final_live_instances, 0u);
+    EXPECT_EQ(e.end_pinned_pages, 0u);
+    EXPECT_EQ(e.end_used_pages, e.end_shared_image_pages);
+    EXPECT_EQ(e.end_vfio_open, 0u);
+    EXPECT_EQ(e.end_fastiovd_pending, 0u);
+    EXPECT_EQ(e.end_iommu_domains, 0u);
+    EXPECT_EQ(e.end_nic_vfs_in_use, 0u);
+    EXPECT_EQ(host.result.corruptions, 0u);
+    EXPECT_EQ(host.result.residue_reads, 0u);
+    assigned_total += e.assigned;
+  }
+  EXPECT_EQ(assigned_total, options.trace.launches);
+  ASSERT_TRUE(r.control_plane.has_value());
+  // IPAM conservation: grants minus releases equals zero at quiescence, no
+  // matter which gates faulted.
+  EXPECT_EQ(r.control_plane->ipam_free_end, r.control_plane->ipam_pool);
+}
+
+TEST(ClusterChaosQuick, TwoSeeds) {
+  for (uint64_t seed = 0; seed < 2; ++seed) {
+    RunClusterChaosSeed(seed);
+  }
+}
+
+TEST(ClusterChaosTest, TwelveSeedSweepLeaksNothing) {
+  for (uint64_t seed = 2; seed < 14; ++seed) {
+    RunClusterChaosSeed(seed);
+  }
+}
+
+// Cluster chaos episodes replay identically: the digest is a pure function
+// of the options, fault plans included.
+TEST(ClusterChaosTest, EpisodesAreReplayable) {
+  for (uint64_t seed : {1u, 6u}) {
+    ClusterOptions options;
+    options.hosts = 4;
+    options.trace.launches = 24;
+    options.trace.arrival_rate_per_s = 400.0;
+    options.seed = seed;
+    options.rtt = Milliseconds(1);
+    options.dwell = Milliseconds(200);
+    options.control_plane_fault_plan = RandomControlPlanePlan(seed);
+    options.host_fault_plan = RandomPlan(seed);
+    const std::string a = ClusterDigest(RunClusterExperiment(options));
+    const std::string b = ClusterDigest(RunClusterExperiment(options));
+    EXPECT_EQ(a, b) << "seed " << seed;
   }
 }
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
+#include "src/cluster/cluster.h"
+
 namespace fastiov {
 namespace {
 
@@ -123,6 +127,59 @@ TEST(FlagsTest, NegativeNumbers) {
   ASSERT_TRUE(Parse(p, {"--concurrency=-5", "--rate=-1.5"}, &error));
   EXPECT_EQ(p.GetInt("concurrency"), -5);
   EXPECT_DOUBLE_EQ(p.GetDouble("rate"), -1.5);
+}
+
+// --- cluster-mode flag contradictions (fastiov_sim) ----------------------
+// ValidateClusterCli is the single gate for flag combinations that have no
+// coherent meaning in cluster mode; each rejection names the offending flag.
+
+TEST(ClusterCliTest, AcceptsPlainClusterRun) {
+  EXPECT_FALSE(ValidateClusterCli(/*cluster_hosts=*/4, /*cells=*/1, /*waves=*/1,
+                                  /*chrome_trace=*/false, /*lookahead_us=*/std::nullopt,
+                                  /*rtt_us=*/200)
+                   .has_value());
+}
+
+TEST(ClusterCliTest, AcceptsExplicitMatchingLookahead) {
+  EXPECT_FALSE(ValidateClusterCli(4, 1, 1, false, /*lookahead_us=*/200, /*rtt_us=*/200)
+                   .has_value());
+}
+
+TEST(ClusterCliTest, NonClusterRunsAreUntouched) {
+  // cluster_hosts <= 0 means cluster mode is off: any combination passes.
+  EXPECT_FALSE(ValidateClusterCli(0, 8, 3, true, 50, 200).has_value());
+}
+
+TEST(ClusterCliTest, RejectsCellsWithClusterHosts) {
+  const auto error = ValidateClusterCli(4, /*cells=*/8, 1, false, std::nullopt, 200);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("--cells"), std::string::npos);
+  EXPECT_NE(error->find("--cluster-hosts"), std::string::npos);
+}
+
+TEST(ClusterCliTest, RejectsWavesWithClusterHosts) {
+  const auto error = ValidateClusterCli(4, 1, /*waves=*/3, false, std::nullopt, 200);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("--waves"), std::string::npos);
+}
+
+TEST(ClusterCliTest, RejectsChromeTraceWithClusterHosts) {
+  const auto error = ValidateClusterCli(4, 1, 1, /*chrome_trace=*/true, std::nullopt, 200);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("--trace"), std::string::npos);
+}
+
+TEST(ClusterCliTest, RejectsLookaheadBelowControlPlaneRtt) {
+  const auto error = ValidateClusterCli(4, 1, 1, false, /*lookahead_us=*/50, /*rtt_us=*/200);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("below the control-plane minimum"), std::string::npos);
+  EXPECT_NE(error->find("200"), std::string::npos);
+}
+
+TEST(ClusterCliTest, RejectsLookaheadAboveControlPlaneRtt) {
+  const auto error = ValidateClusterCli(4, 1, 1, false, /*lookahead_us=*/500, /*rtt_us=*/200);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("conservative"), std::string::npos);
 }
 
 }  // namespace

@@ -227,6 +227,62 @@ int main(int argc, char** argv) {
     Require(*s, "fleet", "bounded_identical", T::kBool);
   }
 
+  if (const JsonValue* s = RequireSection(root, "cluster", T::kObject)) {
+    Require(*s, "cluster", "hosts", T::kNumber);
+    Require(*s, "cluster", "launches", T::kNumber);
+    Require(*s, "cluster", "arrival_rate_per_s", T::kNumber);
+    Require(*s, "cluster", "rtt_us", T::kNumber);
+    Require(*s, "cluster", "dwell_ms", T::kNumber);
+    Require(*s, "cluster", "threads_effective", T::kNumber);
+    Require(*s, "cluster", "byte_identical", T::kBool);
+    if (const JsonValue* policies = s->Find("policies");
+        policies != nullptr && policies->is_array()) {
+      for (size_t i = 0; i < policies->AsArray().size(); ++i) {
+        const JsonValue& row = policies->AsArray()[i];
+        const std::string where = "cluster.policies[" + std::to_string(i) + "]";
+        if (!row.is_object()) {
+          Fail(where, "expected object");
+          continue;
+        }
+        Require(row, where, "policy", T::kString);
+        Require(row, where, "byte_identical", T::kBool);
+        Require(row, where, "digest", T::kString);
+        Require(row, where, "imbalance", T::kNumber);
+        Require(row, where, "locality_hit_rate", T::kNumber);
+        Require(row, where, "completed", T::kNumber);
+        Require(row, where, "cp_rejected", T::kNumber);
+        Require(row, where, "registry_cold_fetches", T::kNumber);
+        Require(row, where, "sim_launches_per_sec", T::kNumber);
+        Require(row, where, "wall_seconds", T::kNumber);
+        Require(row, where, "ipam_wait_p50_ms", T::kNumber);
+        Require(row, where, "ipam_wait_p99_ms", T::kNumber);
+        Require(row, where, "cni_wait_p50_ms", T::kNumber);
+        Require(row, where, "cni_wait_p99_ms", T::kNumber);
+        Require(row, where, "registry_wait_p50_ms", T::kNumber);
+        Require(row, where, "registry_wait_p99_ms", T::kNumber);
+      }
+    } else {
+      Fail("cluster.policies", "missing or not an array");
+    }
+    if (const JsonValue* ft = s->Find("fleet_trace"); ft != nullptr && ft->is_object()) {
+      Require(*ft, "cluster.fleet_trace", "wall_seconds", T::kNumber);
+      Require(*ft, "cluster.fleet_trace", "wall_launches_per_sec", T::kNumber);
+      Require(*ft, "cluster.fleet_trace", "sim_makespan_seconds", T::kNumber);
+      Require(*ft, "cluster.fleet_trace", "sim_launches_per_sec", T::kNumber);
+      Require(*ft, "cluster.fleet_trace", "completed", T::kNumber);
+      Require(*ft, "cluster.fleet_trace", "cp_rejected", T::kNumber);
+      Require(*ft, "cluster.fleet_trace", "aborted", T::kNumber);
+      Require(*ft, "cluster.fleet_trace", "rss_before_bytes", T::kNumber);
+      Require(*ft, "cluster.fleet_trace", "rss_mid_bytes", T::kNumber);
+      Require(*ft, "cluster.fleet_trace", "rss_after_bytes", T::kNumber);
+      Require(*ft, "cluster.fleet_trace", "rss_peak_bytes", T::kNumber);
+      Require(*ft, "cluster.fleet_trace", "rss_second_half_growth_bytes", T::kNumber);
+      Require(*ft, "cluster.fleet_trace", "rss_sublinear", T::kBool);
+    } else {
+      Fail("cluster.fleet_trace", "missing or not an object");
+    }
+  }
+
   if (const JsonValue* s = RequireSection(root, "observability", T::kObject)) {
     Require(*s, "observability", "seconds_metrics_off", T::kNumber);
     Require(*s, "observability", "seconds_metrics_on", T::kNumber);

@@ -42,15 +42,19 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <span>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/cli/flags.h"
+#include "src/cluster/cluster.h"
 #include "src/experiments/multi_cell.h"
 #include "src/experiments/repeated.h"
 #include "src/experiments/result_json.h"
@@ -881,6 +885,174 @@ int main(int argc, char** argv) {
               fleet_stream_identical ? "yes" : "NO — BUG",
               fleet_bounded_identical ? "yes" : "NO — BUG");
 
+  // --- 9. cluster tier: N hosts + shared control plane --------------------
+  // Three measurements: (a) the determinism matrix — for each scheduler
+  // policy, ClusterDigest must be byte-identical across {1, N} driver
+  // threads x {heap, calendar} backends; (b) a per-policy run recording
+  // simulated launch throughput, control-plane queue waits, and placement
+  // quality; (c) one fleet-scale trace (full: 10^5 launches over 16 hosts)
+  // with a background RSS sampler supplying the same sublinearity evidence
+  // the fleet tier records: live containers are reaped as they stop, so
+  // memory tracks the live set, not the trace length.
+  const int cluster_threads = std::min(ClampJobsToHardware(cell_threads_requested), 8);
+  auto cluster_base = [&](ClusterSchedPolicy policy) {
+    ClusterOptions c;
+    c.policy = policy;
+    c.rtt = Milliseconds(1);
+    c.dwell = Seconds(2.0);
+    if (quick) {
+      c.hosts = 4;
+      c.trace.launches = 200;
+      c.trace.arrival_rate_per_s = 400.0;
+    } else {
+      c.hosts = 16;
+      c.trace.launches = 5000;
+      c.trace.arrival_rate_per_s = 1200.0;
+    }
+    return c;
+  };
+
+  struct ClusterPolicyRow {
+    const char* name = "";
+    bool identical = true;
+    std::string digest_hex;
+    double imbalance = 1.0;
+    double locality_hit_rate = 0.0;
+    uint64_t completed = 0;
+    uint64_t cp_rejected = 0;
+    uint64_t cold_fetches = 0;
+    double sim_launches_per_sec = 0.0;
+    double wall_seconds = 0.0;
+    double ipam_wait_p50_ms = 0.0, ipam_wait_p99_ms = 0.0;
+    double cni_wait_p50_ms = 0.0, cni_wait_p99_ms = 0.0;
+    double registry_wait_p50_ms = 0.0, registry_wait_p99_ms = 0.0;
+  };
+  constexpr ClusterSchedPolicy kClusterPolicies[] = {
+      ClusterSchedPolicy::kBinPack, ClusterSchedPolicy::kLeastLoaded,
+      ClusterSchedPolicy::kLocality};
+
+  std::printf("\ncluster (hosts + shared control plane, rtt 1 ms):\n");
+  bool cluster_identical = true;
+  std::vector<ClusterPolicyRow> cluster_rows;
+  for (const ClusterSchedPolicy policy : kClusterPolicies) {
+    ClusterPolicyRow row;
+    row.name = ClusterSchedPolicyName(policy);
+    // (a) determinism matrix on a small config.
+    ClusterOptions small = cluster_base(policy);
+    small.hosts = 4;
+    small.trace.launches = 48;
+    small.trace.arrival_rate_per_s = 400.0;
+    small.dwell = Milliseconds(200);
+    std::string reference;
+    for (const int threads : {1, cluster_threads}) {
+      for (const SchedulerPolicy backend :
+           {SchedulerPolicy::kHeap, SchedulerPolicy::kCalendar}) {
+        small.threads = threads;
+        small.scheduler = backend;
+        const std::string digest = ClusterDigest(RunClusterExperiment(small));
+        if (reference.empty()) {
+          reference = digest;
+        } else if (digest != reference) {
+          row.identical = false;
+        }
+      }
+    }
+    Fnv1a64 fnv;
+    fnv.Update(reference);
+    row.digest_hex = fnv.Hex();
+    cluster_identical = cluster_identical && row.identical;
+
+    // (b) the per-policy measurement run.
+    const ClusterOptions mopt = cluster_base(policy);
+    const Clock::time_point mstart = Clock::now();
+    const ClusterResult m = RunClusterExperiment(mopt);
+    row.wall_seconds = SecondsSince(mstart);
+    row.imbalance = m.imbalance;
+    row.locality_hit_rate = m.locality_hit_rate;
+    row.completed = m.completed;
+    row.cp_rejected = m.cp_rejected;
+    row.cold_fetches = m.registry_cache_misses;
+    const double makespan = m.sim_makespan.ToSecondsF();
+    row.sim_launches_per_sec =
+        makespan > 0.0 ? static_cast<double>(m.launches) / makespan : 0.0;
+    if (m.control_plane.has_value()) {
+      const ControlPlaneReport& cp = *m.control_plane;
+      row.ipam_wait_p50_ms = cp.ipam.queue_wait.Percentile(50) * 1e3;
+      row.ipam_wait_p99_ms = cp.ipam.queue_wait.Percentile(99) * 1e3;
+      row.cni_wait_p50_ms = cp.cni.queue_wait.Percentile(50) * 1e3;
+      row.cni_wait_p99_ms = cp.cni.queue_wait.Percentile(99) * 1e3;
+      row.registry_wait_p50_ms = cp.registry.queue_wait.Percentile(50) * 1e3;
+      row.registry_wait_p99_ms = cp.registry.queue_wait.Percentile(99) * 1e3;
+    }
+    std::printf(
+        "  %-12s imbalance %.3f  locality %.2f  cold fetches %4llu  "
+        "%6.1f launches/s sim  ipam p99 %.2f ms  registry p99 %.0f ms  "
+        "digests: %s\n",
+        row.name, row.imbalance, row.locality_hit_rate,
+        static_cast<unsigned long long>(row.cold_fetches), row.sim_launches_per_sec,
+        row.ipam_wait_p99_ms, row.registry_wait_p99_ms,
+        row.identical ? "identical" : "DIVERGED — BUG");
+    cluster_rows.push_back(row);
+  }
+
+  // (c) the fleet-scale trace with RSS sampling.
+  ClusterOptions big = cluster_base(ClusterSchedPolicy::kLeastLoaded);
+  big.threads = cluster_threads;
+  if (!quick) {
+    big.trace.launches = 100000;
+  }
+  const uint64_t cluster_rss_before = CurrentRssBytes();
+  std::atomic<bool> cluster_sampling{true};
+  std::vector<std::pair<double, uint64_t>> cluster_rss_samples;
+  const Clock::time_point cluster_start = Clock::now();
+  std::thread cluster_sampler([&] {
+    while (cluster_sampling.load(std::memory_order_relaxed)) {
+      cluster_rss_samples.emplace_back(SecondsSince(cluster_start), CurrentRssBytes());
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  });
+  const ClusterResult cluster_big = RunClusterExperiment(big);
+  const double cluster_wall = SecondsSince(cluster_start);
+  cluster_sampling.store(false, std::memory_order_relaxed);
+  cluster_sampler.join();
+  const uint64_t cluster_rss_after = CurrentRssBytes();
+  uint64_t cluster_rss_mid = cluster_rss_after;
+  uint64_t cluster_rss_peak = cluster_rss_after;
+  for (const auto& [elapsed, rss] : cluster_rss_samples) {
+    cluster_rss_peak = std::max(cluster_rss_peak, rss);
+    if (elapsed <= cluster_wall / 2.0) {
+      cluster_rss_mid = rss;
+    }
+  }
+  const uint64_t cluster_growth_first =
+      cluster_rss_mid > cluster_rss_before ? cluster_rss_mid - cluster_rss_before : 0;
+  const uint64_t cluster_growth_second =
+      cluster_rss_after > cluster_rss_mid ? cluster_rss_after - cluster_rss_mid : 0;
+  const bool cluster_rss_sublinear =
+      cluster_growth_second <= std::max<uint64_t>(cluster_growth_first, 32 * kMiB);
+  const double cluster_big_makespan = cluster_big.sim_makespan.ToSecondsF();
+  const double cluster_wall_launches_per_sec =
+      cluster_wall > 0.0 ? static_cast<double>(cluster_big.launches) / cluster_wall : 0.0;
+  std::printf(
+      "  fleet trace: %llu launches over %d hosts in %.1fs wall (%.0f launches/s "
+      "processed, %.1f simulated), %llu completed / %llu rejected / %llu aborted\n",
+      static_cast<unsigned long long>(cluster_big.launches), cluster_big.hosts, cluster_wall,
+      cluster_wall_launches_per_sec,
+      cluster_big_makespan > 0.0
+          ? static_cast<double>(cluster_big.launches) / cluster_big_makespan
+          : 0.0,
+      static_cast<unsigned long long>(cluster_big.completed),
+      static_cast<unsigned long long>(cluster_big.cp_rejected),
+      static_cast<unsigned long long>(cluster_big.aborted));
+  std::printf("  rss %llu -> %llu -> %llu MiB (start/mid/end), second-half growth %llu MiB: %s\n",
+              static_cast<unsigned long long>(cluster_rss_before / kMiB),
+              static_cast<unsigned long long>(cluster_rss_mid / kMiB),
+              static_cast<unsigned long long>(cluster_rss_after / kMiB),
+              static_cast<unsigned long long>(cluster_growth_second / kMiB),
+              cluster_rss_sublinear ? "sublinear" : "LINEAR — BUG");
+  std::printf("  digests identical across threads and schedulers: %s\n",
+              cluster_identical ? "yes" : "NO — BUG");
+
   // --- report ------------------------------------------------------------
   const std::string out_path = flags.GetString("out");
   std::ofstream out(out_path);
@@ -1024,6 +1196,60 @@ int main(int argc, char** argv) {
       .KV("stream_identical", fleet_stream_identical)
       .KV("bounded_identical", fleet_bounded_identical)
       .EndObject();
+  json.Key("cluster");
+  json.BeginObject()
+      .KV("hosts", static_cast<int64_t>(big.hosts))
+      .KV("launches", cluster_big.launches)
+      .KV("arrival_rate_per_s", big.trace.arrival_rate_per_s)
+      .KV("rtt_us", static_cast<int64_t>(big.rtt.ns() / 1000))
+      .KV("dwell_ms", static_cast<int64_t>(big.dwell.ns() / 1000000))
+      .KV("threads_effective", static_cast<int64_t>(cluster_big.exec.threads_used))
+      .KV("byte_identical", cluster_identical);
+  json.Key("policies");
+  json.BeginArray();
+  for (const ClusterPolicyRow& row : cluster_rows) {
+    json.BeginObject()
+        .KV("policy", row.name)
+        .KV("byte_identical", row.identical)
+        .KV("digest", row.digest_hex)
+        .KV("imbalance", row.imbalance)
+        .KV("locality_hit_rate", row.locality_hit_rate)
+        .KV("completed", row.completed)
+        .KV("cp_rejected", row.cp_rejected)
+        .KV("registry_cold_fetches", row.cold_fetches)
+        .KV("sim_launches_per_sec", row.sim_launches_per_sec)
+        .KV("wall_seconds", row.wall_seconds)
+        .KV("ipam_wait_p50_ms", row.ipam_wait_p50_ms)
+        .KV("ipam_wait_p99_ms", row.ipam_wait_p99_ms)
+        .KV("cni_wait_p50_ms", row.cni_wait_p50_ms)
+        .KV("cni_wait_p99_ms", row.cni_wait_p99_ms)
+        .KV("registry_wait_p50_ms", row.registry_wait_p50_ms)
+        .KV("registry_wait_p99_ms", row.registry_wait_p99_ms)
+        .EndObject();
+  }
+  json.EndArray();
+  json.Key("fleet_trace");
+  json.BeginObject()
+      .KV("wall_seconds", cluster_wall)
+      .KV("wall_launches_per_sec", cluster_wall_launches_per_sec)
+      .KV("sim_makespan_seconds", cluster_big_makespan)
+      .KV("sim_launches_per_sec",
+          cluster_big_makespan > 0.0
+              ? static_cast<double>(cluster_big.launches) / cluster_big_makespan
+              : 0.0)
+      .KV("completed", cluster_big.completed)
+      .KV("cp_rejected", cluster_big.cp_rejected)
+      .KV("aborted", cluster_big.aborted)
+      .KV("registry_cache_hits", cluster_big.registry_cache_hits)
+      .KV("registry_cache_misses", cluster_big.registry_cache_misses)
+      .KV("rss_before_bytes", cluster_rss_before)
+      .KV("rss_mid_bytes", cluster_rss_mid)
+      .KV("rss_after_bytes", cluster_rss_after)
+      .KV("rss_peak_bytes", cluster_rss_peak)
+      .KV("rss_second_half_growth_bytes", cluster_growth_second)
+      .KV("rss_sublinear", cluster_rss_sublinear)
+      .EndObject();
+  json.EndObject();
   json.Key("observability");
   json.BeginObject()
       .KV("seconds_metrics_off", metrics_off_seconds)
@@ -1050,7 +1276,8 @@ int main(int argc, char** argv) {
 
   return (identical && membench_identical && chaos_replay_identical && metrics_identical &&
           scale_identical && parallel_identical && fleet_stream_identical &&
-          fleet_bounded_identical && fleet_rss_sublinear)
+          fleet_bounded_identical && fleet_rss_sublinear && cluster_identical &&
+          cluster_rss_sublinear)
              ? 0
              : 1;
 }
