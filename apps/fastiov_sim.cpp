@@ -129,6 +129,9 @@ int main(int argc, char** argv) {
   flags.AddString("cp-fault-plan", "",
                   "cluster mode: fault plan for the control-plane sites "
                   "(ipam-alloc cni-assign registry-fetch)");
+  flags.AddBool("profile-driver", false,
+                "cluster mode: collect the parallel driver's per-phase wall-time "
+                "breakdown (deliver/execute/plan) in the exec stats");
 
   std::string error;
   if (!flags.Parse(argc, argv, &error)) {
@@ -194,6 +197,7 @@ int main(int argc, char** argv) {
     cluster.rtt = Microseconds(flags.GetInt("cluster-rtt-us"));
     cluster.dwell = Milliseconds(flags.GetInt("cluster-dwell-ms"));
     cluster.collect_metrics = flags.GetBool("metrics");
+    cluster.profile_driver = flags.GetBool("profile-driver");
     if (!flags.GetString("fault-plan").empty()) {
       std::string plan_error;
       auto plan = FaultPlan::Parse(flags.GetString("fault-plan"), &plan_error);

@@ -152,6 +152,7 @@ ClusterResult RunClusterExperiment(const ClusterOptions& options) {
   ParallelExecOptions po;
   po.threads = options.threads;
   po.lookahead = options.bypass_control_plane ? SimTime::Max() : options.rtt;
+  po.profile = options.profile_driver;
 
   ClusterResult result;
   result.exec = RunCells(cells, po);
@@ -253,14 +254,28 @@ void WriteClusterResultJson(const ClusterResult& result, std::ostream& os,
     json.EndObject();
   }
   if (include_exec) {
+    const ParallelExecStats& exec = result.exec;
     json.Key("exec");
     json.BeginObject()
-        .KV("threads_used", static_cast<int64_t>(result.exec.threads_used))
-        .KV("windows", result.exec.windows)
-        .KV("messages_delivered", result.exec.messages_delivered)
-        .KV("wall_seconds", result.exec.wall_seconds)
-        .KV("utilization", result.exec.Utilization())
-        .EndObject();
+        .KV("threads_used", static_cast<int64_t>(exec.threads_used))
+        .KV("windows", exec.windows)
+        .KV("messages_delivered", exec.messages_delivered)
+        .KV("cell_rounds", exec.cell_rounds)
+        .KV("cell_rounds_elided", exec.cell_rounds_elided)
+        .KV("mean_window_span_us", exec.mean_window_span_us)
+        .KV("barrier_wait_seconds", exec.barrier_wait_seconds)
+        .KV("wall_seconds", exec.wall_seconds)
+        .KV("utilization", exec.Utilization());
+    if (exec.profile_deliver_seconds > 0.0 || exec.profile_execute_seconds > 0.0 ||
+        exec.profile_plan_seconds > 0.0) {
+      json.Key("profile");
+      json.BeginObject()
+          .KV("deliver_seconds", exec.profile_deliver_seconds)
+          .KV("execute_seconds", exec.profile_execute_seconds)
+          .KV("plan_seconds", exec.profile_plan_seconds)
+          .EndObject();
+    }
+    json.EndObject();
   }
   json.EndObject();
 }
@@ -308,9 +323,24 @@ void PrintClusterReport(const ClusterResult& result, std::ostream& os) {
     line(cp.cni);
     line(cp.registry);
   }
-  os << "  wall: " << result.exec.wall_seconds << " s on " << result.exec.threads_used
-     << " thread(s), " << result.exec.windows << " windows, "
-     << result.exec.messages_delivered << " messages\n";
+  const ParallelExecStats& exec = result.exec;
+  os << "  wall: " << exec.wall_seconds << " s on " << exec.threads_used
+     << " thread(s), " << exec.windows << " windows, "
+     << exec.messages_delivered << " messages\n";
+  if (exec.cell_rounds + exec.cell_rounds_elided > 0) {
+    os << "  driver: " << exec.cell_rounds << " cell-rounds run, "
+       << exec.cell_rounds_elided << " elided ("
+       << 100.0 * static_cast<double>(exec.cell_rounds_elided) /
+              static_cast<double>(exec.cell_rounds + exec.cell_rounds_elided)
+       << "%), mean window span " << exec.mean_window_span_us << " us, barrier wait "
+       << exec.barrier_wait_seconds << " s\n";
+  }
+  if (exec.profile_deliver_seconds > 0.0 || exec.profile_execute_seconds > 0.0 ||
+      exec.profile_plan_seconds > 0.0) {
+    os << "  driver profile: deliver " << exec.profile_deliver_seconds << " s, execute "
+       << exec.profile_execute_seconds << " s, plan " << exec.profile_plan_seconds
+       << " s\n";
+  }
 }
 
 std::optional<std::string> ValidateClusterCli(int cluster_hosts, int cells, int waves,

@@ -57,6 +57,10 @@ struct ClusterOptions {
   ControlPlaneConfig control_plane;
   bool bypass_control_plane = false;
 
+  // Collect the driver's per-phase wall-time breakdown (deliver / execute /
+  // plan) in the exec stats — the --profile-driver CLI flag.
+  bool profile_driver = false;
+
   // Event-queue backend override (determinism-matrix knob); unset = default.
   std::optional<SchedulerPolicy> scheduler;
   std::optional<FaultPlan> host_fault_plan;           // host-local sites

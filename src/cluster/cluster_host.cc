@@ -11,6 +11,31 @@ ClusterHostCell::ClusterHostCell(const StackConfig& config, const ExperimentOpti
     : HostCell(config, options), params_(params), assigned_(std::move(assigned)) {
   extras_.assigned = assigned_.size();
   free_slots_ = params_.max_live;
+  // The abort paths (which send IP releases at times NextSendBound's
+  // components do not predict) only run under fault injection or a phase
+  // timeout; without either, the tighter send bound is sound.
+  track_bounds_ = !params_.bypass_control_plane && !options.fault_plan.has_value() &&
+                  config.phase_timeout <= SimTime::Zero();
+}
+
+SimTime ClusterHostCell::NextSendBound(SimTime next_event, SimTime earliest_inbox) {
+  if (!track_bounds_) {
+    return SimCell::NextSendBound(next_event, earliest_inbox);
+  }
+  // Every send is triggered by a control-plane response (>= earliest_inbox),
+  // a launch admitted at its trace arrival (the orchestrator hands launches
+  // out in trace order, so none past the cursor starts before
+  // assigned_[spawn_cursor_].arrival), or a dwell expiry (>= its floor).
+  // Slot-queue handoffs and image-fetch wakeups only happen at one of those
+  // same moments, so they are covered too.
+  SimTime bound = earliest_inbox;
+  if (spawn_cursor_ < assigned_.size()) {
+    bound = std::min(bound, assigned_[spawn_cursor_].arrival);
+  }
+  if (!release_floors_.empty()) {
+    bound = std::min(bound, *release_floors_.begin());
+  }
+  return bound;
 }
 
 Task ClusterHostCell::RootTask() {
@@ -67,6 +92,7 @@ Task ClusterHostCell::ClusterOrchestrate() {
     if (launch.arrival > sim.Now()) {
       co_await sim.Delay(launch.arrival - sim.Now());
     }
+    ++spawn_cursor_;
     launches.push_back(sim.Spawn(LaunchOne(launch), "launch"));
     // Drop handles of finished launches so the in-flight list tracks live
     // containers, not the 10^4+ a trace replays. A dropped process that
@@ -193,11 +219,22 @@ Task ClusterHostCell::LaunchOne(ClusterLaunch launch) {
   }
   extras_.gate_wait.AddTime(sim.Now() - gates_begin);
 
+  // From the CNI grant on, this launch's only remaining send is its IP
+  // release, which cannot happen before the dwell has elapsed — publish
+  // that floor so the driver can widen windows past local pipeline events.
+  std::multiset<SimTime>::iterator floor_it{};
+  if (track_bounds_) {
+    floor_it = release_floors_.insert(sim.Now() + params_.dwell);
+  }
+
   const ServerlessApp* app = options_.app.has_value() ? &*options_.app : nullptr;
   ContainerInstance* inst = nullptr;
   co_await runtime.StartContainer(app, &inst);
   if (inst == nullptr || inst->aborted) {
     ++extras_.aborted;
+    if (track_bounds_) {
+      release_floors_.erase(floor_it);
+    }
     SendIpamRelease(launch.id);
     runtime.ReapTerminated();
     ReleaseSlot();
@@ -219,6 +256,9 @@ Task ClusterHostCell::LaunchOne(ClusterLaunch launch) {
   if (live == nullptr || live->aborted) {
     // Aborted (and possibly already reaped) during the dwell.
     ++extras_.aborted;
+    if (track_bounds_) {
+      release_floors_.erase(floor_it);
+    }
     SendIpamRelease(launch.id);
     runtime.ReapTerminated();
     ReleaseSlot();
@@ -226,6 +266,9 @@ Task ClusterHostCell::LaunchOne(ClusterLaunch launch) {
   }
   co_await runtime.StopContainer(*live);
   ++extras_.completed;
+  if (track_bounds_) {
+    release_floors_.erase(floor_it);
+  }
   SendIpamRelease(launch.id);
   runtime.ReapTerminated();
   ReleaseSlot();

@@ -22,6 +22,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -84,6 +85,15 @@ class ClusterHostCell : public HostCell {
                   const ClusterHostParams& params, std::vector<ClusterLaunch> assigned);
 
   void OnCellMessage(const CellMessage& msg) override;
+  // Earliest-send promise for the driver's window planner. A host's sends
+  // (gate requests, IP releases) are all triggered by (a) a launch being
+  // admitted at its trace arrival, (b) a control-plane response arriving, or
+  // (c) a dwell expiring — so the bound is min(next unspawned arrival,
+  // earliest pending delivery, earliest release floor), which usually lies
+  // well beyond the host's next local event (timer ticks, pipeline stages).
+  // Only active when no fault injection / phase timeout can trigger the
+  // abort paths, which send at times the components above do not cover.
+  SimTime NextSendBound(SimTime next_event, SimTime earliest_inbox) override;
   void CellEnd() override;
 
   // Valid once finished(); plain values, safe to read from the main thread.
@@ -157,6 +167,16 @@ class ClusterHostCell : public HostCell {
 
   ClusterHostParams params_;
   std::vector<ClusterLaunch> assigned_;
+
+  // Earliest-send bound bookkeeping (NextSendBound above). spawn_cursor_
+  // counts launches handed to LaunchOne; release_floors_ holds, for every
+  // in-dwell container, the earliest time its IP release can be sent
+  // (CNI-grant time + dwell). Maintained only when track_bounds_ — with
+  // fault injection or a phase timeout the abort paths can send at
+  // unpredictable times, so the cell falls back to the default bound.
+  bool track_bounds_ = false;
+  size_t spawn_cursor_ = 0;
+  std::multiset<SimTime> release_floors_;
 
   // Launches parked on a control-plane response, keyed by launch id. One
   // launch holds at most one gate at a time, so the key is unique.

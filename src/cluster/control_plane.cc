@@ -21,6 +21,21 @@ ControlPlaneCell::ControlPlaneCell(const ControlPlaneConfig& config, SimTime rtt
   registry_.site = FaultSite::kRegistryFetch;
   registry_.grant = CpMessage::kRegistryGrant;
   registry_.reject = CpMessage::kRegistryReject;
+  min_service_ = std::min(config_.ipam_service,
+                          std::min(config_.cni_service, config_.registry_min_service));
+}
+
+SimTime ControlPlaneCell::NextSendBound(SimTime next_event, SimTime earliest_inbox) {
+  if (injector_.has_value()) {
+    // An injected fault can reject a request with no service delay, i.e.
+    // send at the request's own delivery time.
+    return SimCell::NextSendBound(next_event, earliest_inbox);
+  }
+  SimTime inbox_bound = SimTime::Max();
+  if (earliest_inbox != SimTime::Max()) {
+    inbox_bound = earliest_inbox + min_service_;
+  }
+  return std::min(next_event, inbox_bound);
 }
 
 ControlPlaneCell::~ControlPlaneCell() {

@@ -105,6 +105,12 @@ class ControlPlaneCell : public SimCell {
   Simulation& cell_sim() override { return *sim_; }
   void CellBegin(CellPort* port) override;
   void OnCellMessage(const CellMessage& msg) override;
+  // Earliest-send promise for the driver's window planner: every reply to a
+  // request delivered at t is sent at t + (queue wait) + service >= t +
+  // min_service_, and a reply from an in-flight service rides an event that
+  // is already queued (>= next_event). Fault injection can reject with zero
+  // service time, so an injector disables the widening.
+  SimTime NextSendBound(SimTime next_event, SimTime earliest_inbox) override;
   void CellEnd() override;
   void CellAbandon() noexcept override;
 
@@ -143,6 +149,7 @@ class ControlPlaneCell : public SimCell {
 
   ControlPlaneConfig config_;
   SimTime rtt_;
+  SimTime min_service_ = SimTime::Zero();  // min over the three services
   uint64_t seed_;
   std::optional<FaultPlan> fault_plan_;
 

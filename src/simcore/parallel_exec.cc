@@ -51,6 +51,17 @@ void CellPort::Send(uint32_t to_cell, SimTime latency, uint64_t kind, uint64_t p
         " — the message could arrive inside the current window, violating "
         "conservative synchronization");
   }
+  if (sim_->Now() < send_bound_) {
+    // The cell's NextSendBound() promised no send before send_bound_; the
+    // planner may have widened the window past another cell's events on the
+    // strength of that promise, so a violation is a real conservatism bug,
+    // not a recoverable condition.
+    throw std::logic_error(
+        "CellPort::Send: cell " + std::to_string(from_) + " sends at " +
+        sim_->Now().ToString() + ", before the bound " + send_bound_.ToString() +
+        " it promised via NextSendBound() — the current window may already be "
+        "wider than conservative synchronization allows");
+  }
   CellMessage msg;
   msg.from_cell = from_;
   msg.to_cell = to_cell;
@@ -81,13 +92,16 @@ double ParallelExecStats::Utilization() const {
 }
 
 // The driver. Workers are pinned to cells round-robin by index; every shared
-// field (window_end_, done_, inboxes) is only written inside the barrier's
-// completion step, which the barrier orders before any worker resumes — the
-// merge path is race-free by construction (and run under TSAN to prove it).
+// field (window_end_, done_, inboxes, due-lists) is only written inside the
+// barrier's completion step, which the barrier orders before any worker
+// resumes — the merge path is race-free by construction (and run under TSAN
+// to prove it).
 class ParallelRunner {
  public:
   ParallelRunner(const std::vector<SimCell*>& cells, const ParallelExecOptions& options)
-      : lookahead_(options.lookahead) {
+      : lookahead_(options.lookahead),
+        elide_(options.elide_idle_cells),
+        profile_(options.profile) {
     int threads = options.threads;
     if (threads <= 0) {
       threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -106,6 +120,14 @@ class ParallelRunner {
     }
     stats_.threads_used = threads_;
     stats_.worker_busy_seconds.assign(static_cast<size_t>(threads_), 0.0);
+    barrier_wait_.assign(static_cast<size_t>(threads_), 0.0);
+    deliver_seconds_.assign(static_cast<size_t>(threads_), 0.0);
+    execute_seconds_.assign(static_cast<size_t>(threads_), 0.0);
+    due_.resize(static_cast<size_t>(threads_));
+    for (auto& d : due_) {
+      d.reserve(cells.size() / static_cast<size_t>(threads_) + 1);
+    }
+    dirty_.reserve(cells.size());
   }
 
   ParallelExecStats Run() {
@@ -116,7 +138,9 @@ class ParallelRunner {
     auto worker = [&](int w) {
       for (;;) {
         RunRound(w);
+        const auto bt = Clock::now();
         sync.arrive_and_wait();
+        barrier_wait_[static_cast<size_t>(w)] += SecondsSince(bt);
         if (done_) {
           break;
         }
@@ -134,6 +158,16 @@ class ParallelRunner {
       t.join();
     }
     stats_.wall_seconds = SecondsSince(t0);
+    for (double s : barrier_wait_) {
+      stats_.barrier_wait_seconds += s;
+    }
+    for (size_t w = 0; w < deliver_seconds_.size(); ++w) {
+      stats_.profile_deliver_seconds += deliver_seconds_[w];
+      stats_.profile_execute_seconds += execute_seconds_[w];
+    }
+    if (bounded_windows_ > 0) {
+      stats_.mean_window_span_us = span_us_sum_ / static_cast<double>(bounded_windows_);
+    }
 
     for (auto& rt : cells_) {
       if (rt.error) {
@@ -146,7 +180,18 @@ class ParallelRunner {
  private:
   struct CellRt {
     SimCell* cell = nullptr;
-    std::vector<CellMessage> inbox;  // pending cross-cell deliveries
+    // Pending cross-cell deliveries. [inbox_head, inbox.size()) is the
+    // pending region, kept sorted by DeliverBefore; storage is recycled
+    // (clear, not deallocate) once drained, so steady-state routing does
+    // not allocate.
+    std::vector<CellMessage> inbox;
+    size_t inbox_head = 0;
+    size_t sorted_end = 0;  // appends past this point still need ordering
+    // Cached by the planner so idle cells cost O(1) per window. Only
+    // refreshed for cells that executed — an elided cell cannot change its
+    // own queue.
+    SimTime next_event = SimTime::Max();
+    SimTime earliest_inbox = SimTime::Max();
     std::exception_ptr error;
     bool alive = true;
   };
@@ -154,65 +199,113 @@ class ParallelRunner {
   // One window (or, in the first round, CellBegin) for worker w's cells.
   void RunRound(int w) {
     const auto t0 = Clock::now();
-    for (size_t i = static_cast<size_t>(w); i < cells_.size();
-         i += static_cast<size_t>(threads_)) {
-      CellRt& rt = cells_[i];
-      if (!rt.alive) {
-        continue;
-      }
-      try {
-        if (begin_round_) {
+    if (begin_round_) {
+      for (size_t i = static_cast<size_t>(w); i < cells_.size();
+           i += static_cast<size_t>(threads_)) {
+        CellRt& rt = cells_[i];
+        try {
           ports_[i].sim_ = nullptr;  // set after CellBegin constructs the sim
           rt.cell->CellBegin(&ports_[i]);
           ports_[i].sim_ = &rt.cell->cell_sim();
-        } else {
-          DeliverDue(rt);
-          rt.cell->ExecuteWindow(window_end_);
+        } catch (...) {
+          rt.error = std::current_exception();
+          rt.alive = false;
+          rt.cell->CellAbandon();
         }
-      } catch (...) {
-        rt.error = std::current_exception();
-        rt.alive = false;
-        rt.cell->CellAbandon();
+      }
+    } else {
+      for (uint32_t i : due_[static_cast<size_t>(w)]) {
+        CellRt& rt = cells_[i];
+        if (!rt.alive) {
+          continue;
+        }
+        try {
+          if (profile_) {
+            const auto dt0 = Clock::now();
+            DeliverDue(rt);
+            const auto et0 = Clock::now();
+            rt.cell->ExecuteWindow(window_end_);
+            execute_seconds_[static_cast<size_t>(w)] += SecondsSince(et0);
+            deliver_seconds_[static_cast<size_t>(w)] +=
+                std::chrono::duration<double>(et0 - dt0).count();
+          } else {
+            DeliverDue(rt);
+            rt.cell->ExecuteWindow(window_end_);
+          }
+        } catch (...) {
+          rt.error = std::current_exception();
+          rt.alive = false;
+          rt.cell->CellAbandon();
+        }
       }
     }
     stats_.worker_busy_seconds[static_cast<size_t>(w)] += SecondsSince(t0);
   }
 
-  // Schedules every inbox message due inside the coming window. The sort
-  // order (deliver_at, from_cell, seq) fixes the receiver's event sequence
-  // regardless of worker interleaving; messages at or beyond the horizon
-  // stay pending for a later window.
+  // Schedules every inbox message due inside the coming window. The pending
+  // region is already sorted by (deliver_at, from_cell, seq) — the total
+  // order that fixes the receiver's event sequence regardless of worker
+  // interleaving — so delivery is a linear scan from the head cursor.
+  // Each scheduled delivery captures {cell, &msg}: 16 bytes, inside
+  // EventAction's inline buffer, so the per-message path never allocates.
+  // The pointer into inbox storage stays valid because appends/compaction
+  // only happen in the planning step, after every delivery scheduled here
+  // has executed (deliver_at < window_end, and ExecuteWindow drains all
+  // events below the horizon).
   void DeliverDue(CellRt& rt) {
-    if (rt.inbox.empty()) {
+    const size_t size = rt.inbox.size();
+    if (rt.inbox_head >= size) {
       return;
     }
-    std::sort(rt.inbox.begin(), rt.inbox.end(), DeliverBefore);
     Simulation& sim = rt.cell->cell_sim();
     // A window ending at Max is unbounded (RunWindow runs to completion),
     // so everything pending is due.
     const bool unbounded = window_end_ == SimTime::Max();
-    size_t delivered = 0;
-    for (const CellMessage& msg : rt.inbox) {
-      if (!unbounded && msg.deliver_at >= window_end_) {
+    SimCell* cell = rt.cell;
+    size_t i = rt.inbox_head;
+    for (; i < size; ++i) {
+      const CellMessage* msg = &rt.inbox[i];
+      if (!unbounded && msg->deliver_at >= window_end_) {
         break;
       }
-      SimCell* cell = rt.cell;
-      sim.ScheduleCallback(msg.deliver_at, [cell, msg]() { cell->OnCellMessage(msg); });
-      ++delivered;
+      sim.ScheduleCallback(msg->deliver_at, [cell, msg]() { cell->OnCellMessage(*msg); });
     }
-    rt.inbox.erase(rt.inbox.begin(),
-                   rt.inbox.begin() + static_cast<std::ptrdiff_t>(delivered));
+    rt.inbox_head = i;
   }
 
-  // Barrier completion: route outboxes, then plan the next window. Runs on
-  // exactly one thread while every worker is parked, so it may touch all
-  // shared state. noexcept — a bad_alloc here would terminate, which is the
-  // honest outcome for an out-of-memory merge step.
+  // Barrier completion: recycle inboxes, route outboxes, plan the next
+  // window. Runs on exactly one thread while every worker is parked, so it
+  // may touch all shared state. noexcept: with recycled inbox/outbox storage
+  // the routing path performs no steady-state allocations, but first-time
+  // growth of a pooled buffer (or an inplace_merge temp buffer on the rare
+  // partially-drained-inbox path) can still throw bad_alloc, which
+  // terminates — the honest outcome for an out-of-memory merge step.
   void Plan() noexcept {
+    const auto t0 = Clock::now();
+    // Phase 1: for every cell that executed, refresh its cached next-event
+    // time and recycle drained inbox storage (before routing appends more).
+    // Elided cells ran nothing, so their caches are already correct.
+    if (begin_round_) {
+      for (CellRt& rt : cells_) {
+        RefreshAfterRun(rt);
+      }
+    } else {
+      for (auto& due : due_) {
+        for (uint32_t i : due) {
+          RefreshAfterRun(cells_[i]);
+        }
+      }
+    }
+
+    // Phase 2: route outboxes in cell index order (determinism: the append
+    // order below is fixed, and phase 3 re-establishes the total order).
     for (auto& port : ports_) {
       for (const CellMessage& msg : port.outbox_) {
         CellRt& target = cells_[msg.to_cell];
         if (target.alive) {
+          if (target.inbox.size() == target.sorted_end) {
+            dirty_.push_back(msg.to_cell);
+          }
           target.inbox.push_back(msg);
           ++stats_.messages_delivered;
         }
@@ -221,27 +314,93 @@ class ParallelRunner {
     }
     begin_round_ = false;
 
-    bool any = false;
-    SimTime next = SimTime::Max();
+    // Phase 3: order the newly appended tail of each dirty inbox. The
+    // pending prefix is already sorted; the common case (inbox fully
+    // drained each window) needs only the tail sort.
+    for (uint32_t i : dirty_) {
+      CellRt& rt = cells_[i];
+      auto mid = rt.inbox.begin() + static_cast<std::ptrdiff_t>(rt.sorted_end);
+      std::sort(mid, rt.inbox.end(), DeliverBefore);
+      if (rt.inbox_head < rt.sorted_end) {
+        std::inplace_merge(rt.inbox.begin() + static_cast<std::ptrdiff_t>(rt.inbox_head),
+                           mid, rt.inbox.end(), DeliverBefore);
+      }
+      rt.sorted_end = rt.inbox.size();
+    }
+    dirty_.clear();
+
+    // Phase 4: plan the next window. global_next is the earliest possible
+    // activity anywhere; min_bound is the earliest promised send. Clamping
+    // the base to global_next guards progress against a pessimistic bound
+    // (the window must always cover at least the next event), and is sound
+    // because no cell can act — hence send — before global_next.
+    SimTime global_next = SimTime::Max();
+    SimTime min_bound = SimTime::Max();
     for (CellRt& rt : cells_) {
       if (!rt.alive) {
         continue;
       }
-      if (std::optional<SimTime> t = rt.cell->cell_sim().NextEventTime()) {
-        next = std::min(next, *t);
-        any = true;
-      }
-      for (const CellMessage& msg : rt.inbox) {
-        next = std::min(next, msg.deliver_at);
-        any = true;
-      }
+      rt.earliest_inbox = rt.inbox_head < rt.inbox.size()
+                              ? rt.inbox[rt.inbox_head].deliver_at
+                              : SimTime::Max();
+      global_next = std::min(global_next, std::min(rt.next_event, rt.earliest_inbox));
     }
-    if (!any) {
+    if (global_next == SimTime::Max()) {
       done_ = true;
+      stats_.profile_plan_seconds += SecondsSince(t0);
       return;
     }
-    window_end_ = SaturatingAdd(next, lookahead_);
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      CellRt& rt = cells_[i];
+      if (!rt.alive) {
+        continue;
+      }
+      const SimTime bound = rt.cell->NextSendBound(rt.next_event, rt.earliest_inbox);
+      ports_[i].send_bound_ = bound;
+      min_bound = std::min(min_bound, bound);
+    }
+    window_end_ = SaturatingAdd(std::max(min_bound, global_next), lookahead_);
+
+    for (auto& due : due_) {
+      due.clear();
+    }
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      CellRt& rt = cells_[i];
+      if (!rt.alive) {
+        continue;
+      }
+      const SimTime local_next = std::min(rt.next_event, rt.earliest_inbox);
+      if (!elide_ || local_next < window_end_) {
+        due_[i % static_cast<size_t>(threads_)].push_back(static_cast<uint32_t>(i));
+        ++stats_.cell_rounds;
+      } else {
+        ++stats_.cell_rounds_elided;
+      }
+    }
     ++stats_.windows;
+    if (window_end_ != SimTime::Max()) {
+      span_us_sum_ += (window_end_ - global_next).ToMicrosF();
+      ++bounded_windows_;
+    }
+    stats_.profile_plan_seconds += SecondsSince(t0);
+  }
+
+  void RefreshAfterRun(CellRt& rt) {
+    if (!rt.alive) {
+      return;
+    }
+    if (rt.inbox_head > 0) {
+      if (rt.inbox_head == rt.inbox.size()) {
+        rt.inbox.clear();  // keeps capacity: the pooled steady state
+      } else {
+        rt.inbox.erase(rt.inbox.begin(),
+                       rt.inbox.begin() + static_cast<std::ptrdiff_t>(rt.inbox_head));
+      }
+      rt.inbox_head = 0;
+    }
+    rt.sorted_end = rt.inbox.size();
+    const std::optional<SimTime> t = rt.cell->cell_sim().NextEventTime();
+    rt.next_event = t.has_value() ? *t : SimTime::Max();
   }
 
   // All windows done: finalize worker w's cells in index order.
@@ -264,12 +423,23 @@ class ParallelRunner {
   }
 
   const SimTime lookahead_;
+  const bool elide_;
+  const bool profile_;
   int threads_ = 1;
   std::vector<CellRt> cells_;
   std::vector<CellPort> ports_;
+  // Cells with work inside the coming window, per owning worker (cell i
+  // belongs to worker i % threads). Built in Plan, read-only to workers.
+  std::vector<std::vector<uint32_t>> due_;
+  std::vector<uint32_t> dirty_;  // cells whose inbox grew this barrier
   bool begin_round_ = true;
   bool done_ = false;
   SimTime window_end_ = SimTime::Max();
+  double span_us_sum_ = 0.0;
+  uint64_t bounded_windows_ = 0;
+  std::vector<double> barrier_wait_;
+  std::vector<double> deliver_seconds_;
+  std::vector<double> execute_seconds_;
   ParallelExecStats stats_;
 };
 

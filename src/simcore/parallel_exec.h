@@ -18,7 +18,29 @@
 //     index order, then plans the next window from the global minimum of
 //     pending event times and pending deliveries.
 //
-// Determinism: delivery into a cell sorts its inbox by (deliver_at,
+// Two refinements keep the per-window cost proportional to the *active*
+// cells, not the cell count:
+//
+//   * Earliest-send horizons. A cell may override NextSendBound() to promise
+//     "I will not send before time B" — e.g. a host that knows its next
+//     control-plane round trip, or a server that always delays >= its
+//     minimum service time before replying. The planner widens the window to
+//     max(min_i B_i, global-next-event) + lookahead. Conservatism argument:
+//     cell i's first activity in a window is at or after
+//     min(next_event_i, earliest_inbox_i) >= global-next-event, so any send
+//     happens at t >= max(B_i, global-next-event), and its delivery at
+//     t + latency >= t + lookahead lands at or beyond the window end — never
+//     inside the window that produced it. CellPort::Send enforces the
+//     promise: sending before the cell's declared bound throws.
+//   * Idle-cell elision. A cell whose next event and earliest pending
+//     delivery both lie at/beyond the horizon cannot execute anything this
+//     window; the driver skips its DeliverDue/ExecuteWindow entirely
+//     (tracked per-cell in the planning step, dispatched via per-worker
+//     due-lists). Skipping is a semantic no-op — the cell's clock and queue
+//     are untouched — so results are byte-identical with elision on or off
+//     (ParallelExecOptions::elide_idle_cells pins this in tests).
+//
+// Determinism: delivery into a cell orders its inbox by (deliver_at,
 // from_cell, per-sender seq) — a total order independent of which worker ran
 // which cell when — and intra-cell execution is the sequential scheduler
 // verbatim. Result bytes are identical at any thread count, including T=1
@@ -68,8 +90,10 @@ class CellPort {
  public:
   // Queues a message for `to_cell`, delivered at Now() + latency. Throws
   // std::logic_error if latency < lookahead (a conservative-synchronization
-  // violation: the message could land inside the current window) and
-  // std::out_of_range for an unknown cell.
+  // violation: the message could land inside the current window), if the
+  // send happens before the bound the cell promised via NextSendBound()
+  // (the cell lied to the planner — the window may already be too wide),
+  // and std::out_of_range for an unknown cell.
   void Send(uint32_t to_cell, SimTime latency, uint64_t kind = 0, uint64_t payload = 0);
 
   uint32_t cell_index() const { return from_; }
@@ -82,6 +106,7 @@ class CellPort {
   uint32_t from_ = 0;
   uint32_t num_cells_ = 0;
   SimTime lookahead_ = SimTime::Max();
+  SimTime send_bound_ = SimTime::Zero();  // set each window by the planner
   uint64_t next_seq_ = 0;
   std::vector<CellMessage> outbox_;
 };
@@ -106,6 +131,19 @@ class SimCell {
   // msg.deliver_at.
   virtual void OnCellMessage(const CellMessage& msg) { (void)msg; }
 
+  // The earliest simulated time at which this cell might call
+  // CellPort::Send. Called in the planning step between windows with the
+  // cell's cached next event time and its earliest pending inbox delivery
+  // (both SimTime::Max() when none); the default — the first moment the
+  // cell can execute anything at all — is always a sound promise. Cells
+  // with domain knowledge (a fixed round trip, a minimum service delay)
+  // return a later time to widen the window and cut barrier count; a
+  // returned bound the cell then violates makes Send throw. The promise
+  // only needs to hold until the planner asks again (the next barrier).
+  virtual SimTime NextSendBound(SimTime next_event, SimTime earliest_inbox) {
+    return next_event < earliest_inbox ? next_event : earliest_inbox;
+  }
+
   // Runs the cell's events strictly before `horizon`. Override to wrap the
   // default with per-window accounting.
   virtual void ExecuteWindow(SimTime horizon) { cell_sim().RunWindow(horizon); }
@@ -129,13 +167,35 @@ struct ParallelExecOptions {
   // default) means the cells are uncoupled and each runs to completion in a
   // single window.
   SimTime lookahead = SimTime::Max();
+  // Skip DeliverDue/ExecuteWindow for cells with nothing due this window.
+  // Off exists only so tests can pin that elision is a semantic no-op.
+  bool elide_idle_cells = true;
+  // Collect the per-phase wall-time breakdown (deliver / execute / plan).
+  // Costs two clock reads per cell-round, so it is opt-in.
+  bool profile = false;
 };
 
 struct ParallelExecStats {
   int threads_used = 0;
   uint64_t windows = 0;
   uint64_t messages_delivered = 0;
+  // Cell-window executions actually run vs skipped by idle-cell elision
+  // (cell_rounds + cell_rounds_elided == windows * live cells).
+  uint64_t cell_rounds = 0;
+  uint64_t cell_rounds_elided = 0;
   double wall_seconds = 0.0;
+  // Mean width of a bounded window (horizon - earliest pending activity),
+  // in simulated microseconds; 0 when every window was unbounded. Widths
+  // above the lookahead measure what earliest-send horizons bought.
+  double mean_window_span_us = 0.0;
+  // Total seconds workers spent parked at the window barrier (includes the
+  // single-threaded planning step), summed across workers.
+  double barrier_wait_seconds = 0.0;
+  // Filled only when ParallelExecOptions::profile is set: wall seconds by
+  // driver phase, summed across workers (plan is single-threaded).
+  double profile_deliver_seconds = 0.0;
+  double profile_execute_seconds = 0.0;
+  double profile_plan_seconds = 0.0;
   // Per-worker time spent executing cells (vs waiting at barriers).
   std::vector<double> worker_busy_seconds;
 

@@ -15,8 +15,14 @@ CpuPool::CpuPool(Simulation& sim, int num_cores, std::string name)
 
 Task CpuPool::Compute(SimTime cost, WaitCtx ctx) {
   if (cost <= SimTime::Zero()) {
-    co_return;
+    // No frame, no event: zero-cost compute requests are common enough on the
+    // start path that the coroutine frame alone shows up in profiles.
+    return Task::Completed();
   }
+  return ComputeImpl(cost, ctx);
+}
+
+Task CpuPool::ComputeImpl(SimTime cost, WaitCtx ctx) {
   busy_core_time_ += cost;
   co_await ps_.Transfer(cost.ToSecondsF(), /*max_rate=*/1.0, ctx);
 }
@@ -38,6 +44,12 @@ void BandwidthResource::Link(Flow* f) {
     flows_head_ = f;
   }
   flows_tail_ = f;
+  if (num_flows_ == 0) {
+    uniform_cap_ = f->max_rate;
+    caps_uniform_ = true;
+  } else if (f->max_rate != uniform_cap_) {
+    caps_uniform_ = false;  // sticky until the list drains
+  }
   ++num_flows_;
 }
 
@@ -85,17 +97,22 @@ void BandwidthResource::AssignRates() {
   while (!pending.empty() && progressed) {
     progressed = false;
     const double share = capacity_left / static_cast<double>(pending.size());
-    for (auto it = pending.begin(); it != pending.end();) {
-      Flow* f = *it;
+    // Stable compaction instead of per-element erase: the capped flows are
+    // assigned (and capacity_left reduced) in exactly the same list order as
+    // before, so every float result is bit-identical — but a pass over n
+    // flows is O(n), not the O(n^2) that middle-of-vector erases cost when a
+    // whole wave of equally-capped flows resolves at once.
+    auto keep = pending.begin();
+    for (Flow* f : pending) {
       if (f->max_rate <= share) {
         f->rate = f->max_rate;
         capacity_left -= f->max_rate;
-        it = pending.erase(it);
         progressed = true;
       } else {
-        ++it;
+        *keep++ = f;
       }
     }
+    pending.erase(keep, pending.end());
   }
   if (!pending.empty()) {
     const double share = capacity_left / static_cast<double>(pending.size());
@@ -110,11 +127,29 @@ void BandwidthResource::Reschedule() {
   if (flows_head_ == nullptr) {
     return;
   }
-  AssignRates();
   double min_eta_s = std::numeric_limits<double>::infinity();
-  for (Flow* f = flows_head_; f != nullptr; f = f->next) {
-    if (f->rate > 0.0) {
-      min_eta_s = std::min(min_eta_s, f->remaining / f->rate);
+  if (caps_uniform_) {
+    // Every flow carries the same cap m, so water-filling resolves in one
+    // round: either m <= capacity/n and every flow is capped at m in the
+    // first pass, or nobody caps and everyone gets exactly capacity/n — the
+    // same division the general loop's final block performs. One fused pass
+    // assigns the rate and finds the earliest completion. IEEE division by a
+    // positive rate is monotone, so min_i(rem_i)/r == min_i(rem_i/r) bit for
+    // bit and the timer lands on the identical timestamp.
+    const double share = capacity_ / static_cast<double>(num_flows_);
+    const double rate = uniform_cap_ <= share ? uniform_cap_ : share;
+    double min_rem = std::numeric_limits<double>::infinity();
+    for (Flow* f = flows_head_; f != nullptr; f = f->next) {
+      f->rate = rate;
+      min_rem = std::min(min_rem, f->remaining);
+    }
+    min_eta_s = min_rem / rate;
+  } else {
+    AssignRates();
+    for (Flow* f = flows_head_; f != nullptr; f = f->next) {
+      if (f->rate > 0.0) {
+        min_eta_s = std::min(min_eta_s, f->remaining / f->rate);
+      }
     }
   }
   assert(std::isfinite(min_eta_s));
@@ -137,20 +172,45 @@ void BandwidthResource::OnTimer(uint64_t generation) {
     }
     f = next;
   }
+  // Completion wakes waiters at this same timestamp, and they often join new
+  // flows right away; fold their water-fill into one deferred pass too.
+  MarkDirty();
+}
+
+void BandwidthResource::MarkDirty() {
+  if (flush_pending_) {
+    return;
+  }
+  flush_pending_ = true;
+  sim_->ScheduleCallback(sim_->Now(), [this] { Flush(); });
+}
+
+void BandwidthResource::Flush() {
+  flush_pending_ = false;
+  // Settle up to now at the rates that were in force when time last moved.
+  // A flow that joined during this timestamp still carries rate 0, so the
+  // settle leaves its remaining untouched — exactly what the old
+  // advance-on-join produced.
+  Advance();
   Reschedule();
 }
 
 Task BandwidthResource::Transfer(double amount, double max_rate, WaitCtx ctx) {
   if (amount <= 0.0) {
-    co_return;
+    // Same no-frame fast path as CpuPool::Compute: a zero transfer must not
+    // pay a coroutine frame (or perturb the flow list) just to complete.
+    return Task::Completed();
   }
+  return TransferImpl(amount, max_rate, ctx);
+}
+
+Task BandwidthResource::TransferImpl(double amount, double max_rate, WaitCtx ctx) {
   assert(max_rate > 0.0);
   total_ += amount;
   const SimTime begin = sim_->Now();
   Flow flow{amount, max_rate, *sim_};
-  Advance();
   Link(&flow);
-  Reschedule();
+  MarkDirty();
   co_await flow.done.Wait();
   if (ctx.active() && !name_.empty()) {
     // Anything beyond the flow's ideal uncontended duration is contention.

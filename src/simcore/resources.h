@@ -75,6 +75,8 @@ class BandwidthResource {
     }
   };
 
+  Task TransferImpl(double amount, double max_rate, WaitCtx ctx);
+
   void Link(Flow* f);
   void Unlink(Flow* f);
 
@@ -84,6 +86,12 @@ class BandwidthResource {
   void Reschedule();
   void AssignRates();
   void OnTimer(uint64_t generation);
+  // Defers Reschedule to a single event at the current timestamp, so a batch
+  // of joins/completions at one instant pays one water-fill pass instead of
+  // one per operation. Rates are only consumed when simulated time advances,
+  // and the flush always runs before that, so settled amounts are identical.
+  void MarkDirty();
+  void Flush();
 
   Simulation* sim_;
   double capacity_;
@@ -96,6 +104,13 @@ class BandwidthResource {
   std::vector<Flow*> pending_scratch_;
   SimTime last_update_ = SimTime::Zero();
   uint64_t timer_generation_ = 0;
+  bool flush_pending_ = false;
+  // In practice every flow on a given resource carries the same cap (one
+  // zeroing thread per flow, one vCPU per guest). Detecting that lets
+  // Reschedule use a fused one-pass assign+min-ETA instead of the general
+  // water-fill. Sticky-false once mixed caps are seen, until the list drains.
+  double uniform_cap_ = 0.0;
+  bool caps_uniform_ = true;
 };
 
 // A pool of CPU cores modeled as processor sharing, like the kernel's CFS:
@@ -117,6 +132,8 @@ class CpuPool {
   size_t num_runnable() const { return ps_.active_flows(); }
 
  private:
+  Task ComputeImpl(SimTime cost, WaitCtx ctx);
+
   Simulation* sim_;
   int num_cores_;
   BandwidthResource ps_;  // capacity: num_cores core-seconds per second

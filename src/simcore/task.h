@@ -54,6 +54,12 @@ class [[nodiscard]] Task {
     void unhandled_exception() { exception = std::current_exception(); }
   };
 
+  // An already-completed task: awaiting it resumes immediately and no
+  // coroutine frame is ever allocated. The fast path for conditional
+  // activities ("transfer zero bytes", "compute zero cost") whose callers
+  // co_await unconditionally.
+  static Task Completed() noexcept { return Task(Handle{}); }
+
   Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
   Task& operator=(Task&& other) noexcept {
     if (this != &other) {

@@ -120,14 +120,16 @@ TEST(ClusterScheduler, CapFallbackPlacesEveryLaunch) {
 }
 
 // The headline determinism contract: one digest per policy across the whole
-// {1,4 driver threads} x {heap, calendar} matrix.
+// {1,2,4 driver threads} x {heap, calendar} matrix. Thread count 2 splits
+// the 4 cells unevenly across workers, exercising a due-list shape that
+// neither 1 nor 4 threads hits.
 TEST(ClusterSchedEquiv, DigestInvariantAcrossThreadsAndBackends) {
   for (const ClusterSchedPolicy policy :
        {ClusterSchedPolicy::kBinPack, ClusterSchedPolicy::kLeastLoaded,
         ClusterSchedPolicy::kLocality}) {
     SCOPED_TRACE(ClusterSchedPolicyName(policy));
     std::string reference;
-    for (const int threads : {1, 4}) {
+    for (const int threads : {1, 2, 4}) {
       for (const SchedulerPolicy backend :
            {SchedulerPolicy::kHeap, SchedulerPolicy::kCalendar}) {
         ClusterOptions options = SmallCluster(policy);
@@ -153,6 +155,63 @@ TEST(ClusterSchedEquiv, SeedReplayIsIdentityAndSeedsDiffer) {
   EXPECT_EQ(first, second);
   options.seed = 8;
   EXPECT_NE(ClusterDigest(RunClusterExperiment(options)), first);
+}
+
+// Fault injection disables the cells' earliest-send promises (an injected
+// fault can reply with zero service time), dropping the planner back to the
+// default bound. That fallback path must stay thread-invariant too.
+TEST(ClusterSchedEquiv, FaultInjectionDigestInvariantAcrossThreads) {
+  ClusterOptions options = SmallCluster(ClusterSchedPolicy::kLeastLoaded);
+  FaultPlan cp_plan;
+  cp_plan.seed = 99;
+  SiteFaultSpec cp_spec;
+  cp_spec.probability = 0.2;
+  cp_spec.transient = true;
+  cp_spec.penalty = Milliseconds(1);
+  cp_plan.sites[FaultSite::kIpamAlloc] = cp_spec;
+  options.control_plane_fault_plan = cp_plan;
+  FaultPlan host_plan;
+  host_plan.seed = 17;
+  SiteFaultSpec host_spec;
+  host_spec.probability = 0.1;
+  host_spec.transient = false;
+  host_spec.penalty = Milliseconds(2);
+  host_plan.sites[FaultSite::kVfioDeviceOpen] = host_spec;
+  options.host_fault_plan = host_plan;
+  std::string reference;
+  for (const int threads : {1, 4}) {
+    options.threads = threads;
+    const std::string digest = ClusterDigest(RunClusterExperiment(options));
+    if (reference.empty()) {
+      reference = digest;
+      EXPECT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(digest, reference) << "threads=" << threads;
+    }
+  }
+}
+
+// Driver bookkeeping: profiling is observability-only (same digest), and the
+// per-window accounting is self-consistent — every planned window classifies
+// every cell as either run or elided, and this coupled workload elides some.
+TEST(ClusterSchedEquiv, DriverStatsConsistentAndProfilingMovesNoBytes) {
+  ClusterOptions options = SmallCluster(ClusterSchedPolicy::kLeastLoaded);
+  options.threads = 4;
+  const ClusterResult plain = RunClusterExperiment(options);
+  options.profile_driver = true;
+  const ClusterResult profiled = RunClusterExperiment(options);
+  EXPECT_EQ(ClusterDigest(plain), ClusterDigest(profiled));
+  const uint64_t cells = static_cast<uint64_t>(options.hosts) + 1;  // + control plane
+  for (const ClusterResult* r : {&plain, &profiled}) {
+    EXPECT_GT(r->exec.windows, 0u);
+    EXPECT_EQ(r->exec.cell_rounds + r->exec.cell_rounds_elided,
+              r->exec.windows * cells);
+    EXPECT_GT(r->exec.cell_rounds_elided, 0u);
+    EXPECT_GT(r->exec.mean_window_span_us, 0.0);
+  }
+  // The profiled run actually collected the per-phase breakdown.
+  EXPECT_GT(profiled.exec.profile_execute_seconds, 0.0);
+  EXPECT_EQ(plain.exec.profile_execute_seconds, 0.0);
 }
 
 // A one-host cluster in bypass mode IS the standalone experiment: the host

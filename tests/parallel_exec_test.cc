@@ -279,5 +279,173 @@ TEST(ParallelExecTest, EmptyAndInvalidInputs) {
   EXPECT_THROW(RunCells(with_null, ParallelExecOptions{}), std::invalid_argument);
 }
 
+// ---- Earliest-send horizons & idle-cell elision (adversarial cases) ----
+
+// With latency == lookahead, a message sent at the window's first event lands
+// exactly AT the horizon — the boundary is half-open, so the delivery must be
+// held to the next window, never executed inside the one that produced it.
+TEST(ParallelExecTest, MessageExactlyAtHorizonIsHeldToNextWindow) {
+  const RingRun run = RunRing(2, 2, 1, /*two_tokens=*/false);
+  // Window 1: cell 0 sends at t=0; deliver_at == window_end (5us). Window 2:
+  // cell 1 executes the delivery. Exactly two planned windows, no third.
+  EXPECT_EQ(run.stats.windows, 2u);
+  const std::vector<std::pair<int64_t, uint64_t>> want = {{Microseconds(5).ns(), 0}};
+  EXPECT_EQ(run.logs[1], want);
+}
+
+// A cell with `ticks` local events 1us apart that sends a single message to
+// cell 1 from the last tick. With `promise`, NextSendBound declares that
+// send time up front, so the planner can widen the window across all the
+// intermediate ticks instead of stepping lookahead-by-lookahead.
+class TickerCell : public SimCell {
+ public:
+  TickerCell(int ticks, SimTime latency, bool promise)
+      : ticks_(ticks), latency_(latency), promise_(promise) {}
+
+  Simulation& cell_sim() override { return *sim_; }
+  void CellBegin(CellPort* port) override {
+    port_ = port;
+    sim_.emplace(3);
+    for (int i = 1; i <= ticks_; ++i) {
+      const bool last = i == ticks_;
+      sim_->ScheduleCallback(Microseconds(i), [this, last] {
+        ++fired_;
+        if (last) {
+          port_->Send(1, latency_, /*kind=*/1, /*payload=*/99);
+        }
+      });
+    }
+  }
+  SimTime NextSendBound(SimTime next_event, SimTime earliest_inbox) override {
+    if (!promise_) {
+      return SimCell::NextSendBound(next_event, earliest_inbox);
+    }
+    // The only send happens at the final tick; max() keeps the bound sound
+    // after the send too (no events left -> the default is already Max).
+    return std::max(Microseconds(ticks_),
+                    SimCell::NextSendBound(next_event, earliest_inbox));
+  }
+  void CellEnd() override { sim_.reset(); }
+  void CellAbandon() noexcept override { sim_.reset(); }
+  int fired() const { return fired_; }
+
+ private:
+  int ticks_;
+  SimTime latency_;
+  bool promise_;
+  CellPort* port_ = nullptr;
+  std::optional<Simulation> sim_;
+  int fired_ = 0;
+};
+
+struct TickerRun {
+  int fired = 0;
+  std::vector<std::pair<int64_t, uint64_t>> sink_log;
+  ParallelExecStats stats;
+};
+
+TickerRun RunTicker(int threads, bool promise, bool elide) {
+  TickerCell ticker(10, Microseconds(1), promise);
+  RingCell sink(1, 2, /*max_hops=*/1, Microseconds(1), /*starts=*/false);
+  ParallelExecOptions opt;
+  opt.threads = threads;
+  opt.lookahead = Microseconds(1);
+  opt.elide_idle_cells = elide;
+  TickerRun run;
+  run.stats = RunCells({&ticker, &sink}, opt);
+  EXPECT_TRUE(sink.ended());
+  EXPECT_TRUE(sink.timing_ok());
+  run.fired = ticker.fired();
+  run.sink_log = sink.log();
+  return run;
+}
+
+// The quiescent sink is elided for every ticker-only window, then woken by
+// the one message; and an honest NextSendBound promise collapses the ten
+// 1us-lookahead windows into one wide window plus the delivery window —
+// without moving a byte of the observable result.
+TEST(ParallelExecTest, SendBoundWidensWindowsAndElidedCellStillWakes) {
+  const TickerRun base = RunTicker(2, /*promise=*/false, /*elide=*/true);
+  const TickerRun wide = RunTicker(2, /*promise=*/true, /*elide=*/true);
+  const std::vector<std::pair<int64_t, uint64_t>> want = {{Microseconds(11).ns(), 99}};
+  EXPECT_EQ(base.sink_log, want);
+  EXPECT_EQ(wide.sink_log, want);
+  EXPECT_EQ(base.fired, 10);
+  EXPECT_EQ(wide.fired, 10);
+  // Without the promise: one window per tick plus the delivery window. With
+  // it: one widened window plus the delivery window.
+  EXPECT_GT(base.stats.windows, wide.stats.windows);
+  EXPECT_EQ(wide.stats.windows, 2u);
+  EXPECT_GT(wide.stats.mean_window_span_us, 1.0);  // wider than the lookahead
+  // The sink had nothing due while the ticker ticked: elided, not executed.
+  EXPECT_GT(base.stats.cell_rounds_elided, 0u);
+  EXPECT_EQ(base.stats.cell_rounds + base.stats.cell_rounds_elided,
+            base.stats.windows * 2);
+  EXPECT_EQ(wide.stats.cell_rounds + wide.stats.cell_rounds_elided,
+            wide.stats.windows * 2);
+}
+
+// Elision is a pure scheduling optimization: turning it off runs every cell
+// every window and must reproduce the identical observable result.
+TEST(ParallelExecTest, ElisionOnOffIsByteIdentical) {
+  for (const int threads : {1, 2}) {
+    const TickerRun on = RunTicker(threads, /*promise=*/false, /*elide=*/true);
+    const TickerRun off = RunTicker(threads, /*promise=*/false, /*elide=*/false);
+    EXPECT_EQ(on.sink_log, off.sink_log) << "threads=" << threads;
+    EXPECT_EQ(on.fired, off.fired) << "threads=" << threads;
+    EXPECT_EQ(on.stats.windows, off.stats.windows) << "threads=" << threads;
+    EXPECT_EQ(on.stats.messages_delivered, off.stats.messages_delivered);
+    EXPECT_EQ(off.stats.cell_rounds_elided, 0u);
+    EXPECT_EQ(off.stats.cell_rounds, off.stats.windows * 2);
+    EXPECT_GT(on.stats.cell_rounds_elided, 0u);
+  }
+}
+
+// A cell that promises "I will never send" and then sends. The planner may
+// have widened the window on the strength of that promise, so the send must
+// throw rather than deliver a possibly-late message.
+class LiarCell : public SimCell {
+ public:
+  Simulation& cell_sim() override { return *sim_; }
+  void CellBegin(CellPort* port) override {
+    port_ = port;
+    sim_.emplace(9);
+    sim_->ScheduleCallback(Microseconds(5), [this] {
+      port_->Send(1, Microseconds(10), /*kind=*/1, /*payload=*/0);
+    });
+  }
+  SimTime NextSendBound(SimTime /*next_event*/, SimTime /*earliest_inbox*/) override {
+    return SimTime::Max();
+  }
+  void CellEnd() override { sim_.reset(); }
+  void CellAbandon() noexcept override {
+    sim_.reset();
+    abandoned_ = true;
+  }
+  bool abandoned() const { return abandoned_; }
+
+ private:
+  CellPort* port_ = nullptr;
+  std::optional<Simulation> sim_;
+  bool abandoned_ = false;
+};
+
+TEST(ParallelExecTest, NextSendBoundViolationThrows) {
+  LiarCell liar;
+  RingCell sink(1, 2, /*max_hops=*/1, Microseconds(10), /*starts=*/false);
+  ParallelExecOptions opt;
+  opt.threads = 2;
+  opt.lookahead = Microseconds(10);
+  try {
+    RunCells({&liar, &sink}, opt);
+    FAIL() << "RunCells should have rethrown the bound violation";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("NextSendBound"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_TRUE(liar.abandoned());
+  EXPECT_TRUE(sink.ended());  // the healthy cell still finishes
+}
+
 }  // namespace
 }  // namespace fastiov

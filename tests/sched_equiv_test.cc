@@ -117,9 +117,11 @@ TEST(SchedEquivDigestTest, ArenaPoolingDoesNotMoveBytes) {
 }
 
 // The full equivalence matrix over the parallel driver: a 4-cell fleet must
-// produce one digest across {heap, calendar} x {1, 4 threads} x {pooled,
+// produce one digest across {heap, calendar} x {1, 2, 4 threads} x {pooled,
 // unpooled}. This is the thread axis of the determinism contract — worker
-// count and scheduling interleaving may only change wall-clock, never bytes.
+// count and scheduling interleaving (including the cells-per-worker split,
+// which 2 threads exercises differently from 1 and 4) may only change
+// wall-clock, never bytes.
 TEST(SchedEquivDigestTest, MultiCellThreadSchedulerPoolingMatrix) {
   ExperimentOptions base;
   base.concurrency = 10;
@@ -138,7 +140,7 @@ TEST(SchedEquivDigestTest, MultiCellThreadSchedulerPoolingMatrix) {
   const std::string reference = digest(SchedulerPolicy::kCalendar, 1, true);
   ASSERT_FALSE(reference.empty());
   for (const SchedulerPolicy policy : {SchedulerPolicy::kHeap, SchedulerPolicy::kCalendar}) {
-    for (const int threads : {1, 4}) {
+    for (const int threads : {1, 2, 4}) {
       for (const bool pooled : {true, false}) {
         EXPECT_EQ(digest(policy, threads, pooled), reference)
             << "policy=" << SchedulerPolicyName(policy) << " threads=" << threads

@@ -200,6 +200,11 @@ int main(int argc, char** argv) {
     Require(*s, "parallel", "cells", T::kNumber);
     Require(*s, "parallel", "concurrency_per_cell", T::kNumber);
     Require(*s, "parallel", "threads_effective", T::kNumber);
+    Require(*s, "parallel", "windows", T::kNumber);
+    Require(*s, "parallel", "cell_rounds", T::kNumber);
+    Require(*s, "parallel", "cell_rounds_elided", T::kNumber);
+    Require(*s, "parallel", "mean_window_span_us", T::kNumber);
+    Require(*s, "parallel", "barrier_wait_seconds", T::kNumber);
     Require(*s, "parallel", "seconds_threads1", T::kNumber);
     Require(*s, "parallel", "seconds_threads1_cv", T::kNumber);
     Require(*s, "parallel", "seconds_threadsN", T::kNumber);
@@ -254,6 +259,9 @@ int main(int argc, char** argv) {
         Require(row, where, "registry_cold_fetches", T::kNumber);
         Require(row, where, "sim_launches_per_sec", T::kNumber);
         Require(row, where, "wall_seconds", T::kNumber);
+        Require(row, where, "wall_seconds_cv", T::kNumber);
+        Require(row, where, "windows", T::kNumber);
+        Require(row, where, "cell_rounds_elided", T::kNumber);
         Require(row, where, "ipam_wait_p50_ms", T::kNumber);
         Require(row, where, "ipam_wait_p99_ms", T::kNumber);
         Require(row, where, "cni_wait_p50_ms", T::kNumber);
@@ -263,6 +271,21 @@ int main(int argc, char** argv) {
       }
     } else {
       Fail("cluster.policies", "missing or not an array");
+    }
+    // The windowed driver's own counters for the fleet-scale trace run:
+    // how many barriers the run paid, how much work elision skipped, and
+    // how far earliest-send horizons widened the windows past the lookahead.
+    if (const JsonValue* d = s->Find("driver"); d != nullptr && d->is_object()) {
+      Require(*d, "cluster.driver", "windows", T::kNumber);
+      Require(*d, "cluster.driver", "messages_delivered", T::kNumber);
+      Require(*d, "cluster.driver", "cell_rounds", T::kNumber);
+      Require(*d, "cluster.driver", "cell_rounds_elided", T::kNumber);
+      Require(*d, "cluster.driver", "elision_rate", T::kNumber);
+      Require(*d, "cluster.driver", "mean_window_span_us", T::kNumber);
+      Require(*d, "cluster.driver", "barrier_wait_seconds", T::kNumber);
+      Require(*d, "cluster.driver", "utilization", T::kNumber);
+    } else {
+      Fail("cluster.driver", "missing or not an object");
     }
     if (const JsonValue* ft = s->Find("fleet_trace"); ft != nullptr && ft->is_object()) {
       Require(*ft, "cluster.fleet_trace", "wall_seconds", T::kNumber);

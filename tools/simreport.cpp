@@ -3,10 +3,14 @@
 //   * headline run facts (stack, concurrency, startup mean/p99),
 //   * the top-N contended locks ranked by total wait time,
 //   * the Tab.-1-style per-phase blocked-time attribution (lock-wait /
-//     resource-wait / work, with shares of the mean and of the p99 tail).
+//     resource-wait / work, with shares of the mean and of the p99 tail),
+//   * for cluster/fleet results, the parallel driver's window accounting
+//     (windows, elided cell-rounds, window span vs lookahead, barrier wait,
+//     and the --profile-driver phase breakdown when present).
 //
 // Usage:
 //   fastiov_sim --stack=vanilla --concurrency=50 --metrics --json > r.json
+//   fastiov_sim --cluster-hosts=8 --cluster-trace=5000 --json > c.json
 //   simreport r.json [--top=N]
 //   ... | simreport -            # read from stdin
 #include <cstdio>
@@ -52,6 +56,22 @@ std::string FormatShare(double f) {
 }
 
 void PrintHeadline(const JsonValue& root) {
+  if (const JsonValue* cluster = root.Find("cluster");
+      cluster != nullptr && cluster->is_object()) {
+    std::printf("cluster: %lld hosts, %lld launches, policy %s, seed %lld\n",
+                static_cast<long long>(cluster->GetDouble("hosts")),
+                static_cast<long long>(cluster->GetDouble("launches")),
+                cluster->GetString("policy", "?").c_str(),
+                static_cast<long long>(cluster->GetDouble("seed")));
+    if (const JsonValue* totals = root.Find("totals")) {
+      std::printf("completed %lld, rejected %lld, aborted %lld, makespan %s\n",
+                  static_cast<long long>(totals->GetDouble("completed")),
+                  static_cast<long long>(totals->GetDouble("cp_rejected")),
+                  static_cast<long long>(totals->GetDouble("aborted")),
+                  FormatSecondsShort(totals->GetDouble("sim_makespan_seconds")).c_str());
+    }
+    return;
+  }
   std::printf("stack %s, concurrency %lld, seed %lld\n",
               root.GetString("stack", "?").c_str(),
               static_cast<long long>(root.GetDouble("concurrency")),
@@ -108,6 +128,33 @@ void PrintBlockedTime(const JsonValue& blocked) {
   table.Print(std::cout);
 }
 
+// The parallel driver's execution stats ("exec" in a cluster / multi-cell
+// result): how many barriers the run paid, how much work idle-cell elision
+// skipped, and how far earliest-send horizons widened windows.
+void PrintDriverStats(const JsonValue& exec) {
+  const double rounds = exec.GetDouble("cell_rounds");
+  const double elided = exec.GetDouble("cell_rounds_elided");
+  const double total = rounds + elided;
+  std::printf("\nparallel driver (%lld threads):\n",
+              static_cast<long long>(exec.GetDouble("threads_used")));
+  std::printf("  windows %lld, messages %lld, cell-rounds %lld run + %lld elided (%s)\n",
+              static_cast<long long>(exec.GetDouble("windows")),
+              static_cast<long long>(exec.GetDouble("messages_delivered")),
+              static_cast<long long>(rounds), static_cast<long long>(elided),
+              FormatShare(total > 0.0 ? elided / total : 0.0).c_str());
+  std::printf("  mean window span %.0f us, barrier wait %s, wall %s, utilization %s\n",
+              exec.GetDouble("mean_window_span_us"),
+              FormatSecondsShort(exec.GetDouble("barrier_wait_seconds")).c_str(),
+              FormatSecondsShort(exec.GetDouble("wall_seconds")).c_str(),
+              FormatShare(exec.GetDouble("utilization")).c_str());
+  if (const JsonValue* profile = exec.Find("profile")) {
+    std::printf("  profile: deliver %s, execute %s, plan %s\n",
+                FormatSecondsShort(profile->GetDouble("deliver_seconds")).c_str(),
+                FormatSecondsShort(profile->GetDouble("execute_seconds")).c_str(),
+                FormatSecondsShort(profile->GetDouble("plan_seconds")).c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -154,17 +201,23 @@ int main(int argc, char** argv) {
 
   PrintHeadline(root);
   const JsonValue* obs = root.Find("observability");
-  if (obs == nullptr) {
+  const JsonValue* exec = root.Find("exec");
+  if (obs == nullptr && (exec == nullptr || !exec->is_object())) {
     std::fprintf(stderr,
-                 "error: no 'observability' section — rerun fastiov_sim with "
-                 "--metrics --json\n");
+                 "error: no 'observability' or 'exec' section — rerun fastiov_sim "
+                 "with --metrics --json (or --cluster-hosts ... --json)\n");
     return 1;
   }
-  if (const JsonValue* locks = obs->Find("locks"); locks != nullptr && locks->is_array()) {
-    PrintLocks(*locks, top);
+  if (obs != nullptr) {
+    if (const JsonValue* locks = obs->Find("locks"); locks != nullptr && locks->is_array()) {
+      PrintLocks(*locks, top);
+    }
+    if (const JsonValue* blocked = obs->Find("blocked_time")) {
+      PrintBlockedTime(*blocked);
+    }
   }
-  if (const JsonValue* blocked = obs->Find("blocked_time")) {
-    PrintBlockedTime(*blocked);
+  if (exec != nullptr && exec->is_object()) {
+    PrintDriverStats(*exec);
   }
   return 0;
 }
